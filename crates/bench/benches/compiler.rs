@@ -1,0 +1,51 @@
+//! Criterion benchmarks for the compiler pipeline: graph-level passes,
+//! fusion grouping, lowering — the per-model one-time costs of DUET's
+//! offline phase.
+//!
+//! Also carries the coarse-vs-fine ablation DESIGN.md calls out: compare
+//! the kernel count and priced cost of coarse (fused) versus
+//! per-operator (unfused) compilation on the paper's models.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use duet_compiler::{CompileOptions, Compiler};
+use duet_core::partition;
+use duet_models::{mtdnn, wide_and_deep, MtDnnConfig, WideAndDeepConfig};
+
+fn bench_optimize(c: &mut Criterion) {
+    let wd = wide_and_deep(&WideAndDeepConfig::default());
+    let mt = mtdnn(&MtDnnConfig { vocab: 1000, ..MtDnnConfig::default() });
+    let compiler = Compiler::default();
+    c.bench_function("optimize/wide_and_deep", |b| {
+        b.iter(|| compiler.optimize(&wd).unwrap())
+    });
+    c.bench_function("optimize/mtdnn", |b| b.iter(|| compiler.optimize(&mt).unwrap()));
+}
+
+fn bench_partition(c: &mut Criterion) {
+    let wd = wide_and_deep(&WideAndDeepConfig::default());
+    let mt = mtdnn(&MtDnnConfig { vocab: 1000, ..MtDnnConfig::default() });
+    c.bench_function("partition/wide_and_deep", |b| b.iter(|| partition(&wd)));
+    c.bench_function("partition/mtdnn", |b| b.iter(|| partition(&mt)));
+}
+
+fn bench_lowering(c: &mut Criterion) {
+    let wd = wide_and_deep(&WideAndDeepConfig::default());
+    let fused = Compiler::new(CompileOptions::full());
+    let unfused = Compiler::new(CompileOptions::none());
+    c.bench_function("lower/fused", |b| b.iter(|| fused.compile_whole(&wd, "wd")));
+    c.bench_function("lower/unfused", |b| b.iter(|| unfused.compile_whole(&wd, "wd")));
+
+    // Ablation printout (once): coarse fusion vs per-op granularity.
+    let f = fused.compile_whole(&wd, "wd");
+    let u = unfused.compile_whole(&wd, "wd");
+    eprintln!(
+        "[ablation] coarse/fused: {} kernels, {:.0} launches; per-op: {} kernels, {:.0} launches",
+        f.kernel_count(),
+        f.cost.kernel_launches,
+        u.kernel_count(),
+        u.cost.kernel_launches
+    );
+}
+
+criterion_group!(benches, bench_optimize, bench_partition, bench_lowering);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Criterion benchmarks for the tensor kernels backing every operator.
+//!
+//! These measure the *host* kernels (real numerics), the substrate of the
+//! reproduction. The paper's latency numbers come from the device models,
+//! not from these timings — but the kernels must be fast enough to make
+//! numeric validation of big models practical.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use duet_tensor::{kernels, Tensor};
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut g = c.benchmark_group("matmul");
+    for &n in &[64usize, 128, 256] {
+        let a = Tensor::randn(vec![n, n], 1.0, 1);
+        let b = Tensor::randn(vec![n, n], 1.0, 2);
+        g.throughput(Throughput::Elements((2 * n * n * n) as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| kernels::matmul(&a, &b).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_conv2d(c: &mut Criterion) {
+    let mut g = c.benchmark_group("conv2d");
+    // ResNet-ish layer shapes at small spatial size.
+    for &(cin, cout, hw) in &[(16usize, 16usize, 32usize), (32, 32, 16), (64, 64, 8)] {
+        let x = Tensor::randn(vec![1, cin, hw, hw], 1.0, 3);
+        let w = Tensor::randn(vec![cout, cin, 3, 3], 1.0, 4);
+        g.bench_function(format!("{cin}x{hw}x{hw}->{cout}"), |bench| {
+            bench.iter(|| kernels::conv2d(&x, &w, None, 1, 1).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_lstm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lstm");
+    for &(seq, hidden) in &[(16usize, 64usize), (32, 128)] {
+        let x = Tensor::randn(vec![seq, 1, hidden], 1.0, 5);
+        let w_ih = Tensor::randn(vec![4 * hidden, hidden], 0.2, 6);
+        let w_hh = Tensor::randn(vec![4 * hidden, hidden], 0.2, 7);
+        let b = Tensor::zeros(vec![4 * hidden]);
+        g.bench_function(format!("seq{seq}_h{hidden}"), |bench| {
+            bench.iter(|| kernels::lstm(&x, &w_ih, &w_hh, &b).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_attention(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mha");
+    for &(seq, d) in &[(32usize, 64usize), (64, 128)] {
+        let x = Tensor::randn(vec![seq, d], 1.0, 8);
+        let w = Tensor::randn(vec![d, d], 0.2, 9);
+        g.bench_function(format!("seq{seq}_d{d}"), |bench| {
+            bench.iter(|| kernels::multi_head_attention(&x, &w, &w, &w, &w, 4).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_softmax_layernorm(c: &mut Criterion) {
+    let x = Tensor::randn(vec![128, 768], 1.0, 10);
+    let gamma = Tensor::ones(vec![768]);
+    let beta = Tensor::zeros(vec![768]);
+    c.bench_function("softmax_128x768", |b| b.iter(|| kernels::softmax(&x).unwrap()));
+    c.bench_function("layernorm_128x768", |b| {
+        b.iter(|| kernels::layer_norm(&x, &gamma, &beta, 1e-5).unwrap())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_conv2d,
+    bench_lstm,
+    bench_attention,
+    bench_softmax_layernorm
+);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion benchmarks for runtime infrastructure: model (de)serialization
+//! throughput, serving-loop simulation, and lane-aware simulation.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use duet_core::Duet;
+use duet_device::SystemModel;
+use duet_ir::{decode, encode};
+use duet_models::{siamese, wide_and_deep, SiameseConfig, WideAndDeepConfig};
+use duet_runtime::{simulate, simulate_serving, ServingConfig, SimNoise};
+
+fn bench_serialize(c: &mut Criterion) {
+    let g = siamese(&SiameseConfig::default());
+    let bytes = encode(&g);
+    let mut group = c.benchmark_group("model_format");
+    group.throughput(Throughput::Bytes(bytes.len() as u64));
+    group.sample_size(20);
+    group.bench_function("encode_siamese", |b| b.iter(|| encode(&g)));
+    group.bench_function("decode_siamese", |b| b.iter(|| decode(bytes.clone()).unwrap()));
+    group.finish();
+}
+
+fn bench_serving(c: &mut Criterion) {
+    let g = wide_and_deep(&WideAndDeepConfig::default());
+    let duet = Duet::builder().build(&g).unwrap();
+    let cfg = ServingConfig { arrival_rate_qps: 200.0, requests: 500, seed: 1 };
+    let mut group = c.benchmark_group("serving_sim");
+    group.sample_size(20);
+    group.bench_function("wide_and_deep_500req", |b| {
+        b.iter(|| simulate_serving(duet.graph(), duet.placed(), duet.system(), &cfg))
+    });
+    group.finish();
+}
+
+fn bench_lane_sim(c: &mut Criterion) {
+    let g = siamese(&SiameseConfig::default());
+    let one = Duet::builder().build(&g).unwrap();
+    let mut sys2 = SystemModel::paper_server();
+    sys2.cpu = sys2.cpu.with_lanes(2, 0.7);
+    let two = Duet::builder().system(sys2).build(&g).unwrap();
+    c.bench_function("simulate/one_lane", |b| {
+        b.iter(|| {
+            simulate(one.graph(), one.placed(), one.system(), &mut SimNoise::disabled())
+        })
+    });
+    c.bench_function("simulate/two_cpu_lanes", |b| {
+        b.iter(|| {
+            simulate(two.graph(), two.placed(), two.system(), &mut SimNoise::disabled())
+        })
+    });
+}
+
+criterion_group!(benches, bench_serialize, bench_serving, bench_lane_sim);
+criterion_main!(benches);

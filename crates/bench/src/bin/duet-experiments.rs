@@ -1,0 +1,39 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! cargo run --release -p duet-bench --bin duet-experiments -- all
+//! cargo run --release -p duet-bench --bin duet-experiments -- fig11 fig13
+//! ```
+//!
+//! Text output goes to stdout; JSON copies land in `results/<id>.json`.
+
+use duet_bench::experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: duet-experiments [all | {}]", experiments::ALL.join(" | "));
+        std::process::exit(if args.is_empty() { 2 } else { 0 });
+    }
+    let ids: Vec<&str> = if args.iter().any(|a| a == "all") {
+        experiments::ALL.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    let mut failed = false;
+    for id in ids {
+        match experiments::run(id) {
+            Some(value) => match duet_bench::output::write_json(id, &value) {
+                Ok(path) => println!("[{id}] json written to {}\n", path.display()),
+                Err(e) => eprintln!("[{id}] could not write json: {e}\n"),
+            },
+            None => {
+                eprintln!("unknown experiment id: {id}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,114 @@
+//! Fig. 11 (end-to-end latency across frameworks) and Fig. 12 (tail
+//! latency, TVM-GPU vs DUET).
+
+use duet_core::Duet;
+use duet_device::{DeviceKind, SystemModel};
+use duet_frameworks::Framework;
+use duet_models::{mtdnn, siamese, wide_and_deep, MtDnnConfig, SiameseConfig, WideAndDeepConfig};
+use duet_ir::Graph;
+use serde_json::json;
+
+use crate::output::{f3, x2, Table};
+use crate::{ms, tvm_latency_us, tvm_stats};
+
+fn paper_models() -> Vec<Graph> {
+    vec![
+        wide_and_deep(&WideAndDeepConfig::default()),
+        siamese(&SiameseConfig::default()),
+        mtdnn(&MtDnnConfig::default()),
+    ]
+}
+
+/// Fig. 11: end-to-end latency of PyTorch/TensorFlow, TVM (CPU & GPU) and
+/// DUET on the three complex-structure models. Paper: DUET is 1.5-2.3x
+/// vs TVM-GPU, 1.3-15.9x vs TVM-CPU, and far ahead of the frameworks.
+pub fn fig11() -> serde_json::Value {
+    println!("== Fig. 11: end-to-end latency across frameworks (ms) ==\n");
+    let sys = SystemModel::paper_server();
+    let mut t = Table::new(&[
+        "model", "fw-cpu", "fw-gpu", "tvm-cpu", "tvm-gpu", "duet", "vs tvm-gpu", "vs tvm-cpu",
+    ]);
+    let mut out = Vec::new();
+    for graph in paper_models() {
+        // The paper uses each model's original framework (PyTorch for W&D
+        // and MT-DNN, TensorFlow for Siamese).
+        let fw = if graph.name == "siamese" {
+            Framework::tensorflow()
+        } else {
+            Framework::pytorch()
+        };
+        let fw_cpu = fw.latency_us(&graph, DeviceKind::Cpu, &sys);
+        let fw_gpu = fw.latency_us(&graph, DeviceKind::Gpu, &sys);
+        let tvm_cpu = tvm_latency_us(&graph, DeviceKind::Cpu, &sys);
+        let tvm_gpu = tvm_latency_us(&graph, DeviceKind::Gpu, &sys);
+        let duet = Duet::builder().build(&graph).expect("engine builds");
+        let d = duet.latency_us();
+        t.row(vec![
+            graph.name.clone(),
+            f3(ms(fw_cpu)),
+            f3(ms(fw_gpu)),
+            f3(ms(tvm_cpu)),
+            f3(ms(tvm_gpu)),
+            f3(ms(d)),
+            x2(tvm_gpu / d),
+            x2(tvm_cpu / d),
+        ]);
+        out.push(json!({
+            "model": graph.name,
+            "framework": fw.name,
+            "framework_cpu_ms": ms(fw_cpu),
+            "framework_gpu_ms": ms(fw_gpu),
+            "tvm_cpu_ms": ms(tvm_cpu),
+            "tvm_gpu_ms": ms(tvm_gpu),
+            "duet_ms": ms(d),
+            "speedup_vs_tvm_gpu": tvm_gpu / d,
+            "speedup_vs_tvm_cpu": tvm_cpu / d,
+            "speedup_vs_framework_gpu": fw_gpu / d,
+            "speedup_vs_framework_cpu": fw_cpu / d,
+        }));
+    }
+    println!("{t}");
+    println!("paper: DUET 1.5-2.3x vs TVM-GPU, 1.3-15.9x vs TVM-CPU, 2.1-8.4x vs fw-GPU, 2.3-18.8x vs fw-CPU");
+    json!(out)
+}
+
+/// Fig. 12: P50/P99/P99.9 latency of TVM-GPU vs DUET over 5000 noisy
+/// runs. Paper: 1.3-2.4x at P99 and 1.1-2.1x at P99.9 — tail gains are
+/// slightly smaller because PCIe adds variance to heterogeneous runs.
+pub fn fig12() -> serde_json::Value {
+    println!("== Fig. 12: tail latency, TVM-GPU vs DUET (5000 runs, ms) ==\n");
+    let sys = SystemModel::paper_server();
+    const RUNS: usize = 5000;
+    let mut t = Table::new(&[
+        "model", "tvm p50", "duet p50", "tvm p99", "duet p99", "tvm p99.9", "duet p99.9",
+        "x@p99", "x@p99.9",
+    ]);
+    let mut out = Vec::new();
+    for graph in paper_models() {
+        let tvm = tvm_stats(&graph, DeviceKind::Gpu, &sys, RUNS, 0xf12);
+        let duet = Duet::builder().build(&graph).expect("engine builds");
+        let d = duet.measure(RUNS, 0xf12 ^ 1);
+        t.row(vec![
+            graph.name.clone(),
+            f3(ms(tvm.p50())),
+            f3(ms(d.p50())),
+            f3(ms(tvm.p99())),
+            f3(ms(d.p99())),
+            f3(ms(tvm.p999())),
+            f3(ms(d.p999())),
+            x2(tvm.p99() / d.p99()),
+            x2(tvm.p999() / d.p999()),
+        ]);
+        out.push(json!({
+            "model": graph.name,
+            "tvm_gpu": {"p50_ms": ms(tvm.p50()), "p99_ms": ms(tvm.p99()), "p999_ms": ms(tvm.p999())},
+            "duet": {"p50_ms": ms(d.p50()), "p99_ms": ms(d.p99()), "p999_ms": ms(d.p999())},
+            "speedup_p50": tvm.p50() / d.p50(),
+            "speedup_p99": tvm.p99() / d.p99(),
+            "speedup_p999": tvm.p999() / d.p999(),
+        }));
+    }
+    println!("{t}");
+    println!("paper: 1.3-2.4x at P99, 1.1-2.1x at P99.9");
+    json!(out)
+}

@@ -1,0 +1,42 @@
+//! One module per paper artifact. Each `run()` prints the artifact's
+//! rows to stdout and returns a JSON value that the harness writes to
+//! `results/<id>.json` (the numbers recorded in `EXPERIMENTS.md`).
+
+pub mod ablation;
+pub mod extensions;
+pub mod comparison;
+pub mod motivation;
+pub mod sweeps;
+pub mod tables;
+
+/// All experiment ids, in paper order.
+pub const ALL: &[&str] = &[
+    "table1", "fig4", "fig5", "fig11", "table2", "fig12", "fig13", "fig14", "fig15", "fig16",
+    "fig17", "table3", "ext-granularity", "ext-concurrency", "ext-flops-proxy", "ext-serving", "ext-systems", "ext-nested",
+];
+
+/// Run one experiment by id. Returns `None` for an unknown id.
+pub fn run(id: &str) -> Option<serde_json::Value> {
+    let value = match id {
+        "table1" => tables::table1(),
+        "table2" => tables::table2(),
+        "table3" => tables::table3(),
+        "fig4" => motivation::fig4(),
+        "fig5" => motivation::fig5(),
+        "fig11" => comparison::fig11(),
+        "fig12" => comparison::fig12(),
+        "fig13" => ablation::fig13(),
+        "fig14" => sweeps::fig14(),
+        "fig15" => sweeps::fig15(),
+        "fig16" => sweeps::fig16(),
+        "fig17" => sweeps::fig17(),
+        "ext-granularity" => extensions::granularity(),
+        "ext-concurrency" => extensions::concurrency(),
+        "ext-flops-proxy" => extensions::flops_proxy(),
+        "ext-serving" => extensions::serving(),
+        "ext-systems" => extensions::systems(),
+        "ext-nested" => extensions::nested(),
+        _ => return None,
+    };
+    Some(value)
+}

@@ -1,0 +1,104 @@
+//! Motivation-study artifacts: Fig. 4 (single-device execution timeline
+//! of Wide-and-Deep) and Fig. 5 (CPU↔GPU communication micro-benchmark).
+
+use duet_compiler::Compiler;
+use duet_core::partition;
+use duet_device::{DeviceKind, SystemModel, TransferModel};
+use duet_models::{wide_and_deep, WideAndDeepConfig};
+use duet_runtime::{simulate, Placed, SimNoise};
+use serde_json::json;
+
+use crate::ms;
+use crate::output::{f3, Table};
+
+/// Fig. 4: the execution timeline of Wide-and-Deep on GPU alone (upper)
+/// and CPU alone (lower). The point: the RNN segment dominates on GPU,
+/// the CNN segment dominates on CPU — no single device wins everywhere.
+pub fn fig4() -> serde_json::Value {
+    println!("== Fig. 4: Wide-and-Deep execution timeline per device ==\n");
+    let graph = wide_and_deep(&WideAndDeepConfig::default());
+    let compiler = Compiler::default();
+    let part = partition(&graph);
+    let sgs = part.compile(&graph, &compiler);
+    let sys = SystemModel::paper_server();
+
+    let mut out = serde_json::Map::new();
+    for device in DeviceKind::both() {
+        let placed: Vec<Placed> =
+            sgs.iter().map(|sg| Placed { sg: sg.clone(), device }).collect();
+        let r = simulate(&graph, &placed, &sys, &mut SimNoise::disabled());
+        println!("-- {device} only: total {:.3} ms", ms(r.latency_us));
+        let mut t = Table::new(&["subgraph", "start (ms)", "end (ms)", "span (ms)"]);
+        let total = r.latency_us.max(1.0);
+        let mut bars = String::new();
+        for e in &r.timeline {
+            t.row(vec![
+                e.name.clone(),
+                f3(ms(e.start_us)),
+                f3(ms(e.end_us)),
+                f3(ms(e.end_us - e.start_us)),
+            ]);
+            // ASCII timeline bar (60 columns ≙ total latency).
+            let s = (e.start_us / total * 60.0) as usize;
+            let w = (((e.end_us - e.start_us) / total * 60.0) as usize).max(1);
+            bars.push_str(&format!(
+                "{:<14} |{}{}|\n",
+                trunc(&e.name, 14),
+                " ".repeat(s.min(60)),
+                "#".repeat(w.min(60 - s.min(60)).max(1))
+            ));
+        }
+        println!("{t}");
+        println!("{bars}");
+        out.insert(
+            format!("{device}"),
+            json!({
+                "total_ms": ms(r.latency_us),
+                "segments": r.timeline.iter().map(|e| json!({
+                    "name": e.name, "start_ms": ms(e.start_us), "end_ms": ms(e.end_us),
+                })).collect::<Vec<_>>(),
+            }),
+        );
+    }
+    serde_json::Value::Object(out)
+}
+
+fn trunc(s: &str, n: usize) -> String {
+    if s.len() <= n {
+        s.to_string()
+    } else {
+        format!("{}…", &s[..n - 1])
+    }
+}
+
+/// Fig. 5: point-to-point transfer latency and effective bandwidth versus
+/// message size over the PCIe 3.0 model. Latency grows ~linearly with
+/// message size; bandwidth saturates for large transfers.
+pub fn fig5() -> serde_json::Value {
+    println!("== Fig. 5: CPU-GPU communication cost vs message size ==\n");
+    let link = TransferModel::pcie3();
+    let mut t = Table::new(&["message", "latency (us)", "eff. bandwidth (GB/s)"]);
+    let mut series = Vec::new();
+    let mut bytes = 4096.0f64; // 4 KB .. 256 MB, doubling
+    while bytes <= 256.0 * 1024.0 * 1024.0 {
+        let lat = link.time_us(bytes);
+        let bw = link.effective_bandwidth_gbps(bytes);
+        t.row(vec![human_bytes(bytes), format!("{lat:.1}"), format!("{bw:.2}")]);
+        series.push(json!({"bytes": bytes, "latency_us": lat, "bandwidth_gbps": bw}));
+        bytes *= 4.0;
+    }
+    println!("{t}");
+    println!(
+        "model: latency = {:.0} us + bytes / {:.1} GB/s (linear in message size)",
+        link.latency_us, link.bandwidth_gbps
+    );
+    json!(series)
+}
+
+fn human_bytes(b: f64) -> String {
+    if b >= 1024.0 * 1024.0 {
+        format!("{:.0} MB", b / 1024.0 / 1024.0)
+    } else {
+        format!("{:.0} KB", b / 1024.0)
+    }
+}

@@ -1,0 +1,147 @@
+//! Tables I, II and III.
+
+use duet_core::Duet;
+use duet_device::{DeviceKind, SystemModel};
+use duet_frameworks::Framework;
+use duet_models::{
+    mtdnn, resnet, siamese, squeezenet, vgg16, wide_and_deep, MtDnnConfig, ResNetConfig,
+    SiameseConfig, WideAndDeepConfig,
+};
+use serde_json::json;
+
+use crate::output::{f3, Table};
+use crate::{ms, tvm_latency_us};
+
+/// Table I: the model parameters of Wide-and-Deep, Siamese and MT-DNN
+/// used throughout the evaluation (batch size 1; RNN lengths are maximum
+/// sequence lengths).
+pub fn table1() -> serde_json::Value {
+    println!("== Table I: model parameters (batch size 1) ==\n");
+    let wd = WideAndDeepConfig::default();
+    let si = SiameseConfig::default();
+    let mt = MtDnnConfig::default();
+
+    let mut t = Table::new(&["model", "parameter", "value"]);
+    let wd_graph = wide_and_deep(&wd);
+    for (k, v) in [
+        ("wide features", wd.wide_features.to_string()),
+        ("FFN hidden x layers", format!("{} x {}", wd.ffn_hidden, wd.ffn_layers)),
+        ("RNN seq/embed/hidden/layers", format!("{}/{}/{}/{}", wd.seq_len, wd.embed_dim, wd.rnn_hidden, wd.rnn_layers)),
+        ("CNN encoder", format!("ResNet-{} @ {}px", wd.cnn_depth, wd.image)),
+        ("operators", wd_graph.compute_ids().len().to_string()),
+        ("parameters (MB)", format!("{:.1}", wd_graph.param_bytes() as f64 / 1e6)),
+    ] {
+        t.row(vec!["Wide-and-Deep".into(), k.into(), v]);
+    }
+    let si_graph = siamese(&si);
+    for (k, v) in [
+        ("branches", "2 (query, passage)".to_string()),
+        ("RNN seq/embed/hidden/layers", format!("{}/{}/{}/{}", si.seq_len, si.embed_dim, si.hidden, si.rnn_layers)),
+        ("operators", si_graph.compute_ids().len().to_string()),
+        ("parameters (MB)", format!("{:.1}", si_graph.param_bytes() as f64 / 1e6)),
+    ] {
+        t.row(vec!["Siamese".into(), k.into(), v]);
+    }
+    let mt_graph = mtdnn(&mt);
+    for (k, v) in [
+        ("encoder layers x d_model", format!("{} x {}", mt.encoder_layers, mt.d_model)),
+        ("attention heads / FFN dim", format!("{} / {}", mt.heads, mt.ffn_dim)),
+        ("seq len / vocab", format!("{} / {}", mt.seq_len, mt.vocab)),
+        ("task heads (GRU answer modules)", format!("{} x hidden {}", mt.num_tasks, mt.task_hidden)),
+        ("operators", mt_graph.compute_ids().len().to_string()),
+        ("parameters (MB)", format!("{:.1}", mt_graph.param_bytes() as f64 / 1e6)),
+    ] {
+        t.row(vec!["MT-DNN".into(), k.into(), v]);
+    }
+    println!("{t}");
+    json!({
+        "wide_and_deep": wd, "siamese": si, "mtdnn": mt,
+        "operators": {
+            "wide_and_deep": wd_graph.compute_ids().len(),
+            "siamese": si_graph.compute_ids().len(),
+            "mtdnn": mt_graph.compute_ids().len(),
+        }
+    })
+}
+
+/// Table II: per-subgraph computation cost (compiler-aware profiler) and
+/// the final scheduling decision, for each of the three models.
+pub fn table2() -> serde_json::Value {
+    println!("== Table II: subgraph costs and placement decisions ==\n");
+    let mut out = Vec::new();
+    for graph in [
+        wide_and_deep(&WideAndDeepConfig::default()),
+        siamese(&SiameseConfig::default()),
+        mtdnn(&MtDnnConfig::default()),
+    ] {
+        let duet = Duet::builder().build(&graph).expect("engine builds");
+        let report = duet.placement_report();
+        print!("{report}");
+        println!();
+        out.push(json!({
+            "model": report.model,
+            "latency_ms": ms(report.latency_us),
+            "cpu_only_ms": ms(report.cpu_only_us),
+            "gpu_only_ms": ms(report.gpu_only_us),
+            "fallback": report.fallback.map(|d| d.to_string()),
+            "subgraphs": report.subgraphs.iter().map(|r| json!({
+                "name": r.name,
+                "phase": r.phase,
+                "cpu_ms": ms(r.cpu_us),
+                "gpu_ms": ms(r.gpu_us),
+                "device": r.device.to_string(),
+                "kernels": r.kernels,
+            })).collect::<Vec<_>>(),
+        }));
+    }
+    json!(out)
+}
+
+/// Table III: end-to-end latency on traditional, well-optimized sequential
+/// models (ResNet; we add VGG-16 and SqueezeNet). DUET should match the
+/// best single-device baseline by falling back.
+pub fn table3() -> serde_json::Value {
+    println!("== Table III: traditional models — DUET falls back ==\n");
+    let sys = SystemModel::paper_server();
+    let mut t = Table::new(&[
+        "model", "pytorch-cpu", "pytorch-gpu", "tvm-cpu", "tvm-gpu", "duet", "decision",
+    ]);
+    let mut out = Vec::new();
+    for graph in [
+        resnet(&ResNetConfig { depth: 18, ..Default::default() }),
+        resnet(&ResNetConfig { depth: 50, ..Default::default() }),
+        vgg16(1, 224),
+        squeezenet(1, 224),
+    ] {
+        let pt = Framework::pytorch();
+        let pt_cpu = pt.latency_us(&graph, DeviceKind::Cpu, &sys);
+        let pt_gpu = pt.latency_us(&graph, DeviceKind::Gpu, &sys);
+        let tvm_cpu = tvm_latency_us(&graph, DeviceKind::Cpu, &sys);
+        let tvm_gpu = tvm_latency_us(&graph, DeviceKind::Gpu, &sys);
+        let duet = Duet::builder().build(&graph).expect("engine builds");
+        let decision = match duet.fallback_device() {
+            Some(d) => format!("fallback:{d}"),
+            None => "heterogeneous".into(),
+        };
+        t.row(vec![
+            graph.name.clone(),
+            f3(ms(pt_cpu)),
+            f3(ms(pt_gpu)),
+            f3(ms(tvm_cpu)),
+            f3(ms(tvm_gpu)),
+            f3(ms(duet.latency_us())),
+            decision.clone(),
+        ]);
+        out.push(json!({
+            "model": graph.name,
+            "pytorch_cpu_ms": ms(pt_cpu),
+            "pytorch_gpu_ms": ms(pt_gpu),
+            "tvm_cpu_ms": ms(tvm_cpu),
+            "tvm_gpu_ms": ms(tvm_gpu),
+            "duet_ms": ms(duet.latency_us()),
+            "decision": decision,
+        }));
+    }
+    println!("{t}  (all latencies in ms)");
+    json!(out)
+}

@@ -1,0 +1,106 @@
+//! Text tables and JSON result files.
+
+use std::fs;
+use std::path::PathBuf;
+
+/// A simple aligned text table (the harness prints the same rows the
+/// paper's tables/figures report).
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Table with a header row.
+    pub fn new(header: &[&str]) -> Self {
+        Table { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Append one row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let line = |f: &mut std::fmt::Formatter<'_>, cells: &[String]| -> std::fmt::Result {
+            for (i, c) in cells.iter().enumerate().take(cols) {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{c:>width$}", width = widths[i])?;
+            }
+            writeln!(f)
+        };
+        line(f, &self.header)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Format a float with 3 decimals (milliseconds convention).
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Format a speedup with 2 decimals and an 'x'.
+pub fn x2(v: f64) -> String {
+    format!("{v:.2}x")
+}
+
+/// Write a JSON value under `results/<id>.json` (relative to the
+/// workspace root when run via cargo, else the current directory).
+pub fn write_json(id: &str, value: &serde_json::Value) -> std::io::Result<PathBuf> {
+    let dir = PathBuf::from("results");
+    fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{id}.json"));
+    fs::write(&path, serde_json::to_string_pretty(value).expect("serializable"))?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let mut t = Table::new(&["name", "ms"]);
+        t.row(vec!["a".into(), "1.0".into()]);
+        t.row(vec!["long-name".into(), "12345.678".into()]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines same width.
+        assert_eq!(lines[0].len(), lines[3].len());
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f3(1.23456), "1.235");
+        assert_eq!(x2(2.5), "2.50x");
+    }
+}

@@ -1,0 +1,186 @@
+//! The compiler driver: pass pipeline + lowering entry points.
+
+use duet_ir::{Graph, GraphError, NodeId};
+
+use crate::lower::CompiledSubgraph;
+use crate::passes;
+
+/// Which optimizations to run.
+///
+/// [`CompileOptions::full`] is the TVM-like configuration DUET profiles
+/// and schedules against; [`CompileOptions::none`] is the DL-framework
+/// configuration (one kernel per operator, nothing folded) used by the
+/// `duet-frameworks` baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompileOptions {
+    pub fold_constants: bool,
+    pub cse: bool,
+    pub dce: bool,
+    pub fusion: bool,
+}
+
+impl CompileOptions {
+    /// All passes on.
+    pub fn full() -> Self {
+        CompileOptions { fold_constants: true, cse: true, dce: true, fusion: true }
+    }
+
+    /// All passes off.
+    pub fn none() -> Self {
+        CompileOptions { fold_constants: false, cse: false, dce: false, fusion: false }
+    }
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        Self::full()
+    }
+}
+
+/// What the graph-level pipeline did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OptimizeStats {
+    pub nodes_before: usize,
+    pub nodes_after: usize,
+    pub constants_folded: usize,
+    pub subexpressions_merged: usize,
+    pub dead_removed: usize,
+}
+
+/// The optimizing compiler.
+#[derive(Debug, Clone, Default)]
+pub struct Compiler {
+    options: CompileOptions,
+}
+
+impl Compiler {
+    /// Compiler with explicit options.
+    pub fn new(options: CompileOptions) -> Self {
+        Compiler { options }
+    }
+
+    /// The active options.
+    pub fn options(&self) -> CompileOptions {
+        self.options
+    }
+
+    /// Run the graph-level pipeline: fold → CSE → DCE.
+    pub fn optimize(&self, graph: &Graph) -> Result<(Graph, OptimizeStats), GraphError> {
+        let mut stats = OptimizeStats { nodes_before: graph.len(), ..Default::default() };
+        let mut g = graph.clone();
+        if self.options.fold_constants {
+            let (g2, n) = passes::fold_constants(&g)?;
+            g = g2;
+            stats.constants_folded = n;
+        }
+        if self.options.cse {
+            let (g2, n) = passes::eliminate_common_subexpressions(&g)?;
+            g = g2;
+            stats.subexpressions_merged = n;
+        }
+        if self.options.dce {
+            let (g2, n) = passes::eliminate_dead_code(&g)?;
+            g = g2;
+            stats.dead_removed = n;
+        }
+        stats.nodes_after = g.len();
+        Ok((g, stats))
+    }
+
+    /// Lower a node subset of an (already optimized) graph into a
+    /// compiled subgraph, applying fusion if enabled.
+    pub fn compile_nodes(
+        &self,
+        graph: &Graph,
+        nodes: &[NodeId],
+        name: impl Into<String>,
+    ) -> CompiledSubgraph {
+        let groups = if self.options.fusion {
+            passes::fuse_groups(graph, nodes)
+        } else {
+            let mut sorted = nodes.to_vec();
+            sorted.sort_unstable();
+            sorted.into_iter().map(|n| vec![n]).collect()
+        };
+        CompiledSubgraph::from_groups(graph, name, groups)
+    }
+
+    /// Lower the entire graph as one subgraph (single-device execution).
+    pub fn compile_whole(&self, graph: &Graph, name: impl Into<String>) -> CompiledSubgraph {
+        self.compile_nodes(graph, &graph.compute_ids(), name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use duet_ir::{GraphBuilder, Op};
+    use duet_tensor::Tensor;
+    use std::collections::HashMap;
+
+    fn messy_graph() -> (Graph, NodeId) {
+        // Contains: a foldable constant branch, a duplicate subexpression,
+        // and a dead branch.
+        let mut g = Graph::new("messy");
+        let x = g.add_input("x", vec![4]);
+        let c1 = g.add_constant("c1", Tensor::full(vec![4], 2.0));
+        let c2 = g.add_constant("c2", Tensor::full(vec![4], 3.0));
+        let csum = g.add_op("csum", Op::Add, &[c1, c2]).unwrap(); // foldable
+        let r1 = g.add_op("r1", Op::Relu, &[x]).unwrap();
+        let r2 = g.add_op("r2", Op::Relu, &[x]).unwrap(); // duplicate
+        let m = g.add_op("m", Op::Mul, &[r1, csum]).unwrap();
+        let a = g.add_op("a", Op::Add, &[m, r2]).unwrap();
+        let _dead = g.add_op("dead", Op::Tanh, &[x]).unwrap();
+        g.mark_output(a).unwrap();
+        (g, x)
+    }
+
+    #[test]
+    fn full_pipeline_shrinks_and_preserves() {
+        let (g, x) = messy_graph();
+        let c = Compiler::new(CompileOptions::full());
+        let (g2, stats) = c.optimize(&g).unwrap();
+        assert_eq!(stats.constants_folded, 1);
+        assert_eq!(stats.subexpressions_merged, 1);
+        assert!(stats.dead_removed >= 1);
+        assert!(stats.nodes_after < stats.nodes_before);
+        let t = Tensor::randn(vec![4], 1.0, 1);
+        let o1 = g.eval(&HashMap::from([(x, t.clone())])).unwrap();
+        let o2 = g2.eval(&HashMap::from([(g2.input_ids()[0], t)])).unwrap();
+        assert!(o1[0].approx_eq(&o2[0], 1e-6));
+    }
+
+    #[test]
+    fn none_options_are_identity() {
+        let (g, _) = messy_graph();
+        let c = Compiler::new(CompileOptions::none());
+        let (g2, stats) = c.optimize(&g).unwrap();
+        assert_eq!(g2.len(), g.len());
+        assert_eq!(stats.constants_folded, 0);
+    }
+
+    #[test]
+    fn compile_whole_without_fusion_has_one_kernel_per_op() {
+        let mut b = GraphBuilder::new("m", 2);
+        let x = b.input("x", vec![1, 8]);
+        let y = b.dense("fc", x, 4, Some(Op::Relu)).unwrap();
+        let g = b.finish(&[y]).unwrap();
+        let unfused = Compiler::new(CompileOptions::none()).compile_whole(&g, "u");
+        assert_eq!(unfused.kernel_count(), g.compute_ids().len());
+        let fused = Compiler::new(CompileOptions::full()).compile_whole(&g, "f");
+        assert!(fused.kernel_count() < unfused.kernel_count());
+    }
+
+    #[test]
+    fn optimized_graph_lowering_runs() {
+        let (g, x) = messy_graph();
+        let c = Compiler::default();
+        let (g2, _) = c.optimize(&g).unwrap();
+        let sg = c.compile_whole(&g2, "m");
+        let t = Tensor::randn(vec![4], 1.0, 3);
+        let x2 = g2.input_ids()[0];
+        let out = sg.execute(&g2, &HashMap::from([(x2, t.clone())])).unwrap();
+        let want = g.eval(&HashMap::from([(x, t)])).unwrap();
+        assert!(out[&g2.outputs()[0]].approx_eq(&want[0], 1e-6));
+    }
+}

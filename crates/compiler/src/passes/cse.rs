@@ -1,0 +1,108 @@
+//! Common subexpression elimination.
+//!
+//! Two operator nodes with identical operators and identical (remapped)
+//! operand lists compute the same value; keep one. This matters for DUET's
+//! shared-node handling: the partitioner *replicates* shared placeholders
+//! across branches (§IV-A), and CSE ahead of partitioning guarantees the
+//! graph it sees has no accidental duplicates inflating subgraph costs.
+
+use std::collections::HashMap;
+
+use duet_ir::{Graph, GraphError, NodeId, Op};
+
+use super::rewrite::GraphRewriter;
+
+/// Deduplicate structurally identical operator nodes. Returns the new
+/// graph and how many nodes were merged away.
+pub fn eliminate_common_subexpressions(graph: &Graph) -> Result<(Graph, usize), GraphError> {
+    let mut rw = GraphRewriter::new(graph);
+    let mut seen: HashMap<String, NodeId> = HashMap::new();
+    let mut merged = 0;
+    for node in graph.nodes() {
+        match node.op {
+            Op::Input | Op::Constant => {
+                rw.copy(graph, node.id)?;
+            }
+            _ => {
+                let mapped: Vec<NodeId> = node.inputs.iter().map(|&i| rw.mapped(i)).collect();
+                // Debug formatting of Op includes every attribute (stride,
+                // axis, …), giving a precise structural key.
+                let key = format!("{:?}|{:?}", node.op, mapped);
+                if let Some(&existing) = seen.get(&key) {
+                    rw.alias(node.id, existing);
+                    merged += 1;
+                } else {
+                    let id = rw.copy(graph, node.id)?;
+                    seen.insert(key, id);
+                }
+            }
+        }
+    }
+    Ok((rw.finish(graph)?, merged))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use duet_tensor::Tensor;
+    use std::collections::HashMap as Map;
+
+    #[test]
+    fn merges_identical_siblings() {
+        let mut g = Graph::new("t");
+        let x = g.add_input("x", vec![4]);
+        let r1 = g.add_op("r1", Op::Relu, &[x]).unwrap();
+        let r2 = g.add_op("r2", Op::Relu, &[x]).unwrap();
+        let s = g.add_op("s", Op::Add, &[r1, r2]).unwrap();
+        g.mark_output(s).unwrap();
+        let (g2, merged) = eliminate_common_subexpressions(&g).unwrap();
+        assert_eq!(merged, 1);
+        assert_eq!(g2.compute_ids().len(), 2); // one relu + add
+        let t = Tensor::randn(vec![4], 1.0, 1);
+        let o1 = g.eval(&Map::from([(x, t.clone())])).unwrap();
+        let o2 = g2.eval(&Map::from([(g2.input_ids()[0], t)])).unwrap();
+        assert!(o1[0].approx_eq(&o2[0], 1e-6));
+    }
+
+    #[test]
+    fn attribute_differences_prevent_merging() {
+        let mut g = Graph::new("t");
+        let x = g.add_input("x", vec![4]);
+        let a = g.add_op("a", Op::Scale { factor: 2.0 }, &[x]).unwrap();
+        let b = g.add_op("b", Op::Scale { factor: 3.0 }, &[x]).unwrap();
+        let s = g.add_op("s", Op::Add, &[a, b]).unwrap();
+        g.mark_output(s).unwrap();
+        let (_, merged) = eliminate_common_subexpressions(&g).unwrap();
+        assert_eq!(merged, 0);
+    }
+
+    #[test]
+    fn cascading_merges() {
+        // Duplicate subtrees of depth 2 collapse fully.
+        let mut g = Graph::new("t");
+        let x = g.add_input("x", vec![4]);
+        let r1 = g.add_op("r1", Op::Relu, &[x]).unwrap();
+        let t1 = g.add_op("t1", Op::Tanh, &[r1]).unwrap();
+        let r2 = g.add_op("r2", Op::Relu, &[x]).unwrap();
+        let t2 = g.add_op("t2", Op::Tanh, &[r2]).unwrap();
+        let s = g.add_op("s", Op::Add, &[t1, t2]).unwrap();
+        g.mark_output(s).unwrap();
+        let (g2, merged) = eliminate_common_subexpressions(&g).unwrap();
+        assert_eq!(merged, 2);
+        assert_eq!(g2.compute_ids().len(), 3);
+    }
+
+    #[test]
+    fn different_operand_order_not_merged() {
+        // Sub(a,b) != Sub(b,a); operand order is part of the key.
+        let mut g = Graph::new("t");
+        let x = g.add_input("x", vec![4]);
+        let y = g.add_input("y", vec![4]);
+        let d1 = g.add_op("d1", Op::Sub, &[x, y]).unwrap();
+        let d2 = g.add_op("d2", Op::Sub, &[y, x]).unwrap();
+        let s = g.add_op("s", Op::Add, &[d1, d2]).unwrap();
+        g.mark_output(s).unwrap();
+        let (_, merged) = eliminate_common_subexpressions(&g).unwrap();
+        assert_eq!(merged, 0);
+    }
+}

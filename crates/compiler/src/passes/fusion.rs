@@ -1,0 +1,184 @@
+//! Operator fusion grouping.
+//!
+//! Fusion is the graph-level optimization the paper leans on hardest: it is
+//! why DUET partitions *coarsely* — fine-grained (per-operator) partitions
+//! destroy fusion opportunities and with them single-device efficiency
+//! (§III-B, opportunity 3). Grouping here follows the classic
+//! producer-epilogue rule TVM applies:
+//!
+//! * an elementwise operator (ReLU, bias-add, residual add, …) fuses into
+//!   the group of its unique single-consumer producer;
+//! * an inference batch-norm fuses into the convolution that feeds it;
+//! * everything else anchors a fresh kernel.
+//!
+//! Fusion changes *cost*, not semantics: members of a group still execute
+//! their own kernels numerically, but the group is priced as one kernel
+//! launch whose intermediate tensors never travel through memory
+//! ([`duet_ir::CostProfile::absorb_epilogue`]).
+
+use std::collections::{HashMap, HashSet};
+
+use duet_ir::{Graph, NodeId, Op};
+
+/// Partition `nodes` (compute nodes of one subgraph, any order) into fused
+/// kernel groups. Returns groups in topological order; each group's first
+/// element is its anchor and members are topologically ordered.
+pub fn fuse_groups(graph: &Graph, nodes: &[NodeId]) -> Vec<Vec<NodeId>> {
+    let in_set: HashSet<NodeId> = nodes.iter().copied().collect();
+    let mut sorted: Vec<NodeId> = nodes.to_vec();
+    sorted.sort_unstable();
+
+    let mut group_of: HashMap<NodeId, usize> = HashMap::new();
+    let mut groups: Vec<Vec<NodeId>> = Vec::new();
+    for &id in &sorted {
+        let node = graph.node(id);
+        let fused = fusion_producer(graph, &in_set, id).and_then(|p| {
+            // Producer must already sit in a group (always true in topo
+            // order) and this op must be an epilogue candidate for it.
+            let pg = *group_of.get(&p)?;
+            let pop = &graph.node(p).op;
+            let ok = node.op.is_fusable_elementwise()
+                || (matches!(node.op, Op::BatchNorm2d) && matches!(pop, Op::Conv2d { .. }));
+            ok.then_some(pg)
+        });
+        match fused {
+            Some(g) => {
+                groups[g].push(id);
+                group_of.insert(id, g);
+            }
+            None => {
+                group_of.insert(id, groups.len());
+                groups.push(vec![id]);
+            }
+        }
+    }
+    groups
+}
+
+/// The unique in-set producer of `id` whose *only* consumer is `id`
+/// (so its output never needs materialising), if any.
+fn fusion_producer(graph: &Graph, in_set: &HashSet<NodeId>, id: NodeId) -> Option<NodeId> {
+    let mut found = None;
+    for &i in &graph.node(id).inputs {
+        let p = graph.node(i);
+        if matches!(p.op, Op::Input | Op::Constant) || !in_set.contains(&i) {
+            continue;
+        }
+        if p.outputs.len() == 1 && p.outputs[0] == id {
+            if found.is_some() {
+                // Two fusable edges — ambiguous; pick the first (both are
+                // single-consumer so either choice is valid; determinism
+                // matters more than optimality here).
+                continue;
+            }
+            found = Some(i);
+        }
+    }
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use duet_ir::GraphBuilder;
+
+    #[test]
+    fn conv_bn_relu_fuses_to_one_group() {
+        let mut b = GraphBuilder::new("t", 1);
+        let x = b.input("x", vec![1, 3, 8, 8]);
+        let y = b.conv_bn_relu("c", x, 4, 3, 1, 1, true).unwrap();
+        let g = b.finish(&[y]).unwrap();
+        let groups = fuse_groups(&g, &g.compute_ids());
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].len(), 3); // conv, bn, relu
+        assert!(matches!(g.node(groups[0][0]).op, Op::Conv2d { .. }));
+    }
+
+    #[test]
+    fn linear_relu_fuses() {
+        let mut b = GraphBuilder::new("t", 1);
+        let x = b.input("x", vec![1, 8]);
+        let y = b.dense("fc", x, 4, Some(Op::Relu)).unwrap();
+        let g = b.finish(&[y]).unwrap();
+        let groups = fuse_groups(&g, &g.compute_ids());
+        assert_eq!(groups.len(), 1);
+    }
+
+    #[test]
+    fn fanout_blocks_fusion() {
+        // relu's producer feeds two consumers → relu cannot fuse.
+        let mut b = GraphBuilder::new("t", 1);
+        let x = b.input("x", vec![1, 8]);
+        let fc = b.dense("fc", x, 8, None).unwrap();
+        let r = b.op("r", Op::Relu, &[fc]).unwrap();
+        let t = b.op("t", Op::Tanh, &[fc]).unwrap();
+        let s = b.op("s", Op::Add, &[r, t]).unwrap();
+        let g = b.finish(&[s]).unwrap();
+        let groups = fuse_groups(&g, &g.compute_ids());
+        // fc alone; relu alone; tanh alone (not fusable-elementwise? tanh
+        // is); but fc has fanout 2 so neither fuses into it. The add fuses
+        // into whichever single-consumer branch it closes.
+        let fc_group = groups.iter().find(|grp| grp.contains(&fc)).unwrap();
+        assert_eq!(fc_group.len(), 1);
+    }
+
+    #[test]
+    fn residual_add_fuses_into_conv_branch() {
+        let mut b = GraphBuilder::new("t", 1);
+        let x = b.input("x", vec![1, 4, 8, 8]);
+        let c1 = b.conv_bn_relu("c1", x, 4, 3, 1, 1, true).unwrap();
+        let c2 = b.conv_bn_relu("c2", c1, 4, 3, 1, 1, false).unwrap();
+        // residual: add(c2, c1) — c1 has fanout 2 (c2's conv and the add),
+        // c2 has fanout 1 → add fuses into c2's group.
+        let s = b.op("res", Op::Add, &[c2, c1]).unwrap();
+        let y = b.op("out_relu", Op::Relu, &[s]).unwrap();
+        let g = b.finish(&[y]).unwrap();
+        let groups = fuse_groups(&g, &g.compute_ids());
+        assert_eq!(groups.len(), 2, "{groups:?}");
+        let g2 = groups.iter().find(|grp| grp.contains(&s)).unwrap();
+        assert!(g2.contains(&y), "trailing relu joins the same group");
+    }
+
+    #[test]
+    fn boundary_of_subgraph_blocks_fusion() {
+        // When the producer is outside the node set, the consumer anchors
+        // its own kernel (its input arrives over the subgraph boundary).
+        let mut b = GraphBuilder::new("t", 1);
+        let x = b.input("x", vec![1, 8]);
+        let fc = b.dense("fc", x, 4, None).unwrap();
+        let r = b.op("r", Op::Relu, &[fc]).unwrap();
+        let g = b.finish(&[r]).unwrap();
+        let groups = fuse_groups(&g, &[r]);
+        assert_eq!(groups, vec![vec![r]]);
+    }
+
+    #[test]
+    fn anchors_stay_separate() {
+        // Two back-to-back linears never fuse (both are anchors).
+        let mut b = GraphBuilder::new("t", 1);
+        let x = b.input("x", vec![1, 8]);
+        let a = b.dense("fc1", x, 8, None).unwrap();
+        let y = b.dense("fc2", a, 8, None).unwrap();
+        let g = b.finish(&[y]).unwrap();
+        let groups = fuse_groups(&g, &g.compute_ids());
+        assert_eq!(groups.len(), 2);
+    }
+
+    #[test]
+    fn groups_cover_exactly_the_node_set() {
+        let mut b = GraphBuilder::new("t", 1);
+        let x = b.input("x", vec![1, 3, 16, 16]);
+        let c = b.conv_bn_relu("c", x, 8, 3, 1, 1, true).unwrap();
+        let p = b.op("pool", Op::MaxPool2d { window: 2, stride: 2 }, &[c]).unwrap();
+        let gpool = b.op("gap", Op::GlobalAvgPool2d, &[p]).unwrap();
+        let y = b.dense("head", gpool, 4, None).unwrap();
+        let g = b.finish(&[y]).unwrap();
+        let ids = g.compute_ids();
+        let groups = fuse_groups(&g, &ids);
+        let mut flat: Vec<NodeId> = groups.iter().flatten().copied().collect();
+        flat.sort_unstable();
+        let mut want = ids.clone();
+        want.sort_unstable();
+        assert_eq!(flat, want);
+    }
+}

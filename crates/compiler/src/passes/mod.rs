@@ -1,0 +1,17 @@
+//! Graph-level optimization passes.
+//!
+//! Passes are whole-graph rewrites: they build a fresh [`Graph`] and an
+//! old→new node map, because `Graph` maintains its topological invariant
+//! by being append-only. [`rewrite::GraphRewriter`] carries the shared
+//! bookkeeping.
+
+pub mod constant_fold;
+pub mod cse;
+pub mod dce;
+pub mod fusion;
+pub mod rewrite;
+
+pub use constant_fold::fold_constants;
+pub use cse::eliminate_common_subexpressions;
+pub use dce::eliminate_dead_code;
+pub use fusion::fuse_groups;

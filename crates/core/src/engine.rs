@@ -1,0 +1,544 @@
+//! The `Duet` engine facade (paper Fig. 6).
+//!
+//! `DuetBuilder::build` runs the full offline pipeline on a pre-trained
+//! graph:
+//!
+//! 1. graph-level compilation (fold/CSE/DCE),
+//! 2. coarse-grained multi-phase partitioning,
+//! 3. per-subgraph lowering with fusion,
+//! 4. compiler-aware profiling on both device models,
+//! 5. subgraph scheduling under the chosen policy,
+//! 6. the single-device **fallback** check: if heterogeneous execution
+//!    does not beat the best single device (e.g. ResNet, §VI-E), DUET
+//!    "falls back to the original best-performing single device
+//!    execution".
+//!
+//! The resulting [`Duet`] value can execute inferences (threaded
+//! heterogeneous executor), report its placement (Table II), and measure
+//! latency distributions (Fig. 11/12).
+
+use std::collections::HashMap;
+
+use duet_compiler::{CompileOptions, Compiler};
+use duet_device::{DeviceKind, SystemModel};
+use duet_ir::{Graph, GraphError, NodeId};
+use duet_runtime::{
+    measure_latency, measure_stats, HeterogeneousExecutor, LatencyStats, Placed, Profiler,
+};
+use duet_tensor::Tensor;
+
+use crate::partition::{partition, partition_per_operator, Partition, Phase};
+use crate::plan::{fingerprint, PlanError, PlannedSubgraph, SchedulePlan};
+use crate::report::{PlacementReport, SubgraphRow};
+use crate::sched::{self, SchedulePolicy, SubgraphUnit};
+
+/// Errors from engine construction.
+#[derive(Debug)]
+pub enum EngineError {
+    /// Graph optimization or compilation failed.
+    Graph(GraphError),
+    /// A supplied schedule plan did not match the model.
+    Plan(PlanError),
+}
+
+impl From<GraphError> for EngineError {
+    fn from(e: GraphError) -> Self {
+        EngineError::Graph(e)
+    }
+}
+
+impl From<PlanError> for EngineError {
+    fn from(e: PlanError) -> Self {
+        EngineError::Plan(e)
+    }
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Graph(e) => write!(f, "{e}"),
+            EngineError::Plan(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Partitioning granularity (the coarse-vs-fine ablation of §III-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Granularity {
+    /// The paper's coarse multi-phase partition (default).
+    #[default]
+    Coarse,
+    /// One subgraph per operator — fusion scope destroyed, every edge a
+    /// potential transfer. Exists to quantify why DUET stays coarse.
+    PerOperator,
+    /// Multi-level partitioning (footnote-1 future work): multi-path
+    /// branches recursively split into sub-phases, up to the given depth;
+    /// branches smaller than 6 nodes stay whole.
+    Nested { depth: usize },
+}
+
+/// Builder for [`Duet`].
+#[derive(Debug, Clone)]
+pub struct DuetBuilder {
+    system: SystemModel,
+    compile_options: CompileOptions,
+    policy: SchedulePolicy,
+    profile_runs: usize,
+    profile_warmup: usize,
+    allow_fallback: bool,
+    min_gain: f64,
+    granularity: Granularity,
+}
+
+impl Default for DuetBuilder {
+    fn default() -> Self {
+        DuetBuilder {
+            system: SystemModel::paper_server(),
+            compile_options: CompileOptions::full(),
+            policy: SchedulePolicy::GreedyCorrection,
+            profile_runs: 500,
+            profile_warmup: 50,
+            allow_fallback: true,
+            min_gain: 0.02,
+            granularity: Granularity::Coarse,
+        }
+    }
+}
+
+impl DuetBuilder {
+    /// Target system model (defaults to the paper's server).
+    pub fn system(mut self, system: SystemModel) -> Self {
+        self.system = system;
+        self
+    }
+
+    /// Compiler configuration (defaults to all passes on).
+    pub fn compile_options(mut self, options: CompileOptions) -> Self {
+        self.compile_options = options;
+        self
+    }
+
+    /// Scheduling policy (defaults to greedy-correction).
+    pub fn policy(mut self, policy: SchedulePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Profiling micro-benchmark repetitions.
+    pub fn profile_runs(mut self, runs: usize, warmup: usize) -> Self {
+        self.profile_runs = runs;
+        self.profile_warmup = warmup;
+        self
+    }
+
+    /// Disable the single-device fallback (used by ablations that want to
+    /// observe the raw heterogeneous schedule).
+    pub fn no_fallback(mut self) -> Self {
+        self.allow_fallback = false;
+        self
+    }
+
+    /// Minimum relative improvement heterogeneous execution must deliver
+    /// over the best single device to be kept (default 2%). Sub-threshold
+    /// "wins" are measurement noise plus avoidable PCIe traffic, so DUET
+    /// falls back — this is what keeps ResNet on one device (§VI-E).
+    pub fn min_gain(mut self, gain: f64) -> Self {
+        self.min_gain = gain;
+        self
+    }
+
+    /// Partitioning granularity (defaults to the paper's coarse phases).
+    pub fn granularity(mut self, granularity: Granularity) -> Self {
+        self.granularity = granularity;
+        self
+    }
+
+    /// Run the offline pipeline and return a ready engine.
+    pub fn build(self, model: &Graph) -> Result<Duet, GraphError> {
+        let compiler = Compiler::new(self.compile_options);
+        let (graph, _stats) = compiler.optimize(model)?;
+
+        let part = match self.granularity {
+            Granularity::Coarse => partition(&graph),
+            Granularity::PerOperator => partition_per_operator(&graph),
+            Granularity::Nested { depth } => {
+                crate::partition::partition_nested(&graph, depth, 6)
+            }
+        };
+        let subgraphs = part.compile(&graph, &compiler);
+        let profiler = Profiler::new(self.system.clone())
+            .with_runs(self.profile_runs, self.profile_warmup);
+        let profiles = profiler.profile_all(&graph, &subgraphs);
+        let units = sched::make_units(&part, subgraphs, profiles);
+
+        let devices = sched::schedule(&graph, &units, &self.system, self.policy);
+        let hetero_placed = sched::to_placed(&units, &devices);
+        let hetero_latency = measure_latency(&graph, &hetero_placed, &self.system);
+
+        // Single-device baselines use whole-graph compilation (maximum
+        // fusion scope — the best the compiler can do on one device).
+        let whole = compiler.compile_whole(&graph, graph.name.clone());
+        let single = |d: DeviceKind| -> (f64, Vec<Placed>) {
+            let placed = vec![Placed { sg: whole.clone(), device: d }];
+            (measure_latency(&graph, &placed, &self.system), placed)
+        };
+        let (cpu_only_us, cpu_placed) = single(DeviceKind::Cpu);
+        let (gpu_only_us, gpu_placed) = single(DeviceKind::Gpu);
+
+        let best_single = cpu_only_us.min(gpu_only_us);
+        let fallback = if self.allow_fallback
+            && hetero_latency > best_single * (1.0 - self.min_gain)
+        {
+            Some(if cpu_only_us <= gpu_only_us { DeviceKind::Cpu } else { DeviceKind::Gpu })
+        } else {
+            None
+        };
+        let (placed, latency_us) = match fallback {
+            Some(DeviceKind::Cpu) => (cpu_placed, cpu_only_us),
+            Some(DeviceKind::Gpu) => (gpu_placed, gpu_only_us),
+            None => (hetero_placed, hetero_latency),
+        };
+
+        Ok(Duet {
+            graph,
+            units,
+            devices,
+            placed,
+            latency_us,
+            cpu_only_us,
+            gpu_only_us,
+            fallback,
+            system: self.system,
+        })
+    }
+
+    /// Instantiate an engine from a previously exported [`SchedulePlan`],
+    /// skipping the scheduler entirely (the production fast path: the
+    /// offline decision ships next to the model).
+    ///
+    /// The plan is validated against the optimized graph's structural
+    /// fingerprint; weight changes are fine, architecture changes are not.
+    pub fn build_with_plan(
+        self,
+        model: &Graph,
+        plan: &SchedulePlan,
+    ) -> Result<Duet, EngineError> {
+        let compiler = Compiler::new(self.compile_options);
+        let (graph, _) = compiler.optimize(model)?;
+        plan.validate_against(&graph)?;
+
+        // Reconstruct phases from the plan (grouped by phase index).
+        let mut phases: Vec<Phase> = Vec::new();
+        for p in &plan.subgraphs {
+            if phases.len() <= p.phase {
+                phases.resize_with(p.phase + 1, || Phase {
+                    kind: p.kind,
+                    subgraphs: Vec::new(),
+                });
+            }
+            phases[p.phase].kind = p.kind;
+            phases[p.phase].subgraphs.push(p.nodes.clone());
+        }
+        let part = Partition { phases };
+        let subgraphs: Vec<_> = plan
+            .subgraphs
+            .iter()
+            .map(|p| compiler.compile_nodes(&graph, &p.nodes, p.name.clone()))
+            .collect();
+        let profiler = Profiler::new(self.system.clone())
+            .with_runs(self.profile_runs, self.profile_warmup);
+        let profiles = profiler.profile_all(&graph, &subgraphs);
+        let units = sched::make_units(&part, subgraphs, profiles);
+        let devices: Vec<DeviceKind> = plan.subgraphs.iter().map(|p| p.device).collect();
+        let hetero_placed = sched::to_placed(&units, &devices);
+        let hetero_latency = measure_latency(&graph, &hetero_placed, &self.system);
+
+        let whole = compiler.compile_whole(&graph, graph.name.clone());
+        let single = |d: DeviceKind| -> (f64, Vec<Placed>) {
+            let placed = vec![Placed { sg: whole.clone(), device: d }];
+            (measure_latency(&graph, &placed, &self.system), placed)
+        };
+        let (cpu_only_us, cpu_placed) = single(DeviceKind::Cpu);
+        let (gpu_only_us, gpu_placed) = single(DeviceKind::Gpu);
+        let (placed, latency_us) = match plan.fallback {
+            Some(DeviceKind::Cpu) => (cpu_placed, cpu_only_us),
+            Some(DeviceKind::Gpu) => (gpu_placed, gpu_only_us),
+            None => (hetero_placed, hetero_latency),
+        };
+        Ok(Duet {
+            graph,
+            units,
+            devices,
+            placed,
+            latency_us,
+            cpu_only_us,
+            gpu_only_us,
+            fallback: plan.fallback,
+            system: self.system,
+        })
+    }
+}
+
+/// A scheduled, ready-to-run DUET engine for one model.
+#[derive(Debug)]
+pub struct Duet {
+    graph: Graph,
+    units: Vec<SubgraphUnit>,
+    devices: Vec<DeviceKind>,
+    placed: Vec<Placed>,
+    latency_us: f64,
+    cpu_only_us: f64,
+    gpu_only_us: f64,
+    fallback: Option<DeviceKind>,
+    system: SystemModel,
+}
+
+impl Duet {
+    /// Start building an engine.
+    pub fn builder() -> DuetBuilder {
+        DuetBuilder::default()
+    }
+
+    /// The optimized graph the engine executes (node ids refer to this
+    /// graph, not the one passed to `build`).
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The active schedule (fallback-resolved).
+    pub fn placed(&self) -> &[Placed] {
+        &self.placed
+    }
+
+    /// The system model scheduled against.
+    pub fn system(&self) -> &SystemModel {
+        &self.system
+    }
+
+    /// Whether the engine fell back to single-device execution.
+    pub fn fallback_device(&self) -> Option<DeviceKind> {
+        self.fallback
+    }
+
+    /// Scheduled (noise-free) end-to-end latency, microseconds.
+    pub fn latency_us(&self) -> f64 {
+        self.latency_us
+    }
+
+    /// Noise-free latency of single-device execution.
+    pub fn single_device_latency_us(&self, device: DeviceKind) -> f64 {
+        match device {
+            DeviceKind::Cpu => self.cpu_only_us,
+            DeviceKind::Gpu => self.gpu_only_us,
+        }
+    }
+
+    /// Execute one inference on the threaded heterogeneous engine.
+    pub fn run(
+        &self,
+        feeds: &HashMap<NodeId, Tensor>,
+    ) -> Result<duet_runtime::executor::ExecutionOutcome, GraphError> {
+        HeterogeneousExecutor::new(&self.graph, &self.placed, self.system.clone()).run(feeds)
+    }
+
+    /// Measure the latency distribution over repeated (noisy, seeded)
+    /// simulated runs — the paper's 5000-run methodology.
+    pub fn measure(&self, runs: usize, seed: u64) -> LatencyStats {
+        measure_stats(&self.graph, &self.placed, &self.system, runs, seed)
+    }
+
+    /// Export the scheduling decision as a serializable plan (the
+    /// offline phase's deployment artifact).
+    pub fn export_plan(&self) -> SchedulePlan {
+        SchedulePlan {
+            model: self.graph.name.clone(),
+            fingerprint: fingerprint(&self.graph),
+            subgraphs: self
+                .units
+                .iter()
+                .zip(&self.devices)
+                .map(|(u, &device)| PlannedSubgraph {
+                    name: u.sg.name.clone(),
+                    phase: u.phase,
+                    kind: u.kind,
+                    nodes: u.sg.node_ids.clone(),
+                    device,
+                })
+                .collect(),
+            fallback: self.fallback,
+            expected_latency_us: self.latency_us,
+        }
+    }
+
+    /// The Table II report: per-subgraph profiled costs and placements.
+    pub fn placement_report(&self) -> PlacementReport {
+        let subgraphs = self
+            .units
+            .iter()
+            .zip(&self.devices)
+            .map(|(u, &device)| SubgraphRow {
+                name: u.sg.name.clone(),
+                phase: u.phase,
+                kind: u.kind,
+                cpu_us: u.profile.cpu_time_us,
+                gpu_us: u.profile.gpu_time_us,
+                device: self.fallback.unwrap_or(device),
+                input_bytes: u.profile.input_bytes,
+                output_bytes: u.profile.output_bytes,
+                kernels: u.profile.kernel_count,
+            })
+            .collect();
+        PlacementReport {
+            model: self.graph.name.clone(),
+            subgraphs,
+            latency_us: self.latency_us,
+            cpu_only_us: self.cpu_only_us,
+            gpu_only_us: self.gpu_only_us,
+            fallback: self.fallback,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use duet_models::{
+        input_feeds, mtdnn, resnet, siamese, wide_and_deep, MtDnnConfig, ResNetConfig,
+        SiameseConfig, WideAndDeepConfig,
+    };
+
+    #[test]
+    fn wide_and_deep_schedules_heterogeneously_and_wins() {
+        let g = wide_and_deep(&WideAndDeepConfig::default());
+        let duet = Duet::builder().build(&g).unwrap();
+        assert!(duet.fallback_device().is_none(), "W&D should co-execute");
+        let report = duet.placement_report();
+        // Table II row 1: RNN on CPU, CNN on GPU.
+        let rnn = report.subgraphs.iter().find(|r| r.name.starts_with("rnn")).unwrap();
+        let cnn = report.subgraphs.iter().find(|r| r.name.starts_with("cnn@")).unwrap();
+        assert_eq!(rnn.device, DeviceKind::Cpu);
+        assert_eq!(cnn.device, DeviceKind::Gpu);
+        assert!(report.speedup_vs_best_single() > 1.2, "{}", report.speedup_vs_best_single());
+    }
+
+    #[test]
+    fn resnet_falls_back_to_gpu() {
+        let g = resnet(&ResNetConfig::default());
+        let duet = Duet::builder().build(&g).unwrap();
+        // §VI-E: sequential CNN → DUET offers the best single device (GPU).
+        assert_eq!(duet.fallback_device(), Some(DeviceKind::Gpu));
+        assert_eq!(duet.latency_us(), duet.single_device_latency_us(DeviceKind::Gpu));
+    }
+
+    #[test]
+    fn siamese_and_mtdnn_beat_single_device() {
+        for g in [siamese(&SiameseConfig::default()), mtdnn(&MtDnnConfig::default())] {
+            let duet = Duet::builder().build(&g).unwrap();
+            assert!(duet.fallback_device().is_none(), "{} should co-execute", g.name);
+            let best =
+                duet.single_device_latency_us(DeviceKind::Cpu)
+                    .min(duet.single_device_latency_us(DeviceKind::Gpu));
+            assert!(duet.latency_us() < best, "{}", g.name);
+        }
+    }
+
+    #[test]
+    fn run_produces_reference_results() {
+        let g = wide_and_deep(&WideAndDeepConfig::small());
+        let duet = Duet::builder().no_fallback().build(&g).unwrap();
+        let feeds = input_feeds(duet.graph(), 5);
+        let outcome = duet.run(&feeds).unwrap();
+        let want = duet.graph().eval(&feeds).unwrap();
+        let out_id = duet.graph().outputs()[0];
+        assert!(outcome.outputs[&out_id].approx_eq(&want[0], 1e-5));
+    }
+
+    #[test]
+    fn measure_returns_tail_statistics() {
+        let g = siamese(&SiameseConfig::default());
+        let duet = Duet::builder().build(&g).unwrap();
+        let stats = duet.measure(500, 1);
+        assert!(stats.p999() >= stats.p50());
+        assert!((stats.p50() - duet.latency_us()).abs() / duet.latency_us() < 0.1);
+    }
+
+    #[test]
+    fn pinned_policy_respected() {
+        let g = siamese(&SiameseConfig::default());
+        let duet = Duet::builder()
+            .policy(SchedulePolicy::Pin(DeviceKind::Gpu))
+            .no_fallback()
+            .build(&g)
+            .unwrap();
+        assert!(duet.placed().iter().all(|p| p.device == DeviceKind::Gpu));
+    }
+
+    #[test]
+    fn per_operator_granularity_never_beats_coarse() {
+        for g in [wide_and_deep(&WideAndDeepConfig::default()), siamese(&SiameseConfig::default())]
+        {
+            let coarse = Duet::builder().no_fallback().build(&g).unwrap();
+            let fine = Duet::builder()
+                .granularity(Granularity::PerOperator)
+                .no_fallback()
+                .build(&g)
+                .unwrap();
+            assert!(
+                coarse.latency_us() <= fine.latency_us() * 1.001,
+                "{}: coarse {} vs per-op {}",
+                g.name,
+                coarse.latency_us(),
+                fine.latency_us()
+            );
+            assert!(fine.placed().len() > coarse.placed().len());
+        }
+    }
+
+    #[test]
+    fn flops_proxy_policy_degrades_latency() {
+        let g = wide_and_deep(&WideAndDeepConfig::default());
+        let proxy = Duet::builder()
+            .policy(SchedulePolicy::FlopsProxy)
+            .no_fallback()
+            .build(&g)
+            .unwrap();
+        let duet = Duet::builder().no_fallback().build(&g).unwrap();
+        assert!(proxy.latency_us() > 1.5 * duet.latency_us());
+    }
+
+    #[test]
+    fn cpu_lanes_help_twin_tower_models() {
+        let g = siamese(&SiameseConfig::default());
+        let base = Duet::builder().build(&g).unwrap().latency_us();
+        let mut sys = duet_device::SystemModel::paper_server();
+        sys.cpu = sys.cpu.with_lanes(2, 0.7);
+        let lanes = Duet::builder().system(sys).build(&g).unwrap().latency_us();
+        assert!(lanes < base, "lanes {lanes} < base {base}");
+    }
+
+    #[test]
+    fn mobilenet_is_a_fallback_model() {
+        use duet_models::{mobilenet, MobileNetConfig};
+        let g = mobilenet(&MobileNetConfig::default());
+        let duet = Duet::builder().build(&g).unwrap();
+        assert_eq!(duet.fallback_device(), Some(DeviceKind::Gpu));
+    }
+
+    #[test]
+    fn greedy_correction_matches_ideal_on_small_models() {
+        // The paper verifies empirically that greedy-correction finds the
+        // optimum when enumeration is feasible.
+        for g in [siamese(&SiameseConfig::default()), wide_and_deep(&WideAndDeepConfig::default())]
+        {
+            let gc = Duet::builder()
+                .policy(SchedulePolicy::GreedyCorrection)
+                .build(&g)
+                .unwrap();
+            let ideal = Duet::builder().policy(SchedulePolicy::Ideal).build(&g).unwrap();
+            let rel = (gc.latency_us() - ideal.latency_us()) / ideal.latency_us();
+            assert!(rel.abs() < 0.01, "{}: gc {} vs ideal {}", g.name, gc.latency_us(), ideal.latency_us());
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Serializable schedule plans.
+//!
+//! DUET's pipeline is split offline/online: partitioning, compilation and
+//! profiling happen once at deployment time (§IV-B: "profiling is only
+//! done during the offline phase and is therefore a one-time cost"), and
+//! the serving process just executes the decided schedule. A
+//! [`SchedulePlan`] is that decision as data: which nodes form which
+//! subgraph, on which device — exportable to JSON next to the model and
+//! re-loadable without re-running the scheduler.
+//!
+//! Plans embed a structural fingerprint of the optimized graph, so
+//! loading a plan against a changed model fails loudly instead of
+//! silently mis-assigning subgraphs.
+
+use duet_device::DeviceKind;
+use duet_ir::{Graph, NodeId, Op};
+use serde::{Deserialize, Serialize};
+
+use crate::partition::PhaseKind;
+
+/// One subgraph's planned placement.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PlannedSubgraph {
+    pub name: String,
+    pub phase: usize,
+    pub kind: PhaseKind,
+    /// Node ids in the *optimized* graph.
+    pub nodes: Vec<NodeId>,
+    pub device: DeviceKind,
+}
+
+/// A complete, serializable scheduling decision for one model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SchedulePlan {
+    pub model: String,
+    /// Structural fingerprint of the optimized graph the plan was made
+    /// for (operators, shapes, edges — not weights).
+    pub fingerprint: u64,
+    pub subgraphs: Vec<PlannedSubgraph>,
+    /// `Some(device)` when the plan is a single-device fallback.
+    pub fallback: Option<DeviceKind>,
+    /// The latency the scheduler measured when the plan was made, us.
+    pub expected_latency_us: f64,
+}
+
+/// Why a plan could not be applied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// The plan was produced for a structurally different graph.
+    FingerprintMismatch { expected: u64, actual: u64 },
+    /// Plan subgraphs do not cover the graph's compute nodes exactly.
+    BadCoverage,
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::FingerprintMismatch { expected, actual } => write!(
+                f,
+                "plan fingerprint {expected:#x} does not match graph {actual:#x}"
+            ),
+            PlanError::BadCoverage => write!(f, "plan does not cover the graph's compute nodes"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// Structural fingerprint of a graph: FNV-style fold over every node's
+/// operator, shape and edges. Weights are excluded — re-trained weights
+/// keep the same schedule (costs depend on shapes, not values).
+pub fn fingerprint(graph: &Graph) -> u64 {
+    const PRIME: u64 = 0x100_0000_01b3;
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |v: u64| {
+        h ^= v;
+        h = h.wrapping_mul(PRIME);
+    };
+    for node in graph.nodes() {
+        for b in node.op.name().bytes() {
+            mix(b as u64);
+        }
+        // Attribute-bearing ops: include a debug render so stride/axis
+        // changes alter the fingerprint.
+        if !matches!(node.op, Op::Input | Op::Constant) {
+            for b in format!("{:?}", node.op).bytes() {
+                mix(b as u64);
+            }
+        }
+        for &d in node.shape.dims() {
+            mix(d as u64 + 1);
+        }
+        for &i in &node.inputs {
+            mix(i as u64 ^ 0x9e37_79b9);
+        }
+    }
+    for &o in graph.outputs() {
+        mix(o as u64 ^ 0x51ed);
+    }
+    h
+}
+
+impl SchedulePlan {
+    /// Verify this plan matches `graph` (fingerprint + exact coverage).
+    pub fn validate_against(&self, graph: &Graph) -> Result<(), PlanError> {
+        let actual = fingerprint(graph);
+        if actual != self.fingerprint {
+            return Err(PlanError::FingerprintMismatch {
+                expected: self.fingerprint,
+                actual,
+            });
+        }
+        let mut covered: Vec<NodeId> =
+            self.subgraphs.iter().flat_map(|s| s.nodes.iter().copied()).collect();
+        covered.sort_unstable();
+        if covered != graph.compute_ids() {
+            return Err(PlanError::BadCoverage);
+        }
+        Ok(())
+    }
+
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("plan serializes")
+    }
+
+    /// Parse from JSON.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use duet_ir::GraphBuilder;
+
+    fn graph(hidden: usize) -> Graph {
+        let mut b = GraphBuilder::new("m", 1);
+        let x = b.input("x", vec![1, 8]);
+        let y = b.dense("fc", x, hidden, Some(Op::Relu)).unwrap();
+        b.finish(&[y]).unwrap()
+    }
+
+    #[test]
+    fn fingerprint_stable_and_shape_sensitive() {
+        assert_eq!(fingerprint(&graph(16)), fingerprint(&graph(16)));
+        assert_ne!(fingerprint(&graph(16)), fingerprint(&graph(17)));
+    }
+
+    #[test]
+    fn fingerprint_ignores_weight_values() {
+        // Same structure, different seeds → same fingerprint.
+        let a = {
+            let mut b = GraphBuilder::new("m", 1);
+            let x = b.input("x", vec![1, 8]);
+            let y = b.dense("fc", x, 4, None).unwrap();
+            b.finish(&[y]).unwrap()
+        };
+        let b2 = {
+            let mut b = GraphBuilder::new("m", 999);
+            let x = b.input("x", vec![1, 8]);
+            let y = b.dense("fc", x, 4, None).unwrap();
+            b.finish(&[y]).unwrap()
+        };
+        assert_eq!(fingerprint(&a), fingerprint(&b2));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let plan = SchedulePlan {
+            model: "m".into(),
+            fingerprint: 42,
+            subgraphs: vec![PlannedSubgraph {
+                name: "rnn".into(),
+                phase: 0,
+                kind: PhaseKind::MultiPath,
+                nodes: vec![3, 4],
+                device: DeviceKind::Cpu,
+            }],
+            fallback: None,
+            expected_latency_us: 2400.0,
+        };
+        let back = SchedulePlan::from_json(&plan.to_json()).unwrap();
+        assert_eq!(back.subgraphs[0].nodes, vec![3, 4]);
+        assert_eq!(back.subgraphs[0].device, DeviceKind::Cpu);
+    }
+
+    #[test]
+    fn validate_catches_mismatch_and_bad_coverage() {
+        let g = graph(8);
+        let mut plan = SchedulePlan {
+            model: "m".into(),
+            fingerprint: fingerprint(&g),
+            subgraphs: vec![PlannedSubgraph {
+                name: "all".into(),
+                phase: 0,
+                kind: PhaseKind::Sequential,
+                nodes: g.compute_ids(),
+                device: DeviceKind::Gpu,
+            }],
+            fallback: None,
+            expected_latency_us: 1.0,
+        };
+        assert!(plan.validate_against(&g).is_ok());
+        assert!(matches!(
+            plan.validate_against(&graph(9)),
+            Err(PlanError::FingerprintMismatch { .. })
+        ));
+        plan.subgraphs[0].nodes.pop();
+        assert_eq!(plan.validate_against(&g), Err(PlanError::BadCoverage));
+    }
+}

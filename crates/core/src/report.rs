@@ -1,0 +1,157 @@
+//! Placement reporting — the data behind the paper's Table II
+//! (per-subgraph computation cost and final scheduling decisions).
+
+use duet_device::DeviceKind;
+
+use crate::partition::PhaseKind;
+
+/// One subgraph's profile and placement.
+#[derive(Debug, Clone)]
+pub struct SubgraphRow {
+    pub name: String,
+    pub phase: usize,
+    pub kind: PhaseKind,
+    /// Profiled mean cost on each device, microseconds.
+    pub cpu_us: f64,
+    pub gpu_us: f64,
+    /// Final device decision.
+    pub device: DeviceKind,
+    /// Boundary payloads, bytes.
+    pub input_bytes: f64,
+    pub output_bytes: f64,
+    /// Kernel launches after fusion.
+    pub kernels: usize,
+}
+
+/// Full placement report for one engine build.
+#[derive(Debug, Clone)]
+pub struct PlacementReport {
+    pub model: String,
+    pub subgraphs: Vec<SubgraphRow>,
+    /// Scheduled (or fallback) end-to-end latency, microseconds.
+    pub latency_us: f64,
+    /// Single-device baselines, microseconds.
+    pub cpu_only_us: f64,
+    pub gpu_only_us: f64,
+    /// `Some(device)` if DUET fell back to single-device execution.
+    pub fallback: Option<DeviceKind>,
+}
+
+impl PlacementReport {
+    /// Speedup over the best single device (>= 1 unless fallback, where
+    /// it is exactly 1 by construction).
+    pub fn speedup_vs_best_single(&self) -> f64 {
+        self.cpu_only_us.min(self.gpu_only_us) / self.latency_us
+    }
+
+    /// Names of subgraphs on a given device.
+    pub fn on_device(&self, device: DeviceKind) -> Vec<&str> {
+        self.subgraphs
+            .iter()
+            .filter(|r| r.device == device)
+            .map(|r| r.name.as_str())
+            .collect()
+    }
+}
+
+impl std::fmt::Display for PlacementReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "model: {}", self.model)?;
+        writeln!(
+            f,
+            "{:<16} {:>5} {:>10} {:>12} {:>12} {:>8} {:>10}",
+            "subgraph", "phase", "type", "cpu (ms)", "gpu (ms)", "device", "kernels"
+        )?;
+        for r in &self.subgraphs {
+            writeln!(
+                f,
+                "{:<16} {:>5} {:>10} {:>12.3} {:>12.3} {:>8} {:>10}",
+                r.name,
+                r.phase,
+                match r.kind {
+                    PhaseKind::Sequential => "seq",
+                    PhaseKind::MultiPath => "multi",
+                },
+                r.cpu_us / 1e3,
+                r.gpu_us / 1e3,
+                r.device.to_string(),
+                r.kernels
+            )?;
+        }
+        writeln!(
+            f,
+            "latency: {:.3} ms (cpu-only {:.3} ms, gpu-only {:.3} ms)",
+            self.latency_us / 1e3,
+            self.cpu_only_us / 1e3,
+            self.gpu_only_us / 1e3
+        )?;
+        match self.fallback {
+            Some(d) => writeln!(f, "decision: fallback to single-device {d}"),
+            None => writeln!(
+                f,
+                "decision: heterogeneous ({:.2}x vs best single device)",
+                self.speedup_vs_best_single()
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> PlacementReport {
+        PlacementReport {
+            model: "m".into(),
+            subgraphs: vec![
+                SubgraphRow {
+                    name: "rnn".into(),
+                    phase: 0,
+                    kind: PhaseKind::MultiPath,
+                    cpu_us: 2400.0,
+                    gpu_us: 6400.0,
+                    device: DeviceKind::Cpu,
+                    input_bytes: 1024.0,
+                    output_bytes: 256.0,
+                    kernels: 400,
+                },
+                SubgraphRow {
+                    name: "cnn".into(),
+                    phase: 0,
+                    kind: PhaseKind::MultiPath,
+                    cpu_us: 14900.0,
+                    gpu_us: 900.0,
+                    device: DeviceKind::Gpu,
+                    input_bytes: 600_000.0,
+                    output_bytes: 2048.0,
+                    kernels: 21,
+                },
+            ],
+            latency_us: 2600.0,
+            cpu_only_us: 17300.0,
+            gpu_only_us: 7300.0,
+            fallback: None,
+        }
+    }
+
+    #[test]
+    fn speedup_vs_best_single() {
+        let r = report();
+        assert!((r.speedup_vs_best_single() - 7300.0 / 2600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn on_device_filters() {
+        let r = report();
+        assert_eq!(r.on_device(DeviceKind::Cpu), vec!["rnn"]);
+        assert_eq!(r.on_device(DeviceKind::Gpu), vec!["cnn"]);
+    }
+
+    #[test]
+    fn display_renders_table() {
+        let s = report().to_string();
+        assert!(s.contains("rnn"));
+        assert!(s.contains("heterogeneous"));
+        assert!(s.contains("2.400"));
+    }
+}

@@ -1,0 +1,252 @@
+//! Greedy-correction scheduling (Algorithm 1).
+
+use duet_device::{DeviceKind, SystemModel};
+use duet_ir::Graph;
+
+use super::{placement_latency, SubgraphUnit};
+use crate::partition::PhaseKind;
+
+/// Relative improvement below which a correction move is considered noise.
+const EPS: f64 = 1e-9;
+/// Hard cap on correction iterations per phase (the loop converges long
+/// before this; the cap guards against measurement oscillation).
+const MAX_ROUNDS: usize = 64;
+
+/// Steps 1 + 2: critical-path-first greedy placement.
+pub fn greedy_placement(units: &[SubgraphUnit]) -> Vec<DeviceKind> {
+    let mut devices = vec![DeviceKind::Cpu; units.len()];
+    let phases: Vec<usize> = {
+        let mut p: Vec<usize> = units.iter().map(|u| u.phase).collect();
+        p.dedup();
+        p
+    };
+    for phase in phases {
+        let idxs: Vec<usize> =
+            (0..units.len()).filter(|&i| units[i].phase == phase).collect();
+        if units[idxs[0]].kind == PhaseKind::Sequential {
+            // Step 1, sequential phase: the chain is on the critical path
+            // by definition; give it its faster device.
+            for &i in &idxs {
+                devices[i] = units[i].profile.best_device();
+            }
+            continue;
+        }
+        // Step 1, multi-path phase: the costliest subgraph (cost =
+        // min(cpu, gpu)) joins the critical path on its faster device.
+        let crit = *idxs
+            .iter()
+            .max_by(|&&a, &&b| {
+                units[a]
+                    .profile
+                    .best_time()
+                    .total_cmp(&units[b].profile.best_time())
+            })
+            .expect("phase non-empty");
+        devices[crit] = units[crit].profile.best_device();
+        let mut load = [0.0f64; 2];
+        load[devices[crit] as usize] += units[crit].profile.time_on(devices[crit]);
+        // Step 2: remaining subgraphs in decreasing cost order, each to
+        // the device that least increases the phase makespan.
+        let mut rest: Vec<usize> = idxs.iter().copied().filter(|&i| i != crit).collect();
+        rest.sort_by(|&a, &b| {
+            units[b]
+                .profile
+                .best_time()
+                .total_cmp(&units[a].profile.best_time())
+        });
+        for i in rest {
+            let mut best = (f64::INFINITY, DeviceKind::Cpu);
+            for d in DeviceKind::both() {
+                let mut l = load;
+                l[d as usize] += units[i].profile.time_on(d);
+                let makespan = l[0].max(l[1]);
+                // Strict `<` keeps the CPU on ties (cheaper to reach).
+                if makespan < best.0 {
+                    best = (makespan, d);
+                }
+            }
+            devices[i] = best.1;
+            load[best.1 as usize] += units[i].profile.time_on(best.1);
+        }
+    }
+    devices
+}
+
+/// Step 3: per-multi-path-phase swap refinement against measured
+/// end-to-end latency.
+pub fn correct(
+    graph: &Graph,
+    units: &[SubgraphUnit],
+    system: &SystemModel,
+    mut devices: Vec<DeviceKind>,
+) -> Vec<DeviceKind> {
+    let mut t_old = placement_latency(graph, units, system, &devices);
+    let phases: Vec<usize> = {
+        let mut p: Vec<usize> = units.iter().map(|u| u.phase).collect();
+        p.dedup();
+        p
+    };
+    // The paper runs the correction once per multi-path layer; a model may
+    // have several such layers (§IV-C), so loop phases in order.
+    for phase in phases {
+        let idxs: Vec<usize> =
+            (0..units.len()).filter(|&i| units[i].phase == phase).collect();
+        if units[idxs[0]].kind != PhaseKind::MultiPath {
+            continue;
+        }
+        for _round in 0..MAX_ROUNDS {
+            // Enumerate single moves and pairwise swaps within the phase
+            // ("one of the subgraphs could be empty" — a single move is a
+            // swap against the empty subgraph).
+            let cpu_side: Vec<usize> =
+                idxs.iter().copied().filter(|&i| devices[i] == DeviceKind::Cpu).collect();
+            let gpu_side: Vec<usize> =
+                idxs.iter().copied().filter(|&i| devices[i] == DeviceKind::Gpu).collect();
+            let mut moves: Vec<Vec<usize>> = Vec::new();
+            for &i in cpu_side.iter().chain(gpu_side.iter()) {
+                moves.push(vec![i]);
+            }
+            for &i in &cpu_side {
+                for &j in &gpu_side {
+                    moves.push(vec![i, j]);
+                }
+            }
+            let mut best: Option<(f64, Vec<usize>)> = None;
+            for mv in moves {
+                for &i in &mv {
+                    devices[i] = devices[i].other();
+                }
+                let t_new = placement_latency(graph, units, system, &devices);
+                for &i in &mv {
+                    devices[i] = devices[i].other();
+                }
+                if t_new < t_old * (1.0 - EPS)
+                    && best.as_ref().map(|(b, _)| t_new < *b).unwrap_or(true)
+                {
+                    best = Some((t_new, mv));
+                }
+            }
+            match best {
+                Some((t_new, mv)) => {
+                    for &i in &mv {
+                        devices[i] = devices[i].other();
+                    }
+                    t_old = t_new;
+                }
+                None => break, // no improving move: converged for this phase
+            }
+        }
+    }
+    // Final global pass: single-subgraph moves across *all* phases,
+    // including sequential ones. Algorithm 1 only refines multi-path
+    // layers — sufficient when step 1 placed every sequential chain on
+    // its faster device, but a correction run from an arbitrary
+    // initialisation (the Random+Correction baseline of §VI-C) must also
+    // be able to repair a misplaced sequential phase.
+    for _round in 0..MAX_ROUNDS {
+        let mut best: Option<(f64, usize)> = None;
+        for i in 0..units.len() {
+            devices[i] = devices[i].other();
+            let t_new = placement_latency(graph, units, system, &devices);
+            devices[i] = devices[i].other();
+            if t_new < t_old * (1.0 - EPS)
+                && best.as_ref().map(|(b, _)| t_new < *b).unwrap_or(true)
+            {
+                best = Some((t_new, i));
+            }
+        }
+        match best {
+            Some((t_new, i)) => {
+                devices[i] = devices[i].other();
+                t_old = t_new;
+            }
+            None => break,
+        }
+    }
+    devices
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::partition;
+    use crate::sched::{make_units, placement_latency};
+    use duet_compiler::Compiler;
+    use duet_device::SystemModel;
+    use duet_models::{siamese, wide_and_deep, SiameseConfig, WideAndDeepConfig};
+    use duet_runtime::Profiler;
+
+    fn units_for(graph: &Graph) -> Vec<SubgraphUnit> {
+        let part = partition(graph);
+        let compiler = Compiler::default();
+        let sgs = part.compile(graph, &compiler);
+        let profiler = Profiler::new(SystemModel::paper_server());
+        let profiles = profiler.profile_all(graph, &sgs);
+        make_units(&part, sgs, profiles)
+    }
+
+    #[test]
+    fn wide_and_deep_greedy_splits_rnn_cpu_cnn_gpu() {
+        let g = wide_and_deep(&WideAndDeepConfig::default());
+        let units = units_for(&g);
+        let devices = greedy_placement(&units);
+        for (u, d) in units.iter().zip(&devices) {
+            if u.sg.name.starts_with("rnn") {
+                assert_eq!(*d, DeviceKind::Cpu, "RNN belongs on CPU");
+            }
+            if u.sg.name.starts_with("cnn@") {
+                assert_eq!(*d, DeviceKind::Gpu, "CNN belongs on GPU");
+            }
+        }
+    }
+
+    #[test]
+    fn correction_never_hurts() {
+        let sys = SystemModel::paper_server();
+        for g in [
+            wide_and_deep(&WideAndDeepConfig::default()),
+            siamese(&SiameseConfig::default()),
+        ] {
+            let units = units_for(&g);
+            let init = greedy_placement(&units);
+            let t_init = placement_latency(&g, &units, &sys, &init);
+            let corrected = correct(&g, &units, &sys, init);
+            let t_corr = placement_latency(&g, &units, &sys, &corrected);
+            assert!(t_corr <= t_init + 1e-9, "{}: {t_corr} <= {t_init}", g.name);
+        }
+    }
+
+    #[test]
+    fn correction_fixes_adversarial_start() {
+        // Start from the *worst* intuition: RNN on GPU, CNN on CPU.
+        let g = wide_and_deep(&WideAndDeepConfig::default());
+        let sys = SystemModel::paper_server();
+        let units = units_for(&g);
+        let adversarial: Vec<DeviceKind> = units
+            .iter()
+            .map(|u| {
+                if u.sg.name.starts_with("rnn") {
+                    DeviceKind::Gpu
+                } else {
+                    DeviceKind::Cpu
+                }
+            })
+            .collect();
+        let t_bad = placement_latency(&g, &units, &sys, &adversarial);
+        let fixed = correct(&g, &units, &sys, adversarial);
+        let t_fixed = placement_latency(&g, &units, &sys, &fixed);
+        assert!(t_fixed < t_bad * 0.8, "correction recovers: {t_fixed} < {t_bad}");
+    }
+
+    #[test]
+    fn sequential_phases_get_their_best_device() {
+        let g = siamese(&SiameseConfig::default());
+        let units = units_for(&g);
+        let devices = greedy_placement(&units);
+        for (u, d) in units.iter().zip(&devices) {
+            if u.kind == PhaseKind::Sequential {
+                assert_eq!(*d, u.profile.best_device());
+            }
+        }
+    }
+}

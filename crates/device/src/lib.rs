@@ -1,0 +1,28 @@
+//! # duet-device
+//!
+//! Analytic device models for the coupled CPU-GPU architecture DUET
+//! schedules onto.
+//!
+//! The paper measures on a Xeon Gold 6152 + NVIDIA Titan V over PCIe 3.0.
+//! This reproduction replaces the physical devices with calibrated
+//! roofline-with-occupancy models ([`DeviceModel`]) and a latency+bandwidth
+//! line model for the interconnect ([`TransferModel`]): execution *numerics*
+//! stay on the host, while execution *time* comes from these models.
+//!
+//! The models capture the three regimes the paper's scheduling exploits:
+//!
+//! 1. **Launch-bound** ops (small-batch RNN steps): GPU time is dominated
+//!    by `kernel_launches x launch_overhead`, so the CPU wins (§III-B,
+//!    Fig. 4).
+//! 2. **Compute-bound wide** ops (convolutions): the GPU's ~50x FLOP
+//!    advantage dominates (Table II: 14.9 ms CPU vs 0.9 ms GPU).
+//! 3. **Occupancy growth with batch size**: parallelism scales with batch,
+//!    so the GPU catches up as batch grows (Fig. 17).
+
+pub mod model;
+pub mod noise;
+pub mod transfer;
+
+pub use model::{DeviceKind, DeviceModel, SystemModel};
+pub use noise::NoiseModel;
+pub use transfer::TransferModel;

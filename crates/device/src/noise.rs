@@ -1,0 +1,127 @@
+//! Run-to-run latency noise.
+//!
+//! The paper reports mean *and* tail latency over 5000 runs (Fig. 12):
+//! P99/P99.9 come from scheduler jitter, clock variation and — for
+//! heterogeneous schedules — PCIe contention. This module provides a
+//! seeded multiplicative noise model: a log-normal body with an occasional
+//! heavy-tail spike, applied per subgraph execution and (with a larger
+//! spike rate) per transfer.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Seeded multiplicative latency noise.
+///
+/// `sample(t)` returns `t * m` with `m = exp(sigma·z)` (log-normal body,
+/// median 1) and, with probability `spike_prob`, an extra factor drawn
+/// uniformly from `[1, spike_scale]`.
+#[derive(Debug, Clone)]
+pub struct NoiseModel {
+    rng: SmallRng,
+    sigma: f64,
+    spike_prob: f64,
+    spike_scale: f64,
+}
+
+impl NoiseModel {
+    /// General-purpose model: ~3% body jitter, 1-in-200 spikes up to 1.6x.
+    pub fn new(seed: u64) -> Self {
+        NoiseModel::with_params(seed, 0.03, 0.005, 1.6)
+    }
+
+    /// Interconnect noise: PCIe contention spikes are more common and
+    /// larger than compute jitter (the paper attributes DUET's slightly
+    /// smaller P99.9 gains to exactly this).
+    pub fn interconnect(seed: u64) -> Self {
+        NoiseModel::with_params(seed, 0.05, 0.02, 2.5)
+    }
+
+    /// Fully parameterised constructor.
+    pub fn with_params(seed: u64, sigma: f64, spike_prob: f64, spike_scale: f64) -> Self {
+        NoiseModel { rng: SmallRng::seed_from_u64(seed), sigma, spike_prob, spike_scale }
+    }
+
+    /// A noise-free model (multiplier always exactly 1).
+    pub fn disabled() -> Self {
+        NoiseModel::with_params(0, 0.0, 0.0, 1.0)
+    }
+
+    fn standard_normal(&mut self) -> f64 {
+        // Box-Muller on two uniforms.
+        let u1: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = self.rng.gen_range(0.0..1.0);
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    /// Draw one multiplier.
+    pub fn multiplier(&mut self) -> f64 {
+        if self.sigma == 0.0 && self.spike_prob == 0.0 {
+            return 1.0;
+        }
+        let z = self.standard_normal();
+        let mut m = (self.sigma * z).exp();
+        if self.rng.gen_bool(self.spike_prob) {
+            m *= self.rng.gen_range(1.0..self.spike_scale);
+        }
+        m
+    }
+
+    /// Apply noise to a duration (microseconds).
+    pub fn sample(&mut self, time_us: f64) -> f64 {
+        time_us * self.multiplier()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_noise_is_identity() {
+        let mut n = NoiseModel::disabled();
+        for _ in 0..100 {
+            assert_eq!(n.sample(123.0), 123.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<f64> = {
+            let mut n = NoiseModel::new(7);
+            (0..50).map(|_| n.multiplier()).collect()
+        };
+        let b: Vec<f64> = {
+            let mut n = NoiseModel::new(7);
+            (0..50).map(|_| n.multiplier()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn median_near_one_tail_above_one() {
+        let mut n = NoiseModel::new(42);
+        let mut samples: Vec<f64> = (0..20_000).map(|_| n.multiplier()).collect();
+        samples.sort_by(f64::total_cmp);
+        let p50 = samples[10_000];
+        let p999 = samples[19_980];
+        assert!((p50 - 1.0).abs() < 0.01, "p50 {p50}");
+        assert!(p999 > 1.05, "p999 {p999}");
+        assert!(p999 < 3.0, "p999 {p999}");
+    }
+
+    #[test]
+    fn interconnect_tail_heavier_than_compute() {
+        let tail = |mut n: NoiseModel| {
+            let mut s: Vec<f64> = (0..20_000).map(|_| n.multiplier()).collect();
+            s.sort_by(f64::total_cmp);
+            s[19_800] // P99
+        };
+        assert!(tail(NoiseModel::interconnect(1)) > tail(NoiseModel::new(1)));
+    }
+
+    #[test]
+    fn multipliers_always_positive() {
+        let mut n = NoiseModel::interconnect(3);
+        assert!((0..10_000).all(|_| n.multiplier() > 0.0));
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests for the device and transfer models: cost must be
+//! monotone in every work dimension, occupancy bounded, transfer linear.
+
+use duet_device::{DeviceModel, NoiseModel, SystemModel, TransferModel};
+use duet_ir::CostProfile;
+use proptest::prelude::*;
+
+fn cost() -> impl Strategy<Value = CostProfile> {
+    (0.0..1e10f64, 0.0..1e8f64, 0.0..1e8f64, 1.0..1e7f64, 0.0..1e4f64).prop_map(
+        |(flops, bytes_in, bytes_out, parallelism, kernel_launches)| CostProfile {
+            flops,
+            bytes_in,
+            bytes_out,
+            parallelism,
+            kernel_launches,
+        },
+    )
+}
+
+fn devices() -> Vec<DeviceModel> {
+    vec![DeviceModel::xeon_gold_6152(), DeviceModel::titan_v()]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn exec_time_nonnegative_and_finite(c in cost()) {
+        for d in devices() {
+            let t = d.exec_time_us(&c);
+            prop_assert!(t.is_finite());
+            prop_assert!(t >= 0.0);
+        }
+    }
+
+    #[test]
+    fn exec_time_monotone_in_each_dimension(c in cost(), bump in 1.0..1e6f64) {
+        for d in devices() {
+            let base = d.exec_time_us(&c);
+            let more_flops = CostProfile { flops: c.flops + bump * 1e3, ..c };
+            prop_assert!(d.exec_time_us(&more_flops) >= base);
+            let more_launches = CostProfile { kernel_launches: c.kernel_launches + 1.0, ..c };
+            prop_assert!(d.exec_time_us(&more_launches) >= base);
+            let more_bytes = CostProfile { bytes_in: c.bytes_in + bump * 1e3, ..c };
+            prop_assert!(d.exec_time_us(&more_bytes) >= base);
+        }
+    }
+
+    #[test]
+    fn more_parallelism_never_slower(c in cost(), factor in 1.0..100.0f64) {
+        for d in devices() {
+            let wider = CostProfile { parallelism: c.parallelism * factor, ..c };
+            prop_assert!(d.exec_time_us(&wider) <= d.exec_time_us(&c) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn occupancy_bounded_and_monotone(p in 0.0..1e9f64, q in 0.0..1e9f64) {
+        for d in devices() {
+            let op = d.occupancy(p);
+            prop_assert!((0.0..=1.0).contains(&op));
+            prop_assert!(op >= d.min_efficiency);
+            if p <= q {
+                prop_assert!(op <= d.occupancy(q) + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn merged_equal_parallelism_costs_at_least_the_parts(a in cost(), b in cost()) {
+        // With equal parallelism, merging is pure addition of work, so
+        // the merged sequence takes at least as long as either part.
+        // (With *unequal* parallelism a merged profile can under-price
+        // the narrow part — the documented reason the runtime prices
+        // subgraphs per kernel rather than on merged profiles.)
+        let b = CostProfile { parallelism: a.parallelism, ..b };
+        for d in devices() {
+            let merged = a.merge(&b);
+            let tm = d.exec_time_us(&merged);
+            prop_assert!(tm + 1e-9 >= d.exec_time_us(&a).max(d.exec_time_us(&b)));
+        }
+    }
+
+    #[test]
+    fn launch_overhead_is_a_hard_floor(a in cost(), b in cost()) {
+        for d in devices() {
+            let merged = a.merge(&b);
+            let floor = merged.kernel_launches * d.kernel_launch_us;
+            prop_assert!(d.exec_time_us(&merged) >= floor - 1e-9);
+        }
+    }
+
+    #[test]
+    fn transfer_linear_and_monotone(b1 in 1.0..1e9f64, b2 in 1.0..1e9f64) {
+        let t = TransferModel::pcie3();
+        if b1 <= b2 {
+            prop_assert!(t.time_us(b1) <= t.time_us(b2));
+        }
+        // Linearity: t(a+b) == t(a) + t(b) - latency (one setup saved).
+        let combined = t.time_us(b1 + b2);
+        let split = t.time_us(b1) + t.time_us(b2) - t.latency_us;
+        prop_assert!((combined - split).abs() < 1e-6 * combined.max(1.0));
+    }
+
+    #[test]
+    fn effective_bandwidth_below_peak(bytes in 1.0..1e9f64) {
+        let t = TransferModel::pcie3();
+        let bw = t.effective_bandwidth_gbps(bytes);
+        prop_assert!(bw > 0.0);
+        prop_assert!(bw <= t.bandwidth_gbps + 1e-9);
+    }
+
+    #[test]
+    fn noise_multipliers_positive_and_seeded(seed in any::<u64>()) {
+        let mut a = NoiseModel::new(seed);
+        let mut b = NoiseModel::new(seed);
+        for _ in 0..32 {
+            let ma = a.multiplier();
+            prop_assert!(ma > 0.0 && ma.is_finite());
+            prop_assert_eq!(ma, b.multiplier());
+        }
+    }
+
+    #[test]
+    fn system_model_roundtrips_through_serde(lanes in 1usize..4) {
+        let mut sys = SystemModel::paper_server();
+        sys.cpu = sys.cpu.with_lanes(lanes, 0.7);
+        let json = serde_json::to_string(&sys).unwrap();
+        let back: SystemModel = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(back.cpu.lanes, lanes);
+        prop_assert_eq!(back.gpu.peak_gflops, sys.gpu.peak_gflops);
+    }
+}

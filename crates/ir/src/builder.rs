@@ -1,0 +1,284 @@
+//! Layer-level graph construction.
+//!
+//! [`GraphBuilder`] wraps a [`Graph`] with the layer idioms model builders
+//! need (dense, conv+bn+relu, LSTM stack, transformer block), creating and
+//! seeding weight constants deterministically. The model zoo in
+//! `duet-models` is written entirely against this API.
+
+use duet_tensor::Tensor;
+
+use crate::graph::{Graph, GraphError, NodeId};
+use crate::op::Op;
+
+/// Ergonomic builder over [`Graph`].
+///
+/// Weight tensors are seeded from a counter derived from the builder seed,
+/// so two builds of the same model are identical and two models with
+/// different seeds differ.
+pub struct GraphBuilder {
+    graph: Graph,
+    seed: u64,
+    next_weight: u64,
+}
+
+impl GraphBuilder {
+    /// Start a model named `name` with a weight-init seed.
+    pub fn new(name: impl Into<String>, seed: u64) -> Self {
+        GraphBuilder { graph: Graph::new(name), seed, next_weight: 0 }
+    }
+
+    fn weight_seed(&mut self) -> u64 {
+        let s = self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(self.next_weight);
+        self.next_weight += 1;
+        s
+    }
+
+    /// Access the underlying graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// External input placeholder.
+    pub fn input(&mut self, label: &str, shape: impl Into<duet_tensor::Shape>) -> NodeId {
+        self.graph.add_input(label, shape)
+    }
+
+    /// Explicit constant.
+    pub fn constant(&mut self, label: &str, value: Tensor) -> NodeId {
+        self.graph.add_constant(label, value)
+    }
+
+    /// Fresh random weight, Xavier-ish scaled.
+    pub fn weight(&mut self, label: &str, shape: &[usize]) -> NodeId {
+        let fan_in: usize = shape.iter().skip(1).product::<usize>().max(1);
+        let std = (2.0 / fan_in as f32).sqrt();
+        let seed = self.weight_seed();
+        self.graph.add_constant(label, Tensor::randn(shape.to_vec(), std, seed))
+    }
+
+    /// Zero-initialised constant (biases, BN shifts).
+    pub fn zeros(&mut self, label: &str, shape: &[usize]) -> NodeId {
+        self.graph.add_constant(label, Tensor::zeros(shape.to_vec()))
+    }
+
+    /// One-initialised constant (BN scales).
+    pub fn ones(&mut self, label: &str, shape: &[usize]) -> NodeId {
+        self.graph.add_constant(label, Tensor::ones(shape.to_vec()))
+    }
+
+    /// Raw operator insertion.
+    pub fn op(&mut self, label: &str, op: Op, inputs: &[NodeId]) -> Result<NodeId, GraphError> {
+        self.graph.add_op(label, op, inputs)
+    }
+
+    /// Dense layer `[m, in] -> [m, out]` with optional activation.
+    pub fn dense(
+        &mut self,
+        label: &str,
+        x: NodeId,
+        out_features: usize,
+        activation: Option<Op>,
+    ) -> Result<NodeId, GraphError> {
+        let in_features = self.graph.node(x).shape.dim(1);
+        let w = self.weight(&format!("{label}.w"), &[out_features, in_features]);
+        let b = self.zeros(&format!("{label}.b"), &[out_features]);
+        let y = self.graph.add_op(label, Op::Linear, &[x, w, b])?;
+        match activation {
+            Some(act) => self.graph.add_op(format!("{label}.act"), act, &[y]),
+            None => Ok(y),
+        }
+    }
+
+    /// Single-layer LSTM over `x: [seq, batch, in]` → `[seq, batch, hidden]`.
+    pub fn lstm(&mut self, label: &str, x: NodeId, hidden: usize) -> Result<NodeId, GraphError> {
+        let input = self.graph.node(x).shape.dim(2);
+        let w_ih = self.weight(&format!("{label}.w_ih"), &[4 * hidden, input]);
+        let w_hh = self.weight(&format!("{label}.w_hh"), &[4 * hidden, hidden]);
+        let b = self.zeros(&format!("{label}.b"), &[4 * hidden]);
+        self.graph.add_op(label, Op::Lstm, &[x, w_ih, w_hh, b])
+    }
+
+    /// Stack of `layers` LSTMs.
+    pub fn lstm_stack(
+        &mut self,
+        label: &str,
+        mut x: NodeId,
+        hidden: usize,
+        layers: usize,
+    ) -> Result<NodeId, GraphError> {
+        for l in 0..layers {
+            x = self.lstm(&format!("{label}.l{l}"), x, hidden)?;
+        }
+        Ok(x)
+    }
+
+    /// Single-layer GRU over `x: [seq, batch, in]`.
+    pub fn gru(&mut self, label: &str, x: NodeId, hidden: usize) -> Result<NodeId, GraphError> {
+        let input = self.graph.node(x).shape.dim(2);
+        let w_ih = self.weight(&format!("{label}.w_ih"), &[3 * hidden, input]);
+        let w_hh = self.weight(&format!("{label}.w_hh"), &[3 * hidden, hidden]);
+        let b = self.zeros(&format!("{label}.b"), &[3 * hidden]);
+        self.graph.add_op(label, Op::Gru, &[x, w_ih, w_hh, b])
+    }
+
+    /// Conv → BN → ReLU block, the ResNet workhorse.
+    #[allow(clippy::too_many_arguments)] // mirrors the layer's natural signature
+    pub fn conv_bn_relu(
+        &mut self,
+        label: &str,
+        x: NodeId,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        relu: bool,
+    ) -> Result<NodeId, GraphError> {
+        let c_in = self.graph.node(x).shape.dim(1);
+        let w = self.weight(&format!("{label}.w"), &[out_channels, c_in, kernel, kernel]);
+        let conv = self.graph.add_op(
+            label,
+            Op::Conv2d { stride, padding, bias: false },
+            &[x, w],
+        )?;
+        let gamma = self.ones(&format!("{label}.bn.g"), &[out_channels]);
+        let beta = self.zeros(&format!("{label}.bn.b"), &[out_channels]);
+        let mean = self.zeros(&format!("{label}.bn.m"), &[out_channels]);
+        let var = self.ones(&format!("{label}.bn.v"), &[out_channels]);
+        let bn = self.graph.add_op(
+            format!("{label}.bn"),
+            Op::BatchNorm2d,
+            &[conv, gamma, beta, mean, var],
+        )?;
+        if relu {
+            self.graph.add_op(format!("{label}.relu"), Op::Relu, &[bn])
+        } else {
+            Ok(bn)
+        }
+    }
+
+    /// Pre-norm transformer encoder block (MHA + FFN with residuals).
+    pub fn transformer_block(
+        &mut self,
+        label: &str,
+        x: NodeId,
+        heads: usize,
+        ffn_dim: usize,
+    ) -> Result<NodeId, GraphError> {
+        let d = self.graph.node(x).shape.dim(1);
+        let g1 = self.ones(&format!("{label}.ln1.g"), &[d]);
+        let b1 = self.zeros(&format!("{label}.ln1.b"), &[d]);
+        let ln1 = self.graph.add_op(
+            format!("{label}.ln1"),
+            Op::LayerNorm { eps: 1e-5 },
+            &[x, g1, b1],
+        )?;
+        let wq = self.weight(&format!("{label}.wq"), &[d, d]);
+        let wk = self.weight(&format!("{label}.wk"), &[d, d]);
+        let wv = self.weight(&format!("{label}.wv"), &[d, d]);
+        let wo = self.weight(&format!("{label}.wo"), &[d, d]);
+        let attn = self.graph.add_op(
+            format!("{label}.mha"),
+            Op::Mha { heads },
+            &[ln1, wq, wk, wv, wo],
+        )?;
+        let res1 = self.graph.add_op(format!("{label}.res1"), Op::Add, &[x, attn])?;
+        let g2 = self.ones(&format!("{label}.ln2.g"), &[d]);
+        let b2 = self.zeros(&format!("{label}.ln2.b"), &[d]);
+        let ln2 = self.graph.add_op(
+            format!("{label}.ln2"),
+            Op::LayerNorm { eps: 1e-5 },
+            &[res1, g2, b2],
+        )?;
+        let up = self.dense(&format!("{label}.ffn.up"), ln2, ffn_dim, Some(Op::Gelu))?;
+        let down = self.dense(&format!("{label}.ffn.down"), up, d, None)?;
+        self.graph.add_op(format!("{label}.res2"), Op::Add, &[res1, down])
+    }
+
+    /// Mark outputs and return the finished graph.
+    pub fn finish(mut self, outputs: &[NodeId]) -> Result<Graph, GraphError> {
+        for &o in outputs {
+            self.graph.mark_output(o)?;
+        }
+        self.graph.validate()?;
+        Ok(self.graph)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn dense_stack_builds_and_runs() {
+        let mut b = GraphBuilder::new("mlp", 42);
+        let x = b.input("x", vec![1, 16]);
+        let h = b.dense("fc1", x, 32, Some(Op::Relu)).unwrap();
+        let y = b.dense("fc2", h, 4, None).unwrap();
+        let g = b.finish(&[y]).unwrap();
+        let out = g
+            .eval(&HashMap::from([(x, Tensor::randn(vec![1, 16], 1.0, 1))]))
+            .unwrap();
+        assert_eq!(out[0].shape().dims(), &[1, 4]);
+    }
+
+    #[test]
+    fn weights_deterministic_per_seed() {
+        let build = |seed| {
+            let mut b = GraphBuilder::new("m", seed);
+            let x = b.input("x", vec![1, 8]);
+            let y = b.dense("fc", x, 8, None).unwrap();
+            b.finish(&[y]).unwrap()
+        };
+        let g1 = build(1);
+        let g2 = build(1);
+        let g3 = build(2);
+        // Node 1 is fc.w in each graph.
+        assert_eq!(g1.param(1).unwrap(), g2.param(1).unwrap());
+        assert_ne!(g1.param(1).unwrap(), g3.param(1).unwrap());
+    }
+
+    #[test]
+    fn lstm_stack_chains_layers() {
+        let mut b = GraphBuilder::new("rnn", 3);
+        let x = b.input("x", vec![5, 1, 8]);
+        let y = b.lstm_stack("rnn", x, 16, 3).unwrap();
+        let g = b.finish(&[y]).unwrap();
+        assert_eq!(g.node(y).shape.dims(), &[5, 1, 16]);
+        // 3 LSTM op nodes.
+        let lstms = g.nodes().iter().filter(|n| matches!(n.op, Op::Lstm)).count();
+        assert_eq!(lstms, 3);
+    }
+
+    #[test]
+    fn conv_bn_relu_shapes() {
+        let mut b = GraphBuilder::new("cnn", 4);
+        let x = b.input("x", vec![1, 3, 32, 32]);
+        let y = b.conv_bn_relu("c1", x, 8, 3, 1, 1, true).unwrap();
+        let g = b.finish(&[y]).unwrap();
+        assert_eq!(g.node(y).shape.dims(), &[1, 8, 32, 32]);
+    }
+
+    #[test]
+    fn transformer_block_preserves_shape_and_runs() {
+        let mut b = GraphBuilder::new("tx", 5);
+        let x = b.input("x", vec![6, 16]);
+        let y = b.transformer_block("blk0", x, 4, 32).unwrap();
+        let g = b.finish(&[y]).unwrap();
+        assert_eq!(g.node(y).shape.dims(), &[6, 16]);
+        let out = g
+            .eval(&HashMap::from([(x, Tensor::randn(vec![6, 16], 1.0, 9))]))
+            .unwrap();
+        assert_eq!(out[0].shape().dims(), &[6, 16]);
+        assert!(out[0].data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn gru_builds() {
+        let mut b = GraphBuilder::new("g", 6);
+        let x = b.input("x", vec![4, 1, 8]);
+        let y = b.gru("gru0", x, 12).unwrap();
+        let g = b.finish(&[y]).unwrap();
+        assert_eq!(g.node(y).shape.dims(), &[4, 1, 12]);
+    }
+}

@@ -1,0 +1,135 @@
+//! Analytic cost profiles.
+
+use serde::{Deserialize, Serialize};
+
+/// Hardware-independent work description of one operator (or one fused
+/// kernel, or a whole subgraph — profiles add).
+///
+/// Previous work approximated execution time by FLOPs alone; the paper
+/// (§III-A) shows that proxy misranks devices. The extra fields here are
+/// exactly what the FLOPs proxy is missing: memory traffic, exploitable
+/// parallelism per kernel, and how many kernel launches the op needs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostProfile {
+    /// Floating point operations.
+    pub flops: f64,
+    /// Bytes read from inputs.
+    pub bytes_in: f64,
+    /// Bytes written to the output.
+    pub bytes_out: f64,
+    /// Independent work items available *per kernel launch* — what a GPU's
+    /// occupancy sees. An LSTM step at batch 1 has `hidden` items; a conv
+    /// layer has `n*c_out*oh*ow`.
+    pub parallelism: f64,
+    /// Number of kernel launches (sequential dispatch points).
+    pub kernel_launches: f64,
+}
+
+impl CostProfile {
+    /// A zero-work profile.
+    pub fn zero() -> Self {
+        CostProfile {
+            flops: 0.0,
+            bytes_in: 0.0,
+            bytes_out: 0.0,
+            parallelism: 1.0,
+            kernel_launches: 0.0,
+        }
+    }
+
+    /// Combine two profiles executed back-to-back in one kernel sequence.
+    ///
+    /// Parallelism is FLOPs-weighted so a fused conv+relu keeps the conv's
+    /// width rather than averaging with the epilogue's.
+    pub fn merge(&self, other: &CostProfile) -> CostProfile {
+        let total_flops = self.flops + other.flops;
+        let parallelism = if total_flops > 0.0 {
+            (self.parallelism * self.flops + other.parallelism * other.flops) / total_flops
+        } else {
+            self.parallelism.max(other.parallelism)
+        };
+        CostProfile {
+            flops: total_flops,
+            bytes_in: self.bytes_in + other.bytes_in,
+            bytes_out: self.bytes_out + other.bytes_out,
+            parallelism: parallelism.max(1.0),
+            kernel_launches: self.kernel_launches + other.kernel_launches,
+        }
+    }
+
+    /// Fuse an elementwise epilogue into this producer: the epilogue's
+    /// arithmetic is kept but its kernel launch and its intermediate
+    /// memory round-trip disappear. This is the quantitative reason the
+    /// paper keeps subgraphs coarse (§III-B, opportunity 3).
+    pub fn absorb_epilogue(&self, epilogue: &CostProfile) -> CostProfile {
+        CostProfile {
+            flops: self.flops + epilogue.flops,
+            // The producer's materialised output no longer hits memory;
+            // the epilogue reads registers and writes the final buffer.
+            bytes_in: self.bytes_in,
+            bytes_out: epilogue.bytes_out.max(self.bytes_out),
+            parallelism: self.parallelism,
+            kernel_launches: self.kernel_launches,
+        }
+    }
+}
+
+impl Default for CostProfile {
+    fn default() -> Self {
+        Self::zero()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(flops: f64, par: f64, launches: f64) -> CostProfile {
+        CostProfile {
+            flops,
+            bytes_in: 100.0,
+            bytes_out: 50.0,
+            parallelism: par,
+            kernel_launches: launches,
+        }
+    }
+
+    #[test]
+    fn zero_is_identity_for_merge() {
+        let a = p(1000.0, 64.0, 2.0);
+        let m = a.merge(&CostProfile::zero());
+        assert_eq!(m.flops, a.flops);
+        assert_eq!(m.parallelism, a.parallelism);
+        assert_eq!(m.kernel_launches, a.kernel_launches);
+    }
+
+    #[test]
+    fn merge_adds_work_and_launches() {
+        let a = p(1000.0, 10.0, 1.0);
+        let b = p(3000.0, 100.0, 2.0);
+        let m = a.merge(&b);
+        assert_eq!(m.flops, 4000.0);
+        assert_eq!(m.kernel_launches, 3.0);
+        assert_eq!(m.bytes_in, 200.0);
+        // FLOPs-weighted parallelism: (10*1000 + 100*3000)/4000 = 77.5
+        assert!((m.parallelism - 77.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn absorb_epilogue_drops_launch_and_traffic() {
+        let conv = p(1_000_000.0, 4096.0, 1.0);
+        let relu = p(4096.0, 4096.0, 1.0);
+        let fused = conv.absorb_epilogue(&relu);
+        assert_eq!(fused.kernel_launches, 1.0);
+        assert_eq!(fused.flops, 1_004_096.0);
+        assert_eq!(fused.bytes_in, conv.bytes_in);
+        assert_eq!(fused.parallelism, conv.parallelism);
+    }
+
+    #[test]
+    fn merge_zero_flops_keeps_max_parallelism() {
+        let a = CostProfile { parallelism: 5.0, ..CostProfile::zero() };
+        let b = CostProfile { parallelism: 9.0, ..CostProfile::zero() };
+        assert_eq!(a.merge(&b).parallelism, 9.0);
+    }
+}

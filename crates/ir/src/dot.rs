@@ -1,0 +1,92 @@
+//! Graphviz DOT export, for debugging partitions and schedules.
+
+use crate::graph::{Graph, NodeId};
+use crate::op::Op;
+
+/// Render a graph in DOT format. `cluster` optionally maps node ids to a
+/// group index (e.g. subgraph id after partitioning); grouped nodes are
+/// emitted inside `subgraph cluster_N` blocks so placements are visible in
+/// the rendered drawing.
+pub fn to_dot(graph: &Graph, cluster: Option<&dyn Fn(NodeId) -> Option<usize>>) -> String {
+    let mut out = String::new();
+    out.push_str("digraph {\n  rankdir=TB;\n  node [shape=box, fontsize=10];\n");
+    let mut groups: Vec<(usize, Vec<NodeId>)> = Vec::new();
+    let mut free: Vec<NodeId> = Vec::new();
+    for node in graph.nodes() {
+        match cluster.and_then(|f| f(node.id)) {
+            Some(g) => match groups.iter_mut().find(|(gid, _)| *gid == g) {
+                Some((_, v)) => v.push(node.id),
+                None => groups.push((g, vec![node.id])),
+            },
+            None => free.push(node.id),
+        }
+    }
+    let fmt_node = |id: NodeId| -> String {
+        let n = graph.node(id);
+        let style = match n.op {
+            Op::Input => ", style=filled, fillcolor=lightblue",
+            Op::Constant => ", style=filled, fillcolor=lightgray",
+            _ => "",
+        };
+        format!(
+            "  n{} [label=\"{}\\n{} {}\"{}];\n",
+            id,
+            n.label.replace('"', "'"),
+            n.op.name(),
+            n.shape,
+            style
+        )
+    };
+    for id in &free {
+        out.push_str(&fmt_node(*id));
+    }
+    for (gid, ids) in &groups {
+        out.push_str(&format!("  subgraph cluster_{gid} {{\n    label=\"subgraph {gid}\";\n"));
+        for id in ids {
+            out.push_str("  ");
+            out.push_str(&fmt_node(*id));
+        }
+        out.push_str("  }\n");
+    }
+    for node in graph.nodes() {
+        for &src in &node.inputs {
+            out.push_str(&format!("  n{src} -> n{};\n", node.id));
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn tiny() -> Graph {
+        let mut b = GraphBuilder::new("t", 1);
+        let x = b.input("x", vec![1, 4]);
+        let y = b.dense("fc", x, 2, Some(Op::Relu)).unwrap();
+        b.finish(&[y]).unwrap()
+    }
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let g = tiny();
+        let dot = to_dot(&g, None);
+        assert!(dot.starts_with("digraph"));
+        for n in g.nodes() {
+            assert!(dot.contains(&format!("n{}", n.id)));
+        }
+        // linear has 3 in-edges, relu 1.
+        assert_eq!(dot.matches(" -> ").count(), 4);
+    }
+
+    #[test]
+    fn dot_clusters_marked_nodes() {
+        let g = tiny();
+        let f = |id: NodeId| if id % 2 == 0 { Some(0) } else { Some(1) };
+        let dot = to_dot(&g, Some(&f));
+        assert!(dot.contains("subgraph cluster_0"));
+        assert!(dot.contains("subgraph cluster_1"));
+    }
+}

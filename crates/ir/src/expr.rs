@@ -1,0 +1,224 @@
+//! Relay-style expression IR and its translation to the adjacency list.
+//!
+//! TVM represents programs in Relay, "a pure, expression-oriented
+//! language". The paper (§V) translates Relay into an adjacency-list graph
+//! with the visitor pattern before partitioning, and translates subgraphs
+//! back into statement sequences for compilation. This module reproduces
+//! the front half: a small expression language with shared subterms
+//! ([`Expr`] is a cheap `Rc` handle) and a memoizing visitor
+//! ([`to_graph`]) that emits each shared subexpression as exactly one
+//! graph node.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use duet_tensor::{Shape, Tensor};
+
+use crate::graph::{Graph, GraphError, NodeId};
+use crate::op::Op;
+
+/// Expression node payload.
+#[derive(Debug)]
+pub enum ExprKind {
+    /// Free variable (model input) with an explicit shape.
+    Var { name: String, shape: Shape },
+    /// Literal tensor (weight).
+    Const { name: String, value: Tensor },
+    /// Operator application.
+    Call { label: String, op: Op, args: Vec<Expr> },
+}
+
+/// A shared, immutable expression. Cloning shares the subterm — sharing is
+/// what the translation's memoization keys on (a common subexpression used
+/// twice becomes a single node with fan-out 2, the "shared node" case of
+/// §IV-A).
+#[derive(Debug, Clone)]
+pub struct Expr(Rc<ExprKind>);
+
+impl Expr {
+    /// Free variable.
+    pub fn var(name: impl Into<String>, shape: impl Into<Shape>) -> Expr {
+        Expr(Rc::new(ExprKind::Var { name: name.into(), shape: shape.into() }))
+    }
+
+    /// Weight literal.
+    pub fn constant(name: impl Into<String>, value: Tensor) -> Expr {
+        Expr(Rc::new(ExprKind::Const { name: name.into(), value }))
+    }
+
+    /// Operator application.
+    pub fn call(label: impl Into<String>, op: Op, args: Vec<Expr>) -> Expr {
+        Expr(Rc::new(ExprKind::Call { label: label.into(), op, args }))
+    }
+
+    /// The payload.
+    pub fn kind(&self) -> &ExprKind {
+        &self.0
+    }
+
+    /// Pointer identity key for memoization.
+    fn key(&self) -> usize {
+        Rc::as_ptr(&self.0) as usize
+    }
+
+    /// Count of distinct nodes in the expression DAG.
+    pub fn node_count(&self) -> usize {
+        fn walk(e: &Expr, seen: &mut HashMap<usize, ()>) {
+            if seen.insert(e.key(), ()).is_some() {
+                return;
+            }
+            if let ExprKind::Call { args, .. } = e.kind() {
+                for a in args {
+                    walk(a, seen);
+                }
+            }
+        }
+        let mut seen = HashMap::new();
+        walk(self, &mut seen);
+        seen.len()
+    }
+}
+
+/// Translate expressions (the graph outputs) into an adjacency-list
+/// [`Graph`] via a memoizing post-order visitor.
+pub fn to_graph(name: impl Into<String>, outputs: &[Expr]) -> Result<Graph, GraphError> {
+    let mut graph = Graph::new(name);
+    let mut memo: HashMap<usize, NodeId> = HashMap::new();
+    // Iterative post-order to avoid recursion limits on deep models
+    // (ResNet-101 produces expression chains hundreds of nodes deep).
+    enum Task {
+        Visit(Expr),
+        Emit(Expr),
+    }
+    for out in outputs {
+        let mut stack = vec![Task::Visit(out.clone())];
+        while let Some(task) = stack.pop() {
+            match task {
+                Task::Visit(e) => {
+                    if memo.contains_key(&e.key()) {
+                        continue;
+                    }
+                    match e.kind() {
+                        ExprKind::Var { name, shape } => {
+                            let id = graph.add_input(name.clone(), shape.clone());
+                            memo.insert(e.key(), id);
+                        }
+                        ExprKind::Const { name, value } => {
+                            let id = graph.add_constant(name.clone(), value.clone());
+                            memo.insert(e.key(), id);
+                        }
+                        ExprKind::Call { args, .. } => {
+                            stack.push(Task::Emit(e.clone()));
+                            for a in args.iter().rev() {
+                                stack.push(Task::Visit(a.clone()));
+                            }
+                        }
+                    }
+                }
+                Task::Emit(e) => {
+                    if memo.contains_key(&e.key()) {
+                        continue;
+                    }
+                    if let ExprKind::Call { label, op, args } = e.kind() {
+                        let ids: Vec<NodeId> =
+                            args.iter().map(|a| memo[&a.key()]).collect();
+                        let id = graph.add_op(label.clone(), op.clone(), &ids)?;
+                        memo.insert(e.key(), id);
+                    }
+                }
+            }
+        }
+    }
+    for out in outputs {
+        graph.mark_output(memo[&out.key()])?;
+    }
+    graph.validate()?;
+    Ok(graph)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap as Map;
+
+    #[test]
+    fn shared_subexpression_becomes_one_node() {
+        let x = Expr::var("x", vec![2, 2]);
+        let r = Expr::call("relu", Op::Relu, vec![x.clone()]);
+        // r feeds both branches — sharing must be preserved.
+        let t = Expr::call("tanh", Op::Tanh, vec![r.clone()]);
+        let s = Expr::call("sig", Op::Sigmoid, vec![r.clone()]);
+        let a = Expr::call("add", Op::Add, vec![t, s]);
+        let g = to_graph("diamond", &[a]).unwrap();
+        assert_eq!(g.len(), 5);
+        let relu_node = g.nodes().iter().find(|n| n.op == Op::Relu).unwrap();
+        assert_eq!(relu_node.outputs.len(), 2);
+    }
+
+    #[test]
+    fn structurally_equal_but_unshared_duplicates() {
+        let x = Expr::var("x", vec![2]);
+        let r1 = Expr::call("r1", Op::Relu, vec![x.clone()]);
+        let r2 = Expr::call("r2", Op::Relu, vec![x.clone()]);
+        let a = Expr::call("add", Op::Add, vec![r1, r2]);
+        let g = to_graph("dup", &[a]).unwrap();
+        // Two distinct relu nodes: translation keys on identity (CSE is the
+        // compiler's job, not the front-end's).
+        let relus = g.nodes().iter().filter(|n| n.op == Op::Relu).count();
+        assert_eq!(relus, 2);
+    }
+
+    #[test]
+    fn translated_graph_evaluates_like_expression() {
+        let x = Expr::var("x", vec![1, 4]);
+        let w = Expr::constant("w", Tensor::randn(vec![3, 4], 1.0, 1));
+        let b = Expr::constant("b", Tensor::randn(vec![3], 1.0, 2));
+        let y = Expr::call("fc", Op::Linear, vec![x, w.clone(), b.clone()]);
+        let z = Expr::call("act", Op::Relu, vec![y]);
+        let g = to_graph("fc", &[z]).unwrap();
+        let xin = Tensor::randn(vec![1, 4], 1.0, 3);
+        let feed = Map::from([(g.input_ids()[0], xin.clone())]);
+        let got = g.eval(&feed).unwrap();
+        let wv = match w.kind() {
+            ExprKind::Const { value, .. } => value.clone(),
+            _ => unreachable!(),
+        };
+        let bv = match b.kind() {
+            ExprKind::Const { value, .. } => value.clone(),
+            _ => unreachable!(),
+        };
+        let expect = duet_tensor::kernels::relu(
+            &duet_tensor::kernels::linear(&xin, &wv, Some(&bv)).unwrap(),
+        );
+        assert!(got[0].approx_eq(&expect, 1e-6));
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow_stack() {
+        let mut e = Expr::var("x", vec![1, 4]);
+        for i in 0..5000 {
+            e = Expr::call(format!("relu{i}"), Op::Relu, vec![e]);
+        }
+        let g = to_graph("deep", &[e]).unwrap();
+        assert_eq!(g.len(), 5001);
+    }
+
+    #[test]
+    fn multiple_outputs_share_prefix() {
+        let x = Expr::var("x", vec![2, 2]);
+        let r = Expr::call("relu", Op::Relu, vec![x]);
+        let t = Expr::call("tanh", Op::Tanh, vec![r.clone()]);
+        let s = Expr::call("sig", Op::Sigmoid, vec![r]);
+        let g = to_graph("two-out", &[t, s]).unwrap();
+        assert_eq!(g.outputs().len(), 2);
+        assert_eq!(g.len(), 4);
+    }
+
+    #[test]
+    fn node_count_counts_shared_once() {
+        let x = Expr::var("x", vec![2]);
+        let r = Expr::call("r", Op::Relu, vec![x]);
+        let a = Expr::call("a", Op::Add, vec![r.clone(), r]);
+        assert_eq!(a.node_count(), 3);
+    }
+}

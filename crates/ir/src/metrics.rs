@@ -1,0 +1,180 @@
+//! Whole-graph structural metrics.
+//!
+//! The partitioner and scheduler consume per-node costs; humans deciding
+//! whether a model is worth co-executing want aggregates: how much work,
+//! where it concentrates, how much intrinsic branch parallelism the DAG
+//! has. These drive the CLI's `analyze` command and Table I.
+
+use std::collections::HashMap;
+
+use crate::cost::CostProfile;
+use crate::graph::Graph;
+use crate::op::Op;
+
+/// Aggregate description of a graph.
+#[derive(Debug, Clone)]
+pub struct GraphMetrics {
+    /// Compute-node count (excludes inputs/constants).
+    pub operators: usize,
+    /// Parameter bytes.
+    pub param_bytes: usize,
+    /// Total analytic work.
+    pub total: CostProfile,
+    /// FLOPs grouped by operator name, descending.
+    pub flops_by_op: Vec<(String, f64)>,
+    /// Length (in nodes) of the longest dependency chain.
+    pub depth: usize,
+    /// Maximum antichain width estimate: the largest number of compute
+    /// nodes sharing the same depth level — an upper bound on how many
+    /// operators could ever run concurrently.
+    pub max_width: usize,
+    /// FLOPs on the longest-FLOPs path divided by total FLOPs; 1.0 means
+    /// a pure chain (no useful parallelism), lower means branchier.
+    pub critical_path_flops_fraction: f64,
+}
+
+/// Compute [`GraphMetrics`].
+pub fn analyze(graph: &Graph) -> GraphMetrics {
+    let compute = graph.compute_ids();
+    let is_compute =
+        |id: usize| !matches!(graph.node(id).op, Op::Input | Op::Constant);
+
+    let mut by_op: HashMap<&'static str, f64> = HashMap::new();
+    for &id in &compute {
+        *by_op.entry(graph.node(id).op.name()).or_insert(0.0) += graph.node_cost(id).flops;
+    }
+    let mut flops_by_op: Vec<(String, f64)> =
+        by_op.into_iter().map(|(k, v)| (k.to_string(), v)).collect();
+    flops_by_op.sort_by(|a, b| b.1.total_cmp(&a.1));
+
+    // Depth + level widths + critical (max-FLOPs) path via one topo pass.
+    let mut level: HashMap<usize, usize> = HashMap::new();
+    let mut path_flops: HashMap<usize, f64> = HashMap::new();
+    let mut depth = 0;
+    let mut widths: HashMap<usize, usize> = HashMap::new();
+    let mut best_path = 0.0f64;
+    for &id in &compute {
+        let node = graph.node(id);
+        let mut lvl = 0;
+        let mut upstream = 0.0f64;
+        for &src in &node.inputs {
+            if is_compute(src) {
+                lvl = lvl.max(level.get(&src).copied().unwrap_or(0) + 1);
+                upstream = upstream.max(path_flops.get(&src).copied().unwrap_or(0.0));
+            }
+        }
+        let total_here = upstream + graph.node_cost(id).flops;
+        level.insert(id, lvl);
+        path_flops.insert(id, total_here);
+        depth = depth.max(lvl + 1);
+        *widths.entry(lvl).or_insert(0) += 1;
+        best_path = best_path.max(total_here);
+    }
+    let total = graph.total_cost();
+    GraphMetrics {
+        operators: compute.len(),
+        param_bytes: graph.param_bytes(),
+        total,
+        flops_by_op,
+        depth,
+        max_width: widths.values().copied().max().unwrap_or(0),
+        critical_path_flops_fraction: if total.flops > 0.0 {
+            (best_path / total.flops).min(1.0)
+        } else {
+            1.0
+        },
+    }
+}
+
+impl std::fmt::Display for GraphMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{} operators, {:.1} MB params, {:.2} GFLOP, {:.0} kernel launches",
+            self.operators,
+            self.param_bytes as f64 / 1e6,
+            self.total.flops / 1e9,
+            self.total.kernel_launches
+        )?;
+        writeln!(
+            f,
+            "depth {}, max width {}, critical-path FLOPs fraction {:.2}",
+            self.depth, self.max_width, self.critical_path_flops_fraction
+        )?;
+        writeln!(f, "FLOPs by operator:")?;
+        for (op, flops) in self.flops_by_op.iter().take(8) {
+            writeln!(
+                f,
+                "  {:<18} {:>8.3} GFLOP ({:>5.1}%)",
+                op,
+                flops / 1e9,
+                100.0 * flops / self.total.flops.max(1.0)
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn chain(n: usize) -> Graph {
+        let mut b = GraphBuilder::new("chain", 1);
+        let x = b.input("x", vec![1, 8]);
+        let mut h = x;
+        for i in 0..n {
+            h = b.dense(&format!("fc{i}"), h, 8, None).unwrap();
+        }
+        b.finish(&[h]).unwrap()
+    }
+
+    #[test]
+    fn chain_metrics() {
+        let m = analyze(&chain(5));
+        assert_eq!(m.operators, 5);
+        assert_eq!(m.depth, 5);
+        assert_eq!(m.max_width, 1);
+        assert!((m.critical_path_flops_fraction - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn branches_reduce_critical_fraction_and_widen() {
+        let mut b = GraphBuilder::new("fork", 1);
+        let x = b.input("x", vec![1, 8]);
+        let l = b.dense("l", x, 8, None).unwrap();
+        let r = b.dense("r", x, 8, None).unwrap();
+        let s = b.op("s", Op::Add, &[l, r]).unwrap();
+        let g = b.finish(&[s]).unwrap();
+        let m = analyze(&g);
+        assert_eq!(m.depth, 2);
+        assert_eq!(m.max_width, 2);
+        assert!(m.critical_path_flops_fraction < 0.75);
+    }
+
+    #[test]
+    fn flops_by_op_sums_to_total() {
+        let g = chain(3);
+        let m = analyze(&g);
+        let sum: f64 = m.flops_by_op.iter().map(|(_, f)| f).sum();
+        assert!((sum - m.total.flops).abs() < 1e-6);
+    }
+
+    #[test]
+    fn display_is_complete() {
+        let s = analyze(&chain(2)).to_string();
+        assert!(s.contains("2 operators"));
+        assert!(s.contains("linear"));
+    }
+
+    #[test]
+    fn empty_graph_is_safe() {
+        let mut g = Graph::new("empty");
+        g.add_input("x", vec![1]);
+        let m = analyze(&g);
+        assert_eq!(m.operators, 0);
+        assert_eq!(m.depth, 0);
+        assert_eq!(m.critical_path_flops_fraction, 1.0);
+    }
+}

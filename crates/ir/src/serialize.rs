@@ -1,0 +1,489 @@
+//! Binary model serialization.
+//!
+//! DUET's input is "a pre-compiled DNN model" (§IV): graphs arrive as
+//! artifacts, not as Rust code. This module defines that artifact — a
+//! compact little-endian binary format holding the full graph structure
+//! *and* the weights, so a model can be built once, saved, and served by
+//! a process that never links the model zoo.
+//!
+//! Layout (version 1):
+//!
+//! ```text
+//! magic "DUET" | u16 version | name | u32 node count
+//! per node : label | u8 op tag | op attributes | shape | u32 input ids…
+//! outputs  : u32 count | u32 ids…
+//! params   : u32 count | (u32 node id | u64 byte len | f32 LE data)…
+//! ```
+//!
+//! Strings are `u32 length + UTF-8`; shapes are `u8 rank + u64 dims`.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use duet_tensor::{Shape, Tensor};
+
+use crate::graph::{Graph, NodeId};
+use crate::op::Op;
+
+const MAGIC: &[u8; 4] = b"DUET";
+const VERSION: u16 = 1;
+
+/// Decoding failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Not a DUET model file.
+    BadMagic,
+    /// Format version this build cannot read.
+    UnsupportedVersion(u16),
+    /// Buffer ended mid-record.
+    Truncated,
+    /// Unknown operator tag.
+    UnknownOp(u8),
+    /// Payload not valid UTF-8.
+    BadString,
+    /// Structure invalid after reconstruction (dangling ids, arity, …).
+    Invalid(String),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::BadMagic => write!(f, "not a DUET model (bad magic)"),
+            DecodeError::UnsupportedVersion(v) => write!(f, "unsupported format version {v}"),
+            DecodeError::Truncated => write!(f, "model file truncated"),
+            DecodeError::UnknownOp(t) => write!(f, "unknown operator tag {t}"),
+            DecodeError::BadString => write!(f, "invalid UTF-8 in model file"),
+            DecodeError::Invalid(msg) => write!(f, "invalid model structure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn put_shape(buf: &mut BytesMut, shape: &Shape) {
+    buf.put_u8(shape.rank() as u8);
+    for &d in shape.dims() {
+        buf.put_u64_le(d as u64);
+    }
+}
+
+fn put_op(buf: &mut BytesMut, op: &Op) {
+    match op {
+        Op::Input => buf.put_u8(0),
+        Op::Constant => buf.put_u8(1),
+        Op::Linear => buf.put_u8(2),
+        Op::MatMul => buf.put_u8(3),
+        Op::Conv2d { stride, padding, bias } => {
+            buf.put_u8(4);
+            buf.put_u32_le(*stride as u32);
+            buf.put_u32_le(*padding as u32);
+            buf.put_u8(u8::from(*bias));
+        }
+        Op::BatchNorm2d => buf.put_u8(5),
+        Op::MaxPool2d { window, stride } => {
+            buf.put_u8(6);
+            buf.put_u32_le(*window as u32);
+            buf.put_u32_le(*stride as u32);
+        }
+        Op::AvgPool2d { window, stride } => {
+            buf.put_u8(7);
+            buf.put_u32_le(*window as u32);
+            buf.put_u32_le(*stride as u32);
+        }
+        Op::GlobalAvgPool2d => buf.put_u8(8),
+        Op::Lstm => buf.put_u8(9),
+        Op::Gru => buf.put_u8(10),
+        Op::Mha { heads } => {
+            buf.put_u8(11);
+            buf.put_u32_le(*heads as u32);
+        }
+        Op::LayerNorm { eps } => {
+            buf.put_u8(12);
+            buf.put_f32_le(*eps);
+        }
+        Op::Softmax => buf.put_u8(13),
+        Op::LogSoftmax => buf.put_u8(14),
+        Op::Relu => buf.put_u8(15),
+        Op::Sigmoid => buf.put_u8(16),
+        Op::Tanh => buf.put_u8(17),
+        Op::Gelu => buf.put_u8(18),
+        Op::Add => buf.put_u8(19),
+        Op::Sub => buf.put_u8(20),
+        Op::Mul => buf.put_u8(21),
+        Op::BiasAdd => buf.put_u8(22),
+        Op::Scale { factor } => {
+            buf.put_u8(23);
+            buf.put_f32_le(*factor);
+        }
+        Op::Concat { axis } => {
+            buf.put_u8(24);
+            buf.put_u32_le(*axis as u32);
+        }
+        Op::Embedding => buf.put_u8(25),
+        Op::Reshape { shape } => {
+            buf.put_u8(26);
+            buf.put_u8(shape.len() as u8);
+            for &d in shape {
+                buf.put_u64_le(d as u64);
+            }
+        }
+        Op::Transpose2d => buf.put_u8(27),
+        Op::ReduceSum => buf.put_u8(28),
+        Op::ReduceMean => buf.put_u8(29),
+        Op::ReduceMax => buf.put_u8(30),
+        Op::SliceRows { start, end } => {
+            buf.put_u8(31);
+            buf.put_u64_le(*start as u64);
+            buf.put_u64_le(*end as u64);
+        }
+        Op::DepthwiseConv2d { stride, padding, bias } => {
+            buf.put_u8(32);
+            buf.put_u32_le(*stride as u32);
+            buf.put_u32_le(*padding as u32);
+            buf.put_u8(u8::from(*bias));
+        }
+    }
+}
+
+/// Serialize a graph (structure + weights) to bytes.
+pub fn encode(graph: &Graph) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64 + graph.param_bytes() + graph.len() * 32);
+    buf.put_slice(MAGIC);
+    buf.put_u16_le(VERSION);
+    put_str(&mut buf, &graph.name);
+    buf.put_u32_le(graph.len() as u32);
+    for node in graph.nodes() {
+        put_str(&mut buf, &node.label);
+        put_op(&mut buf, &node.op);
+        put_shape(&mut buf, &node.shape);
+        buf.put_u32_le(node.inputs.len() as u32);
+        for &i in &node.inputs {
+            buf.put_u32_le(i as u32);
+        }
+    }
+    buf.put_u32_le(graph.outputs().len() as u32);
+    for &o in graph.outputs() {
+        buf.put_u32_le(o as u32);
+    }
+    let params: Vec<(NodeId, &Tensor)> = graph
+        .nodes()
+        .iter()
+        .filter_map(|n| graph.param(n.id).map(|t| (n.id, t)))
+        .collect();
+    buf.put_u32_le(params.len() as u32);
+    for (id, t) in params {
+        buf.put_u32_le(id as u32);
+        buf.put_u64_le((t.len() * 4) as u64);
+        for &v in t.data() {
+            buf.put_f32_le(v);
+        }
+    }
+    buf.freeze()
+}
+
+struct Reader {
+    buf: Bytes,
+}
+
+impl Reader {
+    fn need(&self, n: usize) -> Result<(), DecodeError> {
+        if self.buf.remaining() < n {
+            return Err(DecodeError::Truncated);
+        }
+        Ok(())
+    }
+
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        self.need(1)?;
+        Ok(self.buf.get_u8())
+    }
+
+    fn u16(&mut self) -> Result<u16, DecodeError> {
+        self.need(2)?;
+        Ok(self.buf.get_u16_le())
+    }
+
+    fn u32(&mut self) -> Result<usize, DecodeError> {
+        self.need(4)?;
+        Ok(self.buf.get_u32_le() as usize)
+    }
+
+    fn u64(&mut self) -> Result<usize, DecodeError> {
+        self.need(8)?;
+        Ok(self.buf.get_u64_le() as usize)
+    }
+
+    fn f32(&mut self) -> Result<f32, DecodeError> {
+        self.need(4)?;
+        Ok(self.buf.get_f32_le())
+    }
+
+    fn string(&mut self) -> Result<String, DecodeError> {
+        let n = self.u32()?;
+        self.need(n)?;
+        let raw = self.buf.copy_to_bytes(n);
+        String::from_utf8(raw.to_vec()).map_err(|_| DecodeError::BadString)
+    }
+
+    fn shape(&mut self) -> Result<Shape, DecodeError> {
+        let rank = self.u8()? as usize;
+        let mut dims = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            dims.push(self.u64()?);
+        }
+        Ok(Shape::new(dims))
+    }
+
+    fn op(&mut self) -> Result<Op, DecodeError> {
+        let tag = self.u8()?;
+        Ok(match tag {
+            0 => Op::Input,
+            1 => Op::Constant,
+            2 => Op::Linear,
+            3 => Op::MatMul,
+            4 => Op::Conv2d {
+                stride: self.u32()?,
+                padding: self.u32()?,
+                bias: self.u8()? != 0,
+            },
+            5 => Op::BatchNorm2d,
+            6 => Op::MaxPool2d { window: self.u32()?, stride: self.u32()? },
+            7 => Op::AvgPool2d { window: self.u32()?, stride: self.u32()? },
+            8 => Op::GlobalAvgPool2d,
+            9 => Op::Lstm,
+            10 => Op::Gru,
+            11 => Op::Mha { heads: self.u32()? },
+            12 => Op::LayerNorm { eps: self.f32()? },
+            13 => Op::Softmax,
+            14 => Op::LogSoftmax,
+            15 => Op::Relu,
+            16 => Op::Sigmoid,
+            17 => Op::Tanh,
+            18 => Op::Gelu,
+            19 => Op::Add,
+            20 => Op::Sub,
+            21 => Op::Mul,
+            22 => Op::BiasAdd,
+            23 => Op::Scale { factor: self.f32()? },
+            24 => Op::Concat { axis: self.u32()? },
+            25 => Op::Embedding,
+            26 => {
+                let rank = self.u8()? as usize;
+                let mut shape = Vec::with_capacity(rank);
+                for _ in 0..rank {
+                    shape.push(self.u64()?);
+                }
+                Op::Reshape { shape }
+            }
+            27 => Op::Transpose2d,
+            28 => Op::ReduceSum,
+            29 => Op::ReduceMean,
+            30 => Op::ReduceMax,
+            31 => Op::SliceRows { start: self.u64()?, end: self.u64()? },
+            32 => Op::DepthwiseConv2d {
+                stride: self.u32()?,
+                padding: self.u32()?,
+                bias: self.u8()? != 0,
+            },
+            other => return Err(DecodeError::UnknownOp(other)),
+        })
+    }
+}
+
+/// Decode a graph from bytes. The graph is rebuilt through the validated
+/// construction API, so malformed files fail with [`DecodeError::Invalid`]
+/// rather than producing a broken graph.
+pub fn decode(data: impl Into<Bytes>) -> Result<Graph, DecodeError> {
+    let mut r = Reader { buf: data.into() };
+    r.need(4)?;
+    let magic = r.buf.copy_to_bytes(4);
+    if magic.as_ref() != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let version = r.u16()?;
+    if version != VERSION {
+        return Err(DecodeError::UnsupportedVersion(version));
+    }
+    let name = r.string()?;
+    let node_count = r.u32()?;
+
+    struct RawNode {
+        label: String,
+        op: Op,
+        shape: Shape,
+        inputs: Vec<NodeId>,
+    }
+    let mut raw = Vec::with_capacity(node_count);
+    for _ in 0..node_count {
+        let label = r.string()?;
+        let op = r.op()?;
+        let shape = r.shape()?;
+        let n_inputs = r.u32()?;
+        let mut inputs = Vec::with_capacity(n_inputs);
+        for _ in 0..n_inputs {
+            inputs.push(r.u32()?);
+        }
+        raw.push(RawNode { label, op, shape, inputs });
+    }
+    let n_outputs = r.u32()?;
+    let mut outputs = Vec::with_capacity(n_outputs);
+    for _ in 0..n_outputs {
+        outputs.push(r.u32()?);
+    }
+    let n_params = r.u32()?;
+    let mut params: std::collections::HashMap<NodeId, Tensor> =
+        std::collections::HashMap::with_capacity(n_params);
+    let mut param_shapes: Vec<(NodeId, usize)> = Vec::with_capacity(n_params);
+    for _ in 0..n_params {
+        let id = r.u32()?;
+        let bytes = r.u64()?;
+        if bytes % 4 != 0 {
+            return Err(DecodeError::Invalid("param byte length not f32-aligned".into()));
+        }
+        let n = bytes / 4;
+        let mut data = Vec::with_capacity(n);
+        for _ in 0..n {
+            data.push(r.f32()?);
+        }
+        let shape = raw
+            .get(id)
+            .map(|rn| rn.shape.clone())
+            .ok_or_else(|| DecodeError::Invalid(format!("param for unknown node {id}")))?;
+        let t = Tensor::from_vec(shape, data)
+            .map_err(|e| DecodeError::Invalid(e.to_string()))?;
+        params.insert(id, t);
+        param_shapes.push((id, n));
+    }
+
+    // Rebuild through the validated API.
+    let mut g = Graph::new(name);
+    for (id, rn) in raw.into_iter().enumerate() {
+        match rn.op {
+            Op::Input => {
+                g.add_input(rn.label, rn.shape);
+            }
+            Op::Constant => {
+                let t = params
+                    .remove(&id)
+                    .ok_or_else(|| DecodeError::Invalid(format!("constant {id} missing payload")))?;
+                if t.shape() != &rn.shape {
+                    return Err(DecodeError::Invalid(format!("constant {id} shape mismatch")));
+                }
+                g.add_constant(rn.label, t);
+            }
+            op => {
+                let new_id = g
+                    .add_op(rn.label, op, &rn.inputs)
+                    .map_err(|e| DecodeError::Invalid(e.to_string()))?;
+                if g.node(new_id).shape != rn.shape {
+                    return Err(DecodeError::Invalid(format!(
+                        "node {id}: stored shape disagrees with inference"
+                    )));
+                }
+            }
+        }
+    }
+    for o in outputs {
+        g.mark_output(o).map_err(|e| DecodeError::Invalid(e.to_string()))?;
+    }
+    g.validate().map_err(|e| DecodeError::Invalid(e.to_string()))?;
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+    use std::collections::HashMap;
+
+    fn sample() -> Graph {
+        let mut b = GraphBuilder::new("sample", 3);
+        let x = b.input("x", vec![1, 3, 8, 8]);
+        let c = b.conv_bn_relu("conv", x, 4, 3, 1, 1, true).unwrap();
+        let gap = b.op("gap", Op::GlobalAvgPool2d, &[c]).unwrap();
+        let y = b.dense("head", gap, 2, None).unwrap();
+        let sm = b.op("softmax", Op::Softmax, &[y]).unwrap();
+        b.finish(&[sm]).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure_and_weights() {
+        let g = sample();
+        let bytes = encode(&g);
+        let back = decode(bytes).unwrap();
+        assert_eq!(back.len(), g.len());
+        assert_eq!(back.name, g.name);
+        assert_eq!(back.outputs(), g.outputs());
+        for n in g.nodes() {
+            assert_eq!(back.node(n.id).op, n.op);
+            assert_eq!(back.node(n.id).shape, n.shape);
+            assert_eq!(back.node(n.id).inputs, n.inputs);
+            if let Some(p) = g.param(n.id) {
+                assert_eq!(back.param(n.id).unwrap(), p, "weights bit-identical");
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_evaluation() {
+        let g = sample();
+        let back = decode(encode(&g)).unwrap();
+        let x = g.input_ids()[0];
+        let input = Tensor::randn(vec![1, 3, 8, 8], 1.0, 5);
+        let a = g.eval(&HashMap::from([(x, input.clone())])).unwrap();
+        let b = back.eval(&HashMap::from([(x, input)])).unwrap();
+        assert_eq!(a[0], b[0], "bit-identical outputs after reload");
+    }
+
+    #[test]
+    fn all_op_attributes_roundtrip() {
+        // Exercise every attribute-bearing variant.
+        let mut b = GraphBuilder::new("ops", 1);
+        let x = b.input("x", vec![4, 6]);
+        let sl = b.op("slice", Op::SliceRows { start: 1, end: 3 }, &[x]).unwrap();
+        let rs = b.op("reshape", Op::Reshape { shape: vec![3, 4] }, &[sl]).unwrap();
+        let sc = b.op("scale", Op::Scale { factor: -2.5 }, &[rs]).unwrap();
+        let g1 = b.finish(&[sc]).unwrap();
+        let g2 = decode(encode(&g1)).unwrap();
+        assert_eq!(g2.node(sl).op, Op::SliceRows { start: 1, end: 3 });
+        assert_eq!(g2.node(sc).op, Op::Scale { factor: -2.5 });
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_truncation() {
+        assert_eq!(decode(Bytes::from_static(b"DU")).unwrap_err(), DecodeError::Truncated);
+        assert_eq!(decode(Bytes::from_static(b"NOPE")).unwrap_err(), DecodeError::BadMagic);
+        assert_eq!(
+            decode(Bytes::from_static(b"XXXXxxxxxxxx")).unwrap_err(),
+            DecodeError::BadMagic
+        );
+        let good = encode(&sample());
+        let cut = good.slice(0..good.len() / 2);
+        assert!(matches!(decode(cut), Err(_)));
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let mut data = encode(&sample()).to_vec();
+        data[4] = 99;
+        assert_eq!(
+            decode(Bytes::from(data)).unwrap_err(),
+            DecodeError::UnsupportedVersion(99)
+        );
+    }
+
+    #[test]
+    fn big_model_roundtrips() {
+        use duet_tensor::Tensor as T;
+        let mut g = Graph::new("big");
+        let table = g.add_constant("table", T::randn(vec![100, 32], 1.0, 1));
+        let ids = g.add_input("ids", vec![16]);
+        let e = g.add_op("embed", Op::Embedding, &[table, ids]).unwrap();
+        g.mark_output(e).unwrap();
+        let back = decode(encode(&g)).unwrap();
+        assert_eq!(back.param_bytes(), g.param_bytes());
+    }
+}

@@ -1,0 +1,138 @@
+//! Property-based tests for the IR: shape inference must agree with
+//! execution, cost accounting must be sane, and the expression-to-graph
+//! translation must preserve value semantics and sharing.
+
+use std::collections::HashMap;
+
+use duet_ir::{expr, CostProfile, Graph, GraphBuilder, NodeId, Op};
+use duet_tensor::{Shape, Tensor};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Spec {
+    op_sel: u8,
+    a: prop::sample::Index,
+    b: prop::sample::Index,
+}
+
+fn spec() -> impl Strategy<Value = Spec> {
+    (0u8..6, any::<prop::sample::Index>(), any::<prop::sample::Index>())
+        .prop_map(|(op_sel, a, b)| Spec { op_sel, a, b })
+}
+
+fn op_of(sel: u8) -> Op {
+    match sel {
+        0 => Op::Relu,
+        1 => Op::Tanh,
+        2 => Op::Sigmoid,
+        3 => Op::Add,
+        4 => Op::Mul,
+        _ => Op::Scale { factor: -0.5 },
+    }
+}
+
+fn build(specs: &[Spec]) -> (Graph, NodeId) {
+    let mut g = Graph::new("r");
+    let x = g.add_input("x", vec![5]);
+    let mut nodes = vec![x];
+    for (i, s) in specs.iter().enumerate() {
+        let op = op_of(s.op_sel);
+        let pick = |idx: &prop::sample::Index| nodes[idx.index(nodes.len())];
+        let id = if matches!(op, Op::Add | Op::Mul) {
+            g.add_op(format!("n{i}"), op, &[pick(&s.a), pick(&s.b)]).unwrap()
+        } else {
+            g.add_op(format!("n{i}"), op, &[pick(&s.a)]).unwrap()
+        };
+        nodes.push(id);
+    }
+    let last = *nodes.last().unwrap();
+    let out = if last == x { g.add_op("o", Op::Relu, &[x]).unwrap() } else { last };
+    g.mark_output(out).unwrap();
+    (g, x)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn inferred_shapes_match_executed_shapes(specs in prop::collection::vec(spec(), 1..30)) {
+        let (g, x) = build(&specs);
+        let input = Tensor::randn(vec![5], 1.0, 1);
+        let mut values: HashMap<NodeId, Tensor> = HashMap::from([(x, input)]);
+        for node in g.nodes() {
+            if matches!(node.op, Op::Input | Op::Constant) {
+                continue;
+            }
+            let ins: Vec<&Tensor> = node.inputs.iter().map(|i| &values[i]).collect();
+            let out = node.op.execute(&ins).unwrap();
+            prop_assert_eq!(out.shape(), &node.shape, "node {}", node.label);
+            values.insert(node.id, out);
+        }
+    }
+
+    #[test]
+    fn validate_accepts_every_built_graph(specs in prop::collection::vec(spec(), 1..40)) {
+        let (g, _) = build(&specs);
+        prop_assert!(g.validate().is_ok());
+        // Topological invariant: inputs precede consumers.
+        for n in g.nodes() {
+            for &i in &n.inputs {
+                prop_assert!(i < n.id);
+            }
+        }
+    }
+
+    #[test]
+    fn costs_are_nonnegative_and_total_is_sum(specs in prop::collection::vec(spec(), 1..30)) {
+        let (g, _) = build(&specs);
+        let mut acc = CostProfile::zero();
+        for id in g.compute_ids() {
+            let c = g.node_cost(id);
+            prop_assert!(c.flops >= 0.0 && c.bytes_in >= 0.0 && c.bytes_out >= 0.0);
+            prop_assert!(c.parallelism >= 1.0);
+            acc = acc.merge(&c);
+        }
+        let total = g.total_cost();
+        prop_assert!((total.flops - acc.flops).abs() < 1e-6);
+        prop_assert!((total.kernel_launches - acc.kernel_launches).abs() < 1e-9);
+    }
+
+    #[test]
+    fn expr_translation_matches_direct_eval(n_ops in 1usize..20, seed in any::<u64>()) {
+        // Build a random chain expression and translate it.
+        let x = expr::Expr::var("x", vec![4]);
+        let mut e = x.clone();
+        let mut s = seed;
+        for i in 0..n_ops {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let op = op_of((s >> 33) as u8 % 6);
+            e = if matches!(op, Op::Add | Op::Mul) {
+                expr::Expr::call(format!("e{i}"), op, vec![e.clone(), x.clone()])
+            } else {
+                expr::Expr::call(format!("e{i}"), op, vec![e])
+            };
+        }
+        let g = expr::to_graph("t", &[e]).unwrap();
+        let input = Tensor::randn(vec![4], 1.0, seed);
+        let out = g
+            .eval(&HashMap::from([(g.input_ids()[0], input.clone())]))
+            .unwrap();
+        prop_assert!(out[0].data().iter().all(|v| v.is_finite()));
+        // Shared var appears exactly once in the graph.
+        prop_assert_eq!(g.input_ids().len(), 1);
+    }
+
+    #[test]
+    fn builder_dense_shapes_always_consistent(
+        batch in 1usize..4, input in 1usize..12, out in 1usize..12, seed in any::<u64>()
+    ) {
+        let mut b = GraphBuilder::new("d", seed);
+        let x = b.input("x", vec![batch, input]);
+        let y = b.dense("fc", x, out, Some(Op::Relu)).unwrap();
+        let g = b.finish(&[y]).unwrap();
+        prop_assert_eq!(g.node(y).shape.clone(), Shape::new(vec![batch, out]));
+        let feeds = HashMap::from([(x, Tensor::randn(vec![batch, input], 1.0, seed))]);
+        let r = g.eval(&feeds).unwrap();
+        prop_assert!(r[0].data().iter().all(|v| v.is_finite() && *v >= 0.0));
+    }
+}

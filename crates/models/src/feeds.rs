@@ -1,0 +1,92 @@
+//! Deterministic input generation for any zoo model.
+
+use std::collections::HashMap;
+
+use duet_ir::{Graph, NodeId, Op};
+use duet_tensor::Tensor;
+
+/// Generate a feed tensor for every `Input` node of `graph`.
+///
+/// Inputs consumed as the id operand of an `Embedding` get integral values
+/// uniform in `[0, vocab)` (vocab read from the table constant); all other
+/// inputs get unit Gaussians. Deterministic in `(seed, node id)`.
+pub fn input_feeds(graph: &Graph, seed: u64) -> HashMap<NodeId, Tensor> {
+    let mut feeds = HashMap::new();
+    for id in graph.input_ids() {
+        let node = graph.node(id);
+        let vocab = embedding_vocab(graph, id);
+        let t = match vocab {
+            Some(v) => {
+                let raw = Tensor::rand_uniform(
+                    node.shape.clone(),
+                    0.0,
+                    v as f32,
+                    seed ^ (id as u64).wrapping_mul(0x9E37_79B9),
+                );
+                let ids: Vec<f32> = raw.data().iter().map(|x| x.floor()).collect();
+                Tensor::from_vec(node.shape.clone(), ids).expect("shape preserved")
+            }
+            None => Tensor::randn(node.shape.clone(), 1.0, seed ^ (id as u64).wrapping_mul(31)),
+        };
+        feeds.insert(id, t);
+    }
+    feeds
+}
+
+/// If `input` is used as embedding ids anywhere, the smallest table vocab
+/// it must respect.
+fn embedding_vocab(graph: &Graph, input: NodeId) -> Option<usize> {
+    let mut vocab: Option<usize> = None;
+    for consumer in &graph.node(input).outputs {
+        let c = graph.node(*consumer);
+        if matches!(c.op, Op::Embedding) && c.inputs.get(1) == Some(&input) {
+            let table = graph.node(c.inputs[0]);
+            let v = table.shape.dim(0);
+            vocab = Some(vocab.map_or(v, |cur| cur.min(v)));
+        }
+    }
+    vocab
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gaussian_for_plain_inputs() {
+        let mut g = Graph::new("t");
+        let x = g.add_input("x", vec![100]);
+        let y = g.add_op("y", Op::Relu, &[x]).unwrap();
+        g.mark_output(y).unwrap();
+        let feeds = input_feeds(&g, 1);
+        assert_eq!(feeds.len(), 1);
+        // Gaussian: not all integral.
+        assert!(feeds[&x].data().iter().any(|v| v.fract() != 0.0));
+    }
+
+    #[test]
+    fn integral_in_range_for_embedding_ids() {
+        let mut g = Graph::new("t");
+        let table = g.add_constant("table", Tensor::zeros(vec![17, 4]));
+        let ids = g.add_input("ids", vec![64]);
+        let e = g.add_op("e", Op::Embedding, &[table, ids]).unwrap();
+        g.mark_output(e).unwrap();
+        let feeds = input_feeds(&g, 2);
+        for &v in feeds[&ids].data() {
+            assert_eq!(v.fract(), 0.0);
+            assert!((0.0..17.0).contains(&v));
+        }
+        // And the graph actually evaluates.
+        g.eval(&feeds).unwrap();
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut g = Graph::new("t");
+        let x = g.add_input("x", vec![8]);
+        let y = g.add_op("y", Op::Relu, &[x]).unwrap();
+        g.mark_output(y).unwrap();
+        assert_eq!(input_feeds(&g, 5)[&x], input_feeds(&g, 5)[&x]);
+        assert_ne!(input_feeds(&g, 5)[&x], input_feeds(&g, 6)[&x]);
+    }
+}

@@ -1,0 +1,55 @@
+//! # duet-models
+//!
+//! The model zoo: every workload in the paper's evaluation, expressed as
+//! DUET IR builders.
+//!
+//! * [`wide_and_deep`] — Wide-and-Deep network (Cheng et al.) with
+//!   heterogeneous content encoders: wide linear, deep FFN, an LSTM text
+//!   branch and a ResNet image branch (paper Fig. 2, Table I/II, and all
+//!   of the §VI-D sweeps).
+//! * [`siamese`] — Siamese bi-LSTM similarity ranker (Neculoiu et al.),
+//!   two independent recurrent branches.
+//! * [`mtdnn`] — MT-DNN (Liu et al.): shared transformer encoder plus
+//!   multiple independent task heads with GRU answer modules.
+//! * [`resnet`] — plain ResNet-18/34/50/101 classifiers (§VI-E fallback
+//!   study) plus [`vgg16`], [`squeezenet`] and [`mlp`] as extra
+//!   "traditional, sequential" workloads.
+//!
+//! Every builder takes a `Config` with `Default` set to the paper-scale
+//! parameters and a `small()` variant for numeric tests, and produces a
+//! validated [`duet_ir::Graph`] with deterministic seeded weights.
+
+pub mod feeds;
+pub mod mlp;
+pub mod mobilenet;
+pub mod mtdnn;
+pub mod resnet;
+pub mod siamese;
+pub mod squeezenet;
+pub mod vgg;
+pub mod wide_deep;
+
+pub use feeds::input_feeds;
+pub use mlp::{mlp, MlpConfig};
+pub use mobilenet::{mobilenet, MobileNetConfig};
+pub use mtdnn::{mtdnn, MtDnnConfig};
+pub use resnet::{resnet, ResNetConfig};
+pub use siamese::{siamese, SiameseConfig};
+pub use squeezenet::squeezenet;
+pub use vgg::vgg16;
+pub use wide_deep::{wide_and_deep, WideAndDeepConfig};
+
+/// Every paper workload by name, for harness loops.
+pub fn zoo_model(name: &str) -> Option<duet_ir::Graph> {
+    match name {
+        "wide_and_deep" => Some(wide_and_deep(&WideAndDeepConfig::default())),
+        "siamese" => Some(siamese(&SiameseConfig::default())),
+        "mtdnn" => Some(mtdnn(&MtDnnConfig::default())),
+        "resnet18" => Some(resnet(&ResNetConfig { depth: 18, ..Default::default() })),
+        "resnet50" => Some(resnet(&ResNetConfig { depth: 50, ..Default::default() })),
+        "vgg16" => Some(vgg16(1, 224)),
+        "mobilenet" => Some(mobilenet(&MobileNetConfig::default())),
+        "squeezenet" => Some(squeezenet(1, 224)),
+        _ => None,
+    }
+}

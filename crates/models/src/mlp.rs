@@ -1,0 +1,59 @@
+//! A plain MLP — the simplest sequential workload; useful as a fallback
+//! smoke test and for the partitioner's trivial-chain path.
+
+use duet_ir::{Graph, GraphBuilder, Op};
+use serde::{Deserialize, Serialize};
+
+/// MLP configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MlpConfig {
+    pub batch: usize,
+    pub input: usize,
+    pub hidden: usize,
+    pub layers: usize,
+    pub classes: usize,
+    pub seed: u64,
+}
+
+impl Default for MlpConfig {
+    fn default() -> Self {
+        MlpConfig { batch: 1, input: 784, hidden: 1024, layers: 4, classes: 10, seed: 0x317 }
+    }
+}
+
+/// Build the MLP graph.
+pub fn mlp(cfg: &MlpConfig) -> Graph {
+    let mut b = GraphBuilder::new("mlp", cfg.seed);
+    let x = b.input("x", vec![cfg.batch, cfg.input]);
+    let mut h = x;
+    for l in 0..cfg.layers {
+        h = b.dense(&format!("fc{l}"), h, cfg.hidden, Some(Op::Relu)).expect("layer");
+    }
+    let logits = b.dense("head", h, cfg.classes, None).expect("head");
+    let probs = b.op("softmax", Op::Softmax, &[logits]).expect("softmax");
+    b.finish(&[probs]).expect("mlp builds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input_feeds;
+
+    #[test]
+    fn runs_and_normalises() {
+        let g = mlp(&MlpConfig { hidden: 32, input: 16, ..Default::default() });
+        let out = g.eval(&input_feeds(&g, 1)).unwrap();
+        let s: f32 = out[0].data().iter().sum();
+        assert!((s - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn purely_sequential_chain() {
+        // Every compute node except the last feeds exactly one consumer.
+        let g = mlp(&MlpConfig::default());
+        for id in g.compute_ids() {
+            let n = g.node(id);
+            assert!(n.outputs.len() <= 1, "node {} has fanout {}", n.label, n.outputs.len());
+        }
+    }
+}

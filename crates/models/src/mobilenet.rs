@@ -1,0 +1,151 @@
+//! MobileNetV1 (Howard et al.) — depthwise-separable convolutions.
+//!
+//! An extension workload beyond the paper's zoo: MobileNet's depthwise
+//! stages have very low arithmetic intensity (kh*kw MACs per output
+//! element), so they sit near the *memory* roof rather than the compute
+//! roof — a different device trade-off than ResNet, and a stress test
+//! for the cost model. Structurally it is sequential, so DUET is
+//! expected to fall back, like the other traditional CNNs of §VI-E.
+
+use duet_ir::{Graph, GraphBuilder, NodeId, Op};
+use serde::{Deserialize, Serialize};
+
+/// MobileNetV1 configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MobileNetConfig {
+    pub batch: usize,
+    pub image: usize,
+    /// Width multiplier alpha (1.0 = full network).
+    pub width_mult: f64,
+    pub num_classes: usize,
+    pub seed: u64,
+}
+
+impl Default for MobileNetConfig {
+    fn default() -> Self {
+        MobileNetConfig { batch: 1, image: 224, width_mult: 1.0, num_classes: 1000, seed: 0x30b }
+    }
+}
+
+impl MobileNetConfig {
+    /// Tiny variant for numeric tests.
+    pub fn small() -> Self {
+        MobileNetConfig { batch: 1, image: 32, width_mult: 0.25, num_classes: 10, seed: 5 }
+    }
+
+    fn scaled(&self, channels: usize) -> usize {
+        ((channels as f64 * self.width_mult).round() as usize).max(8)
+    }
+}
+
+/// Depthwise-separable block: depthwise 3x3 (+BN+ReLU) then pointwise
+/// 1x1 conv (+BN+ReLU).
+fn separable(
+    b: &mut GraphBuilder,
+    x: NodeId,
+    out_ch: usize,
+    stride: usize,
+    label: &str,
+) -> NodeId {
+    let c_in = b.graph().node(x).shape.dim(1);
+    let dw_w = b.weight(&format!("{label}.dw.w"), &[c_in, 1, 3, 3]);
+    let dw = b
+        .op(
+            &format!("{label}.dw"),
+            Op::DepthwiseConv2d { stride, padding: 1, bias: false },
+            &[x, dw_w],
+        )
+        .expect("depthwise conv");
+    let dw_bn = bn_relu(b, dw, c_in, &format!("{label}.dw"));
+    let pw = b
+        .conv_bn_relu(&format!("{label}.pw"), dw_bn, out_ch, 1, 1, 0, true)
+        .expect("pointwise conv");
+    pw
+}
+
+fn bn_relu(b: &mut GraphBuilder, x: NodeId, c: usize, label: &str) -> NodeId {
+    let g = b.ones(&format!("{label}.bn.g"), &[c]);
+    let beta = b.zeros(&format!("{label}.bn.b"), &[c]);
+    let m = b.zeros(&format!("{label}.bn.m"), &[c]);
+    let v = b.ones(&format!("{label}.bn.v"), &[c]);
+    let bn = b
+        .op(&format!("{label}.bn"), Op::BatchNorm2d, &[x, g, beta, m, v])
+        .expect("bn");
+    b.op(&format!("{label}.relu"), Op::Relu, &[bn]).expect("relu")
+}
+
+/// Build MobileNetV1.
+pub fn mobilenet(cfg: &MobileNetConfig) -> Graph {
+    let mut b = GraphBuilder::new("mobilenet_v1", cfg.seed);
+    let x = b.input("image", vec![cfg.batch, 3, cfg.image, cfg.image]);
+    let mut h = b
+        .conv_bn_relu("cnn.stem", x, cfg.scaled(32), 3, 2, 1, true)
+        .expect("stem");
+    // (out_channels, stride) per separable block, standard V1 layout.
+    let blocks: [(usize, usize); 13] = [
+        (64, 1),
+        (128, 2),
+        (128, 1),
+        (256, 2),
+        (256, 1),
+        (512, 2),
+        (512, 1),
+        (512, 1),
+        (512, 1),
+        (512, 1),
+        (512, 1),
+        (1024, 2),
+        (1024, 1),
+    ];
+    for (i, (ch, stride)) in blocks.iter().enumerate() {
+        h = separable(&mut b, h, cfg.scaled(*ch), *stride, &format!("cnn.sep{i}"));
+    }
+    let gap = b.op("gap", Op::GlobalAvgPool2d, &[h]).expect("gap");
+    let logits = b.dense("head", gap, cfg.num_classes, None).expect("head");
+    let probs = b.op("softmax", Op::Softmax, &[logits]).expect("softmax");
+    b.finish(&[probs]).expect("mobilenet builds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input_feeds;
+
+    #[test]
+    fn thirteen_separable_blocks() {
+        let g = mobilenet(&MobileNetConfig::default());
+        let dw = g
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.op, Op::DepthwiseConv2d { .. }))
+            .count();
+        assert_eq!(dw, 13);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn much_lighter_than_resnet18() {
+        // MobileNet's selling point: ~0.57 GMACs vs ResNet-18's ~1.8.
+        let m = mobilenet(&MobileNetConfig::default()).total_cost();
+        let r = crate::resnet(&crate::ResNetConfig::default()).total_cost();
+        assert!(m.flops < r.flops / 2.5, "mobilenet {} resnet {}", m.flops, r.flops);
+    }
+
+    #[test]
+    fn width_multiplier_scales_work() {
+        let full = mobilenet(&MobileNetConfig::default()).total_cost().flops;
+        let half = mobilenet(&MobileNetConfig { width_mult: 0.5, ..Default::default() })
+            .total_cost()
+            .flops;
+        assert!(half < full / 2.5, "half {half} full {full}");
+    }
+
+    #[test]
+    fn small_config_runs_numerically() {
+        let g = mobilenet(&MobileNetConfig::small());
+        let out = g.eval(&input_feeds(&g, 6)).unwrap();
+        assert_eq!(out[0].shape().dims(), &[1, 10]);
+        let s: f32 = out[0].data().iter().sum();
+        assert!((s - 1.0).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,198 @@
+//! MT-DNN (Liu et al. 2020): a shared transformer encoder with multiple
+//! independent task-specific output layers (paper Fig. 3).
+//!
+//! The shared layers (lexicon encoder + multi-layer bidirectional
+//! transformer) are GEMM-heavy and wide — GPU territory. Each task head is
+//! a SAN-style answer module built around a GRU — recurrent, narrow, CPU
+//! territory. The heads are mutually independent, so after the encoder
+//! finishes DUET can fan them out across both devices.
+
+use duet_ir::{Graph, GraphBuilder, NodeId, Op};
+use duet_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// MT-DNN configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MtDnnConfig {
+    /// Token sequence length (batch is 1: single-query inference).
+    pub seq_len: usize,
+    pub vocab: usize,
+    pub d_model: usize,
+    pub heads: usize,
+    pub ffn_dim: usize,
+    /// Transformer encoder depth.
+    pub encoder_layers: usize,
+    /// Number of independent task heads.
+    pub num_tasks: usize,
+    /// GRU width inside each task's answer module.
+    pub task_hidden: usize,
+    /// Classes per task head.
+    pub task_classes: usize,
+    pub seed: u64,
+}
+
+impl Default for MtDnnConfig {
+    fn default() -> Self {
+        MtDnnConfig {
+            seq_len: 128,
+            vocab: 30_522,
+            d_model: 768,
+            heads: 12,
+            ffn_dim: 3072,
+            encoder_layers: 6,
+            num_tasks: 4,
+            task_hidden: 256,
+            task_classes: 3,
+            seed: 0x347d,
+        }
+    }
+}
+
+impl MtDnnConfig {
+    /// Tiny variant for numeric tests.
+    pub fn small() -> Self {
+        MtDnnConfig {
+            seq_len: 6,
+            vocab: 50,
+            d_model: 16,
+            heads: 2,
+            ffn_dim: 32,
+            encoder_layers: 1,
+            num_tasks: 2,
+            task_hidden: 8,
+            task_classes: 3,
+            seed: 11,
+        }
+    }
+}
+
+/// One SAN-style answer module: project the shared sequence down, run a
+/// GRU over it, classify the final state.
+fn task_head(
+    b: &mut GraphBuilder,
+    shared: NodeId,
+    cfg: &MtDnnConfig,
+    task: usize,
+) -> NodeId {
+    let label = format!("task{task}");
+    let proj = b
+        .dense(&format!("{label}.proj"), shared, cfg.task_hidden, Some(Op::Tanh))
+        .expect("proj");
+    let seqd = b
+        .op(
+            &format!("{label}.seq"),
+            Op::Reshape { shape: vec![cfg.seq_len, 1, cfg.task_hidden] },
+            &[proj],
+        )
+        .expect("reshape");
+    let gru = b.gru(&format!("{label}.gru"), seqd, cfg.task_hidden).expect("gru");
+    let flat = b
+        .op(
+            &format!("{label}.flat"),
+            Op::Reshape { shape: vec![cfg.seq_len, cfg.task_hidden] },
+            &[gru],
+        )
+        .expect("flat");
+    let last = b
+        .op(
+            &format!("{label}.last"),
+            Op::SliceRows { start: cfg.seq_len - 1, end: cfg.seq_len },
+            &[flat],
+        )
+        .expect("last");
+    let logits = b
+        .dense(&format!("{label}.cls"), last, cfg.task_classes, None)
+        .expect("cls");
+    b.op(&format!("{label}.logsoftmax"), Op::LogSoftmax, &[logits]).expect("out")
+}
+
+/// Build the MT-DNN graph: lexicon encoder → transformer stack → K
+/// independent answer modules, each a graph output.
+pub fn mtdnn(cfg: &MtDnnConfig) -> Graph {
+    let mut b = GraphBuilder::new("mtdnn", cfg.seed);
+
+    // Lexicon encoder: token embedding + learned positional embedding.
+    let ids = b.input("ids", vec![cfg.seq_len]);
+    let table = b.weight("embed.table", &[cfg.vocab, cfg.d_model]);
+    let tok = b.op("embed.lookup", Op::Embedding, &[table, ids]).expect("embed");
+    let pos = b.constant(
+        "embed.pos",
+        Tensor::randn(vec![cfg.seq_len, cfg.d_model], 0.02, cfg.seed ^ 0x9e37),
+    );
+    let mut h = b.op("embed.sum", Op::Add, &[tok, pos]).expect("pos add");
+
+    // Shared transformer encoder.
+    for l in 0..cfg.encoder_layers {
+        h = b
+            .transformer_block(&format!("encoder.l{l}"), h, cfg.heads, cfg.ffn_dim)
+            .expect("encoder block");
+    }
+
+    // Independent task heads — all consume the shared encoding (a shared
+    // node the partitioner will replicate as boundary placeholders).
+    let outs: Vec<NodeId> = (0..cfg.num_tasks).map(|t| task_head(&mut b, h, cfg, t)).collect();
+    b.finish(&outs).expect("mtdnn builds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input_feeds;
+
+    #[test]
+    fn structure_one_encoder_many_heads() {
+        let g = mtdnn(&MtDnnConfig::default());
+        g.validate().unwrap();
+        assert_eq!(g.outputs().len(), 4);
+        let mhas = g.nodes().iter().filter(|n| matches!(n.op, Op::Mha { .. })).count();
+        assert_eq!(mhas, 6);
+        let grus = g.nodes().iter().filter(|n| matches!(n.op, Op::Gru)).count();
+        assert_eq!(grus, 4);
+    }
+
+    #[test]
+    fn heads_share_the_encoder_output() {
+        let g = mtdnn(&MtDnnConfig::default());
+        // The last encoder node must have fan-out = num_tasks.
+        let shared = g
+            .nodes()
+            .iter()
+            .filter(|n| n.label.ends_with("res2"))
+            .last()
+            .unwrap();
+        assert_eq!(shared.outputs.len(), 4);
+    }
+
+    #[test]
+    fn small_config_runs_numerically() {
+        let g = mtdnn(&MtDnnConfig::small());
+        let outs = g.eval(&input_feeds(&g, 5)).unwrap();
+        assert_eq!(outs.len(), 2);
+        for o in &outs {
+            assert_eq!(o.shape().dims(), &[1, 3]);
+            // log-softmax: exp sums to 1.
+            let s: f32 = o.data().iter().map(|v| v.exp()).sum();
+            assert!((s - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn encoder_dominates_flops() {
+        let cfg = MtDnnConfig::default();
+        let g = mtdnn(&cfg);
+        let enc_flops: f64 = g
+            .nodes()
+            .iter()
+            .filter(|n| n.label.starts_with("encoder"))
+            .map(|n| g.node_cost(n.id).flops)
+            .sum();
+        let total = g.total_cost().flops;
+        assert!(enc_flops / total > 0.7, "encoder {enc_flops} of {total}");
+    }
+
+    #[test]
+    fn task_count_scales_heads() {
+        let g = mtdnn(&MtDnnConfig { num_tasks: 7, ..MtDnnConfig::small() });
+        assert_eq!(g.outputs().len(), 7);
+    }
+}

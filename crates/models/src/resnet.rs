@@ -1,0 +1,164 @@
+//! ResNet-18/34/50/101 (He et al.) — the "traditional model" of §VI-E and
+//! the CNN encoder inside Wide-and-Deep.
+
+use duet_ir::{Graph, GraphBuilder, NodeId, Op};
+use serde::{Deserialize, Serialize};
+
+/// ResNet configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ResNetConfig {
+    /// 18, 34, 50 or 101.
+    pub depth: usize,
+    pub batch: usize,
+    /// Input image side (square, 3 channels).
+    pub image: usize,
+    pub num_classes: usize,
+    pub seed: u64,
+}
+
+impl Default for ResNetConfig {
+    fn default() -> Self {
+        ResNetConfig { depth: 18, batch: 1, image: 224, num_classes: 1000, seed: 0x5e5 }
+    }
+}
+
+impl ResNetConfig {
+    /// Tiny variant for numeric tests (runs in milliseconds).
+    pub fn small() -> Self {
+        ResNetConfig { depth: 18, batch: 1, image: 32, num_classes: 10, seed: 0x5e5 }
+    }
+
+    /// Per-stage block counts and whether bottleneck blocks are used.
+    pub fn stages(&self) -> (&'static [usize], bool) {
+        match self.depth {
+            18 => (&[2, 2, 2, 2], false),
+            34 => (&[3, 4, 6, 3], false),
+            50 => (&[3, 4, 6, 3], true),
+            101 => (&[3, 4, 23, 3], true),
+            other => panic!("unsupported ResNet depth {other} (use 18/34/50/101)"),
+        }
+    }
+}
+
+/// Append a ResNet backbone to an existing builder; returns the pooled
+/// `[batch, features]` node. Used standalone and as Wide-and-Deep's CNN
+/// encoder.
+pub fn resnet_backbone(
+    b: &mut GraphBuilder,
+    x: NodeId,
+    cfg: &ResNetConfig,
+    prefix: &str,
+) -> NodeId {
+    let (blocks, bottleneck) = cfg.stages();
+    let expansion = if bottleneck { 4 } else { 1 };
+    // Stem: 7x7/2 conv + 3x3/2 max pool.
+    let mut h = b
+        .conv_bn_relu(&format!("{prefix}.stem"), x, 64, 7, 2, 3, true)
+        .expect("stem");
+    h = b
+        .op(&format!("{prefix}.stem.pool"), Op::MaxPool2d { window: 3, stride: 2 }, &[h])
+        .expect("stem pool");
+    let widths = [64usize, 128, 256, 512];
+    let mut in_ch = 64;
+    for (stage, (&width, &count)) in widths.iter().zip(blocks.iter()).enumerate() {
+        for blk in 0..count {
+            let stride = if stage > 0 && blk == 0 { 2 } else { 1 };
+            let label = format!("{prefix}.s{stage}.b{blk}");
+            let out_ch = width * expansion;
+            // Projection shortcut when shape changes.
+            let shortcut = if stride != 1 || in_ch != out_ch {
+                b.conv_bn_relu(&format!("{label}.down"), h, out_ch, 1, stride, 0, false)
+                    .expect("downsample")
+            } else {
+                h
+            };
+            let body = if bottleneck {
+                let c1 = b
+                    .conv_bn_relu(&format!("{label}.c1"), h, width, 1, 1, 0, true)
+                    .expect("c1");
+                let c2 = b
+                    .conv_bn_relu(&format!("{label}.c2"), c1, width, 3, stride, 1, true)
+                    .expect("c2");
+                b.conv_bn_relu(&format!("{label}.c3"), c2, out_ch, 1, 1, 0, false)
+                    .expect("c3")
+            } else {
+                let c1 = b
+                    .conv_bn_relu(&format!("{label}.c1"), h, width, 3, stride, 1, true)
+                    .expect("c1");
+                b.conv_bn_relu(&format!("{label}.c2"), c1, out_ch, 3, 1, 1, false)
+                    .expect("c2")
+            };
+            let sum = b.op(&format!("{label}.res"), Op::Add, &[body, shortcut]).expect("res");
+            h = b.op(&format!("{label}.relu"), Op::Relu, &[sum]).expect("relu");
+            in_ch = out_ch;
+        }
+    }
+    b.op(&format!("{prefix}.gap"), Op::GlobalAvgPool2d, &[h]).expect("gap")
+}
+
+/// Build a full ResNet classifier.
+pub fn resnet(cfg: &ResNetConfig) -> Graph {
+    let mut b = GraphBuilder::new(format!("resnet{}", cfg.depth), cfg.seed);
+    let x = b.input("image", vec![cfg.batch, 3, cfg.image, cfg.image]);
+    let feat = resnet_backbone(&mut b, x, cfg, "cnn");
+    let logits = b.dense("head", feat, cfg.num_classes, None).expect("head");
+    let probs = b.op("softmax", Op::Softmax, &[logits]).expect("softmax");
+    b.finish(&[probs]).expect("resnet builds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input_feeds;
+
+    #[test]
+    fn resnet18_structure() {
+        let g = resnet(&ResNetConfig::default());
+        // 18 = stem + 16 block convs + head; just sanity-check scale.
+        let convs = g
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.op, Op::Conv2d { .. }))
+            .count();
+        assert_eq!(convs, 20); // 1 stem + 16 body + 3 downsample projections
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn resnet50_uses_bottlenecks() {
+        let g = resnet(&ResNetConfig { depth: 50, ..Default::default() });
+        let convs = g
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.op, Op::Conv2d { .. }))
+            .count();
+        assert_eq!(convs, 53); // 1 stem + 48 body + 4 downsample
+    }
+
+    #[test]
+    fn deeper_resnets_cost_more() {
+        let flops = |d: usize| {
+            resnet(&ResNetConfig { depth: d, ..Default::default() }).total_cost().flops
+        };
+        let (f18, f34, f50, f101) = (flops(18), flops(34), flops(50), flops(101));
+        assert!(f18 < f34 && f34 < f50 && f50 < f101);
+        // ResNet-18 ≈ 1.8 GMACs ≈ 3.6 GFLOPs.
+        assert!((3.0e9..4.5e9).contains(&f18), "{f18}");
+    }
+
+    #[test]
+    fn small_resnet_runs_numerically() {
+        let g = resnet(&ResNetConfig::small());
+        let feeds = input_feeds(&g, 1);
+        let out = g.eval(&feeds).unwrap();
+        assert_eq!(out[0].shape().dims(), &[1, 10]);
+        let sum: f32 = out[0].data().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-4, "softmax sums to 1, got {sum}");
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported ResNet depth")]
+    fn bad_depth_panics() {
+        resnet(&ResNetConfig { depth: 20, ..Default::default() });
+    }
+}

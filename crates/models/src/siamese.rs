@@ -1,0 +1,124 @@
+//! Siamese recurrent network (Neculoiu et al. 2016) for similarity
+//! ranking — two independent LSTM branches over query and passage.
+//!
+//! Both branches are recurrent, so neither is GPU-friendly at batch 1; the
+//! win DUET finds here is *concurrency*: one branch per device. The
+//! default dimensions are sized so the branches are roughly device-neutral
+//! (wide hidden state, moderate sequence), which is where co-execution
+//! pays — the paper reports its *smallest* CPU-side speedup (~1.3x) on
+//! Siamese.
+
+use duet_ir::{Graph, GraphBuilder, Op};
+use serde::{Deserialize, Serialize};
+
+use crate::wide_deep::last_step;
+
+/// Siamese network configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SiameseConfig {
+    pub batch: usize,
+    pub seq_len: usize,
+    pub embed_dim: usize,
+    pub hidden: usize,
+    pub rnn_layers: usize,
+    pub seed: u64,
+}
+
+impl Default for SiameseConfig {
+    fn default() -> Self {
+        SiameseConfig {
+            batch: 1,
+            seq_len: 64,
+            embed_dim: 256,
+            hidden: 1024,
+            rnn_layers: 1,
+            seed: 0x51a,
+        }
+    }
+}
+
+impl SiameseConfig {
+    /// Tiny variant for numeric tests.
+    pub fn small() -> Self {
+        SiameseConfig { batch: 1, seq_len: 4, embed_dim: 8, hidden: 8, rnn_layers: 1, seed: 3 }
+    }
+}
+
+/// Build the Siamese graph: two independent LSTM towers, then a small
+/// similarity head over the concatenated final states.
+pub fn siamese(cfg: &SiameseConfig) -> Graph {
+    let mut b = GraphBuilder::new("siamese", cfg.seed);
+    let shape = vec![cfg.seq_len, cfg.batch, cfg.embed_dim];
+
+    let query = b.input("query.text", shape.clone());
+    let qstack = b.lstm_stack("query", query, cfg.hidden, cfg.rnn_layers).expect("query lstm");
+    let qvec = last_step(&mut b, qstack, "query").expect("query last");
+
+    let passage = b.input("passage.text", shape);
+    let pstack = b
+        .lstm_stack("passage", passage, cfg.hidden, cfg.rnn_layers)
+        .expect("passage lstm");
+    let pvec = last_step(&mut b, pstack, "passage").expect("passage last");
+
+    let cat = b.op("head.concat", Op::Concat { axis: 1 }, &[qvec, pvec]).expect("concat");
+    let h = b.dense("head.fc", cat, 128, Some(Op::Relu)).expect("head fc");
+    let logit = b.dense("head.score", h, 1, None).expect("score");
+    let sim = b.op("head.sigmoid", Op::Sigmoid, &[logit]).expect("sigmoid");
+    b.finish(&[sim]).expect("siamese builds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input_feeds;
+
+    #[test]
+    fn two_independent_towers() {
+        let g = siamese(&SiameseConfig::default());
+        g.validate().unwrap();
+        assert_eq!(g.input_ids().len(), 2);
+        let lstms: Vec<_> = g
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.op, Op::Lstm))
+            .collect();
+        assert_eq!(lstms.len(), 2);
+        // Towers share no nodes: their LSTMs read different inputs.
+        assert_ne!(lstms[0].inputs[0], lstms[1].inputs[0]);
+    }
+
+    #[test]
+    fn towers_have_separate_weights() {
+        let g = siamese(&SiameseConfig::default());
+        let lstms: Vec<_> = g
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.op, Op::Lstm))
+            .collect();
+        // w_ih constants differ between towers.
+        let w0 = g.param(lstms[0].inputs[1]).unwrap();
+        let w1 = g.param(lstms[1].inputs[1]).unwrap();
+        assert_ne!(w0, w1);
+    }
+
+    #[test]
+    fn small_config_runs_numerically() {
+        let g = siamese(&SiameseConfig::small());
+        let out = g.eval(&input_feeds(&g, 9)).unwrap();
+        assert_eq!(out[0].shape().dims(), &[1, 1]);
+        assert!(out[0].data()[0].is_finite());
+    }
+
+    #[test]
+    fn identical_inputs_symmetric_cost() {
+        // Both towers should carry (almost) identical work.
+        let g = siamese(&SiameseConfig::default());
+        let costs: Vec<f64> = g
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.op, Op::Lstm))
+            .map(|n| g.node_cost(n.id).flops)
+            .collect();
+        assert_eq!(costs[0], costs[1]);
+    }
+}

@@ -1,0 +1,99 @@
+//! SqueezeNet 1.0 (Iandola et al.) — named by the paper (§III-A) as a
+//! model whose mostly-sequential schedule TVM already handles well; a
+//! third fallback-study workload. Its fire modules *do* contain a local
+//! two-way branch (expand 1x1 ‖ expand 3x3), which exercises the
+//! partitioner's multi-path detection on a model where co-execution still
+//! should not pay.
+
+use duet_ir::{Graph, GraphBuilder, NodeId, Op};
+
+fn conv_relu(
+    b: &mut GraphBuilder,
+    x: NodeId,
+    out_ch: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    label: &str,
+) -> NodeId {
+    let c_in = b.graph().node(x).shape.dim(1);
+    let w = b.weight(&format!("{label}.w"), &[out_ch, c_in, kernel, kernel]);
+    let bias = b.zeros(&format!("{label}.b"), &[out_ch]);
+    let conv = b
+        .op(label, Op::Conv2d { stride, padding, bias: true }, &[x, w, bias])
+        .expect("conv");
+    b.op(&format!("{label}.relu"), Op::Relu, &[conv]).expect("relu")
+}
+
+/// Fire module: squeeze 1x1 → (expand 1x1 ‖ expand 3x3) → concat.
+fn fire(b: &mut GraphBuilder, x: NodeId, squeeze: usize, expand: usize, label: &str) -> NodeId {
+    let s = conv_relu(b, x, squeeze, 1, 1, 0, &format!("{label}.squeeze"));
+    let e1 = conv_relu(b, s, expand, 1, 1, 0, &format!("{label}.e1x1"));
+    let e3 = conv_relu(b, s, expand, 3, 1, 1, &format!("{label}.e3x3"));
+    b.op(&format!("{label}.concat"), Op::Concat { axis: 1 }, &[e1, e3]).expect("concat")
+}
+
+/// Build SqueezeNet 1.0.
+pub fn squeezenet(batch: usize, image: usize) -> Graph {
+    let mut b = GraphBuilder::new("squeezenet", 0x50ee);
+    let x = b.input("image", vec![batch, 3, image, image]);
+    let mut h = conv_relu(&mut b, x, 96, 7, 2, 3, "cnn.stem");
+    h = b.op("cnn.pool1", Op::MaxPool2d { window: 3, stride: 2 }, &[h]).expect("pool");
+    h = fire(&mut b, h, 16, 64, "cnn.fire2");
+    h = fire(&mut b, h, 16, 64, "cnn.fire3");
+    h = fire(&mut b, h, 32, 128, "cnn.fire4");
+    h = b.op("cnn.pool4", Op::MaxPool2d { window: 3, stride: 2 }, &[h]).expect("pool");
+    h = fire(&mut b, h, 32, 128, "cnn.fire5");
+    h = fire(&mut b, h, 48, 192, "cnn.fire6");
+    h = fire(&mut b, h, 48, 192, "cnn.fire7");
+    h = fire(&mut b, h, 64, 256, "cnn.fire8");
+    h = b.op("cnn.pool8", Op::MaxPool2d { window: 3, stride: 2 }, &[h]).expect("pool");
+    h = fire(&mut b, h, 64, 256, "cnn.fire9");
+    h = conv_relu(&mut b, h, 1000, 1, 1, 0, "cnn.conv10");
+    let gap = b.op("gap", Op::GlobalAvgPool2d, &[h]).expect("gap");
+    let probs = b.op("softmax", Op::Softmax, &[gap]).expect("softmax");
+    b.finish(&[probs]).expect("squeezenet builds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input_feeds;
+
+    #[test]
+    fn eight_fire_modules() {
+        let g = squeezenet(1, 224);
+        let concats = g.nodes().iter().filter(|n| matches!(n.op, Op::Concat { .. })).count();
+        assert_eq!(concats, 8);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn fire_modules_branch_locally() {
+        let g = squeezenet(1, 224);
+        // Every squeeze relu feeds two expand convs.
+        let squeeze_relus = g
+            .nodes()
+            .iter()
+            .filter(|n| n.label.contains("squeeze.relu"))
+            .collect::<Vec<_>>();
+        assert_eq!(squeeze_relus.len(), 8);
+        for n in squeeze_relus {
+            assert_eq!(n.outputs.len(), 2);
+        }
+    }
+
+    #[test]
+    fn lighter_than_resnet18() {
+        let s = squeezenet(1, 224).total_cost();
+        let r = crate::resnet(&crate::ResNetConfig::default()).total_cost();
+        assert!(s.flops < r.flops);
+    }
+
+    #[test]
+    fn tiny_image_runs_numerically() {
+        let g = squeezenet(1, 64);
+        let out = g.eval(&input_feeds(&g, 2)).unwrap();
+        assert_eq!(out[0].shape().dims(), &[1, 1000]);
+    }
+}

@@ -1,0 +1,67 @@
+//! VGG-16 (Simonyan & Zisserman) — a second "traditional, sequential"
+//! CNN for the §VI-E fallback study.
+
+use duet_ir::{Graph, GraphBuilder, NodeId, Op};
+
+fn conv_relu(b: &mut GraphBuilder, x: NodeId, out_ch: usize, label: &str) -> NodeId {
+    let c_in = b.graph().node(x).shape.dim(1);
+    let w = b.weight(&format!("{label}.w"), &[out_ch, c_in, 3, 3]);
+    let bias = b.zeros(&format!("{label}.b"), &[out_ch]);
+    let conv = b
+        .op(label, Op::Conv2d { stride: 1, padding: 1, bias: true }, &[x, w, bias])
+        .expect("conv");
+    b.op(&format!("{label}.relu"), Op::Relu, &[conv]).expect("relu")
+}
+
+/// Build VGG-16 (configuration D): 13 convs in 5 stages + 3 FC layers.
+pub fn vgg16(batch: usize, image: usize) -> Graph {
+    let mut b = GraphBuilder::new("vgg16", 0x9916);
+    let x = b.input("image", vec![batch, 3, image, image]);
+    let stages: [(usize, usize); 5] = [(64, 2), (128, 2), (256, 3), (512, 3), (512, 3)];
+    let mut h = x;
+    for (s, (ch, convs)) in stages.iter().enumerate() {
+        for c in 0..*convs {
+            h = conv_relu(&mut b, h, *ch, &format!("cnn.s{s}.c{c}"));
+        }
+        h = b
+            .op(&format!("cnn.s{s}.pool"), Op::MaxPool2d { window: 2, stride: 2 }, &[h])
+            .expect("pool");
+    }
+    let dims = b.graph().node(h).shape.dims().to_vec();
+    let flat = b
+        .op("flatten", Op::Reshape { shape: vec![batch, dims[1] * dims[2] * dims[3]] }, &[h])
+        .expect("flatten");
+    let f1 = b.dense("fc1", flat, 4096, Some(Op::Relu)).expect("fc1");
+    let f2 = b.dense("fc2", f1, 4096, Some(Op::Relu)).expect("fc2");
+    let logits = b.dense("fc3", f2, 1000, None).expect("fc3");
+    let probs = b.op("softmax", Op::Softmax, &[logits]).expect("softmax");
+    b.finish(&[probs]).expect("vgg16 builds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input_feeds;
+
+    #[test]
+    fn thirteen_convolutions() {
+        let g = vgg16(1, 224);
+        let convs = g.nodes().iter().filter(|n| matches!(n.op, Op::Conv2d { .. })).count();
+        assert_eq!(convs, 13);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn vgg_is_heavier_than_resnet18() {
+        let vgg = vgg16(1, 224).total_cost();
+        let res = crate::resnet(&crate::ResNetConfig::default()).total_cost();
+        assert!(vgg.flops > 5.0 * res.flops, "vgg {} res {}", vgg.flops, res.flops);
+    }
+
+    #[test]
+    fn tiny_image_runs_numerically() {
+        let g = vgg16(1, 32);
+        let out = g.eval(&input_feeds(&g, 1)).unwrap();
+        assert_eq!(out[0].shape().dims(), &[1, 1000]);
+    }
+}

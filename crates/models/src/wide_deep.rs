@@ -1,0 +1,220 @@
+//! Wide-and-Deep network (Cheng et al. 2016) with heterogeneous content
+//! encoders — the paper's primary workload (Fig. 2).
+//!
+//! Four parallel branches encode different content types:
+//!
+//! * **wide** — a single wide linear layer over cross-product features
+//!   (memorization);
+//! * **deep** — an FFN over dense features (generalization);
+//! * **rnn**  — a stacked LSTM over text (slow on GPU at batch 1);
+//! * **cnn**  — a ResNet encoder over an image (slow on CPU).
+//!
+//! The branch outputs concatenate into a prediction head. The branches are
+//! independent — a textbook multi-path phase — and the RNN/CNN branches
+//! have *opposite* device affinities, which is exactly the situation DUET
+//! exploits (Table II row 1).
+
+use duet_ir::{Graph, GraphBuilder, NodeId, Op};
+use serde::{Deserialize, Serialize};
+
+use crate::resnet::{resnet_backbone, ResNetConfig};
+
+/// Wide-and-Deep configuration (defaults = Table I scale; every §VI-D
+/// sweep varies one field).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WideAndDeepConfig {
+    pub batch: usize,
+    /// Wide (cross-product) feature width.
+    pub wide_features: usize,
+    /// Dense feature width feeding the FFN.
+    pub deep_features: usize,
+    /// FFN hidden width.
+    pub ffn_hidden: usize,
+    /// FFN hidden-layer count (Fig. 16 sweep).
+    pub ffn_layers: usize,
+    /// Text sequence length.
+    pub seq_len: usize,
+    /// Text embedding width fed to the LSTM.
+    pub embed_dim: usize,
+    /// LSTM hidden width.
+    pub rnn_hidden: usize,
+    /// Stacked LSTM layers (Fig. 14 sweep: 1/2/4/8).
+    pub rnn_layers: usize,
+    /// ResNet depth of the image encoder (Fig. 15 sweep: 18/34/50/101).
+    pub cnn_depth: usize,
+    /// Input image side.
+    pub image: usize,
+    pub seed: u64,
+}
+
+impl Default for WideAndDeepConfig {
+    fn default() -> Self {
+        WideAndDeepConfig {
+            batch: 1,
+            wide_features: 1024,
+            deep_features: 256,
+            ffn_hidden: 1024,
+            ffn_layers: 3,
+            seq_len: 100,
+            embed_dim: 128,
+            rnn_hidden: 256,
+            rnn_layers: 1,
+            cnn_depth: 18,
+            image: 224,
+            seed: 0xd0e7,
+        }
+    }
+}
+
+impl WideAndDeepConfig {
+    /// Tiny variant for numeric tests.
+    pub fn small() -> Self {
+        WideAndDeepConfig {
+            batch: 1,
+            wide_features: 16,
+            deep_features: 8,
+            ffn_hidden: 16,
+            ffn_layers: 1,
+            seq_len: 5,
+            embed_dim: 8,
+            rnn_hidden: 8,
+            rnn_layers: 1,
+            cnn_depth: 18,
+            image: 32,
+            seed: 7,
+        }
+    }
+}
+
+/// Take the final timestep of an RNN output stack `[seq, batch, hidden]`
+/// as a `[batch, hidden]` feature vector.
+pub(crate) fn last_step(
+    b: &mut GraphBuilder,
+    x: NodeId,
+    label: &str,
+) -> Result<NodeId, duet_ir::GraphError> {
+    let dims = b.graph().node(x).shape.dims().to_vec();
+    let (seq, batch, hidden) = (dims[0], dims[1], dims[2]);
+    let flat = b.op(
+        &format!("{label}.flat"),
+        Op::Reshape { shape: vec![seq, batch * hidden] },
+        &[x],
+    )?;
+    let last = b.op(
+        &format!("{label}.last"),
+        Op::SliceRows { start: seq - 1, end: seq },
+        &[flat],
+    )?;
+    b.op(&format!("{label}.vec"), Op::Reshape { shape: vec![batch, hidden] }, &[last])
+}
+
+/// Build the Wide-and-Deep graph.
+pub fn wide_and_deep(cfg: &WideAndDeepConfig) -> Graph {
+    let mut b = GraphBuilder::new("wide_and_deep", cfg.seed);
+
+    // ---- wide branch: one wide linear over cross-product features.
+    let wide_in = b.input("wide.features", vec![cfg.batch, cfg.wide_features]);
+    let wide = b.dense("wide.linear", wide_in, 256, Some(Op::Relu)).expect("wide");
+
+    // ---- deep branch: FFN over dense features.
+    let deep_in = b.input("deep.features", vec![cfg.batch, cfg.deep_features]);
+    let mut deep = deep_in;
+    for l in 0..cfg.ffn_layers {
+        deep = b
+            .dense(&format!("ffn.fc{l}"), deep, cfg.ffn_hidden, Some(Op::Relu))
+            .expect("ffn layer");
+    }
+
+    // ---- rnn branch: stacked LSTM over (pre-embedded) text.
+    let text = b.input("rnn.text", vec![cfg.seq_len, cfg.batch, cfg.embed_dim]);
+    let stack = b
+        .lstm_stack("rnn", text, cfg.rnn_hidden, cfg.rnn_layers)
+        .expect("lstm stack");
+    let rnn = last_step(&mut b, stack, "rnn").expect("last step");
+
+    // ---- cnn branch: ResNet image encoder.
+    let image = b.input("cnn.image", vec![cfg.batch, 3, cfg.image, cfg.image]);
+    let rescfg = ResNetConfig {
+        depth: cfg.cnn_depth,
+        batch: cfg.batch,
+        image: cfg.image,
+        num_classes: 0, // backbone only
+        seed: cfg.seed,
+    };
+    let cnn = resnet_backbone(&mut b, image, &rescfg, "cnn");
+
+    // ---- head: concat all encodings, dense, score.
+    let cat = b
+        .op("head.concat", Op::Concat { axis: 1 }, &[wide, deep, rnn, cnn])
+        .expect("concat");
+    let h = b.dense("head.fc", cat, 256, Some(Op::Relu)).expect("head fc");
+    let logit = b.dense("head.out", h, 1, None).expect("head out");
+    let score = b.op("head.sigmoid", Op::Sigmoid, &[logit]).expect("sigmoid");
+    b.finish(&[score]).expect("wide_and_deep builds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input_feeds;
+
+    #[test]
+    fn default_structure_has_four_branches() {
+        let g = wide_and_deep(&WideAndDeepConfig::default());
+        g.validate().unwrap();
+        assert_eq!(g.input_ids().len(), 4);
+        let lstms = g.nodes().iter().filter(|n| matches!(n.op, Op::Lstm)).count();
+        assert_eq!(lstms, 1);
+        let convs = g.nodes().iter().filter(|n| matches!(n.op, Op::Conv2d { .. })).count();
+        assert_eq!(convs, 20);
+    }
+
+    #[test]
+    fn rnn_layer_sweep_adds_lstms() {
+        for layers in [1, 2, 4, 8] {
+            let g = wide_and_deep(&WideAndDeepConfig {
+                rnn_layers: layers,
+                ..WideAndDeepConfig::default()
+            });
+            let lstms = g.nodes().iter().filter(|n| matches!(n.op, Op::Lstm)).count();
+            assert_eq!(lstms, layers);
+        }
+    }
+
+    #[test]
+    fn cnn_depth_sweep_scales_flops() {
+        let flops = |d| {
+            wide_and_deep(&WideAndDeepConfig { cnn_depth: d, ..WideAndDeepConfig::default() })
+                .total_cost()
+                .flops
+        };
+        assert!(flops(18) < flops(34));
+        assert!(flops(34) < flops(50));
+        assert!(flops(50) < flops(101));
+    }
+
+    #[test]
+    fn small_config_runs_numerically() {
+        let g = wide_and_deep(&WideAndDeepConfig::small());
+        let out = g.eval(&input_feeds(&g, 3)).unwrap();
+        assert_eq!(out[0].shape().dims(), &[1, 1]);
+        let v = out[0].data()[0];
+        assert!((0.0..=1.0).contains(&v), "sigmoid output {v}");
+    }
+
+    #[test]
+    fn batch_sweep_changes_shapes() {
+        let g = wide_and_deep(&WideAndDeepConfig { batch: 8, ..WideAndDeepConfig::small() });
+        let out_id = g.outputs()[0];
+        assert_eq!(g.node(out_id).shape.dims(), &[8, 1]);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = wide_and_deep(&WideAndDeepConfig::small());
+        let b = wide_and_deep(&WideAndDeepConfig::small());
+        assert_eq!(a.len(), b.len());
+        let feeds = input_feeds(&a, 1);
+        assert!(a.eval(&feeds).unwrap()[0].approx_eq(&b.eval(&feeds).unwrap()[0], 0.0));
+    }
+}

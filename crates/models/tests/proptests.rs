@@ -1,0 +1,133 @@
+//! Property-based tests over the model zoo's configuration spaces: every
+//! reachable configuration must build a valid graph with consistent
+//! shapes, and work must scale monotonically with the swept dimensions
+//! (the assumption behind every §VI-D sweep).
+
+use duet_models::{
+    mlp, mobilenet, mtdnn, siamese, wide_and_deep, MlpConfig, MobileNetConfig, MtDnnConfig,
+    SiameseConfig, WideAndDeepConfig,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn wide_and_deep_builds_for_any_config(
+        batch in 1usize..4,
+        seq in 2usize..20,
+        embed in 1usize..32,
+        hidden in 1usize..48,
+        rnn_layers in 1usize..4,
+        ffn_layers in 1usize..4,
+        depth_sel in 0usize..4,
+    ) {
+        let cfg = WideAndDeepConfig {
+            batch,
+            seq_len: seq,
+            embed_dim: embed,
+            rnn_hidden: hidden,
+            rnn_layers,
+            ffn_layers,
+            cnn_depth: [18, 34, 50, 101][depth_sel],
+            image: 32,
+            wide_features: 16,
+            deep_features: 8,
+            ffn_hidden: 16,
+            seed: 1,
+        };
+        let g = wide_and_deep(&cfg);
+        prop_assert!(g.validate().is_ok());
+        prop_assert_eq!(g.input_ids().len(), 4);
+        let out = g.node(g.outputs()[0]);
+        prop_assert_eq!(out.shape.dims(), &[batch, 1]);
+    }
+
+    #[test]
+    fn siamese_builds_and_is_symmetric(
+        seq in 1usize..16, embed in 1usize..24, hidden in 1usize..32, layers in 1usize..4
+    ) {
+        let g = siamese(&SiameseConfig {
+            batch: 1, seq_len: seq, embed_dim: embed, hidden, rnn_layers: layers, seed: 2,
+        });
+        prop_assert!(g.validate().is_ok());
+        let lstm_costs: Vec<f64> = g
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.op, duet_ir::Op::Lstm))
+            .map(|n| g.node_cost(n.id).flops)
+            .collect();
+        prop_assert_eq!(lstm_costs.len(), 2 * layers);
+        // Towers carry identical work.
+        let half = lstm_costs.len() / 2;
+        for i in 0..half {
+            prop_assert_eq!(lstm_costs[i], lstm_costs[half + i]);
+        }
+    }
+
+    #[test]
+    fn mtdnn_builds_with_any_head_count(
+        tasks in 1usize..6, layers in 1usize..3, heads_sel in 0usize..2
+    ) {
+        let cfg = MtDnnConfig {
+            num_tasks: tasks,
+            encoder_layers: layers,
+            heads: [2, 4][heads_sel],
+            ..MtDnnConfig::small()
+        };
+        let g = mtdnn(&cfg);
+        prop_assert!(g.validate().is_ok());
+        prop_assert_eq!(g.outputs().len(), tasks);
+    }
+
+    #[test]
+    fn work_monotone_in_swept_dimensions(layers in 1usize..5) {
+        // The Fig. 14 premise: more stacked RNN layers, more FLOPs.
+        let at = |l: usize| {
+            wide_and_deep(&WideAndDeepConfig {
+                rnn_layers: l,
+                image: 32,
+                ..WideAndDeepConfig::small()
+            })
+            .total_cost()
+            .flops
+        };
+        prop_assert!(at(layers + 1) > at(layers));
+    }
+
+    #[test]
+    fn batch_scales_parallelism_not_launches(batch in 1usize..9) {
+        // The Fig. 17 premise: batch multiplies work and parallelism but
+        // leaves kernel-launch counts unchanged.
+        let at = |b: usize| {
+            wide_and_deep(&WideAndDeepConfig { batch: b, ..WideAndDeepConfig::small() })
+                .total_cost()
+        };
+        let one = at(1);
+        let many = at(batch);
+        prop_assert!(many.flops >= one.flops * batch as f64 * 0.9);
+        prop_assert_eq!(many.kernel_launches, one.kernel_launches);
+    }
+
+    #[test]
+    fn mobilenet_width_multiplier_valid(width in 1usize..9) {
+        let g = mobilenet(&MobileNetConfig {
+            width_mult: width as f64 / 8.0,
+            image: 32,
+            ..MobileNetConfig::small()
+        });
+        prop_assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn mlp_depth_and_width_valid(layers in 1usize..8, hidden in 1usize..64) {
+        let g = mlp(&MlpConfig { layers, hidden, input: 16, ..Default::default() });
+        prop_assert!(g.validate().is_ok());
+        let linears = g
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.op, duet_ir::Op::Linear))
+            .count();
+        prop_assert_eq!(linears, layers + 1);
+    }
+}

@@ -1,0 +1,382 @@
+//! The heterogeneous execution engine (§IV-D, Fig. 9).
+//!
+//! Once a schedule is decided, DUET instantiates an executor with one
+//! worker per device. Each worker runs a loop over its own synchronization
+//! queue: it polls for ready subgraphs, executes them, and triggers the
+//! subgraphs that depend on the results. The paper uses two child
+//! processes with a shared-memory queue; this reproduction uses two
+//! threads with lock-free MPMC channels (crossbeam) and a mutex-protected
+//! value store — same architecture, same dependency-triggered dataflow.
+//!
+//! The executor computes *real tensors* (host numerics for both devices)
+//! while also maintaining the virtual clock of the device models, so a run
+//! yields both verifiable outputs and the latency the modeled hardware
+//! would have achieved.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Sender};
+use duet_device::{DeviceKind, SystemModel};
+use duet_ir::{Graph, GraphError, NodeId, Op};
+use duet_tensor::Tensor;
+use parking_lot::Mutex;
+
+use crate::sim::Placed;
+
+/// Result of one heterogeneous inference.
+#[derive(Debug)]
+pub struct ExecutionOutcome {
+    /// Values of the graph outputs, keyed by node id.
+    pub outputs: HashMap<NodeId, Tensor>,
+    /// End-to-end latency on the modeled hardware, microseconds.
+    pub virtual_latency_us: f64,
+    /// Wall-clock time of the host-side numeric execution (not the metric
+    /// the paper reports — the virtual latency is — but useful for
+    /// harness sanity checks).
+    pub wall_time: Duration,
+    /// How many subgraphs each device executed.
+    pub tasks_per_device: HashMap<DeviceKind, usize>,
+}
+
+enum Msg {
+    Run(usize),
+    Stop,
+}
+
+/// Two-worker dependency-triggered executor for a placed schedule.
+pub struct HeterogeneousExecutor<'g> {
+    graph: &'g Graph,
+    placed: &'g [Placed],
+    system: SystemModel,
+}
+
+impl<'g> HeterogeneousExecutor<'g> {
+    /// Create an executor over a placed schedule.
+    pub fn new(graph: &'g Graph, placed: &'g [Placed], system: SystemModel) -> Self {
+        HeterogeneousExecutor { graph, placed, system }
+    }
+
+    /// Execute one inference with the given input feeds.
+    pub fn run(&self, feeds: &HashMap<NodeId, Tensor>) -> Result<ExecutionOutcome, GraphError> {
+        let n = self.placed.len();
+        let wall_start = Instant::now();
+
+        // node -> producing subgraph.
+        let mut producer: HashMap<NodeId, usize> = HashMap::new();
+        for (i, p) in self.placed.iter().enumerate() {
+            for &id in &p.sg.node_ids {
+                producer.insert(id, i);
+            }
+        }
+        // Subgraph-level dependency edges.
+        let mut deps: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut consumers: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, p) in self.placed.iter().enumerate() {
+            for &src in &p.sg.inputs {
+                if matches!(self.graph.node(src).op, Op::Input) {
+                    continue;
+                }
+                let pidx = *producer
+                    .get(&src)
+                    .ok_or(GraphError::MissingFeed(src))?;
+                if !deps[i].contains(&pidx) {
+                    deps[i].push(pidx);
+                    consumers[pidx].push(i);
+                }
+            }
+        }
+        let pending: Vec<AtomicUsize> =
+            deps.iter().map(|d| AtomicUsize::new(d.len())).collect();
+
+        // Shared state.
+        let values: Mutex<HashMap<NodeId, Tensor>> = Mutex::new(feeds.clone());
+        let finish_us: Vec<Mutex<f64>> = (0..n).map(|_| Mutex::new(0.0)).collect();
+        let error: Mutex<Option<GraphError>> = Mutex::new(None);
+        let done = AtomicUsize::new(0);
+        let task_counts: [AtomicUsize; 2] = [AtomicUsize::new(0), AtomicUsize::new(0)];
+
+        let (cpu_tx, cpu_rx) = unbounded::<Msg>();
+        let (gpu_tx, gpu_rx) = unbounded::<Msg>();
+        let queue = |d: DeviceKind| -> &Sender<Msg> {
+            match d {
+                DeviceKind::Cpu => &cpu_tx,
+                DeviceKind::Gpu => &gpu_tx,
+            }
+        };
+
+        // Seed the queues with dependency-free subgraphs.
+        for (i, d) in deps.iter().enumerate() {
+            if d.is_empty() {
+                queue(self.placed[i].device)
+                    .send(Msg::Run(i))
+                    .expect("queue open");
+            }
+        }
+
+        std::thread::scope(|scope| {
+            for (device, rx) in [(DeviceKind::Cpu, &cpu_rx), (DeviceKind::Gpu, &gpu_rx)] {
+                let values = &values;
+                let finish_us = &finish_us;
+                let error = &error;
+                let done = &done;
+                let pending = &pending;
+                let consumers = &consumers;
+                let deps = &deps;
+                let task_counts = &task_counts;
+                let cpu_tx = cpu_tx.clone();
+                let gpu_tx = gpu_tx.clone();
+                scope.spawn(move || {
+                    // Worker loop: poll own queue, execute, trigger deps.
+                    let mut device_time = 0.0f64;
+                    while let Ok(msg) = rx.recv() {
+                        let i = match msg {
+                            Msg::Stop => break,
+                            Msg::Run(i) => i,
+                        };
+                        let placed = &self.placed[i];
+                        // Virtual readiness: producers' finish + transfers.
+                        let mut ready = 0.0f64;
+                        for &src in &placed.sg.inputs {
+                            let bytes = self.graph.node(src).shape.byte_size() as f64;
+                            if matches!(self.graph.node(src).op, Op::Input) {
+                                if device == DeviceKind::Gpu {
+                                    ready = ready.max(self.system.transfer_time_us(bytes));
+                                }
+                            } else {
+                                let p = deps[i]
+                                    .iter()
+                                    .copied()
+                                    .find(|&p| self.placed[p].sg.node_ids.contains(&src))
+                                    .expect("dep registered");
+                                let mut t = *finish_us[p].lock();
+                                if self.placed[p].device != device {
+                                    t += self.system.transfer_time_us(bytes);
+                                }
+                                ready = ready.max(t);
+                            }
+                        }
+                        let start = ready.max(device_time);
+                        let exec = crate::sim::subgraph_exec_time_us(&self.system, device, &placed.sg);
+
+                        // Real numerics on the host.
+                        let env = values.lock().clone();
+                        match placed.sg.execute(self.graph, &env) {
+                            Ok(outs) => {
+                                values.lock().extend(outs);
+                            }
+                            Err(e) => {
+                                *error.lock() = Some(e);
+                                let _ = cpu_tx.send(Msg::Stop);
+                                let _ = gpu_tx.send(Msg::Stop);
+                                break;
+                            }
+                        }
+                        device_time = start + exec;
+                        *finish_us[i].lock() = device_time;
+                        task_counts[device as usize].fetch_add(1, Ordering::Relaxed);
+
+                        // Trigger consumers whose last dependency this was.
+                        for &c in &consumers[i] {
+                            if pending[c].fetch_sub(1, Ordering::AcqRel) == 1 {
+                                let tx = match self.placed[c].device {
+                                    DeviceKind::Cpu => &cpu_tx,
+                                    DeviceKind::Gpu => &gpu_tx,
+                                };
+                                tx.send(Msg::Run(c)).expect("queue open");
+                            }
+                        }
+                        if done.fetch_add(1, Ordering::AcqRel) + 1 == n {
+                            let _ = cpu_tx.send(Msg::Stop);
+                            let _ = gpu_tx.send(Msg::Stop);
+                        }
+                    }
+                });
+            }
+        });
+
+        if let Some(e) = error.into_inner() {
+            return Err(e);
+        }
+
+        // Collect outputs and account for D2H transfers.
+        let values = values.into_inner();
+        let mut outputs = HashMap::new();
+        let mut latency = 0.0f64;
+        for &out in self.graph.outputs() {
+            let v = values
+                .get(&out)
+                .cloned()
+                .ok_or(GraphError::MissingFeed(out))?;
+            let p = producer[&out];
+            let mut t = *finish_us[p].lock();
+            if self.placed[p].device == DeviceKind::Gpu {
+                t += self
+                    .system
+                    .transfer_time_us(self.graph.node(out).shape.byte_size() as f64);
+            }
+            latency = latency.max(t);
+            outputs.insert(out, v);
+        }
+        Ok(ExecutionOutcome {
+            outputs,
+            virtual_latency_us: latency,
+            wall_time: wall_start.elapsed(),
+            tasks_per_device: HashMap::from([
+                (DeviceKind::Cpu, task_counts[0].load(Ordering::Relaxed)),
+                (DeviceKind::Gpu, task_counts[1].load(Ordering::Relaxed)),
+            ]),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure::measure_latency;
+    use duet_compiler::Compiler;
+    use duet_ir::GraphBuilder;
+    use duet_models::{input_feeds, siamese, SiameseConfig};
+
+    fn branchy() -> Graph {
+        let mut b = GraphBuilder::new("branchy", 1);
+        let x = b.input("x", vec![1, 32]);
+        let l = b.dense("left", x, 32, Some(Op::Relu)).unwrap();
+        let r = b.dense("right", x, 32, Some(Op::Tanh)).unwrap();
+        let cat = b.op("cat", Op::Concat { axis: 1 }, &[l, r]).unwrap();
+        let y = b.dense("head", cat, 4, None).unwrap();
+        b.finish(&[y]).unwrap()
+    }
+
+    fn split(g: &Graph, prefixes: &[&str]) -> Vec<duet_compiler::CompiledSubgraph> {
+        let c = Compiler::default();
+        let mut used: Vec<NodeId> = Vec::new();
+        let mut sgs = Vec::new();
+        for p in prefixes {
+            let ids: Vec<NodeId> = g
+                .compute_ids()
+                .into_iter()
+                .filter(|&i| g.node(i).label.starts_with(p))
+                .collect();
+            used.extend(&ids);
+            sgs.push(c.compile_nodes(g, &ids, *p));
+        }
+        let rest: Vec<NodeId> =
+            g.compute_ids().into_iter().filter(|i| !used.contains(i)).collect();
+        if !rest.is_empty() {
+            sgs.push(c.compile_nodes(g, &rest, "rest"));
+        }
+        sgs
+    }
+
+    #[test]
+    fn heterogeneous_run_matches_reference_eval() {
+        let g = branchy();
+        let sgs = split(&g, &["left", "right"]);
+        let placed: Vec<Placed> = sgs
+            .into_iter()
+            .enumerate()
+            .map(|(i, sg)| Placed {
+                sg,
+                device: if i % 2 == 0 { DeviceKind::Cpu } else { DeviceKind::Gpu },
+            })
+            .collect();
+        let exec = HeterogeneousExecutor::new(&g, &placed, SystemModel::paper_server());
+        let feeds = input_feeds(&g, 5);
+        let out = exec.run(&feeds).unwrap();
+        let want = g.eval(&feeds).unwrap();
+        let got = &out.outputs[&g.outputs()[0]];
+        assert!(got.approx_eq(&want[0], 1e-5));
+        assert_eq!(out.tasks_per_device[&DeviceKind::Cpu], 2);
+        assert_eq!(out.tasks_per_device[&DeviceKind::Gpu], 1);
+    }
+
+    #[test]
+    fn virtual_latency_close_to_simulator() {
+        let g = branchy();
+        let sgs = split(&g, &["left", "right"]);
+        let placed: Vec<Placed> = sgs
+            .into_iter()
+            .enumerate()
+            .map(|(i, sg)| Placed {
+                sg,
+                device: if i == 1 { DeviceKind::Gpu } else { DeviceKind::Cpu },
+            })
+            .collect();
+        let sys = SystemModel::paper_server();
+        let sim_lat = measure_latency(&g, &placed, &sys);
+        let exec = HeterogeneousExecutor::new(&g, &placed, sys);
+        let out = exec.run(&input_feeds(&g, 1)).unwrap();
+        // The threaded engine may serialize same-device work in a slightly
+        // different (still valid) order; latencies agree within 20%.
+        let rel = (out.virtual_latency_us - sim_lat).abs() / sim_lat;
+        assert!(rel < 0.2, "threaded {} vs sim {sim_lat}", out.virtual_latency_us);
+    }
+
+    #[test]
+    fn single_device_run_works() {
+        let g = branchy();
+        let c = Compiler::default();
+        let whole = c.compile_whole(&g, "whole");
+        let placed = vec![Placed { sg: whole, device: DeviceKind::Gpu }];
+        let exec = HeterogeneousExecutor::new(&g, &placed, SystemModel::paper_server());
+        let feeds = input_feeds(&g, 2);
+        let out = exec.run(&feeds).unwrap();
+        let want = g.eval(&feeds).unwrap();
+        assert!(out.outputs[&g.outputs()[0]].approx_eq(&want[0], 1e-5));
+        assert_eq!(out.tasks_per_device[&DeviceKind::Cpu], 0);
+    }
+
+    #[test]
+    fn siamese_split_across_devices_is_numerically_exact() {
+        let g = siamese(&SiameseConfig::small());
+        let sgs = split(&g, &["query", "passage"]);
+        let placed: Vec<Placed> = sgs
+            .into_iter()
+            .enumerate()
+            .map(|(i, sg)| Placed {
+                sg,
+                device: if i == 0 { DeviceKind::Gpu } else { DeviceKind::Cpu },
+            })
+            .collect();
+        let feeds = input_feeds(&g, 3);
+        let exec = HeterogeneousExecutor::new(&g, &placed, SystemModel::paper_server());
+        let out = exec.run(&feeds).unwrap();
+        let want = g.eval(&feeds).unwrap();
+        // Same host kernels run in both paths: results are bit-identical.
+        assert_eq!(out.outputs[&g.outputs()[0]], want[0]);
+    }
+
+    #[test]
+    fn missing_feed_surfaces_as_error() {
+        let g = branchy();
+        let c = Compiler::default();
+        let whole = c.compile_whole(&g, "whole");
+        let placed = vec![Placed { sg: whole, device: DeviceKind::Cpu }];
+        let exec = HeterogeneousExecutor::new(&g, &placed, SystemModel::paper_server());
+        let res = exec.run(&HashMap::new());
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn repeated_runs_are_stable() {
+        let g = branchy();
+        let sgs = split(&g, &["left", "right"]);
+        let placed: Vec<Placed> = sgs
+            .into_iter()
+            .enumerate()
+            .map(|(i, sg)| Placed {
+                sg,
+                device: if i == 0 { DeviceKind::Gpu } else { DeviceKind::Cpu },
+            })
+            .collect();
+        let exec = HeterogeneousExecutor::new(&g, &placed, SystemModel::paper_server());
+        let feeds = input_feeds(&g, 8);
+        let first = exec.run(&feeds).unwrap();
+        for _ in 0..10 {
+            let again = exec.run(&feeds).unwrap();
+            assert_eq!(again.outputs[&g.outputs()[0]], first.outputs[&g.outputs()[0]]);
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! # duet-runtime
+//!
+//! The runtime half of DUET: profiling, schedule simulation, heterogeneous
+//! execution, and latency measurement.
+//!
+//! * [`Profiler`] — the compiler-aware profiler of §IV-B: each compiled
+//!   subgraph is treated as a standalone model and "run" on both device
+//!   models for a fixed number of runs, recording execution time and I/O
+//!   sizes.
+//! * [`simulate`] — a deterministic virtual-clock simulator of a placed
+//!   schedule (per-device serialization, cross-device transfer latency,
+//!   optional noise). All evaluation figures are produced with it, and the
+//!   scheduler's correction loop uses it as its `measure_latency`.
+//! * [`HeterogeneousExecutor`] — the engine of §IV-D: one worker thread
+//!   per device polling its own synchronization queue, dependency-
+//!   triggered subgraph execution, real tensor numerics.
+//! * [`LatencyStats`] — mean and percentile statistics over repeated runs
+//!   (the paper reports P50/P99/P99.9 over 5000 runs).
+
+pub mod executor;
+pub mod measure;
+pub mod profile;
+pub mod serving;
+pub mod sim;
+pub mod stats;
+pub mod trace;
+pub mod validate;
+
+pub use executor::HeterogeneousExecutor;
+pub use measure::{measure_latency, measure_stats};
+pub use profile::{Profiler, SubgraphProfile};
+pub use serving::{simulate_serving, ServingConfig, ServingResult};
+pub use sim::{simulate, subgraph_exec_time_us, Placed, SimNoise, SimResult, TimelineEntry};
+pub use stats::LatencyStats;
+pub use trace::to_chrome_trace;
+pub use validate::{validate_schedule, ScheduleError};

@@ -1,0 +1,130 @@
+//! Latency statistics over repeated runs.
+
+/// Summary statistics of a latency sample set (microseconds).
+///
+/// The paper reports average and tail latency over 5000 runs with warm-up
+/// excluded; [`LatencyStats::from_samples`] computes the same summary.
+#[derive(Debug, Clone)]
+pub struct LatencyStats {
+    sorted: Vec<f64>,
+    mean: f64,
+}
+
+impl LatencyStats {
+    /// Summarise a set of latency samples. Panics on an empty set — a
+    /// measurement that produced no samples is a harness bug.
+    pub fn from_samples(mut samples: Vec<f64>) -> Self {
+        assert!(!samples.is_empty(), "no latency samples");
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        samples.sort_by(f64::total_cmp);
+        LatencyStats { sorted: samples, mean }
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Arithmetic mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Smallest sample.
+    pub fn min(&self) -> f64 {
+        self.sorted[0]
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().unwrap()
+    }
+
+    /// Percentile by linear index (nearest-rank method). `q` in `[0, 100]`.
+    pub fn percentile(&self, q: f64) -> f64 {
+        let n = self.sorted.len();
+        let rank = ((q / 100.0) * n as f64).ceil() as usize;
+        self.sorted[rank.clamp(1, n) - 1]
+    }
+
+    /// Median.
+    pub fn p50(&self) -> f64 {
+        self.percentile(50.0)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> f64 {
+        self.percentile(99.0)
+    }
+
+    /// 99.9th percentile.
+    pub fn p999(&self) -> f64 {
+        self.percentile(99.9)
+    }
+
+    /// Sample standard deviation.
+    pub fn std(&self) -> f64 {
+        if self.sorted.len() < 2 {
+            return 0.0;
+        }
+        let var = self
+            .sorted
+            .iter()
+            .map(|x| (x - self.mean) * (x - self.mean))
+            .sum::<f64>()
+            / (self.sorted.len() - 1) as f64;
+        var.sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_summary() {
+        let s = LatencyStats::from_samples(vec![3.0, 1.0, 2.0]);
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.mean(), 2.0);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 3.0);
+        assert_eq!(s.p50(), 2.0);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let s = LatencyStats::from_samples((1..=100).map(f64::from).collect());
+        assert_eq!(s.percentile(50.0), 50.0);
+        assert_eq!(s.p99(), 99.0);
+        assert_eq!(s.percentile(100.0), 100.0);
+        assert_eq!(s.percentile(1.0), 1.0);
+        assert_eq!(s.percentile(0.0), 1.0);
+    }
+
+    #[test]
+    fn p999_catches_single_outlier_in_ten_thousand() {
+        let mut v = vec![1.0; 9_985];
+        v.extend([100.0; 15]);
+        let s = LatencyStats::from_samples(v);
+        assert_eq!(s.p50(), 1.0);
+        assert_eq!(s.p999(), 100.0);
+    }
+
+    #[test]
+    fn std_of_constant_is_zero() {
+        let s = LatencyStats::from_samples(vec![5.0; 10]);
+        assert_eq!(s.std(), 0.0);
+    }
+
+    #[test]
+    fn std_matches_reference() {
+        let s = LatencyStats::from_samples(vec![2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.std() - 2.138).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "no latency samples")]
+    fn empty_panics() {
+        LatencyStats::from_samples(vec![]);
+    }
+}

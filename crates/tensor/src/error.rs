@@ -1,0 +1,70 @@
+//! Error type shared by every tensor kernel.
+
+use std::fmt;
+
+/// Errors produced by tensor construction and kernels.
+///
+/// Kernels validate shapes up front and never panic on malformed input; a
+/// shape mismatch in a scheduled subgraph must surface as a recoverable
+/// error so the executor can abort the inference cleanly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The element count implied by a shape does not match the buffer length.
+    LengthMismatch { expected: usize, actual: usize },
+    /// Two operands have incompatible shapes for the requested kernel.
+    ShapeMismatch {
+        op: &'static str,
+        lhs: Vec<usize>,
+        rhs: Vec<usize>,
+    },
+    /// A tensor had the wrong rank for the requested kernel.
+    RankMismatch {
+        op: &'static str,
+        expected: usize,
+        actual: usize,
+    },
+    /// A parameter (stride, axis, window, …) is out of range.
+    InvalidArgument { op: &'static str, msg: String },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { expected, actual } => {
+                write!(f, "buffer length {actual} does not match shape volume {expected}")
+            }
+            TensorError::ShapeMismatch { op, lhs, rhs } => {
+                write!(f, "{op}: incompatible shapes {lhs:?} and {rhs:?}")
+            }
+            TensorError::RankMismatch { op, expected, actual } => {
+                write!(f, "{op}: expected rank {expected}, got rank {actual}")
+            }
+            TensorError::InvalidArgument { op, msg } => write!(f, "{op}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = TensorError::ShapeMismatch {
+            op: "matmul",
+            lhs: vec![2, 3],
+            rhs: vec![4, 5],
+        };
+        let s = e.to_string();
+        assert!(s.contains("matmul"));
+        assert!(s.contains("[2, 3]"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

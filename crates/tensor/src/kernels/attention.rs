@@ -1,0 +1,176 @@
+//! Attention kernels for the MT-DNN transformer encoder.
+
+use super::gemm::{batched_matmul, matmul};
+use super::linalg::transpose2d;
+use super::norm::softmax;
+use crate::{Tensor, TensorError};
+
+/// Scaled dot-product attention.
+///
+/// `q, k, v: [seq, d]` (single head). Returns `softmax(q k^T / sqrt(d)) v`.
+pub fn scaled_dot_attention(q: &Tensor, k: &Tensor, v: &Tensor) -> Result<Tensor, TensorError> {
+    q.shape().expect_rank("attention", 2)?;
+    k.shape().expect_rank("attention", 2)?;
+    v.shape().expect_rank("attention", 2)?;
+    let d = q.shape().dim(1);
+    if k.shape().dim(1) != d || k.shape().dim(0) != v.shape().dim(0) {
+        return Err(TensorError::ShapeMismatch {
+            op: "attention",
+            lhs: q.shape().dims().to_vec(),
+            rhs: k.shape().dims().to_vec(),
+        });
+    }
+    let kt = transpose2d(k)?;
+    let scores = matmul(q, &kt)?;
+    let scaled = super::elementwise::scale(&scores, 1.0 / (d as f32).sqrt());
+    let probs = softmax(&scaled)?;
+    matmul(&probs, v)
+}
+
+/// Multi-head self-attention over `x: [seq, d_model]`.
+///
+/// `w_q, w_k, w_v, w_o` are `[d_model, d_model]` projection matrices and
+/// `d_model` must be divisible by `heads`. This is the fused QKV form used
+/// by BERT-style encoders (MT-DNN's shared layers).
+pub fn multi_head_attention(
+    x: &Tensor,
+    w_q: &Tensor,
+    w_k: &Tensor,
+    w_v: &Tensor,
+    w_o: &Tensor,
+    heads: usize,
+) -> Result<Tensor, TensorError> {
+    x.shape().expect_rank("mha", 2)?;
+    let (seq, d_model) = (x.shape().dim(0), x.shape().dim(1));
+    if heads == 0 || d_model % heads != 0 {
+        return Err(TensorError::InvalidArgument {
+            op: "mha",
+            msg: format!("d_model {d_model} not divisible by heads {heads}"),
+        });
+    }
+    for w in [w_q, w_k, w_v, w_o] {
+        w.shape().expect_rank("mha", 2)?;
+        if w.shape().dim(0) != d_model || w.shape().dim(1) != d_model {
+            return Err(TensorError::ShapeMismatch {
+                op: "mha",
+                lhs: vec![d_model, d_model],
+                rhs: w.shape().dims().to_vec(),
+            });
+        }
+    }
+    let dh = d_model / heads;
+    let q = matmul(x, w_q)?;
+    let k = matmul(x, w_k)?;
+    let v = matmul(x, w_v)?;
+    // Reshape [seq, heads*dh] into per-head [heads, seq, dh] batches.
+    let to_heads = |t: &Tensor| -> Tensor {
+        let mut out = vec![0.0f32; seq * d_model];
+        for s in 0..seq {
+            for h in 0..heads {
+                for j in 0..dh {
+                    out[(h * seq + s) * dh + j] = t.data()[s * d_model + h * dh + j];
+                }
+            }
+        }
+        Tensor::from_vec(vec![heads, seq, dh], out).expect("volume preserved")
+    };
+    let qh = to_heads(&q);
+    let kh = to_heads(&k);
+    let vh = to_heads(&v);
+    // scores = qh @ kh^T per head.
+    let mut kt = vec![0.0f32; heads * dh * seq];
+    for h in 0..heads {
+        for s in 0..seq {
+            for j in 0..dh {
+                kt[(h * dh + j) * seq + s] = kh.data()[(h * seq + s) * dh + j];
+            }
+        }
+    }
+    let kt = Tensor::from_vec(vec![heads, dh, seq], kt)?;
+    let scores = batched_matmul(&qh, &kt)?;
+    let scaled = super::elementwise::scale(&scores, 1.0 / (dh as f32).sqrt());
+    let probs = softmax(&scaled)?;
+    let ctx = batched_matmul(&probs, &vh)?; // [heads, seq, dh]
+    // Merge heads back to [seq, d_model].
+    let mut merged = vec![0.0f32; seq * d_model];
+    for h in 0..heads {
+        for s in 0..seq {
+            for j in 0..dh {
+                merged[s * d_model + h * dh + j] = ctx.data()[(h * seq + s) * dh + j];
+            }
+        }
+    }
+    let merged = Tensor::from_vec(vec![seq, d_model], merged)?;
+    matmul(&merged, w_o)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attention_uniform_scores_average_values() {
+        // q ⊥ k (all zeros) → uniform attention → output is the mean of v.
+        let q = Tensor::zeros(vec![3, 4]);
+        let k = Tensor::zeros(vec![5, 4]);
+        let v = Tensor::randn(vec![5, 4], 1.0, 1);
+        let out = scaled_dot_attention(&q, &k, &v).unwrap();
+        for row in out.data().chunks(4) {
+            for j in 0..4 {
+                let mean: f32 = (0..5).map(|s| v.data()[s * 4 + j]).sum::<f32>() / 5.0;
+                assert!((row[j] - mean).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn attention_peaked_scores_select_value() {
+        // Query matching key 2 with a huge dot product selects v[2].
+        let mut qd = vec![0.0; 4];
+        qd[0] = 100.0;
+        let q = Tensor::from_vec(vec![1, 4], qd).unwrap();
+        let mut kd = vec![0.0; 3 * 4];
+        kd[2 * 4] = 1.0; // key 2 aligned with q
+        let k = Tensor::from_vec(vec![3, 4], kd).unwrap();
+        let v = Tensor::randn(vec![3, 4], 1.0, 2);
+        let out = scaled_dot_attention(&q, &k, &v).unwrap();
+        for j in 0..4 {
+            assert!((out.data()[j] - v.data()[2 * 4 + j]).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn attention_rejects_dim_mismatch() {
+        let q = Tensor::zeros(vec![2, 4]);
+        let k = Tensor::zeros(vec![3, 5]);
+        let v = Tensor::zeros(vec![3, 4]);
+        assert!(scaled_dot_attention(&q, &k, &v).is_err());
+    }
+
+    #[test]
+    fn mha_single_head_matches_single_head_attention_with_identity_proj() {
+        let seq = 4;
+        let d = 6;
+        let x = Tensor::randn(vec![seq, d], 1.0, 3);
+        let i = Tensor::eye(d);
+        let out = multi_head_attention(&x, &i, &i, &i, &i, 1).unwrap();
+        let reference = scaled_dot_attention(&x, &x, &x).unwrap();
+        assert!(out.approx_eq(&reference, 1e-4));
+    }
+
+    #[test]
+    fn mha_output_shape() {
+        let x = Tensor::randn(vec![8, 16], 1.0, 4);
+        let w = Tensor::randn(vec![16, 16], 0.2, 5);
+        let y = multi_head_attention(&x, &w, &w, &w, &w, 4).unwrap();
+        assert_eq!(y.shape().dims(), &[8, 16]);
+    }
+
+    #[test]
+    fn mha_rejects_indivisible_heads() {
+        let x = Tensor::zeros(vec![4, 6]);
+        let w = Tensor::zeros(vec![6, 6]);
+        assert!(multi_head_attention(&x, &w, &w, &w, &w, 4).is_err());
+        assert!(multi_head_attention(&x, &w, &w, &w, &w, 0).is_err());
+    }
+}

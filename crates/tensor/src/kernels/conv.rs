@@ -1,0 +1,484 @@
+//! Convolution and pooling kernels (NCHW layout).
+//!
+//! `conv2d` lowers to im2col + blocked GEMM — the same lowering TVM's CPU
+//! backend uses as a baseline schedule — so its FLOP profile matches the
+//! analytic cost model in `duet-device`.
+
+use rayon::prelude::*;
+
+use super::gemm::gemm_into;
+use crate::{Tensor, TensorError};
+
+/// 2-D convolution. `x: [n, c_in, h, w]`, `weight: [c_out, c_in, kh, kw]`,
+/// optional `bias: [c_out]`, symmetric `stride`/`padding`.
+pub fn conv2d(
+    x: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    stride: usize,
+    padding: usize,
+) -> Result<Tensor, TensorError> {
+    x.shape().expect_rank("conv2d", 4)?;
+    weight.shape().expect_rank("conv2d", 4)?;
+    if stride == 0 {
+        return Err(TensorError::InvalidArgument { op: "conv2d", msg: "stride must be >= 1".into() });
+    }
+    let (n, c_in, h, w) = dims4(x);
+    let (c_out, c_in2, kh, kw) = dims4(weight);
+    if c_in != c_in2 {
+        return Err(TensorError::ShapeMismatch {
+            op: "conv2d",
+            lhs: x.shape().dims().to_vec(),
+            rhs: weight.shape().dims().to_vec(),
+        });
+    }
+    if let Some(b) = bias {
+        if b.len() != c_out {
+            return Err(TensorError::ShapeMismatch {
+                op: "conv2d",
+                lhs: vec![c_out],
+                rhs: b.shape().dims().to_vec(),
+            });
+        }
+    }
+    if h + 2 * padding < kh || w + 2 * padding < kw {
+        return Err(TensorError::InvalidArgument {
+            op: "conv2d",
+            msg: format!("kernel {kh}x{kw} larger than padded input {h}x{w}+{padding}"),
+        });
+    }
+    let oh = (h + 2 * padding - kh) / stride + 1;
+    let ow = (w + 2 * padding - kw) / stride + 1;
+    let xd = x.data();
+    let wd = weight.data();
+    let bd = bias.map(Tensor::data);
+
+    let patch = c_in * kh * kw;
+    let opix = oh * ow;
+    let mut out = vec![0.0f32; n * c_out * opix];
+    // One im2col buffer + GEMM per image; images are processed in parallel.
+    out.par_chunks_mut(c_out * opix).enumerate().for_each(|(img, oimg)| {
+        let ximg = &xd[img * c_in * h * w..(img + 1) * c_in * h * w];
+        let mut col = vec![0.0f32; patch * opix];
+        im2col(ximg, &mut col, c_in, h, w, kh, kw, stride, padding, oh, ow);
+        // weight [c_out, patch] x col [patch, opix] -> oimg [c_out, opix]
+        gemm_into(wd, &col, oimg, c_out, patch, opix);
+        if let Some(b) = bd {
+            for (co, chunk) in oimg.chunks_mut(opix).enumerate() {
+                let bv = b[co];
+                for v in chunk.iter_mut() {
+                    *v += bv;
+                }
+            }
+        }
+    });
+    Tensor::from_vec(vec![n, c_out, oh, ow], out)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn im2col(
+    x: &[f32],
+    col: &mut [f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    padding: usize,
+    oh: usize,
+    ow: usize,
+) {
+    let opix = oh * ow;
+    for ci in 0..c {
+        for ki in 0..kh {
+            for kj in 0..kw {
+                let row = (ci * kh + ki) * kw + kj;
+                let dst = &mut col[row * opix..(row + 1) * opix];
+                for oy in 0..oh {
+                    let iy = (oy * stride + ki) as isize - padding as isize;
+                    for ox in 0..ow {
+                        let ix = (ox * stride + kj) as isize - padding as isize;
+                        dst[oy * ow + ox] = if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < w {
+                            x[ci * h * w + iy as usize * w + ix as usize]
+                        } else {
+                            0.0
+                        };
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn dims4(t: &Tensor) -> (usize, usize, usize, usize) {
+    (t.shape().dim(0), t.shape().dim(1), t.shape().dim(2), t.shape().dim(3))
+}
+
+fn pool2d(
+    op: &'static str,
+    x: &Tensor,
+    window: usize,
+    stride: usize,
+    reduce: impl Fn(&mut f32, f32) + Sync,
+    init: f32,
+    finish: impl Fn(f32, usize) -> f32 + Sync,
+) -> Result<Tensor, TensorError> {
+    x.shape().expect_rank(op, 4)?;
+    if window == 0 || stride == 0 {
+        return Err(TensorError::InvalidArgument { op, msg: "window/stride must be >= 1".into() });
+    }
+    let (n, c, h, w) = dims4(x);
+    if h < window || w < window {
+        return Err(TensorError::InvalidArgument {
+            op,
+            msg: format!("window {window} larger than input {h}x{w}"),
+        });
+    }
+    let oh = (h - window) / stride + 1;
+    let ow = (w - window) / stride + 1;
+    let xd = x.data();
+    let mut out = vec![0.0f32; n * c * oh * ow];
+    out.par_chunks_mut(oh * ow).enumerate().for_each(|(plane, oplane)| {
+        let xplane = &xd[plane * h * w..(plane + 1) * h * w];
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = init;
+                for ky in 0..window {
+                    for kx in 0..window {
+                        reduce(&mut acc, xplane[(oy * stride + ky) * w + ox * stride + kx]);
+                    }
+                }
+                oplane[oy * ow + ox] = finish(acc, window * window);
+            }
+        }
+    });
+    let _ = (n, c);
+    Tensor::from_vec(vec![n, c, oh, ow], out)
+}
+
+/// Max-pool with square window.
+pub fn max_pool2d(x: &Tensor, window: usize, stride: usize) -> Result<Tensor, TensorError> {
+    pool2d("max_pool2d", x, window, stride, |a, v| *a = a.max(v), f32::NEG_INFINITY, |a, _| a)
+}
+
+/// Average-pool with square window.
+pub fn avg_pool2d(x: &Tensor, window: usize, stride: usize) -> Result<Tensor, TensorError> {
+    pool2d("avg_pool2d", x, window, stride, |a, v| *a += v, 0.0, |a, n| a / n as f32)
+}
+
+/// Global average pool: `[n, c, h, w]` → `[n, c]`.
+pub fn global_avg_pool2d(x: &Tensor) -> Result<Tensor, TensorError> {
+    x.shape().expect_rank("global_avg_pool2d", 4)?;
+    let (n, c, h, w) = dims4(x);
+    if h * w == 0 {
+        return Err(TensorError::InvalidArgument {
+            op: "global_avg_pool2d",
+            msg: "spatial dims must be non-empty".into(),
+        });
+    }
+    let plane = h * w;
+    let data: Vec<f32> = x
+        .data()
+        .chunks(plane)
+        .map(|p| p.iter().sum::<f32>() / plane as f32)
+        .collect();
+    Tensor::from_vec(vec![n, c], data)
+}
+
+/// Depthwise 2-D convolution: each input channel is convolved with its
+/// own single filter. `x: [n, c, h, w]`, `weight: [c, 1, kh, kw]`,
+/// optional `bias: [c]`. The building block of MobileNet-style networks.
+pub fn depthwise_conv2d(
+    x: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    stride: usize,
+    padding: usize,
+) -> Result<Tensor, TensorError> {
+    x.shape().expect_rank("depthwise_conv2d", 4)?;
+    weight.shape().expect_rank("depthwise_conv2d", 4)?;
+    if stride == 0 {
+        return Err(TensorError::InvalidArgument {
+            op: "depthwise_conv2d",
+            msg: "stride must be >= 1".into(),
+        });
+    }
+    let (n, c, h, w) = dims4(x);
+    let (cw, one, kh, kw) = dims4(weight);
+    if cw != c || one != 1 {
+        return Err(TensorError::ShapeMismatch {
+            op: "depthwise_conv2d",
+            lhs: x.shape().dims().to_vec(),
+            rhs: weight.shape().dims().to_vec(),
+        });
+    }
+    if let Some(b) = bias {
+        if b.len() != c {
+            return Err(TensorError::ShapeMismatch {
+                op: "depthwise_conv2d",
+                lhs: vec![c],
+                rhs: b.shape().dims().to_vec(),
+            });
+        }
+    }
+    if h + 2 * padding < kh || w + 2 * padding < kw {
+        return Err(TensorError::InvalidArgument {
+            op: "depthwise_conv2d",
+            msg: "kernel larger than padded input".into(),
+        });
+    }
+    let oh = (h + 2 * padding - kh) / stride + 1;
+    let ow = (w + 2 * padding - kw) / stride + 1;
+    let xd = x.data();
+    let wd = weight.data();
+    let bd = bias.map(Tensor::data);
+    let mut out = vec![0.0f32; n * c * oh * ow];
+    // Each (image, channel) plane is independent: parallelise over planes.
+    out.par_chunks_mut(oh * ow).enumerate().for_each(|(plane, oplane)| {
+        let ci = plane % c;
+        let xplane = &xd[plane * h * w..(plane + 1) * h * w];
+        let wplane = &wd[ci * kh * kw..(ci + 1) * kh * kw];
+        let bv = bd.map_or(0.0, |b| b[ci]);
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = bv;
+                for ky in 0..kh {
+                    let iy = (oy * stride + ky) as isize - padding as isize;
+                    if iy < 0 || iy as usize >= h {
+                        continue;
+                    }
+                    for kx in 0..kw {
+                        let ix = (ox * stride + kx) as isize - padding as isize;
+                        if ix < 0 || ix as usize >= w {
+                            continue;
+                        }
+                        acc += xplane[iy as usize * w + ix as usize] * wplane[ky * kw + kx];
+                    }
+                }
+                oplane[oy * ow + ox] = acc;
+            }
+        }
+    });
+    Tensor::from_vec(vec![n, c, oh, ow], out)
+}
+
+/// Inference-mode batch norm over NCHW input with per-channel statistics.
+///
+/// `y = gamma * (x - mean) / sqrt(var + eps) + beta`, all params `[c]`.
+pub fn batch_norm2d(
+    x: &Tensor,
+    gamma: &Tensor,
+    beta: &Tensor,
+    mean: &Tensor,
+    var: &Tensor,
+    eps: f32,
+) -> Result<Tensor, TensorError> {
+    x.shape().expect_rank("batch_norm2d", 4)?;
+    let (n, c, h, w) = dims4(x);
+    for p in [gamma, beta, mean, var] {
+        p.shape().expect_rank("batch_norm2d", 1)?;
+        if p.len() != c {
+            return Err(TensorError::ShapeMismatch {
+                op: "batch_norm2d",
+                lhs: x.shape().dims().to_vec(),
+                rhs: p.shape().dims().to_vec(),
+            });
+        }
+    }
+    let plane = h * w;
+    let (g, b, m, v) = (gamma.data(), beta.data(), mean.data(), var.data());
+    let mut out = vec![0.0f32; x.len()];
+    for img in 0..n {
+        for ci in 0..c {
+            let scale = g[ci] / (v[ci] + eps).sqrt();
+            let shift = b[ci] - m[ci] * scale;
+            let base = (img * c + ci) * plane;
+            for i in 0..plane {
+                out[base + i] = x.data()[base + i] * scale + shift;
+            }
+        }
+    }
+    Tensor::from_vec(x.shape().clone(), out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_conv(
+        x: &Tensor,
+        w: &Tensor,
+        stride: usize,
+        padding: usize,
+    ) -> Tensor {
+        let (n, c_in, h, wd) = dims4(x);
+        let (c_out, _, kh, kw) = dims4(w);
+        let oh = (h + 2 * padding - kh) / stride + 1;
+        let ow = (wd + 2 * padding - kw) / stride + 1;
+        let mut out = vec![0.0f32; n * c_out * oh * ow];
+        for img in 0..n {
+            for co in 0..c_out {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = 0.0;
+                        for ci in 0..c_in {
+                            for ky in 0..kh {
+                                for kx in 0..kw {
+                                    let iy = (oy * stride + ky) as isize - padding as isize;
+                                    let ix = (ox * stride + kx) as isize - padding as isize;
+                                    if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < wd {
+                                        acc += x.data()[((img * c_in + ci) * h + iy as usize) * wd + ix as usize]
+                                            * w.data()[((co * c_in + ci) * kh + ky) * kw + kx];
+                                    }
+                                }
+                            }
+                        }
+                        out[((img * c_out + co) * oh + oy) * ow + ox] = acc;
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(vec![n, c_out, oh, ow], out).unwrap()
+    }
+
+    #[test]
+    fn conv2d_matches_naive() {
+        let x = Tensor::randn(vec![2, 3, 8, 8], 1.0, 1);
+        let w = Tensor::randn(vec![4, 3, 3, 3], 1.0, 2);
+        for &(s, p) in &[(1, 0), (1, 1), (2, 1), (2, 0)] {
+            let fast = conv2d(&x, &w, None, s, p).unwrap();
+            let slow = naive_conv(&x, &w, s, p);
+            assert!(fast.approx_eq(&slow, 1e-3), "stride {s} pad {p}");
+        }
+    }
+
+    #[test]
+    fn conv2d_output_shape() {
+        let x = Tensor::zeros(vec![1, 3, 224, 224]);
+        let w = Tensor::zeros(vec![64, 3, 7, 7]);
+        let y = conv2d(&x, &w, None, 2, 3).unwrap();
+        assert_eq!(y.shape().dims(), &[1, 64, 112, 112]);
+    }
+
+    #[test]
+    fn conv2d_bias_adds_per_channel() {
+        let x = Tensor::ones(vec![1, 1, 3, 3]);
+        let w = Tensor::zeros(vec![2, 1, 1, 1]);
+        let b = Tensor::from_vec(vec![2], vec![1.0, -1.0]).unwrap();
+        let y = conv2d(&x, &w, Some(&b), 1, 0).unwrap();
+        assert!(y.data()[..9].iter().all(|&v| v == 1.0));
+        assert!(y.data()[9..].iter().all(|&v| v == -1.0));
+    }
+
+    #[test]
+    fn conv2d_rejects_bad_inputs() {
+        let x = Tensor::zeros(vec![1, 3, 8, 8]);
+        let w_bad_cin = Tensor::zeros(vec![4, 2, 3, 3]);
+        assert!(conv2d(&x, &w_bad_cin, None, 1, 1).is_err());
+        let w = Tensor::zeros(vec![4, 3, 3, 3]);
+        assert!(conv2d(&x, &w, None, 0, 1).is_err());
+        let w_huge = Tensor::zeros(vec![4, 3, 20, 20]);
+        assert!(conv2d(&x, &w_huge, None, 1, 0).is_err());
+    }
+
+    #[test]
+    fn max_pool_takes_window_max() {
+        let x = Tensor::from_vec(
+            vec![1, 1, 4, 4],
+            (0..16).map(|v| v as f32).collect(),
+        )
+        .unwrap();
+        let y = max_pool2d(&x, 2, 2).unwrap();
+        assert_eq!(y.shape().dims(), &[1, 1, 2, 2]);
+        assert_eq!(y.data(), &[5.0, 7.0, 13.0, 15.0]);
+    }
+
+    #[test]
+    fn avg_pool_takes_window_mean() {
+        let x = Tensor::ones(vec![1, 2, 4, 4]);
+        let y = avg_pool2d(&x, 2, 2).unwrap();
+        assert!(y.data().iter().all(|&v| (v - 1.0).abs() < 1e-7));
+    }
+
+    #[test]
+    fn pool_rejects_oversized_window() {
+        let x = Tensor::zeros(vec![1, 1, 2, 2]);
+        assert!(max_pool2d(&x, 3, 1).is_err());
+        assert!(avg_pool2d(&x, 0, 1).is_err());
+    }
+
+    #[test]
+    fn global_avg_pool_shape_and_value() {
+        let x = Tensor::from_vec(vec![1, 2, 2, 2], vec![1., 2., 3., 4., 10., 10., 10., 10.]).unwrap();
+        let y = global_avg_pool2d(&x).unwrap();
+        assert_eq!(y.shape().dims(), &[1, 2]);
+        assert_eq!(y.data(), &[2.5, 10.0]);
+    }
+
+    #[test]
+    fn batch_norm_normalises_channel() {
+        let x = Tensor::from_vec(vec![1, 1, 1, 4], vec![2.0, 4.0, 6.0, 8.0]).unwrap();
+        let y = batch_norm2d(
+            &x,
+            &Tensor::ones(vec![1]),
+            &Tensor::zeros(vec![1]),
+            &Tensor::from_vec(vec![1], vec![5.0]).unwrap(),
+            &Tensor::from_vec(vec![1], vec![5.0]).unwrap(),
+            0.0,
+        )
+        .unwrap();
+        let s = 5.0f32.sqrt();
+        let expect = [-3.0 / s, -1.0 / s, 1.0 / s, 3.0 / s];
+        for (a, e) in y.data().iter().zip(expect.iter()) {
+            assert!((a - e).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn depthwise_matches_grouped_naive() {
+        // Depthwise conv == standard conv with a block-diagonal kernel.
+        let x = Tensor::randn(vec![2, 3, 6, 6], 1.0, 21);
+        let wd = Tensor::randn(vec![3, 1, 3, 3], 1.0, 22);
+        let got = depthwise_conv2d(&x, &wd, None, 1, 1).unwrap();
+        // Build the equivalent full kernel [3, 3, 3, 3] with zeros off the
+        // channel diagonal.
+        let mut full = vec![0.0f32; 3 * 3 * 3 * 3];
+        for c in 0..3 {
+            for k in 0..9 {
+                full[((c * 3 + c) * 9) + k] = wd.data()[c * 9 + k];
+            }
+        }
+        let wfull = Tensor::from_vec(vec![3, 3, 3, 3], full).unwrap();
+        let want = conv2d(&x, &wfull, None, 1, 1).unwrap();
+        assert!(got.approx_eq(&want, 1e-4));
+    }
+
+    #[test]
+    fn depthwise_stride_and_bias() {
+        let x = Tensor::ones(vec![1, 2, 4, 4]);
+        let w = Tensor::ones(vec![2, 1, 2, 2]);
+        let b = Tensor::from_vec(vec![2], vec![0.5, -0.5]).unwrap();
+        let y = depthwise_conv2d(&x, &w, Some(&b), 2, 0).unwrap();
+        assert_eq!(y.shape().dims(), &[1, 2, 2, 2]);
+        assert!(y.data()[..4].iter().all(|&v| v == 4.5));
+        assert!(y.data()[4..].iter().all(|&v| v == 3.5));
+    }
+
+    #[test]
+    fn depthwise_rejects_bad_weight_layout() {
+        let x = Tensor::zeros(vec![1, 3, 6, 6]);
+        let w_wrong_c = Tensor::zeros(vec![2, 1, 3, 3]);
+        assert!(depthwise_conv2d(&x, &w_wrong_c, None, 1, 1).is_err());
+        let w_not_dw = Tensor::zeros(vec![3, 2, 3, 3]);
+        assert!(depthwise_conv2d(&x, &w_not_dw, None, 1, 1).is_err());
+    }
+
+    #[test]
+    fn batch_norm_rejects_wrong_param_len() {
+        let x = Tensor::zeros(vec![1, 3, 2, 2]);
+        let ok = Tensor::zeros(vec![3]);
+        let bad = Tensor::zeros(vec![2]);
+        assert!(batch_norm2d(&x, &bad, &ok, &ok, &ok, 1e-5).is_err());
+    }
+}

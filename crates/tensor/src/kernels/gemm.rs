@@ -1,0 +1,244 @@
+//! General matrix multiplication: the workhorse kernel.
+//!
+//! `matmul` uses a cache-blocked i-k-j loop order with a parallel split over
+//! row blocks. The reduction order for each output element is fixed (k
+//! ascending), so the result is identical for any thread count.
+
+use rayon::prelude::*;
+
+use crate::{Tensor, TensorError};
+
+/// Tile height for the parallel row split. 32 rows of f32 output keeps a
+/// tile of B columns resident in L1/L2 for typical model widths.
+const ROW_BLOCK: usize = 32;
+/// K-blocking factor: keeps a (ROW_BLOCK x K_BLOCK) panel of A hot.
+const K_BLOCK: usize = 256;
+
+/// `C[m,n] = A[m,k] * B[k,n]`.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    a.shape().expect_rank("matmul", 2)?;
+    b.shape().expect_rank("matmul", 2)?;
+    let (m, k) = (a.shape().dim(0), a.shape().dim(1));
+    let (k2, n) = (b.shape().dim(0), b.shape().dim(1));
+    if k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul",
+            lhs: a.shape().dims().to_vec(),
+            rhs: b.shape().dims().to_vec(),
+        });
+    }
+    let mut out = vec![0.0f32; m * n];
+    gemm_into(a.data(), b.data(), &mut out, m, k, n);
+    Tensor::from_vec(vec![m, n], out)
+}
+
+/// `y = x @ w^T + bias` where `x: [m, in]`, `w: [out, in]`, `bias: [out]`.
+///
+/// This is the fully-connected layer layout used by the model zoo (PyTorch
+/// convention: weight stored `[out_features, in_features]`).
+pub fn linear(x: &Tensor, w: &Tensor, bias: Option<&Tensor>) -> Result<Tensor, TensorError> {
+    x.shape().expect_rank("linear", 2)?;
+    w.shape().expect_rank("linear", 2)?;
+    let (m, kin) = (x.shape().dim(0), x.shape().dim(1));
+    let (nout, kin2) = (w.shape().dim(0), w.shape().dim(1));
+    if kin != kin2 {
+        return Err(TensorError::ShapeMismatch {
+            op: "linear",
+            lhs: x.shape().dims().to_vec(),
+            rhs: w.shape().dims().to_vec(),
+        });
+    }
+    if let Some(b) = bias {
+        if b.len() != nout {
+            return Err(TensorError::ShapeMismatch {
+                op: "linear",
+                lhs: vec![nout],
+                rhs: b.shape().dims().to_vec(),
+            });
+        }
+    }
+    let xd = x.data();
+    let wd = w.data();
+    let bd = bias.map(Tensor::data);
+    let mut out = vec![0.0f32; m * nout];
+    // x @ w^T: each output row is a series of dot products over rows of w.
+    out.par_chunks_mut(nout)
+        .enumerate()
+        .for_each(|(i, orow)| {
+            let xrow = &xd[i * kin..(i + 1) * kin];
+            for (j, o) in orow.iter_mut().enumerate() {
+                let wrow = &wd[j * kin..(j + 1) * kin];
+                let mut acc = 0.0f32;
+                for t in 0..kin {
+                    acc += xrow[t] * wrow[t];
+                }
+                *o = acc + bd.map_or(0.0, |b| b[j]);
+            }
+        });
+    Tensor::from_vec(vec![m, nout], out)
+}
+
+/// Batched matmul: `A: [b, m, k]`, `B: [b, k, n]` → `[b, m, n]`.
+pub fn batched_matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    a.shape().expect_rank("batched_matmul", 3)?;
+    b.shape().expect_rank("batched_matmul", 3)?;
+    let (ba, m, k) = (a.shape().dim(0), a.shape().dim(1), a.shape().dim(2));
+    let (bb, k2, n) = (b.shape().dim(0), b.shape().dim(1), b.shape().dim(2));
+    if ba != bb || k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            op: "batched_matmul",
+            lhs: a.shape().dims().to_vec(),
+            rhs: b.shape().dims().to_vec(),
+        });
+    }
+    let ad = a.data();
+    let bd = b.data();
+    let mut out = vec![0.0f32; ba * m * n];
+    out.par_chunks_mut(m * n).enumerate().for_each(|(i, o)| {
+        gemm_into(&ad[i * m * k..(i + 1) * m * k], &bd[i * k * n..(i + 1) * k * n], o, m, k, n);
+    });
+    Tensor::from_vec(vec![ba, m, n], out)
+}
+
+/// Blocked GEMM into a preallocated output (`c` must be zeroed, len m*n).
+pub(crate) fn gemm_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    c.par_chunks_mut(ROW_BLOCK * n)
+        .enumerate()
+        .for_each(|(blk, cblk)| {
+            let i0 = blk * ROW_BLOCK;
+            let rows = cblk.len() / n.max(1);
+            for kk in (0..k).step_by(K_BLOCK) {
+                let kend = (kk + K_BLOCK).min(k);
+                for di in 0..rows {
+                    let i = i0 + di;
+                    let crow = &mut cblk[di * n..(di + 1) * n];
+                    for t in kk..kend {
+                        let aval = a[i * k + t];
+                        if aval == 0.0 {
+                            continue;
+                        }
+                        let brow = &b[t * n..(t + 1) * n];
+                        for (cv, bv) in crow.iter_mut().zip(brow.iter()) {
+                            *cv += aval * bv;
+                        }
+                    }
+                }
+            }
+        });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = (a.shape().dim(0), a.shape().dim(1));
+        let n = b.shape().dim(1);
+        let mut out = vec![0.0; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for t in 0..k {
+                    acc += a.data()[i * k + t] * b.data()[t * n + j];
+                }
+                out[i * n + j] = acc;
+            }
+        }
+        Tensor::from_vec(vec![m, n], out).unwrap()
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::randn(vec![5, 7], 1.0, 3);
+        let i = Tensor::eye(7);
+        let c = matmul(&a, &i).unwrap();
+        assert!(c.approx_eq(&a, 1e-6));
+    }
+
+    #[test]
+    fn matmul_matches_naive_odd_sizes() {
+        // Sizes straddle the block boundaries on purpose.
+        for &(m, k, n) in &[(1, 1, 1), (3, 5, 2), (33, 257, 17), (64, 16, 31)] {
+            let a = Tensor::randn(vec![m, k], 1.0, m as u64);
+            let b = Tensor::randn(vec![k, n], 1.0, n as u64);
+            let fast = matmul(&a, &b).unwrap();
+            let slow = naive_matmul(&a, &b);
+            assert!(fast.approx_eq(&slow, 1e-3), "mismatch at ({m},{k},{n})");
+        }
+    }
+
+    #[test]
+    fn matmul_rejects_bad_shapes() {
+        let a = Tensor::zeros(vec![2, 3]);
+        let b = Tensor::zeros(vec![4, 5]);
+        assert!(matmul(&a, &b).is_err());
+        let v = Tensor::zeros(vec![3]);
+        assert!(matmul(&a, &v).is_err());
+    }
+
+    #[test]
+    fn linear_matches_matmul_transpose() {
+        let x = Tensor::randn(vec![4, 8], 1.0, 1);
+        let w = Tensor::randn(vec![6, 8], 1.0, 2);
+        let b = Tensor::randn(vec![6], 1.0, 3);
+        let y = linear(&x, &w, Some(&b)).unwrap();
+        // Reference: x @ w^T + b.
+        let wt = crate::kernels::transpose2d(&w).unwrap();
+        let ref_y = matmul(&x, &wt).unwrap();
+        for i in 0..4 {
+            for j in 0..6 {
+                let expect = ref_y.data()[i * 6 + j] + b.data()[j];
+                assert!((y.data()[i * 6 + j] - expect).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn linear_without_bias() {
+        let x = Tensor::ones(vec![1, 3]);
+        let w = Tensor::ones(vec![2, 3]);
+        let y = linear(&x, &w, None).unwrap();
+        assert_eq!(y.data(), &[3.0, 3.0]);
+    }
+
+    #[test]
+    fn linear_rejects_bad_bias() {
+        let x = Tensor::zeros(vec![1, 3]);
+        let w = Tensor::zeros(vec![2, 3]);
+        let b = Tensor::zeros(vec![5]);
+        assert!(linear(&x, &w, Some(&b)).is_err());
+    }
+
+    #[test]
+    fn batched_matmul_matches_per_batch() {
+        let a = Tensor::randn(vec![3, 4, 5], 1.0, 10);
+        let b = Tensor::randn(vec![3, 5, 2], 1.0, 11);
+        let c = batched_matmul(&a, &b).unwrap();
+        assert_eq!(c.shape().dims(), &[3, 4, 2]);
+        for i in 0..3 {
+            let ai = Tensor::from_vec(vec![4, 5], a.data()[i * 20..(i + 1) * 20].to_vec()).unwrap();
+            let bi = Tensor::from_vec(vec![5, 2], b.data()[i * 10..(i + 1) * 10].to_vec()).unwrap();
+            let ci = matmul(&ai, &bi).unwrap();
+            assert_eq!(&c.data()[i * 8..(i + 1) * 8], ci.data());
+        }
+    }
+
+    #[test]
+    fn batched_matmul_rejects_batch_mismatch() {
+        let a = Tensor::zeros(vec![2, 3, 4]);
+        let b = Tensor::zeros(vec![3, 4, 5]);
+        assert!(batched_matmul(&a, &b).is_err());
+    }
+
+    #[test]
+    fn gemm_deterministic_across_runs() {
+        let a = Tensor::randn(vec![65, 130], 1.0, 5);
+        let b = Tensor::randn(vec![130, 33], 1.0, 6);
+        let c1 = matmul(&a, &b).unwrap();
+        let c2 = matmul(&a, &b).unwrap();
+        assert_eq!(c1, c2);
+    }
+}

@@ -1,0 +1,249 @@
+//! Structural kernels: transpose, concat/split, embedding lookup, reductions.
+
+use crate::{Shape, Tensor, TensorError};
+
+/// Transpose a rank-2 tensor.
+pub fn transpose2d(x: &Tensor) -> Result<Tensor, TensorError> {
+    x.shape().expect_rank("transpose2d", 2)?;
+    let (m, n) = (x.shape().dim(0), x.shape().dim(1));
+    let xd = x.data();
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            out[j * m + i] = xd[i * n + j];
+        }
+    }
+    Tensor::from_vec(vec![n, m], out)
+}
+
+/// Concatenate tensors along `axis`. All other dimensions must match.
+pub fn concat(tensors: &[&Tensor], axis: usize) -> Result<Tensor, TensorError> {
+    let first = tensors.first().ok_or_else(|| TensorError::InvalidArgument {
+        op: "concat",
+        msg: "need at least one input".into(),
+    })?;
+    first.shape().check_axis("concat", axis)?;
+    let rank = first.shape().rank();
+    let mut out_dims = first.shape().dims().to_vec();
+    out_dims[axis] = 0;
+    for t in tensors {
+        t.shape().expect_rank("concat", rank)?;
+        for (d, (&a, &b)) in t.shape().dims().iter().zip(first.shape().dims()).enumerate() {
+            if d != axis && a != b {
+                return Err(TensorError::ShapeMismatch {
+                    op: "concat",
+                    lhs: first.shape().dims().to_vec(),
+                    rhs: t.shape().dims().to_vec(),
+                });
+            }
+        }
+        out_dims[axis] += t.shape().dim(axis);
+    }
+    // outer = product of dims before axis; inner = product after.
+    let outer: usize = out_dims[..axis].iter().product();
+    let inner: usize = out_dims[axis + 1..].iter().product();
+    let mut out = Vec::with_capacity(out_dims.iter().product());
+    for o in 0..outer {
+        for t in tensors {
+            let ax = t.shape().dim(axis);
+            let chunk = ax * inner;
+            out.extend_from_slice(&t.data()[o * chunk..(o + 1) * chunk]);
+        }
+    }
+    Tensor::from_vec(out_dims, out)
+}
+
+/// Split a tensor into equal `parts` along `axis`.
+pub fn split(x: &Tensor, parts: usize, axis: usize) -> Result<Vec<Tensor>, TensorError> {
+    x.shape().check_axis("split", axis)?;
+    if parts == 0 || !x.shape().dim(axis).is_multiple_of(parts) {
+        return Err(TensorError::InvalidArgument {
+            op: "split",
+            msg: format!("cannot split extent {} into {parts} parts", x.shape().dim(axis)),
+        });
+    }
+    let step = x.shape().dim(axis) / parts;
+    let outer: usize = x.shape().dims()[..axis].iter().product();
+    let inner: usize = x.shape().dims()[axis + 1..].iter().product();
+    let mut out_dims = x.shape().dims().to_vec();
+    out_dims[axis] = step;
+    let mut results = Vec::with_capacity(parts);
+    for p in 0..parts {
+        let mut data = Vec::with_capacity(outer * step * inner);
+        for o in 0..outer {
+            let base = o * x.shape().dim(axis) * inner + p * step * inner;
+            data.extend_from_slice(&x.data()[base..base + step * inner]);
+        }
+        results.push(Tensor::from_vec(out_dims.clone(), data)?);
+    }
+    Ok(results)
+}
+
+/// Take rows `[start, end)` from a rank-2 tensor.
+pub fn slice_rows(x: &Tensor, start: usize, end: usize) -> Result<Tensor, TensorError> {
+    x.shape().expect_rank("slice_rows", 2)?;
+    let (m, n) = (x.shape().dim(0), x.shape().dim(1));
+    if start > end || end > m {
+        return Err(TensorError::InvalidArgument {
+            op: "slice_rows",
+            msg: format!("range {start}..{end} out of bounds for {m} rows"),
+        });
+    }
+    Tensor::from_vec(vec![end - start, n], x.data()[start * n..end * n].to_vec())
+}
+
+/// Embedding lookup: `table: [vocab, dim]`, `ids` are rounded to usize.
+/// Input `ids: [n]` (f32 holding integral values) → `[n, dim]`.
+pub fn embedding(table: &Tensor, ids: &Tensor) -> Result<Tensor, TensorError> {
+    table.shape().expect_rank("embedding", 2)?;
+    let (vocab, dim) = (table.shape().dim(0), table.shape().dim(1));
+    let n = ids.len();
+    let mut out = Vec::with_capacity(n * dim);
+    for &id in ids.data() {
+        let idx = id as usize;
+        if id < 0.0 || idx >= vocab {
+            return Err(TensorError::InvalidArgument {
+                op: "embedding",
+                msg: format!("id {id} out of range for vocab {vocab}"),
+            });
+        }
+        out.extend_from_slice(&table.data()[idx * dim..(idx + 1) * dim]);
+    }
+    Tensor::from_vec(vec![n, dim], out)
+}
+
+fn reduce_rows(
+    op: &'static str,
+    x: &Tensor,
+    init: f32,
+    f: impl Fn(f32, f32) -> f32,
+    finish: impl Fn(f32, usize) -> f32,
+) -> Result<Tensor, TensorError> {
+    let rank = x.shape().rank();
+    if rank == 0 {
+        return Err(TensorError::RankMismatch { op, expected: 1, actual: 0 });
+    }
+    let c = x.shape().dim(rank - 1);
+    if c == 0 {
+        return Err(TensorError::InvalidArgument { op, msg: "empty trailing dim".into() });
+    }
+    let rows = x.len() / c;
+    let mut out = Vec::with_capacity(rows);
+    for row in x.data().chunks(c) {
+        let acc = row.iter().fold(init, |a, &v| f(a, v));
+        out.push(finish(acc, c));
+    }
+    let dims: Vec<usize> = x.shape().dims()[..rank - 1].to_vec();
+    Tensor::from_vec(Shape::new(dims), out)
+}
+
+/// Sum over the trailing dimension.
+pub fn reduce_sum(x: &Tensor) -> Result<Tensor, TensorError> {
+    reduce_rows("reduce_sum", x, 0.0, |a, v| a + v, |a, _| a)
+}
+
+/// Mean over the trailing dimension.
+pub fn reduce_mean(x: &Tensor) -> Result<Tensor, TensorError> {
+    reduce_rows("reduce_mean", x, 0.0, |a, v| a + v, |a, n| a / n as f32)
+}
+
+/// Max over the trailing dimension.
+pub fn reduce_max(x: &Tensor) -> Result<Tensor, TensorError> {
+    reduce_rows("reduce_max", x, f32::NEG_INFINITY, f32::max, |a, _| a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transpose_involution() {
+        let x = Tensor::randn(vec![3, 5], 1.0, 1);
+        let tt = transpose2d(&transpose2d(&x).unwrap()).unwrap();
+        assert_eq!(tt, x);
+    }
+
+    #[test]
+    fn transpose_moves_elements() {
+        let x = Tensor::from_vec(vec![2, 3], vec![1., 2., 3., 4., 5., 6.]).unwrap();
+        let t = transpose2d(&x).unwrap();
+        assert_eq!(t.shape().dims(), &[3, 2]);
+        assert_eq!(t.data(), &[1., 4., 2., 5., 3., 6.]);
+    }
+
+    #[test]
+    fn concat_axis0_and_axis1() {
+        let a = Tensor::from_vec(vec![1, 2], vec![1., 2.]).unwrap();
+        let b = Tensor::from_vec(vec![1, 2], vec![3., 4.]).unwrap();
+        let c0 = concat(&[&a, &b], 0).unwrap();
+        assert_eq!(c0.shape().dims(), &[2, 2]);
+        assert_eq!(c0.data(), &[1., 2., 3., 4.]);
+        let c1 = concat(&[&a, &b], 1).unwrap();
+        assert_eq!(c1.shape().dims(), &[1, 4]);
+        assert_eq!(c1.data(), &[1., 2., 3., 4.]);
+    }
+
+    #[test]
+    fn concat_rejects_mismatched_other_dims() {
+        let a = Tensor::zeros(vec![1, 2]);
+        let b = Tensor::zeros(vec![1, 3]);
+        assert!(concat(&[&a, &b], 0).is_err());
+        assert!(concat(&[], 0).is_err());
+    }
+
+    #[test]
+    fn split_is_inverse_of_concat() {
+        let x = Tensor::randn(vec![4, 6], 1.0, 2);
+        let parts = split(&x, 3, 1).unwrap();
+        assert_eq!(parts.len(), 3);
+        let refs: Vec<&Tensor> = parts.iter().collect();
+        let back = concat(&refs, 1).unwrap();
+        assert_eq!(back, x);
+    }
+
+    #[test]
+    fn split_rejects_uneven() {
+        let x = Tensor::zeros(vec![4, 5]);
+        assert!(split(&x, 3, 1).is_err());
+        assert!(split(&x, 0, 0).is_err());
+    }
+
+    #[test]
+    fn slice_rows_extracts_range() {
+        let x = Tensor::from_vec(vec![3, 2], vec![1., 2., 3., 4., 5., 6.]).unwrap();
+        let s = slice_rows(&x, 1, 3).unwrap();
+        assert_eq!(s.data(), &[3., 4., 5., 6.]);
+        assert!(slice_rows(&x, 2, 4).is_err());
+        assert!(slice_rows(&x, 2, 1).is_err());
+    }
+
+    #[test]
+    fn embedding_looks_up_rows() {
+        let table = Tensor::from_vec(vec![3, 2], vec![0., 0., 10., 11., 20., 21.]).unwrap();
+        let ids = Tensor::from_vec(vec![3], vec![2., 0., 1.]).unwrap();
+        let e = embedding(&table, &ids).unwrap();
+        assert_eq!(e.data(), &[20., 21., 0., 0., 10., 11.]);
+    }
+
+    #[test]
+    fn embedding_rejects_out_of_vocab() {
+        let table = Tensor::zeros(vec![3, 2]);
+        let ids = Tensor::from_vec(vec![1], vec![3.0]).unwrap();
+        assert!(embedding(&table, &ids).is_err());
+        let neg = Tensor::from_vec(vec![1], vec![-1.0]).unwrap();
+        assert!(embedding(&table, &neg).is_err());
+    }
+
+    #[test]
+    fn reductions_over_trailing_dim() {
+        let x = Tensor::from_vec(vec![2, 3], vec![1., 2., 3., -1., 5., 0.]).unwrap();
+        assert_eq!(reduce_sum(&x).unwrap().data(), &[6.0, 4.0]);
+        assert_eq!(reduce_mean(&x).unwrap().data(), &[2.0, 4.0 / 3.0]);
+        assert_eq!(reduce_max(&x).unwrap().data(), &[3.0, 5.0]);
+    }
+
+    #[test]
+    fn reduce_scalar_rejected() {
+        assert!(reduce_sum(&Tensor::scalar(1.0)).is_err());
+    }
+}

@@ -1,0 +1,27 @@
+//! Real CPU kernels for every operator in the DUET operator vocabulary.
+//!
+//! Each kernel validates shapes, allocates its output once, and writes it
+//! with no interior allocation. Heavy kernels (GEMM, conv) are parallelised
+//! with rayon over independent output rows, which keeps results bit-exact
+//! regardless of thread count (each output element is produced by exactly
+//! one reduction performed in a fixed order).
+
+mod attention;
+mod conv;
+mod elementwise;
+mod gemm;
+mod linalg;
+mod norm;
+mod rnn;
+mod util;
+
+pub use attention::{multi_head_attention, scaled_dot_attention};
+pub use conv::{avg_pool2d, batch_norm2d, conv2d, depthwise_conv2d, global_avg_pool2d, max_pool2d};
+pub use elementwise::{
+    add, bias_add, gelu, mul, relu, scale, sigmoid, sub, tanh, UnaryOp,
+};
+pub use gemm::{batched_matmul, linear, matmul};
+pub use linalg::{concat, embedding, reduce_max, reduce_mean, reduce_sum, slice_rows, split, transpose2d};
+pub use norm::{layer_norm, log_softmax, softmax};
+pub use rnn::{gru_step, lstm, lstm_step, LstmState};
+pub use util::{argmax, cosine_similarity, one_hot, topk};

@@ -1,0 +1,167 @@
+//! Normalisation kernels: softmax, log-softmax, layer norm.
+
+use crate::{Tensor, TensorError};
+
+/// Numerically-stable softmax over the trailing dimension.
+pub fn softmax(x: &Tensor) -> Result<Tensor, TensorError> {
+    row_softmax(x, false)
+}
+
+/// Numerically-stable log-softmax over the trailing dimension.
+pub fn log_softmax(x: &Tensor) -> Result<Tensor, TensorError> {
+    row_softmax(x, true)
+}
+
+fn row_softmax(x: &Tensor, log: bool) -> Result<Tensor, TensorError> {
+    let rank = x.shape().rank();
+    if rank == 0 {
+        return Err(TensorError::RankMismatch { op: "softmax", expected: 1, actual: 0 });
+    }
+    let c = x.shape().dim(rank - 1);
+    if c == 0 {
+        return Err(TensorError::InvalidArgument {
+            op: "softmax",
+            msg: "trailing dimension must be non-empty".into(),
+        });
+    }
+    let mut out = vec![0.0f32; x.len()];
+    for (row_in, row_out) in x.data().chunks(c).zip(out.chunks_mut(c)) {
+        let max = row_in.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for (o, &v) in row_out.iter_mut().zip(row_in.iter()) {
+            let e = (v - max).exp();
+            *o = e;
+            sum += e;
+        }
+        if log {
+            let lsum = sum.ln();
+            for (o, &v) in row_out.iter_mut().zip(row_in.iter()) {
+                *o = v - max - lsum;
+            }
+        } else {
+            let inv = 1.0 / sum;
+            for o in row_out.iter_mut() {
+                *o *= inv;
+            }
+        }
+    }
+    Tensor::from_vec(x.shape().clone(), out)
+}
+
+/// Layer normalisation over the trailing dimension with learned affine
+/// parameters `gamma`, `beta` (both `[c]`).
+pub fn layer_norm(
+    x: &Tensor,
+    gamma: &Tensor,
+    beta: &Tensor,
+    eps: f32,
+) -> Result<Tensor, TensorError> {
+    let rank = x.shape().rank();
+    if rank == 0 {
+        return Err(TensorError::RankMismatch { op: "layer_norm", expected: 1, actual: 0 });
+    }
+    let c = x.shape().dim(rank - 1);
+    gamma.shape().expect_rank("layer_norm", 1)?;
+    beta.shape().expect_rank("layer_norm", 1)?;
+    if gamma.len() != c || beta.len() != c {
+        return Err(TensorError::ShapeMismatch {
+            op: "layer_norm",
+            lhs: x.shape().dims().to_vec(),
+            rhs: gamma.shape().dims().to_vec(),
+        });
+    }
+    let g = gamma.data();
+    let b = beta.data();
+    let mut out = vec![0.0f32; x.len()];
+    for (row_in, row_out) in x.data().chunks(c).zip(out.chunks_mut(c)) {
+        let mean = row_in.iter().sum::<f32>() / c as f32;
+        let var = row_in.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / c as f32;
+        let inv = 1.0 / (var + eps).sqrt();
+        for (j, (o, &v)) in row_out.iter_mut().zip(row_in.iter()).enumerate() {
+            *o = (v - mean) * inv * g[j] + b[j];
+        }
+    }
+    Tensor::from_vec(x.shape().clone(), out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let x = Tensor::randn(vec![4, 7], 2.0, 11);
+        let y = softmax(&x).unwrap();
+        for row in y.data().chunks(7) {
+            let s: f32 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+            assert!(row.iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let x = Tensor::from_vec(vec![3], vec![1.0, 2.0, 3.0]).unwrap();
+        let shifted = Tensor::from_vec(vec![3], vec![101.0, 102.0, 103.0]).unwrap();
+        let a = softmax(&x).unwrap();
+        let b = softmax(&shifted).unwrap();
+        assert!(a.approx_eq(&b, 1e-6));
+    }
+
+    #[test]
+    fn softmax_handles_large_values() {
+        let x = Tensor::from_vec(vec![2], vec![1000.0, 1000.0]).unwrap();
+        let y = softmax(&x).unwrap();
+        assert!((y.data()[0] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn log_softmax_is_log_of_softmax() {
+        let x = Tensor::randn(vec![2, 5], 1.0, 3);
+        let ls = log_softmax(&x).unwrap();
+        let s = softmax(&x).unwrap();
+        for (a, b) in ls.data().iter().zip(s.data().iter()) {
+            assert!((a - b.ln()).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn softmax_rejects_scalar_and_empty_rows() {
+        assert!(softmax(&Tensor::scalar(1.0)).is_err());
+        assert!(softmax(&Tensor::zeros(vec![2, 0])).is_err());
+    }
+
+    #[test]
+    fn layer_norm_zero_mean_unit_var() {
+        let x = Tensor::randn(vec![3, 64], 5.0, 17);
+        let g = Tensor::ones(vec![64]);
+        let b = Tensor::zeros(vec![64]);
+        let y = layer_norm(&x, &g, &b, 1e-5).unwrap();
+        for row in y.data().chunks(64) {
+            let mean: f32 = row.iter().sum::<f32>() / 64.0;
+            let var: f32 = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / 64.0;
+            assert!(mean.abs() < 1e-4, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "var {var}");
+        }
+    }
+
+    #[test]
+    fn layer_norm_affine_applies() {
+        let x = Tensor::randn(vec![2, 8], 1.0, 4);
+        let g = Tensor::full(vec![8], 2.0);
+        let b = Tensor::full(vec![8], 0.5);
+        let plain = layer_norm(&x, &Tensor::ones(vec![8]), &Tensor::zeros(vec![8]), 1e-5).unwrap();
+        let affine = layer_norm(&x, &g, &b, 1e-5).unwrap();
+        for (p, a) in plain.data().iter().zip(affine.data().iter()) {
+            assert!((a - (p * 2.0 + 0.5)).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn layer_norm_rejects_bad_params() {
+        let x = Tensor::zeros(vec![2, 8]);
+        let g = Tensor::zeros(vec![4]);
+        let b = Tensor::zeros(vec![8]);
+        assert!(layer_norm(&x, &g, &b, 1e-5).is_err());
+    }
+}

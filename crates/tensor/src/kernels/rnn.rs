@@ -1,0 +1,234 @@
+//! Recurrent kernels: LSTM and GRU.
+//!
+//! Recurrent layers are the reason DUET exists: at batch size 1 their
+//! per-timestep GEMMs are too small to occupy a GPU, and the sequential
+//! dependence between steps forbids cross-step parallelism, so the CPU often
+//! wins (paper §III-B, Fig. 4). These kernels implement the standard cell
+//! equations; gate weights follow the PyTorch `[4*hidden, in]` layout with
+//! gate order i, f, g, o (LSTM) and r, z, n (GRU).
+
+use super::elementwise::UnaryOp;
+use super::gemm::linear;
+use crate::{Tensor, TensorError};
+
+/// Hidden and cell state of an LSTM layer, each `[batch, hidden]`.
+#[derive(Debug, Clone)]
+pub struct LstmState {
+    pub h: Tensor,
+    pub c: Tensor,
+}
+
+impl LstmState {
+    /// Zero state for a given batch and hidden size.
+    pub fn zeros(batch: usize, hidden: usize) -> Self {
+        LstmState {
+            h: Tensor::zeros(vec![batch, hidden]),
+            c: Tensor::zeros(vec![batch, hidden]),
+        }
+    }
+}
+
+/// One LSTM timestep.
+///
+/// `x: [batch, in]`, `w_ih: [4*hidden, in]`, `w_hh: [4*hidden, hidden]`,
+/// `b: [4*hidden]`. Returns the next state.
+pub fn lstm_step(
+    x: &Tensor,
+    state: &LstmState,
+    w_ih: &Tensor,
+    w_hh: &Tensor,
+    b: &Tensor,
+) -> Result<LstmState, TensorError> {
+    let batch = x.shape().dim(0);
+    let hidden = state.h.shape().dim(1);
+    let gates_x = linear(x, w_ih, Some(b))?;
+    let gates_h = linear(&state.h, w_hh, None)?;
+    if gates_x.shape() != gates_h.shape() || gates_x.shape().dim(1) != 4 * hidden {
+        return Err(TensorError::ShapeMismatch {
+            op: "lstm_step",
+            lhs: gates_x.shape().dims().to_vec(),
+            rhs: gates_h.shape().dims().to_vec(),
+        });
+    }
+    let gx = gates_x.data();
+    let gh = gates_h.data();
+    let cd = state.c.data();
+    let mut h = vec![0.0f32; batch * hidden];
+    let mut c = vec![0.0f32; batch * hidden];
+    for bi in 0..batch {
+        let row = bi * 4 * hidden;
+        for j in 0..hidden {
+            let i_g = UnaryOp::Sigmoid.apply(gx[row + j] + gh[row + j]);
+            let f_g = UnaryOp::Sigmoid.apply(gx[row + hidden + j] + gh[row + hidden + j]);
+            let g_g = (gx[row + 2 * hidden + j] + gh[row + 2 * hidden + j]).tanh();
+            let o_g = UnaryOp::Sigmoid.apply(gx[row + 3 * hidden + j] + gh[row + 3 * hidden + j]);
+            let c_new = f_g * cd[bi * hidden + j] + i_g * g_g;
+            c[bi * hidden + j] = c_new;
+            h[bi * hidden + j] = o_g * c_new.tanh();
+        }
+    }
+    Ok(LstmState {
+        h: Tensor::from_vec(vec![batch, hidden], h)?,
+        c: Tensor::from_vec(vec![batch, hidden], c)?,
+    })
+}
+
+/// Full single-layer LSTM over a sequence.
+///
+/// `x: [seq, batch, in]`. Returns the `[seq, batch, hidden]` output stack
+/// (all hidden states) and the final state.
+pub fn lstm(
+    x: &Tensor,
+    w_ih: &Tensor,
+    w_hh: &Tensor,
+    b: &Tensor,
+) -> Result<(Tensor, LstmState), TensorError> {
+    x.shape().expect_rank("lstm", 3)?;
+    let (seq, batch, input) = (x.shape().dim(0), x.shape().dim(1), x.shape().dim(2));
+    let hidden = w_hh.shape().dim(1);
+    let mut state = LstmState::zeros(batch, hidden);
+    let mut outputs = Vec::with_capacity(seq * batch * hidden);
+    for t in 0..seq {
+        let xt = Tensor::from_vec(
+            vec![batch, input],
+            x.data()[t * batch * input..(t + 1) * batch * input].to_vec(),
+        )?;
+        state = lstm_step(&xt, &state, w_ih, w_hh, b)?;
+        outputs.extend_from_slice(state.h.data());
+    }
+    Ok((Tensor::from_vec(vec![seq, batch, hidden], outputs)?, state))
+}
+
+/// One GRU timestep. `w_ih: [3*hidden, in]`, `w_hh: [3*hidden, hidden]`,
+/// gate order r, z, n (PyTorch convention). Returns the next hidden state.
+pub fn gru_step(
+    x: &Tensor,
+    h: &Tensor,
+    w_ih: &Tensor,
+    w_hh: &Tensor,
+    b: &Tensor,
+) -> Result<Tensor, TensorError> {
+    let batch = x.shape().dim(0);
+    let hidden = h.shape().dim(1);
+    let gx = linear(x, w_ih, Some(b))?;
+    let gh = linear(h, w_hh, None)?;
+    if gx.shape().dim(1) != 3 * hidden {
+        return Err(TensorError::ShapeMismatch {
+            op: "gru_step",
+            lhs: gx.shape().dims().to_vec(),
+            rhs: vec![batch, 3 * hidden],
+        });
+    }
+    let gxd = gx.data();
+    let ghd = gh.data();
+    let hd = h.data();
+    let mut out = vec![0.0f32; batch * hidden];
+    for bi in 0..batch {
+        let row = bi * 3 * hidden;
+        for j in 0..hidden {
+            let r = UnaryOp::Sigmoid.apply(gxd[row + j] + ghd[row + j]);
+            let z = UnaryOp::Sigmoid.apply(gxd[row + hidden + j] + ghd[row + hidden + j]);
+            let n = (gxd[row + 2 * hidden + j] + r * ghd[row + 2 * hidden + j]).tanh();
+            out[bi * hidden + j] = (1.0 - z) * n + z * hd[bi * hidden + j];
+        }
+    }
+    Tensor::from_vec(vec![batch, hidden], out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_weights(hidden: usize, input: usize, gates: usize) -> (Tensor, Tensor, Tensor) {
+        (
+            Tensor::randn(vec![gates * hidden, input], 0.2, 1),
+            Tensor::randn(vec![gates * hidden, hidden], 0.2, 2),
+            Tensor::randn(vec![gates * hidden], 0.2, 3),
+        )
+    }
+
+    #[test]
+    fn lstm_step_shapes() {
+        let (w_ih, w_hh, b) = tiny_weights(6, 4, 4);
+        let x = Tensor::randn(vec![2, 4], 1.0, 5);
+        let s = LstmState::zeros(2, 6);
+        let s2 = lstm_step(&x, &s, &w_ih, &w_hh, &b).unwrap();
+        assert_eq!(s2.h.shape().dims(), &[2, 6]);
+        assert_eq!(s2.c.shape().dims(), &[2, 6]);
+    }
+
+    #[test]
+    fn lstm_hidden_bounded_by_tanh() {
+        let (w_ih, w_hh, b) = tiny_weights(8, 8, 4);
+        let x = Tensor::randn(vec![4, 8], 10.0, 6);
+        let s = LstmState::zeros(4, 8);
+        let s2 = lstm_step(&x, &s, &w_ih, &w_hh, &b).unwrap();
+        assert!(s2.h.data().iter().all(|&v| v.abs() <= 1.0));
+    }
+
+    #[test]
+    fn lstm_zero_weights_zero_input_stays_zero() {
+        let w_ih = Tensor::zeros(vec![16, 4]);
+        let w_hh = Tensor::zeros(vec![16, 4]);
+        let b = Tensor::zeros(vec![16]);
+        let x = Tensor::zeros(vec![3, 1, 4]);
+        let (out, st) = lstm(&x, &w_ih, &w_hh, &b).unwrap();
+        // i=f=o=sigmoid(0)=0.5, g=tanh(0)=0 → c=0, h=0 at every step.
+        assert!(out.data().iter().all(|&v| v == 0.0));
+        assert!(st.c.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn lstm_sequence_matches_manual_unroll() {
+        let (w_ih, w_hh, b) = tiny_weights(5, 3, 4);
+        let x = Tensor::randn(vec![4, 2, 3], 1.0, 9);
+        let (stack, fin) = lstm(&x, &w_ih, &w_hh, &b).unwrap();
+        assert_eq!(stack.shape().dims(), &[4, 2, 5]);
+        // Manual unroll must agree with the batched driver.
+        let mut st = LstmState::zeros(2, 5);
+        for t in 0..4 {
+            let xt = Tensor::from_vec(vec![2, 3], x.data()[t * 6..(t + 1) * 6].to_vec()).unwrap();
+            st = lstm_step(&xt, &st, &w_ih, &w_hh, &b).unwrap();
+        }
+        assert!(fin.h.approx_eq(&st.h, 1e-6));
+        assert!(fin.c.approx_eq(&st.c, 1e-6));
+        assert_eq!(&stack.data()[3 * 10..], st.h.data());
+    }
+
+    #[test]
+    fn lstm_step_rejects_mismatched_weights() {
+        let x = Tensor::zeros(vec![1, 4]);
+        let s = LstmState::zeros(1, 6);
+        let w_ih = Tensor::zeros(vec![24, 4]);
+        let w_hh_bad = Tensor::zeros(vec![20, 6]);
+        let b = Tensor::zeros(vec![24]);
+        assert!(lstm_step(&x, &s, &w_ih, &w_hh_bad, &b).is_err());
+    }
+
+    #[test]
+    fn gru_step_shapes_and_bounds() {
+        let (w_ih, w_hh, b) = tiny_weights(7, 3, 3);
+        let x = Tensor::randn(vec![2, 3], 1.0, 8);
+        let h = Tensor::zeros(vec![2, 7]);
+        let h2 = gru_step(&x, &h, &w_ih, &w_hh, &b).unwrap();
+        assert_eq!(h2.shape().dims(), &[2, 7]);
+        assert!(h2.data().iter().all(|&v| v.abs() <= 1.0));
+    }
+
+    #[test]
+    fn gru_z_one_keeps_state() {
+        // With huge z-gate bias, h' ≈ h.
+        let hidden = 4;
+        let w_ih = Tensor::zeros(vec![3 * hidden, 2]);
+        let w_hh = Tensor::zeros(vec![3 * hidden, hidden]);
+        let mut bias = vec![0.0; 3 * hidden];
+        for j in 0..hidden {
+            bias[hidden + j] = 100.0; // z gate saturated to 1
+        }
+        let b = Tensor::from_vec(vec![3 * hidden], bias).unwrap();
+        let x = Tensor::randn(vec![1, 2], 1.0, 4);
+        let h = Tensor::randn(vec![1, hidden], 0.5, 5);
+        let h2 = gru_step(&x, &h, &w_ih, &w_hh, &b).unwrap();
+        assert!(h2.approx_eq(&h, 1e-4));
+    }
+}

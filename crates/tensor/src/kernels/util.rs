@@ -1,0 +1,147 @@
+//! Small numeric utilities used by inference post-processing: argmax,
+//! top-k, cosine similarity, one-hot encoding.
+
+use crate::{Tensor, TensorError};
+
+/// Index of the maximum element in each row of `x: [..., c]`.
+/// Ties break toward the lower index (argmax convention).
+pub fn argmax(x: &Tensor) -> Result<Vec<usize>, TensorError> {
+    let rank = x.shape().rank();
+    if rank == 0 {
+        return Err(TensorError::RankMismatch { op: "argmax", expected: 1, actual: 0 });
+    }
+    let c = x.shape().dim(rank - 1);
+    if c == 0 {
+        return Err(TensorError::InvalidArgument {
+            op: "argmax",
+            msg: "empty trailing dimension".into(),
+        });
+    }
+    Ok(x.data()
+        .chunks(c)
+        .map(|row| {
+            row.iter()
+                .enumerate()
+                .fold((0usize, f32::NEG_INFINITY), |(bi, bv), (i, &v)| {
+                    if v > bv {
+                        (i, v)
+                    } else {
+                        (bi, bv)
+                    }
+                })
+                .0
+        })
+        .collect())
+}
+
+/// The `k` largest elements of a rank-1 tensor, as `(index, value)` pairs
+/// in descending value order (stable: equal values keep index order).
+pub fn topk(x: &Tensor, k: usize) -> Result<Vec<(usize, f32)>, TensorError> {
+    x.shape().expect_rank("topk", 1)?;
+    if k > x.len() {
+        return Err(TensorError::InvalidArgument {
+            op: "topk",
+            msg: format!("k={k} exceeds length {}", x.len()),
+        });
+    }
+    let mut pairs: Vec<(usize, f32)> = x.data().iter().copied().enumerate().collect();
+    pairs.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    pairs.truncate(k);
+    Ok(pairs)
+}
+
+/// Cosine similarity between two rank-1 tensors of equal length.
+/// Returns 0 when either vector is all-zero.
+pub fn cosine_similarity(a: &Tensor, b: &Tensor) -> Result<f32, TensorError> {
+    a.shape().expect_rank("cosine_similarity", 1)?;
+    if a.shape() != b.shape() {
+        return Err(TensorError::ShapeMismatch {
+            op: "cosine_similarity",
+            lhs: a.shape().dims().to_vec(),
+            rhs: b.shape().dims().to_vec(),
+        });
+    }
+    let (mut dot, mut na, mut nb) = (0.0f32, 0.0f32, 0.0f32);
+    for (&x, &y) in a.data().iter().zip(b.data()) {
+        dot += x * y;
+        na += x * x;
+        nb += y * y;
+    }
+    if na == 0.0 || nb == 0.0 {
+        return Ok(0.0);
+    }
+    Ok(dot / (na.sqrt() * nb.sqrt()))
+}
+
+/// One-hot encode integral class ids into `[n, classes]`.
+pub fn one_hot(ids: &[usize], classes: usize) -> Result<Tensor, TensorError> {
+    let mut data = vec![0.0f32; ids.len() * classes];
+    for (i, &id) in ids.iter().enumerate() {
+        if id >= classes {
+            return Err(TensorError::InvalidArgument {
+                op: "one_hot",
+                msg: format!("class {id} out of range {classes}"),
+            });
+        }
+        data[i * classes + id] = 1.0;
+    }
+    Tensor::from_vec(vec![ids.len(), classes], data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn argmax_per_row_with_ties_low() {
+        let x = Tensor::from_vec(vec![2, 3], vec![1., 3., 2., 5., 5., 1.]).unwrap();
+        assert_eq!(argmax(&x).unwrap(), vec![1, 0]);
+    }
+
+    #[test]
+    fn argmax_rejects_scalar() {
+        assert!(argmax(&Tensor::scalar(1.0)).is_err());
+    }
+
+    #[test]
+    fn topk_descending_and_stable() {
+        let x = Tensor::from_vec(vec![5], vec![0.5, 2.0, 2.0, -1.0, 3.0]).unwrap();
+        let t = topk(&x, 3).unwrap();
+        assert_eq!(t, vec![(4, 3.0), (1, 2.0), (2, 2.0)]);
+        assert!(topk(&x, 6).is_err());
+    }
+
+    #[test]
+    fn topk_full_is_a_sort() {
+        let x = Tensor::randn(vec![16], 1.0, 3);
+        let t = topk(&x, 16).unwrap();
+        for w in t.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn cosine_identity_and_orthogonal() {
+        let a = Tensor::from_vec(vec![3], vec![1., 0., 0.]).unwrap();
+        let b = Tensor::from_vec(vec![3], vec![0., 1., 0.]).unwrap();
+        assert!((cosine_similarity(&a, &a).unwrap() - 1.0).abs() < 1e-6);
+        assert_eq!(cosine_similarity(&a, &b).unwrap(), 0.0);
+        let neg = Tensor::from_vec(vec![3], vec![-1., 0., 0.]).unwrap();
+        assert!((cosine_similarity(&a, &neg).unwrap() + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_zero_vector_is_zero() {
+        let a = Tensor::zeros(vec![4]);
+        let b = Tensor::ones(vec![4]);
+        assert_eq!(cosine_similarity(&a, &b).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn one_hot_rows() {
+        let t = one_hot(&[2, 0], 3).unwrap();
+        assert_eq!(t.shape().dims(), &[2, 3]);
+        assert_eq!(t.data(), &[0., 0., 1., 1., 0., 0.]);
+        assert!(one_hot(&[3], 3).is_err());
+    }
+}

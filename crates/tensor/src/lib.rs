@@ -1,0 +1,36 @@
+//! # duet-tensor
+//!
+//! Dense `f32` tensors and the real CPU kernels that back every operator in
+//! the DUET engine.
+//!
+//! DUET schedules *subgraphs* of a tensor program across a coupled CPU-GPU
+//! pair. In this reproduction the GPU is an analytic timing model (see
+//! `duet-device`), but the *numerics* of every operator are executed for
+//! real by the kernels in this crate, so a heterogeneous run can be checked
+//! element-for-element against a single-device run.
+//!
+//! The kernels are written in the style of the HPC guides for this session:
+//! blocked GEMM parallelised with rayon, no allocation inside inner loops,
+//! and deterministic results independent of thread count.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use duet_tensor::{Tensor, kernels};
+//! let a = Tensor::from_vec(vec![2, 3], vec![1., 2., 3., 4., 5., 6.]).unwrap();
+//! let b = Tensor::eye(3);
+//! let c = kernels::matmul(&a, &b).unwrap();
+//! assert_eq!(c.data(), a.data());
+//! ```
+
+pub mod error;
+pub mod kernels;
+pub mod shape;
+pub mod tensor;
+
+pub use error::TensorError;
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, TensorError>;

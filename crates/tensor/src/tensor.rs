@@ -1,0 +1,254 @@
+//! The dense `f32` tensor type.
+
+use std::sync::Arc;
+
+use rand::distributions::Distribution;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::{Shape, TensorError};
+
+/// A dense, row-major `f32` tensor.
+///
+/// The element buffer is an `Arc<[f32]>`, so cloning a tensor — which the
+/// heterogeneous executor does every time a value crosses the (simulated)
+/// PCIe link — is O(1) and never copies the payload. Tensors are immutable
+/// once built; kernels produce fresh tensors.
+#[derive(Debug, Clone)]
+pub struct Tensor {
+    shape: Shape,
+    data: Arc<[f32]>,
+}
+
+impl Tensor {
+    /// Build a tensor from a shape and matching buffer.
+    pub fn from_vec(shape: impl Into<Shape>, data: Vec<f32>) -> Result<Self, TensorError> {
+        let shape = shape.into();
+        if shape.volume() != data.len() {
+            return Err(TensorError::LengthMismatch {
+                expected: shape.volume(),
+                actual: data.len(),
+            });
+        }
+        Ok(Tensor { shape, data: data.into() })
+    }
+
+    /// A scalar tensor.
+    pub fn scalar(value: f32) -> Self {
+        Tensor { shape: Shape::scalar(), data: vec![value].into() }
+    }
+
+    /// All-zeros tensor.
+    pub fn zeros(shape: impl Into<Shape>) -> Self {
+        let shape = shape.into();
+        let n = shape.volume();
+        Tensor { shape, data: vec![0.0; n].into() }
+    }
+
+    /// All-ones tensor.
+    pub fn ones(shape: impl Into<Shape>) -> Self {
+        Self::full(shape, 1.0)
+    }
+
+    /// Tensor filled with a constant.
+    pub fn full(shape: impl Into<Shape>, value: f32) -> Self {
+        let shape = shape.into();
+        let n = shape.volume();
+        Tensor { shape, data: vec![value; n].into() }
+    }
+
+    /// Identity matrix of size `n`.
+    pub fn eye(n: usize) -> Self {
+        let mut data = vec![0.0; n * n];
+        for i in 0..n {
+            data[i * n + i] = 1.0;
+        }
+        Tensor { shape: Shape::new(vec![n, n]), data: data.into() }
+    }
+
+    /// Deterministic pseudo-random tensor, N(0, stddev), seeded.
+    ///
+    /// Model-zoo weights use this so every experiment is reproducible.
+    pub fn randn(shape: impl Into<Shape>, stddev: f32, seed: u64) -> Self {
+        let shape = shape.into();
+        let n = shape.volume();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        // Box-Muller via rand's StandardNormal-free path: use uniform pairs.
+        // rand_distr is not in the dependency set; a hand-rolled Box-Muller
+        // keeps the distribution correct and the dependency list short.
+        let mut data = Vec::with_capacity(n);
+        let uniform = rand::distributions::Uniform::new(f32::EPSILON, 1.0f32);
+        while data.len() < n {
+            let u1: f32 = uniform.sample(&mut rng);
+            let u2: f32 = uniform.sample(&mut rng);
+            let r = (-2.0 * u1.ln()).sqrt();
+            let theta = 2.0 * std::f32::consts::PI * u2;
+            data.push(r * theta.cos() * stddev);
+            if data.len() < n {
+                data.push(r * theta.sin() * stddev);
+            }
+        }
+        Tensor { shape, data: data.into() }
+    }
+
+    /// Uniform random tensor in `[lo, hi)`, seeded.
+    pub fn rand_uniform(shape: impl Into<Shape>, lo: f32, hi: f32, seed: u64) -> Self {
+        let shape = shape.into();
+        let n = shape.volume();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let uniform = rand::distributions::Uniform::new(lo, hi);
+        let data: Vec<f32> = (0..n).map(|_| uniform.sample(&mut rng)).collect();
+        Tensor { shape, data: data.into() }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// The raw element buffer.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the tensor has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Size of the payload in bytes — what a CPU↔GPU transfer would move.
+    pub fn byte_size(&self) -> usize {
+        self.shape.byte_size()
+    }
+
+    /// Reinterpret the buffer under a new shape of identical volume.
+    pub fn reshape(&self, shape: impl Into<Shape>) -> Result<Self, TensorError> {
+        let shape = shape.into();
+        if shape.volume() != self.len() {
+            return Err(TensorError::LengthMismatch {
+                expected: shape.volume(),
+                actual: self.len(),
+            });
+        }
+        Ok(Tensor { shape, data: Arc::clone(&self.data) })
+    }
+
+    /// Maximum absolute difference against another tensor of the same shape.
+    pub fn max_abs_diff(&self, other: &Tensor) -> Result<f32, TensorError> {
+        if self.shape != other.shape {
+            return Err(TensorError::ShapeMismatch {
+                op: "max_abs_diff",
+                lhs: self.shape.dims().to_vec(),
+                rhs: other.shape.dims().to_vec(),
+            });
+        }
+        Ok(self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max))
+    }
+
+    /// Approximate equality within `tol` (same shape required).
+    pub fn approx_eq(&self, other: &Tensor, tol: f32) -> bool {
+        self.shape == other.shape
+            && self.max_abs_diff(other).map(|d| d <= tol).unwrap_or(false)
+    }
+}
+
+impl PartialEq for Tensor {
+    fn eq(&self, other: &Self) -> bool {
+        self.shape == other.shape && self.data == other.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_validates_volume() {
+        assert!(Tensor::from_vec(vec![2, 2], vec![0.0; 4]).is_ok());
+        assert!(Tensor::from_vec(vec![2, 2], vec![0.0; 5]).is_err());
+    }
+
+    #[test]
+    fn zeros_ones_full() {
+        let z = Tensor::zeros(vec![3]);
+        assert_eq!(z.data(), &[0.0, 0.0, 0.0]);
+        let o = Tensor::ones(vec![2]);
+        assert_eq!(o.data(), &[1.0, 1.0]);
+        let f = Tensor::full(vec![2], 7.5);
+        assert_eq!(f.data(), &[7.5, 7.5]);
+    }
+
+    #[test]
+    fn eye_diagonal() {
+        let i = Tensor::eye(3);
+        assert_eq!(i.data()[0], 1.0);
+        assert_eq!(i.data()[4], 1.0);
+        assert_eq!(i.data()[1], 0.0);
+    }
+
+    #[test]
+    fn randn_is_deterministic_per_seed() {
+        let a = Tensor::randn(vec![16], 1.0, 42);
+        let b = Tensor::randn(vec![16], 1.0, 42);
+        let c = Tensor::randn(vec![16], 1.0, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn randn_roughly_standard_normal() {
+        let t = Tensor::randn(vec![10_000], 1.0, 7);
+        let mean: f32 = t.data().iter().sum::<f32>() / t.len() as f32;
+        let var: f32 =
+            t.data().iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / t.len() as f32;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn rand_uniform_in_range() {
+        let t = Tensor::rand_uniform(vec![1000], -2.0, 3.0, 9);
+        assert!(t.data().iter().all(|&x| (-2.0..3.0).contains(&x)));
+    }
+
+    #[test]
+    fn clone_shares_buffer() {
+        let a = Tensor::randn(vec![1024], 1.0, 1);
+        let b = a.clone();
+        assert!(std::ptr::eq(a.data().as_ptr(), b.data().as_ptr()));
+    }
+
+    #[test]
+    fn reshape_shares_buffer_and_checks_volume() {
+        let a = Tensor::zeros(vec![2, 6]);
+        let b = a.reshape(vec![3, 4]).unwrap();
+        assert_eq!(b.shape().dims(), &[3, 4]);
+        assert!(std::ptr::eq(a.data().as_ptr(), b.data().as_ptr()));
+        assert!(a.reshape(vec![5]).is_err());
+    }
+
+    #[test]
+    fn approx_eq_tolerance() {
+        let a = Tensor::from_vec(vec![2], vec![1.0, 2.0]).unwrap();
+        let b = Tensor::from_vec(vec![2], vec![1.0, 2.0 + 1e-6]).unwrap();
+        assert!(a.approx_eq(&b, 1e-5));
+        assert!(!a.approx_eq(&b, 1e-8));
+        let c = Tensor::zeros(vec![3]);
+        assert!(!a.approx_eq(&c, 1.0));
+    }
+
+    #[test]
+    fn byte_size_is_4x_volume() {
+        assert_eq!(Tensor::zeros(vec![10, 10]).byte_size(), 400);
+    }
+}

@@ -1,0 +1,210 @@
+//! Property-based tests for the tensor kernels: algebraic identities
+//! that must hold for arbitrary inputs, not just hand-picked cases.
+
+use duet_tensor::{kernels, Shape, Tensor};
+use proptest::prelude::*;
+
+fn tensor(dims: Vec<usize>) -> impl Strategy<Value = Tensor> {
+    let n: usize = dims.iter().product();
+    (any::<u64>()).prop_map(move |seed| Tensor::randn(Shape::new(dims.clone()), 1.0, seed))
+}
+
+fn dims2() -> impl Strategy<Value = (usize, usize)> {
+    (1usize..12, 1usize..12)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // --- GEMM algebra ---
+
+    #[test]
+    fn matmul_identity_left_and_right((m, n) in dims2(), seed in any::<u64>()) {
+        let a = Tensor::randn(vec![m, n], 1.0, seed);
+        let left = kernels::matmul(&Tensor::eye(m), &a).unwrap();
+        let right = kernels::matmul(&a, &Tensor::eye(n)).unwrap();
+        prop_assert!(left.approx_eq(&a, 1e-4));
+        prop_assert!(right.approx_eq(&a, 1e-4));
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        (m, k) in dims2(), n in 1usize..10, s in any::<u64>()
+    ) {
+        let a = Tensor::randn(vec![m, k], 1.0, s);
+        let b = Tensor::randn(vec![k, n], 1.0, s ^ 1);
+        let c = Tensor::randn(vec![k, n], 1.0, s ^ 2);
+        let lhs = kernels::matmul(&a, &kernels::add(&b, &c).unwrap()).unwrap();
+        let rhs = kernels::add(
+            &kernels::matmul(&a, &b).unwrap(),
+            &kernels::matmul(&a, &c).unwrap(),
+        )
+        .unwrap();
+        prop_assert!(lhs.approx_eq(&rhs, 1e-2 * k as f32));
+    }
+
+    #[test]
+    fn transpose_swaps_matmul_order((m, k) in dims2(), n in 1usize..10, s in any::<u64>()) {
+        // (A B)^T = B^T A^T
+        let a = Tensor::randn(vec![m, k], 1.0, s);
+        let b = Tensor::randn(vec![k, n], 1.0, s ^ 7);
+        let lhs = kernels::transpose2d(&kernels::matmul(&a, &b).unwrap()).unwrap();
+        let rhs = kernels::matmul(
+            &kernels::transpose2d(&b).unwrap(),
+            &kernels::transpose2d(&a).unwrap(),
+        )
+        .unwrap();
+        prop_assert!(lhs.approx_eq(&rhs, 1e-3 * k as f32));
+    }
+
+    // --- Elementwise identities ---
+
+    #[test]
+    fn relu_is_idempotent(t in tensor(vec![32])) {
+        let once = kernels::relu(&t);
+        let twice = kernels::relu(&once);
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn tanh_is_odd_sigmoid_is_shifted(t in tensor(vec![32])) {
+        let neg = kernels::scale(&t, -1.0);
+        // tanh(-x) == -tanh(x)
+        let lhs = kernels::tanh(&neg);
+        let rhs = kernels::scale(&kernels::tanh(&t), -1.0);
+        prop_assert!(lhs.approx_eq(&rhs, 1e-6));
+        // sigmoid(x) + sigmoid(-x) == 1
+        let s = kernels::add(&kernels::sigmoid(&t), &kernels::sigmoid(&neg)).unwrap();
+        prop_assert!(s.approx_eq(&Tensor::ones(vec![32]), 1e-5));
+    }
+
+    #[test]
+    fn add_commutes_mul_commutes(a in tensor(vec![16]), b in tensor(vec![16])) {
+        prop_assert_eq!(
+            kernels::add(&a, &b).unwrap(),
+            kernels::add(&b, &a).unwrap()
+        );
+        prop_assert_eq!(
+            kernels::mul(&a, &b).unwrap(),
+            kernels::mul(&b, &a).unwrap()
+        );
+    }
+
+    // --- Normalisation ---
+
+    #[test]
+    fn softmax_is_a_distribution(rows in 1usize..6, cols in 1usize..20, s in any::<u64>()) {
+        let x = Tensor::randn(vec![rows, cols], 3.0, s);
+        let y = kernels::softmax(&x).unwrap();
+        for row in y.data().chunks(cols) {
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(row.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn softmax_preserves_ranking(cols in 2usize..16, s in any::<u64>()) {
+        let x = Tensor::randn(vec![1, cols], 2.0, s);
+        let y = kernels::softmax(&x).unwrap();
+        for i in 0..cols {
+            for j in 0..cols {
+                if x.data()[i] < x.data()[j] {
+                    prop_assert!(y.data()[i] <= y.data()[j]);
+                }
+            }
+        }
+    }
+
+    // --- Structure ops ---
+
+    #[test]
+    fn split_concat_roundtrip(parts in 1usize..5, per in 1usize..5, rows in 1usize..6, s in any::<u64>()) {
+        let x = Tensor::randn(vec![rows, parts * per], 1.0, s);
+        let pieces = kernels::split(&x, parts, 1).unwrap();
+        let refs: Vec<&Tensor> = pieces.iter().collect();
+        let back = kernels::concat(&refs, 1).unwrap();
+        prop_assert_eq!(back, x);
+    }
+
+    #[test]
+    fn reductions_are_consistent(rows in 1usize..6, cols in 1usize..16, s in any::<u64>()) {
+        let x = Tensor::randn(vec![rows, cols], 1.0, s);
+        let sum = kernels::reduce_sum(&x).unwrap();
+        let mean = kernels::reduce_mean(&x).unwrap();
+        let max = kernels::reduce_max(&x).unwrap();
+        for r in 0..rows {
+            prop_assert!((mean.data()[r] - sum.data()[r] / cols as f32).abs() < 1e-5);
+            let row = &x.data()[r * cols..(r + 1) * cols];
+            prop_assert!(row.iter().all(|&v| v <= max.data()[r]));
+            prop_assert!(row.contains(&max.data()[r]));
+        }
+    }
+
+    #[test]
+    fn embedding_rows_match_table(vocab in 1usize..20, dim in 1usize..8, n in 1usize..10, s in any::<u64>()) {
+        let table = Tensor::randn(vec![vocab, dim], 1.0, s);
+        let ids_raw = Tensor::rand_uniform(vec![n], 0.0, vocab as f32, s ^ 3);
+        let ids: Vec<f32> = ids_raw.data().iter().map(|v| v.floor()).collect();
+        let ids_t = Tensor::from_vec(vec![n], ids.clone()).unwrap();
+        let out = kernels::embedding(&table, &ids_t).unwrap();
+        for (i, &id) in ids.iter().enumerate() {
+            let want = &table.data()[id as usize * dim..(id as usize + 1) * dim];
+            prop_assert_eq!(&out.data()[i * dim..(i + 1) * dim], want);
+        }
+    }
+
+    // --- Convolution ---
+
+    #[test]
+    fn conv_with_delta_kernel_is_identity(c in 1usize..4, hw in 3usize..8, s in any::<u64>()) {
+        // A 1x1 kernel that is the identity per channel reproduces input.
+        let x = Tensor::randn(vec![1, c, hw, hw], 1.0, s);
+        let mut w = vec![0.0f32; c * c];
+        for i in 0..c {
+            w[i * c + i] = 1.0;
+        }
+        let w = Tensor::from_vec(vec![c, c, 1, 1], w).unwrap();
+        let y = kernels::conv2d(&x, &w, None, 1, 0).unwrap();
+        prop_assert!(y.approx_eq(&x, 1e-5));
+    }
+
+    #[test]
+    fn conv_is_linear_in_input(hw in 3usize..8, s in any::<u64>()) {
+        let x1 = Tensor::randn(vec![1, 2, hw, hw], 1.0, s);
+        let x2 = Tensor::randn(vec![1, 2, hw, hw], 1.0, s ^ 9);
+        let w = Tensor::randn(vec![3, 2, 3, 3], 1.0, s ^ 4);
+        let sum = kernels::add(&x1, &x2).unwrap();
+        let lhs = kernels::conv2d(&sum, &w, None, 1, 1).unwrap();
+        let rhs = kernels::add(
+            &kernels::conv2d(&x1, &w, None, 1, 1).unwrap(),
+            &kernels::conv2d(&x2, &w, None, 1, 1).unwrap(),
+        )
+        .unwrap();
+        prop_assert!(lhs.approx_eq(&rhs, 1e-3));
+    }
+
+    #[test]
+    fn max_pool_dominates_avg_pool(c in 1usize..3, hw in 2usize..8, s in any::<u64>()) {
+        let x = Tensor::randn(vec![1, c, hw, hw], 1.0, s);
+        let window = 2.min(hw);
+        let mx = kernels::max_pool2d(&x, window, 1).unwrap();
+        let av = kernels::avg_pool2d(&x, window, 1).unwrap();
+        for (m, a) in mx.data().iter().zip(av.data()) {
+            prop_assert!(m >= a);
+        }
+    }
+
+    // --- Recurrent ---
+
+    #[test]
+    fn lstm_outputs_bounded(seq in 1usize..6, hidden in 1usize..8, s in any::<u64>()) {
+        let x = Tensor::randn(vec![seq, 1, 4], 2.0, s);
+        let w_ih = Tensor::randn(vec![4 * hidden, 4], 1.0, s ^ 1);
+        let w_hh = Tensor::randn(vec![4 * hidden, hidden], 1.0, s ^ 2);
+        let b = Tensor::randn(vec![4 * hidden], 1.0, s ^ 3);
+        let (out, state) = kernels::lstm(&x, &w_ih, &w_hh, &b).unwrap();
+        prop_assert!(out.data().iter().all(|v| v.abs() <= 1.0 && v.is_finite()));
+        prop_assert!(state.h.data().iter().all(|v| v.abs() <= 1.0));
+    }
+}

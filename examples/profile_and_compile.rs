@@ -1,0 +1,83 @@
+//! A tour of DUET's offline machinery on the Siamese network: compiler
+//! passes, partitioning, fusion statistics and the compiler-aware
+//! profiler — the pieces Fig. 6 wires together.
+//!
+//! ```text
+//! cargo run --release --example profile_and_compile
+//! ```
+
+use duet::prelude::*;
+use duet_compiler::CompileOptions;
+use duet_core::partition;
+use duet_device::DeviceKind;
+
+fn main() {
+    let model = siamese(&SiameseConfig::default());
+    println!("model: {} ({} operators)\n", model.name, model.compute_ids().len());
+
+    // --- Graph-level optimization.
+    let compiler = Compiler::default();
+    let (graph, stats) = compiler.optimize(&model).expect("optimize");
+    println!(
+        "compiler passes: {} nodes -> {} (folded {}, merged {}, dead {})\n",
+        stats.nodes_before,
+        stats.nodes_after,
+        stats.constants_folded,
+        stats.subexpressions_merged,
+        stats.dead_removed
+    );
+
+    // --- Partitioning.
+    let part = partition(&graph);
+    println!("partition: {} phases, {} subgraphs", part.phases.len(), part.subgraph_count());
+    for (i, phase) in part.phases.iter().enumerate() {
+        println!(
+            "  phase {i}: {:?}, {} subgraph(s), sizes {:?}",
+            phase.kind,
+            phase.subgraphs.len(),
+            phase.subgraphs.iter().map(Vec::len).collect::<Vec<_>>()
+        );
+    }
+
+    // --- Fusion inside each coarse subgraph.
+    let subgraphs = part.compile(&graph, &compiler);
+    let unfused = Compiler::new(CompileOptions::none());
+    println!("\nfusion (coarse subgraphs keep the compiler's graph-level wins):");
+    for sg in &subgraphs {
+        let raw = unfused.compile_nodes(&graph, &sg.node_ids, sg.name.clone());
+        println!(
+            "  {:<12} {:>3} ops -> {:>3} fused kernels (launches {:.0} -> {:.0})",
+            sg.name,
+            sg.node_ids.len(),
+            sg.kernel_count(),
+            raw.cost.kernel_launches,
+            sg.cost.kernel_launches
+        );
+    }
+
+    // --- Compiler-aware profiling (the paper's 500-run micro-benchmarks).
+    let profiler = Profiler::new(duet_device::SystemModel::paper_server());
+    println!("\nprofiles (mean over 450 measured runs):");
+    println!(
+        "  {:<12} {:>12} {:>12} {:>8} {:>12} {:>12}",
+        "subgraph", "cpu (ms)", "gpu (ms)", "best", "in (KB)", "out (KB)"
+    );
+    for sg in &subgraphs {
+        let p = profiler.profile(&graph, sg);
+        println!(
+            "  {:<12} {:>12.3} {:>12.3} {:>8} {:>12.1} {:>12.1}",
+            p.name,
+            p.cpu_time_us / 1e3,
+            p.gpu_time_us / 1e3,
+            p.best_device().to_string(),
+            p.input_bytes / 1e3,
+            p.output_bytes / 1e3
+        );
+    }
+
+    // --- And the final engine decision.
+    let engine = Duet::builder().build(&model).expect("engine builds");
+    println!();
+    println!("{}", engine.placement_report());
+    let _ = DeviceKind::Cpu;
+}

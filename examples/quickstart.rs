@@ -1,0 +1,53 @@
+//! Quickstart: build a small model, let DUET schedule it across the
+//! CPU-GPU pair, and run one inference.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use duet::prelude::*;
+use duet_ir::Op;
+
+fn main() {
+    // 1. Describe a model with the graph builder: two independent
+    //    branches (an LSTM and an MLP) joined by a small head — the kind
+    //    of structure where heterogeneous execution pays.
+    let mut b = GraphBuilder::new("quickstart", 42);
+    let text = b.input("text", vec![12, 1, 32]);
+    let rnn = b.lstm_stack("rnn", text, 64, 2).expect("lstm");
+    // Take the last timestep as a [1, 64] feature vector.
+    let flat = b.op("rnn.flat", Op::Reshape { shape: vec![12, 64] }, &[rnn]).unwrap();
+    let last = b.op("rnn.last", Op::SliceRows { start: 11, end: 12 }, &[flat]).unwrap();
+
+    let dense_in = b.input("features", vec![1, 128]);
+    let h1 = b.dense("mlp.fc1", dense_in, 256, Some(Op::Relu)).unwrap();
+    let h2 = b.dense("mlp.fc2", h1, 64, Some(Op::Relu)).unwrap();
+
+    let cat = b.op("head.concat", Op::Concat { axis: 1 }, &[last, h2]).unwrap();
+    let score = b.dense("head.out", cat, 1, None).unwrap();
+    let out = b.op("head.sigmoid", Op::Sigmoid, &[score]).unwrap();
+    let model = b.finish(&[out]).expect("valid graph");
+
+    // 2. Build the engine: optimize -> partition -> compile -> profile ->
+    //    schedule (greedy-correction) -> fallback check.
+    let engine = Duet::builder().build(&model).expect("engine builds");
+
+    // 3. Inspect the decision.
+    println!("{}", engine.placement_report());
+
+    // 4. Run a real inference on the threaded heterogeneous executor.
+    let feeds = duet_models::input_feeds(engine.graph(), 7);
+    let outcome = engine.run(&feeds).expect("inference runs");
+    let out_id = engine.graph().outputs()[0];
+    println!(
+        "inference output = {:.6} (virtual latency {:.1} us, host wall {:?})",
+        outcome.outputs[&out_id].data()[0],
+        outcome.virtual_latency_us,
+        outcome.wall_time,
+    );
+
+    // 5. Sanity: the heterogeneous result equals single-device evaluation.
+    let reference = engine.graph().eval(&feeds).expect("reference eval");
+    assert!(outcome.outputs[&out_id].approx_eq(&reference[0], 1e-5));
+    println!("matches single-device reference ✔");
+}

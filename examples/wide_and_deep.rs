@@ -1,0 +1,70 @@
+//! The paper's flagship workload end-to-end: Wide-and-Deep at evaluation
+//! scale (Table I defaults), scheduled by DUET, with the Fig. 4-style
+//! timeline and Fig. 11-style framework comparison printed.
+//!
+//! ```text
+//! cargo run --release --example wide_and_deep
+//! ```
+
+use duet::prelude::*;
+use duet_device::DeviceKind;
+use duet_frameworks::Framework;
+use duet_runtime::{simulate, SimNoise};
+
+fn main() {
+    let cfg = WideAndDeepConfig::default();
+    println!(
+        "Wide-and-Deep: wide {}, ffn {}x{}, lstm {}x{} (seq {}), ResNet-{} @ {}px, batch {}\n",
+        cfg.wide_features,
+        cfg.ffn_hidden,
+        cfg.ffn_layers,
+        cfg.rnn_hidden,
+        cfg.rnn_layers,
+        cfg.seq_len,
+        cfg.cnn_depth,
+        cfg.image,
+        cfg.batch
+    );
+    let model = wide_and_deep(&cfg);
+    let engine = Duet::builder().build(&model).expect("engine builds");
+
+    // Placement report (Table II row).
+    println!("{}", engine.placement_report());
+
+    // Execution timeline of the chosen schedule.
+    println!("schedule timeline:");
+    let r = simulate(engine.graph(), engine.placed(), engine.system(), &mut SimNoise::disabled());
+    for e in &r.timeline {
+        println!(
+            "  {:<12} {}  {:>9.3} -> {:>9.3} ms",
+            e.name,
+            e.device,
+            e.start_us / 1e3,
+            e.end_us / 1e3
+        );
+    }
+    println!("  transferred over PCIe: {:.1} KB\n", r.transferred_bytes / 1e3);
+
+    // Framework comparison (Fig. 11 row for this model).
+    let sys = engine.system();
+    let pt = Framework::pytorch();
+    println!("latency comparison (ms):");
+    for (name, us) in [
+        ("PyTorch-CPU", pt.latency_us(&model, DeviceKind::Cpu, sys)),
+        ("PyTorch-GPU", pt.latency_us(&model, DeviceKind::Gpu, sys)),
+        ("TVM-CPU", engine.single_device_latency_us(DeviceKind::Cpu)),
+        ("TVM-GPU", engine.single_device_latency_us(DeviceKind::Gpu)),
+        ("DUET", engine.latency_us()),
+    ] {
+        println!("  {name:<12} {:>9.3}", us / 1e3);
+    }
+
+    // Tail latency (Fig. 12 row).
+    let stats = engine.measure(5000, 0xd0e7);
+    println!(
+        "\nDUET tail latency over 5000 runs: P50 {:.3} ms, P99 {:.3} ms, P99.9 {:.3} ms",
+        stats.p50() / 1e3,
+        stats.p99() / 1e3,
+        stats.p999() / 1e3
+    );
+}

@@ -1,0 +1,216 @@
+//! `duet` — command-line front end for the engine.
+//!
+//! ```text
+//! duet list                                # available zoo models
+//! duet report wide_and_deep                # placement report (Table II row)
+//! duet schedule mtdnn --policy round-robin # compare a policy
+//! duet run siamese                         # execute one real inference
+//! duet measure wide_and_deep --runs 5000   # latency distribution
+//! duet analyze mtdnn                       # structural metrics
+//! duet export-plan siamese plan.json       # save the offline decision
+//! duet apply-plan siamese plan.json        # reload it (no re-scheduling)
+//! ```
+
+use std::collections::HashMap;
+
+use duet_core::{Duet, SchedulePolicy};
+use duet_device::DeviceKind;
+use duet_models::{input_feeds, zoo_model};
+
+const MODELS: &[&str] = &[
+    "wide_and_deep",
+    "siamese",
+    "mtdnn",
+    "resnet18",
+    "resnet50",
+    "vgg16",
+    "squeezenet",
+    "mobilenet",
+];
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  duet list\n  duet report <model>\n  duet schedule <model> [--policy <p>]\n  \
+         duet run <model>\n  duet measure <model> [--runs <n>]\n  duet analyze <model>\n  \
+         duet export-plan <model> <file>\n  duet apply-plan <model> <file>\n  \
+         duet save <model> <file>\n  duet report-file <file>\n  duet explain <model>\n  \
+         duet trace <model> <file>\n\nmodels: {}\npolicies: \
+         greedy-correction | greedy | random | round-robin | random-correction | ideal | \
+         flops-proxy | cpu | gpu",
+        MODELS.join(", ")
+    );
+    std::process::exit(2);
+}
+
+fn parse_policy(name: &str) -> SchedulePolicy {
+    match name {
+        "greedy-correction" => SchedulePolicy::GreedyCorrection,
+        "greedy" => SchedulePolicy::GreedyOnly,
+        "random" => SchedulePolicy::Random { seed: 0 },
+        "round-robin" => SchedulePolicy::RoundRobin,
+        "random-correction" => SchedulePolicy::RandomCorrection { seed: 0 },
+        "ideal" => SchedulePolicy::Ideal,
+        "flops-proxy" => SchedulePolicy::FlopsProxy,
+        "cpu" => SchedulePolicy::Pin(DeviceKind::Cpu),
+        "gpu" => SchedulePolicy::Pin(DeviceKind::Gpu),
+        other => {
+            eprintln!("unknown policy {other}");
+            usage()
+        }
+    }
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn model_or_die(name: &str) -> duet_ir::Graph {
+    zoo_model(name).unwrap_or_else(|| {
+        eprintln!("unknown model {name}");
+        usage()
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, rest) = match args.split_first() {
+        Some((c, r)) => (c.as_str(), r.to_vec()),
+        None => usage(),
+    };
+    match cmd {
+        "list" => {
+            for m in MODELS {
+                let g = zoo_model(m).expect("zoo model");
+                println!(
+                    "{m:<16} {:>4} operators  {:>8.1} MB params",
+                    g.compute_ids().len(),
+                    g.param_bytes() as f64 / 1e6
+                );
+            }
+        }
+        "report" | "schedule" => {
+            let model = rest.first().map(String::as_str).unwrap_or_else(|| usage());
+            let policy = flag(&rest, "--policy")
+                .map(|p| parse_policy(&p))
+                .unwrap_or(SchedulePolicy::GreedyCorrection);
+            let graph = model_or_die(model);
+            let engine = Duet::builder().policy(policy).build(&graph).expect("engine builds");
+            print!("{}", engine.placement_report());
+        }
+        "run" => {
+            let model = rest.first().map(String::as_str).unwrap_or_else(|| usage());
+            let graph = model_or_die(model);
+            let engine = Duet::builder().build(&graph).expect("engine builds");
+            let feeds: HashMap<_, _> = input_feeds(engine.graph(), 0);
+            let out = engine.run(&feeds).expect("inference runs");
+            println!(
+                "virtual latency {:.3} ms (host wall {:?})",
+                out.virtual_latency_us / 1e3,
+                out.wall_time
+            );
+            for (&id, v) in &out.outputs {
+                let d = v.data();
+                let preview: Vec<String> =
+                    d.iter().take(4).map(|x| format!("{x:.4}")).collect();
+                println!(
+                    "  output {:<18} {} [{}{}]",
+                    engine.graph().node(id).label,
+                    v.shape(),
+                    preview.join(", "),
+                    if d.len() > 4 { ", …" } else { "" }
+                );
+            }
+        }
+        "analyze" => {
+            let model = rest.first().map(String::as_str).unwrap_or_else(|| usage());
+            let graph = model_or_die(model);
+            println!("{model}:");
+            print!("{}", duet_ir::analyze(&graph));
+        }
+        "export-plan" => {
+            let model = rest.first().map(String::as_str).unwrap_or_else(|| usage());
+            let path = rest.get(1).map(String::as_str).unwrap_or_else(|| usage());
+            let graph = model_or_die(model);
+            let engine = Duet::builder().build(&graph).expect("engine builds");
+            std::fs::write(path, engine.export_plan().to_json()).expect("plan written");
+            println!(
+                "plan for {model} written to {path} (expected latency {:.3} ms)",
+                engine.latency_us() / 1e3
+            );
+        }
+        "apply-plan" => {
+            let model = rest.first().map(String::as_str).unwrap_or_else(|| usage());
+            let path = rest.get(1).map(String::as_str).unwrap_or_else(|| usage());
+            let graph = model_or_die(model);
+            let text = std::fs::read_to_string(path).expect("plan readable");
+            let plan = duet_core::SchedulePlan::from_json(&text).expect("plan parses");
+            match Duet::builder().build_with_plan(&graph, &plan) {
+                Ok(engine) => print!("{}", engine.placement_report()),
+                Err(e) => {
+                    eprintln!("plan rejected: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        "save" => {
+            let model = rest.first().map(String::as_str).unwrap_or_else(|| usage());
+            let path = rest.get(1).map(String::as_str).unwrap_or_else(|| usage());
+            let graph = model_or_die(model);
+            let bytes = duet_ir::encode(&graph);
+            std::fs::write(path, &bytes).expect("model written");
+            println!("{model} saved to {path} ({:.1} MB)", bytes.len() as f64 / 1e6);
+        }
+        "report-file" => {
+            let path = rest.first().map(String::as_str).unwrap_or_else(|| usage());
+            let bytes = std::fs::read(path).expect("model readable");
+            let graph = match duet_ir::decode(bytes) {
+                Ok(g) => g,
+                Err(e) => {
+                    eprintln!("cannot load {path}: {e}");
+                    std::process::exit(1);
+                }
+            };
+            let engine = Duet::builder().build(&graph).expect("engine builds");
+            print!("{}", engine.placement_report());
+        }
+        "explain" => {
+            let model = rest.first().map(String::as_str).unwrap_or_else(|| usage());
+            let graph = model_or_die(model);
+            let engine = Duet::builder().build(&graph).expect("engine builds");
+            print!("{}", duet_core::explain(&engine));
+        }
+        "trace" => {
+            let model = rest.first().map(String::as_str).unwrap_or_else(|| usage());
+            let path = rest.get(1).map(String::as_str).unwrap_or_else(|| usage());
+            let graph = model_or_die(model);
+            let engine = Duet::builder().build(&graph).expect("engine builds");
+            let sim = duet_runtime::simulate(
+                engine.graph(),
+                engine.placed(),
+                engine.system(),
+                &mut duet_runtime::SimNoise::disabled(),
+            );
+            std::fs::write(path, duet_runtime::to_chrome_trace(model, &sim))
+                .expect("trace written");
+            println!("timeline for {model} written to {path} (open in ui.perfetto.dev)");
+        }
+        "measure" => {
+            let model = rest.first().map(String::as_str).unwrap_or_else(|| usage());
+            let runs: usize = flag(&rest, "--runs")
+                .map(|r| r.parse().expect("numeric --runs"))
+                .unwrap_or(5000);
+            let graph = model_or_die(model);
+            let engine = Duet::builder().build(&graph).expect("engine builds");
+            let s = engine.measure(runs, 0xC11);
+            println!(
+                "{model}: mean {:.3} ms  p50 {:.3}  p99 {:.3}  p99.9 {:.3}  (n={})",
+                s.mean() / 1e3,
+                s.p50() / 1e3,
+                s.p99() / 1e3,
+                s.p999() / 1e3,
+                s.count()
+            );
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,43 @@
+//! # DUET
+//!
+//! A reproduction of *DUET: A Compiler-Runtime Subgraph Scheduling Approach
+//! for Tensor Programs on a Coupled CPU-GPU Architecture* (IPDPS 2021).
+//!
+//! This facade crate re-exports the whole workspace so applications can use
+//! a single dependency:
+//!
+//! ```
+//! use duet::prelude::*;
+//!
+//! // Build a model from the zoo, optimize it with DUET, run it.
+//! let model = wide_and_deep(&WideAndDeepConfig::default());
+//! let engine = Duet::builder().build(&model).unwrap();
+//! let report = engine.placement_report();
+//! assert!(!report.subgraphs.is_empty());
+//! ```
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-vs-measured record of every table and figure.
+
+pub use duet_compiler as compiler;
+pub use duet_core as core;
+pub use duet_device as device;
+pub use duet_frameworks as frameworks;
+pub use duet_ir as ir;
+pub use duet_models as models;
+pub use duet_runtime as runtime;
+pub use duet_tensor as tensor;
+
+/// The most common imports, in one place.
+pub mod prelude {
+    pub use duet_compiler::{CompileOptions, Compiler};
+    pub use duet_core::{Duet, DuetBuilder, SchedulePolicy};
+    pub use duet_device::{DeviceKind, DeviceModel, SystemModel};
+    pub use duet_ir::{Graph, GraphBuilder, Op};
+    pub use duet_models::{
+        mtdnn, resnet, siamese, wide_and_deep, MtDnnConfig, ResNetConfig, SiameseConfig,
+        WideAndDeepConfig,
+    };
+    pub use duet_runtime::{LatencyStats, Profiler};
+    pub use duet_tensor::{Shape, Tensor};
+}

@@ -1,0 +1,73 @@
+//! Reproducibility guarantees: everything in the pipeline is
+//! deterministic given its seeds — the property that makes every number
+//! in EXPERIMENTS.md regenerable.
+
+use duet::prelude::*;
+use duet_core::SchedulePolicy;
+use duet_device::DeviceKind;
+use duet_models::input_feeds;
+
+#[test]
+fn engine_build_is_deterministic() {
+    let model = siamese(&SiameseConfig::small());
+    let a = Duet::builder().build(&model).unwrap();
+    let b = Duet::builder().build(&model).unwrap();
+    assert_eq!(a.latency_us(), b.latency_us());
+    assert_eq!(a.fallback_device(), b.fallback_device());
+    let da: Vec<DeviceKind> = a.placed().iter().map(|p| p.device).collect();
+    let db: Vec<DeviceKind> = b.placed().iter().map(|p| p.device).collect();
+    assert_eq!(da, db);
+}
+
+#[test]
+fn measurement_deterministic_per_seed() {
+    let model = wide_and_deep(&WideAndDeepConfig::small());
+    let engine = Duet::builder().build(&model).unwrap();
+    let s1 = engine.measure(300, 7);
+    let s2 = engine.measure(300, 7);
+    let s3 = engine.measure(300, 8);
+    assert_eq!(s1.mean(), s2.mean());
+    assert_eq!(s1.p99(), s2.p99());
+    assert_ne!(s1.mean(), s3.mean());
+}
+
+#[test]
+fn random_policy_deterministic_per_seed() {
+    let model = siamese(&SiameseConfig::small());
+    let lat = |seed| {
+        Duet::builder()
+            .policy(SchedulePolicy::Random { seed })
+            .no_fallback()
+            .build(&model)
+            .unwrap()
+            .latency_us()
+    };
+    assert_eq!(lat(5), lat(5));
+}
+
+#[test]
+fn model_weights_and_feeds_reproducible() {
+    let a = mtdnn(&MtDnnConfig::small());
+    let b = mtdnn(&MtDnnConfig::small());
+    let fa = input_feeds(&a, 9);
+    let fb = input_feeds(&b, 9);
+    let oa = a.eval(&fa).unwrap();
+    let ob = b.eval(&fb).unwrap();
+    for (x, y) in oa.iter().zip(&ob) {
+        assert_eq!(x, y, "bitwise identical across rebuilds");
+    }
+}
+
+#[test]
+fn threaded_executor_bitwise_stable_across_runs() {
+    let model = mtdnn(&MtDnnConfig::small());
+    let engine = Duet::builder().no_fallback().build(&model).unwrap();
+    let feeds = input_feeds(engine.graph(), 4);
+    let first = engine.run(&feeds).unwrap();
+    for _ in 0..5 {
+        let again = engine.run(&feeds).unwrap();
+        for (&id, v) in &first.outputs {
+            assert_eq!(&again.outputs[&id], v, "run-to-run numeric drift");
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Property-based tests over randomly generated tensor programs: the
+//! partitioner, scheduler, simulator and executor must uphold their
+//! invariants for *any* DAG, not just the zoo models.
+
+use std::collections::HashMap;
+
+use duet::compiler::Compiler;
+use duet::core::{partition, PhaseKind};
+use duet::device::{DeviceKind, SystemModel};
+use duet::ir::{Graph, NodeId, Op};
+use duet::runtime::{measure_latency, simulate, subgraph_exec_time_us, Placed, SimNoise};
+use duet::tensor::Tensor;
+use proptest::prelude::*;
+
+/// A recipe for one random DAG node over vectors of a fixed width.
+#[derive(Debug, Clone)]
+enum NodeSpec {
+    Unary { op: u8, input: usize },
+    Binary { op: u8, a: usize, b: usize },
+}
+
+fn node_spec() -> impl Strategy<Value = NodeSpec> {
+    prop_oneof![
+        (0u8..4, any::<prop::sample::Index>())
+            .prop_map(|(op, input)| NodeSpec::Unary { op, input: input.index(usize::MAX - 1) }),
+        (0u8..3, any::<prop::sample::Index>(), any::<prop::sample::Index>()).prop_map(
+            |(op, a, b)| NodeSpec::Binary {
+                op,
+                a: a.index(usize::MAX - 1),
+                b: b.index(usize::MAX - 1),
+            }
+        ),
+    ]
+}
+
+/// Materialise a random, connected, single-input DAG of elementwise ops.
+fn build_graph(specs: &[NodeSpec]) -> (Graph, NodeId) {
+    let mut g = Graph::new("random");
+    let x = g.add_input("x", vec![8]);
+    let mut nodes: Vec<NodeId> = vec![g.add_op("seed", Op::Relu, &[x]).unwrap()];
+    for (i, spec) in specs.iter().enumerate() {
+        let pick = |idx: usize| nodes[idx % nodes.len()];
+        let id = match spec {
+            NodeSpec::Unary { op, input } => {
+                let op = match op {
+                    0 => Op::Relu,
+                    1 => Op::Tanh,
+                    2 => Op::Sigmoid,
+                    _ => Op::Scale { factor: 0.5 },
+                };
+                g.add_op(format!("u{i}"), op, &[pick(*input)]).unwrap()
+            }
+            NodeSpec::Binary { op, a, b } => {
+                let op = match op {
+                    0 => Op::Add,
+                    1 => Op::Sub,
+                    _ => Op::Mul,
+                };
+                g.add_op(format!("b{i}"), op, &[pick(*a), pick(*b)]).unwrap()
+            }
+        };
+        nodes.push(id);
+    }
+    // Every node without consumers becomes an output (all sinks exported).
+    let sinks: Vec<NodeId> = g
+        .compute_ids()
+        .into_iter()
+        .filter(|&id| g.node(id).outputs.is_empty())
+        .collect();
+    for s in sinks {
+        g.mark_output(s).unwrap();
+    }
+    (g, x)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn partition_is_a_valid_phased_schedule(specs in prop::collection::vec(node_spec(), 1..40)) {
+        let (g, _) = build_graph(&specs);
+        let part = partition(&g);
+        // 1. Exact coverage of compute nodes.
+        let mut covered: Vec<NodeId> =
+            part.phases.iter().flat_map(|p| p.subgraphs.iter().flatten().copied()).collect();
+        covered.sort_unstable();
+        prop_assert_eq!(covered, g.compute_ids());
+        // 2. Phase-monotone edges.
+        let mut phase_of: HashMap<NodeId, usize> = HashMap::new();
+        for (i, ph) in part.phases.iter().enumerate() {
+            for sg in &ph.subgraphs {
+                for &n in sg {
+                    phase_of.insert(n, i);
+                }
+            }
+        }
+        for id in g.compute_ids() {
+            for &src in &g.node(id).inputs {
+                if let Some(&a) = phase_of.get(&src) {
+                    prop_assert!(a <= phase_of[&id]);
+                }
+            }
+        }
+        // 3. Multi-path subgraphs are mutually independent.
+        for ph in part.phases.iter().filter(|p| p.kind == PhaseKind::MultiPath) {
+            prop_assert!(ph.subgraphs.len() >= 2);
+            for (i, a) in ph.subgraphs.iter().enumerate() {
+                for b in ph.subgraphs.iter().skip(i + 1) {
+                    for &n in a {
+                        for &src in &g.node(n).inputs {
+                            prop_assert!(!b.contains(&src));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn simulated_latency_within_physical_bounds(
+        specs in prop::collection::vec(node_spec(), 1..30),
+        device_bits in any::<u64>(),
+    ) {
+        let (g, _) = build_graph(&specs);
+        let sys = SystemModel::paper_server();
+        let compiler = Compiler::default();
+        let part = partition(&g);
+        let sgs = part.compile(&g, &compiler);
+        let placed: Vec<Placed> = sgs
+            .into_iter()
+            .enumerate()
+            .map(|(i, sg)| Placed {
+                sg,
+                device: if device_bits >> (i % 64) & 1 == 0 {
+                    DeviceKind::Cpu
+                } else {
+                    DeviceKind::Gpu
+                },
+            })
+            .collect();
+        let lat = measure_latency(&g, &placed, &sys);
+        // Lower bound: the slowest single subgraph on its device.
+        let lower = placed
+            .iter()
+            .map(|p| subgraph_exec_time_us(&sys, p.device, &p.sg))
+            .fold(0.0, f64::max);
+        // Upper bound: serial sum of everything plus every possible
+        // transfer (each boundary edge at most once each way).
+        let mut upper: f64 = placed
+            .iter()
+            .map(|p| subgraph_exec_time_us(&sys, p.device, &p.sg))
+            .sum();
+        for p in &placed {
+            for &src in &p.sg.inputs {
+                upper += sys.transfer_time_us(g.node(src).shape.byte_size() as f64);
+            }
+        }
+        for &out in g.outputs() {
+            upper += sys.transfer_time_us(g.node(out).shape.byte_size() as f64);
+        }
+        prop_assert!(lat >= lower - 1e-9, "latency {lat} < lower bound {lower}");
+        prop_assert!(lat <= upper + 1e-9, "latency {lat} > upper bound {upper}");
+    }
+
+    #[test]
+    fn scheduled_execution_matches_reference(specs in prop::collection::vec(node_spec(), 1..25)) {
+        let (g, x) = build_graph(&specs);
+        let engine = duet::core::Duet::builder()
+            .profile_runs(60, 10)
+            .no_fallback()
+            .build(&g)
+            .unwrap();
+        let feeds = HashMap::from([(
+            engine.graph().input_ids()[0],
+            Tensor::randn(vec![8], 1.0, 77),
+        )]);
+        let outcome = engine.run(&feeds).unwrap();
+        let want = engine.graph().eval(&feeds).unwrap();
+        for (i, &out) in engine.graph().outputs().iter().enumerate() {
+            prop_assert!(outcome.outputs[&out].approx_eq(&want[i], 1e-4));
+        }
+        let _ = x;
+    }
+
+    #[test]
+    fn noise_free_sim_deterministic_for_any_schedule(
+        specs in prop::collection::vec(node_spec(), 1..20),
+    ) {
+        let (g, _) = build_graph(&specs);
+        let sys = SystemModel::paper_server();
+        let compiler = Compiler::default();
+        let part = partition(&g);
+        let sgs = part.compile(&g, &compiler);
+        let placed: Vec<Placed> = sgs
+            .into_iter()
+            .map(|sg| Placed { sg, device: DeviceKind::Gpu })
+            .collect();
+        let a = simulate(&g, &placed, &sys, &mut SimNoise::disabled()).latency_us;
+        let b = simulate(&g, &placed, &sys, &mut SimNoise::disabled()).latency_us;
+        prop_assert_eq!(a, b);
+    }
+}
