@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# CI gate: formatting, lints, build, tests, and static analysis over
+# every built-in model. Run from the repo root; any failure aborts.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+step() { echo; echo "==> $*"; }
+
+step "cargo fmt --check"
+cargo fmt --all --check
+
+step "cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+step "cargo build --release"
+cargo build --release
+
+step "cargo test -q (tier-1)"
+cargo test -q
+
+step "cargo test --workspace -q"
+cargo test --workspace -q
+
+step "duet-lint over all built-in models"
+cargo run -q --release --bin duet-lint -- all
+
+echo
+echo "CI gate passed."

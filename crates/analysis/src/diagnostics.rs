@@ -1,0 +1,254 @@
+//! The shared diagnostics framework.
+//!
+//! Every analyzer in this crate reports through the same two types: a
+//! [`Diagnostic`] (one finding — stable code, severity, message, and
+//! optional node/pass provenance) and a [`Report`] (all findings from
+//! one analysis run, renderable as human-readable text or JSON).
+//!
+//! Codes are stable strings from the [`crate::codes`] namespace:
+//! `D0xx` graph verifier, `D1xx` pass-invariant checker, `D2xx`
+//! plan/schedule linter. Tools (and tests) match on codes, never on
+//! message text.
+
+use duet_ir::NodeId;
+use serde_json::{json, Value};
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Suspicious but executable — performance lints, dead code.
+    Warning,
+    /// The artifact is wrong and must not be executed or deployed.
+    Error,
+}
+
+impl Severity {
+    fn label(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// One analysis finding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Stable code from [`crate::codes`], e.g. `"D005"`.
+    pub code: &'static str,
+    pub severity: Severity,
+    pub message: String,
+    /// Graph node the finding anchors to, if any.
+    pub node: Option<NodeId>,
+    /// Where it came from: a pass name, subgraph name or phase label.
+    pub context: Option<String>,
+}
+
+impl Diagnostic {
+    /// A new error-severity finding.
+    pub fn error(code: &'static str, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: Severity::Error,
+            message: message.into(),
+            node: None,
+            context: None,
+        }
+    }
+
+    /// A new warning-severity finding.
+    pub fn warning(code: &'static str, message: impl Into<String>) -> Self {
+        Diagnostic {
+            severity: Severity::Warning,
+            ..Self::error(code, message)
+        }
+    }
+
+    /// Attach node provenance.
+    pub fn with_node(mut self, node: NodeId) -> Self {
+        self.node = Some(node);
+        self
+    }
+
+    /// Attach a pass/subgraph/phase context label.
+    pub fn with_context(mut self, context: impl Into<String>) -> Self {
+        self.context = Some(context.into());
+        self
+    }
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}[{}]: {}",
+            self.severity.label(),
+            self.code,
+            self.message
+        )?;
+        if let Some(n) = self.node {
+            write!(f, " (node {n})")?;
+        }
+        if let Some(c) = &self.context {
+            write!(f, " [{c}]")?;
+        }
+        Ok(())
+    }
+}
+
+/// All findings from one analysis run over one subject (a graph, a pass
+/// pipeline, a plan).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Report {
+    /// What was analyzed — a model or graph name, used in rendering.
+    pub subject: String,
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// Empty report for a subject.
+    pub fn new(subject: impl Into<String>) -> Self {
+        Report {
+            subject: subject.into(),
+            diagnostics: Vec::new(),
+        }
+    }
+
+    /// Append one finding.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.diagnostics.push(d);
+    }
+
+    /// Append every finding from another report.
+    pub fn merge(&mut self, other: Report) {
+        self.diagnostics.extend(other.diagnostics);
+    }
+
+    /// All findings, in emission order.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diagnostics
+    }
+
+    /// True if no findings at all (not even warnings).
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// True if any error-severity finding is present.
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Error)
+    }
+
+    pub fn error_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    pub fn warning_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+            .count()
+    }
+
+    /// True if any finding carries `code`.
+    pub fn contains(&self, code: &str) -> bool {
+        self.diagnostics.iter().any(|d| d.code == code)
+    }
+
+    /// Human-readable rendering, one line per finding plus a summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&format!("{d}\n"));
+        }
+        out.push_str(&format!(
+            "{}: {} error(s), {} warning(s)\n",
+            self.subject,
+            self.error_count(),
+            self.warning_count()
+        ));
+        out
+    }
+
+    /// Machine-readable rendering.
+    pub fn to_json(&self) -> Value {
+        let diags: Vec<Value> = self
+            .diagnostics
+            .iter()
+            .map(|d| {
+                json!({
+                    "code": d.code,
+                    "severity": d.severity.label(),
+                    "message": d.message.clone(),
+                    "node": d.node,
+                    "context": d.context.clone(),
+                })
+            })
+            .collect();
+        json!({
+            "subject": self.subject.clone(),
+            "errors": self.error_count(),
+            "warnings": self.warning_count(),
+            "diagnostics": Value::Array(diags),
+        })
+    }
+}
+
+impl std::fmt::Display for Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.render())
+    }
+}
+
+impl std::error::Error for Report {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_accounting_and_codes() {
+        let mut r = Report::new("m");
+        assert!(r.is_clean() && !r.has_errors());
+        r.push(Diagnostic::warning("D009", "dead node").with_node(3));
+        r.push(
+            Diagnostic::error("D005", "shape drift")
+                .with_node(7)
+                .with_context("cse"),
+        );
+        assert!(!r.is_clean() && r.has_errors());
+        assert_eq!((r.error_count(), r.warning_count()), (1, 1));
+        assert!(r.contains("D005") && r.contains("D009") && !r.contains("D000"));
+    }
+
+    #[test]
+    fn render_mentions_code_node_and_context() {
+        let mut r = Report::new("m");
+        r.push(
+            Diagnostic::error("D005", "shape drift")
+                .with_node(7)
+                .with_context("cse"),
+        );
+        let text = r.render();
+        assert!(text.contains("error[D005]"));
+        assert!(text.contains("(node 7)"));
+        assert!(text.contains("[cse]"));
+        assert!(text.contains("1 error(s)"));
+    }
+
+    #[test]
+    fn json_shape() {
+        let mut r = Report::new("m");
+        r.push(Diagnostic::error("D000", "boom"));
+        let v = r.to_json();
+        assert_eq!(v["subject"], "m");
+        assert_eq!(v["errors"], 1);
+        assert_eq!(v["diagnostics"][0]["code"], "D000");
+        assert!(v["diagnostics"][0]["node"].is_null());
+    }
+}

@@ -1,0 +1,271 @@
+//! The graph verifier (`D0xx`).
+//!
+//! An LLVM-verifier-style structural check over [`duet_ir::Graph`].
+//! Strictly subsumes [`Graph::validate`] — everything `validate`
+//! rejects is reported here with a precise code and node provenance
+//! instead of a collapsed `UnknownNode`/`BadArity` — and adds the
+//! checks `validate` does not do: real cycle detection (Kahn, so it
+//! holds even for graphs corrupted past the append-only invariant),
+//! full shape re-inference cross-checked against stored shapes,
+//! constant/parameter consistency, reachability, and degenerate-op
+//! lints.
+//!
+//! Safe-builder graphs always verify clean; the verifier earns its keep
+//! on deserialized graphs, hand-edited graphs, and pass outputs.
+
+use duet_ir::{Graph, NodeId, Op};
+
+use crate::codes;
+use crate::diagnostics::{Diagnostic, Report};
+
+/// Verify every structural invariant of `graph`. Never panics, even on
+/// arbitrarily corrupted inputs — out-of-range ids are reported, not
+/// followed.
+pub fn verify_graph(graph: &Graph) -> Report {
+    let mut report = Report::new(graph.name.clone());
+    let n = graph.len();
+
+    for (idx, node) in graph.nodes().iter().enumerate() {
+        if node.id != idx {
+            report.push(
+                Diagnostic::error(
+                    codes::UNKNOWN_NODE,
+                    format!("node at position {idx} carries id {}", node.id),
+                )
+                .with_node(idx),
+            );
+        }
+        let mut inputs_ok = true;
+        for &i in &node.inputs {
+            if i >= n {
+                report.push(
+                    Diagnostic::error(
+                        codes::UNKNOWN_NODE,
+                        format!("input edge references nonexistent node {i}"),
+                    )
+                    .with_node(idx),
+                );
+                inputs_ok = false;
+                continue;
+            }
+            if i >= idx {
+                report.push(
+                    Diagnostic::error(
+                        codes::TOPO_ORDER,
+                        format!("input {i} is not defined before its consumer {idx}"),
+                    )
+                    .with_node(idx),
+                );
+            }
+            if !graph.node(i).outputs.contains(&idx) {
+                report.push(
+                    Diagnostic::error(
+                        codes::DANGLING_EDGE,
+                        format!("producer {i} does not list {idx} as a consumer"),
+                    )
+                    .with_node(idx),
+                );
+            }
+        }
+        for &o in &node.outputs {
+            if o >= n {
+                report.push(
+                    Diagnostic::error(
+                        codes::UNKNOWN_NODE,
+                        format!("out-edge references nonexistent node {o}"),
+                    )
+                    .with_node(idx),
+                );
+            } else if !graph.node(o).inputs.contains(&idx) {
+                report.push(
+                    Diagnostic::error(
+                        codes::DANGLING_EDGE,
+                        format!("stale out-edge: {o} does not consume {idx}"),
+                    )
+                    .with_node(idx),
+                );
+            }
+        }
+
+        let (lo, hi) = node.op.arity();
+        let arity_ok = node.inputs.len() >= lo && node.inputs.len() <= hi;
+        if !arity_ok {
+            let hi_text = if hi == usize::MAX {
+                "∞".to_string()
+            } else {
+                hi.to_string()
+            };
+            report.push(
+                Diagnostic::error(
+                    codes::BAD_ARITY,
+                    format!(
+                        "{} takes {lo}..{hi_text} inputs, has {}",
+                        node.op.name(),
+                        node.inputs.len()
+                    ),
+                )
+                .with_node(idx),
+            );
+        }
+
+        match node.op {
+            Op::Input => {}
+            Op::Constant => match graph.param(idx) {
+                Some(t) if *t.shape() != node.shape => {
+                    report.push(
+                        Diagnostic::error(
+                            codes::PARAM_SHAPE,
+                            format!(
+                                "constant declares shape {} but its payload is {}",
+                                node.shape,
+                                t.shape()
+                            ),
+                        )
+                        .with_node(idx),
+                    );
+                }
+                Some(_) => {}
+                None => {
+                    report.push(
+                        Diagnostic::error(
+                            codes::PARAM_SHAPE,
+                            "constant has no parameter payload".to_string(),
+                        )
+                        .with_node(idx),
+                    );
+                }
+            },
+            _ if inputs_ok && arity_ok => {
+                let shapes: Vec<_> = node.inputs.iter().map(|&i| &graph.node(i).shape).collect();
+                match node.op.infer_shape(&shapes) {
+                    Ok(inferred) if inferred != node.shape => {
+                        report.push(
+                            Diagnostic::error(
+                                codes::SHAPE_MISMATCH,
+                                format!(
+                                    "stored shape {} but {} re-infers {inferred}",
+                                    node.shape,
+                                    node.op.name()
+                                ),
+                            )
+                            .with_node(idx),
+                        );
+                    }
+                    Ok(_) => {}
+                    Err(e) => {
+                        report.push(
+                            Diagnostic::error(
+                                codes::SHAPE_INFERENCE,
+                                format!("shape inference failed: {e}"),
+                            )
+                            .with_node(idx),
+                        );
+                    }
+                }
+            }
+            _ => {}
+        }
+
+        let degenerate = match node.op {
+            Op::Concat { .. } if node.inputs.len() == 1 => {
+                Some("single-input concat is an identity")
+            }
+            Op::Scale { factor } => (factor == 1.0).then_some("scale by 1.0 is an identity"),
+            _ => None,
+        };
+        if let Some(msg) = degenerate {
+            report.push(Diagnostic::warning(codes::DEGENERATE_OP, msg.to_string()).with_node(idx));
+        }
+    }
+
+    if graph.outputs().is_empty() {
+        report.push(Diagnostic::error(
+            codes::NO_OUTPUTS,
+            "graph declares no outputs",
+        ));
+    }
+    for &o in graph.outputs() {
+        if o >= n {
+            report.push(Diagnostic::error(
+                codes::UNKNOWN_NODE,
+                format!("declared output {o} does not exist"),
+            ));
+        }
+    }
+
+    check_cycles(graph, &mut report);
+    check_reachability(graph, &mut report);
+    report
+}
+
+/// Kahn's algorithm over the in-edges. The append-only builder cannot
+/// express a cycle, but deserialized or hand-edited graphs can; id
+/// ordering is deliberately not trusted here.
+fn check_cycles(graph: &Graph, report: &mut Report) {
+    let n = graph.len();
+    if n == 0 {
+        return;
+    }
+    let mut indeg = vec![0usize; n];
+    let mut consumers: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    for (idx, node) in graph.nodes().iter().enumerate() {
+        // Self-loops are excluded from Kahn's counts (a node would
+        // "unblock itself"); report them explicitly instead.
+        if node.inputs.contains(&idx) {
+            report.push(
+                Diagnostic::error(codes::CYCLE, "node consumes its own output").with_node(idx),
+            );
+        }
+        let mut deps: Vec<NodeId> = node
+            .inputs
+            .iter()
+            .copied()
+            .filter(|&i| i < n && i != idx)
+            .collect();
+        deps.sort_unstable();
+        deps.dedup();
+        indeg[idx] = deps.len();
+        for d in deps {
+            consumers[d].push(idx);
+        }
+    }
+    let mut ready: Vec<NodeId> = (0..n).filter(|&i| indeg[i] == 0).collect();
+    let mut seen = 0usize;
+    while let Some(i) = ready.pop() {
+        seen += 1;
+        for &c in &consumers[i] {
+            indeg[c] -= 1;
+            if indeg[c] == 0 {
+                ready.push(c);
+            }
+        }
+    }
+    if seen < n {
+        let stuck: Vec<NodeId> = (0..n).filter(|&i| indeg[i] > 0).collect();
+        report.push(
+            Diagnostic::error(
+                codes::CYCLE,
+                format!("dependency cycle through {} node(s)", stuck.len()),
+            )
+            .with_node(stuck[0]),
+        );
+    }
+}
+
+fn check_reachability(graph: &Graph, report: &mut Report) {
+    if graph.outputs().is_empty() {
+        return; // everything is trivially unreachable; D007 already fired
+    }
+    let live = duet_compiler::invariants::reachable_from_outputs(graph);
+    for (idx, node) in graph.nodes().iter().enumerate() {
+        if !live[idx] {
+            report.push(
+                Diagnostic::warning(
+                    codes::UNREACHABLE,
+                    format!("{} '{}' feeds no output", node.op.name(), node.label),
+                )
+                .with_node(idx),
+            );
+        }
+    }
+}

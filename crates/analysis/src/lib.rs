@@ -1,0 +1,112 @@
+//! # duet-analysis
+//!
+//! LLVM-verifier-style static analysis for DUET: three analyzers over
+//! one diagnostics framework, each with a stable code namespace.
+//!
+//! * **Graph verifier** ([`verify_graph`], `D0xx`) — structural and
+//!   shape invariants of a [`duet_ir::Graph`]: cycles, dangling and
+//!   unknown node ids, arity, full shape re-inference cross-checked
+//!   against stored shapes, parameter consistency, reachability,
+//!   degenerate ops. Strictly subsumes `Graph::validate`.
+//! * **Pass-invariant checker** ([`check_optimize`], `D1xx`) — verifies
+//!   every compiler pass (fold → CSE → DCE, plus fusion grouping at
+//!   lowering) immediately after it runs: output interface preserved,
+//!   no new dangling edges, DCE removed only dead nodes. The mechanical
+//!   checks live in [`duet_compiler::invariants`] so `Compiler::optimize`
+//!   runs them itself whenever `CompileOptions::check` is set (the
+//!   default in debug builds); this crate maps violations to coded
+//!   diagnostics that name the offending pass.
+//! * **Plan/schedule linter** ([`lint_plan`], [`lint_schedule`],
+//!   `D2xx`) — subsumes the runtime's schedule validation (coverage,
+//!   sources, cycles) and the plan fingerprint check, then adds
+//!   performance lints: cross-device boundary traffic per phase,
+//!   sub-fusion-granularity subgraphs, unbalanced multi-path phases.
+//!
+//! Severities are [`Severity::Error`] (do not run/deploy this artifact)
+//! and [`Severity::Warning`] (runs, but suspicious). The `duet-lint`
+//! CLI in the root crate drives all three over the model zoo and exits
+//! non-zero on errors.
+
+pub mod diagnostics;
+pub mod graph_verifier;
+pub mod pass_check;
+pub mod plan_lint;
+
+pub use diagnostics::{Diagnostic, Report, Severity};
+pub use graph_verifier::verify_graph;
+pub use pass_check::{check_optimize, violation_to_diagnostic};
+pub use plan_lint::{lint_plan, lint_schedule, LintConfig, PlanFacts, PlanSubgraphFacts};
+
+/// The stable diagnostic code namespace.
+///
+/// `D0xx` — graph verifier, `D1xx` — pass-invariant checker, `D2xx` —
+/// plan/schedule linter. Codes are append-only: a released code keeps
+/// its meaning forever so tooling can match on it.
+pub mod codes {
+    // D0xx — graph verifier
+    /// A node, edge or declared output references a nonexistent id.
+    pub const UNKNOWN_NODE: &str = "D000";
+    /// The dependency graph contains a cycle (incl. self-loops).
+    pub const CYCLE: &str = "D001";
+    /// An input is defined at-or-after its consumer (append-only
+    /// topological invariant broken).
+    pub const TOPO_ORDER: &str = "D002";
+    /// Forward and reverse adjacency lists disagree (dangling edge).
+    pub const DANGLING_EDGE: &str = "D003";
+    /// Operator given the wrong number of inputs.
+    pub const BAD_ARITY: &str = "D004";
+    /// Stored shape differs from what `Op::infer_shape` re-derives.
+    pub const SHAPE_MISMATCH: &str = "D005";
+    /// Shape inference failed outright on a compute node.
+    pub const SHAPE_INFERENCE: &str = "D006";
+    /// Graph declares no outputs.
+    pub const NO_OUTPUTS: &str = "D007";
+    /// Constant node and its parameter payload disagree (or payload
+    /// missing).
+    pub const PARAM_SHAPE: &str = "D008";
+    /// Node feeds no declared output (warning).
+    pub const UNREACHABLE: &str = "D009";
+    /// Identity-in-disguise operator, e.g. single-input concat
+    /// (warning).
+    pub const DEGENERATE_OP: &str = "D010";
+
+    // D1xx — pass-invariant checker
+    /// A pass changed the graph's output count or output shapes.
+    pub const PASS_OUTPUT_INTERFACE: &str = "D100";
+    /// A pass produced a graph that fails structural validation.
+    pub const PASS_BROKE_VALIDATION: &str = "D101";
+    /// DCE removed a node still reachable from the outputs.
+    pub const PASS_REMOVED_LIVE_NODE: &str = "D102";
+    /// An optimization pass grew the graph.
+    pub const PASS_GREW_GRAPH: &str = "D103";
+    /// A pass itself reported an error while rewriting.
+    pub const PASS_FAILED: &str = "D104";
+
+    // D2xx — plan/schedule linter
+    /// A planned subgraph schedules a nonexistent node.
+    pub const PLAN_UNKNOWN_NODE: &str = "D200";
+    /// A planned subgraph schedules an input/constant source.
+    pub const PLAN_COVERS_SOURCE: &str = "D201";
+    /// A node is scheduled by more than one subgraph.
+    pub const PLAN_DOUBLY_COVERED: &str = "D202";
+    /// A compute node is scheduled by no subgraph.
+    pub const PLAN_UNCOVERED: &str = "D203";
+    /// A graph output is produced by no subgraph.
+    pub const PLAN_MISSING_OUTPUT: &str = "D204";
+    /// Subgraph dependencies form a cycle.
+    pub const PLAN_CYCLIC: &str = "D205";
+    /// Plan fingerprint does not match the graph (model changed since
+    /// the plan was made).
+    pub const PLAN_STALE_FINGERPRINT: &str = "D206";
+    /// A planned subgraph schedules no nodes at all.
+    pub const PLAN_EMPTY_SUBGRAPH: &str = "D207";
+    /// A phase moves excessive bytes across the device boundary
+    /// (warning).
+    pub const PLAN_CROSS_TRAFFIC: &str = "D210";
+    /// A subgraph is split below fusion granularity (warning).
+    pub const PLAN_SUB_FUSION: &str = "D211";
+    /// A multi-path phase's paths have wildly different work (warning).
+    pub const PLAN_UNBALANCED: &str = "D212";
+    /// A multi-path phase contains a single path (warning).
+    pub const PLAN_SINGLE_PATH: &str = "D213";
+}

@@ -1,0 +1,351 @@
+//! The plan/schedule linter (`D2xx`).
+//!
+//! Subsumes the hard errors of `duet_runtime::validate_schedule` and
+//! `SchedulePlan::validate_against` (coverage, sources, cycles, stale
+//! fingerprints) with precise per-finding codes, and layers performance
+//! lints on top: plans that will *run* but waste the coupled
+//! architecture — excessive cross-device boundary traffic inside a
+//! phase (the PCIe tax of §III-B), subgraphs split below fusion
+//! granularity, and unbalanced multi-path phases whose slowest path
+//! hides every other device's work.
+//!
+//! To stay free of a `duet-core` dependency (core's plan loading calls
+//! *into* this linter), the input is a plain [`PlanFacts`] view; core's
+//! `SchedulePlan::to_facts` produces it.
+
+use std::collections::HashMap;
+
+use duet_device::DeviceKind;
+use duet_ir::{fingerprint, Graph, NodeId, Op};
+use duet_runtime::Placed;
+
+use crate::codes;
+use crate::diagnostics::{Diagnostic, Report};
+
+/// One planned subgraph, decoupled from `duet-core`'s serialized form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanSubgraphFacts {
+    pub name: String,
+    /// Phase index the subgraph executes in.
+    pub phase: usize,
+    /// True when the owning phase runs its subgraphs concurrently.
+    pub multi_path: bool,
+    /// Node ids in the optimized graph.
+    pub nodes: Vec<NodeId>,
+    pub device: DeviceKind,
+}
+
+/// Everything the linter needs to know about a plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanFacts {
+    /// Model name, used as the report subject.
+    pub model: String,
+    /// Structural fingerprint of the graph the plan was made for.
+    pub fingerprint: u64,
+    pub subgraphs: Vec<PlanSubgraphFacts>,
+}
+
+/// Thresholds for the performance lints.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LintConfig {
+    /// Warn when one phase moves more than this many bytes across the
+    /// device boundary (default 8 MiB — several PCIe round-trips of
+    /// activation traffic per inference).
+    pub max_cross_traffic_bytes: f64,
+    /// Warn when a multi-path phase's heaviest path exceeds its lightest
+    /// by more than this factor (default 8×).
+    pub imbalance_ratio: f64,
+}
+
+impl Default for LintConfig {
+    fn default() -> Self {
+        LintConfig {
+            max_cross_traffic_bytes: 8.0 * 1024.0 * 1024.0,
+            imbalance_ratio: 8.0,
+        }
+    }
+}
+
+/// Lint a plan against the (optimized) graph it claims to schedule.
+///
+/// Hard errors come first; the performance lints only run on plans with
+/// no errors — linting a structurally broken plan would index nodes
+/// that may not exist.
+pub fn lint_plan(graph: &Graph, facts: &PlanFacts, config: &LintConfig) -> Report {
+    let mut report = Report::new(format!("{}:plan", facts.model));
+    let n = graph.len();
+
+    let actual = fingerprint(graph);
+    if facts.fingerprint != actual {
+        report.push(Diagnostic::error(
+            codes::PLAN_STALE_FINGERPRINT,
+            format!(
+                "plan fingerprint {:#x} does not match graph {actual:#x} — \
+                 the model changed since the plan was made",
+                facts.fingerprint
+            ),
+        ));
+    }
+
+    // Ownership: node id -> subgraph index, with coverage errors.
+    let mut owner: HashMap<NodeId, usize> = HashMap::new();
+    for (si, sg) in facts.subgraphs.iter().enumerate() {
+        if sg.nodes.is_empty() {
+            report.push(
+                Diagnostic::error(codes::PLAN_EMPTY_SUBGRAPH, "subgraph schedules no nodes")
+                    .with_context(sg.name.clone()),
+            );
+        }
+        for &id in &sg.nodes {
+            if id >= n {
+                report.push(
+                    Diagnostic::error(
+                        codes::PLAN_UNKNOWN_NODE,
+                        format!("schedules nonexistent node {id}"),
+                    )
+                    .with_context(sg.name.clone()),
+                );
+                continue;
+            }
+            if matches!(graph.node(id).op, Op::Input | Op::Constant) {
+                report.push(
+                    Diagnostic::error(
+                        codes::PLAN_COVERS_SOURCE,
+                        format!("{} is a source, not schedulable", graph.node(id).label),
+                    )
+                    .with_node(id)
+                    .with_context(sg.name.clone()),
+                );
+            }
+            if let Some(prev) = owner.insert(id, si) {
+                report.push(
+                    Diagnostic::error(
+                        codes::PLAN_DOUBLY_COVERED,
+                        format!("node also scheduled by '{}'", facts.subgraphs[prev].name),
+                    )
+                    .with_node(id)
+                    .with_context(sg.name.clone()),
+                );
+            }
+        }
+    }
+    for id in graph.compute_ids() {
+        if !owner.contains_key(&id) {
+            report.push(
+                Diagnostic::error(
+                    codes::PLAN_UNCOVERED,
+                    format!("compute node '{}' is not scheduled", graph.node(id).label),
+                )
+                .with_node(id),
+            );
+        }
+    }
+    for &o in graph.outputs() {
+        if o < n && !owner.contains_key(&o) && !matches!(graph.node(o).op, Op::Input | Op::Constant)
+        {
+            report.push(
+                Diagnostic::error(
+                    codes::PLAN_MISSING_OUTPUT,
+                    format!(
+                        "graph output '{}' is produced by no subgraph",
+                        graph.node(o).label
+                    ),
+                )
+                .with_node(o),
+            );
+        }
+    }
+
+    if !report.has_errors() {
+        check_subgraph_cycles(graph, facts, &owner, &mut report);
+    }
+    if !report.has_errors() {
+        perf_lints(graph, facts, &owner, config, &mut report);
+    }
+    report
+}
+
+/// Lint an executable placed schedule (the `duet-runtime` view, no
+/// phase structure). Strictly subsumes `validate_schedule`: every
+/// `ScheduleError` maps to a `D2xx` code here.
+pub fn lint_schedule(graph: &Graph, placed: &[Placed]) -> Report {
+    let facts = PlanFacts {
+        model: graph.name.clone(),
+        fingerprint: fingerprint(graph),
+        subgraphs: placed
+            .iter()
+            .map(|p| PlanSubgraphFacts {
+                name: p.sg.name.clone(),
+                phase: 0,
+                multi_path: false,
+                nodes: p.sg.node_ids.clone(),
+                device: p.device,
+            })
+            .collect(),
+    };
+    let mut report = lint_plan(graph, &facts, &LintConfig::default());
+    report.subject = format!("{}:schedule", graph.name);
+    report
+}
+
+/// Kahn over subgraph-level dependencies (a node's input owned by a
+/// different subgraph is an edge between the two).
+fn check_subgraph_cycles(
+    graph: &Graph,
+    facts: &PlanFacts,
+    owner: &HashMap<NodeId, usize>,
+    report: &mut Report,
+) {
+    let m = facts.subgraphs.len();
+    let mut indeg = vec![0usize; m];
+    let mut consumers: Vec<Vec<usize>> = vec![Vec::new(); m];
+    for (si, sg) in facts.subgraphs.iter().enumerate() {
+        let mut deps: Vec<usize> = sg
+            .nodes
+            .iter()
+            .flat_map(|&id| graph.node(id).inputs.iter())
+            .filter_map(|src| owner.get(src).copied())
+            .filter(|&d| d != si)
+            .collect();
+        deps.sort_unstable();
+        deps.dedup();
+        indeg[si] = deps.len();
+        for d in deps {
+            consumers[d].push(si);
+        }
+    }
+    let mut ready: Vec<usize> = (0..m).filter(|&i| indeg[i] == 0).collect();
+    let mut seen = 0usize;
+    while let Some(i) = ready.pop() {
+        seen += 1;
+        for &c in &consumers[i] {
+            indeg[c] -= 1;
+            if indeg[c] == 0 {
+                ready.push(c);
+            }
+        }
+    }
+    if seen < m {
+        let stuck = (0..m).find(|&i| indeg[i] > 0).expect("cycle member");
+        report.push(
+            Diagnostic::error(
+                codes::PLAN_CYCLIC,
+                format!("subgraph dependencies form a cycle ({} members)", m - seen),
+            )
+            .with_context(facts.subgraphs[stuck].name.clone()),
+        );
+    }
+}
+
+fn perf_lints(
+    graph: &Graph,
+    facts: &PlanFacts,
+    owner: &HashMap<NodeId, usize>,
+    config: &LintConfig,
+    report: &mut Report,
+) {
+    let phase_count = facts
+        .subgraphs
+        .iter()
+        .map(|s| s.phase + 1)
+        .max()
+        .unwrap_or(0);
+    let mut cross_bytes = vec![0.0f64; phase_count];
+
+    for (si, sg) in facts.subgraphs.iter().enumerate() {
+        let in_sg: std::collections::HashSet<NodeId> = sg.nodes.iter().copied().collect();
+        let mut same_device_neighbor = false;
+        for &id in &sg.nodes {
+            for &src in &graph.node(id).inputs {
+                if in_sg.contains(&src) || matches!(graph.node(src).op, Op::Constant) {
+                    continue;
+                }
+                // Boundary input: charge it to this phase when the
+                // producer sits on the other device.
+                if let Some(&psi) = owner.get(&src) {
+                    if facts.subgraphs[psi].device != sg.device {
+                        cross_bytes[sg.phase] += graph.node(src).shape.byte_size() as f64;
+                    } else if psi != si {
+                        same_device_neighbor = true;
+                    }
+                }
+            }
+        }
+
+        // Sub-fusion-granularity: a subgraph of nothing but elementwise
+        // epilogue ops, cut off from a same-device producer the fuser
+        // would have absorbed it into.
+        let all_elementwise = !sg.nodes.is_empty()
+            && sg
+                .nodes
+                .iter()
+                .all(|&id| graph.node(id).op.is_fusable_elementwise());
+        if all_elementwise && same_device_neighbor {
+            report.push(
+                Diagnostic::warning(
+                    codes::PLAN_SUB_FUSION,
+                    "subgraph is only elementwise ops split from a same-device \
+                     producer — below fusion granularity",
+                )
+                .with_context(sg.name.clone()),
+            );
+        }
+    }
+
+    for (phase, &bytes) in cross_bytes.iter().enumerate() {
+        if bytes > config.max_cross_traffic_bytes {
+            report.push(Diagnostic::warning(
+                codes::PLAN_CROSS_TRAFFIC,
+                format!(
+                    "phase {phase} moves {:.1} MB across the device boundary",
+                    bytes / 1e6
+                ),
+            ));
+        }
+    }
+
+    // Multi-path balance: within each concurrent phase, compare the
+    // FLOPs of the heaviest and lightest paths.
+    for phase in 0..phase_count {
+        let members: Vec<&PlanSubgraphFacts> = facts
+            .subgraphs
+            .iter()
+            .filter(|s| s.phase == phase && s.multi_path)
+            .collect();
+        if members.len() == 1 {
+            report.push(
+                Diagnostic::warning(
+                    codes::PLAN_SINGLE_PATH,
+                    format!("phase {phase} is declared multi-path but has a single path"),
+                )
+                .with_context(members[0].name.clone()),
+            );
+        }
+        if members.len() < 2 {
+            continue;
+        }
+        let flops: Vec<f64> = members
+            .iter()
+            .map(|s| {
+                s.nodes
+                    .iter()
+                    .map(|&id| graph.node_cost(id).flops)
+                    .sum::<f64>()
+                    .max(1.0)
+            })
+            .collect();
+        let (max, min) = (
+            flops.iter().cloned().fold(f64::MIN, f64::max),
+            flops.iter().cloned().fold(f64::MAX, f64::min),
+        );
+        if max / min > config.imbalance_ratio {
+            report.push(Diagnostic::warning(
+                codes::PLAN_UNBALANCED,
+                format!(
+                    "phase {phase} paths are unbalanced: heaviest {max:.2e} FLOPs vs \
+                     lightest {min:.2e}"
+                ),
+            ));
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! Mutation tests: seed one structural corruption per class into a
+//! known-good graph (or plan) and assert the analyzers catch it with the
+//! *distinct* diagnostic code reserved for that class.
+//!
+//! Corruptions are injected through `Graph::node_unchecked_mut` /
+//! `Graph::outputs_unchecked_mut`, the escape hatches added expressly so
+//! the verifier can be tested against graphs the safe builder API makes
+//! unconstructible.
+
+use duet_analysis::{codes, lint_plan, verify_graph, LintConfig, PlanFacts, PlanSubgraphFacts};
+use duet_device::DeviceKind;
+use duet_ir::{fingerprint, Graph, GraphBuilder, Op};
+
+/// A small two-layer MLP; every mutation below starts from a fresh copy.
+fn victim() -> Graph {
+    let mut b = GraphBuilder::new("victim", 7);
+    let x = b.input("x", vec![1, 8]);
+    let h = b.dense("fc1", x, 16, Some(Op::Relu)).unwrap();
+    let y = b.dense("fc2", h, 4, None).unwrap();
+    b.finish(&[y]).unwrap()
+}
+
+/// Ids of the last two compute nodes (producer feeds consumer).
+fn last_two_compute(g: &Graph) -> (duet_ir::NodeId, duet_ir::NodeId) {
+    let ids = g.compute_ids();
+    (ids[ids.len() - 2], ids[ids.len() - 1])
+}
+
+/// A well-formed single-subgraph plan view for `g`.
+fn good_facts(g: &Graph) -> PlanFacts {
+    PlanFacts {
+        model: g.name.clone(),
+        fingerprint: fingerprint(g),
+        subgraphs: vec![PlanSubgraphFacts {
+            name: "all".into(),
+            phase: 0,
+            multi_path: false,
+            nodes: g.compute_ids(),
+            device: DeviceKind::Gpu,
+        }],
+    }
+}
+
+#[test]
+fn baseline_is_clean() {
+    let g = victim();
+    let r = verify_graph(&g);
+    assert!(!r.has_errors(), "victim graph must start clean:\n{r}");
+    let p = lint_plan(&g, &good_facts(&g), &LintConfig::default());
+    assert!(!p.has_errors(), "victim plan must start clean:\n{p}");
+}
+
+#[test]
+fn cycle_is_caught_as_d001() {
+    let mut g = victim();
+    let (a, b) = last_two_compute(&g);
+    // b already consumes a; add the reverse edge to close the loop.
+    g.node_unchecked_mut(a).inputs.push(b);
+    g.node_unchecked_mut(b).outputs.push(a);
+    let r = verify_graph(&g);
+    assert!(r.has_errors());
+    assert!(r.contains(codes::CYCLE), "expected D001 in:\n{r}");
+}
+
+#[test]
+fn self_loop_is_caught_as_d001() {
+    let mut g = victim();
+    let (_, b) = last_two_compute(&g);
+    g.node_unchecked_mut(b).inputs.push(b);
+    g.node_unchecked_mut(b).outputs.push(b);
+    let r = verify_graph(&g);
+    assert!(r.contains(codes::CYCLE), "expected D001 in:\n{r}");
+}
+
+#[test]
+fn dangling_edge_is_caught_as_d003() {
+    let mut g = victim();
+    let (a, b) = last_two_compute(&g);
+    // Claim node 0 (an input source) consumes `a` — node 0's input list
+    // says otherwise, so the out-edge dangles.
+    g.node_unchecked_mut(a).outputs.push(0);
+    let r = verify_graph(&g);
+    assert!(r.has_errors());
+    assert!(r.contains(codes::DANGLING_EDGE), "expected D003 in:\n{r}");
+
+    // The mirror corruption: an in-edge the producer never recorded.
+    let mut g = victim();
+    g.node_unchecked_mut(b).inputs.push(0);
+    let r = verify_graph(&g);
+    assert!(r.contains(codes::DANGLING_EDGE), "expected D003 in:\n{r}");
+}
+
+#[test]
+fn shape_mismatch_is_caught_as_d005() {
+    let mut g = victim();
+    let (_, b) = last_two_compute(&g);
+    let node = g.node_unchecked_mut(b);
+    let mut dims = node.shape.dims().to_vec();
+    *dims.last_mut().unwrap() += 1; // off-by-one in the trailing dim
+    node.shape = dims.into();
+    let r = verify_graph(&g);
+    assert!(r.has_errors());
+    assert!(r.contains(codes::SHAPE_MISMATCH), "expected D005 in:\n{r}");
+}
+
+#[test]
+fn arity_violation_is_caught_as_d004() {
+    let mut g = victim();
+    let ids = g.compute_ids();
+    // Find a unary op and hand it a second operand (with a matching
+    // reverse edge so D004 is the only finding for this node).
+    let unary = *ids
+        .iter()
+        .find(|&&id| g.node(id).op.arity() == (1, 1))
+        .expect("victim has a unary op");
+    g.node_unchecked_mut(unary).inputs.push(0);
+    g.node_unchecked_mut(0).outputs.push(unary);
+    let r = verify_graph(&g);
+    assert!(r.has_errors());
+    assert!(r.contains(codes::BAD_ARITY), "expected D004 in:\n{r}");
+}
+
+#[test]
+fn missing_outputs_is_caught_as_d007() {
+    let mut g = victim();
+    g.outputs_unchecked_mut().clear();
+    let r = verify_graph(&g);
+    assert!(r.has_errors());
+    assert!(r.contains(codes::NO_OUTPUTS), "expected D007 in:\n{r}");
+}
+
+#[test]
+fn unknown_output_id_is_caught_as_d000() {
+    let mut g = victim();
+    let n = g.len();
+    g.outputs_unchecked_mut().push(n + 100);
+    let r = verify_graph(&g);
+    assert!(r.has_errors());
+    assert!(r.contains(codes::UNKNOWN_NODE), "expected D000 in:\n{r}");
+}
+
+#[test]
+fn unreachable_node_is_warned_as_d009() {
+    let mut b = GraphBuilder::new("deadcode", 7);
+    let x = b.input("x", vec![1, 8]);
+    let h = b.dense("fc1", x, 16, Some(Op::Relu)).unwrap();
+    let _dead = b.op("dead", Op::Relu, &[h]).unwrap();
+    let y = b.dense("fc2", h, 4, None).unwrap();
+    let g = b.finish(&[y]).unwrap();
+    let r = verify_graph(&g);
+    assert!(
+        !r.has_errors(),
+        "dead code is a warning, not an error:\n{r}"
+    );
+    assert!(r.contains(codes::UNREACHABLE), "expected D009 in:\n{r}");
+}
+
+// ---- plan corruption classes ----
+
+#[test]
+fn double_covered_node_is_caught_as_d202() {
+    let g = victim();
+    let mut facts = good_facts(&g);
+    let stolen = facts.subgraphs[0].nodes[0];
+    facts.subgraphs.push(PlanSubgraphFacts {
+        name: "thief".into(),
+        phase: 1,
+        multi_path: false,
+        nodes: vec![stolen],
+        device: DeviceKind::Cpu,
+    });
+    let r = lint_plan(&g, &facts, &LintConfig::default());
+    assert!(r.has_errors());
+    assert!(
+        r.contains(codes::PLAN_DOUBLY_COVERED),
+        "expected D202 in:\n{r}"
+    );
+}
+
+#[test]
+fn stale_fingerprint_is_caught_as_d206() {
+    let g = victim();
+    let mut facts = good_facts(&g);
+    facts.fingerprint ^= 1;
+    let r = lint_plan(&g, &facts, &LintConfig::default());
+    assert!(r.has_errors());
+    assert!(
+        r.contains(codes::PLAN_STALE_FINGERPRINT),
+        "expected D206 in:\n{r}"
+    );
+}
+
+#[test]
+fn plan_unknown_and_uncovered_nodes_are_caught() {
+    let g = victim();
+
+    let mut facts = good_facts(&g);
+    facts.subgraphs[0].nodes.push(g.len() + 5);
+    let r = lint_plan(&g, &facts, &LintConfig::default());
+    assert!(
+        r.contains(codes::PLAN_UNKNOWN_NODE),
+        "expected D200 in:\n{r}"
+    );
+
+    let mut facts = good_facts(&g);
+    facts.subgraphs[0].nodes.pop();
+    let r = lint_plan(&g, &facts, &LintConfig::default());
+    assert!(r.contains(codes::PLAN_UNCOVERED), "expected D203 in:\n{r}");
+}
+
+#[test]
+fn plan_covering_a_source_is_caught_as_d201() {
+    let g = victim();
+    let mut facts = good_facts(&g);
+    facts.subgraphs[0].nodes.push(0); // node 0 is the input source
+    let r = lint_plan(&g, &facts, &LintConfig::default());
+    assert!(r.has_errors());
+    assert!(
+        r.contains(codes::PLAN_COVERS_SOURCE),
+        "expected D201 in:\n{r}"
+    );
+}
+
+#[test]
+fn each_class_maps_to_a_distinct_code() {
+    // The five corruption classes named in the acceptance criteria must
+    // produce five *different* stable codes.
+    let codes = [
+        codes::CYCLE,                  // seeded cycle
+        codes::DANGLING_EDGE,          // seeded dangling edge
+        codes::SHAPE_MISMATCH,         // seeded shape mismatch
+        codes::PLAN_DOUBLY_COVERED,    // seeded double-covered node
+        codes::PLAN_STALE_FINGERPRINT, // seeded stale plan fingerprint
+    ];
+    for (i, a) in codes.iter().enumerate() {
+        for b in &codes[i + 1..] {
+            assert_ne!(a, b);
+        }
+    }
+}

@@ -13,17 +13,25 @@ use duet_models::{mtdnn, wide_and_deep, MtDnnConfig, WideAndDeepConfig};
 
 fn bench_optimize(c: &mut Criterion) {
     let wd = wide_and_deep(&WideAndDeepConfig::default());
-    let mt = mtdnn(&MtDnnConfig { vocab: 1000, ..MtDnnConfig::default() });
+    let mt = mtdnn(&MtDnnConfig {
+        vocab: 1000,
+        ..MtDnnConfig::default()
+    });
     let compiler = Compiler::default();
     c.bench_function("optimize/wide_and_deep", |b| {
         b.iter(|| compiler.optimize(&wd).unwrap())
     });
-    c.bench_function("optimize/mtdnn", |b| b.iter(|| compiler.optimize(&mt).unwrap()));
+    c.bench_function("optimize/mtdnn", |b| {
+        b.iter(|| compiler.optimize(&mt).unwrap())
+    });
 }
 
 fn bench_partition(c: &mut Criterion) {
     let wd = wide_and_deep(&WideAndDeepConfig::default());
-    let mt = mtdnn(&MtDnnConfig { vocab: 1000, ..MtDnnConfig::default() });
+    let mt = mtdnn(&MtDnnConfig {
+        vocab: 1000,
+        ..MtDnnConfig::default()
+    });
     c.bench_function("partition/wide_and_deep", |b| b.iter(|| partition(&wd)));
     c.bench_function("partition/mtdnn", |b| b.iter(|| partition(&mt)));
 }
@@ -33,7 +41,9 @@ fn bench_lowering(c: &mut Criterion) {
     let fused = Compiler::new(CompileOptions::full());
     let unfused = Compiler::new(CompileOptions::none());
     c.bench_function("lower/fused", |b| b.iter(|| fused.compile_whole(&wd, "wd")));
-    c.bench_function("lower/unfused", |b| b.iter(|| unfused.compile_whole(&wd, "wd")));
+    c.bench_function("lower/unfused", |b| {
+        b.iter(|| unfused.compile_whole(&wd, "wd"))
+    });
 
     // Ablation printout (once): coarse fusion vs per-op granularity.
     let f = fused.compile_whole(&wd, "wd");

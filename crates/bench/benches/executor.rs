@@ -11,7 +11,9 @@ use duet_runtime::HeterogeneousExecutor;
 fn bench_reference_eval(c: &mut Criterion) {
     let g = wide_and_deep(&WideAndDeepConfig::small());
     let feeds = input_feeds(&g, 1);
-    c.bench_function("eval/wide_and_deep_small", |b| b.iter(|| g.eval(&feeds).unwrap()));
+    c.bench_function("eval/wide_and_deep_small", |b| {
+        b.iter(|| g.eval(&feeds).unwrap())
+    });
 }
 
 fn bench_framework_run(c: &mut Criterion) {
@@ -27,18 +29,18 @@ fn bench_threaded_executor(c: &mut Criterion) {
     let mut group = c.benchmark_group("threaded_executor");
     group.sample_size(20);
     for (name, g) in [
-        ("wide_and_deep_small", wide_and_deep(&WideAndDeepConfig::small())),
+        (
+            "wide_and_deep_small",
+            wide_and_deep(&WideAndDeepConfig::small()),
+        ),
         ("siamese_small", siamese(&SiameseConfig::small())),
     ] {
         let duet = Duet::builder().no_fallback().build(&g).unwrap();
         let feeds = input_feeds(duet.graph(), 1);
         group.bench_function(name, |b| {
             b.iter(|| {
-                let exec = HeterogeneousExecutor::new(
-                    duet.graph(),
-                    duet.placed(),
-                    duet.system().clone(),
-                );
+                let exec =
+                    HeterogeneousExecutor::new(duet.graph(), duet.placed(), duet.system().clone());
                 exec.run(&feeds).unwrap()
             })
         });
@@ -46,5 +48,10 @@ fn bench_threaded_executor(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_reference_eval, bench_framework_run, bench_threaded_executor);
+criterion_group!(
+    benches,
+    bench_reference_eval,
+    bench_framework_run,
+    bench_threaded_executor
+);
 criterion_main!(benches);

@@ -64,7 +64,9 @@ fn bench_softmax_layernorm(c: &mut Criterion) {
     let x = Tensor::randn(vec![128, 768], 1.0, 10);
     let gamma = Tensor::ones(vec![768]);
     let beta = Tensor::zeros(vec![768]);
-    c.bench_function("softmax_128x768", |b| b.iter(|| kernels::softmax(&x).unwrap()));
+    c.bench_function("softmax_128x768", |b| {
+        b.iter(|| kernels::softmax(&x).unwrap())
+    });
     c.bench_function("layernorm_128x768", |b| {
         b.iter(|| kernels::layer_norm(&x, &gamma, &beta, 1e-5).unwrap())
     });

@@ -15,14 +15,20 @@ fn bench_serialize(c: &mut Criterion) {
     group.throughput(Throughput::Bytes(bytes.len() as u64));
     group.sample_size(20);
     group.bench_function("encode_siamese", |b| b.iter(|| encode(&g)));
-    group.bench_function("decode_siamese", |b| b.iter(|| decode(bytes.clone()).unwrap()));
+    group.bench_function("decode_siamese", |b| {
+        b.iter(|| decode(bytes.clone()).unwrap())
+    });
     group.finish();
 }
 
 fn bench_serving(c: &mut Criterion) {
     let g = wide_and_deep(&WideAndDeepConfig::default());
     let duet = Duet::builder().build(&g).unwrap();
-    let cfg = ServingConfig { arrival_rate_qps: 200.0, requests: 500, seed: 1 };
+    let cfg = ServingConfig {
+        arrival_rate_qps: 200.0,
+        requests: 500,
+        seed: 1,
+    };
     let mut group = c.benchmark_group("serving_sim");
     group.sample_size(20);
     group.bench_function("wide_and_deep_500req", |b| {
@@ -39,12 +45,22 @@ fn bench_lane_sim(c: &mut Criterion) {
     let two = Duet::builder().system(sys2).build(&g).unwrap();
     c.bench_function("simulate/one_lane", |b| {
         b.iter(|| {
-            simulate(one.graph(), one.placed(), one.system(), &mut SimNoise::disabled())
+            simulate(
+                one.graph(),
+                one.placed(),
+                one.system(),
+                &mut SimNoise::disabled(),
+            )
         })
     });
     c.bench_function("simulate/two_cpu_lanes", |b| {
         b.iter(|| {
-            simulate(two.graph(), two.placed(), two.system(), &mut SimNoise::disabled())
+            simulate(
+                two.graph(),
+                two.placed(),
+                two.system(),
+                &mut SimNoise::disabled(),
+            )
         })
     });
 }

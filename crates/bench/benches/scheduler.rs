@@ -46,7 +46,9 @@ fn bench_simulator(c: &mut Criterion) {
 fn bench_schedulers(c: &mut Criterion) {
     let (g, u) = units();
     let sys = SystemModel::paper_server();
-    c.bench_function("schedule/greedy", |b| b.iter(|| greedy::greedy_placement(&u)));
+    c.bench_function("schedule/greedy", |b| {
+        b.iter(|| greedy::greedy_placement(&u))
+    });
     c.bench_function("schedule/greedy_correction", |b| {
         b.iter(|| {
             let init = greedy::greedy_placement(&u);

@@ -12,7 +12,10 @@ use duet_bench::experiments;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
-        eprintln!("usage: duet-experiments [all | {}]", experiments::ALL.join(" | "));
+        eprintln!(
+            "usage: duet-experiments [all | {}]",
+            experiments::ALL.join(" | ")
+        );
         std::process::exit(if args.is_empty() { 2 } else { 0 });
     }
     let ids: Vec<&str> = if args.iter().any(|a| a == "all") {

@@ -34,14 +34,20 @@ fn policy_latencies(graph: &Graph) -> Vec<(&'static str, f64)> {
             .latency_us()
     };
     vec![
-        ("Random", avg_over_seeds(|s| SchedulePolicy::Random { seed: s })),
+        (
+            "Random",
+            avg_over_seeds(|s| SchedulePolicy::Random { seed: s }),
+        ),
         ("Round-Robin", build(SchedulePolicy::RoundRobin)),
         (
             "Random + Correction",
             avg_over_seeds(|s| SchedulePolicy::RandomCorrection { seed: s }),
         ),
         ("Greedy only (ablation)", build(SchedulePolicy::GreedyOnly)),
-        ("Greedy + Correction (DUET)", build(SchedulePolicy::GreedyCorrection)),
+        (
+            "Greedy + Correction (DUET)",
+            build(SchedulePolicy::GreedyCorrection),
+        ),
         ("Ideal (exhaustive)", build(SchedulePolicy::Ideal)),
     ]
 }
@@ -65,7 +71,11 @@ pub fn fig13() -> serde_json::Value {
         let mut t = Table::new(&["scheduler", "latency (ms)", "vs ideal"]);
         let mut obj = serde_json::Map::new();
         for (name, v) in &rows {
-            t.row(vec![name.to_string(), f3(ms(*v)), format!("{:.2}x", v / ideal)]);
+            t.row(vec![
+                name.to_string(),
+                f3(ms(*v)),
+                format!("{:.2}x", v / ideal),
+            ]);
             obj.insert(name.to_string(), json!(ms(*v)));
         }
         println!("{t}");

@@ -4,8 +4,8 @@
 use duet_core::Duet;
 use duet_device::{DeviceKind, SystemModel};
 use duet_frameworks::Framework;
-use duet_models::{mtdnn, siamese, wide_and_deep, MtDnnConfig, SiameseConfig, WideAndDeepConfig};
 use duet_ir::Graph;
+use duet_models::{mtdnn, siamese, wide_and_deep, MtDnnConfig, SiameseConfig, WideAndDeepConfig};
 use serde_json::json;
 
 use crate::output::{f3, x2, Table};
@@ -26,7 +26,14 @@ pub fn fig11() -> serde_json::Value {
     println!("== Fig. 11: end-to-end latency across frameworks (ms) ==\n");
     let sys = SystemModel::paper_server();
     let mut t = Table::new(&[
-        "model", "fw-cpu", "fw-gpu", "tvm-cpu", "tvm-gpu", "duet", "vs tvm-gpu", "vs tvm-cpu",
+        "model",
+        "fw-cpu",
+        "fw-gpu",
+        "tvm-cpu",
+        "tvm-gpu",
+        "duet",
+        "vs tvm-gpu",
+        "vs tvm-cpu",
     ]);
     let mut out = Vec::new();
     for graph in paper_models() {
@@ -80,8 +87,15 @@ pub fn fig12() -> serde_json::Value {
     let sys = SystemModel::paper_server();
     const RUNS: usize = 5000;
     let mut t = Table::new(&[
-        "model", "tvm p50", "duet p50", "tvm p99", "duet p99", "tvm p99.9", "duet p99.9",
-        "x@p99", "x@p99.9",
+        "model",
+        "tvm p50",
+        "duet p50",
+        "tvm p99",
+        "duet p99",
+        "tvm p99.9",
+        "duet p99.9",
+        "x@p99",
+        "x@p99.9",
     ]);
     let mut out = Vec::new();
     for graph in paper_models() {

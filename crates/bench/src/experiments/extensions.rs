@@ -3,9 +3,7 @@
 
 use duet_core::{Duet, Granularity, SchedulePolicy};
 use duet_device::{DeviceKind, SystemModel};
-use duet_models::{
-    mtdnn, siamese, wide_and_deep, MtDnnConfig, SiameseConfig, WideAndDeepConfig,
-};
+use duet_models::{mtdnn, siamese, wide_and_deep, MtDnnConfig, SiameseConfig, WideAndDeepConfig};
 use duet_runtime::{simulate, SimNoise};
 use serde_json::json;
 
@@ -20,8 +18,13 @@ use crate::output::{f3, Table};
 pub fn granularity() -> serde_json::Value {
     println!("== Ext. 1: coarse vs per-operator partitioning ==\n");
     let mut t = Table::new(&[
-        "model", "coarse ms", "per-op ms", "coarse subgraphs", "per-op subgraphs",
-        "coarse xfer KB", "per-op xfer KB",
+        "model",
+        "coarse ms",
+        "per-op ms",
+        "coarse subgraphs",
+        "per-op subgraphs",
+        "coarse xfer KB",
+        "per-op xfer KB",
     ]);
     let mut out = Vec::new();
     for graph in [
@@ -41,7 +44,11 @@ pub fn granularity() -> serde_json::Value {
                 duet.system(),
                 &mut SimNoise::disabled(),
             );
-            (duet.latency_us(), duet.placed().len(), sim.transferred_bytes)
+            (
+                duet.latency_us(),
+                duet.placed().len(),
+                sim.transferred_bytes,
+            )
         };
         let (coarse_us, coarse_n, coarse_xfer) = run(Granularity::Coarse);
         let (fine_us, fine_n, fine_xfer) = run(Granularity::PerOperator);
@@ -83,7 +90,10 @@ pub fn concurrency() -> serde_json::Value {
         wide_and_deep(&WideAndDeepConfig::default()),
         mtdnn(&MtDnnConfig::default()),
     ] {
-        let base = Duet::builder().build(&graph).expect("engine builds").latency_us();
+        let base = Duet::builder()
+            .build(&graph)
+            .expect("engine builds")
+            .latency_us();
         let mut sys = SystemModel::paper_server();
         sys.cpu = sys.cpu.with_lanes(2, 0.7);
         let lanes = Duet::builder()
@@ -117,7 +127,11 @@ pub fn concurrency() -> serde_json::Value {
 pub fn nested() -> serde_json::Value {
     println!("== Ext. 6: one-level vs nested partitioning (footnote 1) ==\n");
     let mut t = Table::new(&[
-        "model", "one-level ms", "nested d=1 ms", "nested d=2 ms", "subgraphs (1L/n1/n2)",
+        "model",
+        "one-level ms",
+        "nested d=1 ms",
+        "nested d=2 ms",
+        "subgraphs (1L/n1/n2)",
     ]);
     let mut out = Vec::new();
     for graph in [
@@ -169,12 +183,21 @@ pub fn serving() -> serde_json::Value {
     let tvm_gpu = crate::tvm_plan(&graph, DeviceKind::Gpu);
 
     let mut t = Table::new(&[
-        "arrival qps", "tvm-gpu p50", "tvm-gpu p99", "duet p50", "duet p99", "tvm util",
+        "arrival qps",
+        "tvm-gpu p50",
+        "tvm-gpu p99",
+        "duet p50",
+        "duet p99",
+        "tvm util",
         "duet util",
     ]);
     let mut out = Vec::new();
     for qps in [25.0f64, 50.0, 100.0, 200.0, 350.0] {
-        let cfg = ServingConfig { arrival_rate_qps: qps, requests: 2000, seed: 0x5e1 };
+        let cfg = ServingConfig {
+            arrival_rate_qps: qps,
+            requests: 2000,
+            seed: 0x5e1,
+        };
         let r_tvm = simulate_serving(&graph, &tvm_gpu, &sys, &cfg);
         let r_duet = simulate_serving(duet.graph(), duet.placed(), duet.system(), &cfg);
         t.row(vec![
@@ -210,7 +233,13 @@ pub fn systems() -> serde_json::Value {
         ("edge-soc", SystemModel::edge_soc()),
     ];
     let mut t = Table::new(&[
-        "model", "system", "tvm-cpu ms", "tvm-gpu ms", "duet ms", "speedup", "decision",
+        "model",
+        "system",
+        "tvm-cpu ms",
+        "tvm-gpu ms",
+        "duet ms",
+        "speedup",
+        "decision",
     ]);
     let mut out = Vec::new();
     for graph in [

@@ -3,16 +3,32 @@
 //! `results/<id>.json` (the numbers recorded in `EXPERIMENTS.md`).
 
 pub mod ablation;
-pub mod extensions;
 pub mod comparison;
+pub mod extensions;
 pub mod motivation;
 pub mod sweeps;
 pub mod tables;
 
 /// All experiment ids, in paper order.
 pub const ALL: &[&str] = &[
-    "table1", "fig4", "fig5", "fig11", "table2", "fig12", "fig13", "fig14", "fig15", "fig16",
-    "fig17", "table3", "ext-granularity", "ext-concurrency", "ext-flops-proxy", "ext-serving", "ext-systems", "ext-nested",
+    "table1",
+    "fig4",
+    "fig5",
+    "fig11",
+    "table2",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "table3",
+    "ext-granularity",
+    "ext-concurrency",
+    "ext-flops-proxy",
+    "ext-serving",
+    "ext-systems",
+    "ext-nested",
 ];
 
 /// Run one experiment by id. Returns `None` for an unknown id.

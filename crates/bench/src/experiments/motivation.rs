@@ -24,8 +24,13 @@ pub fn fig4() -> serde_json::Value {
 
     let mut out = serde_json::Map::new();
     for device in DeviceKind::both() {
-        let placed: Vec<Placed> =
-            sgs.iter().map(|sg| Placed { sg: sg.clone(), device }).collect();
+        let placed: Vec<Placed> = sgs
+            .iter()
+            .map(|sg| Placed {
+                sg: sg.clone(),
+                device,
+            })
+            .collect();
         let r = simulate(&graph, &placed, &sys, &mut SimNoise::disabled());
         println!("-- {device} only: total {:.3} ms", ms(r.latency_us));
         let mut t = Table::new(&["subgraph", "start (ms)", "end (ms)", "span (ms)"]);
@@ -83,7 +88,11 @@ pub fn fig5() -> serde_json::Value {
     while bytes <= 256.0 * 1024.0 * 1024.0 {
         let lat = link.time_us(bytes);
         let bw = link.effective_bandwidth_gbps(bytes);
-        t.row(vec![human_bytes(bytes), format!("{lat:.1}"), format!("{bw:.2}")]);
+        t.row(vec![
+            human_bytes(bytes),
+            format!("{lat:.1}"),
+            format!("{bw:.2}"),
+        ]);
         series.push(json!({"bytes": bytes, "latency_us": lat, "bandwidth_gbps": bw}));
         bytes *= 4.0;
     }

@@ -34,7 +34,14 @@ fn sweep(points: Vec<(String, WideAndDeepConfig)>) -> Vec<SweepPoint> {
 
 fn render(title: &str, axis: &str, points: &[SweepPoint], note: &str) -> serde_json::Value {
     println!("== {title} ==\n");
-    let mut t = Table::new(&[axis, "tvm-cpu", "tvm-gpu", "duet", "vs tvm-gpu", "vs tvm-cpu"]);
+    let mut t = Table::new(&[
+        axis,
+        "tvm-cpu",
+        "tvm-gpu",
+        "duet",
+        "vs tvm-gpu",
+        "vs tvm-cpu",
+    ]);
     let mut series = Vec::new();
     for p in points {
         t.row(vec![
@@ -67,7 +74,13 @@ pub fn fig14() -> serde_json::Value {
         [1usize, 2, 4, 8]
             .into_iter()
             .map(|l| {
-                (format!("{l}"), WideAndDeepConfig { rnn_layers: l, ..Default::default() })
+                (
+                    format!("{l}"),
+                    WideAndDeepConfig {
+                        rnn_layers: l,
+                        ..Default::default()
+                    },
+                )
             })
             .collect(),
     );
@@ -87,7 +100,13 @@ pub fn fig15() -> serde_json::Value {
         [18usize, 34, 50, 101]
             .into_iter()
             .map(|d| {
-                (format!("ResNet-{d}"), WideAndDeepConfig { cnn_depth: d, ..Default::default() })
+                (
+                    format!("ResNet-{d}"),
+                    WideAndDeepConfig {
+                        cnn_depth: d,
+                        ..Default::default()
+                    },
+                )
             })
             .collect(),
     );
@@ -106,7 +125,13 @@ pub fn fig16() -> serde_json::Value {
         [1usize, 2, 4, 8]
             .into_iter()
             .map(|l| {
-                (format!("{l}"), WideAndDeepConfig { ffn_layers: l, ..Default::default() })
+                (
+                    format!("{l}"),
+                    WideAndDeepConfig {
+                        ffn_layers: l,
+                        ..Default::default()
+                    },
+                )
             })
             .collect(),
     );
@@ -125,7 +150,15 @@ pub fn fig17() -> serde_json::Value {
     let points = sweep(
         [2usize, 4, 8, 16, 32]
             .into_iter()
-            .map(|b| (format!("{b}"), WideAndDeepConfig { batch: b, ..Default::default() }))
+            .map(|b| {
+                (
+                    format!("{b}"),
+                    WideAndDeepConfig {
+                        batch: b,
+                        ..Default::default()
+                    },
+                )
+            })
             .collect(),
     );
     render(

@@ -25,31 +25,67 @@ pub fn table1() -> serde_json::Value {
     let wd_graph = wide_and_deep(&wd);
     for (k, v) in [
         ("wide features", wd.wide_features.to_string()),
-        ("FFN hidden x layers", format!("{} x {}", wd.ffn_hidden, wd.ffn_layers)),
-        ("RNN seq/embed/hidden/layers", format!("{}/{}/{}/{}", wd.seq_len, wd.embed_dim, wd.rnn_hidden, wd.rnn_layers)),
-        ("CNN encoder", format!("ResNet-{} @ {}px", wd.cnn_depth, wd.image)),
+        (
+            "FFN hidden x layers",
+            format!("{} x {}", wd.ffn_hidden, wd.ffn_layers),
+        ),
+        (
+            "RNN seq/embed/hidden/layers",
+            format!(
+                "{}/{}/{}/{}",
+                wd.seq_len, wd.embed_dim, wd.rnn_hidden, wd.rnn_layers
+            ),
+        ),
+        (
+            "CNN encoder",
+            format!("ResNet-{} @ {}px", wd.cnn_depth, wd.image),
+        ),
         ("operators", wd_graph.compute_ids().len().to_string()),
-        ("parameters (MB)", format!("{:.1}", wd_graph.param_bytes() as f64 / 1e6)),
+        (
+            "parameters (MB)",
+            format!("{:.1}", wd_graph.param_bytes() as f64 / 1e6),
+        ),
     ] {
         t.row(vec!["Wide-and-Deep".into(), k.into(), v]);
     }
     let si_graph = siamese(&si);
     for (k, v) in [
         ("branches", "2 (query, passage)".to_string()),
-        ("RNN seq/embed/hidden/layers", format!("{}/{}/{}/{}", si.seq_len, si.embed_dim, si.hidden, si.rnn_layers)),
+        (
+            "RNN seq/embed/hidden/layers",
+            format!(
+                "{}/{}/{}/{}",
+                si.seq_len, si.embed_dim, si.hidden, si.rnn_layers
+            ),
+        ),
         ("operators", si_graph.compute_ids().len().to_string()),
-        ("parameters (MB)", format!("{:.1}", si_graph.param_bytes() as f64 / 1e6)),
+        (
+            "parameters (MB)",
+            format!("{:.1}", si_graph.param_bytes() as f64 / 1e6),
+        ),
     ] {
         t.row(vec!["Siamese".into(), k.into(), v]);
     }
     let mt_graph = mtdnn(&mt);
     for (k, v) in [
-        ("encoder layers x d_model", format!("{} x {}", mt.encoder_layers, mt.d_model)),
-        ("attention heads / FFN dim", format!("{} / {}", mt.heads, mt.ffn_dim)),
+        (
+            "encoder layers x d_model",
+            format!("{} x {}", mt.encoder_layers, mt.d_model),
+        ),
+        (
+            "attention heads / FFN dim",
+            format!("{} / {}", mt.heads, mt.ffn_dim),
+        ),
         ("seq len / vocab", format!("{} / {}", mt.seq_len, mt.vocab)),
-        ("task heads (GRU answer modules)", format!("{} x hidden {}", mt.num_tasks, mt.task_hidden)),
+        (
+            "task heads (GRU answer modules)",
+            format!("{} x hidden {}", mt.num_tasks, mt.task_hidden),
+        ),
         ("operators", mt_graph.compute_ids().len().to_string()),
-        ("parameters (MB)", format!("{:.1}", mt_graph.param_bytes() as f64 / 1e6)),
+        (
+            "parameters (MB)",
+            format!("{:.1}", mt_graph.param_bytes() as f64 / 1e6),
+        ),
     ] {
         t.row(vec!["MT-DNN".into(), k.into(), v]);
     }
@@ -104,12 +140,24 @@ pub fn table3() -> serde_json::Value {
     println!("== Table III: traditional models — DUET falls back ==\n");
     let sys = SystemModel::paper_server();
     let mut t = Table::new(&[
-        "model", "pytorch-cpu", "pytorch-gpu", "tvm-cpu", "tvm-gpu", "duet", "decision",
+        "model",
+        "pytorch-cpu",
+        "pytorch-gpu",
+        "tvm-cpu",
+        "tvm-gpu",
+        "duet",
+        "decision",
     ]);
     let mut out = Vec::new();
     for graph in [
-        resnet(&ResNetConfig { depth: 18, ..Default::default() }),
-        resnet(&ResNetConfig { depth: 50, ..Default::default() }),
+        resnet(&ResNetConfig {
+            depth: 18,
+            ..Default::default()
+        }),
+        resnet(&ResNetConfig {
+            depth: 50,
+            ..Default::default()
+        }),
         vgg16(1, 224),
         squeezenet(1, 224),
     ] {

@@ -29,7 +29,10 @@ pub fn tvm_latency_us(graph: &Graph, device: DeviceKind, system: &SystemModel) -
 /// The TVM-style single-device plan.
 pub fn tvm_plan(graph: &Graph, device: DeviceKind) -> Vec<Placed> {
     let compiler = Compiler::default();
-    vec![Placed { sg: compiler.compile_whole(graph, graph.name.clone()), device }]
+    vec![Placed {
+        sg: compiler.compile_whole(graph, graph.name.clone()),
+        device,
+    }]
 }
 
 /// Noisy repeated measurement of the TVM-style plan.

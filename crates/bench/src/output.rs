@@ -14,7 +14,10 @@ pub struct Table {
 impl Table {
     /// Table with a header row.
     pub fn new(header: &[&str]) -> Self {
-        Table { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Append one row (stringified cells).
@@ -78,7 +81,10 @@ pub fn write_json(id: &str, value: &serde_json::Value) -> std::io::Result<PathBu
     let dir = PathBuf::from("results");
     fs::create_dir_all(&dir)?;
     let path = dir.join(format!("{id}.json"));
-    fs::write(&path, serde_json::to_string_pretty(value).expect("serializable"))?;
+    fs::write(
+        &path,
+        serde_json::to_string_pretty(value).expect("serializable"),
+    )?;
     Ok(path)
 }
 

@@ -1,0 +1,229 @@
+//! Pass-invariant verification — the compiler's half of `duet-analysis`.
+//!
+//! LLVM re-runs its IR verifier between passes when expensive checks are
+//! enabled; this module is that hook for DUET's graph pipeline. Each
+//! graph-level pass (fold → CSE → DCE) is a whole-graph rewrite, so a
+//! bug shows up as one of a small set of observable differences between
+//! the input and output graphs:
+//!
+//! * the output *interface* changed — the partitioner profiles subgraphs
+//!   against fixed boundary shapes (§IV-B), so a pass that alters output
+//!   count or shapes silently invalidates every profile downstream;
+//! * the output graph fails structural validation — dangling edges,
+//!   forward references, arity violations introduced by rewrites;
+//! * DCE removed a node still reachable from the outputs;
+//! * an "optimization" grew the graph.
+//!
+//! The checks are pure functions over `(before, after)` pairs so that
+//! `duet-analysis` can re-expose them as `D1xx` diagnostics without a
+//! dependency cycle (analysis depends on the compiler, not vice versa).
+//! They run from [`Compiler::optimize`] whenever
+//! [`CompileOptions::check`] is set — on by default in debug builds.
+//!
+//! [`Compiler::optimize`]: crate::Compiler::optimize
+//! [`CompileOptions::check`]: crate::CompileOptions
+
+use duet_ir::{Graph, NodeId};
+
+/// Which invariant a pass broke.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// Output count or output shapes differ between input and output.
+    OutputInterfaceChanged,
+    /// The pass output fails [`Graph::validate`] (dangling edges, bad
+    /// arity, forward references).
+    BrokeValidation,
+    /// A removal-only pass (DCE) deleted a node that was still reachable
+    /// from the declared outputs.
+    RemovedLiveNode,
+    /// An optimization pass produced more nodes than it was given.
+    GrewGraph,
+}
+
+/// A named pass caught breaking an invariant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PassViolation {
+    /// The offending pass ("fold_constants", "cse", "dce", "fusion").
+    pub pass: &'static str,
+    pub kind: ViolationKind,
+    /// Node in the *after* graph the violation anchors to, if any.
+    pub node: Option<NodeId>,
+    pub detail: String,
+}
+
+impl std::fmt::Display for PassViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "pass '{}' broke invariant {:?}: {}",
+            self.pass, self.kind, self.detail
+        )
+    }
+}
+
+impl std::error::Error for PassViolation {}
+
+/// Reachability from the declared outputs, walking input edges.
+/// `result[id]` is true iff `id` contributes to some output.
+pub fn reachable_from_outputs(graph: &Graph) -> Vec<bool> {
+    let n = graph.len();
+    let mut live = vec![false; n];
+    let mut stack: Vec<NodeId> = graph.outputs().iter().copied().filter(|&o| o < n).collect();
+    while let Some(id) = stack.pop() {
+        if live[id] {
+            continue;
+        }
+        live[id] = true;
+        for &i in &graph.node(id).inputs {
+            if i < n && !live[i] {
+                stack.push(i);
+            }
+        }
+    }
+    live
+}
+
+/// Verify one pass application. `removal_only` marks passes (DCE) that
+/// may delete dead nodes but must never touch live ones.
+pub fn check_pass(
+    pass: &'static str,
+    before: &Graph,
+    after: &Graph,
+    removal_only: bool,
+) -> Result<(), PassViolation> {
+    if let Err(e) = after.validate() {
+        return Err(PassViolation {
+            pass,
+            kind: ViolationKind::BrokeValidation,
+            node: None,
+            detail: format!("output graph fails validation: {e}"),
+        });
+    }
+    if before.outputs().len() != after.outputs().len() {
+        return Err(PassViolation {
+            pass,
+            kind: ViolationKind::OutputInterfaceChanged,
+            node: None,
+            detail: format!(
+                "output count changed: {} -> {}",
+                before.outputs().len(),
+                after.outputs().len()
+            ),
+        });
+    }
+    for (&b, &a) in before.outputs().iter().zip(after.outputs()) {
+        let (sb, sa) = (&before.node(b).shape, &after.node(a).shape);
+        if sb != sa {
+            return Err(PassViolation {
+                pass,
+                kind: ViolationKind::OutputInterfaceChanged,
+                node: Some(a),
+                detail: format!("output shape changed: {sb} -> {sa}"),
+            });
+        }
+    }
+    if after.len() > before.len() {
+        return Err(PassViolation {
+            pass,
+            kind: ViolationKind::GrewGraph,
+            node: None,
+            detail: format!("node count grew: {} -> {}", before.len(), after.len()),
+        });
+    }
+    if removal_only {
+        let live = reachable_from_outputs(before)
+            .iter()
+            .filter(|&&l| l)
+            .count();
+        if after.len() < live {
+            return Err(PassViolation {
+                pass,
+                kind: ViolationKind::RemovedLiveNode,
+                node: None,
+                detail: format!(
+                    "removed {} node(s) reachable from the outputs",
+                    live - after.len()
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Verify a lowering's fusion grouping: every requested node in exactly
+/// one group, nothing extra. A violation here is a compiler bug (the
+/// moral equivalent of an LLVM ICE), so this panics rather than
+/// returning an error — there is no caller that can meaningfully
+/// recover from a mis-partitioned kernel list.
+pub fn assert_fusion_groups(nodes: &[NodeId], groups: &[Vec<NodeId>]) {
+    let mut want: Vec<NodeId> = nodes.to_vec();
+    want.sort_unstable();
+    let mut got: Vec<NodeId> = groups.iter().flatten().copied().collect();
+    got.sort_unstable();
+    assert!(
+        want == got,
+        "pass 'fusion' broke invariant: groups cover {got:?} but were given {want:?}"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use duet_ir::{Graph, Op};
+
+    fn chain() -> Graph {
+        let mut g = Graph::new("chain");
+        let x = g.add_input("x", vec![4]);
+        let r = g.add_op("r", Op::Relu, &[x]).unwrap();
+        let t = g.add_op("t", Op::Tanh, &[r]).unwrap();
+        g.mark_output(t).unwrap();
+        g
+    }
+
+    #[test]
+    fn identity_pass_is_clean() {
+        let g = chain();
+        assert_eq!(check_pass("noop", &g, &g, true), Ok(()));
+    }
+
+    #[test]
+    fn interface_change_detected() {
+        let g = chain();
+        let mut g2 = Graph::new("chain");
+        let x = g2.add_input("x", vec![4]);
+        let r = g2.add_op("r", Op::Relu, &[x]).unwrap();
+        g2.mark_output(r).unwrap();
+        g2.mark_output(x).unwrap();
+        let v = check_pass("cse", &g, &g2, false).unwrap_err();
+        assert_eq!(v.kind, ViolationKind::OutputInterfaceChanged);
+        assert_eq!(v.pass, "cse");
+    }
+
+    #[test]
+    fn live_removal_detected() {
+        let g = chain();
+        // "DCE" that dropped the live relu by wiring tanh straight to x.
+        let mut g2 = Graph::new("chain");
+        let x = g2.add_input("x", vec![4]);
+        let t = g2.add_op("t", Op::Tanh, &[x]).unwrap();
+        g2.mark_output(t).unwrap();
+        let v = check_pass("dce", &g, &g2, true).unwrap_err();
+        assert_eq!(v.kind, ViolationKind::RemovedLiveNode);
+    }
+
+    #[test]
+    fn growth_detected() {
+        let g = chain();
+        let mut g2 = g.clone();
+        let extra = g2.add_op("extra", Op::Relu, &[0]).unwrap();
+        let _ = extra;
+        let v = check_pass("fold_constants", &g, &g2, false).unwrap_err();
+        assert_eq!(v.kind, ViolationKind::GrewGraph);
+    }
+
+    #[test]
+    #[should_panic(expected = "fusion")]
+    fn fusion_group_loss_panics() {
+        assert_fusion_groups(&[1, 2, 3], &[vec![1], vec![3]]);
+    }
+}

@@ -20,9 +20,11 @@
 //! baseline in `duet-frameworks` uses; the delta between the two *is* the
 //! compiler's contribution to the evaluation figures.
 
+pub mod invariants;
 pub mod lower;
 pub mod pass;
 pub mod passes;
 
+pub use invariants::{PassViolation, ViolationKind};
 pub use lower::{CompiledKernel, CompiledSubgraph};
-pub use pass::{CompileOptions, Compiler, OptimizeStats};
+pub use pass::{CompileError, CompileOptions, Compiler, OptimizeStats};

@@ -46,11 +46,7 @@ impl CompiledSubgraph {
     /// Lower `nodes` of `graph` into a kernel sequence using the given
     /// fusion groups (`groups` must exactly cover `nodes`; see
     /// [`crate::passes::fuse_groups`]).
-    pub fn from_groups(
-        graph: &Graph,
-        name: impl Into<String>,
-        groups: Vec<Vec<NodeId>>,
-    ) -> Self {
+    pub fn from_groups(graph: &Graph, name: impl Into<String>, groups: Vec<Vec<NodeId>>) -> Self {
         let mut node_ids: Vec<NodeId> = groups.iter().flatten().copied().collect();
         node_ids.sort_unstable();
         let in_set: HashSet<NodeId> = node_ids.iter().copied().collect();
@@ -63,7 +59,11 @@ impl CompiledSubgraph {
                 for &m in &nodes[1..] {
                     cost = cost.absorb_epilogue(&graph.node_cost(m));
                 }
-                CompiledKernel { anchor, nodes, cost }
+                CompiledKernel {
+                    anchor,
+                    nodes,
+                    cost,
+                }
             })
             .collect();
 
@@ -93,18 +93,31 @@ impl CompiledSubgraph {
             .iter()
             .fold(CostProfile::zero(), |acc, k| acc.merge(&k.cost));
 
-        CompiledSubgraph { name: name.into(), node_ids, kernels, inputs, outputs, cost }
+        CompiledSubgraph {
+            name: name.into(),
+            node_ids,
+            kernels,
+            inputs,
+            outputs,
+            cost,
+        }
     }
 
     /// Bytes that must arrive over the boundary before execution
     /// (excluding resident weights).
     pub fn input_bytes(&self, graph: &Graph) -> f64 {
-        self.inputs.iter().map(|&i| graph.node(i).shape.byte_size() as f64).sum()
+        self.inputs
+            .iter()
+            .map(|&i| graph.node(i).shape.byte_size() as f64)
+            .sum()
     }
 
     /// Bytes this subgraph exports.
     pub fn output_bytes(&self, graph: &Graph) -> f64 {
-        self.outputs.iter().map(|&i| graph.node(i).shape.byte_size() as f64).sum()
+        self.outputs
+            .iter()
+            .map(|&i| graph.node(i).shape.byte_size() as f64)
+            .sum()
     }
 
     /// Number of kernel launches after fusion.
@@ -199,11 +212,8 @@ mod tests {
         let (g, _) = mlp();
         let ids = g.compute_ids();
         let fused = CompiledSubgraph::from_groups(&g, "f", fuse_groups(&g, &ids));
-        let unfused = CompiledSubgraph::from_groups(
-            &g,
-            "u",
-            ids.iter().map(|&i| vec![i]).collect(),
-        );
+        let unfused =
+            CompiledSubgraph::from_groups(&g, "u", ids.iter().map(|&i| vec![i]).collect());
         assert!(fused.cost.kernel_launches < unfused.cost.kernel_launches);
         assert_eq!(fused.cost.flops, unfused.cost.flops);
         assert!(fused.cost.bytes_in <= unfused.cost.bytes_in);
@@ -220,7 +230,9 @@ mod tests {
         assert_eq!(sg1.inputs, vec![x]);
         assert_eq!(sg2.inputs, sg1.outputs);
         let input = Tensor::randn(vec![1, 8], 1.0, 9);
-        let mid = sg1.execute(&g, &HashMap::from([(x, input.clone())])).unwrap();
+        let mid = sg1
+            .execute(&g, &HashMap::from([(x, input.clone())]))
+            .unwrap();
         let fin = sg2.execute(&g, &mid).unwrap();
         let want = g.eval(&HashMap::from([(x, input)])).unwrap();
         assert!(fin[&g.outputs()[0]].approx_eq(&want[0], 1e-6));

@@ -2,6 +2,7 @@
 
 use duet_ir::{Graph, GraphError, NodeId};
 
+use crate::invariants::{self, PassViolation};
 use crate::lower::CompiledSubgraph;
 use crate::passes;
 
@@ -17,17 +18,49 @@ pub struct CompileOptions {
     pub cse: bool,
     pub dce: bool,
     pub fusion: bool,
+    /// Verify pass invariants after every pass (LLVM-verifier style, see
+    /// [`crate::invariants`]). Defaults to on in debug builds and off in
+    /// release; release users opt in via [`CompileOptions::with_check`]
+    /// or [`CompileOptions::checked`].
+    pub check: bool,
 }
 
 impl CompileOptions {
     /// All passes on.
     pub fn full() -> Self {
-        CompileOptions { fold_constants: true, cse: true, dce: true, fusion: true }
+        CompileOptions {
+            fold_constants: true,
+            cse: true,
+            dce: true,
+            fusion: true,
+            check: cfg!(debug_assertions),
+        }
     }
 
     /// All passes off.
     pub fn none() -> Self {
-        CompileOptions { fold_constants: false, cse: false, dce: false, fusion: false }
+        CompileOptions {
+            fold_constants: false,
+            cse: false,
+            dce: false,
+            fusion: false,
+            check: cfg!(debug_assertions),
+        }
+    }
+
+    /// All passes on, invariant checking forced on regardless of build
+    /// profile (what `duet-lint` and the analysis harness use).
+    pub fn checked() -> Self {
+        CompileOptions {
+            check: true,
+            ..Self::full()
+        }
+    }
+
+    /// Set invariant checking explicitly.
+    pub fn with_check(mut self, check: bool) -> Self {
+        self.check = check;
+        self
     }
 }
 
@@ -36,6 +69,33 @@ impl Default for CompileOptions {
         Self::full()
     }
 }
+
+/// Why compilation failed: either a pass itself errored, or (in check
+/// mode) a pass ran but produced a graph that breaks an invariant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompileError {
+    /// A pass reported a graph error while rewriting.
+    Graph(GraphError),
+    /// A pass completed but its output violates a pipeline invariant.
+    Invariant(PassViolation),
+}
+
+impl From<GraphError> for CompileError {
+    fn from(e: GraphError) -> Self {
+        CompileError::Graph(e)
+    }
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::Graph(e) => write!(f, "{e}"),
+            CompileError::Invariant(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
 
 /// What the graph-level pipeline did.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -65,26 +125,50 @@ impl Compiler {
     }
 
     /// Run the graph-level pipeline: fold → CSE → DCE.
-    pub fn optimize(&self, graph: &Graph) -> Result<(Graph, OptimizeStats), GraphError> {
-        let mut stats = OptimizeStats { nodes_before: graph.len(), ..Default::default() };
+    ///
+    /// With [`CompileOptions::check`] set, every pass is verified
+    /// immediately after it runs (see [`crate::invariants`]); a failure
+    /// names the offending pass instead of surfacing later as a
+    /// mis-profiled schedule or an executor panic.
+    pub fn optimize(&self, graph: &Graph) -> Result<(Graph, OptimizeStats), CompileError> {
+        let mut stats = OptimizeStats {
+            nodes_before: graph.len(),
+            ..Default::default()
+        };
         let mut g = graph.clone();
         if self.options.fold_constants {
             let (g2, n) = passes::fold_constants(&g)?;
+            self.verify_pass("fold_constants", &g, &g2, false)?;
             g = g2;
             stats.constants_folded = n;
         }
         if self.options.cse {
             let (g2, n) = passes::eliminate_common_subexpressions(&g)?;
+            self.verify_pass("cse", &g, &g2, false)?;
             g = g2;
             stats.subexpressions_merged = n;
         }
         if self.options.dce {
             let (g2, n) = passes::eliminate_dead_code(&g)?;
+            self.verify_pass("dce", &g, &g2, true)?;
             g = g2;
             stats.dead_removed = n;
         }
         stats.nodes_after = g.len();
         Ok((g, stats))
+    }
+
+    fn verify_pass(
+        &self,
+        pass: &'static str,
+        before: &Graph,
+        after: &Graph,
+        removal_only: bool,
+    ) -> Result<(), CompileError> {
+        if !self.options.check {
+            return Ok(());
+        }
+        invariants::check_pass(pass, before, after, removal_only).map_err(CompileError::Invariant)
     }
 
     /// Lower a node subset of an (already optimized) graph into a
@@ -102,6 +186,9 @@ impl Compiler {
             sorted.sort_unstable();
             sorted.into_iter().map(|n| vec![n]).collect()
         };
+        if self.options.check {
+            invariants::assert_fusion_groups(nodes, &groups);
+        }
         CompiledSubgraph::from_groups(graph, name, groups)
     }
 

@@ -18,8 +18,8 @@ pub fn fold_constants(graph: &Graph) -> Result<(Graph, usize), GraphError> {
                 rw.copy(graph, node.id)?;
             }
             _ => {
-                let all_const = !node.inputs.is_empty()
-                    && node.inputs.iter().all(|&i| rw.maps_to_constant(i));
+                let all_const =
+                    !node.inputs.is_empty() && node.inputs.iter().all(|&i| rw.maps_to_constant(i));
                 if all_const {
                     let inputs: Vec<&Tensor> = node
                         .inputs
@@ -70,7 +70,10 @@ mod tests {
         assert_eq!(folded, 1);
         assert_eq!(g2.compute_ids().len(), 1);
         let out = g2
-            .eval(&HashMap::from([(g2.input_ids()[0], Tensor::zeros(vec![4]))]))
+            .eval(&HashMap::from([(
+                g2.input_ids()[0],
+                Tensor::zeros(vec![4]),
+            )]))
             .unwrap();
         assert_eq!(out[0].data(), &[-3.0; 4]);
     }

@@ -169,7 +169,16 @@ mod tests {
         let mut b = GraphBuilder::new("t", 1);
         let x = b.input("x", vec![1, 3, 16, 16]);
         let c = b.conv_bn_relu("c", x, 8, 3, 1, 1, true).unwrap();
-        let p = b.op("pool", Op::MaxPool2d { window: 2, stride: 2 }, &[c]).unwrap();
+        let p = b
+            .op(
+                "pool",
+                Op::MaxPool2d {
+                    window: 2,
+                    stride: 2,
+                },
+                &[c],
+            )
+            .unwrap();
         let gpool = b.op("gap", Op::GlobalAvgPool2d, &[p]).unwrap();
         let y = b.dense("head", gpool, 4, None).unwrap();
         let g = b.finish(&[y]).unwrap();

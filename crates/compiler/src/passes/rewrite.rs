@@ -12,7 +12,10 @@ pub struct GraphRewriter {
 impl GraphRewriter {
     /// Start rewriting `src` into an empty graph with the same name.
     pub fn new(src: &Graph) -> Self {
-        GraphRewriter { new: Graph::new(src.name.clone()), map: vec![None; src.len()] }
+        GraphRewriter {
+            new: Graph::new(src.name.clone()),
+            map: vec![None; src.len()],
+        }
     }
 
     /// New id for an old node; panics if the node was dropped — callers
@@ -56,7 +59,8 @@ impl GraphRewriter {
             ),
             _ => {
                 let inputs: Vec<NodeId> = node.inputs.iter().map(|&i| self.mapped(i)).collect();
-                self.new.add_op(node.label.clone(), node.op.clone(), &inputs)?
+                self.new
+                    .add_op(node.label.clone(), node.op.clone(), &inputs)?
             }
         };
         self.map[old] = Some(id);

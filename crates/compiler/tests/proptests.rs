@@ -19,8 +19,18 @@ struct Spec {
 }
 
 fn spec() -> impl Strategy<Value = Spec> {
-    (0u8..7, any::<prop::sample::Index>(), any::<prop::sample::Index>(), any::<bool>())
-        .prop_map(|(op_sel, a, b, const_operand)| Spec { op_sel, a, b, const_operand })
+    (
+        0u8..7,
+        any::<prop::sample::Index>(),
+        any::<prop::sample::Index>(),
+        any::<bool>(),
+    )
+        .prop_map(|(op_sel, a, b, const_operand)| Spec {
+            op_sel,
+            a,
+            b,
+            const_operand,
+        })
 }
 
 /// Build a random graph mixing input-dependent and constant subtrees so
@@ -35,16 +45,23 @@ fn build_graph(specs: &[Spec]) -> (Graph, NodeId) {
         let id = match s.op_sel {
             0 => g.add_op(format!("n{i}"), Op::Relu, &[pick(&s.a)]).unwrap(),
             1 => g.add_op(format!("n{i}"), Op::Tanh, &[pick(&s.a)]).unwrap(),
-            2 => g.add_op(format!("n{i}"), Op::Sigmoid, &[pick(&s.a)]).unwrap(),
+            2 => g
+                .add_op(format!("n{i}"), Op::Sigmoid, &[pick(&s.a)])
+                .unwrap(),
             3 => g
                 .add_op(format!("n{i}"), Op::Scale { factor: 0.5 }, &[pick(&s.a)])
                 .unwrap(),
             4 => {
                 let b = if s.const_operand { c0 } else { pick(&s.b) };
-                g.add_op(format!("n{i}"), Op::Add, &[pick(&s.a), b]).unwrap()
+                g.add_op(format!("n{i}"), Op::Add, &[pick(&s.a), b])
+                    .unwrap()
             }
-            5 => g.add_op(format!("n{i}"), Op::Mul, &[pick(&s.a), pick(&s.b)]).unwrap(),
-            _ => g.add_op(format!("n{i}"), Op::Sub, &[pick(&s.a), pick(&s.b)]).unwrap(),
+            5 => g
+                .add_op(format!("n{i}"), Op::Mul, &[pick(&s.a), pick(&s.b)])
+                .unwrap(),
+            _ => g
+                .add_op(format!("n{i}"), Op::Sub, &[pick(&s.a), pick(&s.b)])
+                .unwrap(),
         };
         nodes.push(id);
     }

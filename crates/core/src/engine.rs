@@ -19,7 +19,8 @@
 
 use std::collections::HashMap;
 
-use duet_compiler::{CompileOptions, Compiler};
+use duet_analysis::LintConfig;
+use duet_compiler::{CompileError, CompileOptions, Compiler};
 use duet_device::{DeviceKind, SystemModel};
 use duet_ir::{Graph, GraphError, NodeId};
 use duet_runtime::{
@@ -35,15 +36,27 @@ use crate::sched::{self, SchedulePolicy, SubgraphUnit};
 /// Errors from engine construction.
 #[derive(Debug)]
 pub enum EngineError {
-    /// Graph optimization or compilation failed.
+    /// Graph evaluation or construction failed.
     Graph(GraphError),
+    /// Graph optimization failed (a pass errored, or — in check mode —
+    /// broke a pipeline invariant).
+    Compile(CompileError),
     /// A supplied schedule plan did not match the model.
     Plan(PlanError),
+    /// The `duet-analysis` plan linter found hard errors in a supplied
+    /// plan; the report carries the individual `D2xx` diagnostics.
+    Lint(duet_analysis::Report),
 }
 
 impl From<GraphError> for EngineError {
     fn from(e: GraphError) -> Self {
         EngineError::Graph(e)
+    }
+}
+
+impl From<CompileError> for EngineError {
+    fn from(e: CompileError) -> Self {
+        EngineError::Compile(e)
     }
 }
 
@@ -57,7 +70,9 @@ impl std::fmt::Display for EngineError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             EngineError::Graph(e) => write!(f, "{e}"),
+            EngineError::Compile(e) => write!(f, "{e}"),
             EngineError::Plan(e) => write!(f, "{e}"),
+            EngineError::Lint(r) => write!(f, "{r}"),
         }
     }
 }
@@ -156,20 +171,18 @@ impl DuetBuilder {
     }
 
     /// Run the offline pipeline and return a ready engine.
-    pub fn build(self, model: &Graph) -> Result<Duet, GraphError> {
+    pub fn build(self, model: &Graph) -> Result<Duet, EngineError> {
         let compiler = Compiler::new(self.compile_options);
         let (graph, _stats) = compiler.optimize(model)?;
 
         let part = match self.granularity {
             Granularity::Coarse => partition(&graph),
             Granularity::PerOperator => partition_per_operator(&graph),
-            Granularity::Nested { depth } => {
-                crate::partition::partition_nested(&graph, depth, 6)
-            }
+            Granularity::Nested { depth } => crate::partition::partition_nested(&graph, depth, 6),
         };
         let subgraphs = part.compile(&graph, &compiler);
-        let profiler = Profiler::new(self.system.clone())
-            .with_runs(self.profile_runs, self.profile_warmup);
+        let profiler =
+            Profiler::new(self.system.clone()).with_runs(self.profile_runs, self.profile_warmup);
         let profiles = profiler.profile_all(&graph, &subgraphs);
         let units = sched::make_units(&part, subgraphs, profiles);
 
@@ -181,20 +194,26 @@ impl DuetBuilder {
         // fusion scope — the best the compiler can do on one device).
         let whole = compiler.compile_whole(&graph, graph.name.clone());
         let single = |d: DeviceKind| -> (f64, Vec<Placed>) {
-            let placed = vec![Placed { sg: whole.clone(), device: d }];
+            let placed = vec![Placed {
+                sg: whole.clone(),
+                device: d,
+            }];
             (measure_latency(&graph, &placed, &self.system), placed)
         };
         let (cpu_only_us, cpu_placed) = single(DeviceKind::Cpu);
         let (gpu_only_us, gpu_placed) = single(DeviceKind::Gpu);
 
         let best_single = cpu_only_us.min(gpu_only_us);
-        let fallback = if self.allow_fallback
-            && hetero_latency > best_single * (1.0 - self.min_gain)
-        {
-            Some(if cpu_only_us <= gpu_only_us { DeviceKind::Cpu } else { DeviceKind::Gpu })
-        } else {
-            None
-        };
+        let fallback =
+            if self.allow_fallback && hetero_latency > best_single * (1.0 - self.min_gain) {
+                Some(if cpu_only_us <= gpu_only_us {
+                    DeviceKind::Cpu
+                } else {
+                    DeviceKind::Gpu
+                })
+            } else {
+                None
+            };
         let (placed, latency_us) = match fallback {
             Some(DeviceKind::Cpu) => (cpu_placed, cpu_only_us),
             Some(DeviceKind::Gpu) => (gpu_placed, gpu_only_us),
@@ -220,14 +239,19 @@ impl DuetBuilder {
     ///
     /// The plan is validated against the optimized graph's structural
     /// fingerprint; weight changes are fine, architecture changes are not.
-    pub fn build_with_plan(
-        self,
-        model: &Graph,
-        plan: &SchedulePlan,
-    ) -> Result<Duet, EngineError> {
+    pub fn build_with_plan(self, model: &Graph, plan: &SchedulePlan) -> Result<Duet, EngineError> {
         let compiler = Compiler::new(self.compile_options);
         let (graph, _) = compiler.optimize(model)?;
         plan.validate_against(&graph)?;
+        // Beyond the coarse fingerprint/coverage gate: run the full
+        // `duet-analysis` plan linter so a structurally broken plan
+        // (double coverage, covered sources, cyclic subgraphs) is
+        // rejected with precise diagnostics instead of surfacing as an
+        // executor panic. Warnings are advisory and do not block.
+        let lint = duet_analysis::lint_plan(&graph, &plan.to_facts(), &LintConfig::default());
+        if lint.has_errors() {
+            return Err(EngineError::Lint(lint));
+        }
 
         // Reconstruct phases from the plan (grouped by phase index).
         let mut phases: Vec<Phase> = Vec::new();
@@ -247,8 +271,8 @@ impl DuetBuilder {
             .iter()
             .map(|p| compiler.compile_nodes(&graph, &p.nodes, p.name.clone()))
             .collect();
-        let profiler = Profiler::new(self.system.clone())
-            .with_runs(self.profile_runs, self.profile_warmup);
+        let profiler =
+            Profiler::new(self.system.clone()).with_runs(self.profile_runs, self.profile_warmup);
         let profiles = profiler.profile_all(&graph, &subgraphs);
         let units = sched::make_units(&part, subgraphs, profiles);
         let devices: Vec<DeviceKind> = plan.subgraphs.iter().map(|p| p.device).collect();
@@ -257,7 +281,10 @@ impl DuetBuilder {
 
         let whole = compiler.compile_whole(&graph, graph.name.clone());
         let single = |d: DeviceKind| -> (f64, Vec<Placed>) {
-            let placed = vec![Placed { sg: whole.clone(), device: d }];
+            let placed = vec![Placed {
+                sg: whole.clone(),
+                device: d,
+            }];
             (measure_latency(&graph, &placed, &self.system), placed)
         };
         let (cpu_only_us, cpu_placed) = single(DeviceKind::Cpu);
@@ -416,11 +443,23 @@ mod tests {
         assert!(duet.fallback_device().is_none(), "W&D should co-execute");
         let report = duet.placement_report();
         // Table II row 1: RNN on CPU, CNN on GPU.
-        let rnn = report.subgraphs.iter().find(|r| r.name.starts_with("rnn")).unwrap();
-        let cnn = report.subgraphs.iter().find(|r| r.name.starts_with("cnn@")).unwrap();
+        let rnn = report
+            .subgraphs
+            .iter()
+            .find(|r| r.name.starts_with("rnn"))
+            .unwrap();
+        let cnn = report
+            .subgraphs
+            .iter()
+            .find(|r| r.name.starts_with("cnn@"))
+            .unwrap();
         assert_eq!(rnn.device, DeviceKind::Cpu);
         assert_eq!(cnn.device, DeviceKind::Gpu);
-        assert!(report.speedup_vs_best_single() > 1.2, "{}", report.speedup_vs_best_single());
+        assert!(
+            report.speedup_vs_best_single() > 1.2,
+            "{}",
+            report.speedup_vs_best_single()
+        );
     }
 
     #[test]
@@ -429,17 +468,27 @@ mod tests {
         let duet = Duet::builder().build(&g).unwrap();
         // §VI-E: sequential CNN → DUET offers the best single device (GPU).
         assert_eq!(duet.fallback_device(), Some(DeviceKind::Gpu));
-        assert_eq!(duet.latency_us(), duet.single_device_latency_us(DeviceKind::Gpu));
+        assert_eq!(
+            duet.latency_us(),
+            duet.single_device_latency_us(DeviceKind::Gpu)
+        );
     }
 
     #[test]
     fn siamese_and_mtdnn_beat_single_device() {
-        for g in [siamese(&SiameseConfig::default()), mtdnn(&MtDnnConfig::default())] {
+        for g in [
+            siamese(&SiameseConfig::default()),
+            mtdnn(&MtDnnConfig::default()),
+        ] {
             let duet = Duet::builder().build(&g).unwrap();
-            assert!(duet.fallback_device().is_none(), "{} should co-execute", g.name);
-            let best =
-                duet.single_device_latency_us(DeviceKind::Cpu)
-                    .min(duet.single_device_latency_us(DeviceKind::Gpu));
+            assert!(
+                duet.fallback_device().is_none(),
+                "{} should co-execute",
+                g.name
+            );
+            let best = duet
+                .single_device_latency_us(DeviceKind::Cpu)
+                .min(duet.single_device_latency_us(DeviceKind::Gpu));
             assert!(duet.latency_us() < best, "{}", g.name);
         }
     }
@@ -477,8 +526,10 @@ mod tests {
 
     #[test]
     fn per_operator_granularity_never_beats_coarse() {
-        for g in [wide_and_deep(&WideAndDeepConfig::default()), siamese(&SiameseConfig::default())]
-        {
+        for g in [
+            wide_and_deep(&WideAndDeepConfig::default()),
+            siamese(&SiameseConfig::default()),
+        ] {
             let coarse = Duet::builder().no_fallback().build(&g).unwrap();
             let fine = Duet::builder()
                 .granularity(Granularity::PerOperator)
@@ -530,15 +581,26 @@ mod tests {
     fn greedy_correction_matches_ideal_on_small_models() {
         // The paper verifies empirically that greedy-correction finds the
         // optimum when enumeration is feasible.
-        for g in [siamese(&SiameseConfig::default()), wide_and_deep(&WideAndDeepConfig::default())]
-        {
+        for g in [
+            siamese(&SiameseConfig::default()),
+            wide_and_deep(&WideAndDeepConfig::default()),
+        ] {
             let gc = Duet::builder()
                 .policy(SchedulePolicy::GreedyCorrection)
                 .build(&g)
                 .unwrap();
-            let ideal = Duet::builder().policy(SchedulePolicy::Ideal).build(&g).unwrap();
+            let ideal = Duet::builder()
+                .policy(SchedulePolicy::Ideal)
+                .build(&g)
+                .unwrap();
             let rel = (gc.latency_us() - ideal.latency_us()) / ideal.latency_us();
-            assert!(rel.abs() < 0.01, "{}: gc {} vs ideal {}", g.name, gc.latency_us(), ideal.latency_us());
+            assert!(
+                rel.abs() < 0.01,
+                "{}: gc {} vs ideal {}",
+                g.name,
+                gc.latency_us(),
+                ideal.latency_us()
+            );
         }
     }
 }

@@ -65,10 +65,8 @@ pub fn explain(duet: &Duet) -> Explanation {
             flipped[i].device = p.device.other();
             let flipped_latency_us = measure_latency(graph, &flipped, system);
             // Profile times come from the cost model directly.
-            let chosen_us =
-                duet_runtime::subgraph_exec_time_us(system, p.device, &p.sg);
-            let other_us =
-                duet_runtime::subgraph_exec_time_us(system, p.device.other(), &p.sg);
+            let chosen_us = duet_runtime::subgraph_exec_time_us(system, p.device, &p.sg);
+            let other_us = duet_runtime::subgraph_exec_time_us(system, p.device.other(), &p.sg);
             PlacementRationale {
                 name: p.sg.name.clone(),
                 device: p.device,
@@ -79,7 +77,11 @@ pub fn explain(duet: &Duet) -> Explanation {
             }
         })
         .collect();
-    Explanation { model: graph.name.clone(), latency_us, rationales }
+    Explanation {
+        model: graph.name.clone(),
+        latency_us,
+        rationales,
+    }
 }
 
 impl std::fmt::Display for Explanation {
@@ -155,9 +157,16 @@ mod tests {
     #[test]
     fn rnn_rationale_shows_cpu_margin() {
         let ex = explain(&engine());
-        let rnn = ex.rationales.iter().find(|r| r.name.starts_with("rnn")).unwrap();
+        let rnn = ex
+            .rationales
+            .iter()
+            .find(|r| r.name.starts_with("rnn"))
+            .unwrap();
         assert_eq!(rnn.device, DeviceKind::Cpu);
-        assert!(rnn.local_margin_us() > 0.0, "CPU is locally faster for the RNN");
+        assert!(
+            rnn.local_margin_us() > 0.0,
+            "CPU is locally faster for the RNN"
+        );
     }
 
     #[test]

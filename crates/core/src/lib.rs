@@ -36,7 +36,10 @@ pub mod sched;
 
 pub use engine::{Duet, DuetBuilder, EngineError, Granularity};
 pub use explain::{explain, Explanation, PlacementRationale};
-pub use partition::{partition, partition_nested, partition_nodes, partition_per_operator, Partition, Phase, PhaseKind};
+pub use partition::{
+    partition, partition_nested, partition_nodes, partition_per_operator, Partition, Phase,
+    PhaseKind,
+};
 pub use plan::{fingerprint, PlanError, PlannedSubgraph, SchedulePlan};
 pub use report::{PlacementReport, SubgraphRow};
 pub use sched::{SchedulePolicy, SubgraphUnit};

@@ -121,9 +121,8 @@ pub fn partition_nodes(graph: &Graph, nodes: &[NodeId]) -> Partition {
         return Partition { phases: Vec::new() };
     }
     let in_set: std::collections::HashSet<NodeId> = compute.iter().copied().collect();
-    let is_compute = |id: NodeId| {
-        in_set.contains(&id) && !matches!(graph.node(id).op, Op::Input | Op::Constant)
-    };
+    let is_compute =
+        |id: NodeId| in_set.contains(&id) && !matches!(graph.node(id).op, Op::Input | Op::Constant);
 
     // --- Sync-point detection over the compute DAG, in topo order.
     // A sync point is a node every source→sink path passes through.
@@ -155,7 +154,9 @@ pub fn partition_nodes(graph: &Graph, nodes: &[NodeId]) -> Partition {
         producers.sort_unstable();
         producers.dedup();
         for p in producers {
-            let r = remaining.get_mut(&p).expect("producer emitted before consumer");
+            let r = remaining
+                .get_mut(&p)
+                .expect("producer emitted before consumer");
             *r -= 1;
             if *r == 0 {
                 open -= 1;
@@ -198,7 +199,10 @@ pub fn partition_nodes(graph: &Graph, nodes: &[NodeId]) -> Partition {
                         subgraphs: vec![std::mem::take(seq_run)],
                     });
                 }
-                phases.push(Phase { kind: PhaseKind::MultiPath, subgraphs: comps });
+                phases.push(Phase {
+                    kind: PhaseKind::MultiPath,
+                    subgraphs: comps,
+                });
             } else {
                 // Chain region: stays in the current sequential run.
                 seq_run.append(region);
@@ -215,7 +219,10 @@ pub fn partition_nodes(graph: &Graph, nodes: &[NodeId]) -> Partition {
     }
     flush_region(&mut region, &mut seq_run, &mut phases);
     if !seq_run.is_empty() {
-        phases.push(Phase { kind: PhaseKind::Sequential, subgraphs: vec![seq_run] });
+        phases.push(Phase {
+            kind: PhaseKind::Sequential,
+            subgraphs: vec![seq_run],
+        });
     }
     Partition { phases }
 }
@@ -302,8 +309,12 @@ pub fn partition_per_operator(graph: &Graph) -> Partition {
 /// Weakly-connected components of the induced sub-DAG over `nodes`
 /// (edges through nodes outside the set do not connect).
 fn components(graph: &Graph, nodes: &[NodeId]) -> Vec<Vec<NodeId>> {
-    let index: HashMap<NodeId, usize> =
-        nodes.iter().copied().enumerate().map(|(i, n)| (n, i)).collect();
+    let index: HashMap<NodeId, usize> = nodes
+        .iter()
+        .copied()
+        .enumerate()
+        .map(|(i, n)| (n, i))
+        .collect();
     let mut dsu: Vec<usize> = (0..nodes.len()).collect();
     fn find(dsu: &mut Vec<usize>, x: usize) -> usize {
         if dsu[x] != x {
@@ -313,7 +324,12 @@ fn components(graph: &Graph, nodes: &[NodeId]) -> Vec<Vec<NodeId>> {
         dsu[x]
     }
     for (i, &id) in nodes.iter().enumerate() {
-        for &nb in graph.node(id).inputs.iter().chain(graph.node(id).outputs.iter()) {
+        for &nb in graph
+            .node(id)
+            .inputs
+            .iter()
+            .chain(graph.node(id).outputs.iter())
+        {
             if let Some(&j) = index.get(&nb) {
                 let (a, b) = (find(&mut dsu, i), find(&mut dsu, j));
                 if a != b {
@@ -343,8 +359,11 @@ mod tests {
     };
 
     fn phase_node_union(p: &Partition) -> Vec<NodeId> {
-        let mut all: Vec<NodeId> =
-            p.phases.iter().flat_map(|ph| ph.subgraphs.iter().flatten().copied()).collect();
+        let mut all: Vec<NodeId> = p
+            .phases
+            .iter()
+            .flat_map(|ph| ph.subgraphs.iter().flatten().copied())
+            .collect();
         all.sort_unstable();
         all
     }
@@ -362,8 +381,11 @@ mod tests {
     fn siamese_has_two_branch_multipath() {
         let g = siamese(&SiameseConfig::default());
         let p = partition(&g);
-        let multi: Vec<&Phase> =
-            p.phases.iter().filter(|ph| ph.kind == PhaseKind::MultiPath).collect();
+        let multi: Vec<&Phase> = p
+            .phases
+            .iter()
+            .filter(|ph| ph.kind == PhaseKind::MultiPath)
+            .collect();
         assert_eq!(multi.len(), 1);
         assert_eq!(multi[0].subgraphs.len(), 2);
         // Followed by the sequential head.
@@ -374,8 +396,11 @@ mod tests {
     fn wide_and_deep_has_four_branches() {
         let g = wide_and_deep(&WideAndDeepConfig::default());
         let p = partition(&g);
-        let multi: Vec<&Phase> =
-            p.phases.iter().filter(|ph| ph.kind == PhaseKind::MultiPath).collect();
+        let multi: Vec<&Phase> = p
+            .phases
+            .iter()
+            .filter(|ph| ph.kind == PhaseKind::MultiPath)
+            .collect();
         // The encoder phase has ≥4 components (the W&D branches; ResNet's
         // projection shortcuts may add small local multi-path phases, but
         // the branch phase itself must contain wide/ffn/rnn/cnn).
@@ -534,7 +559,10 @@ mod tests {
         let f = |id: NodeId| owner.get(&id).copied();
         let dot = duet_ir::dot::to_dot(&g, Some(&f));
         for i in 0..p.subgraph_count() {
-            assert!(dot.contains(&format!("cluster_{i}")), "cluster {i} rendered");
+            assert!(
+                dot.contains(&format!("cluster_{i}")),
+                "cluster {i} rendered"
+            );
         }
     }
 
@@ -553,7 +581,11 @@ mod tests {
         let kinds: Vec<PhaseKind> = p.phases.iter().map(|p| p.kind).collect();
         assert_eq!(
             kinds,
-            vec![PhaseKind::Sequential, PhaseKind::MultiPath, PhaseKind::Sequential]
+            vec![
+                PhaseKind::Sequential,
+                PhaseKind::MultiPath,
+                PhaseKind::Sequential
+            ]
         );
         assert_eq!(p.phases[1].subgraphs.len(), 2);
     }

@@ -12,9 +12,15 @@
 //! loading a plan against a changed model fails loudly instead of
 //! silently mis-assigning subgraphs.
 
+use duet_analysis::{PlanFacts, PlanSubgraphFacts};
 use duet_device::DeviceKind;
-use duet_ir::{Graph, NodeId, Op};
+use duet_ir::{Graph, NodeId};
 use serde::{Deserialize, Serialize};
+
+// The structural fingerprint lives in `duet-ir` (so `duet-analysis` can
+// cross-check plans without depending on this crate); re-exported here
+// where plans are defined.
+pub use duet_ir::fingerprint;
 
 use crate::partition::PhaseKind;
 
@@ -66,40 +72,6 @@ impl std::fmt::Display for PlanError {
 
 impl std::error::Error for PlanError {}
 
-/// Structural fingerprint of a graph: FNV-style fold over every node's
-/// operator, shape and edges. Weights are excluded — re-trained weights
-/// keep the same schedule (costs depend on shapes, not values).
-pub fn fingerprint(graph: &Graph) -> u64 {
-    const PRIME: u64 = 0x100_0000_01b3;
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    let mut mix = |v: u64| {
-        h ^= v;
-        h = h.wrapping_mul(PRIME);
-    };
-    for node in graph.nodes() {
-        for b in node.op.name().bytes() {
-            mix(b as u64);
-        }
-        // Attribute-bearing ops: include a debug render so stride/axis
-        // changes alter the fingerprint.
-        if !matches!(node.op, Op::Input | Op::Constant) {
-            for b in format!("{:?}", node.op).bytes() {
-                mix(b as u64);
-            }
-        }
-        for &d in node.shape.dims() {
-            mix(d as u64 + 1);
-        }
-        for &i in &node.inputs {
-            mix(i as u64 ^ 0x9e37_79b9);
-        }
-    }
-    for &o in graph.outputs() {
-        mix(o as u64 ^ 0x51ed);
-    }
-    h
-}
-
 impl SchedulePlan {
     /// Verify this plan matches `graph` (fingerprint + exact coverage).
     pub fn validate_against(&self, graph: &Graph) -> Result<(), PlanError> {
@@ -110,8 +82,11 @@ impl SchedulePlan {
                 actual,
             });
         }
-        let mut covered: Vec<NodeId> =
-            self.subgraphs.iter().flat_map(|s| s.nodes.iter().copied()).collect();
+        let mut covered: Vec<NodeId> = self
+            .subgraphs
+            .iter()
+            .flat_map(|s| s.nodes.iter().copied())
+            .collect();
         covered.sort_unstable();
         if covered != graph.compute_ids() {
             return Err(PlanError::BadCoverage);
@@ -128,12 +103,33 @@ impl SchedulePlan {
     pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
         serde_json::from_str(s)
     }
+
+    /// The `duet-analysis` linter's view of this plan (that crate sits
+    /// below `duet-core`, so it cannot consume [`SchedulePlan`]
+    /// directly).
+    pub fn to_facts(&self) -> PlanFacts {
+        PlanFacts {
+            model: self.model.clone(),
+            fingerprint: self.fingerprint,
+            subgraphs: self
+                .subgraphs
+                .iter()
+                .map(|s| PlanSubgraphFacts {
+                    name: s.name.clone(),
+                    phase: s.phase,
+                    multi_path: matches!(s.kind, PhaseKind::MultiPath),
+                    nodes: s.nodes.clone(),
+                    device: s.device,
+                })
+                .collect(),
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use duet_ir::GraphBuilder;
+    use duet_ir::{GraphBuilder, Op};
 
     fn graph(hidden: usize) -> Graph {
         let mut b = GraphBuilder::new("m", 1);

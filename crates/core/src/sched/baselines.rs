@@ -14,14 +14,26 @@ pub fn random(units: &[SubgraphUnit], seed: u64) -> Vec<DeviceKind> {
     let mut rng = SmallRng::seed_from_u64(seed);
     units
         .iter()
-        .map(|_| if rng.gen_bool(0.5) { DeviceKind::Cpu } else { DeviceKind::Gpu })
+        .map(|_| {
+            if rng.gen_bool(0.5) {
+                DeviceKind::Cpu
+            } else {
+                DeviceKind::Gpu
+            }
+        })
         .collect()
 }
 
 /// Alternate CPU / GPU by subgraph index.
 pub fn round_robin(units: &[SubgraphUnit]) -> Vec<DeviceKind> {
     (0..units.len())
-        .map(|i| if i % 2 == 0 { DeviceKind::Cpu } else { DeviceKind::Gpu })
+        .map(|i| {
+            if i % 2 == 0 {
+                DeviceKind::Cpu
+            } else {
+                DeviceKind::Gpu
+            }
+        })
         .collect()
 }
 
@@ -66,7 +78,13 @@ pub fn ideal(graph: &Graph, units: &[SubgraphUnit], system: &SystemModel) -> Vec
     let mut best: Option<(f64, Vec<DeviceKind>)> = None;
     for mask in 0u32..(1 << n) {
         let devices: Vec<DeviceKind> = (0..n)
-            .map(|i| if mask >> i & 1 == 0 { DeviceKind::Cpu } else { DeviceKind::Gpu })
+            .map(|i| {
+                if mask >> i & 1 == 0 {
+                    DeviceKind::Cpu
+                } else {
+                    DeviceKind::Gpu
+                }
+            })
             .collect();
         let t = placement_latency(graph, units, system, &devices);
         if best.as_ref().map(|(b, _)| t < *b).unwrap_or(true) {

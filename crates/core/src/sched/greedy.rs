@@ -21,8 +21,9 @@ pub fn greedy_placement(units: &[SubgraphUnit]) -> Vec<DeviceKind> {
         p
     };
     for phase in phases {
-        let idxs: Vec<usize> =
-            (0..units.len()).filter(|&i| units[i].phase == phase).collect();
+        let idxs: Vec<usize> = (0..units.len())
+            .filter(|&i| units[i].phase == phase)
+            .collect();
         if units[idxs[0]].kind == PhaseKind::Sequential {
             // Step 1, sequential phase: the chain is on the critical path
             // by definition; give it its faster device.
@@ -89,8 +90,9 @@ pub fn correct(
     // The paper runs the correction once per multi-path layer; a model may
     // have several such layers (§IV-C), so loop phases in order.
     for phase in phases {
-        let idxs: Vec<usize> =
-            (0..units.len()).filter(|&i| units[i].phase == phase).collect();
+        let idxs: Vec<usize> = (0..units.len())
+            .filter(|&i| units[i].phase == phase)
+            .collect();
         if units[idxs[0]].kind != PhaseKind::MultiPath {
             continue;
         }
@@ -98,10 +100,16 @@ pub fn correct(
             // Enumerate single moves and pairwise swaps within the phase
             // ("one of the subgraphs could be empty" — a single move is a
             // swap against the empty subgraph).
-            let cpu_side: Vec<usize> =
-                idxs.iter().copied().filter(|&i| devices[i] == DeviceKind::Cpu).collect();
-            let gpu_side: Vec<usize> =
-                idxs.iter().copied().filter(|&i| devices[i] == DeviceKind::Gpu).collect();
+            let cpu_side: Vec<usize> = idxs
+                .iter()
+                .copied()
+                .filter(|&i| devices[i] == DeviceKind::Cpu)
+                .collect();
+            let gpu_side: Vec<usize> = idxs
+                .iter()
+                .copied()
+                .filter(|&i| devices[i] == DeviceKind::Gpu)
+                .collect();
             let mut moves: Vec<Vec<usize>> = Vec::new();
             for &i in cpu_side.iter().chain(gpu_side.iter()) {
                 moves.push(vec![i]);
@@ -149,8 +157,7 @@ pub fn correct(
             devices[i] = devices[i].other();
             let t_new = placement_latency(graph, units, system, &devices);
             devices[i] = devices[i].other();
-            if t_new < t_old * (1.0 - EPS)
-                && best.as_ref().map(|(b, _)| t_new < *b).unwrap_or(true)
+            if t_new < t_old * (1.0 - EPS) && best.as_ref().map(|(b, _)| t_new < *b).unwrap_or(true)
             {
                 best = Some((t_new, i));
             }
@@ -235,7 +242,10 @@ mod tests {
         let t_bad = placement_latency(&g, &units, &sys, &adversarial);
         let fixed = correct(&g, &units, &sys, adversarial);
         let t_fixed = placement_latency(&g, &units, &sys, &fixed);
-        assert!(t_fixed < t_bad * 0.8, "correction recovers: {t_fixed} < {t_bad}");
+        assert!(
+            t_fixed < t_bad * 0.8,
+            "correction recovers: {t_fixed} < {t_bad}"
+        );
     }
 
     #[test]

@@ -94,7 +94,10 @@ pub fn to_placed(units: &[SubgraphUnit], devices: &[DeviceKind]) -> Vec<Placed> 
     units
         .iter()
         .zip(devices)
-        .map(|(u, &device)| Placed { sg: u.sg.clone(), device })
+        .map(|(u, &device)| Placed {
+            sg: u.sg.clone(),
+            device,
+        })
         .collect()
 }
 
@@ -119,6 +122,11 @@ pub fn make_units(
     assert_eq!(meta.len(), profiles.len());
     meta.into_iter()
         .zip(subgraphs.into_iter().zip(profiles))
-        .map(|((phase, kind, _), (sg, profile))| SubgraphUnit { phase, kind, sg, profile })
+        .map(|((phase, kind, _), (sg, profile))| SubgraphUnit {
+            phase,
+            kind,
+            sg,
+            profile,
+        })
         .collect()
 }

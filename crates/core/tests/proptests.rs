@@ -18,7 +18,9 @@ fn fan_model(branches: usize, widths: &[usize]) -> Graph {
     let mut outs: Vec<NodeId> = Vec::new();
     for i in 0..branches {
         let w = widths[i % widths.len()].max(1);
-        let h = b.dense(&format!("br{i}.fc1"), x, w, Some(Op::Relu)).unwrap();
+        let h = b
+            .dense(&format!("br{i}.fc1"), x, w, Some(Op::Relu))
+            .unwrap();
         let o = b.dense(&format!("br{i}.fc2"), h, 32, None).unwrap();
         outs.push(o);
     }

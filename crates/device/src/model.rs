@@ -178,7 +178,10 @@ impl SystemModel {
         SystemModel {
             cpu: DeviceModel::xeon_gold_6152(),
             gpu: DeviceModel::titan_v(),
-            transfer: TransferModel { latency_us: 8.0, bandwidth_gbps: 24.0 },
+            transfer: TransferModel {
+                latency_us: 8.0,
+                bandwidth_gbps: 24.0,
+            },
         }
     }
 
@@ -211,7 +214,10 @@ impl SystemModel {
                 lanes: 1,
                 lane_efficiency: 1.0,
             },
-            transfer: TransferModel { latency_us: 0.5, bandwidth_gbps: 10_000.0 },
+            transfer: TransferModel {
+                latency_us: 0.5,
+                bandwidth_gbps: 10_000.0,
+            },
         }
     }
 
@@ -303,7 +309,11 @@ mod tests {
     #[test]
     fn exec_time_monotone_in_flops() {
         let cpu = DeviceModel::xeon_gold_6152();
-        let base = CostProfile { flops: 1e6, parallelism: 1e4, ..CostProfile::zero() };
+        let base = CostProfile {
+            flops: 1e6,
+            parallelism: 1e4,
+            ..CostProfile::zero()
+        };
         let more = CostProfile { flops: 2e6, ..base };
         assert!(cpu.exec_time_us(&more) > cpu.exec_time_us(&base));
     }
@@ -311,7 +321,10 @@ mod tests {
     #[test]
     fn exec_time_includes_launch_overhead() {
         let gpu = DeviceModel::titan_v();
-        let c = CostProfile { kernel_launches: 100.0, ..CostProfile::zero() };
+        let c = CostProfile {
+            kernel_launches: 100.0,
+            ..CostProfile::zero()
+        };
         assert!((gpu.exec_time_us(&c) - 600.0).abs() < 1e-9);
     }
 

@@ -38,7 +38,12 @@ impl NoiseModel {
 
     /// Fully parameterised constructor.
     pub fn with_params(seed: u64, sigma: f64, spike_prob: f64, spike_scale: f64) -> Self {
-        NoiseModel { rng: SmallRng::seed_from_u64(seed), sigma, spike_prob, spike_scale }
+        NoiseModel {
+            rng: SmallRng::seed_from_u64(seed),
+            sigma,
+            spike_prob,
+            spike_scale,
+        }
     }
 
     /// A noise-free model (multiplier always exactly 1).

@@ -19,7 +19,10 @@ impl TransferModel {
     /// PCIe 3.0 x16: ~10 us setup, ~12 GB/s sustained of the 15.75 GB/s
     /// theoretical peak.
     pub fn pcie3() -> Self {
-        TransferModel { latency_us: 10.0, bandwidth_gbps: 12.0 }
+        TransferModel {
+            latency_us: 10.0,
+            bandwidth_gbps: 12.0,
+        }
     }
 
     /// Time to move `bytes` one way, microseconds.

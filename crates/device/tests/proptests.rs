@@ -6,15 +6,22 @@ use duet_ir::CostProfile;
 use proptest::prelude::*;
 
 fn cost() -> impl Strategy<Value = CostProfile> {
-    (0.0..1e10f64, 0.0..1e8f64, 0.0..1e8f64, 1.0..1e7f64, 0.0..1e4f64).prop_map(
-        |(flops, bytes_in, bytes_out, parallelism, kernel_launches)| CostProfile {
-            flops,
-            bytes_in,
-            bytes_out,
-            parallelism,
-            kernel_launches,
-        },
+    (
+        0.0..1e10f64,
+        0.0..1e8f64,
+        0.0..1e8f64,
+        1.0..1e7f64,
+        0.0..1e4f64,
     )
+        .prop_map(
+            |(flops, bytes_in, bytes_out, parallelism, kernel_launches)| CostProfile {
+                flops,
+                bytes_in,
+                bytes_out,
+                parallelism,
+                kernel_launches,
+            },
+        )
 }
 
 fn devices() -> Vec<DeviceModel> {

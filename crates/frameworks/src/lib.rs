@@ -42,12 +42,18 @@ pub struct Framework {
 impl Framework {
     /// PyTorch-like eager dispatch (~20 us per op at batch 1).
     pub fn pytorch() -> Self {
-        Framework { name: "PyTorch".into(), dispatch_overhead_us: 20.0 }
+        Framework {
+            name: "PyTorch".into(),
+            dispatch_overhead_us: 20.0,
+        }
     }
 
     /// TensorFlow-like session dispatch (~25 us per op).
     pub fn tensorflow() -> Self {
-        Framework { name: "TensorFlow".into(), dispatch_overhead_us: 25.0 }
+        Framework {
+            name: "TensorFlow".into(),
+            dispatch_overhead_us: 25.0,
+        }
     }
 
     /// System model as this framework experiences it: same silicon, but
@@ -62,13 +68,22 @@ impl Framework {
     /// The unfused, unoptimized single-subgraph schedule on one device.
     pub fn plan(&self, graph: &Graph, device: DeviceKind) -> Vec<Placed> {
         let compiler = Compiler::new(CompileOptions::none());
-        vec![Placed { sg: compiler.compile_whole(graph, graph.name.clone()), device }]
+        vec![Placed {
+            sg: compiler.compile_whole(graph, graph.name.clone()),
+            device,
+        }]
     }
 
     /// Noise-free end-to-end latency on one device, microseconds.
     pub fn latency_us(&self, graph: &Graph, device: DeviceKind, system: &SystemModel) -> f64 {
         let sys = self.effective_system(system);
-        simulate(graph, &self.plan(graph, device), &sys, &mut SimNoise::disabled()).latency_us
+        simulate(
+            graph,
+            &self.plan(graph, device),
+            &sys,
+            &mut SimNoise::disabled(),
+        )
+        .latency_us
     }
 
     /// Repeated noisy measurement (Fig. 11/12 methodology).
@@ -162,7 +177,12 @@ mod tests {
         // execution — the agility argument for DL compilers (§II-B).
         let sys = SystemModel::paper_server();
         let gap = |layers: usize| {
-            let g = mlp(&MlpConfig { layers, hidden: 64, input: 64, ..Default::default() });
+            let g = mlp(&MlpConfig {
+                layers,
+                hidden: 64,
+                input: 64,
+                ..Default::default()
+            });
             let fw = Framework::pytorch().latency_us(&g, DeviceKind::Gpu, &sys);
             let compiled = {
                 let c = Compiler::default();

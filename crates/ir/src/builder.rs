@@ -24,11 +24,18 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// Start a model named `name` with a weight-init seed.
     pub fn new(name: impl Into<String>, seed: u64) -> Self {
-        GraphBuilder { graph: Graph::new(name), seed, next_weight: 0 }
+        GraphBuilder {
+            graph: Graph::new(name),
+            seed,
+            next_weight: 0,
+        }
     }
 
     fn weight_seed(&mut self) -> u64 {
-        let s = self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(self.next_weight);
+        let s = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(self.next_weight);
         self.next_weight += 1;
         s
     }
@@ -53,12 +60,14 @@ impl GraphBuilder {
         let fan_in: usize = shape.iter().skip(1).product::<usize>().max(1);
         let std = (2.0 / fan_in as f32).sqrt();
         let seed = self.weight_seed();
-        self.graph.add_constant(label, Tensor::randn(shape.to_vec(), std, seed))
+        self.graph
+            .add_constant(label, Tensor::randn(shape.to_vec(), std, seed))
     }
 
     /// Zero-initialised constant (biases, BN shifts).
     pub fn zeros(&mut self, label: &str, shape: &[usize]) -> NodeId {
-        self.graph.add_constant(label, Tensor::zeros(shape.to_vec()))
+        self.graph
+            .add_constant(label, Tensor::zeros(shape.to_vec()))
     }
 
     /// One-initialised constant (BN scales).
@@ -137,7 +146,11 @@ impl GraphBuilder {
         let w = self.weight(&format!("{label}.w"), &[out_channels, c_in, kernel, kernel]);
         let conv = self.graph.add_op(
             label,
-            Op::Conv2d { stride, padding, bias: false },
+            Op::Conv2d {
+                stride,
+                padding,
+                bias: false,
+            },
             &[x, w],
         )?;
         let gamma = self.ones(&format!("{label}.bn.g"), &[out_channels]);
@@ -181,7 +194,9 @@ impl GraphBuilder {
             Op::Mha { heads },
             &[ln1, wq, wk, wv, wo],
         )?;
-        let res1 = self.graph.add_op(format!("{label}.res1"), Op::Add, &[x, attn])?;
+        let res1 = self
+            .graph
+            .add_op(format!("{label}.res1"), Op::Add, &[x, attn])?;
         let g2 = self.ones(&format!("{label}.ln2.g"), &[d]);
         let b2 = self.zeros(&format!("{label}.ln2.b"), &[d]);
         let ln2 = self.graph.add_op(
@@ -191,7 +206,8 @@ impl GraphBuilder {
         )?;
         let up = self.dense(&format!("{label}.ffn.up"), ln2, ffn_dim, Some(Op::Gelu))?;
         let down = self.dense(&format!("{label}.ffn.down"), up, d, None)?;
-        self.graph.add_op(format!("{label}.res2"), Op::Add, &[res1, down])
+        self.graph
+            .add_op(format!("{label}.res2"), Op::Add, &[res1, down])
     }
 
     /// Mark outputs and return the finished graph.
@@ -246,7 +262,11 @@ mod tests {
         let g = b.finish(&[y]).unwrap();
         assert_eq!(g.node(y).shape.dims(), &[5, 1, 16]);
         // 3 LSTM op nodes.
-        let lstms = g.nodes().iter().filter(|n| matches!(n.op, Op::Lstm)).count();
+        let lstms = g
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.op, Op::Lstm))
+            .count();
         assert_eq!(lstms, 3);
     }
 

@@ -128,8 +128,14 @@ mod tests {
 
     #[test]
     fn merge_zero_flops_keeps_max_parallelism() {
-        let a = CostProfile { parallelism: 5.0, ..CostProfile::zero() };
-        let b = CostProfile { parallelism: 9.0, ..CostProfile::zero() };
+        let a = CostProfile {
+            parallelism: 5.0,
+            ..CostProfile::zero()
+        };
+        let b = CostProfile {
+            parallelism: 9.0,
+            ..CostProfile::zero()
+        };
         assert_eq!(a.merge(&b).parallelism, 9.0);
     }
 }

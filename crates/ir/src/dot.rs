@@ -41,7 +41,9 @@ pub fn to_dot(graph: &Graph, cluster: Option<&dyn Fn(NodeId) -> Option<usize>>) 
         out.push_str(&fmt_node(*id));
     }
     for (gid, ids) in &groups {
-        out.push_str(&format!("  subgraph cluster_{gid} {{\n    label=\"subgraph {gid}\";\n"));
+        out.push_str(&format!(
+            "  subgraph cluster_{gid} {{\n    label=\"subgraph {gid}\";\n"
+        ));
         for id in ids {
             out.push_str("  ");
             out.push_str(&fmt_node(*id));
@@ -84,7 +86,13 @@ mod tests {
     #[test]
     fn dot_clusters_marked_nodes() {
         let g = tiny();
-        let f = |id: NodeId| if id % 2 == 0 { Some(0) } else { Some(1) };
+        let f = |id: NodeId| {
+            if id.is_multiple_of(2) {
+                Some(0)
+            } else {
+                Some(1)
+            }
+        };
         let dot = to_dot(&g, Some(&f));
         assert!(dot.contains("subgraph cluster_0"));
         assert!(dot.contains("subgraph cluster_1"));

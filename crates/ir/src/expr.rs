@@ -25,7 +25,11 @@ pub enum ExprKind {
     /// Literal tensor (weight).
     Const { name: String, value: Tensor },
     /// Operator application.
-    Call { label: String, op: Op, args: Vec<Expr> },
+    Call {
+        label: String,
+        op: Op,
+        args: Vec<Expr>,
+    },
 }
 
 /// A shared, immutable expression. Cloning shares the subterm — sharing is
@@ -38,17 +42,27 @@ pub struct Expr(Rc<ExprKind>);
 impl Expr {
     /// Free variable.
     pub fn var(name: impl Into<String>, shape: impl Into<Shape>) -> Expr {
-        Expr(Rc::new(ExprKind::Var { name: name.into(), shape: shape.into() }))
+        Expr(Rc::new(ExprKind::Var {
+            name: name.into(),
+            shape: shape.into(),
+        }))
     }
 
     /// Weight literal.
     pub fn constant(name: impl Into<String>, value: Tensor) -> Expr {
-        Expr(Rc::new(ExprKind::Const { name: name.into(), value }))
+        Expr(Rc::new(ExprKind::Const {
+            name: name.into(),
+            value,
+        }))
     }
 
     /// Operator application.
     pub fn call(label: impl Into<String>, op: Op, args: Vec<Expr>) -> Expr {
-        Expr(Rc::new(ExprKind::Call { label: label.into(), op, args }))
+        Expr(Rc::new(ExprKind::Call {
+            label: label.into(),
+            op,
+            args,
+        }))
     }
 
     /// The payload.
@@ -120,8 +134,7 @@ pub fn to_graph(name: impl Into<String>, outputs: &[Expr]) -> Result<Graph, Grap
                         continue;
                     }
                     if let ExprKind::Call { label, op, args } = e.kind() {
-                        let ids: Vec<NodeId> =
-                            args.iter().map(|a| memo[&a.key()]).collect();
+                        let ids: Vec<NodeId> = args.iter().map(|a| memo[&a.key()]).collect();
                         let id = graph.add_op(label.clone(), op.clone(), &ids)?;
                         memo.insert(e.key(), id);
                     }

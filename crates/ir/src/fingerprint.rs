@@ -1,0 +1,47 @@
+//! Structural graph fingerprinting.
+//!
+//! A fingerprint identifies a graph's *architecture* — operators,
+//! attributes, shapes and edges — while ignoring weight values, so a
+//! re-trained model keeps the same fingerprint (costs depend on shapes,
+//! not values) but any structural edit changes it. `duet-core` embeds
+//! the fingerprint in serialized [`SchedulePlan`]s and `duet-analysis`
+//! cross-checks it when linting a plan against a graph.
+//!
+//! [`SchedulePlan`]: https://docs.rs/duet-core
+
+use crate::graph::Graph;
+use crate::op::Op;
+
+/// Structural fingerprint of a graph: FNV-style fold over every node's
+/// operator, shape and edges. Weights are excluded — re-trained weights
+/// keep the same schedule (costs depend on shapes, not values).
+pub fn fingerprint(graph: &Graph) -> u64 {
+    const PRIME: u64 = 0x100_0000_01b3;
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |v: u64| {
+        h ^= v;
+        h = h.wrapping_mul(PRIME);
+    };
+    for node in graph.nodes() {
+        for b in node.op.name().bytes() {
+            mix(b as u64);
+        }
+        // Attribute-bearing ops: include a debug render so stride/axis
+        // changes alter the fingerprint.
+        if !matches!(node.op, Op::Input | Op::Constant) {
+            for b in format!("{:?}", node.op).bytes() {
+                mix(b as u64);
+            }
+        }
+        for &d in node.shape.dims() {
+            mix(d as u64 + 1);
+        }
+        for &i in &node.inputs {
+            mix(i as u64 ^ 0x9e37_79b9);
+        }
+    }
+    for &o in graph.outputs() {
+        mix(o as u64 ^ 0x51ed);
+    }
+    h
+}

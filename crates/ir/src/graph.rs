@@ -19,7 +19,11 @@ pub enum GraphError {
     /// Referenced node does not exist (or is defined after its use).
     UnknownNode(NodeId),
     /// Operator given the wrong number of inputs.
-    BadArity { op: &'static str, expected: (usize, usize), actual: usize },
+    BadArity {
+        op: &'static str,
+        expected: (usize, usize),
+        actual: usize,
+    },
     /// Shape inference or kernel execution failed.
     Tensor(TensorError),
     /// An `Input` node had no feed at evaluation time.
@@ -38,8 +42,16 @@ impl std::fmt::Display for GraphError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             GraphError::UnknownNode(id) => write!(f, "unknown node {id}"),
-            GraphError::BadArity { op, expected, actual } => {
-                write!(f, "{op}: expected {}..{} inputs, got {actual}", expected.0, expected.1)
+            GraphError::BadArity {
+                op,
+                expected,
+                actual,
+            } => {
+                write!(
+                    f,
+                    "{op}: expected {}..{} inputs, got {actual}",
+                    expected.0, expected.1
+                )
             }
             GraphError::Tensor(e) => write!(f, "{e}"),
             GraphError::MissingFeed(id) => write!(f, "no feed for input node {id}"),
@@ -83,7 +95,10 @@ pub struct Graph {
 impl Graph {
     /// Empty graph with a name.
     pub fn new(name: impl Into<String>) -> Self {
-        Graph { name: name.into(), ..Default::default() }
+        Graph {
+            name: name.into(),
+            ..Default::default()
+        }
     }
 
     /// Add an external input placeholder with an explicit shape.
@@ -218,6 +233,24 @@ impl Graph {
     /// construction, see type-level invariant).
     pub fn topo_order(&self) -> Vec<NodeId> {
         (0..self.nodes.len()).collect()
+    }
+
+    /// Unchecked mutable access to a node. Exists for verifier tests,
+    /// fuzzers and pass debugging: it can break every structural
+    /// invariant the safe builders maintain (edge symmetry, topological
+    /// ordering, inferred shapes). Anything edited through this handle
+    /// must be re-checked with [`Graph::validate`] or the `duet-analysis`
+    /// graph verifier before being evaluated or scheduled.
+    #[doc(hidden)]
+    pub fn node_unchecked_mut(&mut self, id: NodeId) -> &mut Node {
+        &mut self.nodes[id]
+    }
+
+    /// Unchecked mutable access to the declared output list; same
+    /// caveats as [`Graph::node_unchecked_mut`].
+    #[doc(hidden)]
+    pub fn outputs_unchecked_mut(&mut self) -> &mut Vec<NodeId> {
+        &mut self.outputs
     }
 
     /// Check structural invariants; useful after hand-editing or
@@ -392,10 +425,16 @@ mod tests {
     #[test]
     fn eval_requires_feeds_and_outputs() {
         let (g, _) = diamond();
-        assert!(matches!(g.eval(&HashMap::new()), Err(GraphError::MissingFeed(_))));
+        assert!(matches!(
+            g.eval(&HashMap::new()),
+            Err(GraphError::MissingFeed(_))
+        ));
         let mut g2 = Graph::new("no-out");
         g2.add_input("x", vec![1]);
-        assert!(matches!(g2.eval(&HashMap::new()), Err(GraphError::NoOutputs)));
+        assert!(matches!(
+            g2.eval(&HashMap::new()),
+            Err(GraphError::NoOutputs)
+        ));
     }
 
     #[test]

@@ -21,6 +21,7 @@ pub mod builder;
 pub mod cost;
 pub mod dot;
 pub mod expr;
+pub mod fingerprint;
 pub mod graph;
 pub mod metrics;
 pub mod op;
@@ -28,6 +29,7 @@ pub mod serialize;
 
 pub use builder::GraphBuilder;
 pub use cost::CostProfile;
+pub use fingerprint::fingerprint;
 pub use graph::{Graph, GraphError, Node, NodeId};
 pub use metrics::{analyze, GraphMetrics};
 pub use op::Op;

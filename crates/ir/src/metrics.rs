@@ -36,8 +36,7 @@ pub struct GraphMetrics {
 /// Compute [`GraphMetrics`].
 pub fn analyze(graph: &Graph) -> GraphMetrics {
     let compute = graph.compute_ids();
-    let is_compute =
-        |id: usize| !matches!(graph.node(id).op, Op::Input | Op::Constant);
+    let is_compute = |id: usize| !matches!(graph.node(id).op, Op::Input | Op::Constant);
 
     let mut by_op: HashMap<&'static str, f64> = HashMap::new();
     for &id in &compute {

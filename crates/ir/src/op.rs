@@ -26,16 +26,30 @@ pub enum Op {
     /// Plain matrix product; inputs `[a, b]`.
     MatMul,
     /// 2-D convolution (NCHW); inputs `[x, w]` or `[x, w, b]`.
-    Conv2d { stride: usize, padding: usize, bias: bool },
+    Conv2d {
+        stride: usize,
+        padding: usize,
+        bias: bool,
+    },
     /// Depthwise 2-D convolution (one filter per channel, MobileNet
     /// style); inputs `[x, w]` or `[x, w, b]` with `w: [c, 1, kh, kw]`.
-    DepthwiseConv2d { stride: usize, padding: usize, bias: bool },
+    DepthwiseConv2d {
+        stride: usize,
+        padding: usize,
+        bias: bool,
+    },
     /// Inference batch norm; inputs `[x, gamma, beta, mean, var]`.
     BatchNorm2d,
     /// Square-window max pool; inputs `[x]`.
-    MaxPool2d { window: usize, stride: usize },
+    MaxPool2d {
+        window: usize,
+        stride: usize,
+    },
     /// Square-window average pool; inputs `[x]`.
-    AvgPool2d { window: usize, stride: usize },
+    AvgPool2d {
+        window: usize,
+        stride: usize,
+    },
     /// Global average pool `[n,c,h,w] -> [n,c]`; inputs `[x]`.
     GlobalAvgPool2d,
     /// Single-layer LSTM over a full sequence; inputs `[x, w_ih, w_hh, b]`
@@ -45,9 +59,13 @@ pub enum Op {
     /// 3-gate weights; output `[seq, batch, hidden]`.
     Gru,
     /// Multi-head self attention; inputs `[x, w_q, w_k, w_v, w_o]`.
-    Mha { heads: usize },
+    Mha {
+        heads: usize,
+    },
     /// Layer norm over the trailing dim; inputs `[x, gamma, beta]`.
-    LayerNorm { eps: f32 },
+    LayerNorm {
+        eps: f32,
+    },
     /// Softmax over the trailing dim; inputs `[x]`.
     Softmax,
     /// Log-softmax over the trailing dim; inputs `[x]`.
@@ -65,20 +83,29 @@ pub enum Op {
     /// Add `[c]` bias over the trailing dim; inputs `[x, b]`.
     BiasAdd,
     /// Multiply by a compile-time scalar; inputs `[x]`.
-    Scale { factor: f32 },
+    Scale {
+        factor: f32,
+    },
     /// Concatenate along `axis`; variadic inputs.
-    Concat { axis: usize },
+    Concat {
+        axis: usize,
+    },
     /// Embedding lookup; inputs `[table, ids]`.
     Embedding,
     /// Reinterpret shape; inputs `[x]`.
-    Reshape { shape: Vec<usize> },
+    Reshape {
+        shape: Vec<usize>,
+    },
     /// 2-D transpose; inputs `[x]`.
     Transpose2d,
     ReduceSum,
     ReduceMean,
     ReduceMax,
     /// Row slice `[start, end)` of a rank-2 tensor; inputs `[x]`.
-    SliceRows { start: usize, end: usize },
+    SliceRows {
+        start: usize,
+        end: usize,
+    },
 }
 
 impl Op {
@@ -232,7 +259,9 @@ impl Op {
                 }
                 Ok(Shape::new(vec![a.dim(0), b.dim(1)]))
             }
-            Op::Conv2d { stride, padding, .. } => {
+            Op::Conv2d {
+                stride, padding, ..
+            } => {
                 let x = need(0)?;
                 let w = need(1)?;
                 x.expect_rank("conv2d", 4)?;
@@ -254,7 +283,9 @@ impl Op {
                 let ow = (x.dim(3) + 2 * padding - w.dim(3)) / stride + 1;
                 Ok(Shape::new(vec![x.dim(0), w.dim(0), oh, ow]))
             }
-            Op::DepthwiseConv2d { stride, padding, .. } => {
+            Op::DepthwiseConv2d {
+                stride, padding, ..
+            } => {
                 let x = need(0)?;
                 let w = need(1)?;
                 x.expect_rank("depthwise_conv2d", 4)?;
@@ -444,22 +475,25 @@ impl Op {
             }),
             Op::Linear => kernels::linear(need(0)?, need(1)?, Some(need(2)?)),
             Op::MatMul => kernels::matmul(need(0)?, need(1)?),
-            Op::Conv2d { stride, padding, bias } => {
+            Op::Conv2d {
+                stride,
+                padding,
+                bias,
+            } => {
                 let b = if *bias { Some(need(2)?) } else { None };
                 kernels::conv2d(need(0)?, need(1)?, b, *stride, *padding)
             }
-            Op::DepthwiseConv2d { stride, padding, bias } => {
+            Op::DepthwiseConv2d {
+                stride,
+                padding,
+                bias,
+            } => {
                 let b = if *bias { Some(need(2)?) } else { None };
                 kernels::depthwise_conv2d(need(0)?, need(1)?, b, *stride, *padding)
             }
-            Op::BatchNorm2d => kernels::batch_norm2d(
-                need(0)?,
-                need(1)?,
-                need(2)?,
-                need(3)?,
-                need(4)?,
-                1e-5,
-            ),
+            Op::BatchNorm2d => {
+                kernels::batch_norm2d(need(0)?, need(1)?, need(2)?, need(3)?, need(4)?, 1e-5)
+            }
             Op::MaxPool2d { window, stride } => kernels::max_pool2d(need(0)?, *window, *stride),
             Op::AvgPool2d { window, stride } => kernels::avg_pool2d(need(0)?, *window, *stride),
             Op::GlobalAvgPool2d => kernels::global_avg_pool2d(need(0)?),
@@ -553,8 +587,14 @@ impl Op {
             }
             Op::LayerNorm { .. } => (8.0 * vol_out, vol_out, 2.0),
             Op::Softmax | Op::LogSoftmax => (4.0 * vol_out, vol_out, 3.0),
-            Op::Relu | Op::Sigmoid | Op::Tanh | Op::Add | Op::Sub | Op::Mul
-            | Op::BiasAdd | Op::Scale { .. } => (vol_out, vol_out, 1.0),
+            Op::Relu
+            | Op::Sigmoid
+            | Op::Tanh
+            | Op::Add
+            | Op::Sub
+            | Op::Mul
+            | Op::BiasAdd
+            | Op::Scale { .. } => (vol_out, vol_out, 1.0),
             Op::Gelu => (8.0 * vol_out, vol_out, 1.0),
             Op::Concat { .. } | Op::Reshape { .. } | Op::Transpose2d | Op::SliceRows { .. } => {
                 (0.0, vol_out, 1.0)
@@ -607,15 +647,25 @@ mod tests {
 
     #[test]
     fn linear_shape_inference() {
-        let out = Op::Linear.infer_shape(&[&s(&[2, 8]), &s(&[16, 8]), &s(&[16])]).unwrap();
+        let out = Op::Linear
+            .infer_shape(&[&s(&[2, 8]), &s(&[16, 8]), &s(&[16])])
+            .unwrap();
         assert_eq!(out.dims(), &[2, 16]);
-        assert!(Op::Linear.infer_shape(&[&s(&[2, 8]), &s(&[16, 9]), &s(&[16])]).is_err());
+        assert!(Op::Linear
+            .infer_shape(&[&s(&[2, 8]), &s(&[16, 9]), &s(&[16])])
+            .is_err());
     }
 
     #[test]
     fn conv_shape_inference() {
-        let op = Op::Conv2d { stride: 2, padding: 3, bias: false };
-        let out = op.infer_shape(&[&s(&[1, 3, 224, 224]), &s(&[64, 3, 7, 7])]).unwrap();
+        let op = Op::Conv2d {
+            stride: 2,
+            padding: 3,
+            bias: false,
+        };
+        let out = op
+            .infer_shape(&[&s(&[1, 3, 224, 224]), &s(&[64, 3, 7, 7])])
+            .unwrap();
         assert_eq!(out.dims(), &[1, 64, 112, 112]);
     }
 
@@ -638,7 +688,9 @@ mod tests {
     #[test]
     fn concat_shape_accumulates_axis() {
         let op = Op::Concat { axis: 1 };
-        let out = op.infer_shape(&[&s(&[1, 4]), &s(&[1, 6]), &s(&[1, 2])]).unwrap();
+        let out = op
+            .infer_shape(&[&s(&[1, 4]), &s(&[1, 6]), &s(&[1, 2])])
+            .unwrap();
         assert_eq!(out.dims(), &[1, 12]);
         assert!(op.infer_shape(&[&s(&[1, 4]), &s(&[2, 6])]).is_err());
     }
@@ -653,8 +705,24 @@ mod tests {
     #[test]
     fn arity_bounds() {
         assert_eq!(Op::Linear.arity(), (3, 3));
-        assert_eq!(Op::Conv2d { stride: 1, padding: 0, bias: true }.arity(), (3, 3));
-        assert_eq!(Op::Conv2d { stride: 1, padding: 0, bias: false }.arity(), (2, 2));
+        assert_eq!(
+            Op::Conv2d {
+                stride: 1,
+                padding: 0,
+                bias: true
+            }
+            .arity(),
+            (3, 3)
+        );
+        assert_eq!(
+            Op::Conv2d {
+                stride: 1,
+                padding: 0,
+                bias: false
+            }
+            .arity(),
+            (2, 2)
+        );
         assert_eq!(Op::Concat { axis: 0 }.arity().1, usize::MAX);
         assert_eq!(Op::Input.arity(), (0, 0));
     }
@@ -700,10 +768,19 @@ mod tests {
     fn conv_cost_is_wide_and_single_launch() {
         let x = s(&[1, 64, 56, 56]);
         let w = s(&[64, 64, 3, 3]);
-        let out = Op::Conv2d { stride: 1, padding: 1, bias: false }
-            .infer_shape(&[&x, &w])
-            .unwrap();
-        let c = Op::Conv2d { stride: 1, padding: 1, bias: false }.cost(&[&x, &w], &out);
+        let out = Op::Conv2d {
+            stride: 1,
+            padding: 1,
+            bias: false,
+        }
+        .infer_shape(&[&x, &w])
+        .unwrap();
+        let c = Op::Conv2d {
+            stride: 1,
+            padding: 1,
+            bias: false,
+        }
+        .cost(&[&x, &w], &out);
         assert_eq!(c.kernel_launches, 1.0);
         assert_eq!(c.parallelism, (64 * 56 * 56) as f64);
         // 2 * out_elems * cin * kh * kw

@@ -76,7 +76,11 @@ fn put_op(buf: &mut BytesMut, op: &Op) {
         Op::Constant => buf.put_u8(1),
         Op::Linear => buf.put_u8(2),
         Op::MatMul => buf.put_u8(3),
-        Op::Conv2d { stride, padding, bias } => {
+        Op::Conv2d {
+            stride,
+            padding,
+            bias,
+        } => {
             buf.put_u8(4);
             buf.put_u32_le(*stride as u32);
             buf.put_u32_le(*padding as u32);
@@ -139,7 +143,11 @@ fn put_op(buf: &mut BytesMut, op: &Op) {
             buf.put_u64_le(*start as u64);
             buf.put_u64_le(*end as u64);
         }
-        Op::DepthwiseConv2d { stride, padding, bias } => {
+        Op::DepthwiseConv2d {
+            stride,
+            padding,
+            bias,
+        } => {
             buf.put_u8(32);
             buf.put_u32_le(*stride as u32);
             buf.put_u32_le(*padding as u32);
@@ -250,8 +258,14 @@ impl Reader {
                 bias: self.u8()? != 0,
             },
             5 => Op::BatchNorm2d,
-            6 => Op::MaxPool2d { window: self.u32()?, stride: self.u32()? },
-            7 => Op::AvgPool2d { window: self.u32()?, stride: self.u32()? },
+            6 => Op::MaxPool2d {
+                window: self.u32()?,
+                stride: self.u32()?,
+            },
+            7 => Op::AvgPool2d {
+                window: self.u32()?,
+                stride: self.u32()?,
+            },
             8 => Op::GlobalAvgPool2d,
             9 => Op::Lstm,
             10 => Op::Gru,
@@ -267,7 +281,9 @@ impl Reader {
             20 => Op::Sub,
             21 => Op::Mul,
             22 => Op::BiasAdd,
-            23 => Op::Scale { factor: self.f32()? },
+            23 => Op::Scale {
+                factor: self.f32()?,
+            },
             24 => Op::Concat { axis: self.u32()? },
             25 => Op::Embedding,
             26 => {
@@ -282,7 +298,10 @@ impl Reader {
             28 => Op::ReduceSum,
             29 => Op::ReduceMean,
             30 => Op::ReduceMax,
-            31 => Op::SliceRows { start: self.u64()?, end: self.u64()? },
+            31 => Op::SliceRows {
+                start: self.u64()?,
+                end: self.u64()?,
+            },
             32 => Op::DepthwiseConv2d {
                 stride: self.u32()?,
                 padding: self.u32()?,
@@ -326,7 +345,12 @@ pub fn decode(data: impl Into<Bytes>) -> Result<Graph, DecodeError> {
         for _ in 0..n_inputs {
             inputs.push(r.u32()?);
         }
-        raw.push(RawNode { label, op, shape, inputs });
+        raw.push(RawNode {
+            label,
+            op,
+            shape,
+            inputs,
+        });
     }
     let n_outputs = r.u32()?;
     let mut outputs = Vec::with_capacity(n_outputs);
@@ -341,7 +365,9 @@ pub fn decode(data: impl Into<Bytes>) -> Result<Graph, DecodeError> {
         let id = r.u32()?;
         let bytes = r.u64()?;
         if bytes % 4 != 0 {
-            return Err(DecodeError::Invalid("param byte length not f32-aligned".into()));
+            return Err(DecodeError::Invalid(
+                "param byte length not f32-aligned".into(),
+            ));
         }
         let n = bytes / 4;
         let mut data = Vec::with_capacity(n);
@@ -352,8 +378,7 @@ pub fn decode(data: impl Into<Bytes>) -> Result<Graph, DecodeError> {
             .get(id)
             .map(|rn| rn.shape.clone())
             .ok_or_else(|| DecodeError::Invalid(format!("param for unknown node {id}")))?;
-        let t = Tensor::from_vec(shape, data)
-            .map_err(|e| DecodeError::Invalid(e.to_string()))?;
+        let t = Tensor::from_vec(shape, data).map_err(|e| DecodeError::Invalid(e.to_string()))?;
         params.insert(id, t);
         param_shapes.push((id, n));
     }
@@ -366,11 +391,13 @@ pub fn decode(data: impl Into<Bytes>) -> Result<Graph, DecodeError> {
                 g.add_input(rn.label, rn.shape);
             }
             Op::Constant => {
-                let t = params
-                    .remove(&id)
-                    .ok_or_else(|| DecodeError::Invalid(format!("constant {id} missing payload")))?;
+                let t = params.remove(&id).ok_or_else(|| {
+                    DecodeError::Invalid(format!("constant {id} missing payload"))
+                })?;
                 if t.shape() != &rn.shape {
-                    return Err(DecodeError::Invalid(format!("constant {id} shape mismatch")));
+                    return Err(DecodeError::Invalid(format!(
+                        "constant {id} shape mismatch"
+                    )));
                 }
                 g.add_constant(rn.label, t);
             }
@@ -387,9 +414,11 @@ pub fn decode(data: impl Into<Bytes>) -> Result<Graph, DecodeError> {
         }
     }
     for o in outputs {
-        g.mark_output(o).map_err(|e| DecodeError::Invalid(e.to_string()))?;
+        g.mark_output(o)
+            .map_err(|e| DecodeError::Invalid(e.to_string()))?;
     }
-    g.validate().map_err(|e| DecodeError::Invalid(e.to_string()))?;
+    g.validate()
+        .map_err(|e| DecodeError::Invalid(e.to_string()))?;
     Ok(g)
 }
 
@@ -443,8 +472,12 @@ mod tests {
         // Exercise every attribute-bearing variant.
         let mut b = GraphBuilder::new("ops", 1);
         let x = b.input("x", vec![4, 6]);
-        let sl = b.op("slice", Op::SliceRows { start: 1, end: 3 }, &[x]).unwrap();
-        let rs = b.op("reshape", Op::Reshape { shape: vec![3, 4] }, &[sl]).unwrap();
+        let sl = b
+            .op("slice", Op::SliceRows { start: 1, end: 3 }, &[x])
+            .unwrap();
+        let rs = b
+            .op("reshape", Op::Reshape { shape: vec![3, 4] }, &[sl])
+            .unwrap();
         let sc = b.op("scale", Op::Scale { factor: -2.5 }, &[rs]).unwrap();
         let g1 = b.finish(&[sc]).unwrap();
         let g2 = decode(encode(&g1)).unwrap();
@@ -454,15 +487,21 @@ mod tests {
 
     #[test]
     fn rejects_bad_magic_and_truncation() {
-        assert_eq!(decode(Bytes::from_static(b"DU")).unwrap_err(), DecodeError::Truncated);
-        assert_eq!(decode(Bytes::from_static(b"NOPE")).unwrap_err(), DecodeError::BadMagic);
+        assert_eq!(
+            decode(Bytes::from_static(b"DU")).unwrap_err(),
+            DecodeError::Truncated
+        );
+        assert_eq!(
+            decode(Bytes::from_static(b"NOPE")).unwrap_err(),
+            DecodeError::BadMagic
+        );
         assert_eq!(
             decode(Bytes::from_static(b"XXXXxxxxxxxx")).unwrap_err(),
             DecodeError::BadMagic
         );
         let good = encode(&sample());
         let cut = good.slice(0..good.len() / 2);
-        assert!(matches!(decode(cut), Err(_)));
+        assert!(decode(cut).is_err());
     }
 
     #[test]

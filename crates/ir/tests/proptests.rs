@@ -16,7 +16,11 @@ struct Spec {
 }
 
 fn spec() -> impl Strategy<Value = Spec> {
-    (0u8..6, any::<prop::sample::Index>(), any::<prop::sample::Index>())
+    (
+        0u8..6,
+        any::<prop::sample::Index>(),
+        any::<prop::sample::Index>(),
+    )
         .prop_map(|(op_sel, a, b)| Spec { op_sel, a, b })
 }
 
@@ -39,14 +43,19 @@ fn build(specs: &[Spec]) -> (Graph, NodeId) {
         let op = op_of(s.op_sel);
         let pick = |idx: &prop::sample::Index| nodes[idx.index(nodes.len())];
         let id = if matches!(op, Op::Add | Op::Mul) {
-            g.add_op(format!("n{i}"), op, &[pick(&s.a), pick(&s.b)]).unwrap()
+            g.add_op(format!("n{i}"), op, &[pick(&s.a), pick(&s.b)])
+                .unwrap()
         } else {
             g.add_op(format!("n{i}"), op, &[pick(&s.a)]).unwrap()
         };
         nodes.push(id);
     }
     let last = *nodes.last().unwrap();
-    let out = if last == x { g.add_op("o", Op::Relu, &[x]).unwrap() } else { last };
+    let out = if last == x {
+        g.add_op("o", Op::Relu, &[x]).unwrap()
+    } else {
+        last
+    };
     g.mark_output(out).unwrap();
     (g, x)
 }

@@ -45,8 +45,14 @@ pub fn zoo_model(name: &str) -> Option<duet_ir::Graph> {
         "wide_and_deep" => Some(wide_and_deep(&WideAndDeepConfig::default())),
         "siamese" => Some(siamese(&SiameseConfig::default())),
         "mtdnn" => Some(mtdnn(&MtDnnConfig::default())),
-        "resnet18" => Some(resnet(&ResNetConfig { depth: 18, ..Default::default() })),
-        "resnet50" => Some(resnet(&ResNetConfig { depth: 50, ..Default::default() })),
+        "resnet18" => Some(resnet(&ResNetConfig {
+            depth: 18,
+            ..Default::default()
+        })),
+        "resnet50" => Some(resnet(&ResNetConfig {
+            depth: 50,
+            ..Default::default()
+        })),
         "vgg16" => Some(vgg16(1, 224)),
         "mobilenet" => Some(mobilenet(&MobileNetConfig::default())),
         "squeezenet" => Some(squeezenet(1, 224)),

@@ -17,7 +17,14 @@ pub struct MlpConfig {
 
 impl Default for MlpConfig {
     fn default() -> Self {
-        MlpConfig { batch: 1, input: 784, hidden: 1024, layers: 4, classes: 10, seed: 0x317 }
+        MlpConfig {
+            batch: 1,
+            input: 784,
+            hidden: 1024,
+            layers: 4,
+            classes: 10,
+            seed: 0x317,
+        }
     }
 }
 
@@ -27,7 +34,9 @@ pub fn mlp(cfg: &MlpConfig) -> Graph {
     let x = b.input("x", vec![cfg.batch, cfg.input]);
     let mut h = x;
     for l in 0..cfg.layers {
-        h = b.dense(&format!("fc{l}"), h, cfg.hidden, Some(Op::Relu)).expect("layer");
+        h = b
+            .dense(&format!("fc{l}"), h, cfg.hidden, Some(Op::Relu))
+            .expect("layer");
     }
     let logits = b.dense("head", h, cfg.classes, None).expect("head");
     let probs = b.op("softmax", Op::Softmax, &[logits]).expect("softmax");
@@ -41,7 +50,11 @@ mod tests {
 
     #[test]
     fn runs_and_normalises() {
-        let g = mlp(&MlpConfig { hidden: 32, input: 16, ..Default::default() });
+        let g = mlp(&MlpConfig {
+            hidden: 32,
+            input: 16,
+            ..Default::default()
+        });
         let out = g.eval(&input_feeds(&g, 1)).unwrap();
         let s: f32 = out[0].data().iter().sum();
         assert!((s - 1.0).abs() < 1e-4);
@@ -53,7 +66,12 @@ mod tests {
         let g = mlp(&MlpConfig::default());
         for id in g.compute_ids() {
             let n = g.node(id);
-            assert!(n.outputs.len() <= 1, "node {} has fanout {}", n.label, n.outputs.len());
+            assert!(
+                n.outputs.len() <= 1,
+                "node {} has fanout {}",
+                n.label,
+                n.outputs.len()
+            );
         }
     }
 }

@@ -23,14 +23,26 @@ pub struct MobileNetConfig {
 
 impl Default for MobileNetConfig {
     fn default() -> Self {
-        MobileNetConfig { batch: 1, image: 224, width_mult: 1.0, num_classes: 1000, seed: 0x30b }
+        MobileNetConfig {
+            batch: 1,
+            image: 224,
+            width_mult: 1.0,
+            num_classes: 1000,
+            seed: 0x30b,
+        }
     }
 }
 
 impl MobileNetConfig {
     /// Tiny variant for numeric tests.
     pub fn small() -> Self {
-        MobileNetConfig { batch: 1, image: 32, width_mult: 0.25, num_classes: 10, seed: 5 }
+        MobileNetConfig {
+            batch: 1,
+            image: 32,
+            width_mult: 0.25,
+            num_classes: 10,
+            seed: 5,
+        }
     }
 
     fn scaled(&self, channels: usize) -> usize {
@@ -40,19 +52,17 @@ impl MobileNetConfig {
 
 /// Depthwise-separable block: depthwise 3x3 (+BN+ReLU) then pointwise
 /// 1x1 conv (+BN+ReLU).
-fn separable(
-    b: &mut GraphBuilder,
-    x: NodeId,
-    out_ch: usize,
-    stride: usize,
-    label: &str,
-) -> NodeId {
+fn separable(b: &mut GraphBuilder, x: NodeId, out_ch: usize, stride: usize, label: &str) -> NodeId {
     let c_in = b.graph().node(x).shape.dim(1);
     let dw_w = b.weight(&format!("{label}.dw.w"), &[c_in, 1, 3, 3]);
     let dw = b
         .op(
             &format!("{label}.dw"),
-            Op::DepthwiseConv2d { stride, padding: 1, bias: false },
+            Op::DepthwiseConv2d {
+                stride,
+                padding: 1,
+                bias: false,
+            },
             &[x, dw_w],
         )
         .expect("depthwise conv");
@@ -71,7 +81,8 @@ fn bn_relu(b: &mut GraphBuilder, x: NodeId, c: usize, label: &str) -> NodeId {
     let bn = b
         .op(&format!("{label}.bn"), Op::BatchNorm2d, &[x, g, beta, m, v])
         .expect("bn");
-    b.op(&format!("{label}.relu"), Op::Relu, &[bn]).expect("relu")
+    b.op(&format!("{label}.relu"), Op::Relu, &[bn])
+        .expect("relu")
 }
 
 /// Build MobileNetV1.
@@ -128,15 +139,23 @@ mod tests {
         // MobileNet's selling point: ~0.57 GMACs vs ResNet-18's ~1.8.
         let m = mobilenet(&MobileNetConfig::default()).total_cost();
         let r = crate::resnet(&crate::ResNetConfig::default()).total_cost();
-        assert!(m.flops < r.flops / 2.5, "mobilenet {} resnet {}", m.flops, r.flops);
+        assert!(
+            m.flops < r.flops / 2.5,
+            "mobilenet {} resnet {}",
+            m.flops,
+            r.flops
+        );
     }
 
     #[test]
     fn width_multiplier_scales_work() {
         let full = mobilenet(&MobileNetConfig::default()).total_cost().flops;
-        let half = mobilenet(&MobileNetConfig { width_mult: 0.5, ..Default::default() })
-            .total_cost()
-            .flops;
+        let half = mobilenet(&MobileNetConfig {
+            width_mult: 0.5,
+            ..Default::default()
+        })
+        .total_cost()
+        .flops;
         assert!(half < full / 2.5, "half {half} full {full}");
     }
 

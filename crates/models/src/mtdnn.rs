@@ -68,42 +68,52 @@ impl MtDnnConfig {
 
 /// One SAN-style answer module: project the shared sequence down, run a
 /// GRU over it, classify the final state.
-fn task_head(
-    b: &mut GraphBuilder,
-    shared: NodeId,
-    cfg: &MtDnnConfig,
-    task: usize,
-) -> NodeId {
+fn task_head(b: &mut GraphBuilder, shared: NodeId, cfg: &MtDnnConfig, task: usize) -> NodeId {
     let label = format!("task{task}");
     let proj = b
-        .dense(&format!("{label}.proj"), shared, cfg.task_hidden, Some(Op::Tanh))
+        .dense(
+            &format!("{label}.proj"),
+            shared,
+            cfg.task_hidden,
+            Some(Op::Tanh),
+        )
         .expect("proj");
     let seqd = b
         .op(
             &format!("{label}.seq"),
-            Op::Reshape { shape: vec![cfg.seq_len, 1, cfg.task_hidden] },
+            Op::Reshape {
+                shape: vec![cfg.seq_len, 1, cfg.task_hidden],
+            },
             &[proj],
         )
         .expect("reshape");
-    let gru = b.gru(&format!("{label}.gru"), seqd, cfg.task_hidden).expect("gru");
+    let gru = b
+        .gru(&format!("{label}.gru"), seqd, cfg.task_hidden)
+        .expect("gru");
     let flat = b
         .op(
             &format!("{label}.flat"),
-            Op::Reshape { shape: vec![cfg.seq_len, cfg.task_hidden] },
+            Op::Reshape {
+                shape: vec![cfg.seq_len, cfg.task_hidden],
+            },
             &[gru],
         )
         .expect("flat");
     let last = b
         .op(
             &format!("{label}.last"),
-            Op::SliceRows { start: cfg.seq_len - 1, end: cfg.seq_len },
+            Op::SliceRows {
+                start: cfg.seq_len - 1,
+                end: cfg.seq_len,
+            },
             &[flat],
         )
         .expect("last");
     let logits = b
         .dense(&format!("{label}.cls"), last, cfg.task_classes, None)
         .expect("cls");
-    b.op(&format!("{label}.logsoftmax"), Op::LogSoftmax, &[logits]).expect("out")
+    b.op(&format!("{label}.logsoftmax"), Op::LogSoftmax, &[logits])
+        .expect("out")
 }
 
 /// Build the MT-DNN graph: lexicon encoder → transformer stack → K
@@ -114,7 +124,9 @@ pub fn mtdnn(cfg: &MtDnnConfig) -> Graph {
     // Lexicon encoder: token embedding + learned positional embedding.
     let ids = b.input("ids", vec![cfg.seq_len]);
     let table = b.weight("embed.table", &[cfg.vocab, cfg.d_model]);
-    let tok = b.op("embed.lookup", Op::Embedding, &[table, ids]).expect("embed");
+    let tok = b
+        .op("embed.lookup", Op::Embedding, &[table, ids])
+        .expect("embed");
     let pos = b.constant(
         "embed.pos",
         Tensor::randn(vec![cfg.seq_len, cfg.d_model], 0.02, cfg.seed ^ 0x9e37),
@@ -130,7 +142,9 @@ pub fn mtdnn(cfg: &MtDnnConfig) -> Graph {
 
     // Independent task heads — all consume the shared encoding (a shared
     // node the partitioner will replicate as boundary placeholders).
-    let outs: Vec<NodeId> = (0..cfg.num_tasks).map(|t| task_head(&mut b, h, cfg, t)).collect();
+    let outs: Vec<NodeId> = (0..cfg.num_tasks)
+        .map(|t| task_head(&mut b, h, cfg, t))
+        .collect();
     b.finish(&outs).expect("mtdnn builds")
 }
 
@@ -144,7 +158,11 @@ mod tests {
         let g = mtdnn(&MtDnnConfig::default());
         g.validate().unwrap();
         assert_eq!(g.outputs().len(), 4);
-        let mhas = g.nodes().iter().filter(|n| matches!(n.op, Op::Mha { .. })).count();
+        let mhas = g
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.op, Op::Mha { .. }))
+            .count();
         assert_eq!(mhas, 6);
         let grus = g.nodes().iter().filter(|n| matches!(n.op, Op::Gru)).count();
         assert_eq!(grus, 4);
@@ -157,8 +175,7 @@ mod tests {
         let shared = g
             .nodes()
             .iter()
-            .filter(|n| n.label.ends_with("res2"))
-            .last()
+            .rfind(|n| n.label.ends_with("res2"))
             .unwrap();
         assert_eq!(shared.outputs.len(), 4);
     }
@@ -192,7 +209,10 @@ mod tests {
 
     #[test]
     fn task_count_scales_heads() {
-        let g = mtdnn(&MtDnnConfig { num_tasks: 7, ..MtDnnConfig::small() });
+        let g = mtdnn(&MtDnnConfig {
+            num_tasks: 7,
+            ..MtDnnConfig::small()
+        });
         assert_eq!(g.outputs().len(), 7);
     }
 }

@@ -18,14 +18,26 @@ pub struct ResNetConfig {
 
 impl Default for ResNetConfig {
     fn default() -> Self {
-        ResNetConfig { depth: 18, batch: 1, image: 224, num_classes: 1000, seed: 0x5e5 }
+        ResNetConfig {
+            depth: 18,
+            batch: 1,
+            image: 224,
+            num_classes: 1000,
+            seed: 0x5e5,
+        }
     }
 }
 
 impl ResNetConfig {
     /// Tiny variant for numeric tests (runs in milliseconds).
     pub fn small() -> Self {
-        ResNetConfig { depth: 18, batch: 1, image: 32, num_classes: 10, seed: 0x5e5 }
+        ResNetConfig {
+            depth: 18,
+            batch: 1,
+            image: 32,
+            num_classes: 10,
+            seed: 0x5e5,
+        }
     }
 
     /// Per-stage block counts and whether bottleneck blocks are used.
@@ -56,7 +68,14 @@ pub fn resnet_backbone(
         .conv_bn_relu(&format!("{prefix}.stem"), x, 64, 7, 2, 3, true)
         .expect("stem");
     h = b
-        .op(&format!("{prefix}.stem.pool"), Op::MaxPool2d { window: 3, stride: 2 }, &[h])
+        .op(
+            &format!("{prefix}.stem.pool"),
+            Op::MaxPool2d {
+                window: 3,
+                stride: 2,
+            },
+            &[h],
+        )
         .expect("stem pool");
     let widths = [64usize, 128, 256, 512];
     let mut in_ch = 64;
@@ -88,12 +107,17 @@ pub fn resnet_backbone(
                 b.conv_bn_relu(&format!("{label}.c2"), c1, out_ch, 3, 1, 1, false)
                     .expect("c2")
             };
-            let sum = b.op(&format!("{label}.res"), Op::Add, &[body, shortcut]).expect("res");
-            h = b.op(&format!("{label}.relu"), Op::Relu, &[sum]).expect("relu");
+            let sum = b
+                .op(&format!("{label}.res"), Op::Add, &[body, shortcut])
+                .expect("res");
+            h = b
+                .op(&format!("{label}.relu"), Op::Relu, &[sum])
+                .expect("relu");
             in_ch = out_ch;
         }
     }
-    b.op(&format!("{prefix}.gap"), Op::GlobalAvgPool2d, &[h]).expect("gap")
+    b.op(&format!("{prefix}.gap"), Op::GlobalAvgPool2d, &[h])
+        .expect("gap")
 }
 
 /// Build a full ResNet classifier.
@@ -126,7 +150,10 @@ mod tests {
 
     #[test]
     fn resnet50_uses_bottlenecks() {
-        let g = resnet(&ResNetConfig { depth: 50, ..Default::default() });
+        let g = resnet(&ResNetConfig {
+            depth: 50,
+            ..Default::default()
+        });
         let convs = g
             .nodes()
             .iter()
@@ -138,7 +165,12 @@ mod tests {
     #[test]
     fn deeper_resnets_cost_more() {
         let flops = |d: usize| {
-            resnet(&ResNetConfig { depth: d, ..Default::default() }).total_cost().flops
+            resnet(&ResNetConfig {
+                depth: d,
+                ..Default::default()
+            })
+            .total_cost()
+            .flops
         };
         let (f18, f34, f50, f101) = (flops(18), flops(34), flops(50), flops(101));
         assert!(f18 < f34 && f34 < f50 && f50 < f101);
@@ -159,6 +191,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "unsupported ResNet depth")]
     fn bad_depth_panics() {
-        resnet(&ResNetConfig { depth: 20, ..Default::default() });
+        resnet(&ResNetConfig {
+            depth: 20,
+            ..Default::default()
+        });
     }
 }

@@ -40,7 +40,14 @@ impl Default for SiameseConfig {
 impl SiameseConfig {
     /// Tiny variant for numeric tests.
     pub fn small() -> Self {
-        SiameseConfig { batch: 1, seq_len: 4, embed_dim: 8, hidden: 8, rnn_layers: 1, seed: 3 }
+        SiameseConfig {
+            batch: 1,
+            seq_len: 4,
+            embed_dim: 8,
+            hidden: 8,
+            rnn_layers: 1,
+            seed: 3,
+        }
     }
 }
 
@@ -51,7 +58,9 @@ pub fn siamese(cfg: &SiameseConfig) -> Graph {
     let shape = vec![cfg.seq_len, cfg.batch, cfg.embed_dim];
 
     let query = b.input("query.text", shape.clone());
-    let qstack = b.lstm_stack("query", query, cfg.hidden, cfg.rnn_layers).expect("query lstm");
+    let qstack = b
+        .lstm_stack("query", query, cfg.hidden, cfg.rnn_layers)
+        .expect("query lstm");
     let qvec = last_step(&mut b, qstack, "query").expect("query last");
 
     let passage = b.input("passage.text", shape);
@@ -60,10 +69,16 @@ pub fn siamese(cfg: &SiameseConfig) -> Graph {
         .expect("passage lstm");
     let pvec = last_step(&mut b, pstack, "passage").expect("passage last");
 
-    let cat = b.op("head.concat", Op::Concat { axis: 1 }, &[qvec, pvec]).expect("concat");
-    let h = b.dense("head.fc", cat, 128, Some(Op::Relu)).expect("head fc");
+    let cat = b
+        .op("head.concat", Op::Concat { axis: 1 }, &[qvec, pvec])
+        .expect("concat");
+    let h = b
+        .dense("head.fc", cat, 128, Some(Op::Relu))
+        .expect("head fc");
     let logit = b.dense("head.score", h, 1, None).expect("score");
-    let sim = b.op("head.sigmoid", Op::Sigmoid, &[logit]).expect("sigmoid");
+    let sim = b
+        .op("head.sigmoid", Op::Sigmoid, &[logit])
+        .expect("sigmoid");
     b.finish(&[sim]).expect("siamese builds")
 }
 

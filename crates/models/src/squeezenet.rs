@@ -20,9 +20,18 @@ fn conv_relu(
     let w = b.weight(&format!("{label}.w"), &[out_ch, c_in, kernel, kernel]);
     let bias = b.zeros(&format!("{label}.b"), &[out_ch]);
     let conv = b
-        .op(label, Op::Conv2d { stride, padding, bias: true }, &[x, w, bias])
+        .op(
+            label,
+            Op::Conv2d {
+                stride,
+                padding,
+                bias: true,
+            },
+            &[x, w, bias],
+        )
         .expect("conv");
-    b.op(&format!("{label}.relu"), Op::Relu, &[conv]).expect("relu")
+    b.op(&format!("{label}.relu"), Op::Relu, &[conv])
+        .expect("relu")
 }
 
 /// Fire module: squeeze 1x1 → (expand 1x1 ‖ expand 3x3) → concat.
@@ -30,7 +39,12 @@ fn fire(b: &mut GraphBuilder, x: NodeId, squeeze: usize, expand: usize, label: &
     let s = conv_relu(b, x, squeeze, 1, 1, 0, &format!("{label}.squeeze"));
     let e1 = conv_relu(b, s, expand, 1, 1, 0, &format!("{label}.e1x1"));
     let e3 = conv_relu(b, s, expand, 3, 1, 1, &format!("{label}.e3x3"));
-    b.op(&format!("{label}.concat"), Op::Concat { axis: 1 }, &[e1, e3]).expect("concat")
+    b.op(
+        &format!("{label}.concat"),
+        Op::Concat { axis: 1 },
+        &[e1, e3],
+    )
+    .expect("concat")
 }
 
 /// Build SqueezeNet 1.0.
@@ -38,16 +52,43 @@ pub fn squeezenet(batch: usize, image: usize) -> Graph {
     let mut b = GraphBuilder::new("squeezenet", 0x50ee);
     let x = b.input("image", vec![batch, 3, image, image]);
     let mut h = conv_relu(&mut b, x, 96, 7, 2, 3, "cnn.stem");
-    h = b.op("cnn.pool1", Op::MaxPool2d { window: 3, stride: 2 }, &[h]).expect("pool");
+    h = b
+        .op(
+            "cnn.pool1",
+            Op::MaxPool2d {
+                window: 3,
+                stride: 2,
+            },
+            &[h],
+        )
+        .expect("pool");
     h = fire(&mut b, h, 16, 64, "cnn.fire2");
     h = fire(&mut b, h, 16, 64, "cnn.fire3");
     h = fire(&mut b, h, 32, 128, "cnn.fire4");
-    h = b.op("cnn.pool4", Op::MaxPool2d { window: 3, stride: 2 }, &[h]).expect("pool");
+    h = b
+        .op(
+            "cnn.pool4",
+            Op::MaxPool2d {
+                window: 3,
+                stride: 2,
+            },
+            &[h],
+        )
+        .expect("pool");
     h = fire(&mut b, h, 32, 128, "cnn.fire5");
     h = fire(&mut b, h, 48, 192, "cnn.fire6");
     h = fire(&mut b, h, 48, 192, "cnn.fire7");
     h = fire(&mut b, h, 64, 256, "cnn.fire8");
-    h = b.op("cnn.pool8", Op::MaxPool2d { window: 3, stride: 2 }, &[h]).expect("pool");
+    h = b
+        .op(
+            "cnn.pool8",
+            Op::MaxPool2d {
+                window: 3,
+                stride: 2,
+            },
+            &[h],
+        )
+        .expect("pool");
     h = fire(&mut b, h, 64, 256, "cnn.fire9");
     h = conv_relu(&mut b, h, 1000, 1, 1, 0, "cnn.conv10");
     let gap = b.op("gap", Op::GlobalAvgPool2d, &[h]).expect("gap");
@@ -63,7 +104,11 @@ mod tests {
     #[test]
     fn eight_fire_modules() {
         let g = squeezenet(1, 224);
-        let concats = g.nodes().iter().filter(|n| matches!(n.op, Op::Concat { .. })).count();
+        let concats = g
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.op, Op::Concat { .. }))
+            .count();
         assert_eq!(concats, 8);
         g.validate().unwrap();
     }

@@ -8,9 +8,18 @@ fn conv_relu(b: &mut GraphBuilder, x: NodeId, out_ch: usize, label: &str) -> Nod
     let w = b.weight(&format!("{label}.w"), &[out_ch, c_in, 3, 3]);
     let bias = b.zeros(&format!("{label}.b"), &[out_ch]);
     let conv = b
-        .op(label, Op::Conv2d { stride: 1, padding: 1, bias: true }, &[x, w, bias])
+        .op(
+            label,
+            Op::Conv2d {
+                stride: 1,
+                padding: 1,
+                bias: true,
+            },
+            &[x, w, bias],
+        )
         .expect("conv");
-    b.op(&format!("{label}.relu"), Op::Relu, &[conv]).expect("relu")
+    b.op(&format!("{label}.relu"), Op::Relu, &[conv])
+        .expect("relu")
 }
 
 /// Build VGG-16 (configuration D): 13 convs in 5 stages + 3 FC layers.
@@ -24,12 +33,25 @@ pub fn vgg16(batch: usize, image: usize) -> Graph {
             h = conv_relu(&mut b, h, *ch, &format!("cnn.s{s}.c{c}"));
         }
         h = b
-            .op(&format!("cnn.s{s}.pool"), Op::MaxPool2d { window: 2, stride: 2 }, &[h])
+            .op(
+                &format!("cnn.s{s}.pool"),
+                Op::MaxPool2d {
+                    window: 2,
+                    stride: 2,
+                },
+                &[h],
+            )
             .expect("pool");
     }
     let dims = b.graph().node(h).shape.dims().to_vec();
     let flat = b
-        .op("flatten", Op::Reshape { shape: vec![batch, dims[1] * dims[2] * dims[3]] }, &[h])
+        .op(
+            "flatten",
+            Op::Reshape {
+                shape: vec![batch, dims[1] * dims[2] * dims[3]],
+            },
+            &[h],
+        )
         .expect("flatten");
     let f1 = b.dense("fc1", flat, 4096, Some(Op::Relu)).expect("fc1");
     let f2 = b.dense("fc2", f1, 4096, Some(Op::Relu)).expect("fc2");
@@ -46,7 +68,11 @@ mod tests {
     #[test]
     fn thirteen_convolutions() {
         let g = vgg16(1, 224);
-        let convs = g.nodes().iter().filter(|n| matches!(n.op, Op::Conv2d { .. })).count();
+        let convs = g
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.op, Op::Conv2d { .. }))
+            .count();
         assert_eq!(convs, 13);
         g.validate().unwrap();
     }
@@ -55,7 +81,12 @@ mod tests {
     fn vgg_is_heavier_than_resnet18() {
         let vgg = vgg16(1, 224).total_cost();
         let res = crate::resnet(&crate::ResNetConfig::default()).total_cost();
-        assert!(vgg.flops > 5.0 * res.flops, "vgg {} res {}", vgg.flops, res.flops);
+        assert!(
+            vgg.flops > 5.0 * res.flops,
+            "vgg {} res {}",
+            vgg.flops,
+            res.flops
+        );
     }
 
     #[test]

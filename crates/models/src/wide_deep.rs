@@ -97,15 +97,26 @@ pub(crate) fn last_step(
     let (seq, batch, hidden) = (dims[0], dims[1], dims[2]);
     let flat = b.op(
         &format!("{label}.flat"),
-        Op::Reshape { shape: vec![seq, batch * hidden] },
+        Op::Reshape {
+            shape: vec![seq, batch * hidden],
+        },
         &[x],
     )?;
     let last = b.op(
         &format!("{label}.last"),
-        Op::SliceRows { start: seq - 1, end: seq },
+        Op::SliceRows {
+            start: seq - 1,
+            end: seq,
+        },
         &[flat],
     )?;
-    b.op(&format!("{label}.vec"), Op::Reshape { shape: vec![batch, hidden] }, &[last])
+    b.op(
+        &format!("{label}.vec"),
+        Op::Reshape {
+            shape: vec![batch, hidden],
+        },
+        &[last],
+    )
 }
 
 /// Build the Wide-and-Deep graph.
@@ -114,7 +125,9 @@ pub fn wide_and_deep(cfg: &WideAndDeepConfig) -> Graph {
 
     // ---- wide branch: one wide linear over cross-product features.
     let wide_in = b.input("wide.features", vec![cfg.batch, cfg.wide_features]);
-    let wide = b.dense("wide.linear", wide_in, 256, Some(Op::Relu)).expect("wide");
+    let wide = b
+        .dense("wide.linear", wide_in, 256, Some(Op::Relu))
+        .expect("wide");
 
     // ---- deep branch: FFN over dense features.
     let deep_in = b.input("deep.features", vec![cfg.batch, cfg.deep_features]);
@@ -145,11 +158,19 @@ pub fn wide_and_deep(cfg: &WideAndDeepConfig) -> Graph {
 
     // ---- head: concat all encodings, dense, score.
     let cat = b
-        .op("head.concat", Op::Concat { axis: 1 }, &[wide, deep, rnn, cnn])
+        .op(
+            "head.concat",
+            Op::Concat { axis: 1 },
+            &[wide, deep, rnn, cnn],
+        )
         .expect("concat");
-    let h = b.dense("head.fc", cat, 256, Some(Op::Relu)).expect("head fc");
+    let h = b
+        .dense("head.fc", cat, 256, Some(Op::Relu))
+        .expect("head fc");
     let logit = b.dense("head.out", h, 1, None).expect("head out");
-    let score = b.op("head.sigmoid", Op::Sigmoid, &[logit]).expect("sigmoid");
+    let score = b
+        .op("head.sigmoid", Op::Sigmoid, &[logit])
+        .expect("sigmoid");
     b.finish(&[score]).expect("wide_and_deep builds")
 }
 
@@ -163,9 +184,17 @@ mod tests {
         let g = wide_and_deep(&WideAndDeepConfig::default());
         g.validate().unwrap();
         assert_eq!(g.input_ids().len(), 4);
-        let lstms = g.nodes().iter().filter(|n| matches!(n.op, Op::Lstm)).count();
+        let lstms = g
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.op, Op::Lstm))
+            .count();
         assert_eq!(lstms, 1);
-        let convs = g.nodes().iter().filter(|n| matches!(n.op, Op::Conv2d { .. })).count();
+        let convs = g
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.op, Op::Conv2d { .. }))
+            .count();
         assert_eq!(convs, 20);
     }
 
@@ -176,7 +205,11 @@ mod tests {
                 rnn_layers: layers,
                 ..WideAndDeepConfig::default()
             });
-            let lstms = g.nodes().iter().filter(|n| matches!(n.op, Op::Lstm)).count();
+            let lstms = g
+                .nodes()
+                .iter()
+                .filter(|n| matches!(n.op, Op::Lstm))
+                .count();
             assert_eq!(lstms, layers);
         }
     }
@@ -184,9 +217,12 @@ mod tests {
     #[test]
     fn cnn_depth_sweep_scales_flops() {
         let flops = |d| {
-            wide_and_deep(&WideAndDeepConfig { cnn_depth: d, ..WideAndDeepConfig::default() })
-                .total_cost()
-                .flops
+            wide_and_deep(&WideAndDeepConfig {
+                cnn_depth: d,
+                ..WideAndDeepConfig::default()
+            })
+            .total_cost()
+            .flops
         };
         assert!(flops(18) < flops(34));
         assert!(flops(34) < flops(50));
@@ -204,7 +240,10 @@ mod tests {
 
     #[test]
     fn batch_sweep_changes_shapes() {
-        let g = wide_and_deep(&WideAndDeepConfig { batch: 8, ..WideAndDeepConfig::small() });
+        let g = wide_and_deep(&WideAndDeepConfig {
+            batch: 8,
+            ..WideAndDeepConfig::small()
+        });
         let out_id = g.outputs()[0];
         assert_eq!(g.node(out_id).shape.dims(), &[8, 1]);
     }

@@ -55,7 +55,11 @@ pub struct HeterogeneousExecutor<'g> {
 impl<'g> HeterogeneousExecutor<'g> {
     /// Create an executor over a placed schedule.
     pub fn new(graph: &'g Graph, placed: &'g [Placed], system: SystemModel) -> Self {
-        HeterogeneousExecutor { graph, placed, system }
+        HeterogeneousExecutor {
+            graph,
+            placed,
+            system,
+        }
     }
 
     /// Execute one inference with the given input feeds.
@@ -78,17 +82,14 @@ impl<'g> HeterogeneousExecutor<'g> {
                 if matches!(self.graph.node(src).op, Op::Input) {
                     continue;
                 }
-                let pidx = *producer
-                    .get(&src)
-                    .ok_or(GraphError::MissingFeed(src))?;
+                let pidx = *producer.get(&src).ok_or(GraphError::MissingFeed(src))?;
                 if !deps[i].contains(&pidx) {
                     deps[i].push(pidx);
                     consumers[pidx].push(i);
                 }
             }
         }
-        let pending: Vec<AtomicUsize> =
-            deps.iter().map(|d| AtomicUsize::new(d.len())).collect();
+        let pending: Vec<AtomicUsize> = deps.iter().map(|d| AtomicUsize::new(d.len())).collect();
 
         // Shared state.
         let values: Mutex<HashMap<NodeId, Tensor>> = Mutex::new(feeds.clone());
@@ -158,7 +159,8 @@ impl<'g> HeterogeneousExecutor<'g> {
                             }
                         }
                         let start = ready.max(device_time);
-                        let exec = crate::sim::subgraph_exec_time_us(&self.system, device, &placed.sg);
+                        let exec =
+                            crate::sim::subgraph_exec_time_us(&self.system, device, &placed.sg);
 
                         // Real numerics on the host.
                         let env = values.lock().clone();
@@ -262,8 +264,11 @@ mod tests {
             used.extend(&ids);
             sgs.push(c.compile_nodes(g, &ids, *p));
         }
-        let rest: Vec<NodeId> =
-            g.compute_ids().into_iter().filter(|i| !used.contains(i)).collect();
+        let rest: Vec<NodeId> = g
+            .compute_ids()
+            .into_iter()
+            .filter(|i| !used.contains(i))
+            .collect();
         if !rest.is_empty() {
             sgs.push(c.compile_nodes(g, &rest, "rest"));
         }
@@ -279,7 +284,11 @@ mod tests {
             .enumerate()
             .map(|(i, sg)| Placed {
                 sg,
-                device: if i % 2 == 0 { DeviceKind::Cpu } else { DeviceKind::Gpu },
+                device: if i % 2 == 0 {
+                    DeviceKind::Cpu
+                } else {
+                    DeviceKind::Gpu
+                },
             })
             .collect();
         let exec = HeterogeneousExecutor::new(&g, &placed, SystemModel::paper_server());
@@ -301,7 +310,11 @@ mod tests {
             .enumerate()
             .map(|(i, sg)| Placed {
                 sg,
-                device: if i == 1 { DeviceKind::Gpu } else { DeviceKind::Cpu },
+                device: if i == 1 {
+                    DeviceKind::Gpu
+                } else {
+                    DeviceKind::Cpu
+                },
             })
             .collect();
         let sys = SystemModel::paper_server();
@@ -311,7 +324,11 @@ mod tests {
         // The threaded engine may serialize same-device work in a slightly
         // different (still valid) order; latencies agree within 20%.
         let rel = (out.virtual_latency_us - sim_lat).abs() / sim_lat;
-        assert!(rel < 0.2, "threaded {} vs sim {sim_lat}", out.virtual_latency_us);
+        assert!(
+            rel < 0.2,
+            "threaded {} vs sim {sim_lat}",
+            out.virtual_latency_us
+        );
     }
 
     #[test]
@@ -319,7 +336,10 @@ mod tests {
         let g = branchy();
         let c = Compiler::default();
         let whole = c.compile_whole(&g, "whole");
-        let placed = vec![Placed { sg: whole, device: DeviceKind::Gpu }];
+        let placed = vec![Placed {
+            sg: whole,
+            device: DeviceKind::Gpu,
+        }];
         let exec = HeterogeneousExecutor::new(&g, &placed, SystemModel::paper_server());
         let feeds = input_feeds(&g, 2);
         let out = exec.run(&feeds).unwrap();
@@ -337,7 +357,11 @@ mod tests {
             .enumerate()
             .map(|(i, sg)| Placed {
                 sg,
-                device: if i == 0 { DeviceKind::Gpu } else { DeviceKind::Cpu },
+                device: if i == 0 {
+                    DeviceKind::Gpu
+                } else {
+                    DeviceKind::Cpu
+                },
             })
             .collect();
         let feeds = input_feeds(&g, 3);
@@ -353,7 +377,10 @@ mod tests {
         let g = branchy();
         let c = Compiler::default();
         let whole = c.compile_whole(&g, "whole");
-        let placed = vec![Placed { sg: whole, device: DeviceKind::Cpu }];
+        let placed = vec![Placed {
+            sg: whole,
+            device: DeviceKind::Cpu,
+        }];
         let exec = HeterogeneousExecutor::new(&g, &placed, SystemModel::paper_server());
         let res = exec.run(&HashMap::new());
         assert!(res.is_err());
@@ -368,7 +395,11 @@ mod tests {
             .enumerate()
             .map(|(i, sg)| Placed {
                 sg,
-                device: if i == 0 { DeviceKind::Gpu } else { DeviceKind::Cpu },
+                device: if i == 0 {
+                    DeviceKind::Gpu
+                } else {
+                    DeviceKind::Cpu
+                },
             })
             .collect();
         let exec = HeterogeneousExecutor::new(&g, &placed, SystemModel::paper_server());
@@ -376,7 +407,10 @@ mod tests {
         let first = exec.run(&feeds).unwrap();
         for _ in 0..10 {
             let again = exec.run(&feeds).unwrap();
-            assert_eq!(again.outputs[&g.outputs()[0]], first.outputs[&g.outputs()[0]]);
+            assert_eq!(
+                again.outputs[&g.outputs()[0]],
+                first.outputs[&g.outputs()[0]]
+            );
         }
     }
 }

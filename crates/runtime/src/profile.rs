@@ -77,7 +77,12 @@ impl Profiler {
     /// Profiler with the paper's defaults: 500 runs, 50 warm-up, on the
     /// paper's server model.
     pub fn new(system: SystemModel) -> Self {
-        Profiler { system, runs: 500, warmup: 50, seed: 0xbe9c }
+        Profiler {
+            system,
+            runs: 500,
+            warmup: 50,
+            seed: 0xbe9c,
+        }
     }
 
     /// Override the run count (min 1 measured run enforced).
@@ -111,7 +116,10 @@ impl Profiler {
             LatencyStats::from_samples(samples)
         };
         // Distinct noise streams per (subgraph, device).
-        let tag = sg.name.bytes().fold(0u64, |h, b| h.wrapping_mul(131).wrapping_add(b as u64));
+        let tag = sg
+            .name
+            .bytes()
+            .fold(0u64, |h, b| h.wrapping_mul(131).wrapping_add(b as u64));
         let cpu_stats = run_device(DeviceKind::Cpu, self.seed ^ tag);
         let gpu_stats = run_device(DeviceKind::Gpu, self.seed ^ tag ^ 0xffff);
         SubgraphProfile {

@@ -36,7 +36,11 @@ pub struct ServingConfig {
 
 impl Default for ServingConfig {
     fn default() -> Self {
-        ServingConfig { arrival_rate_qps: 100.0, requests: 2000, seed: 0x5e12 }
+        ServingConfig {
+            arrival_rate_qps: 100.0,
+            requests: 2000,
+            seed: 0x5e12,
+        }
     }
 }
 
@@ -102,7 +106,10 @@ mod tests {
 
     fn plan(graph: &Graph) -> Vec<Placed> {
         let sg = Compiler::default().compile_whole(graph, "w");
-        vec![Placed { sg, device: DeviceKind::Gpu }]
+        vec![Placed {
+            sg,
+            device: DeviceKind::Gpu,
+        }]
     }
 
     #[test]
@@ -115,7 +122,11 @@ mod tests {
             &g,
             &placed,
             &sys,
-            &ServingConfig { arrival_rate_qps: 1.0, requests: 300, seed: 1 },
+            &ServingConfig {
+                arrival_rate_qps: 1.0,
+                requests: 300,
+                seed: 1,
+            },
         );
         assert!((r.sojourn.p50() - r.service.p50()).abs() / r.service.p50() < 0.01);
         assert!(r.utilization < 0.01);
@@ -133,7 +144,11 @@ mod tests {
             &g,
             &placed,
             &sys,
-            &ServingConfig { arrival_rate_qps: rate, requests: 500, seed: 2 },
+            &ServingConfig {
+                arrival_rate_qps: rate,
+                requests: 500,
+                seed: 2,
+            },
         );
         assert!(r.utilization > 0.95, "{}", r.utilization);
         // Sojourn far exceeds service under overload.
@@ -148,7 +163,11 @@ mod tests {
         let g = mlp(&MlpConfig::default());
         let sys = SystemModel::paper_server();
         let placed = plan(&g);
-        let cfg = ServingConfig { arrival_rate_qps: 200.0, requests: 200, seed: 7 };
+        let cfg = ServingConfig {
+            arrival_rate_qps: 200.0,
+            requests: 200,
+            seed: 7,
+        };
         let a = simulate_serving(&g, &placed, &sys, &cfg);
         let b = simulate_serving(&g, &placed, &sys, &cfg);
         assert_eq!(a.sojourn.p99(), b.sojourn.p99());
@@ -165,7 +184,11 @@ mod tests {
             &g,
             &placed,
             &sys,
-            &ServingConfig { arrival_rate_qps: 0.0, requests: 10, seed: 0 },
+            &ServingConfig {
+                arrival_rate_qps: 0.0,
+                requests: 10,
+                seed: 0,
+            },
         );
     }
 }

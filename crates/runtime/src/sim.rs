@@ -80,7 +80,10 @@ pub struct SimNoise {
 impl SimNoise {
     /// Deterministic (noise-free) simulation.
     pub fn disabled() -> Self {
-        SimNoise { compute: NoiseModel::disabled(), transfer: NoiseModel::disabled() }
+        SimNoise {
+            compute: NoiseModel::disabled(),
+            transfer: NoiseModel::disabled(),
+        }
     }
 
     /// Seeded realistic noise (compute jitter + PCIe contention spikes).
@@ -160,7 +163,10 @@ pub fn simulate(
             if done[i] {
                 continue;
             }
-            if all_deps[i].iter().any(|(_, p)| p.map(|p| !done[p]).unwrap_or(false)) {
+            if all_deps[i]
+                .iter()
+                .any(|(_, p)| p.map(|p| !done[p]).unwrap_or(false))
+            {
                 continue;
             }
             let dev = placed[i].device;
@@ -196,8 +202,7 @@ pub fn simulate(
                 best = Some((est, i, ready, xfer_bytes));
             }
         }
-        let (_, i, ready, xfer_bytes) =
-            best.expect("acyclic schedule always has a ready subgraph");
+        let (_, i, ready, xfer_bytes) = best.expect("acyclic schedule always has a ready subgraph");
         let dev = placed[i].device;
         // Sample noise now: transfer noise stretches readiness, compute
         // noise stretches execution.
@@ -216,10 +221,14 @@ pub fn simulate(
             .iter()
             .enumerate()
             .any(|(l, &t)| l != lane && t > start);
-        let penalty = if contended { system.device(dev).lane_penalty() } else { 1.0 };
-        let exec = noise.compute.sample(
-            subgraph_exec_time_us(system, dev, &placed[i].sg) * penalty,
-        );
+        let penalty = if contended {
+            system.device(dev).lane_penalty()
+        } else {
+            1.0
+        };
+        let exec = noise
+            .compute
+            .sample(subgraph_exec_time_us(system, dev, &placed[i].sg) * penalty);
         let end = start + exec;
         finish[i] = end;
         done[i] = true;
@@ -235,7 +244,9 @@ pub fn simulate(
     // All graph outputs must land back on the host.
     let mut latency: f64 = 0.0;
     for &out in graph.outputs() {
-        let p = *producer.get(&out).expect("output produced by some subgraph");
+        let p = *producer
+            .get(&out)
+            .expect("output produced by some subgraph");
         let mut t = finish[p];
         if placed[p].device == DeviceKind::Gpu {
             let bytes = graph.node(out).shape.byte_size() as f64;
@@ -244,7 +255,11 @@ pub fn simulate(
         }
         latency = latency.max(t);
     }
-    SimResult { latency_us: latency, timeline, transferred_bytes: transferred }
+    SimResult {
+        latency_us: latency,
+        timeline,
+        transferred_bytes: transferred,
+    }
 }
 
 #[cfg(test)]
@@ -270,12 +285,22 @@ mod tests {
         let c = Compiler::default();
         let ids = g.compute_ids();
         // left = {1st dense+act}, right = {2nd dense+act}, head = rest.
-        let left: Vec<_> = ids.iter().copied().filter(|&i| g.node(i).label.starts_with("left")).collect();
-        let right: Vec<_> = ids.iter().copied().filter(|&i| g.node(i).label.starts_with("right")).collect();
+        let left: Vec<_> = ids
+            .iter()
+            .copied()
+            .filter(|&i| g.node(i).label.starts_with("left"))
+            .collect();
+        let right: Vec<_> = ids
+            .iter()
+            .copied()
+            .filter(|&i| g.node(i).label.starts_with("right"))
+            .collect();
         let head: Vec<_> = ids
             .iter()
             .copied()
-            .filter(|&i| !g.node(i).label.starts_with("left") && !g.node(i).label.starts_with("right"))
+            .filter(|&i| {
+                !g.node(i).label.starts_with("left") && !g.node(i).label.starts_with("right")
+            })
             .collect();
         vec![
             c.compile_nodes(g, &left, "left"),
@@ -291,7 +316,10 @@ mod tests {
         let sgs = three_way_split(&g);
         let placed: Vec<Placed> = sgs
             .iter()
-            .map(|sg| Placed { sg: sg.clone(), device: DeviceKind::Cpu })
+            .map(|sg| Placed {
+                sg: sg.clone(),
+                device: DeviceKind::Cpu,
+            })
             .collect();
         let r = simulate(&g, &placed, &sys, &mut SimNoise::disabled());
         let sum: f64 = sgs
@@ -307,8 +335,13 @@ mod tests {
         let g = branchy();
         let sys = SystemModel::paper_server();
         let sgs = three_way_split(&g);
-        let both_cpu: Vec<Placed> =
-            sgs.iter().map(|sg| Placed { sg: sg.clone(), device: DeviceKind::Cpu }).collect();
+        let both_cpu: Vec<Placed> = sgs
+            .iter()
+            .map(|sg| Placed {
+                sg: sg.clone(),
+                device: DeviceKind::Cpu,
+            })
+            .collect();
         let mut split = both_cpu.clone();
         split[1].device = DeviceKind::Gpu;
         let seq = simulate(&g, &both_cpu, &sys, &mut SimNoise::disabled());
@@ -316,7 +349,10 @@ mod tests {
         // The branch subgraphs overlap in time in the split schedule.
         let l = par.timeline.iter().find(|t| t.name == "left").unwrap();
         let r = par.timeline.iter().find(|t| t.name == "right").unwrap();
-        assert!(l.start_us < r.end_us && r.start_us < l.end_us, "branches overlap");
+        assert!(
+            l.start_us < r.end_us && r.start_us < l.end_us,
+            "branches overlap"
+        );
         // And transfers were paid.
         assert!(par.transferred_bytes > 0.0);
         let _ = seq;
@@ -335,13 +371,19 @@ mod tests {
             let placed: Vec<Placed> = sgs
                 .iter()
                 .zip(devices)
-                .map(|(sg, device)| Placed { sg: sg.clone(), device })
+                .map(|(sg, device)| Placed {
+                    sg: sg.clone(),
+                    device,
+                })
                 .collect();
             let r = simulate(&g, &placed, &sys, &mut SimNoise::disabled());
             let head = r.timeline.iter().find(|t| t.name == "head").unwrap();
             for branch in ["left", "right"] {
                 let b = r.timeline.iter().find(|t| t.name == branch).unwrap();
-                assert!(b.end_us <= head.start_us, "{branch} finishes before head starts");
+                assert!(
+                    b.end_us <= head.start_us,
+                    "{branch} finishes before head starts"
+                );
             }
         }
     }
@@ -354,7 +396,10 @@ mod tests {
         let whole = c.compile_whole(&g, "whole");
         let gpu = simulate(
             &g,
-            &[Placed { sg: whole.clone(), device: DeviceKind::Gpu }],
+            &[Placed {
+                sg: whole.clone(),
+                device: DeviceKind::Gpu,
+            }],
             &sys,
             &mut SimNoise::disabled(),
         );
@@ -369,8 +414,13 @@ mod tests {
         let g = branchy();
         let sys = SystemModel::paper_server();
         let sgs = three_way_split(&g);
-        let placed: Vec<Placed> =
-            sgs.iter().map(|sg| Placed { sg: sg.clone(), device: DeviceKind::Cpu }).collect();
+        let placed: Vec<Placed> = sgs
+            .iter()
+            .map(|sg| Placed {
+                sg: sg.clone(),
+                device: DeviceKind::Cpu,
+            })
+            .collect();
         let a = simulate(&g, &placed, &sys, &mut SimNoise::disabled()).latency_us;
         let b = simulate(&g, &placed, &sys, &mut SimNoise::disabled()).latency_us;
         assert_eq!(a, b);
@@ -381,11 +431,17 @@ mod tests {
         let g = branchy();
         let sys = SystemModel::paper_server();
         let sgs = three_way_split(&g);
-        let placed: Vec<Placed> =
-            sgs.iter().map(|sg| Placed { sg: sg.clone(), device: DeviceKind::Cpu }).collect();
+        let placed: Vec<Placed> = sgs
+            .iter()
+            .map(|sg| Placed {
+                sg: sg.clone(),
+                device: DeviceKind::Cpu,
+            })
+            .collect();
         let mut noise = SimNoise::seeded(1);
-        let samples: Vec<f64> =
-            (0..50).map(|_| simulate(&g, &placed, &sys, &mut noise).latency_us).collect();
+        let samples: Vec<f64> = (0..50)
+            .map(|_| simulate(&g, &placed, &sys, &mut noise).latency_us)
+            .collect();
         let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = samples.iter().cloned().fold(0.0, f64::max);
         assert!(max > min);
@@ -401,12 +457,18 @@ mod tests {
             .enumerate()
             .map(|(i, sg)| Placed {
                 sg: sg.clone(),
-                device: if i == 1 { DeviceKind::Gpu } else { DeviceKind::Cpu },
+                device: if i == 1 {
+                    DeviceKind::Gpu
+                } else {
+                    DeviceKind::Cpu
+                },
             })
             .collect();
         let r = simulate(&g, &placed, &sys, &mut SimNoise::disabled());
-        let times: Vec<f64> =
-            placed.iter().map(|p| subgraph_exec_time_us(&sys, p.device, &p.sg)).collect();
+        let times: Vec<f64> = placed
+            .iter()
+            .map(|p| subgraph_exec_time_us(&sys, p.device, &p.sg))
+            .collect();
         // Lower bound: the longest single chain (left->head here).
         let lower = times[0].max(times[1]) + times[2];
         // Upper bound: serial sum plus all transfers ever paid.

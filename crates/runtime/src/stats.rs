@@ -17,7 +17,10 @@ impl LatencyStats {
         assert!(!samples.is_empty(), "no latency samples");
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
         samples.sort_by(f64::total_cmp);
-        LatencyStats { sorted: samples, mean }
+        LatencyStats {
+            sorted: samples,
+            mean,
+        }
     }
 
     /// Number of samples.

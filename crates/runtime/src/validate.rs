@@ -77,13 +77,12 @@ pub fn validate_schedule(graph: &Graph, placed: &[Placed]) -> Result<(), Schedul
     let mut indeg = vec![0usize; n];
     let mut consumers: Vec<Vec<usize>> = vec![Vec::new(); n];
     for (i, p) in placed.iter().enumerate() {
-        let mut deps: Vec<usize> = p
-            .sg
-            .inputs
-            .iter()
-            .filter_map(|src| owner.get(src).copied())
-            .filter(|&d| d != i)
-            .collect();
+        let mut deps: Vec<usize> =
+            p.sg.inputs
+                .iter()
+                .filter_map(|src| owner.get(src).copied())
+                .filter(|&d| d != i)
+                .collect();
         deps.sort_unstable();
         deps.dedup();
         indeg[i] = deps.len();

@@ -6,7 +6,7 @@ use std::collections::HashMap;
 
 use duet_compiler::Compiler;
 use duet_device::{DeviceKind, SystemModel};
-use duet_ir::{Graph, NodeId, Op};
+use duet_ir::{Graph, Op};
 use duet_runtime::{
     measure_latency, simulate, subgraph_exec_time_us, HeterogeneousExecutor, Placed, Profiler,
     SimNoise,
@@ -22,7 +22,11 @@ struct Spec {
 }
 
 fn spec() -> impl Strategy<Value = Spec> {
-    (0u8..6, any::<prop::sample::Index>(), any::<prop::sample::Index>())
+    (
+        0u8..6,
+        any::<prop::sample::Index>(),
+        any::<prop::sample::Index>(),
+    )
         .prop_map(|(op_sel, a, b)| Spec { op_sel, a, b })
 }
 
@@ -35,9 +39,15 @@ fn build(specs: &[Spec]) -> Graph {
         let id = match s.op_sel {
             0 => g.add_op(format!("n{i}"), Op::Relu, &[pick(&s.a)]).unwrap(),
             1 => g.add_op(format!("n{i}"), Op::Tanh, &[pick(&s.a)]).unwrap(),
-            2 => g.add_op(format!("n{i}"), Op::Sigmoid, &[pick(&s.a)]).unwrap(),
-            3 => g.add_op(format!("n{i}"), Op::Add, &[pick(&s.a), pick(&s.b)]).unwrap(),
-            4 => g.add_op(format!("n{i}"), Op::Mul, &[pick(&s.a), pick(&s.b)]).unwrap(),
+            2 => g
+                .add_op(format!("n{i}"), Op::Sigmoid, &[pick(&s.a)])
+                .unwrap(),
+            3 => g
+                .add_op(format!("n{i}"), Op::Add, &[pick(&s.a), pick(&s.b)])
+                .unwrap(),
+            4 => g
+                .add_op(format!("n{i}"), Op::Mul, &[pick(&s.a), pick(&s.b)])
+                .unwrap(),
             _ => g
                 .add_op(format!("n{i}"), Op::Scale { factor: 0.3 }, &[pick(&s.a)])
                 .unwrap(),

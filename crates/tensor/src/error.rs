@@ -31,12 +31,19 @@ impl fmt::Display for TensorError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TensorError::LengthMismatch { expected, actual } => {
-                write!(f, "buffer length {actual} does not match shape volume {expected}")
+                write!(
+                    f,
+                    "buffer length {actual} does not match shape volume {expected}"
+                )
             }
             TensorError::ShapeMismatch { op, lhs, rhs } => {
                 write!(f, "{op}: incompatible shapes {lhs:?} and {rhs:?}")
             }
-            TensorError::RankMismatch { op, expected, actual } => {
+            TensorError::RankMismatch {
+                op,
+                expected,
+                actual,
+            } => {
                 write!(f, "{op}: expected rank {expected}, got rank {actual}")
             }
             TensorError::InvalidArgument { op, msg } => write!(f, "{op}: {msg}"),

@@ -91,7 +91,7 @@ pub fn multi_head_attention(
     let scaled = super::elementwise::scale(&scores, 1.0 / (dh as f32).sqrt());
     let probs = softmax(&scaled)?;
     let ctx = batched_matmul(&probs, &vh)?; // [heads, seq, dh]
-    // Merge heads back to [seq, d_model].
+                                            // Merge heads back to [seq, d_model].
     let mut merged = vec![0.0f32; seq * d_model];
     for h in 0..heads {
         for s in 0..seq {
@@ -116,9 +116,9 @@ mod tests {
         let v = Tensor::randn(vec![5, 4], 1.0, 1);
         let out = scaled_dot_attention(&q, &k, &v).unwrap();
         for row in out.data().chunks(4) {
-            for j in 0..4 {
+            for (j, &r) in row.iter().enumerate() {
                 let mean: f32 = (0..5).map(|s| v.data()[s * 4 + j]).sum::<f32>() / 5.0;
-                assert!((row[j] - mean).abs() < 1e-5);
+                assert!((r - mean).abs() < 1e-5);
             }
         }
     }

@@ -21,7 +21,10 @@ pub fn conv2d(
     x.shape().expect_rank("conv2d", 4)?;
     weight.shape().expect_rank("conv2d", 4)?;
     if stride == 0 {
-        return Err(TensorError::InvalidArgument { op: "conv2d", msg: "stride must be >= 1".into() });
+        return Err(TensorError::InvalidArgument {
+            op: "conv2d",
+            msg: "stride must be >= 1".into(),
+        });
     }
     let (n, c_in, h, w) = dims4(x);
     let (c_out, c_in2, kh, kw) = dims4(weight);
@@ -57,21 +60,23 @@ pub fn conv2d(
     let opix = oh * ow;
     let mut out = vec![0.0f32; n * c_out * opix];
     // One im2col buffer + GEMM per image; images are processed in parallel.
-    out.par_chunks_mut(c_out * opix).enumerate().for_each(|(img, oimg)| {
-        let ximg = &xd[img * c_in * h * w..(img + 1) * c_in * h * w];
-        let mut col = vec![0.0f32; patch * opix];
-        im2col(ximg, &mut col, c_in, h, w, kh, kw, stride, padding, oh, ow);
-        // weight [c_out, patch] x col [patch, opix] -> oimg [c_out, opix]
-        gemm_into(wd, &col, oimg, c_out, patch, opix);
-        if let Some(b) = bd {
-            for (co, chunk) in oimg.chunks_mut(opix).enumerate() {
-                let bv = b[co];
-                for v in chunk.iter_mut() {
-                    *v += bv;
+    out.par_chunks_mut(c_out * opix)
+        .enumerate()
+        .for_each(|(img, oimg)| {
+            let ximg = &xd[img * c_in * h * w..(img + 1) * c_in * h * w];
+            let mut col = vec![0.0f32; patch * opix];
+            im2col(ximg, &mut col, c_in, h, w, kh, kw, stride, padding, oh, ow);
+            // weight [c_out, patch] x col [patch, opix] -> oimg [c_out, opix]
+            gemm_into(wd, &col, oimg, c_out, patch, opix);
+            if let Some(b) = bd {
+                for (co, chunk) in oimg.chunks_mut(opix).enumerate() {
+                    let bv = b[co];
+                    for v in chunk.iter_mut() {
+                        *v += bv;
+                    }
                 }
             }
-        }
-    });
+        });
     Tensor::from_vec(vec![n, c_out, oh, ow], out)
 }
 
@@ -99,11 +104,12 @@ fn im2col(
                     let iy = (oy * stride + ki) as isize - padding as isize;
                     for ox in 0..ow {
                         let ix = (ox * stride + kj) as isize - padding as isize;
-                        dst[oy * ow + ox] = if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < w {
-                            x[ci * h * w + iy as usize * w + ix as usize]
-                        } else {
-                            0.0
-                        };
+                        dst[oy * ow + ox] =
+                            if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < w {
+                                x[ci * h * w + iy as usize * w + ix as usize]
+                            } else {
+                                0.0
+                            };
                     }
                 }
             }
@@ -112,7 +118,12 @@ fn im2col(
 }
 
 fn dims4(t: &Tensor) -> (usize, usize, usize, usize) {
-    (t.shape().dim(0), t.shape().dim(1), t.shape().dim(2), t.shape().dim(3))
+    (
+        t.shape().dim(0),
+        t.shape().dim(1),
+        t.shape().dim(2),
+        t.shape().dim(3),
+    )
 }
 
 fn pool2d(
@@ -126,7 +137,10 @@ fn pool2d(
 ) -> Result<Tensor, TensorError> {
     x.shape().expect_rank(op, 4)?;
     if window == 0 || stride == 0 {
-        return Err(TensorError::InvalidArgument { op, msg: "window/stride must be >= 1".into() });
+        return Err(TensorError::InvalidArgument {
+            op,
+            msg: "window/stride must be >= 1".into(),
+        });
     }
     let (n, c, h, w) = dims4(x);
     if h < window || w < window {
@@ -139,32 +153,50 @@ fn pool2d(
     let ow = (w - window) / stride + 1;
     let xd = x.data();
     let mut out = vec![0.0f32; n * c * oh * ow];
-    out.par_chunks_mut(oh * ow).enumerate().for_each(|(plane, oplane)| {
-        let xplane = &xd[plane * h * w..(plane + 1) * h * w];
-        for oy in 0..oh {
-            for ox in 0..ow {
-                let mut acc = init;
-                for ky in 0..window {
-                    for kx in 0..window {
-                        reduce(&mut acc, xplane[(oy * stride + ky) * w + ox * stride + kx]);
+    out.par_chunks_mut(oh * ow)
+        .enumerate()
+        .for_each(|(plane, oplane)| {
+            let xplane = &xd[plane * h * w..(plane + 1) * h * w];
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = init;
+                    for ky in 0..window {
+                        for kx in 0..window {
+                            reduce(&mut acc, xplane[(oy * stride + ky) * w + ox * stride + kx]);
+                        }
                     }
+                    oplane[oy * ow + ox] = finish(acc, window * window);
                 }
-                oplane[oy * ow + ox] = finish(acc, window * window);
             }
-        }
-    });
+        });
     let _ = (n, c);
     Tensor::from_vec(vec![n, c, oh, ow], out)
 }
 
 /// Max-pool with square window.
 pub fn max_pool2d(x: &Tensor, window: usize, stride: usize) -> Result<Tensor, TensorError> {
-    pool2d("max_pool2d", x, window, stride, |a, v| *a = a.max(v), f32::NEG_INFINITY, |a, _| a)
+    pool2d(
+        "max_pool2d",
+        x,
+        window,
+        stride,
+        |a, v| *a = a.max(v),
+        f32::NEG_INFINITY,
+        |a, _| a,
+    )
 }
 
 /// Average-pool with square window.
 pub fn avg_pool2d(x: &Tensor, window: usize, stride: usize) -> Result<Tensor, TensorError> {
-    pool2d("avg_pool2d", x, window, stride, |a, v| *a += v, 0.0, |a, n| a / n as f32)
+    pool2d(
+        "avg_pool2d",
+        x,
+        window,
+        stride,
+        |a, v| *a += v,
+        0.0,
+        |a, n| a / n as f32,
+    )
 }
 
 /// Global average pool: `[n, c, h, w]` → `[n, c]`.
@@ -235,31 +267,33 @@ pub fn depthwise_conv2d(
     let bd = bias.map(Tensor::data);
     let mut out = vec![0.0f32; n * c * oh * ow];
     // Each (image, channel) plane is independent: parallelise over planes.
-    out.par_chunks_mut(oh * ow).enumerate().for_each(|(plane, oplane)| {
-        let ci = plane % c;
-        let xplane = &xd[plane * h * w..(plane + 1) * h * w];
-        let wplane = &wd[ci * kh * kw..(ci + 1) * kh * kw];
-        let bv = bd.map_or(0.0, |b| b[ci]);
-        for oy in 0..oh {
-            for ox in 0..ow {
-                let mut acc = bv;
-                for ky in 0..kh {
-                    let iy = (oy * stride + ky) as isize - padding as isize;
-                    if iy < 0 || iy as usize >= h {
-                        continue;
-                    }
-                    for kx in 0..kw {
-                        let ix = (ox * stride + kx) as isize - padding as isize;
-                        if ix < 0 || ix as usize >= w {
+    out.par_chunks_mut(oh * ow)
+        .enumerate()
+        .for_each(|(plane, oplane)| {
+            let ci = plane % c;
+            let xplane = &xd[plane * h * w..(plane + 1) * h * w];
+            let wplane = &wd[ci * kh * kw..(ci + 1) * kh * kw];
+            let bv = bd.map_or(0.0, |b| b[ci]);
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = bv;
+                    for ky in 0..kh {
+                        let iy = (oy * stride + ky) as isize - padding as isize;
+                        if iy < 0 || iy as usize >= h {
                             continue;
                         }
-                        acc += xplane[iy as usize * w + ix as usize] * wplane[ky * kw + kx];
+                        for kx in 0..kw {
+                            let ix = (ox * stride + kx) as isize - padding as isize;
+                            if ix < 0 || ix as usize >= w {
+                                continue;
+                            }
+                            acc += xplane[iy as usize * w + ix as usize] * wplane[ky * kw + kx];
+                        }
                     }
+                    oplane[oy * ow + ox] = acc;
                 }
-                oplane[oy * ow + ox] = acc;
             }
-        }
-    });
+        });
     Tensor::from_vec(vec![n, c, oh, ow], out)
 }
 
@@ -306,12 +340,7 @@ pub fn batch_norm2d(
 mod tests {
     use super::*;
 
-    fn naive_conv(
-        x: &Tensor,
-        w: &Tensor,
-        stride: usize,
-        padding: usize,
-    ) -> Tensor {
+    fn naive_conv(x: &Tensor, w: &Tensor, stride: usize, padding: usize) -> Tensor {
         let (n, c_in, h, wd) = dims4(x);
         let (c_out, _, kh, kw) = dims4(w);
         let oh = (h + 2 * padding - kh) / stride + 1;
@@ -327,8 +356,10 @@ mod tests {
                                 for kx in 0..kw {
                                     let iy = (oy * stride + ky) as isize - padding as isize;
                                     let ix = (ox * stride + kx) as isize - padding as isize;
-                                    if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < wd {
-                                        acc += x.data()[((img * c_in + ci) * h + iy as usize) * wd + ix as usize]
+                                    if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < wd
+                                    {
+                                        acc += x.data()[((img * c_in + ci) * h + iy as usize) * wd
+                                            + ix as usize]
                                             * w.data()[((co * c_in + ci) * kh + ky) * kw + kx];
                                     }
                                 }
@@ -384,11 +415,7 @@ mod tests {
 
     #[test]
     fn max_pool_takes_window_max() {
-        let x = Tensor::from_vec(
-            vec![1, 1, 4, 4],
-            (0..16).map(|v| v as f32).collect(),
-        )
-        .unwrap();
+        let x = Tensor::from_vec(vec![1, 1, 4, 4], (0..16).map(|v| v as f32).collect()).unwrap();
         let y = max_pool2d(&x, 2, 2).unwrap();
         assert_eq!(y.shape().dims(), &[1, 1, 2, 2]);
         assert_eq!(y.data(), &[5.0, 7.0, 13.0, 15.0]);
@@ -410,7 +437,8 @@ mod tests {
 
     #[test]
     fn global_avg_pool_shape_and_value() {
-        let x = Tensor::from_vec(vec![1, 2, 2, 2], vec![1., 2., 3., 4., 10., 10., 10., 10.]).unwrap();
+        let x =
+            Tensor::from_vec(vec![1, 2, 2, 2], vec![1., 2., 3., 4., 10., 10., 10., 10.]).unwrap();
         let y = global_avg_pool2d(&x).unwrap();
         assert_eq!(y.shape().dims(), &[1, 2]);
         assert_eq!(y.data(), &[2.5, 10.0]);

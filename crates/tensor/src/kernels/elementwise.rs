@@ -80,7 +80,12 @@ fn zip_op(
             rhs: b.shape().dims().to_vec(),
         });
     }
-    let data: Vec<f32> = a.data().iter().zip(b.data().iter()).map(|(&x, &y)| f(x, y)).collect();
+    let data: Vec<f32> = a
+        .data()
+        .iter()
+        .zip(b.data().iter())
+        .map(|(&x, &y)| f(x, y))
+        .collect();
     Tensor::from_vec(a.shape().clone(), data)
 }
 

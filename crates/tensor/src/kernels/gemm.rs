@@ -62,19 +62,17 @@ pub fn linear(x: &Tensor, w: &Tensor, bias: Option<&Tensor>) -> Result<Tensor, T
     let bd = bias.map(Tensor::data);
     let mut out = vec![0.0f32; m * nout];
     // x @ w^T: each output row is a series of dot products over rows of w.
-    out.par_chunks_mut(nout)
-        .enumerate()
-        .for_each(|(i, orow)| {
-            let xrow = &xd[i * kin..(i + 1) * kin];
-            for (j, o) in orow.iter_mut().enumerate() {
-                let wrow = &wd[j * kin..(j + 1) * kin];
-                let mut acc = 0.0f32;
-                for t in 0..kin {
-                    acc += xrow[t] * wrow[t];
-                }
-                *o = acc + bd.map_or(0.0, |b| b[j]);
+    out.par_chunks_mut(nout).enumerate().for_each(|(i, orow)| {
+        let xrow = &xd[i * kin..(i + 1) * kin];
+        for (j, o) in orow.iter_mut().enumerate() {
+            let wrow = &wd[j * kin..(j + 1) * kin];
+            let mut acc = 0.0f32;
+            for t in 0..kin {
+                acc += xrow[t] * wrow[t];
             }
-        });
+            *o = acc + bd.map_or(0.0, |b| b[j]);
+        }
+    });
     Tensor::from_vec(vec![m, nout], out)
 }
 
@@ -95,7 +93,14 @@ pub fn batched_matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
     let bd = b.data();
     let mut out = vec![0.0f32; ba * m * n];
     out.par_chunks_mut(m * n).enumerate().for_each(|(i, o)| {
-        gemm_into(&ad[i * m * k..(i + 1) * m * k], &bd[i * k * n..(i + 1) * k * n], o, m, k, n);
+        gemm_into(
+            &ad[i * m * k..(i + 1) * m * k],
+            &bd[i * k * n..(i + 1) * k * n],
+            o,
+            m,
+            k,
+            n,
+        );
     });
     Tensor::from_vec(vec![ba, m, n], out)
 }

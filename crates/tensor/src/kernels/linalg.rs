@@ -18,17 +18,25 @@ pub fn transpose2d(x: &Tensor) -> Result<Tensor, TensorError> {
 
 /// Concatenate tensors along `axis`. All other dimensions must match.
 pub fn concat(tensors: &[&Tensor], axis: usize) -> Result<Tensor, TensorError> {
-    let first = tensors.first().ok_or_else(|| TensorError::InvalidArgument {
-        op: "concat",
-        msg: "need at least one input".into(),
-    })?;
+    let first = tensors
+        .first()
+        .ok_or_else(|| TensorError::InvalidArgument {
+            op: "concat",
+            msg: "need at least one input".into(),
+        })?;
     first.shape().check_axis("concat", axis)?;
     let rank = first.shape().rank();
     let mut out_dims = first.shape().dims().to_vec();
     out_dims[axis] = 0;
     for t in tensors {
         t.shape().expect_rank("concat", rank)?;
-        for (d, (&a, &b)) in t.shape().dims().iter().zip(first.shape().dims()).enumerate() {
+        for (d, (&a, &b)) in t
+            .shape()
+            .dims()
+            .iter()
+            .zip(first.shape().dims())
+            .enumerate()
+        {
             if d != axis && a != b {
                 return Err(TensorError::ShapeMismatch {
                     op: "concat",
@@ -59,7 +67,10 @@ pub fn split(x: &Tensor, parts: usize, axis: usize) -> Result<Vec<Tensor>, Tenso
     if parts == 0 || !x.shape().dim(axis).is_multiple_of(parts) {
         return Err(TensorError::InvalidArgument {
             op: "split",
-            msg: format!("cannot split extent {} into {parts} parts", x.shape().dim(axis)),
+            msg: format!(
+                "cannot split extent {} into {parts} parts",
+                x.shape().dim(axis)
+            ),
         });
     }
     let step = x.shape().dim(axis) / parts;
@@ -121,11 +132,18 @@ fn reduce_rows(
 ) -> Result<Tensor, TensorError> {
     let rank = x.shape().rank();
     if rank == 0 {
-        return Err(TensorError::RankMismatch { op, expected: 1, actual: 0 });
+        return Err(TensorError::RankMismatch {
+            op,
+            expected: 1,
+            actual: 0,
+        });
     }
     let c = x.shape().dim(rank - 1);
     if c == 0 {
-        return Err(TensorError::InvalidArgument { op, msg: "empty trailing dim".into() });
+        return Err(TensorError::InvalidArgument {
+            op,
+            msg: "empty trailing dim".into(),
+        });
     }
     let rows = x.len() / c;
     let mut out = Vec::with_capacity(rows);

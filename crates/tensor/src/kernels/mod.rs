@@ -17,11 +17,11 @@ mod util;
 
 pub use attention::{multi_head_attention, scaled_dot_attention};
 pub use conv::{avg_pool2d, batch_norm2d, conv2d, depthwise_conv2d, global_avg_pool2d, max_pool2d};
-pub use elementwise::{
-    add, bias_add, gelu, mul, relu, scale, sigmoid, sub, tanh, UnaryOp,
-};
+pub use elementwise::{add, bias_add, gelu, mul, relu, scale, sigmoid, sub, tanh, UnaryOp};
 pub use gemm::{batched_matmul, linear, matmul};
-pub use linalg::{concat, embedding, reduce_max, reduce_mean, reduce_sum, slice_rows, split, transpose2d};
+pub use linalg::{
+    concat, embedding, reduce_max, reduce_mean, reduce_sum, slice_rows, split, transpose2d,
+};
 pub use norm::{layer_norm, log_softmax, softmax};
 pub use rnn::{gru_step, lstm, lstm_step, LstmState};
 pub use util::{argmax, cosine_similarity, one_hot, topk};

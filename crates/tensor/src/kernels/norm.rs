@@ -15,7 +15,11 @@ pub fn log_softmax(x: &Tensor) -> Result<Tensor, TensorError> {
 fn row_softmax(x: &Tensor, log: bool) -> Result<Tensor, TensorError> {
     let rank = x.shape().rank();
     if rank == 0 {
-        return Err(TensorError::RankMismatch { op: "softmax", expected: 1, actual: 0 });
+        return Err(TensorError::RankMismatch {
+            op: "softmax",
+            expected: 1,
+            actual: 0,
+        });
     }
     let c = x.shape().dim(rank - 1);
     if c == 0 {
@@ -58,7 +62,11 @@ pub fn layer_norm(
 ) -> Result<Tensor, TensorError> {
     let rank = x.shape().rank();
     if rank == 0 {
-        return Err(TensorError::RankMismatch { op: "layer_norm", expected: 1, actual: 0 });
+        return Err(TensorError::RankMismatch {
+            op: "layer_norm",
+            expected: 1,
+            actual: 0,
+        });
     }
     let c = x.shape().dim(rank - 1);
     gamma.shape().expect_rank("layer_norm", 1)?;

@@ -8,7 +8,11 @@ use crate::{Tensor, TensorError};
 pub fn argmax(x: &Tensor) -> Result<Vec<usize>, TensorError> {
     let rank = x.shape().rank();
     if rank == 0 {
-        return Err(TensorError::RankMismatch { op: "argmax", expected: 1, actual: 0 });
+        return Err(TensorError::RankMismatch {
+            op: "argmax",
+            expected: 1,
+            actual: 0,
+        });
     }
     let c = x.shape().dim(rank - 1);
     if c == 0 {

@@ -166,7 +166,11 @@ mod tests {
         let e = s.expect_rank("t", 3).unwrap_err();
         assert_eq!(
             e,
-            TensorError::RankMismatch { op: "t", expected: 3, actual: 2 }
+            TensorError::RankMismatch {
+                op: "t",
+                expected: 3,
+                actual: 2
+            }
         );
     }
 

@@ -30,19 +30,28 @@ impl Tensor {
                 actual: data.len(),
             });
         }
-        Ok(Tensor { shape, data: data.into() })
+        Ok(Tensor {
+            shape,
+            data: data.into(),
+        })
     }
 
     /// A scalar tensor.
     pub fn scalar(value: f32) -> Self {
-        Tensor { shape: Shape::scalar(), data: vec![value].into() }
+        Tensor {
+            shape: Shape::scalar(),
+            data: vec![value].into(),
+        }
     }
 
     /// All-zeros tensor.
     pub fn zeros(shape: impl Into<Shape>) -> Self {
         let shape = shape.into();
         let n = shape.volume();
-        Tensor { shape, data: vec![0.0; n].into() }
+        Tensor {
+            shape,
+            data: vec![0.0; n].into(),
+        }
     }
 
     /// All-ones tensor.
@@ -54,7 +63,10 @@ impl Tensor {
     pub fn full(shape: impl Into<Shape>, value: f32) -> Self {
         let shape = shape.into();
         let n = shape.volume();
-        Tensor { shape, data: vec![value; n].into() }
+        Tensor {
+            shape,
+            data: vec![value; n].into(),
+        }
     }
 
     /// Identity matrix of size `n`.
@@ -63,7 +75,10 @@ impl Tensor {
         for i in 0..n {
             data[i * n + i] = 1.0;
         }
-        Tensor { shape: Shape::new(vec![n, n]), data: data.into() }
+        Tensor {
+            shape: Shape::new(vec![n, n]),
+            data: data.into(),
+        }
     }
 
     /// Deterministic pseudo-random tensor, N(0, stddev), seeded.
@@ -88,7 +103,10 @@ impl Tensor {
                 data.push(r * theta.sin() * stddev);
             }
         }
-        Tensor { shape, data: data.into() }
+        Tensor {
+            shape,
+            data: data.into(),
+        }
     }
 
     /// Uniform random tensor in `[lo, hi)`, seeded.
@@ -98,7 +116,10 @@ impl Tensor {
         let mut rng = SmallRng::seed_from_u64(seed);
         let uniform = rand::distributions::Uniform::new(lo, hi);
         let data: Vec<f32> = (0..n).map(|_| uniform.sample(&mut rng)).collect();
-        Tensor { shape, data: data.into() }
+        Tensor {
+            shape,
+            data: data.into(),
+        }
     }
 
     /// The tensor's shape.
@@ -135,7 +156,10 @@ impl Tensor {
                 actual: self.len(),
             });
         }
-        Ok(Tensor { shape, data: Arc::clone(&self.data) })
+        Ok(Tensor {
+            shape,
+            data: Arc::clone(&self.data),
+        })
     }
 
     /// Maximum absolute difference against another tensor of the same shape.
@@ -157,8 +181,7 @@ impl Tensor {
 
     /// Approximate equality within `tol` (same shape required).
     pub fn approx_eq(&self, other: &Tensor, tol: f32) -> bool {
-        self.shape == other.shape
-            && self.max_abs_diff(other).map(|d| d <= tol).unwrap_or(false)
+        self.shape == other.shape && self.max_abs_diff(other).map(|d| d <= tol).unwrap_or(false)
     }
 }
 
@@ -209,8 +232,12 @@ mod tests {
     fn randn_roughly_standard_normal() {
         let t = Tensor::randn(vec![10_000], 1.0, 7);
         let mean: f32 = t.data().iter().sum::<f32>() / t.len() as f32;
-        let var: f32 =
-            t.data().iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / t.len() as f32;
+        let var: f32 = t
+            .data()
+            .iter()
+            .map(|x| (x - mean) * (x - mean))
+            .sum::<f32>()
+            / t.len() as f32;
         assert!(mean.abs() < 0.05, "mean {mean}");
         assert!((var - 1.0).abs() < 0.1, "var {var}");
     }

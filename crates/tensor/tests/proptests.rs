@@ -5,7 +5,6 @@ use duet_tensor::{kernels, Shape, Tensor};
 use proptest::prelude::*;
 
 fn tensor(dims: Vec<usize>) -> impl Strategy<Value = Tensor> {
-    let n: usize = dims.iter().product();
     (any::<u64>()).prop_map(move |seed| Tensor::randn(Shape::new(dims.clone()), 1.0, seed))
 }
 

@@ -24,7 +24,11 @@ fn main() {
     let hidden = Expr::call(
         "tower.act",
         Op::Relu,
-        vec![Expr::call("tower.fc", Op::Linear, vec![user.clone(), w1, b1])],
+        vec![Expr::call(
+            "tower.fc",
+            Op::Linear,
+            vec![user.clone(), w1, b1],
+        )],
     );
 
     // Two heads consume the same tower output — a shared node (§IV-A).
@@ -34,7 +38,11 @@ fn main() {
         Expr::call(
             format!("{name}.sigmoid"),
             Op::Sigmoid,
-            vec![Expr::call(format!("{name}.fc"), Op::Linear, vec![hidden.clone(), w, b])],
+            vec![Expr::call(
+                format!("{name}.fc"),
+                Op::Linear,
+                vec![hidden.clone(), w, b],
+            )],
         )
     };
     let click = head("click", 7);
@@ -42,7 +50,11 @@ fn main() {
 
     // --- Translate to the adjacency-list graph.
     let graph = to_graph("two_head_recsys", &[click, purchase]).expect("valid expressions");
-    println!("translated: {} nodes, {} outputs", graph.len(), graph.outputs().len());
+    println!(
+        "translated: {} nodes, {} outputs",
+        graph.len(),
+        graph.outputs().len()
+    );
     print!("{}", analyze(&graph));
 
     // --- Round-trip through the binary model format.

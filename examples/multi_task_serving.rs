@@ -42,7 +42,10 @@ fn main() {
     // concurrency for DUET to exploit.
     println!("\nscaling task heads:");
     for tasks in [1usize, 2, 4, 8] {
-        let m = mtdnn(&MtDnnConfig { num_tasks: tasks, ..MtDnnConfig::default() });
+        let m = mtdnn(&MtDnnConfig {
+            num_tasks: tasks,
+            ..MtDnnConfig::default()
+        });
         let e = Duet::builder().build(&m).expect("engine builds");
         let gpu = e.single_device_latency_us(duet_device::DeviceKind::Gpu);
         println!(

@@ -13,7 +13,11 @@ use duet_device::DeviceKind;
 
 fn main() {
     let model = siamese(&SiameseConfig::default());
-    println!("model: {} ({} operators)\n", model.name, model.compute_ids().len());
+    println!(
+        "model: {} ({} operators)\n",
+        model.name,
+        model.compute_ids().len()
+    );
 
     // --- Graph-level optimization.
     let compiler = Compiler::default();
@@ -29,7 +33,11 @@ fn main() {
 
     // --- Partitioning.
     let part = partition(&graph);
-    println!("partition: {} phases, {} subgraphs", part.phases.len(), part.subgraph_count());
+    println!(
+        "partition: {} phases, {} subgraphs",
+        part.phases.len(),
+        part.subgraph_count()
+    );
     for (i, phase) in part.phases.iter().enumerate() {
         println!(
             "  phase {i}: {:?}, {} subgraph(s), sizes {:?}",

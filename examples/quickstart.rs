@@ -16,14 +16,26 @@ fn main() {
     let text = b.input("text", vec![12, 1, 32]);
     let rnn = b.lstm_stack("rnn", text, 64, 2).expect("lstm");
     // Take the last timestep as a [1, 64] feature vector.
-    let flat = b.op("rnn.flat", Op::Reshape { shape: vec![12, 64] }, &[rnn]).unwrap();
-    let last = b.op("rnn.last", Op::SliceRows { start: 11, end: 12 }, &[flat]).unwrap();
+    let flat = b
+        .op(
+            "rnn.flat",
+            Op::Reshape {
+                shape: vec![12, 64],
+            },
+            &[rnn],
+        )
+        .unwrap();
+    let last = b
+        .op("rnn.last", Op::SliceRows { start: 11, end: 12 }, &[flat])
+        .unwrap();
 
     let dense_in = b.input("features", vec![1, 128]);
     let h1 = b.dense("mlp.fc1", dense_in, 256, Some(Op::Relu)).unwrap();
     let h2 = b.dense("mlp.fc2", h1, 64, Some(Op::Relu)).unwrap();
 
-    let cat = b.op("head.concat", Op::Concat { axis: 1 }, &[last, h2]).unwrap();
+    let cat = b
+        .op("head.concat", Op::Concat { axis: 1 }, &[last, h2])
+        .unwrap();
     let score = b.dense("head.out", cat, 1, None).unwrap();
     let out = b.op("head.sigmoid", Op::Sigmoid, &[score]).unwrap();
     let model = b.finish(&[out]).expect("valid graph");

@@ -33,7 +33,12 @@ fn main() {
 
     // Execution timeline of the chosen schedule.
     println!("schedule timeline:");
-    let r = simulate(engine.graph(), engine.placed(), engine.system(), &mut SimNoise::disabled());
+    let r = simulate(
+        engine.graph(),
+        engine.placed(),
+        engine.system(),
+        &mut SimNoise::disabled(),
+    );
     for e in &r.timeline {
         println!(
             "  {:<12} {}  {:>9.3} -> {:>9.3} ms",
@@ -43,7 +48,10 @@ fn main() {
             e.end_us / 1e3
         );
     }
-    println!("  transferred over PCIe: {:.1} KB\n", r.transferred_bytes / 1e3);
+    println!(
+        "  transferred over PCIe: {:.1} KB\n",
+        r.transferred_bytes / 1e3
+    );
 
     // Framework comparison (Fig. 11 row for this model).
     let sys = engine.system();

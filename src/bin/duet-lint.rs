@@ -1,0 +1,173 @@
+//! `duet-lint` — static analysis front end.
+//!
+//! Runs the three `duet-analysis` analyzers over a model (or all of
+//! them) and exits non-zero when any reports an error:
+//!
+//! ```text
+//! duet-lint wide_and_deep            # verify + pass-check + schedule lint
+//! duet-lint all                      # every zoo model
+//! duet-lint mtdnn --plan plan.json   # lint a serialized plan instead
+//! duet-lint siamese --json           # machine-readable report
+//! duet-lint resnet50 --fast          # skip the engine build / plan lint
+//! ```
+//!
+//! Per model: the raw graph is verified (`D0xx`), the optimization
+//! pipeline runs with pass-invariant checking forced on (`D1xx`), the
+//! optimized graph is re-verified, and the scheduling decision — a
+//! `--plan` file, or the engine's own freshly exported plan — is linted
+//! (`D2xx`).
+
+use duet_analysis::{check_optimize, lint_plan, verify_graph, LintConfig, Report};
+use duet_compiler::CompileOptions;
+use duet_core::{Duet, SchedulePlan};
+use duet_models::zoo_model;
+
+const MODELS: &[&str] = &[
+    "wide_and_deep",
+    "siamese",
+    "mtdnn",
+    "resnet18",
+    "resnet50",
+    "vgg16",
+    "squeezenet",
+    "mobilenet",
+];
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  duet-lint <model>|all [--plan <file>] [--fast] [--json] [--deny-warnings]\n\n\
+         models: {}\n\noptions:\n  --plan <file>    lint a serialized schedule plan against the model\n  \
+         --fast           skip the engine build (no schedule lint)\n  \
+         --json           machine-readable output\n  \
+         --deny-warnings  exit non-zero on warnings too",
+        MODELS.join(", ")
+    );
+    std::process::exit(2);
+}
+
+struct Options {
+    plan_path: Option<String>,
+    fast: bool,
+    json: bool,
+    deny_warnings: bool,
+}
+
+fn lint_model(name: &str, opts: &Options) -> Vec<Report> {
+    let graph = zoo_model(name).unwrap_or_else(|| {
+        eprintln!("unknown model {name}");
+        usage()
+    });
+    let mut reports = vec![verify_graph(&graph)];
+
+    let (optimized, pass_report) = check_optimize(&graph, CompileOptions::checked());
+    reports.push(pass_report);
+    let Some((optimized, _stats)) = optimized else {
+        return reports; // pipeline broke; nothing downstream to lint
+    };
+    let mut post = verify_graph(&optimized);
+    post.subject = format!("{}:optimized", graph.name);
+    reports.push(post);
+
+    if let Some(path) = &opts.plan_path {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        let plan = SchedulePlan::from_json(&text).unwrap_or_else(|e| {
+            eprintln!("cannot parse {path}: {e}");
+            std::process::exit(2);
+        });
+        reports.push(lint_plan(
+            &optimized,
+            &plan.to_facts(),
+            &LintConfig::default(),
+        ));
+    } else if !opts.fast {
+        // No plan supplied: build the engine and lint its own decision.
+        match Duet::builder().build(&graph) {
+            Ok(engine) => {
+                let plan = engine.export_plan();
+                reports.push(lint_plan(
+                    engine.graph(),
+                    &plan.to_facts(),
+                    &LintConfig::default(),
+                ));
+            }
+            Err(e) => {
+                let mut r = Report::new(format!("{name}:plan"));
+                r.push(duet_analysis::Diagnostic::error(
+                    duet_analysis::codes::PASS_FAILED,
+                    format!("engine build failed: {e}"),
+                ));
+                reports.push(r);
+            }
+        }
+    }
+    reports
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut names: Vec<String> = Vec::new();
+    let mut opts = Options {
+        plan_path: None,
+        fast: false,
+        json: false,
+        deny_warnings: false,
+    };
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--plan" => match it.next() {
+                Some(p) => opts.plan_path = Some(p),
+                None => usage(),
+            },
+            "--fast" => opts.fast = true,
+            "--json" => opts.json = true,
+            "--deny-warnings" => opts.deny_warnings = true,
+            "--help" | "-h" => usage(),
+            flag if flag.starts_with('-') => usage(),
+            model => names.push(model.to_string()),
+        }
+    }
+    if names.is_empty() {
+        usage();
+    }
+    if names.iter().any(|n| n == "all") {
+        if opts.plan_path.is_some() {
+            eprintln!("--plan needs a single model");
+            usage();
+        }
+        names = MODELS.iter().map(|s| s.to_string()).collect();
+    }
+
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    let mut json_reports = Vec::new();
+    for name in &names {
+        for report in lint_model(name, &opts) {
+            errors += report.error_count();
+            warnings += report.warning_count();
+            if opts.json {
+                json_reports.push(report.to_json());
+            } else if report.is_clean() {
+                println!("{}: clean", report.subject);
+            } else {
+                print!("{report}");
+            }
+        }
+    }
+    if opts.json {
+        let rendered = serde_json::to_string_pretty(&serde_json::Value::Array(json_reports))
+            .expect("report serializes");
+        println!("{rendered}");
+    } else {
+        println!(
+            "{} model(s): {errors} error(s), {warnings} warning(s)",
+            names.len()
+        );
+    }
+    if errors > 0 || (opts.deny_warnings && warnings > 0) {
+        std::process::exit(1);
+    }
+}

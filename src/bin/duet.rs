@@ -61,7 +61,9 @@ fn parse_policy(name: &str) -> SchedulePolicy {
 }
 
 fn flag(args: &[String], name: &str) -> Option<String> {
-    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
 }
 
 fn model_or_die(name: &str) -> duet_ir::Graph {
@@ -94,7 +96,10 @@ fn main() {
                 .map(|p| parse_policy(&p))
                 .unwrap_or(SchedulePolicy::GreedyCorrection);
             let graph = model_or_die(model);
-            let engine = Duet::builder().policy(policy).build(&graph).expect("engine builds");
+            let engine = Duet::builder()
+                .policy(policy)
+                .build(&graph)
+                .expect("engine builds");
             print!("{}", engine.placement_report());
         }
         "run" => {
@@ -110,8 +115,7 @@ fn main() {
             );
             for (&id, v) in &out.outputs {
                 let d = v.data();
-                let preview: Vec<String> =
-                    d.iter().take(4).map(|x| format!("{x:.4}")).collect();
+                let preview: Vec<String> = d.iter().take(4).map(|x| format!("{x:.4}")).collect();
                 println!(
                     "  output {:<18} {} [{}{}]",
                     engine.graph().node(id).label,
@@ -158,7 +162,10 @@ fn main() {
             let graph = model_or_die(model);
             let bytes = duet_ir::encode(&graph);
             std::fs::write(path, &bytes).expect("model written");
-            println!("{model} saved to {path} ({:.1} MB)", bytes.len() as f64 / 1e6);
+            println!(
+                "{model} saved to {path} ({:.1} MB)",
+                bytes.len() as f64 / 1e6
+            );
         }
         "report-file" => {
             let path = rest.first().map(String::as_str).unwrap_or_else(|| usage());

@@ -17,7 +17,11 @@ fn small_zoo() -> Vec<Graph> {
         siamese(&SiameseConfig::small()),
         mtdnn(&MtDnnConfig::small()),
         resnet(&ResNetConfig::small()),
-        mlp(&MlpConfig { input: 16, hidden: 32, ..Default::default() }),
+        mlp(&MlpConfig {
+            input: 16,
+            hidden: 32,
+            ..Default::default()
+        }),
         squeezenet(1, 32),
     ]
 }
@@ -25,7 +29,10 @@ fn small_zoo() -> Vec<Graph> {
 #[test]
 fn heterogeneous_execution_matches_reference_on_every_model() {
     for model in small_zoo() {
-        let engine = Duet::builder().no_fallback().build(&model).expect("engine builds");
+        let engine = Duet::builder()
+            .no_fallback()
+            .build(&model)
+            .expect("engine builds");
         let feeds = input_feeds(engine.graph(), 11);
         let outcome = engine.run(&feeds).expect("inference runs");
         let want = engine.graph().eval(&feeds).expect("reference eval");
@@ -72,7 +79,9 @@ fn every_policy_produces_a_valid_runnable_schedule() {
 fn framework_baseline_agrees_with_duet_numerically() {
     let model = wide_and_deep(&WideAndDeepConfig::small());
     let feeds = input_feeds(&model, 5);
-    let fw_out = Framework::pytorch().run(&model, &feeds).expect("framework runs");
+    let fw_out = Framework::pytorch()
+        .run(&model, &feeds)
+        .expect("framework runs");
     let reference = model.eval(&feeds).expect("reference");
     assert!(fw_out[&model.outputs()[0]].approx_eq(&reference[0], 1e-5));
 }
@@ -110,7 +119,11 @@ fn optimized_graph_preserves_model_semantics() {
         let a = model.eval(&feeds_orig).expect("original eval");
         let b = opt.eval(&feeds_opt).expect("optimized eval");
         for (x, y) in a.iter().zip(&b) {
-            assert!(x.approx_eq(y, 1e-4), "{}: optimization changed results", model.name);
+            assert!(
+                x.approx_eq(y, 1e-4),
+                "{}: optimization changed results",
+                model.name
+            );
         }
     }
 }
@@ -125,10 +138,18 @@ fn paper_headline_results_hold() {
         (mtdnn(&MtDnnConfig::default()), 1.3, 4.5),
     ] {
         let engine = Duet::builder().build(&model).expect("engine builds");
-        assert!(engine.fallback_device().is_none(), "{} must co-execute", model.name);
+        assert!(
+            engine.fallback_device().is_none(),
+            "{} must co-execute",
+            model.name
+        );
         let x_gpu = engine.single_device_latency_us(DeviceKind::Gpu) / engine.latency_us();
         let x_cpu = engine.single_device_latency_us(DeviceKind::Cpu) / engine.latency_us();
-        assert!((lo_gpu..hi_gpu).contains(&x_gpu), "{}: vs GPU {x_gpu}", model.name);
+        assert!(
+            (lo_gpu..hi_gpu).contains(&x_gpu),
+            "{}: vs GPU {x_gpu}",
+            model.name
+        );
         assert!(x_cpu > 1.3, "{}: vs CPU {x_cpu}", model.name);
     }
     // And the traditional model does not.

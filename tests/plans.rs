@@ -28,7 +28,10 @@ fn reloaded_plan_executes_correctly() {
     let model = siamese(&SiameseConfig::small());
     let original = Duet::builder().no_fallback().build(&model).unwrap();
     let plan = original.export_plan();
-    let reloaded = Duet::builder().no_fallback().build_with_plan(&model, &plan).unwrap();
+    let reloaded = Duet::builder()
+        .no_fallback()
+        .build_with_plan(&model, &plan)
+        .unwrap();
     let feeds = input_feeds(reloaded.graph(), 3);
     let out = reloaded.run(&feeds).unwrap();
     let want = reloaded.graph().eval(&feeds).unwrap();
@@ -42,11 +45,17 @@ fn plan_survives_weight_changes_but_not_architecture_changes() {
     let plan = Duet::builder().build(&model).unwrap().export_plan();
 
     // Same architecture, different weights: fine.
-    let retrained = siamese(&SiameseConfig { seed: 999, ..cfg.clone() });
+    let retrained = siamese(&SiameseConfig {
+        seed: 999,
+        ..cfg.clone()
+    });
     assert!(Duet::builder().build_with_plan(&retrained, &plan).is_ok());
 
     // Different architecture: refused.
-    let deeper = siamese(&SiameseConfig { rnn_layers: 2, ..cfg });
+    let deeper = siamese(&SiameseConfig {
+        rnn_layers: 2,
+        ..cfg
+    });
     match Duet::builder().build_with_plan(&deeper, &plan) {
         Err(EngineError::Plan(_)) => {}
         other => panic!("expected plan mismatch, got {other:?}"),

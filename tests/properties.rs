@@ -21,15 +21,20 @@ enum NodeSpec {
 
 fn node_spec() -> impl Strategy<Value = NodeSpec> {
     prop_oneof![
-        (0u8..4, any::<prop::sample::Index>())
-            .prop_map(|(op, input)| NodeSpec::Unary { op, input: input.index(usize::MAX - 1) }),
-        (0u8..3, any::<prop::sample::Index>(), any::<prop::sample::Index>()).prop_map(
-            |(op, a, b)| NodeSpec::Binary {
+        (0u8..4, any::<prop::sample::Index>()).prop_map(|(op, input)| NodeSpec::Unary {
+            op,
+            input: input.index(usize::MAX - 1)
+        }),
+        (
+            0u8..3,
+            any::<prop::sample::Index>(),
+            any::<prop::sample::Index>()
+        )
+            .prop_map(|(op, a, b)| NodeSpec::Binary {
                 op,
                 a: a.index(usize::MAX - 1),
                 b: b.index(usize::MAX - 1),
-            }
-        ),
+            }),
     ]
 }
 
@@ -56,7 +61,8 @@ fn build_graph(specs: &[NodeSpec]) -> (Graph, NodeId) {
                     1 => Op::Sub,
                     _ => Op::Mul,
                 };
-                g.add_op(format!("b{i}"), op, &[pick(*a), pick(*b)]).unwrap()
+                g.add_op(format!("b{i}"), op, &[pick(*a), pick(*b)])
+                    .unwrap()
             }
         };
         nodes.push(id);

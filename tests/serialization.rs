@@ -13,7 +13,11 @@ fn small_zoo() -> Vec<duet_ir::Graph> {
         resnet(&ResNetConfig::small()),
         mobilenet(&MobileNetConfig::small()),
         squeezenet(1, 32),
-        mlp(&MlpConfig { input: 16, hidden: 32, ..Default::default() }),
+        mlp(&MlpConfig {
+            input: 16,
+            hidden: 32,
+            ..Default::default()
+        }),
     ]
 }
 
@@ -53,12 +57,24 @@ fn schedules_identical_for_original_and_decoded_model() {
     assert_eq!(a.fallback_device(), b.fallback_device());
     // And plans exported from either apply to the other.
     let plan = a.export_plan();
-    assert!(Duet::builder().build_with_plan(&decode(encode(&g)).unwrap(), &plan).is_ok());
+    assert!(Duet::builder()
+        .build_with_plan(&decode(encode(&g)).unwrap(), &plan)
+        .is_ok());
 }
 
 #[test]
 fn encoded_size_tracks_parameters() {
-    let small = encode(&mlp(&MlpConfig { input: 8, hidden: 8, layers: 1, ..Default::default() }));
-    let big = encode(&mlp(&MlpConfig { input: 64, hidden: 256, layers: 4, ..Default::default() }));
+    let small = encode(&mlp(&MlpConfig {
+        input: 8,
+        hidden: 8,
+        layers: 1,
+        ..Default::default()
+    }));
+    let big = encode(&mlp(&MlpConfig {
+        input: 64,
+        hidden: 256,
+        layers: 4,
+        ..Default::default()
+    }));
     assert!(big.len() > 10 * small.len());
 }

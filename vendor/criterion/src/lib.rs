@@ -1,0 +1,187 @@
+//! Minimal offline stand-in for `criterion`.
+//!
+//! Provides the same structural API (`criterion_group!`,
+//! `criterion_main!`, groups, `Bencher::iter`, throughput annotations)
+//! with a deliberately tiny measurement budget: a warm-up iteration
+//! plus a handful of timed iterations capped by wall-clock, printing
+//! mean time per iteration. Under `--test` (as passed by `cargo test`
+//! for `harness = false` targets) each benchmark runs exactly once.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Per-benchmark measurement budget.
+const MAX_ITERS: u64 = 5;
+const MAX_TIME: Duration = Duration::from_millis(200);
+
+/// Work-size annotation; only echoed in output.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Benchmark identifier inside a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn from_parameter(p: impl Display) -> Self {
+        BenchmarkId { id: p.to_string() }
+    }
+
+    pub fn new(function: impl Display, p: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{p}"),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// Runs the closure under measurement.
+pub struct Bencher {
+    test_mode: bool,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.test_mode {
+            std::hint::black_box(routine());
+            return;
+        }
+        // Warm-up.
+        std::hint::black_box(routine());
+        let started = Instant::now();
+        let mut iters = 0u64;
+        while iters < MAX_ITERS && started.elapsed() < MAX_TIME {
+            std::hint::black_box(routine());
+            iters += 1;
+        }
+        let mean = started.elapsed() / iters.max(1) as u32;
+        println!("    time: {mean:?}/iter over {iters} iters");
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Criterion {
+    fn new() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        println!("bench: {name}");
+        let mut b = Bencher {
+            test_mode: self.test_mode,
+        };
+        f(&mut b);
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        match t {
+            Throughput::Bytes(n) => println!("  [{}] throughput: {n} bytes", self.name),
+            Throughput::Elements(n) => println!("  [{}] throughput: {n} elements", self.name),
+        }
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        println!("bench: {}/{}", self.name, name);
+        let mut b = Bencher {
+            test_mode: self.parent.test_mode,
+        };
+        f(&mut b);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        println!("bench: {}/{}", self.name, id);
+        let mut b = Bencher {
+            test_mode: self.parent.test_mode,
+        };
+        f(&mut b, input);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Prevent the optimizer from eliding a value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[doc(hidden)]
+pub fn __new_criterion() -> Criterion {
+    Criterion::new()
+}
+
+/// Group benchmark functions under one runner fn.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::__new_criterion();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

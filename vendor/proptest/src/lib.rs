@@ -1,0 +1,150 @@
+//! Minimal offline stand-in for `proptest`.
+//!
+//! Covers the surface the workspace tests use: `proptest!` with an
+//! optional `#![proptest_config(..)]` header, `prop_assert!` /
+//! `prop_assert_eq!`, `any::<T>()`, range and tuple strategies,
+//! `.prop_map`, `prop::collection::vec`, `prop::sample::Index`, and
+//! `prop_oneof!`. Cases are generated from a per-test deterministic
+//! seed (FNV of the test name); there is no shrinking — a failure
+//! reports the case number and assertion message directly.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// `prop::collection` / `prop::sample` paths, as re-exported by the
+/// real crate's prelude.
+pub mod prop {
+    pub mod collection {
+        pub use crate::strategy::vec;
+    }
+    pub mod sample {
+        pub use crate::strategy::Index;
+    }
+}
+
+pub mod arbitrary {
+    pub use crate::strategy::{any, Arbitrary};
+}
+
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Define property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn holds(x in 0u8..10, v in prop::collection::vec(any::<u64>(), 1..5)) {
+///         prop_assert!(v.len() >= 1);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::Config = $cfg;
+            let mut __rng = $crate::test_runner::deterministic_rng(stringify!($name));
+            for __case in 0..__config.cases {
+                $(
+                    let $pat = $crate::strategy::Strategy::generate(&($strat), &mut __rng);
+                )+
+                let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(e) = __outcome {
+                    panic!(
+                        "proptest {}: case {}/{} failed: {}",
+                        stringify!($name),
+                        __case + 1,
+                        __config.cases,
+                        e
+                    );
+                }
+            }
+        }
+        $crate::__proptest_fns!(($cfg) $($rest)*);
+    };
+}
+
+/// Assert inside a `proptest!` body; failure aborts only this case's
+/// closure with a [`TestCaseError`].
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__a == *__b,
+            "assertion failed: `{:?}` != `{:?}`",
+            __a,
+            __b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__a == *__b,
+            "assertion failed: `{:?}` != `{:?}`: {}",
+            __a,
+            __b,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Inequality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(*__a != *__b, "assertion failed: `{:?}` == `{:?}`", __a, __b);
+    }};
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

@@ -1,0 +1,331 @@
+//! Strategy combinators: how test case values get generated.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, UniformSample};
+
+/// A recipe for generating values of type `Value`.
+///
+/// Object-safe (`generate` takes a concrete [`SmallRng`]) so that
+/// heterogeneous strategies can be boxed for `prop_oneof!`.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut SmallRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O, F>(self, f: F) -> MapStrategy<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        MapStrategy { inner: self, f }
+    }
+
+    /// Type-erase for storage alongside other strategies.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// Type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut SmallRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut SmallRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut SmallRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// `.prop_map` adapter.
+pub struct MapStrategy<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for MapStrategy<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut SmallRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Half-open ranges are strategies (`0u8..6`, `1usize..30`, ...).
+impl<T: UniformSample> Strategy for std::ops::Range<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut SmallRng) -> T {
+        T::sample_range(rng, self.start, self.end)
+    }
+}
+
+impl<T: UniformSample + num_step::StepUp> Strategy for std::ops::RangeInclusive<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut SmallRng) -> T {
+        let (lo, hi) = (*self.start(), *self.end());
+        T::sample_range(rng, lo, hi.step_up())
+    }
+}
+
+mod num_step {
+    /// One-past-the-end for inclusive ranges.
+    pub trait StepUp: Copy {
+        fn step_up(self) -> Self;
+    }
+
+    macro_rules! step_up_int {
+        ($($t:ty),*) => {$(
+            impl StepUp for $t {
+                fn step_up(self) -> Self {
+                    self.checked_add(1).expect("inclusive range end at type max")
+                }
+            }
+        )*};
+    }
+
+    step_up_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+}
+
+macro_rules! tuple_strategy {
+    ($($S:ident . $idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+
+            fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A.0);
+tuple_strategy!(A.0, B.1);
+tuple_strategy!(A.0, B.1, C.2);
+tuple_strategy!(A.0, B.1, C.2, D.3);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7);
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut SmallRng) -> Self;
+}
+
+macro_rules! arb_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut SmallRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut SmallRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut SmallRng) -> Self {
+        // Bounded uniform rather than raw bits: tests want usable
+        // magnitudes, not NaN/Inf bit patterns.
+        rng.gen_range(-1.0e6..1.0e6)
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut SmallRng) -> Self {
+        f64::arbitrary(rng) as f32
+    }
+}
+
+impl Arbitrary for Index {
+    fn arbitrary(rng: &mut SmallRng) -> Self {
+        Index(rng.next_u64() as usize)
+    }
+}
+
+/// `any::<T>()`: the canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut SmallRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Deferred index into a collection of not-yet-known length
+/// (`prop::sample::Index`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index(usize);
+
+impl Index {
+    /// Project onto `0..len`. `len` must be non-zero.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index on empty collection");
+        self.0 % len
+    }
+}
+
+/// Length spec for [`vec`]: a fixed size or a half-open range.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize, // exclusive
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "vec size range is empty");
+        SizeRange {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end() + 1,
+        }
+    }
+}
+
+/// `prop::collection::vec(element, len)`.
+pub fn vec<S: Strategy>(element: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        len: len.into(),
+    }
+}
+
+pub struct VecStrategy<S> {
+    element: S,
+    len: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut SmallRng) -> Vec<S::Value> {
+        let n = if self.len.lo + 1 >= self.len.hi {
+            self.len.lo
+        } else {
+            rng.gen_range(self.len.lo..self.len.hi)
+        };
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Uniform choice across boxed strategies (`prop_oneof!`).
+pub struct OneOf<T> {
+    choices: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> OneOf<T> {
+    pub fn new(choices: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!choices.is_empty(), "prop_oneof! needs at least one arm");
+        OneOf { choices }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut SmallRng) -> T {
+        let pick = rng.gen_range(0..self.choices.len());
+        self.choices[pick].generate(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ranges_tuples_maps_compose() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let strat = (0u8..6, any::<Index>()).prop_map(|(op, idx)| (op, idx.index(7)));
+        for _ in 0..200 {
+            let (op, idx) = strat.generate(&mut rng);
+            assert!(op < 6);
+            assert!(idx < 7);
+        }
+    }
+
+    #[test]
+    fn vec_respects_len_range() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let strat = vec(1usize..10, 1..30);
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!((1..30).contains(&v.len()));
+            assert!(v.iter().all(|x| (1..10).contains(x)));
+        }
+    }
+
+    #[test]
+    fn oneof_hits_every_arm() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let strat = OneOf::new(vec![(0u8..1).boxed(), (10u8..11).boxed()]);
+        let mut saw = [false; 2];
+        for _ in 0..100 {
+            match strat.generate(&mut rng) {
+                0 => saw[0] = true,
+                10 => saw[1] = true,
+                other => panic!("unexpected {other}"),
+            }
+        }
+        assert!(saw[0] && saw[1]);
+    }
+}

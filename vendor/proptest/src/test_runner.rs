@@ -1,0 +1,54 @@
+//! Runner support: configuration, case errors, deterministic seeding.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Runner configuration (`ProptestConfig` in the prelude).
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    pub cases: u32,
+}
+
+impl Config {
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 64 }
+    }
+}
+
+/// A single failed case; aborts that case, not the whole process,
+/// so the macro can attach case context before panicking.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    msg: String,
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Seed a generator from the test name (FNV-1a), so runs are
+/// reproducible without any global state or clock access.
+pub fn deterministic_rng(test_name: &str) -> SmallRng {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x1000_0000_01b3);
+    }
+    SmallRng::seed_from_u64(hash)
+}

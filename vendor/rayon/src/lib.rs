@@ -1,0 +1,139 @@
+//! Minimal offline stand-in for `rayon`.
+//!
+//! Implements the one parallel pattern the tensor kernels use —
+//! `slice.par_chunks_mut(n).enumerate().for_each(..)` — on scoped std
+//! threads. Chunks are dealt to `available_parallelism()` workers in
+//! round-robin order; each worker owns disjoint `&mut` chunks, so the
+//! data race freedom argument is the same as rayon's.
+
+use std::num::NonZeroUsize;
+
+pub mod prelude {
+    pub use crate::ParallelSliceMut;
+}
+
+fn worker_count(tasks: usize) -> usize {
+    let hw = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
+    hw.min(tasks).max(1)
+}
+
+/// Run `f` over `(index, item)` pairs on scoped threads.
+fn run_parallel<T, F>(items: Vec<T>, f: F)
+where
+    T: Send,
+    F: Fn(usize, T) + Sync,
+{
+    let n = items.len();
+    if n <= 1 {
+        for (i, item) in items.into_iter().enumerate() {
+            f(i, item);
+        }
+        return;
+    }
+    let workers = worker_count(n);
+    if workers == 1 {
+        for (i, item) in items.into_iter().enumerate() {
+            f(i, item);
+        }
+        return;
+    }
+    // Deal items round-robin so neighbouring (similar-sized) chunks
+    // spread across workers.
+    let mut per_worker: Vec<Vec<(usize, T)>> = (0..workers).map(|_| Vec::new()).collect();
+    for (i, item) in items.into_iter().enumerate() {
+        per_worker[i % workers].push((i, item));
+    }
+    let f = &f;
+    std::thread::scope(|scope| {
+        for batch in per_worker {
+            scope.spawn(move || {
+                for (i, item) in batch {
+                    f(i, item);
+                }
+            });
+        }
+    });
+}
+
+/// `par_chunks_mut` entry point (subset of `rayon::slice::ParallelSliceMut`).
+pub trait ParallelSliceMut<T: Send> {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(
+            chunk_size > 0,
+            "par_chunks_mut: chunk size must be positive"
+        );
+        ParChunksMut {
+            chunks: self.chunks_mut(chunk_size).collect(),
+        }
+    }
+}
+
+/// Parallel iterator over mutable chunks.
+pub struct ParChunksMut<'a, T> {
+    chunks: Vec<&'a mut [T]>,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    pub fn enumerate(self) -> EnumerateChunksMut<'a, T> {
+        EnumerateChunksMut {
+            chunks: self.chunks,
+        }
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut [T]) + Sync,
+    {
+        run_parallel(self.chunks, |_, chunk| f(chunk));
+    }
+}
+
+/// Enumerated variant: items are `(chunk_index, chunk)`.
+pub struct EnumerateChunksMut<'a, T> {
+    chunks: Vec<&'a mut [T]>,
+}
+
+impl<T: Send> EnumerateChunksMut<'_, T> {
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut [T])) + Sync,
+    {
+        run_parallel(self.chunks, |i, chunk| f((i, chunk)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn chunks_cover_slice_once() {
+        let mut v = vec![0u32; 1037];
+        v.par_chunks_mut(64).enumerate().for_each(|(i, c)| {
+            for x in c.iter_mut() {
+                *x += 1 + i as u32;
+            }
+        });
+        // Every element written exactly once, with its chunk index.
+        for (i, x) in v.iter().enumerate() {
+            assert_eq!(*x, 1 + (i / 64) as u32);
+        }
+    }
+
+    #[test]
+    fn single_chunk_runs_inline() {
+        let mut v = [1.0f32; 8];
+        v.par_chunks_mut(100).for_each(|c| {
+            for x in c.iter_mut() {
+                *x *= 2.0;
+            }
+        });
+        assert!(v.iter().all(|&x| x == 2.0));
+    }
+}

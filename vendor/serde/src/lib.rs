@@ -1,0 +1,231 @@
+//! Minimal offline stand-in for `serde`.
+//!
+//! Real serde abstracts over data formats with a visitor architecture;
+//! the workspace only ever serializes to and from JSON, so this stub
+//! collapses the model: [`Serialize`] renders straight into a JSON
+//! [`Value`] tree and [`Deserialize`] reads one back. The derive macros
+//! (re-exported from `serde_derive`) cover the struct/enum shapes the
+//! workspace defines: named-field structs (with `#[serde(default)]` /
+//! `#[serde(default = "path")]`) and unit-variant enums.
+
+pub mod value;
+
+pub use serde_derive::{Deserialize, Serialize};
+pub use value::{Map, Number, Value};
+
+/// Failure while reading a [`Value`] into a typed structure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeserializeError {
+    msg: String,
+}
+
+impl DeserializeError {
+    pub fn custom(msg: impl Into<String>) -> Self {
+        DeserializeError { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for DeserializeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for DeserializeError {}
+
+/// Render self as a JSON value tree.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Rebuild self from a JSON value tree.
+pub trait Deserialize: Sized {
+    fn from_value(v: &Value) -> Result<Self, DeserializeError>;
+}
+
+// --- Serialize impls for primitives and std containers. ---
+
+macro_rules! ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::from_u64(*self as u64))
+            }
+        }
+    )*};
+}
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 {
+                    Value::Number(Number::from_u64(v as u64))
+                } else {
+                    Value::Number(Number::from_i64(v))
+                }
+            }
+        }
+    )*};
+}
+
+ser_uint!(u8, u16, u32, u64, usize);
+ser_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::from_f64(*self))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::from_f64(*self as f64))
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+// --- Deserialize impls. ---
+
+macro_rules! de_uint {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeserializeError> {
+                v.as_u64()
+                    .and_then(|n| <$t>::try_from(n).ok())
+                    .ok_or_else(|| DeserializeError::custom(format!(
+                        "expected {} got {v:?}", stringify!($t)
+                    )))
+            }
+        }
+    )*};
+}
+
+macro_rules! de_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeserializeError> {
+                v.as_i64()
+                    .and_then(|n| <$t>::try_from(n).ok())
+                    .ok_or_else(|| DeserializeError::custom(format!(
+                        "expected {} got {v:?}", stringify!($t)
+                    )))
+            }
+        }
+    )*};
+}
+
+de_uint!(u8, u16, u32, u64, usize);
+de_int!(i8, i16, i32, i64, isize);
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeserializeError> {
+        v.as_f64()
+            .ok_or_else(|| DeserializeError::custom(format!("expected f64 got {v:?}")))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeserializeError> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeserializeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeserializeError::custom(format!(
+                "expected bool got {other:?}"
+            ))),
+        }
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeserializeError> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(DeserializeError::custom(format!(
+                "expected string got {other:?}"
+            ))),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeserializeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeserializeError::custom(format!(
+                "expected array got {other:?}"
+            ))),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeserializeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeserializeError> {
+        Ok(v.clone())
+    }
+}

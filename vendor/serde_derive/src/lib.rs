@@ -1,0 +1,337 @@
+//! Minimal offline stand-in for `serde_derive`.
+//!
+//! Hand-parses the item token stream (no `syn`/`quote`) and emits impl
+//! blocks as source text. Supported shapes — the full set the workspace
+//! derives on:
+//!
+//! - structs with named fields, including `#[serde(default)]` and
+//!   `#[serde(default = "path")]` field attributes; `Option<T>` fields
+//!   are implicitly optional (missing key -> `None`), matching serde;
+//! - enums whose variants are all unit variants, serialized as the
+//!   variant-name string.
+//!
+//! Anything else (tuple structs, data-carrying variants, generics)
+//! panics at derive time with a clear message rather than silently
+//! producing wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive: generated Serialize impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive: generated Deserialize impl failed to parse")
+}
+
+enum Item {
+    Struct { name: String, fields: Vec<Field> },
+    Enum { name: String, variants: Vec<String> },
+}
+
+struct Field {
+    name: String,
+    /// `None` = required; `Some(None)` = `#[serde(default)]`;
+    /// `Some(Some(path))` = `#[serde(default = "path")]`.
+    default: Option<Option<String>>,
+    is_option: bool,
+}
+
+type Tokens = Peekable<proc_macro::token_stream::IntoIter>;
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    skip_attrs(&mut tokens);
+    let kind = loop {
+        match tokens.next() {
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    break s;
+                }
+                // visibility / modifiers like `pub`
+            }
+            Some(TokenTree::Group(_)) => {} // pub(crate)
+            Some(other) => panic!("serde_derive: unexpected token `{other}`"),
+            None => panic!("serde_derive: expected `struct` or `enum`"),
+        }
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => panic!("serde_derive: expected item name"),
+    };
+    let body = loop {
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                panic!("serde_derive: tuple/unit structs are not supported (derive on `{name}`)")
+            }
+            Some(_) => {} // e.g. where-clause tokens; generics unsupported but skipped
+            None => panic!("serde_derive: expected braced body for `{name}`"),
+        }
+    };
+    if kind == "struct" {
+        Item::Struct {
+            name,
+            fields: parse_fields(body),
+        }
+    } else {
+        Item::Enum {
+            name,
+            variants: parse_variants(body),
+        }
+    }
+}
+
+/// Skip (or, with `on_serde`, inspect) a run of `#[...]` attributes.
+fn skip_attrs(tokens: &mut Tokens) {
+    collect_attrs(tokens);
+}
+
+/// Consume leading attributes; return the `#[serde(...)]` default spec if present.
+fn collect_attrs(tokens: &mut Tokens) -> Option<Option<String>> {
+    let mut default = None;
+    while let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() != '#' {
+            break;
+        }
+        tokens.next();
+        let Some(TokenTree::Group(g)) = tokens.next() else {
+            panic!("serde_derive: malformed attribute");
+        };
+        if let Some(d) = parse_serde_default(g.stream()) {
+            default = Some(d);
+        }
+    }
+    default
+}
+
+/// For `serde(default)` / `serde(default = "path")` attribute bodies,
+/// return the default spec; otherwise `None`.
+fn parse_serde_default(attr: TokenStream) -> Option<Option<String>> {
+    let mut it = attr.into_iter();
+    match it.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return None,
+    }
+    let Some(TokenTree::Group(args)) = it.next() else {
+        return None;
+    };
+    let mut args = args.stream().into_iter();
+    match args.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "default" => {}
+        Some(other) => panic!("serde_derive: unsupported serde attribute `{other}`"),
+        None => return None,
+    }
+    match args.next() {
+        None => Some(None),
+        Some(TokenTree::Punct(p)) if p.as_char() == '=' => match args.next() {
+            Some(TokenTree::Literal(lit)) => {
+                let text = lit.to_string();
+                let path = text
+                    .strip_prefix('"')
+                    .and_then(|t| t.strip_suffix('"'))
+                    .unwrap_or_else(|| {
+                        panic!("serde_derive: default path must be a string literal, got {text}")
+                    })
+                    .to_string();
+                Some(Some(path))
+            }
+            _ => panic!("serde_derive: expected string after `default =`"),
+        },
+        Some(other) => panic!("serde_derive: unsupported serde attribute token `{other}`"),
+    }
+}
+
+fn parse_fields(body: TokenStream) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        let default = collect_attrs(&mut tokens);
+        // visibility
+        if matches!(tokens.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            tokens.next();
+            if matches!(tokens.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                tokens.next();
+            }
+        }
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(other) => panic!("serde_derive: expected field name, got `{other}`"),
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => panic!("serde_derive: expected `:` after field `{name}`"),
+        }
+        // Consume the type up to a top-level comma; only the leading
+        // ident matters (to spot `Option<..>`). Angle brackets arrive as
+        // bare `<`/`>` puncts, so track their depth.
+        let is_option =
+            matches!(tokens.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "Option");
+        let mut depth = 0i32;
+        loop {
+            match tokens.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 0 => {
+                    tokens.next();
+                    break;
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                    depth += 1;
+                    tokens.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                    depth -= 1;
+                    tokens.next();
+                }
+                Some(_) => {
+                    tokens.next();
+                }
+            }
+        }
+        fields.push(Field {
+            name,
+            default,
+            is_option,
+        });
+    }
+    fields
+}
+
+fn parse_variants(body: TokenStream) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        skip_attrs(&mut tokens);
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(other) => panic!("serde_derive: expected variant name, got `{other}`"),
+        };
+        match tokens.next() {
+            None => {
+                variants.push(name);
+                break;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => variants.push(name),
+            Some(_) => {
+                panic!("serde_derive: only unit enum variants are supported (variant `{name}`)")
+            }
+        }
+    }
+    variants
+}
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let mut body = String::new();
+            for f in fields {
+                body.push_str(&format!(
+                    "map.insert(\"{0}\", ::serde::Serialize::to_value(&self.{0}));",
+                    f.name
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\
+                     fn to_value(&self) -> ::serde::Value {{\
+                         let mut map = ::serde::Map::new();\
+                         {body}\
+                         ::serde::Value::Object(map)\
+                     }}\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                arms.push_str(&format!(
+                    "{name}::{v} => ::serde::Value::String(\"{v}\".to_string()),"
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\
+                     fn to_value(&self) -> ::serde::Value {{\
+                         match self {{ {arms} }}\
+                     }}\
+                 }}"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let mut inits = String::new();
+            for f in fields {
+                let fallback = match (&f.default, f.is_option) {
+                    (Some(Some(path)), _) => format!("{path}()"),
+                    (Some(None), _) => "::std::default::Default::default()".to_string(),
+                    (None, true) => "::std::option::Option::None".to_string(),
+                    (None, false) => format!(
+                        "return ::std::result::Result::Err(\
+                             ::serde::DeserializeError::custom(\
+                                 \"{name}: missing field `{0}`\"))",
+                        f.name
+                    ),
+                };
+                inits.push_str(&format!(
+                    "{0}: match obj.get(\"{0}\") {{\
+                         ::std::option::Option::Some(x) => ::serde::Deserialize::from_value(x)?,\
+                         ::std::option::Option::None => {{ {fallback} }}\
+                     }},",
+                    f.name
+                ));
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\
+                     fn from_value(v: &::serde::Value)\
+                         -> ::std::result::Result<Self, ::serde::DeserializeError> {{\
+                         let obj = match v.as_object() {{\
+                             ::std::option::Option::Some(o) => o,\
+                             ::std::option::Option::None =>\
+                                 return ::std::result::Result::Err(\
+                                     ::serde::DeserializeError::custom(\
+                                         \"expected object for {name}\")),\
+                         }};\
+                         ::std::result::Result::Ok({name} {{ {inits} }})\
+                     }}\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                arms.push_str(&format!(
+                    "::std::option::Option::Some(\"{v}\") =>\
+                         ::std::result::Result::Ok({name}::{v}),"
+                ));
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\
+                     fn from_value(v: &::serde::Value)\
+                         -> ::std::result::Result<Self, ::serde::DeserializeError> {{\
+                         match v.as_str() {{\
+                             {arms}\
+                             _ => ::std::result::Result::Err(\
+                                 ::serde::DeserializeError::custom(\
+                                     \"unknown variant for {name}\")),\
+                         }}\
+                     }}\
+                 }}"
+            )
+        }
+    }
+}

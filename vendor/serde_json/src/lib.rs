@@ -1,0 +1,210 @@
+//! Minimal offline stand-in for `serde_json`.
+//!
+//! The [`Value`] tree, parser, and printer live in the sibling `serde`
+//! stub (one shared data model); this crate adds the familiar
+//! `serde_json` entry points: [`to_string`], [`to_string_pretty`],
+//! [`from_str`], [`Error`], and a [`json!`] macro supporting nested
+//! object/array literals with arbitrary expression values.
+
+pub use serde::value::{Map, Number, Value};
+
+/// Serialization or parse failure.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Compact single-line JSON for any serializable value.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().render_compact())
+}
+
+/// Pretty-printed JSON (two-space indent).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().render_pretty())
+}
+
+/// Parse JSON text into any deserializable type (including [`Value`]).
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let v = serde::value::parse(s).map_err(|e| Error::new(e.to_string()))?;
+    T::from_value(&v).map_err(|e| Error::new(e.to_string()))
+}
+
+/// Convert any serializable value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+#[doc(hidden)]
+pub fn __value_of<T: serde::Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Build a [`Value`] from a JSON-shaped literal.
+///
+/// Supports `null`, nested `{ "key": value }` objects (string-literal
+/// keys), `[ ... ]` arrays, and arbitrary serializable expressions in
+/// value position. Trailing commas are accepted.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($tt:tt)* ]) => {{
+        #[allow(clippy::vec_init_then_push, clippy::redundant_closure_call)]
+        let __json_arr = (|| {
+            #[allow(unused_mut)]
+            let mut __json_items: ::std::vec::Vec<$crate::Value> = ::std::vec::Vec::new();
+            $crate::json_elems!(__json_items () $($tt)*);
+            __json_items
+        })();
+        $crate::Value::Array(__json_arr)
+    }};
+    ({ $($tt:tt)* }) => {{
+        #[allow(unused_mut)]
+        let mut __json_map = $crate::Map::new();
+        $crate::json_entries!(__json_map $($tt)*);
+        $crate::Value::Object(__json_map)
+    }};
+    ($other:expr) => { $crate::__value_of(&$other) };
+}
+
+/// Internal: munch `"key": value` pairs into `$map`.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_entries {
+    ($map:ident) => {};
+    // Nested-structure and null values dispatch straight back to json!.
+    ($map:ident $key:literal : null $(, $($rest:tt)*)?) => {
+        $map.insert($key, $crate::Value::Null);
+        $crate::json_entries!($map $($($rest)*)?);
+    };
+    ($map:ident $key:literal : { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $map.insert($key, $crate::json!({ $($inner)* }));
+        $crate::json_entries!($map $($($rest)*)?);
+    };
+    ($map:ident $key:literal : [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $map.insert($key, $crate::json!([ $($inner)* ]));
+        $crate::json_entries!($map $($($rest)*)?);
+    };
+    // Expression values: accumulate tokens until a top-level comma.
+    ($map:ident $key:literal : $($rest:tt)*) => {
+        $crate::json_entry_value!($map $key () $($rest)*);
+    };
+}
+
+/// Internal: accumulate one expression value for `json_entries!`.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_entry_value {
+    ($map:ident $key:literal ($($val:tt)+) , $($rest:tt)*) => {
+        $map.insert($key, $crate::__value_of(&($($val)+)));
+        $crate::json_entries!($map $($rest)*);
+    };
+    ($map:ident $key:literal ($($val:tt)*) $next:tt $($rest:tt)*) => {
+        $crate::json_entry_value!($map $key ($($val)* $next) $($rest)*);
+    };
+    ($map:ident $key:literal ($($val:tt)+)) => {
+        $map.insert($key, $crate::__value_of(&($($val)+)));
+    };
+}
+
+/// Internal: munch array elements into `$items`.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_elems {
+    ($items:ident ()) => {};
+    ($items:ident () null $(, $($rest:tt)*)?) => {
+        $items.push($crate::Value::Null);
+        $crate::json_elems!($items () $($($rest)*)?);
+    };
+    ($items:ident () { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $items.push($crate::json!({ $($inner)* }));
+        $crate::json_elems!($items () $($($rest)*)?);
+    };
+    ($items:ident () [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $items.push($crate::json!([ $($inner)* ]));
+        $crate::json_elems!($items () $($($rest)*)?);
+    };
+    ($items:ident ($($val:tt)+) , $($rest:tt)*) => {
+        $items.push($crate::__value_of(&($($val)+)));
+        $crate::json_elems!($items () $($rest)*);
+    };
+    ($items:ident ($($val:tt)*) $next:tt $($rest:tt)*) => {
+        $crate::json_elems!($items ($($val)* $next) $($rest)*);
+    };
+    ($items:ident ($($val:tt)+)) => {
+        $items.push($crate::__value_of(&($($val)+)));
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_nested() {
+        fn ms(us: f64) -> f64 {
+            us / 1000.0
+        }
+        let name = String::from("wide_and_deep");
+        let fallback: Option<String> = None;
+        let v = json!({
+            "model": name,
+            "latency_ms": ms(1500.0),
+            "fallback": fallback,
+            "inner": { "ops": 12, "tags": [1, 2, 3] },
+            "items": (0..3).map(|i| json!({ "i": i })).collect::<Vec<_>>(),
+        });
+        assert_eq!(v["model"], "wide_and_deep");
+        assert_eq!(v["latency_ms"], 1.5);
+        assert!(v["fallback"].is_null());
+        assert_eq!(v["inner"]["ops"], 12);
+        assert_eq!(v["inner"]["tags"][2], 3);
+        assert_eq!(v["items"].as_array().unwrap().len(), 3);
+        assert_eq!(v["items"][1]["i"], 1);
+    }
+
+    #[test]
+    fn json_macro_expr_and_array_forms() {
+        let series = vec![json!({ "a": 1 }), json!({ "a": 2 })];
+        let v = json!(series);
+        assert_eq!(v.as_array().unwrap().len(), 2);
+        let arr = json!([1, "two", 3.0, null, [4]]);
+        assert_eq!(arr[0], 1);
+        assert_eq!(arr[1], "two");
+        assert_eq!(arr[2], 3.0);
+        assert!(arr[3].is_null());
+        assert_eq!(arr[4][0], 4);
+    }
+
+    #[test]
+    fn string_roundtrip() {
+        let v = json!({ "fp": 0xdead_beef_dead_beefu64, "neg": -5, "list": [1.25] });
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, v);
+        assert_eq!(back["fp"].as_u64(), Some(0xdead_beef_dead_beefu64));
+        let pretty = to_string_pretty(&v).unwrap();
+        let back2: Value = from_str(&pretty).unwrap();
+        assert_eq!(back2, v);
+    }
+
+    #[test]
+    fn from_str_error_reported() {
+        let r: Result<Value, Error> = from_str("{nope}");
+        assert!(r.is_err());
+    }
+}
