@@ -21,8 +21,14 @@ cargo test -q
 step "cargo test --workspace -q"
 cargo test --workspace -q
 
+step "interleaving stress suite (fixed seeds)"
+cargo test -q -p duet-runtime --test interleave
+
 step "duet-lint over all built-in models"
 cargo run -q --release --bin duet-lint -- all
+
+step "duet-lint trace over all built-in models (D3xx conformance)"
+cargo run -q --release --bin duet-lint -- trace all
 
 echo
 echo "CI gate passed."

@@ -21,27 +21,38 @@
 //!   sources, cycles) and the plan fingerprint check, then adds
 //!   performance lints: cross-device boundary traffic per phase,
 //!   sub-fusion-granularity subgraphs, unbalanced multi-path phases.
+//! * **Runtime-conformance checker** ([`check_witness`],
+//!   [`check_agreement`], `D3xx`) — the only analyzer that looks at
+//!   what actually *ran*: it verifies a recorded
+//!   [`duet_runtime::ExecutionWitness`] against its graph + placed
+//!   schedule (happens-before order, virtual-clock readiness, per-
+//!   device monotonicity, transfer accounting, reported latency) and
+//!   cross-checks executor and simulator witnesses of one placement.
 //!
 //! Severities are [`Severity::Error`] (do not run/deploy this artifact)
 //! and [`Severity::Warning`] (runs, but suspicious). The `duet-lint`
-//! CLI in the root crate drives all three over the model zoo and exits
-//! non-zero on errors.
+//! CLI in the root crate drives all four over the model zoo and exits
+//! non-zero on errors; its `trace` subcommand runs a model, records
+//! witnesses and checks them.
 
 pub mod diagnostics;
 pub mod graph_verifier;
 pub mod pass_check;
 pub mod plan_lint;
+pub mod witness_check;
 
 pub use diagnostics::{Diagnostic, Report, Severity};
 pub use graph_verifier::verify_graph;
 pub use pass_check::{check_optimize, violation_to_diagnostic};
 pub use plan_lint::{lint_plan, lint_schedule, LintConfig, PlanFacts, PlanSubgraphFacts};
+pub use witness_check::{check_agreement, check_witness, WitnessCheckConfig};
 
 /// The stable diagnostic code namespace.
 ///
 /// `D0xx` — graph verifier, `D1xx` — pass-invariant checker, `D2xx` —
-/// plan/schedule linter. Codes are append-only: a released code keeps
-/// its meaning forever so tooling can match on it.
+/// plan/schedule linter, `D3xx` — runtime-conformance (witness)
+/// checker. Codes are append-only: a released code keeps its meaning
+/// forever so tooling can match on it.
 pub mod codes {
     // D0xx — graph verifier
     /// A node, edge or declared output references a nonexistent id.
@@ -109,4 +120,38 @@ pub mod codes {
     pub const PLAN_UNBALANCED: &str = "D212";
     /// A multi-path phase contains a single path (warning).
     pub const PLAN_SINGLE_PATH: &str = "D213";
+
+    // D3xx — runtime-conformance (witness) checker
+    /// A placed subgraph never executed.
+    pub const WITNESS_MISSING_EXECUTION: &str = "D300";
+    /// A placed subgraph executed more than once.
+    pub const WITNESS_DUPLICATE_EXECUTION: &str = "D301";
+    /// Structurally broken witness: unknown subgraph index, device
+    /// disagreeing with the placement, finish without start, negative
+    /// duration, or incomparable witnesses.
+    pub const WITNESS_MALFORMED: &str = "D302";
+    /// Observed event order violates happens-before: a consumer's start
+    /// was committed before a producer's finish.
+    pub const WITNESS_ORDER: &str = "D303";
+    /// Virtual clock readiness violated: a subgraph started before a
+    /// producer's finish plus the modeled transfer time.
+    pub const WITNESS_CLOCK_READINESS: &str = "D304";
+    /// Per-device virtual execution intervals overlap (a device ran two
+    /// subgraphs at once).
+    pub const WITNESS_CLOCK_OVERLAP: &str = "D305";
+    /// A device-boundary crossing has no matching transfer event (or a
+    /// spurious/duplicated one).
+    pub const WITNESS_MISSING_TRANSFER: &str = "D306";
+    /// A transfer's bytes or modeled time disagree with the system
+    /// model's pricing.
+    pub const WITNESS_TRANSFER_TIME: &str = "D307";
+    /// The reported end-to-end latency differs from the max output-ready
+    /// time recomputed from the event log.
+    pub const WITNESS_LATENCY: &str = "D308";
+    /// Executor and simulator latencies for one placement diverge beyond
+    /// the documented tolerance.
+    pub const WITNESS_DIVERGENCE_LATENCY: &str = "D310";
+    /// Executor and simulator dispatched same-device work in different
+    /// orders (warning; both orders are legal).
+    pub const WITNESS_DIVERGENCE_ORDER: &str = "D311";
 }

@@ -370,6 +370,25 @@ impl Duet {
         HeterogeneousExecutor::new(&self.graph, &self.placed, self.system.clone()).run(feeds)
     }
 
+    /// Execute one inference and also record an [`ExecutionWitness`] —
+    /// the ordered event log the `duet-analysis` D3xx conformance
+    /// checker (and `duet-lint trace`) consumes.
+    ///
+    /// [`ExecutionWitness`]: duet_runtime::ExecutionWitness
+    pub fn run_witnessed(
+        &self,
+        feeds: &HashMap<NodeId, Tensor>,
+    ) -> Result<
+        (
+            duet_runtime::executor::ExecutionOutcome,
+            duet_runtime::ExecutionWitness,
+        ),
+        GraphError,
+    > {
+        HeterogeneousExecutor::new(&self.graph, &self.placed, self.system.clone())
+            .run_witnessed(feeds)
+    }
+
     /// Measure the latency distribution over repeated (noisy, seeded)
     /// simulated runs — the paper's 5000-run methodology.
     pub fn measure(&self, runs: usize, seed: u64) -> LatencyStats {
@@ -502,6 +521,25 @@ mod tests {
         let want = duet.graph().eval(&feeds).unwrap();
         let out_id = duet.graph().outputs()[0];
         assert!(outcome.outputs[&out_id].approx_eq(&want[0], 1e-5));
+    }
+
+    #[test]
+    fn run_witnessed_is_conformant_and_matches_reference() {
+        let g = wide_and_deep(&WideAndDeepConfig::small());
+        let duet = Duet::builder().no_fallback().build(&g).unwrap();
+        let feeds = input_feeds(duet.graph(), 5);
+        let (outcome, witness) = duet.run_witnessed(&feeds).unwrap();
+        let want = duet.graph().eval(&feeds).unwrap();
+        let out_id = duet.graph().outputs()[0];
+        assert!(outcome.outputs[&out_id].approx_eq(&want[0], 1e-5));
+        let report = duet_analysis::check_witness(
+            duet.graph(),
+            duet.placed(),
+            duet.system(),
+            &witness,
+            &duet_analysis::WitnessCheckConfig::default(),
+        );
+        assert!(report.is_clean(), "witness must check clean:\n{report}");
     }
 
     #[test]

@@ -12,6 +12,15 @@
 //! while also maintaining the virtual clock of the device models, so a run
 //! yields both verifiable outputs and the latency the modeled hardware
 //! would have achieved.
+//!
+//! Runs can be **witnessed**: [`HeterogeneousExecutor::run_recorded`]
+//! threads an optional [`WitnessRecorder`] through the workers, emitting
+//! the `D3xx`-checkable event log of [`crate::witness`] (start/finish per
+//! subgraph, triggering edges, every modeled transfer) at zero cost when
+//! no recorder is attached. For race hunting, [`DelayInjection`] makes
+//! each worker sleep a seeded random interval before every dispatch,
+//! perturbing the real thread interleaving without changing what a
+//! correct run may produce.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -22,13 +31,19 @@ use duet_device::{DeviceKind, SystemModel};
 use duet_ir::{Graph, GraphError, NodeId, Op};
 use duet_tensor::Tensor;
 use parking_lot::Mutex;
+use rand::{rngs::SmallRng, Rng, SeedableRng};
 
 use crate::sim::Placed;
+use crate::witness::{
+    DelayInjection, ExecutionWitness, TransferKind, TriggerEdge, WitnessEvent, WitnessRecorder,
+    WitnessSource,
+};
 
 /// Result of one heterogeneous inference.
 #[derive(Debug)]
 pub struct ExecutionOutcome {
-    /// Values of the graph outputs, keyed by node id.
+    /// Values of the graph outputs, keyed by node id. Empty for
+    /// virtual-clock-only runs ([`HeterogeneousExecutor::run_virtual`]).
     pub outputs: HashMap<NodeId, Tensor>,
     /// End-to-end latency on the modeled hardware, microseconds.
     pub virtual_latency_us: f64,
@@ -50,6 +65,7 @@ pub struct HeterogeneousExecutor<'g> {
     graph: &'g Graph,
     placed: &'g [Placed],
     system: SystemModel,
+    delays: Option<DelayInjection>,
 }
 
 impl<'g> HeterogeneousExecutor<'g> {
@@ -59,11 +75,67 @@ impl<'g> HeterogeneousExecutor<'g> {
             graph,
             placed,
             system,
+            delays: None,
         }
+    }
+
+    /// Inject seeded random wall-clock delays before every dispatch
+    /// (interleaving stress testing; virtual clocks are unaffected).
+    pub fn with_delays(mut self, delays: DelayInjection) -> Self {
+        self.delays = Some(delays);
+        self
     }
 
     /// Execute one inference with the given input feeds.
     pub fn run(&self, feeds: &HashMap<NodeId, Tensor>) -> Result<ExecutionOutcome, GraphError> {
+        self.run_recorded(feeds, None)
+    }
+
+    /// Execute one inference, optionally streaming witness events into
+    /// `recorder`. With `None` this is exactly [`Self::run`]: no events
+    /// are built and no recorder locks are taken.
+    pub fn run_recorded(
+        &self,
+        feeds: &HashMap<NodeId, Tensor>,
+        recorder: Option<&WitnessRecorder>,
+    ) -> Result<ExecutionOutcome, GraphError> {
+        self.run_inner(Some(feeds), recorder)
+    }
+
+    /// Execute one inference and return the sealed witness next to the
+    /// outcome.
+    pub fn run_witnessed(
+        &self,
+        feeds: &HashMap<NodeId, Tensor>,
+    ) -> Result<(ExecutionOutcome, ExecutionWitness), GraphError> {
+        let rec = WitnessRecorder::new();
+        let outcome = self.run_recorded(feeds, Some(&rec))?;
+        let witness = rec.into_witness(
+            self.graph.name.clone(),
+            WitnessSource::Executor,
+            outcome.virtual_latency_us,
+        );
+        Ok((outcome, witness))
+    }
+
+    /// Drive the full two-worker machinery — queues, triggers, virtual
+    /// clocks — without computing any tensor numerics. `outputs` comes
+    /// back empty; everything else (latency, task counts, witness
+    /// events) is as a real run would produce. This makes the threaded
+    /// engine's *scheduling* behavior testable on paper-size models in
+    /// milliseconds.
+    pub fn run_virtual(
+        &self,
+        recorder: Option<&WitnessRecorder>,
+    ) -> Result<ExecutionOutcome, GraphError> {
+        self.run_inner(None, recorder)
+    }
+
+    fn run_inner(
+        &self,
+        feeds: Option<&HashMap<NodeId, Tensor>>,
+        recorder: Option<&WitnessRecorder>,
+    ) -> Result<ExecutionOutcome, GraphError> {
         let n = self.placed.len();
         let wall_start = Instant::now();
 
@@ -92,7 +164,8 @@ impl<'g> HeterogeneousExecutor<'g> {
         let pending: Vec<AtomicUsize> = deps.iter().map(|d| AtomicUsize::new(d.len())).collect();
 
         // Shared state.
-        let values: Mutex<HashMap<NodeId, Tensor>> = Mutex::new(feeds.clone());
+        let values: Mutex<HashMap<NodeId, Tensor>> = Mutex::new(feeds.cloned().unwrap_or_default());
+        let numerics = feeds.is_some();
         let finish_us: Vec<Mutex<f64>> = (0..n).map(|_| Mutex::new(0.0)).collect();
         let error: Mutex<Option<GraphError>> = Mutex::new(None);
         let done = AtomicUsize::new(0);
@@ -131,52 +204,123 @@ impl<'g> HeterogeneousExecutor<'g> {
                 scope.spawn(move || {
                     // Worker loop: poll own queue, execute, trigger deps.
                     let mut device_time = 0.0f64;
+                    let mut delay_rng = self
+                        .delays
+                        .map(|d| SmallRng::seed_from_u64(d.seed ^ (0xD1CE << device as u64)));
                     while let Ok(msg) = rx.recv() {
                         let i = match msg {
                             Msg::Stop => break,
                             Msg::Run(i) => i,
                         };
+                        if let (Some(d), Some(rng)) = (self.delays, delay_rng.as_mut()) {
+                            std::thread::sleep(Duration::from_micros(
+                                rng.gen_range(0..d.max_us + 1),
+                            ));
+                        }
                         let placed = &self.placed[i];
                         // Virtual readiness: producers' finish + transfers.
                         let mut ready = 0.0f64;
+                        let mut triggers: Vec<TriggerEdge> = Vec::new();
+                        let mut transfers: Vec<WitnessEvent> = Vec::new();
                         for &src in &placed.sg.inputs {
                             let bytes = self.graph.node(src).shape.byte_size() as f64;
-                            if matches!(self.graph.node(src).op, Op::Input) {
-                                if device == DeviceKind::Gpu {
-                                    ready = ready.max(self.system.transfer_time_us(bytes));
+                            let (producer_idx, mut t, xfer) =
+                                if matches!(self.graph.node(src).op, Op::Input) {
+                                    let xfer = if device == DeviceKind::Gpu {
+                                        self.system.transfer_time_us(bytes)
+                                    } else {
+                                        0.0
+                                    };
+                                    (None, 0.0, xfer)
+                                } else {
+                                    let p = deps[i]
+                                        .iter()
+                                        .copied()
+                                        .find(|&p| self.placed[p].sg.node_ids.contains(&src))
+                                        .expect("dep registered");
+                                    let t = *finish_us[p].lock();
+                                    let xfer = if self.placed[p].device != device {
+                                        self.system.transfer_time_us(bytes)
+                                    } else {
+                                        0.0
+                                    };
+                                    (Some(p), t, xfer)
+                                };
+                            t += xfer;
+                            ready = ready.max(t);
+                            if recorder.is_some() {
+                                triggers.push(TriggerEdge {
+                                    node: src,
+                                    producer: producer_idx,
+                                    bytes,
+                                    transfer_us: xfer,
+                                });
+                                if xfer > 0.0 {
+                                    transfers.push(WitnessEvent::Transfer {
+                                        node: src,
+                                        kind: match producer_idx {
+                                            None => TransferKind::HostToDevice,
+                                            Some(_) => TransferKind::DeviceToDevice,
+                                        },
+                                        bytes,
+                                        time_us: xfer,
+                                        consumer: Some(i),
+                                    });
                                 }
-                            } else {
-                                let p = deps[i]
-                                    .iter()
-                                    .copied()
-                                    .find(|&p| self.placed[p].sg.node_ids.contains(&src))
-                                    .expect("dep registered");
-                                let mut t = *finish_us[p].lock();
-                                if self.placed[p].device != device {
-                                    t += self.system.transfer_time_us(bytes);
-                                }
-                                ready = ready.max(t);
                             }
                         }
                         let start = ready.max(device_time);
                         let exec =
                             crate::sim::subgraph_exec_time_us(&self.system, device, &placed.sg);
+                        if let Some(rec) = recorder {
+                            transfers.push(WitnessEvent::Start {
+                                sg: i,
+                                name: placed.sg.name.clone(),
+                                device,
+                                at_us: start,
+                                triggers,
+                            });
+                            rec.record_all(transfers);
+                        }
 
-                        // Real numerics on the host.
-                        let env = values.lock().clone();
-                        match placed.sg.execute(self.graph, &env) {
-                            Ok(outs) => {
-                                values.lock().extend(outs);
-                            }
-                            Err(e) => {
-                                *error.lock() = Some(e);
-                                let _ = cpu_tx.send(Msg::Stop);
-                                let _ = gpu_tx.send(Msg::Stop);
-                                break;
+                        // Real numerics on the host. Only the values this
+                        // subgraph's boundary inputs name are cloned out of
+                        // the shared store — cloning the whole map would be
+                        // O(n²) traffic on deep graphs.
+                        if numerics {
+                            let env: HashMap<NodeId, Tensor> = {
+                                let store = values.lock();
+                                placed
+                                    .sg
+                                    .inputs
+                                    .iter()
+                                    .filter_map(|&id| store.get(&id).map(|t| (id, t.clone())))
+                                    .collect()
+                            };
+                            match placed.sg.execute(self.graph, &env) {
+                                Ok(outs) => {
+                                    values.lock().extend(outs);
+                                }
+                                Err(e) => {
+                                    // First error wins: a second worker
+                                    // failing while we shut down must not
+                                    // mask the original cause.
+                                    error.lock().get_or_insert(e);
+                                    let _ = cpu_tx.send(Msg::Stop);
+                                    let _ = gpu_tx.send(Msg::Stop);
+                                    break;
+                                }
                             }
                         }
                         device_time = start + exec;
                         *finish_us[i].lock() = device_time;
+                        if let Some(rec) = recorder {
+                            rec.record(WitnessEvent::Finish {
+                                sg: i,
+                                device,
+                                at_us: device_time,
+                            });
+                        }
                         task_counts[device as usize].fetch_add(1, Ordering::Relaxed);
 
                         // Trigger consumers whose last dependency this was.
@@ -207,19 +351,30 @@ impl<'g> HeterogeneousExecutor<'g> {
         let mut outputs = HashMap::new();
         let mut latency = 0.0f64;
         for &out in self.graph.outputs() {
-            let v = values
-                .get(&out)
-                .cloned()
-                .ok_or(GraphError::MissingFeed(out))?;
             let p = producer[&out];
             let mut t = *finish_us[p].lock();
             if self.placed[p].device == DeviceKind::Gpu {
-                t += self
-                    .system
-                    .transfer_time_us(self.graph.node(out).shape.byte_size() as f64);
+                let bytes = self.graph.node(out).shape.byte_size() as f64;
+                let xfer = self.system.transfer_time_us(bytes);
+                t += xfer;
+                if let Some(rec) = recorder {
+                    rec.record(WitnessEvent::Transfer {
+                        node: out,
+                        kind: TransferKind::DeviceToHost,
+                        bytes,
+                        time_us: xfer,
+                        consumer: None,
+                    });
+                }
             }
             latency = latency.max(t);
-            outputs.insert(out, v);
+            if numerics {
+                let v = values
+                    .get(&out)
+                    .cloned()
+                    .ok_or(GraphError::MissingFeed(out))?;
+                outputs.insert(out, v);
+            }
         }
         Ok(ExecutionOutcome {
             outputs,
@@ -386,6 +541,82 @@ mod tests {
         assert!(res.is_err());
     }
 
+    /// Two independent branches from two separate inputs; only one input
+    /// is fed, so exactly one branch fails while the other succeeds.
+    fn two_input_branchy() -> Graph {
+        let mut b = GraphBuilder::new("two_input", 3);
+        let x = b.input("x", vec![1, 16]);
+        let z = b.input("z", vec![1, 16]);
+        let l = b.dense("left", x, 16, Some(Op::Relu)).unwrap();
+        let r = b.dense("right", z, 16, Some(Op::Tanh)).unwrap();
+        let cat = b.op("cat", Op::Concat { axis: 1 }, &[l, r]).unwrap();
+        let y = b.dense("head", cat, 4, None).unwrap();
+        b.finish(&[y]).unwrap()
+    }
+
+    #[test]
+    fn mid_graph_failure_stops_promptly_with_original_error() {
+        let g = two_input_branchy();
+        let sgs = split(&g, &["left", "right"]);
+        let placed: Vec<Placed> = sgs
+            .into_iter()
+            .enumerate()
+            .map(|(i, sg)| Placed {
+                sg,
+                device: if i == 1 {
+                    DeviceKind::Gpu
+                } else {
+                    DeviceKind::Cpu
+                },
+            })
+            .collect();
+        let z = g.input_ids()[1];
+        // Feed only x: the "right" subgraph dies on the missing z feed,
+        // the "head" subgraph never becomes ready. The run must return
+        // (not hang) with exactly the missing-feed error — across many
+        // perturbed interleavings, never masked by a later error.
+        let mut feeds = input_feeds(&g, 4);
+        feeds.remove(&z);
+        for seed in 0..20 {
+            let exec = HeterogeneousExecutor::new(&g, &placed, SystemModel::paper_server())
+                .with_delays(DelayInjection::new(seed, 80));
+            let err = exec.run(&feeds).unwrap_err();
+            assert_eq!(err, GraphError::MissingFeed(z), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn narrowed_env_leaves_outputs_unchanged_on_deep_chain() {
+        // A deep chain split into many subgraphs: with whole-map cloning
+        // this moved O(n²) tensors; the narrowed env must stay correct.
+        let mut b = GraphBuilder::new("deep", 9);
+        let x = b.input("x", vec![1, 24]);
+        let mut cur = x;
+        for i in 0..24 {
+            cur = b.dense(&format!("fc{i}"), cur, 24, Some(Op::Relu)).unwrap();
+        }
+        let g = b.finish(&[cur]).unwrap();
+        let c = Compiler::default();
+        let ids = g.compute_ids();
+        let placed: Vec<Placed> = ids
+            .chunks(3)
+            .enumerate()
+            .map(|(i, chunk)| Placed {
+                sg: c.compile_nodes(&g, chunk, format!("c{i}")),
+                device: if i % 2 == 0 {
+                    DeviceKind::Cpu
+                } else {
+                    DeviceKind::Gpu
+                },
+            })
+            .collect();
+        let feeds = input_feeds(&g, 11);
+        let exec = HeterogeneousExecutor::new(&g, &placed, SystemModel::paper_server());
+        let out = exec.run(&feeds).unwrap();
+        let want = g.eval(&feeds).unwrap();
+        assert_eq!(out.outputs[&g.outputs()[0]], want[0]);
+    }
+
     #[test]
     fn repeated_runs_are_stable() {
         let g = branchy();
@@ -412,5 +643,71 @@ mod tests {
                 first.outputs[&g.outputs()[0]]
             );
         }
+    }
+
+    #[test]
+    fn witnessed_run_logs_every_subgraph_and_transfer() {
+        let g = branchy();
+        let sgs = split(&g, &["left", "right"]);
+        let placed: Vec<Placed> = sgs
+            .into_iter()
+            .enumerate()
+            .map(|(i, sg)| Placed {
+                sg,
+                device: if i == 1 {
+                    DeviceKind::Gpu
+                } else {
+                    DeviceKind::Cpu
+                },
+            })
+            .collect();
+        let exec = HeterogeneousExecutor::new(&g, &placed, SystemModel::paper_server());
+        let (out, w) = exec.run_witnessed(&input_feeds(&g, 5)).unwrap();
+        assert_eq!(w.source, WitnessSource::Executor);
+        assert_eq!(w.virtual_latency_us, out.virtual_latency_us);
+        assert_eq!(w.dispatch_count(), placed.len());
+        // The GPU-placed "right" subgraph consumed the host input: an H2D
+        // transfer must be on record, and its boundary output crosses back.
+        assert!(w.events.iter().any(|e| matches!(
+            e,
+            WitnessEvent::Transfer {
+                kind: TransferKind::HostToDevice,
+                ..
+            }
+        )));
+        assert!(w.events.iter().any(|e| matches!(
+            e,
+            WitnessEvent::Transfer {
+                kind: TransferKind::DeviceToDevice,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn virtual_run_matches_real_run_latency() {
+        let g = branchy();
+        let sgs = split(&g, &["left", "right"]);
+        let placed: Vec<Placed> = sgs
+            .into_iter()
+            .enumerate()
+            .map(|(i, sg)| Placed {
+                sg,
+                device: if i == 0 {
+                    DeviceKind::Gpu
+                } else {
+                    DeviceKind::Cpu
+                },
+            })
+            .collect();
+        let exec = HeterogeneousExecutor::new(&g, &placed, SystemModel::paper_server());
+        let real = exec.run(&input_feeds(&g, 2)).unwrap();
+        let virt = exec.run_virtual(None).unwrap();
+        assert!(virt.outputs.is_empty());
+        // Virtual clocks do not depend on the numerics; a same-ordering
+        // virtual run lands on the same latency.
+        let rel =
+            (real.virtual_latency_us - virt.virtual_latency_us).abs() / real.virtual_latency_us;
+        assert!(rel < 0.2, "real {real:?} vs virtual {virt:?}");
     }
 }

@@ -16,6 +16,11 @@
 //!   triggered subgraph execution, real tensor numerics.
 //! * [`LatencyStats`] — mean and percentile statistics over repeated runs
 //!   (the paper reports P50/P99/P99.9 over 5000 runs).
+//! * [`ExecutionWitness`] — an ordered event log both engines can emit
+//!   through a [`WitnessRecorder`] hook; `duet-analysis` checks witnesses
+//!   for runtime conformance (`D3xx`): happens-before order, virtual-clock
+//!   readiness, per-device monotonicity, transfer accounting, reported
+//!   latency.
 
 pub mod executor;
 pub mod measure;
@@ -25,12 +30,20 @@ pub mod sim;
 pub mod stats;
 pub mod trace;
 pub mod validate;
+pub mod witness;
 
 pub use executor::HeterogeneousExecutor;
 pub use measure::{measure_latency, measure_stats};
 pub use profile::{Profiler, SubgraphProfile};
 pub use serving::{simulate_serving, ServingConfig, ServingResult};
-pub use sim::{simulate, subgraph_exec_time_us, Placed, SimNoise, SimResult, TimelineEntry};
+pub use sim::{
+    simulate, simulate_recorded, simulate_witnessed, subgraph_exec_time_us, Placed, SimNoise,
+    SimResult, TimelineEntry,
+};
 pub use stats::LatencyStats;
-pub use trace::to_chrome_trace;
+pub use trace::{to_chrome_trace, witness_to_chrome_trace};
 pub use validate::{validate_schedule, ScheduleError};
+pub use witness::{
+    DelayInjection, ExecutionWitness, TransferKind, TriggerEdge, WitnessEvent, WitnessRecorder,
+    WitnessSource,
+};

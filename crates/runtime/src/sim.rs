@@ -24,6 +24,10 @@ use duet_compiler::CompiledSubgraph;
 use duet_device::{DeviceKind, NoiseModel, SystemModel};
 use duet_ir::{Graph, NodeId, Op};
 
+use crate::witness::{
+    ExecutionWitness, TransferKind, TriggerEdge, WitnessEvent, WitnessRecorder, WitnessSource,
+};
+
 /// A subgraph with its device assignment.
 #[derive(Debug, Clone)]
 pub struct Placed {
@@ -102,6 +106,38 @@ pub fn simulate(
     placed: &[Placed],
     system: &SystemModel,
     noise: &mut SimNoise,
+) -> SimResult {
+    simulate_recorded(graph, placed, system, noise, None)
+}
+
+/// [`simulate`] with its witness sealed next to the result.
+///
+/// Witnesses are meant for conformance checking, which models noise-free
+/// clocks; pass [`SimNoise::disabled`] when the witness will be checked.
+pub fn simulate_witnessed(
+    graph: &Graph,
+    placed: &[Placed],
+    system: &SystemModel,
+    noise: &mut SimNoise,
+) -> (SimResult, ExecutionWitness) {
+    let rec = WitnessRecorder::new();
+    let result = simulate_recorded(graph, placed, system, noise, Some(&rec));
+    let witness = rec.into_witness(
+        graph.name.clone(),
+        WitnessSource::Simulator,
+        result.latency_us,
+    );
+    (result, witness)
+}
+
+/// [`simulate`], optionally streaming witness events into `recorder`
+/// (dispatch order; zero cost when `None`).
+pub fn simulate_recorded(
+    graph: &Graph,
+    placed: &[Placed],
+    system: &SystemModel,
+    noise: &mut SimNoise,
+    recorder: Option<&WitnessRecorder>,
 ) -> SimResult {
     let n = placed.len();
     // node -> producing subgraph index.
@@ -233,6 +269,53 @@ pub fn simulate(
         finish[i] = end;
         done[i] = true;
         free[lane] = end;
+        if let Some(rec) = recorder {
+            let mut events: Vec<WitnessEvent> = Vec::new();
+            let mut triggers: Vec<TriggerEdge> = Vec::new();
+            for &(src, p) in &all_deps[i] {
+                let bytes = graph.node(src).shape.byte_size() as f64;
+                let crosses = match p {
+                    None => dev == DeviceKind::Gpu,
+                    Some(p) => placed[p].device != dev,
+                };
+                let xfer = if crosses {
+                    system.transfer_time_us(bytes)
+                } else {
+                    0.0
+                };
+                triggers.push(TriggerEdge {
+                    node: src,
+                    producer: p,
+                    bytes,
+                    transfer_us: xfer,
+                });
+                if crosses {
+                    events.push(WitnessEvent::Transfer {
+                        node: src,
+                        kind: match p {
+                            None => TransferKind::HostToDevice,
+                            Some(_) => TransferKind::DeviceToDevice,
+                        },
+                        bytes,
+                        time_us: xfer,
+                        consumer: Some(i),
+                    });
+                }
+            }
+            events.push(WitnessEvent::Start {
+                sg: i,
+                name: placed[i].sg.name.clone(),
+                device: dev,
+                at_us: start,
+                triggers,
+            });
+            events.push(WitnessEvent::Finish {
+                sg: i,
+                device: dev,
+                at_us: end,
+            });
+            rec.record_all(events);
+        }
         timeline.push(TimelineEntry {
             name: placed[i].sg.name.clone(),
             device: dev,
@@ -252,6 +335,15 @@ pub fn simulate(
             let bytes = graph.node(out).shape.byte_size() as f64;
             t += system.transfer_time_us(bytes) * noise.transfer.multiplier();
             transferred += bytes;
+            if let Some(rec) = recorder {
+                rec.record(WitnessEvent::Transfer {
+                    node: out,
+                    kind: TransferKind::DeviceToHost,
+                    bytes,
+                    time_us: system.transfer_time_us(bytes),
+                    consumer: None,
+                });
+            }
         }
         latency = latency.max(t);
     }

@@ -1,4 +1,4 @@
-//! Chrome-tracing export of simulated timelines.
+//! Chrome-tracing export of simulated timelines and execution witnesses.
 //!
 //! The paper's Fig. 4 is an execution timeline. [`to_chrome_trace`] turns
 //! any [`SimResult`] into the Chrome `chrome://tracing` / Perfetto JSON
@@ -8,50 +8,167 @@
 //! ```text
 //! duet trace wide_and_deep trace.json   # then open in ui.perfetto.dev
 //! ```
+//!
+//! [`witness_to_chrome_trace`] renders an [`ExecutionWitness`] the same
+//! way, annotated: each subgraph slice carries its index, device and
+//! triggering edges in `args`, and every modeled transfer appears as an
+//! instant event on a dedicated PCIe lane. All events are serialized
+//! with `serde_json`, so arbitrary subgraph names — quotes, newlines,
+//! any control character — always produce valid JSON.
 
 use duet_device::DeviceKind;
+use serde_json::{json, Value};
 
 use crate::sim::SimResult;
+use crate::witness::{ExecutionWitness, WitnessEvent};
+
+fn device_tid(device: DeviceKind) -> i64 {
+    match device {
+        DeviceKind::Cpu => 1,
+        DeviceKind::Gpu => 2,
+    }
+}
+
+/// The PCIe/interconnect lane in witness traces.
+const TRANSFER_TID: i64 = 3;
+
+fn metadata(process: &str, lanes: &[(i64, &str)]) -> Vec<Value> {
+    let mut events = vec![json!({
+        "name": "process_name", "ph": "M", "pid": 1, "tid": 0,
+        "args": {"name": process},
+    })];
+    for &(tid, name) in lanes {
+        events.push(json!({
+            "name": "thread_name", "ph": "M", "pid": 1, "tid": tid,
+            "args": {"name": name},
+        }));
+    }
+    events
+}
+
+fn render(events: Vec<Value>) -> String {
+    let body: Vec<String> = events
+        .iter()
+        .map(|e| serde_json::to_string(e).expect("trace event serializes"))
+        .collect();
+    format!("[\n{}\n]\n", body.join(",\n"))
+}
 
 /// Render a simulated timeline as Chrome trace-event JSON ("X" complete
 /// events; microsecond timestamps, which is the trace format's native
 /// unit). The `process` name labels the whole schedule; devices appear
 /// as threads.
 pub fn to_chrome_trace(process: &str, result: &SimResult) -> String {
-    let mut events = Vec::with_capacity(result.timeline.len() + 3);
-    // Process/thread name metadata.
-    events.push(format!(
-        r#"{{"name":"process_name","ph":"M","pid":1,"tid":0,"args":{{"name":"{}"}}}}"#,
-        escape(process)
-    ));
-    for (tid, name) in [(1, "CPU"), (2, "GPU")] {
-        events.push(format!(
-            r#"{{"name":"thread_name","ph":"M","pid":1,"tid":{tid},"args":{{"name":"{name}"}}}}"#
-        ));
-    }
+    let mut events = metadata(process, &[(1, "CPU"), (2, "GPU")]);
     for e in &result.timeline {
-        let tid = match e.device {
-            DeviceKind::Cpu => 1,
-            DeviceKind::Gpu => 2,
-        };
-        events.push(format!(
-            r#"{{"name":"{}","ph":"X","pid":1,"tid":{tid},"ts":{:.3},"dur":{:.3}}}"#,
-            escape(&e.name),
-            e.start_us,
-            e.end_us - e.start_us
-        ));
+        events.push(json!({
+            "name": e.name,
+            "ph": "X",
+            "pid": 1,
+            "tid": device_tid(e.device),
+            "ts": e.start_us,
+            "dur": e.end_us - e.start_us,
+        }));
     }
-    format!("[\n{}\n]\n", events.join(",\n"))
+    render(events)
 }
 
-fn escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
+/// Render an execution witness as an annotated Chrome trace: one "X"
+/// slice per subgraph dispatch (with its index, device and triggering
+/// edges in `args`), one instant event per modeled transfer on a
+/// dedicated interconnect lane, placed at the consumer's start time (or
+/// the end of the run for the final D2H transfers).
+pub fn witness_to_chrome_trace(process: &str, witness: &ExecutionWitness) -> String {
+    let title = format!("{} ({})", process, witness.source);
+    let mut events = metadata(&title, &[(1, "CPU"), (2, "GPU"), (TRANSFER_TID, "PCIe")]);
+    // Starts indexed by subgraph so Finish and Transfer events can be
+    // matched up and transfers anchored to a timestamp.
+    let mut start_at: Vec<Option<f64>> = Vec::new();
+    for ev in &witness.events {
+        if let WitnessEvent::Start { sg, at_us, .. } = ev {
+            if start_at.len() <= *sg {
+                start_at.resize(*sg + 1, None);
+            }
+            start_at[*sg] = Some(*at_us);
+        }
+    }
+    let run_end = witness.virtual_latency_us;
+    for ev in &witness.events {
+        match ev {
+            WitnessEvent::Start { .. } => {}
+            WitnessEvent::Finish { sg, device, at_us } => {
+                let Some(start) = start_at.get(*sg).copied().flatten() else {
+                    continue; // malformed witness: finish without start
+                };
+                let (name, triggers) = witness
+                    .events
+                    .iter()
+                    .find_map(|e| match e {
+                        WitnessEvent::Start {
+                            sg: s,
+                            name,
+                            triggers,
+                            ..
+                        } if s == sg => Some((name.as_str(), triggers)),
+                        _ => None,
+                    })
+                    .expect("start exists");
+                let trigger_args: Vec<Value> = triggers
+                    .iter()
+                    .map(|t| {
+                        json!({
+                            "node": t.node,
+                            "producer": t.producer,
+                            "bytes": t.bytes,
+                            "transfer_us": t.transfer_us,
+                        })
+                    })
+                    .collect();
+                events.push(json!({
+                    "name": name,
+                    "ph": "X",
+                    "pid": 1,
+                    "tid": device_tid(*device),
+                    "ts": start,
+                    "dur": at_us - start,
+                    "args": {"sg": sg, "triggers": trigger_args},
+                }));
+            }
+            WitnessEvent::Transfer {
+                node,
+                kind,
+                bytes,
+                time_us,
+                consumer,
+            } => {
+                let ts = consumer
+                    .and_then(|c| start_at.get(c).copied().flatten())
+                    .unwrap_or(run_end);
+                events.push(json!({
+                    "name": format!("{kind} node {node}"),
+                    "ph": "i",
+                    "s": "t",
+                    "pid": 1,
+                    "tid": TRANSFER_TID,
+                    "ts": ts,
+                    "args": {
+                        "node": node,
+                        "bytes": bytes,
+                        "time_us": time_us,
+                        "consumer": consumer,
+                    },
+                }));
+            }
+        }
+    }
+    render(events)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::sim::TimelineEntry;
+    use crate::witness::{TransferKind, TriggerEdge, WitnessSource};
 
     fn sample() -> SimResult {
         SimResult {
@@ -99,6 +216,19 @@ mod tests {
     }
 
     #[test]
+    fn control_characters_in_names_stay_valid_json() {
+        let mut r = sample();
+        r.timeline[0].name = "line1\nline2\tcol\u{1}".into();
+        let json = to_chrome_trace("multi\nline model", &r);
+        let parsed: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+        assert!(parsed
+            .as_array()
+            .unwrap()
+            .iter()
+            .any(|e| e["name"] == "line1\nline2\tcol\u{1}"));
+    }
+
+    #[test]
     fn devices_map_to_distinct_threads() {
         let json = to_chrome_trace("m", &sample());
         let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
@@ -110,5 +240,62 @@ mod tests {
             .map(|e| e["tid"].as_i64().unwrap())
             .collect();
         assert_eq!(tids, vec![1, 2]);
+    }
+
+    #[test]
+    fn witness_trace_annotates_slices_and_transfers() {
+        let w = ExecutionWitness {
+            model: "m".into(),
+            source: WitnessSource::Executor,
+            virtual_latency_us: 42.0,
+            events: vec![
+                WitnessEvent::Transfer {
+                    node: 0,
+                    kind: TransferKind::HostToDevice,
+                    bytes: 128.0,
+                    time_us: 2.0,
+                    consumer: Some(0),
+                },
+                WitnessEvent::Start {
+                    sg: 0,
+                    name: "branch \"a\"\n".into(),
+                    device: DeviceKind::Gpu,
+                    at_us: 2.0,
+                    triggers: vec![TriggerEdge {
+                        node: 0,
+                        producer: None,
+                        bytes: 128.0,
+                        transfer_us: 2.0,
+                    }],
+                },
+                WitnessEvent::Finish {
+                    sg: 0,
+                    device: DeviceKind::Gpu,
+                    at_us: 40.0,
+                },
+                WitnessEvent::Transfer {
+                    node: 3,
+                    kind: TransferKind::DeviceToHost,
+                    bytes: 16.0,
+                    time_us: 2.0,
+                    consumer: None,
+                },
+            ],
+        };
+        let json = witness_to_chrome_trace("m", &w);
+        let parsed: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+        let arr = parsed.as_array().unwrap();
+        let slice = arr.iter().find(|e| e["ph"] == "X").unwrap();
+        assert_eq!(slice["name"], "branch \"a\"\n");
+        assert_eq!(slice["ts"], 2.0);
+        assert_eq!(slice["dur"], 38.0);
+        assert_eq!(slice["args"]["sg"], 0);
+        assert_eq!(slice["args"]["triggers"][0]["bytes"], 128.0);
+        let instants: Vec<&serde_json::Value> = arr.iter().filter(|e| e["ph"] == "i").collect();
+        assert_eq!(instants.len(), 2);
+        // H2D anchors at the consumer's start, final D2H at run end.
+        assert_eq!(instants[0]["ts"], 2.0);
+        assert_eq!(instants[1]["ts"], 42.0);
+        assert!(instants.iter().all(|e| e["tid"] == 3));
     }
 }

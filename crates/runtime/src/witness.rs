@@ -1,0 +1,254 @@
+//! Execution witnesses: ordered event logs of one run.
+//!
+//! A witness is the runtime-conformance counterpart of a schedule plan:
+//! where the plan says what *should* happen, the witness records what
+//! *did*. Both the threaded [`HeterogeneousExecutor`] and the
+//! virtual-clock simulator can emit one through a [`WitnessRecorder`]
+//! hook (zero cost when no recorder is attached: no events are built,
+//! no locks taken). The `duet-analysis` crate checks witnesses against
+//! their graph + placed schedule (`D3xx` diagnostics): happens-before
+//! order, virtual-clock readiness, per-device monotonicity, transfer
+//! accounting and reported latency.
+//!
+//! Event order in the log is **observed order** — the order the engine
+//! actually committed the events, which for the threaded executor is a
+//! genuine happens-before trace: a producer records its `Finish` before
+//! it triggers any consumer, so a consumer's `Start` appearing earlier
+//! in the log than a producer's `Finish` is proof of a synchronization
+//! bug, independent of the virtual timestamps.
+//!
+//! [`HeterogeneousExecutor`]: crate::HeterogeneousExecutor
+
+use duet_device::DeviceKind;
+use duet_ir::NodeId;
+use parking_lot::Mutex;
+
+/// Which engine produced a witness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WitnessSource {
+    /// The threaded two-worker executor (real numerics + virtual clock).
+    Executor,
+    /// The deterministic virtual-clock simulator.
+    Simulator,
+}
+
+impl std::fmt::Display for WitnessSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WitnessSource::Executor => write!(f, "executor"),
+            WitnessSource::Simulator => write!(f, "simulator"),
+        }
+    }
+}
+
+/// One boundary value a subgraph consumed when it started.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TriggerEdge {
+    /// The graph node whose value crossed the subgraph boundary.
+    pub node: NodeId,
+    /// Producing subgraph index; `None` for a host-resident graph input.
+    pub producer: Option<usize>,
+    /// Size of the value.
+    pub bytes: f64,
+    /// Modeled transfer time paid for this edge (0 when no device
+    /// boundary was crossed).
+    pub transfer_us: f64,
+}
+
+/// Which way a value moved across the interconnect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TransferKind {
+    /// Host-resident graph input fed to the GPU.
+    HostToDevice,
+    /// Intermediate value produced on one device, consumed on the other.
+    DeviceToDevice,
+    /// GPU-resident graph output brought back to the host.
+    DeviceToHost,
+}
+
+impl std::fmt::Display for TransferKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransferKind::HostToDevice => write!(f, "H2D"),
+            TransferKind::DeviceToDevice => write!(f, "D2D"),
+            TransferKind::DeviceToHost => write!(f, "D2H"),
+        }
+    }
+}
+
+/// One entry of the event log.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WitnessEvent {
+    /// Subgraph `sg` was dispatched on `device` at virtual time `at_us`.
+    Start {
+        sg: usize,
+        name: String,
+        device: DeviceKind,
+        at_us: f64,
+        /// Every boundary value the dispatch waited for.
+        triggers: Vec<TriggerEdge>,
+    },
+    /// Subgraph `sg` retired at virtual time `at_us`.
+    Finish {
+        sg: usize,
+        device: DeviceKind,
+        at_us: f64,
+    },
+    /// A value moved across the interconnect.
+    Transfer {
+        node: NodeId,
+        kind: TransferKind,
+        bytes: f64,
+        /// Modeled transfer time for `bytes`.
+        time_us: f64,
+        /// Consuming subgraph; `None` for the final D2H of a graph
+        /// output.
+        consumer: Option<usize>,
+    },
+}
+
+impl WitnessEvent {
+    /// The subgraph a `Start`/`Finish` event belongs to.
+    pub fn subgraph(&self) -> Option<usize> {
+        match self {
+            WitnessEvent::Start { sg, .. } | WitnessEvent::Finish { sg, .. } => Some(*sg),
+            WitnessEvent::Transfer { .. } => None,
+        }
+    }
+}
+
+/// The complete record of one run: every event in observed order plus
+/// the latency the engine reported for the run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutionWitness {
+    /// Name of the model (graph) that was run.
+    pub model: String,
+    pub source: WitnessSource,
+    /// Events in the order the engine committed them.
+    pub events: Vec<WitnessEvent>,
+    /// The `virtual_latency_us` / `latency_us` the engine reported —
+    /// checked against an independent recomputation from the events.
+    pub virtual_latency_us: f64,
+}
+
+impl ExecutionWitness {
+    /// Number of `Start` events (executed subgraph dispatches).
+    pub fn dispatch_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, WitnessEvent::Start { .. }))
+            .count()
+    }
+}
+
+/// Thread-safe append-only event sink the engines write through.
+///
+/// Engines take an `Option<&WitnessRecorder>`; with `None` they build
+/// no events and take no locks.
+#[derive(Debug, Default)]
+pub struct WitnessRecorder {
+    events: Mutex<Vec<WitnessEvent>>,
+}
+
+impl WitnessRecorder {
+    pub fn new() -> Self {
+        WitnessRecorder::default()
+    }
+
+    /// Append one event (observed order = call order under the lock).
+    pub fn record(&self, event: WitnessEvent) {
+        self.events.lock().push(event);
+    }
+
+    /// Append several events atomically, preserving their order.
+    pub fn record_all(&self, events: impl IntoIterator<Item = WitnessEvent>) {
+        self.events.lock().extend(events);
+    }
+
+    /// Seal the log into a witness.
+    pub fn into_witness(
+        self,
+        model: impl Into<String>,
+        source: WitnessSource,
+        virtual_latency_us: f64,
+    ) -> ExecutionWitness {
+        ExecutionWitness {
+            model: model.into(),
+            source,
+            events: self.events.into_inner(),
+            virtual_latency_us,
+        }
+    }
+}
+
+/// Seeded wall-clock delay injection for interleaving stress tests.
+///
+/// Each executor worker sleeps a uniformly random `0..=max_us`
+/// microseconds before dispatching every subgraph, perturbing the real
+/// interleaving of the two workers without touching the virtual clocks'
+/// inputs. Any ordering the delays can provoke must still satisfy the
+/// witness checks and produce bit-identical outputs — that is the
+/// stress harness's race detector.
+#[derive(Debug, Clone, Copy)]
+pub struct DelayInjection {
+    pub seed: u64,
+    /// Upper bound (inclusive) of each injected sleep, microseconds.
+    pub max_us: u64,
+}
+
+impl DelayInjection {
+    pub fn new(seed: u64, max_us: u64) -> Self {
+        DelayInjection { seed, max_us }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recorder_preserves_order() {
+        let rec = WitnessRecorder::new();
+        rec.record(WitnessEvent::Start {
+            sg: 0,
+            name: "a".into(),
+            device: DeviceKind::Cpu,
+            at_us: 0.0,
+            triggers: vec![],
+        });
+        rec.record(WitnessEvent::Finish {
+            sg: 0,
+            device: DeviceKind::Cpu,
+            at_us: 5.0,
+        });
+        let w = rec.into_witness("m", WitnessSource::Executor, 5.0);
+        assert_eq!(w.events.len(), 2);
+        assert_eq!(w.dispatch_count(), 1);
+        assert!(matches!(w.events[0], WitnessEvent::Start { sg: 0, .. }));
+        assert!(matches!(w.events[1], WitnessEvent::Finish { sg: 0, .. }));
+    }
+
+    #[test]
+    fn record_all_is_atomic_in_order() {
+        let rec = WitnessRecorder::new();
+        rec.record_all([
+            WitnessEvent::Transfer {
+                node: 1,
+                kind: TransferKind::HostToDevice,
+                bytes: 8.0,
+                time_us: 1.0,
+                consumer: Some(0),
+            },
+            WitnessEvent::Start {
+                sg: 0,
+                name: "a".into(),
+                device: DeviceKind::Gpu,
+                at_us: 1.0,
+                triggers: vec![],
+            },
+        ]);
+        let w = rec.into_witness("m", WitnessSource::Simulator, 1.0);
+        assert!(matches!(w.events[0], WitnessEvent::Transfer { .. }));
+        assert!(matches!(w.events[1], WitnessEvent::Start { .. }));
+    }
+}

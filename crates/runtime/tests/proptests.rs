@@ -3,16 +3,41 @@
 //! random schedules of random graphs.
 
 use std::collections::HashMap;
+use std::sync::OnceLock;
 
+use duet_analysis::WitnessCheckConfig;
 use duet_compiler::Compiler;
 use duet_device::{DeviceKind, SystemModel};
 use duet_ir::{Graph, Op};
+use duet_models::zoo_model;
 use duet_runtime::{
     measure_latency, simulate, subgraph_exec_time_us, HeterogeneousExecutor, Placed, Profiler,
     SimNoise,
 };
 use duet_tensor::Tensor;
 use proptest::prelude::*;
+
+/// The paper workloads, built once: the executor-vs-simulator agreement
+/// property samples random placements of all of them, and graph
+/// construction (not placement) dominates the cost.
+fn zoo() -> &'static [(String, Graph)] {
+    static ZOO: OnceLock<Vec<(String, Graph)>> = OnceLock::new();
+    ZOO.get_or_init(|| {
+        [
+            "wide_and_deep",
+            "siamese",
+            "mtdnn",
+            "resnet18",
+            "resnet50",
+            "vgg16",
+            "squeezenet",
+            "mobilenet",
+        ]
+        .iter()
+        .map(|&n| (n.to_string(), zoo_model(n).expect("zoo model exists")))
+        .collect()
+    })
+}
 
 #[derive(Debug, Clone)]
 struct Spec {
@@ -171,5 +196,36 @@ proptest! {
             prop_assert!(out.outputs[&id].approx_eq(&want[i], 1e-5));
         }
         prop_assert!(out.virtual_latency_us > 0.0);
+    }
+
+    /// Satellite of the D3xx conformance work: for every paper workload
+    /// under a random valid placement, the threaded executor's virtual
+    /// latency and the noise-free simulator's latency agree within the
+    /// documented agreement tolerance ([`WitnessCheckConfig`]'s
+    /// `agreement_tol`, the same bound `check_agreement` enforces as
+    /// D310). The executor runs in virtual mode (no tensor numerics),
+    /// which makes paper-size models cheap to drive through the real
+    /// threaded machinery.
+    #[test]
+    fn zoo_executor_and_simulator_latencies_agree(
+        model in any::<prop::sample::Index>(),
+        k in 2usize..9,
+        bits in any::<u64>(),
+    ) {
+        let (name, g) = &zoo()[model.index(zoo().len())];
+        let sys = SystemModel::paper_server();
+        let placed = chunked(g, k, bits);
+        let sim = simulate(g, &placed, &sys, &mut SimNoise::disabled()).latency_us;
+        let exec = HeterogeneousExecutor::new(g, &placed, sys)
+            .run_virtual(None)
+            .unwrap()
+            .virtual_latency_us;
+        let tol = WitnessCheckConfig::default().agreement_tol;
+        let rel = (exec - sim).abs() / sim.max(1e-9);
+        prop_assert!(
+            rel <= tol,
+            "{name} (k={k}, bits={bits:#x}): executor {exec:.1}us vs sim {sim:.1}us \
+             diverge by {rel:.3} > {tol}"
+        );
     }
 }

@@ -9,6 +9,8 @@
 //! duet-lint mtdnn --plan plan.json   # lint a serialized plan instead
 //! duet-lint siamese --json           # machine-readable report
 //! duet-lint resnet50 --fast          # skip the engine build / plan lint
+//! duet-lint trace siamese            # run + record + conformance-check
+//! duet-lint trace mtdnn --out t.json # dump annotated Chrome trace
 //! ```
 //!
 //! Per model: the raw graph is verified (`D0xx`), the optimization
@@ -16,11 +18,23 @@
 //! optimized graph is re-verified, and the scheduling decision — a
 //! `--plan` file, or the engine's own freshly exported plan — is linted
 //! (`D2xx`).
+//!
+//! The `trace` subcommand is the dynamic counterpart: it builds the
+//! engine, executes one inference on the threaded executor *and* one in
+//! the noise-free simulator, records an execution witness from each,
+//! runs the `D3xx` conformance checker on both, and cross-checks the
+//! two witnesses against each other (`check_agreement`). `--out <file>`
+//! additionally dumps the executor witness as an annotated Chrome trace
+//! (load in `chrome://tracing` / Perfetto).
 
-use duet_analysis::{check_optimize, lint_plan, verify_graph, LintConfig, Report};
+use duet_analysis::{
+    check_agreement, check_optimize, check_witness, lint_plan, verify_graph, LintConfig, Report,
+    WitnessCheckConfig,
+};
 use duet_compiler::CompileOptions;
 use duet_core::{Duet, SchedulePlan};
-use duet_models::zoo_model;
+use duet_models::{input_feeds, zoo_model};
+use duet_runtime::{simulate_witnessed, witness_to_chrome_trace, SimNoise};
 
 const MODELS: &[&str] = &[
     "wide_and_deep",
@@ -35,9 +49,12 @@ const MODELS: &[&str] = &[
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  duet-lint <model>|all [--plan <file>] [--fast] [--json] [--deny-warnings]\n\n\
+        "usage:\n  duet-lint <model>|all [--plan <file>] [--fast] [--json] [--deny-warnings]\n  \
+         duet-lint trace <model>|all [--seed <n>] [--out <file>] [--json] [--deny-warnings]\n\n\
          models: {}\n\noptions:\n  --plan <file>    lint a serialized schedule plan against the model\n  \
          --fast           skip the engine build (no schedule lint)\n  \
+         --seed <n>       input-feed seed for trace runs (default 7)\n  \
+         --out <file>     trace: dump the executor witness as a Chrome trace\n  \
          --json           machine-readable output\n  \
          --deny-warnings  exit non-zero on warnings too",
         MODELS.join(", ")
@@ -50,6 +67,8 @@ struct Options {
     fast: bool,
     json: bool,
     deny_warnings: bool,
+    seed: u64,
+    out: Option<String>,
 }
 
 fn lint_model(name: &str, opts: &Options) -> Vec<Report> {
@@ -106,16 +125,89 @@ fn lint_model(name: &str, opts: &Options) -> Vec<Report> {
     reports
 }
 
+/// The `trace` subcommand body: run `name` once on the threaded
+/// executor and once in the noise-free simulator, conformance-check
+/// both witnesses (`D30x`) and cross-check them (`D31x`).
+fn trace_model(name: &str, opts: &Options) -> Vec<Report> {
+    let graph = zoo_model(name).unwrap_or_else(|| {
+        eprintln!("unknown model {name}");
+        usage()
+    });
+    let engine = match Duet::builder().build(&graph) {
+        Ok(e) => e,
+        Err(e) => {
+            let mut r = Report::new(format!("{name}:trace"));
+            r.push(duet_analysis::Diagnostic::error(
+                duet_analysis::codes::PASS_FAILED,
+                format!("engine build failed: {e}"),
+            ));
+            return vec![r];
+        }
+    };
+    let cfg = WitnessCheckConfig::default();
+    let feeds = input_feeds(engine.graph(), opts.seed);
+    let (_, exec_witness) = match engine.run_witnessed(&feeds) {
+        Ok(pair) => pair,
+        Err(e) => {
+            let mut r = Report::new(format!("{name}:trace"));
+            r.push(duet_analysis::Diagnostic::error(
+                duet_analysis::codes::WITNESS_MISSING_EXECUTION,
+                format!("threaded execution failed: {e}"),
+            ));
+            return vec![r];
+        }
+    };
+    // Conformance checking assumes noise-free virtual clocks.
+    let (_, sim_witness) = simulate_witnessed(
+        engine.graph(),
+        engine.placed(),
+        engine.system(),
+        &mut SimNoise::disabled(),
+    );
+    let reports = vec![
+        check_witness(
+            engine.graph(),
+            engine.placed(),
+            engine.system(),
+            &exec_witness,
+            &cfg,
+        ),
+        check_witness(
+            engine.graph(),
+            engine.placed(),
+            engine.system(),
+            &sim_witness,
+            &cfg,
+        ),
+        check_agreement(&exec_witness, &sim_witness, &cfg),
+    ];
+    if let Some(path) = &opts.out {
+        let trace = witness_to_chrome_trace(name, &exec_witness);
+        if let Err(e) = std::fs::write(path, trace) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        }
+    }
+    reports
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut names: Vec<String> = Vec::new();
+    let mut trace = false;
     let mut opts = Options {
         plan_path: None,
         fast: false,
         json: false,
         deny_warnings: false,
+        seed: 7,
+        out: None,
     };
-    let mut it = args.into_iter();
+    let mut it = args.into_iter().peekable();
+    if it.peek().map(String::as_str) == Some("trace") {
+        trace = true;
+        it.next();
+    }
     while let Some(a) = it.next() {
         match a.as_str() {
             "--plan" => match it.next() {
@@ -125,17 +217,29 @@ fn main() {
             "--fast" => opts.fast = true,
             "--json" => opts.json = true,
             "--deny-warnings" => opts.deny_warnings = true,
+            "--seed" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(s) => opts.seed = s,
+                None => usage(),
+            },
+            "--out" => match it.next() {
+                Some(p) => opts.out = Some(p),
+                None => usage(),
+            },
             "--help" | "-h" => usage(),
             flag if flag.starts_with('-') => usage(),
             model => names.push(model.to_string()),
         }
     }
-    if names.is_empty() {
+    if names.is_empty() || (!trace && (opts.out.is_some() || opts.seed != 7)) {
         usage();
     }
     if names.iter().any(|n| n == "all") {
         if opts.plan_path.is_some() {
             eprintln!("--plan needs a single model");
+            usage();
+        }
+        if opts.out.is_some() {
+            eprintln!("--out needs a single model");
             usage();
         }
         names = MODELS.iter().map(|s| s.to_string()).collect();
@@ -145,7 +249,12 @@ fn main() {
     let mut warnings = 0usize;
     let mut json_reports = Vec::new();
     for name in &names {
-        for report in lint_model(name, &opts) {
+        let reports = if trace {
+            trace_model(name, &opts)
+        } else {
+            lint_model(name, &opts)
+        };
+        for report in reports {
             errors += report.error_count();
             warnings += report.warning_count();
             if opts.json {
