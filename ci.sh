@@ -30,5 +30,10 @@ cargo run -q --release --bin duet-lint -- all
 step "duet-lint trace over all built-in models (D3xx conformance)"
 cargo run -q --release --bin duet-lint -- trace all
 
+step "duet-serve smoke (low-qps load, zero shed, bit-identity, witness)"
+cargo run -q --release -p duet-serve --bin duet-serve -- \
+  --model wide_deep --qps 25 --duration-ms 1200 --max-batch 4 \
+  --no-drift --require-zero-shed
+
 echo
 echo "CI gate passed."

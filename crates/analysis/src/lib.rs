@@ -120,6 +120,9 @@ pub mod codes {
     pub const PLAN_UNBALANCED: &str = "D212";
     /// A multi-path phase contains a single path (warning).
     pub const PLAN_SINGLE_PATH: &str = "D213";
+    /// The plan's recorded batch size disagrees with the batch implied
+    /// by its graph's input/output shapes (or is zero).
+    pub const PLAN_BATCH_MISMATCH: &str = "D214";
 
     // D3xx — runtime-conformance (witness) checker
     /// A placed subgraph never executed.

@@ -42,6 +42,11 @@ pub struct PlanFacts {
     pub model: String,
     /// Structural fingerprint of the graph the plan was made for.
     pub fingerprint: u64,
+    /// Batch size the plan was compiled for. Serving keeps one plan per
+    /// (model, batch) — the Fig. 17 occupancy model means batch-1 and
+    /// batch-16 want different placements — so a plan applied at the
+    /// wrong batch is an error, not a curiosity.
+    pub batch: usize,
     pub subgraphs: Vec<PlanSubgraphFacts>,
 }
 
@@ -85,6 +90,29 @@ pub fn lint_plan(graph: &Graph, facts: &PlanFacts, config: &LintConfig) -> Repor
                 facts.fingerprint
             ),
         ));
+    }
+
+    // Batch consistency: the graph's outputs define its batch size
+    // (`Graph::leading_batch`); a plan recorded for a different batch
+    // would hand the serving layer a placement tuned for the wrong
+    // occupancy regime. Graphs whose outputs don't share a leading
+    // dimension have no well-defined batch and are skipped.
+    if facts.batch == 0 {
+        report.push(Diagnostic::error(
+            codes::PLAN_BATCH_MISMATCH,
+            "plan records batch size 0 — a plan must serve at least one request",
+        ));
+    } else if let Some(graph_batch) = graph.leading_batch() {
+        if facts.batch != graph_batch {
+            report.push(Diagnostic::error(
+                codes::PLAN_BATCH_MISMATCH,
+                format!(
+                    "plan records batch size {} but the graph's input/output \
+                     shapes imply batch {graph_batch}",
+                    facts.batch
+                ),
+            ));
+        }
     }
 
     // Ownership: node id -> subgraph index, with coverage errors.
@@ -172,6 +200,7 @@ pub fn lint_schedule(graph: &Graph, placed: &[Placed]) -> Report {
     let facts = PlanFacts {
         model: graph.name.clone(),
         fingerprint: fingerprint(graph),
+        batch: graph.leading_batch().unwrap_or(1),
         subgraphs: placed
             .iter()
             .map(|p| PlanSubgraphFacts {

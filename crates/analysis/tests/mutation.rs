@@ -31,6 +31,7 @@ fn good_facts(g: &Graph) -> PlanFacts {
     PlanFacts {
         model: g.name.clone(),
         fingerprint: fingerprint(g),
+        batch: g.leading_batch().unwrap_or(1),
         subgraphs: vec![PlanSubgraphFacts {
             name: "all".into(),
             phase: 0,
@@ -174,6 +175,24 @@ fn double_covered_node_is_caught_as_d202() {
     assert!(
         r.contains(codes::PLAN_DOUBLY_COVERED),
         "expected D202 in:\n{r}"
+    );
+}
+
+#[test]
+fn batch_mismatch_is_caught_as_d214() {
+    let g = victim();
+    let mut facts = good_facts(&g);
+    facts.batch += 15;
+    let r = lint_plan(&g, &facts, &LintConfig::default());
+    assert!(
+        r.contains(codes::PLAN_BATCH_MISMATCH),
+        "expected D214 in:\n{r}"
+    );
+    facts.batch = 0;
+    let r = lint_plan(&g, &facts, &LintConfig::default());
+    assert!(
+        r.contains(codes::PLAN_BATCH_MISMATCH),
+        "batch 0 must be rejected:\n{r}"
     );
 }
 

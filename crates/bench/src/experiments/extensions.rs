@@ -221,6 +221,104 @@ pub fn serving() -> serde_json::Value {
     json!(out)
 }
 
+/// Online-serving extension, realized: the analytic M/D/1-style
+/// simulation of `ext-serving` next to the *real* `duet-serve` runtime —
+/// threads, a bounded queue, a dynamic batcher and actual host-side
+/// numerics — fed the same Poisson arrival process. The two columns
+/// measure different things by construction (virtual model time vs
+/// wall-clock on this host; batch-1 FCFS with an infinite queue vs
+/// coalescing with admission control); EXPERIMENTS.md documents the
+/// divergence axes.
+pub fn serving_real() -> serde_json::Value {
+    use std::time::Duration;
+
+    use duet_runtime::{simulate_serving, ServingConfig};
+    use duet_serve::{LoadGen, LoadGenConfig, ModelSpec, ServeConfig, ServeServer};
+
+    println!("== Ext. 7: analytic serving model vs the real duet-serve runtime ==\n");
+    let spec = ModelSpec::serving_zoo("wide_deep").expect("zoo model");
+    let graph = spec.graph_at(1);
+    let duet = Duet::builder().build(&graph).expect("engine builds");
+
+    let mut t = Table::new(&[
+        "arrival qps",
+        "sim p50/p99 (virtual ms)",
+        "real service p50 (virtual ms)",
+        "real sojourn p50/p99 (wall ms)",
+        "mean batch",
+        "shed",
+    ]);
+    let mut out = Vec::new();
+    for qps in [25.0f64, 50.0, 100.0] {
+        let sim = simulate_serving(
+            duet.graph(),
+            duet.placed(),
+            duet.system(),
+            &ServingConfig {
+                arrival_rate_qps: qps,
+                requests: 500,
+                seed: 0x5e1,
+            },
+        );
+
+        // Fresh server per arrival rate so the metrics window is pure.
+        let mut server = ServeServer::new(ServeConfig::default());
+        server.register(
+            ModelSpec::serving_zoo("wide_deep").expect("zoo model"),
+            SystemModel::paper_server(),
+        );
+        let report = LoadGen::new(LoadGenConfig {
+            qps,
+            duration: Duration::from_millis(1200),
+            seed: 0x5e1,
+            verify_samples: 4,
+            ..LoadGenConfig::default()
+        })
+        .run(&server, "wide_and_deep")
+        .expect("load run");
+        let (checked, failures, _) = report.verified;
+        assert_eq!(failures, 0, "batched outputs diverged from reference");
+
+        let s = &report.snapshot;
+        let service_p50 = s.virtual_service.as_ref().map(|v| v.p50());
+        let (wall_p50, wall_p99) = s
+            .sojourn
+            .as_ref()
+            .map(|w| (w.p50(), w.p99()))
+            .unwrap_or((f64::NAN, f64::NAN));
+        t.row(vec![
+            format!("{qps:.0}"),
+            format!(
+                "{}/{}",
+                f3(ms(sim.sojourn.p50())),
+                f3(ms(sim.sojourn.p99()))
+            ),
+            service_p50.map_or("-".into(), |v| f3(ms(v))),
+            format!("{}/{}", f3(ms(wall_p50)), f3(ms(wall_p99))),
+            format!("{:.2}", s.mean_batch()),
+            s.shed().to_string(),
+        ]);
+        out.push(json!({
+            "arrival_qps": qps,
+            "sim": {"p50_virtual_ms": ms(sim.sojourn.p50()), "p99_virtual_ms": ms(sim.sojourn.p99()), "utilization": sim.utilization},
+            "real": {
+                "virtual_service_p50_ms": service_p50.map(ms),
+                "wall_sojourn_p50_ms": ms(wall_p50),
+                "wall_sojourn_p99_ms": ms(wall_p99),
+                "mean_batch": s.mean_batch(),
+                "completed": s.completed,
+                "shed": s.shed(),
+                "bit_identity_checked": checked,
+            },
+        }));
+    }
+    println!("{t}");
+    println!("the simulator prices requests in the paper system's virtual time; the");
+    println!("real runtime executes the numerics in wall time and coalesces batches —");
+    println!("see EXPERIMENTS.md for the divergence axes\n");
+    json!(out)
+}
+
 /// System-sensitivity extension: the same models and scheduler on three
 /// coupled architectures — the paper's PCIe 3.0 server, a PCIe 4.0
 /// variant, and an integrated edge SoC whose shared memory makes

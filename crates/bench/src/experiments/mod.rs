@@ -27,6 +27,7 @@ pub const ALL: &[&str] = &[
     "ext-concurrency",
     "ext-flops-proxy",
     "ext-serving",
+    "ext-serving-real",
     "ext-systems",
     "ext-nested",
 ];
@@ -50,6 +51,7 @@ pub fn run(id: &str) -> Option<serde_json::Value> {
         "ext-concurrency" => extensions::concurrency(),
         "ext-flops-proxy" => extensions::flops_proxy(),
         "ext-serving" => extensions::serving(),
+        "ext-serving-real" => extensions::serving_real(),
         "ext-systems" => extensions::systems(),
         "ext-nested" => extensions::nested(),
         _ => return None,

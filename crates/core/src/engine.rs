@@ -20,7 +20,7 @@
 use std::collections::HashMap;
 
 use duet_analysis::LintConfig;
-use duet_compiler::{CompileError, CompileOptions, Compiler};
+use duet_compiler::{CompileError, CompileOptions, CompiledSubgraph, Compiler};
 use duet_device::{DeviceKind, SystemModel};
 use duet_ir::{Graph, GraphError, NodeId};
 use duet_runtime::{
@@ -220,6 +220,7 @@ impl DuetBuilder {
             None => (hetero_placed, hetero_latency),
         };
 
+        let batch = graph.leading_batch().unwrap_or(1);
         Ok(Duet {
             graph,
             units,
@@ -230,6 +231,10 @@ impl DuetBuilder {
             gpu_only_us,
             fallback,
             system: self.system,
+            whole,
+            allow_fallback: self.allow_fallback,
+            min_gain: self.min_gain,
+            batch,
         })
     }
 
@@ -294,6 +299,7 @@ impl DuetBuilder {
             Some(DeviceKind::Gpu) => (gpu_placed, gpu_only_us),
             None => (hetero_placed, hetero_latency),
         };
+        let batch = plan.batch;
         Ok(Duet {
             graph,
             units,
@@ -304,6 +310,10 @@ impl DuetBuilder {
             gpu_only_us,
             fallback: plan.fallback,
             system: self.system,
+            whole,
+            allow_fallback: self.allow_fallback,
+            min_gain: self.min_gain,
+            batch,
         })
     }
 }
@@ -320,6 +330,12 @@ pub struct Duet {
     gpu_only_us: f64,
     fallback: Option<DeviceKind>,
     system: SystemModel,
+    /// Whole-graph compilation kept for re-deriving single-device
+    /// baselines in [`Duet::recorrect`].
+    whole: CompiledSubgraph,
+    allow_fallback: bool,
+    min_gain: f64,
+    batch: usize,
 }
 
 impl Duet {
@@ -337,6 +353,21 @@ impl Duet {
     /// The active schedule (fallback-resolved).
     pub fn placed(&self) -> &[Placed] {
         &self.placed
+    }
+
+    /// The profiled scheduling units (one per planned subgraph).
+    pub fn units(&self) -> &[SubgraphUnit] {
+        &self.units
+    }
+
+    /// The per-subgraph device decision (before fallback resolution).
+    pub fn devices(&self) -> &[DeviceKind] {
+        &self.devices
+    }
+
+    /// Batch size the engine's graph was built for (leading output dim).
+    pub fn batch(&self) -> usize {
+        self.batch
     }
 
     /// The system model scheduled against.
@@ -401,6 +432,7 @@ impl Duet {
         SchedulePlan {
             model: self.graph.name.clone(),
             fingerprint: fingerprint(&self.graph),
+            batch: self.batch,
             subgraphs: self
                 .units
                 .iter()
@@ -415,6 +447,80 @@ impl Duet {
                 .collect(),
             fallback: self.fallback,
             expected_latency_us: self.latency_us,
+        }
+    }
+
+    /// Re-run the offline correction pass (Algorithm 1, step 3) against a
+    /// *changed* system model and return a re-scheduled engine — the
+    /// serving runtime's response to sustained drift between predicted
+    /// and measured latency (§IV-C refines on measured cost precisely
+    /// because analytic estimates go stale).
+    ///
+    /// Partitioning and compilation are reused as-is; only profiling,
+    /// the correction sweep (seeded from the current placement) and the
+    /// single-device fallback decision re-run under `system`.
+    pub fn recorrect(&self, system: SystemModel) -> Duet {
+        let subgraphs: Vec<CompiledSubgraph> = self.units.iter().map(|u| u.sg.clone()).collect();
+        // Re-profiling is pure cost-model evaluation (no noise source at
+        // play beyond the seeded micro-benchmarks), so a short run count
+        // keeps hot-swap cheap relative to the offline build.
+        let profiles = Profiler::new(system.clone())
+            .with_runs(100, 10)
+            .profile_all(&self.graph, &subgraphs);
+        let units: Vec<SubgraphUnit> = self
+            .units
+            .iter()
+            .zip(profiles)
+            .map(|(u, profile)| SubgraphUnit {
+                phase: u.phase,
+                kind: u.kind,
+                sg: u.sg.clone(),
+                profile,
+            })
+            .collect();
+        let devices = sched::greedy::correct(&self.graph, &units, &system, self.devices.clone());
+        let hetero_placed = sched::to_placed(&units, &devices);
+        let hetero_latency = measure_latency(&self.graph, &hetero_placed, &system);
+
+        let single = |d: DeviceKind| -> (f64, Vec<Placed>) {
+            let placed = vec![Placed {
+                sg: self.whole.clone(),
+                device: d,
+            }];
+            (measure_latency(&self.graph, &placed, &system), placed)
+        };
+        let (cpu_only_us, cpu_placed) = single(DeviceKind::Cpu);
+        let (gpu_only_us, gpu_placed) = single(DeviceKind::Gpu);
+        let best_single = cpu_only_us.min(gpu_only_us);
+        let fallback =
+            if self.allow_fallback && hetero_latency > best_single * (1.0 - self.min_gain) {
+                Some(if cpu_only_us <= gpu_only_us {
+                    DeviceKind::Cpu
+                } else {
+                    DeviceKind::Gpu
+                })
+            } else {
+                None
+            };
+        let (placed, latency_us) = match fallback {
+            Some(DeviceKind::Cpu) => (cpu_placed, cpu_only_us),
+            Some(DeviceKind::Gpu) => (gpu_placed, gpu_only_us),
+            None => (hetero_placed, hetero_latency),
+        };
+        Duet {
+            graph: self.graph.clone(),
+            units,
+            devices,
+            placed,
+            latency_us,
+            cpu_only_us,
+            gpu_only_us,
+            fallback,
+            system,
+            whole: self.whole.clone(),
+            allow_fallback: self.allow_fallback,
+            min_gain: self.min_gain,
+            batch: self.batch,
         }
     }
 
@@ -613,6 +719,53 @@ mod tests {
         let g = mobilenet(&MobileNetConfig::default());
         let duet = Duet::builder().build(&g).unwrap();
         assert_eq!(duet.fallback_device(), Some(DeviceKind::Gpu));
+    }
+
+    #[test]
+    fn export_plan_records_batch() {
+        let g = wide_and_deep(&WideAndDeepConfig {
+            batch: 4,
+            ..WideAndDeepConfig::small()
+        });
+        let duet = Duet::builder().no_fallback().build(&g).unwrap();
+        assert_eq!(duet.batch(), 4);
+        let plan = duet.export_plan();
+        assert_eq!(plan.batch, 4);
+        // And the round trip through JSON + build_with_plan keeps it.
+        let plan = crate::plan::SchedulePlan::from_json(&plan.to_json()).unwrap();
+        let rebuilt = Duet::builder()
+            .no_fallback()
+            .build_with_plan(&g, &plan)
+            .unwrap();
+        assert_eq!(rebuilt.batch(), 4);
+    }
+
+    #[test]
+    fn recorrect_adapts_placement_to_a_degraded_system() {
+        let g = wide_and_deep(&WideAndDeepConfig::default());
+        let duet = Duet::builder().no_fallback().build(&g).unwrap();
+
+        // The deployed GPU degrades badly (thermal throttling, contention):
+        // an order of magnitude less compute, slower memory, pricier
+        // launches.
+        let mut sys = duet_device::SystemModel::paper_server();
+        sys.gpu.peak_gflops /= 12.0;
+        sys.gpu.mem_bw_gbps /= 8.0;
+        sys.gpu.kernel_launch_us *= 8.0;
+
+        // Cost of keeping the *old* placement on the degraded system.
+        let stale_us = duet_runtime::measure_latency(duet.graph(), duet.placed(), &sys);
+        let corrected = duet.recorrect(sys.clone());
+        assert_eq!(corrected.batch(), duet.batch());
+        // Correction never hurts, and under this much drift it must win.
+        assert!(
+            corrected.latency_us() < stale_us,
+            "recorrected {} vs stale {}",
+            corrected.latency_us(),
+            stale_us
+        );
+        // The corrected placement differs from the stale one.
+        assert_ne!(corrected.devices(), duet.devices());
     }
 
     #[test]

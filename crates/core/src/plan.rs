@@ -42,11 +42,22 @@ pub struct SchedulePlan {
     /// Structural fingerprint of the optimized graph the plan was made
     /// for (operators, shapes, edges — not weights).
     pub fingerprint: u64,
+    /// Batch size the plan was compiled for (the leading dimension of
+    /// the graph's outputs). A serving deployment keeps one plan per
+    /// (model, batch) — Fig. 17's occupancy model means batch-1 and
+    /// batch-16 want different placements. Plans exported before this
+    /// field existed deserialize as batch 1.
+    #[serde(default = "default_batch")]
+    pub batch: usize,
     pub subgraphs: Vec<PlannedSubgraph>,
     /// `Some(device)` when the plan is a single-device fallback.
     pub fallback: Option<DeviceKind>,
     /// The latency the scheduler measured when the plan was made, us.
     pub expected_latency_us: f64,
+}
+
+fn default_batch() -> usize {
+    1
 }
 
 /// Why a plan could not be applied.
@@ -56,6 +67,9 @@ pub enum PlanError {
     FingerprintMismatch { expected: u64, actual: u64 },
     /// Plan subgraphs do not cover the graph's compute nodes exactly.
     BadCoverage,
+    /// The plan's recorded batch size disagrees with the batch the
+    /// graph's shapes imply.
+    BatchMismatch { plan: usize, graph: usize },
 }
 
 impl std::fmt::Display for PlanError {
@@ -66,6 +80,10 @@ impl std::fmt::Display for PlanError {
                 "plan fingerprint {expected:#x} does not match graph {actual:#x}"
             ),
             PlanError::BadCoverage => write!(f, "plan does not cover the graph's compute nodes"),
+            PlanError::BatchMismatch { plan, graph } => write!(
+                f,
+                "plan was compiled for batch {plan} but the graph is batch {graph}"
+            ),
         }
     }
 }
@@ -81,6 +99,14 @@ impl SchedulePlan {
                 expected: self.fingerprint,
                 actual,
             });
+        }
+        if let Some(graph_batch) = graph.leading_batch() {
+            if self.batch != graph_batch {
+                return Err(PlanError::BatchMismatch {
+                    plan: self.batch,
+                    graph: graph_batch,
+                });
+            }
         }
         let mut covered: Vec<NodeId> = self
             .subgraphs
@@ -111,6 +137,7 @@ impl SchedulePlan {
         PlanFacts {
             model: self.model.clone(),
             fingerprint: self.fingerprint,
+            batch: self.batch,
             subgraphs: self
                 .subgraphs
                 .iter()
@@ -167,6 +194,7 @@ mod tests {
         let plan = SchedulePlan {
             model: "m".into(),
             fingerprint: 42,
+            batch: 1,
             subgraphs: vec![PlannedSubgraph {
                 name: "rnn".into(),
                 phase: 0,
@@ -183,11 +211,52 @@ mod tests {
     }
 
     #[test]
+    fn multi_batch_variants_roundtrip() {
+        // A serving plan cache keeps one plan per (model, batch); the
+        // batch must survive serialization for every variant.
+        for batch in [1usize, 4, 16] {
+            let plan = SchedulePlan {
+                model: "m".into(),
+                fingerprint: 42 + batch as u64,
+                batch,
+                subgraphs: vec![PlannedSubgraph {
+                    name: "all".into(),
+                    phase: 0,
+                    kind: PhaseKind::Sequential,
+                    nodes: vec![3, 4],
+                    device: DeviceKind::Gpu,
+                }],
+                fallback: None,
+                expected_latency_us: 100.0 * batch as f64,
+            };
+            let back = SchedulePlan::from_json(&plan.to_json()).unwrap();
+            assert_eq!(back.batch, batch);
+            assert_eq!(back.fingerprint, plan.fingerprint);
+            assert_eq!(back.expected_latency_us, plan.expected_latency_us);
+        }
+    }
+
+    #[test]
+    fn pre_batch_plans_deserialize_as_batch_one() {
+        // JSON exported before the `batch` field existed must still load.
+        let json = r#"{
+            "model": "m",
+            "fingerprint": 7,
+            "subgraphs": [],
+            "fallback": null,
+            "expected_latency_us": 1.0
+        }"#;
+        let plan = SchedulePlan::from_json(json).unwrap();
+        assert_eq!(plan.batch, 1);
+    }
+
+    #[test]
     fn validate_catches_mismatch_and_bad_coverage() {
         let g = graph(8);
         let mut plan = SchedulePlan {
             model: "m".into(),
             fingerprint: fingerprint(&g),
+            batch: 1,
             subgraphs: vec![PlannedSubgraph {
                 name: "all".into(),
                 phase: 0,
@@ -203,6 +272,12 @@ mod tests {
             plan.validate_against(&graph(9)),
             Err(PlanError::FingerprintMismatch { .. })
         ));
+        plan.batch = 4;
+        assert_eq!(
+            plan.validate_against(&g),
+            Err(PlanError::BatchMismatch { plan: 4, graph: 1 })
+        );
+        plan.batch = 1;
         plan.subgraphs[0].nodes.pop();
         assert_eq!(plan.validate_against(&g), Err(PlanError::BadCoverage));
     }

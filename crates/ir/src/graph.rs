@@ -229,6 +229,28 @@ impl Graph {
         self.params.values().map(Tensor::byte_size).sum()
     }
 
+    /// The batch size implied by the graph's outputs: the leading
+    /// dimension shared by every (rank ≥ 1) output, or `None` when the
+    /// outputs disagree or are scalars. Every zoo model produces
+    /// `[batch, ...]` outputs, so serving-plan tooling uses this as the
+    /// ground truth a plan's recorded batch size is checked against.
+    pub fn leading_batch(&self) -> Option<usize> {
+        let mut batch: Option<usize> = None;
+        for &o in &self.outputs {
+            let shape = &self.node(o).shape;
+            if shape.rank() == 0 {
+                return None;
+            }
+            let lead = shape.dim(0);
+            match batch {
+                None => batch = Some(lead),
+                Some(b) if b != lead => return None,
+                Some(_) => {}
+            }
+        }
+        batch
+    }
+
     /// A valid topological order (node ids ascending — valid by
     /// construction, see type-level invariant).
     pub fn topo_order(&self) -> Vec<NodeId> {

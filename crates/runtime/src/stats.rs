@@ -46,7 +46,13 @@ impl LatencyStats {
     /// Percentile by linear index (nearest-rank method). `q` in `[0, 100]`.
     pub fn percentile(&self, q: f64) -> f64 {
         let n = self.sorted.len();
-        let rank = ((q / 100.0) * n as f64).ceil() as usize;
+        // Nearest rank is ⌈q/100 · n⌉, but `q / 100.0` is inexact —
+        // e.g. 99.9/100 · 1000 evaluates to 999.0000000000001 and a bare
+        // ceil would overshoot to rank 1000. Shaving one ulp-scale
+        // epsilon before the ceil restores exact ranks while leaving
+        // genuinely fractional products (which ceil upward regardless)
+        // untouched.
+        let rank = ((q / 100.0) * n as f64 * (1.0 - 1e-12)).ceil() as usize;
         self.sorted[rank.clamp(1, n) - 1]
     }
 
@@ -111,6 +117,45 @@ mod tests {
         let s = LatencyStats::from_samples(v);
         assert_eq!(s.p50(), 1.0);
         assert_eq!(s.p999(), 100.0);
+    }
+
+    #[test]
+    fn percentile_rank_is_exact_despite_inexact_division() {
+        // 99.9/100 · 1000 = 999.0000000000001 in floating point; nearest
+        // rank must still be 999, not 1000. Sample k at index k-1 makes
+        // the selected rank directly observable.
+        let s = LatencyStats::from_samples((1..=1000).map(f64::from).collect());
+        assert_eq!(s.p999(), 999.0);
+        assert_eq!(s.p99(), 990.0);
+        assert_eq!(s.p50(), 500.0);
+        // 29.0/100 · 10 = 2.8999999999999996 rounds *up* to rank 3 — the
+        // epsilon must not flip genuinely fractional products downward.
+        let s = LatencyStats::from_samples((1..=10).map(f64::from).collect());
+        assert_eq!(s.percentile(29.0), 3.0);
+        assert_eq!(s.percentile(30.0), 3.0);
+    }
+
+    #[test]
+    fn tiny_sample_sets_index_correctly() {
+        // Exhaustive nearest-rank check for every n < 10 against the
+        // definition rank = ⌈q/100 · n⌉ computed in exact integers.
+        for n in 1..10usize {
+            let s = LatencyStats::from_samples((1..=n).map(|x| x as f64).collect());
+            for q10 in 0..=1000u64 {
+                // q = q10/10 percent; exact rank = ⌈q10 · n / 1000⌉.
+                let want = (q10 * n as u64).div_ceil(1000).clamp(1, n as u64);
+                let got = s.percentile(q10 as f64 / 10.0);
+                assert_eq!(
+                    got,
+                    want as f64,
+                    "n={n} q={}: got {got}, want rank {want}",
+                    q10 as f64 / 10.0
+                );
+            }
+            assert_eq!(s.percentile(0.0), 1.0);
+            assert_eq!(s.percentile(100.0), n as f64);
+            assert!(s.p50() <= s.p99() && s.p99() <= s.p999());
+        }
     }
 
     #[test]

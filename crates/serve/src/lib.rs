@@ -1,0 +1,84 @@
+//! # duet-serve
+//!
+//! An online-serving runtime on top of the DUET engine: the piece that
+//! turns the paper's offline-scheduled, single-request engine into a
+//! long-lived server with production concerns.
+//!
+//! Request flow: **registry → admission → batcher → executor →
+//! feedback**.
+//!
+//! * **Engine registry + plan cache** ([`ServeServer`], [`PlanCache`]) —
+//!   one compiled engine per (model, batch size), built lazily and
+//!   reused; every variant's [`duet_core::SchedulePlan`] records its
+//!   batch (Fig. 17: occupancy — and therefore the optimal placement —
+//!   changes with batch size).
+//! * **SLA admission** — bounded per-model queues shed at submit time
+//!   ([`ServeError::QueueFull`]); per-request deadlines shed while
+//!   queued ([`ServeError::Expired`]).
+//! * **Dynamic batcher** — coalesces requests up to a max batch within
+//!   a linger window, executes power-of-two sized chunks on the
+//!   batch-appropriate engine variant; batched outputs are bit-identical
+//!   to individual batch-1 runs (every kernel is row-independent).
+//! * **Runtime feedback** ([`DriftMonitor`]) — EWMA of measured vs
+//!   predicted virtual latency per batch; sustained drift re-runs
+//!   Algorithm 1's correction against the observed system and hot-swaps
+//!   every cached plan through an [`ArcCell`] (arc-swap-style atomic
+//!   publication).
+//! * **Metrics** ([`Metrics`]) — shed/completion counters, queue depth,
+//!   batch-size histogram, wall-clock sojourn and virtual service
+//!   percentiles, partitioned into drift epochs.
+//!
+//! The `duet-serve` binary is a closed/open-loop Poisson load generator
+//! over this runtime; `cargo run --release -p duet-serve --bin
+//! duet-serve -- --help` lists its scenario knobs.
+
+pub mod batch;
+pub mod cache;
+pub mod feedback;
+pub mod loadgen;
+pub mod metrics;
+pub mod server;
+pub mod spec;
+
+pub use batch::{merge_feeds, split_outputs};
+pub use cache::{ArcCell, EngineVariant, PlanCache};
+pub use feedback::{DriftMonitor, FeedbackConfig};
+pub use loadgen::{LoadGen, LoadGenConfig, LoadReport};
+pub use metrics::{Metrics, MetricsSnapshot};
+pub use server::{ServeConfig, ServeHandle, ServeResponse, ServeServer};
+pub use spec::{batch_axis, ModelSpec};
+
+/// Everything that can go wrong between submit and response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// No model of that name is registered.
+    UnknownModel(String),
+    /// Admission control: the model's bounded queue is full.
+    QueueFull,
+    /// The request's SLA deadline elapsed before execution started.
+    Expired,
+    /// The server is shutting down.
+    ShuttingDown,
+    /// A request feed is missing an input tensor.
+    MissingInput { label: String },
+    /// A request feed has the wrong shape for its input.
+    BadShape { label: String, msg: String },
+    /// Execution failed.
+    Exec(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::UnknownModel(m) => write!(f, "unknown model {m:?}"),
+            ServeError::QueueFull => write!(f, "queue full (request shed)"),
+            ServeError::Expired => write!(f, "SLA deadline expired before execution"),
+            ServeError::ShuttingDown => write!(f, "server shutting down"),
+            ServeError::MissingInput { label } => write!(f, "missing input tensor {label:?}"),
+            ServeError::BadShape { label, msg } => write!(f, "bad shape for {label:?}: {msg}"),
+            ServeError::Exec(msg) => write!(f, "execution failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}

@@ -1,0 +1,210 @@
+//! Serving metrics: counters, gauges and latency windows.
+//!
+//! Two latency domains coexist and must not be mixed:
+//!
+//! * **wall-clock** — what the host actually took (sojourn = queueing +
+//!   batching linger + numeric execution). This is what a production SLA
+//!   would bound, so sojourn percentiles are reported from wall time.
+//! * **virtual** — latency on the *modeled* hardware (Xeon + Titan V),
+//!   from the executor's virtual clock. The feedback loop compares
+//!   virtual-measured against virtual-predicted, and the drift study
+//!   compares per-epoch virtual service, because only the virtual domain
+//!   is affected by an injected system-model change.
+//!
+//! Service samples are normalized per request (`batch latency / batch
+//! size`) so epochs with different batch-size mixes stay comparable.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use duet_runtime::LatencyStats;
+use parking_lot::Mutex;
+
+/// Epoch indices: 0 until the system model changes, bumped on every
+/// injected change and on every plan hot-swap. The drift experiment
+/// reads epoch 1 as "drifted, stale plan" and epoch 2 as "post-swap".
+#[derive(Debug, Default)]
+pub struct Metrics {
+    pub submitted: AtomicU64,
+    pub completed: AtomicU64,
+    pub shed_queue_full: AtomicU64,
+    pub shed_expired: AtomicU64,
+    pub exec_errors: AtomicU64,
+    pub batches_executed: AtomicU64,
+    pub plan_swaps: AtomicU64,
+    pub queue_depth: AtomicUsize,
+    epoch: AtomicUsize,
+    batch_hist: Mutex<Vec<(usize, u64)>>,
+    sojourn_us: Mutex<Vec<f64>>,
+    epoch_service_us: Mutex<Vec<(usize, f64)>>,
+}
+
+impl Metrics {
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Current epoch index.
+    pub fn epoch(&self) -> usize {
+        self.epoch.load(Ordering::Relaxed)
+    }
+
+    /// Enter the next epoch (system change or plan swap).
+    pub fn bump_epoch(&self) -> usize {
+        self.epoch.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Record one executed batch: its size, and each member request's
+    /// wall sojourn plus per-request virtual service share.
+    pub fn record_batch(&self, batch: usize, sojourns_us: &[f64], virtual_batch_us: f64) {
+        self.batches_executed.fetch_add(1, Ordering::Relaxed);
+        self.completed
+            .fetch_add(sojourns_us.len() as u64, Ordering::Relaxed);
+        {
+            let mut hist = self.batch_hist.lock();
+            match hist.iter_mut().find(|(b, _)| *b == batch) {
+                Some((_, n)) => *n += 1,
+                None => {
+                    hist.push((batch, 1));
+                    hist.sort_unstable();
+                }
+            }
+        }
+        self.sojourn_us.lock().extend_from_slice(sojourns_us);
+        let epoch = self.epoch();
+        let per_request = virtual_batch_us / batch as f64;
+        let mut svc = self.epoch_service_us.lock();
+        for _ in 0..sojourns_us.len() {
+            svc.push((epoch, per_request));
+        }
+    }
+
+    /// Latency summary of per-request virtual service in one epoch.
+    pub fn epoch_service_stats(&self, epoch: usize) -> Option<LatencyStats> {
+        let samples: Vec<f64> = self
+            .epoch_service_us
+            .lock()
+            .iter()
+            .filter(|(e, _)| *e == epoch)
+            .map(|(_, v)| *v)
+            .collect();
+        if samples.is_empty() {
+            None
+        } else {
+            Some(LatencyStats::from_samples(samples))
+        }
+    }
+
+    /// Point-in-time summary of everything recorded so far.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let sojourn_samples = self.sojourn_us.lock().clone();
+        let service_samples: Vec<f64> = self
+            .epoch_service_us
+            .lock()
+            .iter()
+            .map(|(_, v)| *v)
+            .collect();
+        MetricsSnapshot {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            shed_queue_full: self.shed_queue_full.load(Ordering::Relaxed),
+            shed_expired: self.shed_expired.load(Ordering::Relaxed),
+            exec_errors: self.exec_errors.load(Ordering::Relaxed),
+            batches_executed: self.batches_executed.load(Ordering::Relaxed),
+            plan_swaps: self.plan_swaps.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            epoch: self.epoch(),
+            batch_histogram: self.batch_hist.lock().clone(),
+            sojourn: (!sojourn_samples.is_empty())
+                .then(|| LatencyStats::from_samples(sojourn_samples)),
+            virtual_service: (!service_samples.is_empty())
+                .then(|| LatencyStats::from_samples(service_samples)),
+        }
+    }
+}
+
+/// Owned summary of a [`Metrics`] instance.
+#[derive(Debug)]
+pub struct MetricsSnapshot {
+    pub submitted: u64,
+    pub completed: u64,
+    pub shed_queue_full: u64,
+    pub shed_expired: u64,
+    pub exec_errors: u64,
+    pub batches_executed: u64,
+    pub plan_swaps: u64,
+    pub queue_depth: usize,
+    pub epoch: usize,
+    /// (batch size, number of batches executed at that size).
+    pub batch_histogram: Vec<(usize, u64)>,
+    /// Wall-clock sojourn (queueing + linger + execution), microseconds.
+    pub sojourn: Option<LatencyStats>,
+    /// Per-request virtual service (modeled hardware), microseconds.
+    pub virtual_service: Option<LatencyStats>,
+}
+
+impl MetricsSnapshot {
+    /// Total requests shed (admission + expiry).
+    pub fn shed(&self) -> u64 {
+        self.shed_queue_full + self.shed_expired
+    }
+
+    /// Mean executed batch size.
+    pub fn mean_batch(&self) -> f64 {
+        let (sum, n) = self
+            .batch_histogram
+            .iter()
+            .fold((0u64, 0u64), |(s, n), &(b, c)| (s + b as u64 * c, n + c));
+        if n == 0 {
+            0.0
+        } else {
+            sum as f64 / n as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_snapshot_has_no_stats() {
+        let m = Metrics::new();
+        let s = m.snapshot();
+        assert!(s.sojourn.is_none());
+        assert!(s.virtual_service.is_none());
+        assert_eq!(s.shed(), 0);
+        assert_eq!(s.mean_batch(), 0.0);
+    }
+
+    #[test]
+    fn batches_are_histogrammed_and_normalized_per_request() {
+        let m = Metrics::new();
+        m.record_batch(4, &[10.0, 11.0, 12.0, 13.0], 400.0);
+        m.record_batch(2, &[20.0, 21.0], 300.0);
+        m.record_batch(4, &[10.0, 11.0, 12.0, 13.0], 400.0);
+        let s = m.snapshot();
+        assert_eq!(s.batch_histogram, vec![(2, 1), (4, 2)]);
+        assert_eq!(s.completed, 10);
+        assert_eq!(s.batches_executed, 3);
+        assert!((s.mean_batch() - 10.0 / 3.0).abs() < 1e-12);
+        // Per-request service: 400/4 = 100 (x8 requests), 300/2 = 150 (x2).
+        let svc = s.virtual_service.unwrap();
+        assert_eq!(svc.min(), 100.0);
+        assert_eq!(svc.max(), 150.0);
+    }
+
+    #[test]
+    fn epoch_windows_partition_service_samples() {
+        let m = Metrics::new();
+        m.record_batch(1, &[5.0], 100.0);
+        assert_eq!(m.bump_epoch(), 1);
+        m.record_batch(1, &[5.0], 900.0);
+        m.record_batch(1, &[5.0], 1100.0);
+        assert_eq!(m.bump_epoch(), 2);
+        m.record_batch(1, &[5.0], 200.0);
+        assert_eq!(m.epoch_service_stats(0).unwrap().p50(), 100.0);
+        assert_eq!(m.epoch_service_stats(1).unwrap().max(), 1100.0);
+        assert_eq!(m.epoch_service_stats(2).unwrap().p50(), 200.0);
+        assert!(m.epoch_service_stats(3).is_none());
+    }
+}

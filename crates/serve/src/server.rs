@@ -1,0 +1,519 @@
+//! The serving runtime: per-model dynamic batcher, SLA admission,
+//! plan-cache-backed execution and the drift feedback loop.
+//!
+//! One worker thread per registered model owns that model's execution
+//! (the paper's engine is a dedicated per-model deployment). The worker:
+//!
+//! 1. blocks on the bounded request queue (the queue bound *is* the
+//!    admission control — a full queue sheds at submit time);
+//! 2. on the first request, lingers up to `ServeConfig::linger` to
+//!    coalesce more arrivals, up to `max_batch`;
+//! 3. drops requests whose SLA deadline already expired;
+//! 4. executes the batch on the engine variant for its size (rounded
+//!    down to a power of two, so the plan cache holds at most
+//!    `log2(max_batch)+1` variants), through the current system model;
+//! 5. feeds measured-vs-predicted virtual latency to the drift monitor,
+//!    and on sustained drift re-corrects every cached plan against the
+//!    observed system and atomically publishes the result (hot swap).
+
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
+use duet_device::SystemModel;
+use duet_runtime::HeterogeneousExecutor;
+use duet_tensor::Tensor;
+
+use crate::batch::{merge_feeds, split_outputs};
+use crate::cache::{ArcCell, PlanCache};
+use crate::feedback::{DriftMonitor, FeedbackConfig};
+use crate::metrics::Metrics;
+use crate::spec::ModelSpec;
+use crate::ServeError;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Largest batch the coalescer will form.
+    pub max_batch: usize,
+    /// How long the batcher waits past the first pending request for
+    /// more arrivals.
+    pub linger: Duration,
+    /// Bounded queue depth per model — admission control: submits
+    /// beyond this shed immediately with [`ServeError::QueueFull`].
+    pub queue_cap: usize,
+    /// Drift detection tuning.
+    pub feedback: FeedbackConfig,
+    /// Build the batch-1 and max-batch engines at registration time so
+    /// the first requests don't pay the offline-pipeline cost inline.
+    pub prewarm: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_batch: 8,
+            linger: Duration::from_millis(2),
+            queue_cap: 256,
+            feedback: FeedbackConfig::default(),
+            prewarm: true,
+        }
+    }
+}
+
+/// One completed inference.
+#[derive(Debug)]
+pub struct ServeResponse {
+    /// Output tensors, keyed by output node label.
+    pub outputs: HashMap<String, Tensor>,
+    /// Size of the batch this request was coalesced into.
+    pub batch_size: usize,
+    /// This request's share of the batch's virtual (modeled-hardware)
+    /// latency: batch latency / batch size, microseconds.
+    pub virtual_service_us: f64,
+    /// Wall-clock sojourn: submit to completion.
+    pub sojourn: Duration,
+    /// Metrics epoch the request completed in.
+    pub epoch: usize,
+}
+
+/// Awaitable handle for a submitted request.
+#[derive(Debug)]
+pub struct ServeHandle {
+    rx: Receiver<Result<ServeResponse, ServeError>>,
+}
+
+impl ServeHandle {
+    /// Block until the response arrives.
+    pub fn wait(self) -> Result<ServeResponse, ServeError> {
+        self.rx
+            .recv()
+            .unwrap_or_else(|_| Err(ServeError::Exec("response channel closed".into())))
+    }
+
+    /// Block with a timeout; `None` means the deadline passed first.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<ServeResponse, ServeError>> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(r) => Some(r),
+            Err(RecvTimeoutError::Timeout) => None,
+            Err(RecvTimeoutError::Disconnected) => {
+                Some(Err(ServeError::Exec("response channel closed".into())))
+            }
+        }
+    }
+}
+
+struct Pending {
+    feeds: HashMap<String, Tensor>,
+    deadline: Option<Instant>,
+    enqueued: Instant,
+    tx: Sender<Result<ServeResponse, ServeError>>,
+}
+
+struct ModelHandle {
+    tx: Sender<Pending>,
+    metrics: Arc<Metrics>,
+    system: Arc<ArcCell<SystemModel>>,
+    cache: Arc<PlanCache>,
+    worker: Option<JoinHandle<()>>,
+}
+
+/// The engine registry + per-model serving workers.
+pub struct ServeServer {
+    cfg: ServeConfig,
+    models: HashMap<String, ModelHandle>,
+}
+
+impl ServeServer {
+    pub fn new(cfg: ServeConfig) -> Self {
+        ServeServer {
+            cfg,
+            models: HashMap::new(),
+        }
+    }
+
+    /// Register a model and start its serving worker. Engines are built
+    /// against `system` (and re-corrected if the feedback loop later
+    /// observes the deployed system drifting away from it).
+    pub fn register(&mut self, spec: ModelSpec, system: SystemModel) {
+        let name = spec.name().to_string();
+        let cache = Arc::new(PlanCache::new(spec, system.clone()));
+        if self.cfg.prewarm {
+            cache.get_or_build(1);
+            let top = largest_pow2(self.cfg.max_batch);
+            if top > 1 {
+                cache.get_or_build(top);
+            }
+        }
+        let metrics = Arc::new(Metrics::new());
+        let system = Arc::new(ArcCell::new(system));
+        let (tx, rx) = bounded::<Pending>(self.cfg.queue_cap);
+        let worker = {
+            let cache = cache.clone();
+            let system = system.clone();
+            let metrics = metrics.clone();
+            let cfg = self.cfg.clone();
+            std::thread::Builder::new()
+                .name(format!("duet-serve:{name}"))
+                .spawn(move || worker_loop(rx, cache, system, metrics, cfg))
+                .expect("spawn serving worker")
+        };
+        self.models.insert(
+            name,
+            ModelHandle {
+                tx,
+                metrics,
+                system,
+                cache,
+                worker: Some(worker),
+            },
+        );
+    }
+
+    /// Registered model names.
+    pub fn models(&self) -> Vec<&str> {
+        self.models.keys().map(String::as_str).collect()
+    }
+
+    /// Submit one request. `sla` is the request's end-to-end budget: if
+    /// it elapses before execution starts, the request is shed with
+    /// [`ServeError::Expired`] instead of wasting a batch slot.
+    pub fn submit(
+        &self,
+        model: &str,
+        feeds: HashMap<String, Tensor>,
+        sla: Option<Duration>,
+    ) -> Result<ServeHandle, ServeError> {
+        let handle = self
+            .models
+            .get(model)
+            .ok_or_else(|| ServeError::UnknownModel(model.to_string()))?;
+        handle.metrics.submitted.fetch_add(1, Ordering::Relaxed);
+        let now = Instant::now();
+        let (tx, rx) = bounded(1);
+        let pending = Pending {
+            feeds,
+            deadline: sla.map(|d| now + d),
+            enqueued: now,
+            tx,
+        };
+        match handle.tx.try_send(pending) {
+            Ok(()) => {
+                handle
+                    .metrics
+                    .queue_depth
+                    .store(handle.tx.len(), Ordering::Relaxed);
+                Ok(ServeHandle { rx })
+            }
+            Err(TrySendError::Full(_)) => {
+                handle
+                    .metrics
+                    .shed_queue_full
+                    .fetch_add(1, Ordering::Relaxed);
+                Err(ServeError::QueueFull)
+            }
+            Err(TrySendError::Disconnected(_)) => Err(ServeError::ShuttingDown),
+        }
+    }
+
+    /// The model's metrics.
+    pub fn metrics(&self, model: &str) -> Option<Arc<Metrics>> {
+        self.models.get(model).map(|h| h.metrics.clone())
+    }
+
+    /// The model's plan cache.
+    pub fn cache(&self, model: &str) -> Option<Arc<PlanCache>> {
+        self.models.get(model).map(|h| h.cache.clone())
+    }
+
+    /// Replace the model's *deployed* system model (drift injection for
+    /// tests and the load generator — in production this is the slot a
+    /// hardware telemetry feed would write). Bumps the metrics epoch so
+    /// pre- and post-drift samples stay separable.
+    pub fn inject_system(&self, model: &str, system: SystemModel) -> bool {
+        match self.models.get(model) {
+            Some(h) => {
+                h.system.store(Arc::new(system));
+                h.metrics.bump_epoch();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Run `feeds` as a single batch-1 request directly on the cached
+    /// engine, bypassing the queue — the reference the bit-identity
+    /// verification compares batched responses against.
+    pub fn reference_run(
+        &self,
+        model: &str,
+        feeds: &HashMap<String, Tensor>,
+    ) -> Result<HashMap<String, Tensor>, ServeError> {
+        let handle = self
+            .models
+            .get(model)
+            .ok_or_else(|| ServeError::UnknownModel(model.to_string()))?;
+        let variant = handle.cache.get_or_build(1);
+        let merged = merge_feeds(variant.duet.graph(), &[feeds])?;
+        let system = (*handle.system.load()).clone();
+        let outcome =
+            HeterogeneousExecutor::new(variant.duet.graph(), variant.duet.placed(), system)
+                .run(&merged)
+                .map_err(|e| ServeError::Exec(e.to_string()))?;
+        let mut split = split_outputs(variant.duet.graph(), &outcome.outputs, 1)?;
+        Ok(split.pop().expect("one request, one output map"))
+    }
+
+    /// Execute one witnessed batch-1 request and run the `duet-analysis`
+    /// D3xx runtime-conformance checker on the recorded event log.
+    pub fn witness_check(
+        &self,
+        model: &str,
+        seed: u64,
+    ) -> Result<duet_analysis::Report, ServeError> {
+        let handle = self
+            .models
+            .get(model)
+            .ok_or_else(|| ServeError::UnknownModel(model.to_string()))?;
+        let variant = handle.cache.get_or_build(1);
+        let feeds = handle.cache.spec().request_feeds(seed);
+        let merged = merge_feeds(variant.duet.graph(), &[&feeds])?;
+        let system = (*handle.system.load()).clone();
+        let (_, witness) =
+            HeterogeneousExecutor::new(variant.duet.graph(), variant.duet.placed(), system.clone())
+                .run_witnessed(&merged)
+                .map_err(|e| ServeError::Exec(e.to_string()))?;
+        Ok(duet_analysis::check_witness(
+            variant.duet.graph(),
+            variant.duet.placed(),
+            &system,
+            &witness,
+            &duet_analysis::WitnessCheckConfig::default(),
+        ))
+    }
+}
+
+impl Drop for ServeServer {
+    fn drop(&mut self) {
+        // Closing the request channels lets each worker drain what it
+        // already pulled and exit; then join so no thread outlives the
+        // registry.
+        for (_, mut handle) in self.models.drain() {
+            drop(handle.tx);
+            if let Some(worker) = handle.worker.take() {
+                let _ = worker.join();
+            }
+        }
+    }
+}
+
+/// Largest power of two `<= n` (n > 0).
+fn largest_pow2(n: usize) -> usize {
+    1 << n.ilog2()
+}
+
+fn worker_loop(
+    rx: Receiver<Pending>,
+    cache: Arc<PlanCache>,
+    system: Arc<ArcCell<SystemModel>>,
+    metrics: Arc<Metrics>,
+    cfg: ServeConfig,
+) {
+    let mut monitor = DriftMonitor::new(cfg.feedback.clone());
+    loop {
+        // Block for the first request; a closed channel is shutdown.
+        let first = match rx.recv() {
+            Ok(p) => p,
+            Err(_) => return,
+        };
+        let mut batch = vec![first];
+        // Greedily drain whatever is already queued: under backlog the
+        // batch should fill instantly instead of waiting out a linger
+        // window that expired while the oldest request sat in the queue.
+        while batch.len() < cfg.max_batch {
+            match rx.try_recv() {
+                Some(p) => batch.push(p),
+                None => break,
+            }
+        }
+        // Linger relative to the oldest pending request so a request's
+        // added latency is bounded by `linger` regardless of arrivals.
+        let linger_deadline = batch[0].enqueued + cfg.linger;
+        while batch.len() < cfg.max_batch {
+            let now = Instant::now();
+            let Some(remaining) = linger_deadline
+                .checked_duration_since(now)
+                .filter(|d| !d.is_zero())
+            else {
+                break;
+            };
+            match rx.recv_timeout(remaining) {
+                Ok(p) => batch.push(p),
+                Err(_) => break,
+            }
+        }
+        metrics.queue_depth.store(rx.len(), Ordering::Relaxed);
+
+        // SLA expiry: shed requests whose budget elapsed while queued.
+        let now = Instant::now();
+        let (live, expired): (Vec<_>, Vec<_>) = batch
+            .into_iter()
+            .partition(|p| p.deadline.is_none_or(|d| d > now));
+        for p in expired {
+            metrics.shed_expired.fetch_add(1, Ordering::Relaxed);
+            let _ = p.tx.send(Err(ServeError::Expired));
+        }
+
+        // Execute in power-of-two chunks (largest first) so every chunk
+        // maps to a cached engine variant.
+        let mut rest = live;
+        while !rest.is_empty() {
+            let k = largest_pow2(rest.len().min(cfg.max_batch));
+            let chunk: Vec<Pending> = rest.drain(..k).collect();
+            execute_chunk(chunk, &cache, &system, &metrics, &mut monitor);
+        }
+    }
+}
+
+fn execute_chunk(
+    chunk: Vec<Pending>,
+    cache: &PlanCache,
+    system: &ArcCell<SystemModel>,
+    metrics: &Metrics,
+    monitor: &mut DriftMonitor,
+) {
+    let k = chunk.len();
+    let variant = cache.get_or_build(k);
+    let deployed = (*system.load()).clone();
+
+    let fail_all = |chunk: Vec<Pending>, err: ServeError| {
+        metrics.exec_errors.fetch_add(1, Ordering::Relaxed);
+        for p in chunk {
+            let _ = p.tx.send(Err(err.clone()));
+        }
+    };
+
+    let req_feeds: Vec<&HashMap<String, Tensor>> = chunk.iter().map(|p| &p.feeds).collect();
+    let feeds = match merge_feeds(variant.duet.graph(), &req_feeds) {
+        Ok(f) => f,
+        Err(e) => return fail_all(chunk, e),
+    };
+    // Execute through the *deployed* system model, not the one the plan
+    // was built against — that gap is exactly what the drift monitor
+    // measures.
+    let outcome = match HeterogeneousExecutor::new(
+        variant.duet.graph(),
+        variant.duet.placed(),
+        deployed.clone(),
+    )
+    .run(&feeds)
+    {
+        Ok(o) => o,
+        Err(e) => return fail_all(chunk, ServeError::Exec(e.to_string())),
+    };
+    let pieces = match split_outputs(variant.duet.graph(), &outcome.outputs, k) {
+        Ok(p) => p,
+        Err(e) => return fail_all(chunk, e),
+    };
+
+    let done = Instant::now();
+    let sojourns_us: Vec<f64> = chunk
+        .iter()
+        .map(|p| done.duration_since(p.enqueued).as_secs_f64() * 1e6)
+        .collect();
+    let epoch = metrics.epoch();
+    metrics.record_batch(k, &sojourns_us, outcome.virtual_latency_us);
+
+    // Feedback: measured vs predicted, both in the virtual domain. A
+    // sustained gap means the deployed system no longer matches the one
+    // the plans were corrected against → re-correct and hot-swap every
+    // cached variant, once.
+    if monitor.observe(outcome.virtual_latency_us, variant.duet.latency_us()) {
+        cache.recorrect_all(&deployed);
+        metrics.plan_swaps.fetch_add(1, Ordering::Relaxed);
+        metrics.bump_epoch();
+        monitor.reset();
+    }
+
+    for ((p, piece), sojourn_us) in chunk.into_iter().zip(pieces).zip(sojourns_us) {
+        let _ = p.tx.send(Ok(ServeResponse {
+            outputs: piece,
+            batch_size: k,
+            virtual_service_us: outcome.virtual_latency_us / k as f64,
+            sojourn: Duration::from_secs_f64(sojourn_us / 1e6),
+            epoch,
+        }));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pow2_rounding() {
+        assert_eq!(largest_pow2(1), 1);
+        assert_eq!(largest_pow2(2), 2);
+        assert_eq!(largest_pow2(3), 2);
+        assert_eq!(largest_pow2(7), 4);
+        assert_eq!(largest_pow2(8), 8);
+        assert_eq!(largest_pow2(9), 8);
+    }
+
+    fn mlp_server(cfg: ServeConfig) -> ServeServer {
+        let mut s = ServeServer::new(cfg);
+        s.register(
+            ModelSpec::serving_zoo("mlp").unwrap(),
+            SystemModel::paper_server(),
+        );
+        s
+    }
+
+    #[test]
+    fn single_request_round_trips() {
+        let server = mlp_server(ServeConfig {
+            linger: Duration::from_micros(100),
+            ..ServeConfig::default()
+        });
+        let spec = ModelSpec::serving_zoo("mlp").unwrap();
+        let feeds = spec.request_feeds(7);
+        let resp = server
+            .submit("mlp", feeds.clone(), None)
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(resp.batch_size, 1);
+        assert!(resp.virtual_service_us > 0.0);
+        // Bit-identical to the direct reference run.
+        let want = server.reference_run("mlp", &feeds).unwrap();
+        assert_eq!(resp.outputs, want);
+        let m = server.metrics("mlp").unwrap().snapshot();
+        assert_eq!((m.submitted, m.completed, m.shed()), (1, 1, 0));
+    }
+
+    #[test]
+    fn unknown_model_is_rejected() {
+        let server = mlp_server(ServeConfig::default());
+        let err = server.submit("nope", HashMap::new(), None).unwrap_err();
+        assert!(matches!(err, ServeError::UnknownModel(_)));
+    }
+
+    #[test]
+    fn zero_sla_requests_expire_instead_of_executing() {
+        let server = mlp_server(ServeConfig {
+            linger: Duration::from_millis(20),
+            ..ServeConfig::default()
+        });
+        let spec = ModelSpec::serving_zoo("mlp").unwrap();
+        let h = server
+            .submit("mlp", spec.request_feeds(1), Some(Duration::ZERO))
+            .unwrap();
+        assert!(matches!(h.wait(), Err(ServeError::Expired)));
+        let m = server.metrics("mlp").unwrap().snapshot();
+        assert_eq!(m.shed_expired, 1);
+        assert_eq!(m.completed, 0);
+    }
+}

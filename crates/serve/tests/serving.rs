@@ -1,0 +1,236 @@
+//! Integration tests: the live threaded server end to end.
+//!
+//! The load-bearing property is *bit-identity*: dynamically batched
+//! execution must return exactly the bytes a batch-1 run of the same
+//! request returns, across models, batch compositions and plan
+//! hot-swaps. Everything else (coalescing, admission, drift response)
+//! is observable through the metrics the server keeps.
+
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+use duet_device::SystemModel;
+use duet_serve::loadgen::degraded_gpu;
+use duet_serve::{ModelSpec, ServeConfig, ServeError, ServeServer};
+use proptest::prelude::*;
+
+fn server_for(model: &str, cfg: ServeConfig) -> ServeServer {
+    let mut s = ServeServer::new(cfg);
+    s.register(
+        ModelSpec::serving_zoo(model).unwrap(),
+        SystemModel::paper_server(),
+    );
+    s
+}
+
+/// One shared mlp server for the property test — registration compiles
+/// engines, which is too expensive to repeat per proptest case.
+fn shared_mlp() -> &'static ServeServer {
+    static SERVER: OnceLock<ServeServer> = OnceLock::new();
+    SERVER.get_or_init(|| {
+        server_for(
+            "mlp",
+            ServeConfig {
+                max_batch: 4,
+                linger: Duration::from_micros(500),
+                ..ServeConfig::default()
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Satellite (b): whatever batch the coalescer happens to form,
+    /// every member's outputs are bit-identical to its own batch-1
+    /// reference run. Submitting a burst per case makes multi-request
+    /// batches common.
+    #[test]
+    fn batched_outputs_are_bit_identical_to_reference(seed in any::<u64>(), burst in 1usize..=4) {
+        let server = shared_mlp();
+        let spec = ModelSpec::serving_zoo("mlp").unwrap();
+        let handles: Vec<_> = (0..burst)
+            .map(|i| {
+                let feeds = spec.request_feeds(seed.wrapping_add(i as u64));
+                server.submit("mlp", feeds, None).unwrap()
+            })
+            .collect();
+        for (i, h) in handles.into_iter().enumerate() {
+            let resp = h.wait().unwrap();
+            let feeds = spec.request_feeds(seed.wrapping_add(i as u64));
+            let want = server.reference_run("mlp", &feeds).unwrap();
+            prop_assert_eq!(&resp.outputs, &want, "request {} of burst {}", i, burst);
+        }
+    }
+}
+
+/// Bit-identity holds for every zoo model, including the multi-branch
+/// wide_and_deep and the axis-1 text-batched siamese.
+#[test]
+fn every_zoo_model_serves_bit_identical_batches() {
+    for model in ["mlp", "siamese", "wide_and_deep"] {
+        let server = server_for(
+            model,
+            ServeConfig {
+                max_batch: 4,
+                linger: Duration::from_millis(20),
+                ..ServeConfig::default()
+            },
+        );
+        let spec = ModelSpec::serving_zoo(model).unwrap();
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                server
+                    .submit(model, spec.request_feeds(100 + i), None)
+                    .unwrap()
+            })
+            .collect();
+        let mut max_batch = 0;
+        for (i, h) in handles.into_iter().enumerate() {
+            let resp = h.wait().unwrap();
+            max_batch = max_batch.max(resp.batch_size);
+            let want = server
+                .reference_run(model, &spec.request_feeds(100 + i as u64))
+                .unwrap();
+            assert_eq!(resp.outputs, want, "{model} request {i}");
+        }
+        assert!(
+            max_batch > 1,
+            "{model}: burst never coalesced (max {max_batch})"
+        );
+    }
+}
+
+/// The batcher coalesces a burst submitted within the linger window
+/// into one batch on the batch-appropriate engine variant.
+#[test]
+fn linger_window_coalesces_a_burst() {
+    let server = server_for(
+        "mlp",
+        ServeConfig {
+            max_batch: 4,
+            linger: Duration::from_millis(50),
+            ..ServeConfig::default()
+        },
+    );
+    let spec = ModelSpec::serving_zoo("mlp").unwrap();
+    let handles: Vec<_> = (0..4)
+        .map(|i| server.submit("mlp", spec.request_feeds(i), None).unwrap())
+        .collect();
+    for h in handles {
+        let resp = h.wait().unwrap();
+        assert_eq!(resp.batch_size, 4, "burst should form one full batch");
+    }
+    let m = server.metrics("mlp").unwrap().snapshot();
+    assert_eq!(m.batches_executed, 1);
+    assert_eq!(m.batch_histogram, vec![(4, 1)]);
+    // The batch-4 engine variant exists; batch-2 was never needed.
+    let cached = server.cache("mlp").unwrap().cached_batches();
+    assert!(cached.contains(&4), "cached variants: {cached:?}");
+}
+
+/// Admission control: a burst far beyond the bounded queue sheds with
+/// [`ServeError::QueueFull`] at submit time, and every accepted request
+/// still completes.
+#[test]
+fn bounded_queue_sheds_bursts_beyond_capacity() {
+    let server = server_for(
+        "mlp",
+        ServeConfig {
+            max_batch: 1,
+            linger: Duration::ZERO,
+            queue_cap: 2,
+            ..ServeConfig::default()
+        },
+    );
+    let spec = ModelSpec::serving_zoo("mlp").unwrap();
+    let mut accepted = Vec::new();
+    let mut shed = 0u64;
+    for i in 0..64 {
+        match server.submit("mlp", spec.request_feeds(i), None) {
+            Ok(h) => accepted.push(h),
+            Err(ServeError::QueueFull) => shed += 1,
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+    assert!(shed > 0, "64 instant submits must overflow a 2-deep queue");
+    for h in accepted {
+        h.wait().expect("accepted requests complete");
+    }
+    let m = server.metrics("mlp").unwrap().snapshot();
+    assert_eq!(m.shed_queue_full, shed);
+    assert_eq!(m.completed + m.shed_queue_full, 64);
+}
+
+/// The drift scenario, deterministically: serve on a healthy system,
+/// inject a degraded one, keep serving. The feedback loop must fire
+/// exactly one hot-swap, and the re-corrected plans must lower the
+/// measured per-request virtual latency versus the stale-plan epoch.
+/// Uses wide_and_deep — the one zoo model whose placement leans on the
+/// GPU enough for GPU degradation to hurt.
+#[test]
+fn sustained_drift_hot_swaps_exactly_once_and_recovers() {
+    let server = server_for("wide_and_deep", ServeConfig::default());
+    let model = "wide_and_deep";
+    let spec = ModelSpec::serving_zoo(model).unwrap();
+    let metrics = server.metrics(model).unwrap();
+
+    let mut seed = 0u64;
+    let run_one = |server: &ServeServer, seed: &mut u64| {
+        let resp = server
+            .submit(model, spec.request_feeds(*seed), None)
+            .unwrap()
+            .wait()
+            .unwrap();
+        *seed += 1;
+        resp
+    };
+
+    // Healthy baseline (epoch 0).
+    for _ in 0..3 {
+        assert_eq!(run_one(&server, &mut seed).epoch, 0);
+    }
+    assert!(server.inject_system(model, degraded_gpu(&SystemModel::paper_server())));
+
+    // Serve until the monitor trips; min_samples floors this at 6
+    // batches, the cap catches a dead feedback loop.
+    let deadline = Instant::now() + Duration::from_secs(120);
+    while metrics.snapshot().plan_swaps == 0 {
+        assert!(Instant::now() < deadline, "feedback loop never fired");
+        run_one(&server, &mut seed);
+    }
+    // Post-swap epoch: responses now carry epoch 2 and better latency.
+    for _ in 0..6 {
+        assert_eq!(run_one(&server, &mut seed).epoch, 2);
+    }
+
+    let snap = metrics.snapshot();
+    assert_eq!(snap.plan_swaps, 1, "exactly one corrective swap");
+    let stale = metrics.epoch_service_stats(1).expect("drifted epoch").p50();
+    let fresh = metrics
+        .epoch_service_stats(2)
+        .expect("post-swap epoch")
+        .p50();
+    assert!(
+        fresh < stale,
+        "hot-swap must lower measured P50: stale {stale:.1} us, post-swap {fresh:.1} us"
+    );
+    // Bit-identity survives the swap: plans change placement, not bytes.
+    let feeds = spec.request_feeds(seed);
+    let resp = server
+        .submit(model, feeds.clone(), None)
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert_eq!(resp.outputs, server.reference_run(model, &feeds).unwrap());
+}
+
+/// Satellite (f)'s conformance hook: a witnessed request through the
+/// serving engines passes the D3xx runtime checks.
+#[test]
+fn witnessed_request_passes_runtime_conformance() {
+    let server = server_for("mlp", ServeConfig::default());
+    let report = server.witness_check("mlp", 42).unwrap();
+    assert!(report.is_clean(), "witness conformance errors:\n{report}");
+}

@@ -36,7 +36,8 @@ fn usage() -> ! {
          duet save <model> <file>\n  duet report-file <file>\n  duet explain <model>\n  \
          duet trace <model> <file>\n\nmodels: {}\npolicies: \
          greedy-correction | greedy | random | round-robin | random-correction | ideal | \
-         flops-proxy | cpu | gpu",
+         flops-proxy | cpu | gpu\n\nonline serving lives in its own binary: \
+         cargo run --release -p duet-serve --bin duet-serve -- --help",
         MODELS.join(", ")
     );
     std::process::exit(2);

@@ -1,19 +1,30 @@
 //! Minimal offline stand-in for `crossbeam`.
 //!
-//! Provides `crossbeam::channel::{unbounded, Sender, Receiver}` with the
-//! semantics the executor relies on: MPMC, `Sender` cloneable, `Receiver`
-//! usable from several threads by shared reference (`Sync`), and `recv`
-//! unblocking with `Err` once all senders are gone and the queue drains.
+//! Provides `crossbeam::channel::{unbounded, bounded, Sender, Receiver}`
+//! with the semantics the executor and the serving runtime rely on:
+//! MPMC, `Sender` cloneable, `Receiver` usable from several threads by
+//! shared reference (`Sync`), `recv`/`recv_timeout` unblocking with
+//! `Err` once all senders are gone and the queue drains, and bounded
+//! channels whose `try_send` reports `Full` for admission control.
+//!
+//! Upstream features deliberately not implemented: zero-capacity
+//! rendezvous channels (`bounded(0)` panics) and disconnect detection on
+//! the send side (receivers share the queue's life here, so `send`
+//! never reports `Disconnected`).
 
 pub mod channel {
     use std::collections::VecDeque;
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
 
     struct Inner<T> {
         queue: Mutex<VecDeque<T>>,
         ready: Condvar,
+        not_full: Condvar,
         senders: AtomicUsize,
+        /// `None` for unbounded channels.
+        cap: Option<usize>,
     }
 
     /// Error returned by [`Receiver::recv`] when the channel is closed
@@ -51,6 +62,58 @@ pub mod channel {
 
     impl<T: std::fmt::Debug> std::error::Error for SendError<T> {}
 
+    /// Error returned by [`Sender::try_send`].
+    #[derive(Clone, Copy, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// A bounded channel is at capacity; the message comes back.
+        Full(T),
+        /// All receivers are gone. (This stub never reports it — see the
+        /// module docs — but callers match on the upstream shape.)
+        Disconnected(T),
+    }
+
+    impl<T> std::fmt::Debug for TrySendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TrySendError::Full(..) => write!(f, "Full(..)"),
+                TrySendError::Disconnected(..) => write!(f, "Disconnected(..)"),
+            }
+        }
+    }
+
+    impl<T> std::fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TrySendError::Full(..) => write!(f, "sending on a full channel"),
+                TrySendError::Disconnected(..) => write!(f, "sending on a disconnected channel"),
+            }
+        }
+    }
+
+    impl<T: std::fmt::Debug> std::error::Error for TrySendError<T> {}
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The timeout elapsed with the channel still empty.
+        Timeout,
+        /// The channel is empty and every sender is gone.
+        Disconnected,
+    }
+
+    impl std::fmt::Display for RecvTimeoutError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                RecvTimeoutError::Timeout => write!(f, "timed out waiting on channel"),
+                RecvTimeoutError::Disconnected => {
+                    write!(f, "receiving on an empty and disconnected channel")
+                }
+            }
+        }
+    }
+
+    impl std::error::Error for RecvTimeoutError {}
+
     /// Sending half of an unbounded MPMC channel.
     pub struct Sender<T> {
         inner: Arc<Inner<T>>,
@@ -81,12 +144,50 @@ pub mod channel {
     }
 
     impl<T> Sender<T> {
-        /// Enqueue a message; never blocks.
+        /// Enqueue a message. On an unbounded channel this never blocks;
+        /// on a bounded channel it waits for space.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
             let mut q = self.inner.queue.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(cap) = self.inner.cap {
+                while q.len() >= cap {
+                    q = self
+                        .inner
+                        .not_full
+                        .wait(q)
+                        .unwrap_or_else(|e| e.into_inner());
+                }
+            }
             q.push_back(value);
             self.inner.ready.notify_one();
             Ok(())
+        }
+
+        /// Enqueue without blocking; on a bounded channel at capacity the
+        /// message comes straight back as [`TrySendError::Full`].
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut q = self.inner.queue.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(cap) = self.inner.cap {
+                if q.len() >= cap {
+                    return Err(TrySendError::Full(value));
+                }
+            }
+            q.push_back(value);
+            self.inner.ready.notify_one();
+            Ok(())
+        }
+
+        /// Messages currently queued.
+        pub fn len(&self) -> usize {
+            self.inner
+                .queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .len()
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
         }
     }
 
@@ -96,6 +197,7 @@ pub mod channel {
             let mut q = self.inner.queue.lock().unwrap_or_else(|e| e.into_inner());
             loop {
                 if let Some(v) = q.pop_front() {
+                    self.inner.not_full.notify_one();
                     return Ok(v);
                 }
                 if self.inner.senders.load(Ordering::SeqCst) == 0 {
@@ -105,10 +207,57 @@ pub mod channel {
             }
         }
 
+        /// Block until a message arrives, every sender is dropped, or
+        /// `timeout` elapses — whichever comes first.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut q = self.inner.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(v) = q.pop_front() {
+                    self.inner.not_full.notify_one();
+                    return Ok(v);
+                }
+                if self.inner.senders.load(Ordering::SeqCst) == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, res) = self
+                    .inner
+                    .ready
+                    .wait_timeout(q, deadline - now)
+                    .unwrap_or_else(|e| e.into_inner());
+                q = guard;
+                if res.timed_out() && q.is_empty() {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+            }
+        }
+
         /// Non-blocking receive.
         pub fn try_recv(&self) -> Option<T> {
             let mut q = self.inner.queue.lock().unwrap_or_else(|e| e.into_inner());
-            q.pop_front()
+            let v = q.pop_front();
+            if v.is_some() {
+                self.inner.not_full.notify_one();
+            }
+            v
+        }
+
+        /// Messages currently queued.
+        pub fn len(&self) -> usize {
+            self.inner
+                .queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .len()
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
         }
     }
 
@@ -120,12 +269,48 @@ pub mod channel {
         }
     }
 
-    /// Create an unbounded MPMC channel.
-    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    impl<T> std::fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "Sender {{ .. }}")
+        }
+    }
+
+    impl<T> std::fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "Receiver {{ .. }}")
+        }
+    }
+
+    /// Blocking iterator over a receiver's messages; ends when every
+    /// sender is dropped and the queue drains.
+    pub struct IntoIter<T> {
+        rx: Receiver<T>,
+    }
+
+    impl<T> Iterator for IntoIter<T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
+        }
+    }
+
+    impl<T> IntoIterator for Receiver<T> {
+        type Item = T;
+        type IntoIter = IntoIter<T>;
+
+        fn into_iter(self) -> IntoIter<T> {
+            IntoIter { rx: self }
+        }
+    }
+
+    fn with_cap<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
         let inner = Arc::new(Inner {
             queue: Mutex::new(VecDeque::new()),
             ready: Condvar::new(),
+            not_full: Condvar::new(),
             senders: AtomicUsize::new(1),
+            cap,
         });
         (
             Sender {
@@ -133,6 +318,18 @@ pub mod channel {
             },
             Receiver { inner },
         )
+    }
+
+    /// Create an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        with_cap(None)
+    }
+
+    /// Create a bounded MPMC channel holding at most `cap` messages.
+    /// Zero-capacity rendezvous channels are not supported by this stub.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(cap > 0, "this crossbeam stub does not support bounded(0)");
+        with_cap(Some(cap))
     }
 }
 
@@ -166,5 +363,56 @@ mod tests {
         drop(tx);
         assert_eq!(rx.recv(), Ok(1));
         assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn bounded_try_send_reports_full_and_recovers_after_recv() {
+        let (tx, rx) = bounded::<u8>(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert!(matches!(tx.try_send(3), Err(TrySendError::Full(3))));
+        assert_eq!(tx.len(), 2);
+        assert_eq!(rx.recv(), Ok(1));
+        tx.try_send(3).unwrap();
+        assert_eq!(rx.len(), 2);
+    }
+
+    #[test]
+    fn bounded_send_blocks_until_space() {
+        let (tx, rx) = bounded::<u8>(1);
+        tx.send(1).unwrap();
+        std::thread::scope(|s| {
+            s.spawn(|| tx.send(2).unwrap());
+            // The blocked send completes once we pop.
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Ok(2));
+        });
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        let (tx, rx) = unbounded::<u8>();
+        assert_eq!(
+            rx.recv_timeout(std::time::Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        tx.send(7).unwrap();
+        assert_eq!(rx.recv_timeout(std::time::Duration::from_secs(5)), Ok(7));
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(std::time::Duration::from_millis(10)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn receiver_iterates_until_disconnect() {
+        let (tx, rx) = unbounded::<usize>();
+        for i in 0..5 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let got: Vec<usize> = rx.into_iter().collect();
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
     }
 }
