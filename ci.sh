@@ -24,6 +24,9 @@ cargo test --workspace -q
 step "interleaving stress suite (fixed seeds)"
 cargo test -q -p duet-runtime --test interleave
 
+step "allocation gate (tape+arena steady-state budget)"
+cargo run -q --release -p duet-bench --bin duet-alloc-gate
+
 step "duet-lint over all built-in models"
 cargo run -q --release --bin duet-lint -- all
 

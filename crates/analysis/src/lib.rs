@@ -28,21 +28,28 @@
 //!   schedule (happens-before order, virtual-clock readiness, per-
 //!   device monotonicity, transfer accounting, reported latency) and
 //!   cross-checks executor and simulator witnesses of one placement.
+//! * **Memory-plan checker** ([`check_memory_plan`], `D4xx`) — verifies
+//!   a compiled subgraph's instruction tape and liveness-planned buffer
+//!   slots: coverage, dependency order, no overlapping live ranges
+//!   sharing a slot, in-place aliasing discipline, slot/weight shape
+//!   agreement, peak-byte accounting.
 //!
 //! Severities are [`Severity::Error`] (do not run/deploy this artifact)
 //! and [`Severity::Warning`] (runs, but suspicious). The `duet-lint`
-//! CLI in the root crate drives all four over the model zoo and exits
+//! CLI in the root crate drives all five over the model zoo and exits
 //! non-zero on errors; its `trace` subcommand runs a model, records
 //! witnesses and checks them.
 
 pub mod diagnostics;
 pub mod graph_verifier;
+pub mod memory_check;
 pub mod pass_check;
 pub mod plan_lint;
 pub mod witness_check;
 
 pub use diagnostics::{Diagnostic, Report, Severity};
 pub use graph_verifier::verify_graph;
+pub use memory_check::{check_memory_plan, check_memory_plans};
 pub use pass_check::{check_optimize, violation_to_diagnostic};
 pub use plan_lint::{lint_plan, lint_schedule, LintConfig, PlanFacts, PlanSubgraphFacts};
 pub use witness_check::{check_agreement, check_witness, WitnessCheckConfig};
@@ -157,4 +164,24 @@ pub mod codes {
     /// Executor and simulator dispatched same-device work in different
     /// orders (warning; both orders are legal).
     pub const WITNESS_DIVERGENCE_ORDER: &str = "D311";
+
+    // D4xx — memory-plan (tape) checker
+    /// Tape instructions, feeds, weight bindings or output bindings do
+    /// not cover the subgraph exactly.
+    pub const TAPE_COVERAGE: &str = "D400";
+    /// Tape order violates graph data dependencies (consumer scheduled
+    /// at or before its producer).
+    pub const TAPE_ORDER: &str = "D401";
+    /// Two values with overlapping live ranges share a buffer slot.
+    pub const TAPE_SLOT_OVERLAP: &str = "D402";
+    /// In-place aliasing discipline broken: flagged in-place without a
+    /// dying first operand in the output slot, aliasing a second read of
+    /// the slot, on an incapable op — or reading the output slot without
+    /// the flag.
+    pub const TAPE_INPLACE: &str = "D403";
+    /// A slot, feed or weight binding's shape disagrees with the graph.
+    pub const TAPE_SLOT_SHAPE: &str = "D404";
+    /// Recorded planned/naive peak bytes disagree with recomputation, or
+    /// the planned peak exceeds the naive peak (warning).
+    pub const TAPE_PEAK_ACCOUNTING: &str = "D405";
 }

@@ -1,0 +1,308 @@
+//! Memory-plan checker (`D4xx`): verifies a compiled subgraph's
+//! instruction tape and slot plan.
+//!
+//! The tape executor ([`duet_compiler::ExecutableTape`]) trades the
+//! HashMap interpreter's per-value buffers for a liveness-planned slot
+//! set — which makes three new classes of miscompilation possible:
+//! clobbering a value another instruction still needs (slot reuse while
+//! live), running an op in place on an input that is *not* dead, and
+//! reordering the tape against the graph's data dependencies. This
+//! checker re-derives liveness from the tape itself — independently of
+//! the planner's own bookkeeping — and verifies:
+//!
+//! * **D400** the tape covers exactly the subgraph's nodes, feeds and
+//!   outputs, with weight bindings matching the graph's parameters;
+//! * **D401** tape order respects graph dependencies (a producer's
+//!   instruction precedes every consumer's);
+//! * **D402** no two values with overlapping live ranges share a slot;
+//! * **D403** in-place instructions only alias their dying first
+//!   operand — and any instruction whose output slot doubles as an input
+//!   slot *must* be flagged in place;
+//! * **D404** slot, feed and weight shapes agree with the graph;
+//! * **D405** (warning) the recorded peak-byte accounting is consistent
+//!   and planned peak does not exceed naive peak.
+
+use std::collections::{HashMap, HashSet};
+
+use duet_compiler::{CompiledSubgraph, Operand};
+use duet_ir::Graph;
+
+use crate::codes;
+use crate::diagnostics::{Diagnostic, Report};
+
+/// Verify `sg`'s memory plan against the graph it was compiled from.
+pub fn check_memory_plan(graph: &Graph, sg: &CompiledSubgraph) -> Report {
+    let mut report = Report::new(format!("{}/tape", sg.name));
+    let tape = &sg.tape;
+    let n_slots = tape.plan.slot_shapes.len();
+
+    // --- D400: coverage -------------------------------------------------
+    let tape_nodes: Vec<_> = tape.instrs.iter().map(|i| i.node).collect();
+    let tape_set: HashSet<_> = tape_nodes.iter().copied().collect();
+    let sg_set: HashSet<_> = sg.node_ids.iter().copied().collect();
+    if tape_set != sg_set || tape_nodes.len() != sg.node_ids.len() {
+        report.push(
+            Diagnostic::error(
+                codes::TAPE_COVERAGE,
+                format!(
+                    "tape instructions cover {} nodes but the subgraph has {}",
+                    tape_nodes.len(),
+                    sg.node_ids.len()
+                ),
+            )
+            .with_context(&sg.name),
+        );
+    }
+    if tape.feed_ids != sg.inputs {
+        report.push(
+            Diagnostic::error(
+                codes::TAPE_COVERAGE,
+                "tape feed list disagrees with the subgraph's boundary inputs",
+            )
+            .with_context(&sg.name),
+        );
+    }
+    let out_nodes: Vec<_> = tape.outputs.iter().map(|&(id, _)| id).collect();
+    if out_nodes != sg.outputs {
+        report.push(
+            Diagnostic::error(
+                codes::TAPE_COVERAGE,
+                "tape output bindings disagree with the subgraph's outputs",
+            )
+            .with_context(&sg.name),
+        );
+    }
+
+    // --- D404: shape agreement -----------------------------------------
+    let instr_of: HashMap<_, _> = tape
+        .instrs
+        .iter()
+        .enumerate()
+        .map(|(k, i)| (i.node, k))
+        .collect();
+    for instr in &tape.instrs {
+        if instr.out >= n_slots {
+            report.push(
+                Diagnostic::error(
+                    codes::TAPE_SLOT_SHAPE,
+                    format!("instruction writes nonexistent slot {}", instr.out),
+                )
+                .with_node(instr.node)
+                .with_context(&sg.name),
+            );
+            continue;
+        }
+        let node = graph.node(instr.node);
+        let slot = &tape.plan.slot_shapes[instr.out];
+        if slot.volume() != node.shape.volume() {
+            report.push(
+                Diagnostic::error(
+                    codes::TAPE_SLOT_SHAPE,
+                    format!(
+                        "node produces {} elements but its slot {} holds {}",
+                        node.shape.volume(),
+                        instr.out,
+                        slot.volume()
+                    ),
+                )
+                .with_node(instr.node)
+                .with_context(&sg.name),
+            );
+        }
+    }
+    for (w, &id) in tape.weight_ids.iter().enumerate() {
+        let bound = &tape.weights[w];
+        let expect = &graph.node(id).shape;
+        if bound.shape() != expect {
+            report.push(
+                Diagnostic::error(
+                    codes::TAPE_SLOT_SHAPE,
+                    format!(
+                        "weight binding {w} has shape {:?}, graph says {:?}",
+                        bound.shape().dims(),
+                        expect.dims()
+                    ),
+                )
+                .with_node(id)
+                .with_context(&sg.name),
+            );
+        }
+    }
+
+    // --- D401: tape order respects graph dependencies -------------------
+    for (k, instr) in tape.instrs.iter().enumerate() {
+        for &src in &graph.node(instr.node).inputs {
+            if let Some(&kp) = instr_of.get(&src) {
+                if kp >= k {
+                    report.push(
+                        Diagnostic::error(
+                            codes::TAPE_ORDER,
+                            format!(
+                                "instruction {k} consumes node {src}, which instruction {kp} \
+                                 has not produced yet"
+                            ),
+                        )
+                        .with_node(instr.node)
+                        .with_context(&sg.name),
+                    );
+                }
+            }
+        }
+    }
+
+    // --- Re-derive liveness from the tape alone -------------------------
+    // A value is born at its instruction's index and dies at its last
+    // reading instruction — or at the end of the tape if it escapes.
+    let escaping: HashSet<usize> = tape.outputs.iter().map(|&(_, s)| s).collect();
+    let end = tape.instrs.len();
+    // births[slot] = list of (birth index, death index, in_place) in tape order.
+    let mut lives: HashMap<usize, Vec<(usize, usize, bool)>> = HashMap::new();
+    for (k, instr) in tape.instrs.iter().enumerate() {
+        if instr.out >= n_slots {
+            continue; // already reported under D404
+        }
+        let mut death = k;
+        for (k2, later) in tape.instrs.iter().enumerate().skip(k + 1) {
+            if later.inputs.contains(&Operand::Slot(instr.out)) {
+                death = k2;
+            }
+            if later.out == instr.out {
+                break; // slot rebound; reads past this belong to the next value
+            }
+        }
+        let is_last_value_in_slot = !tape.instrs[k + 1..].iter().any(|l| l.out == instr.out);
+        if is_last_value_in_slot && escaping.contains(&instr.out) {
+            death = end;
+        }
+        lives
+            .entry(instr.out)
+            .or_default()
+            .push((k, death, instr.in_place));
+    }
+
+    // --- D402: overlapping live ranges in one slot ----------------------
+    for (&slot, ranges) in &lives {
+        for pair in ranges.windows(2) {
+            let (_, death1, _) = pair[0];
+            let (birth2, _, in_place2) = pair[1];
+            // The next value may be born exactly when the previous dies
+            // only if the rebinding instruction is the in-place consumer
+            // of the dying value.
+            let ok = death1 < birth2 || (death1 == birth2 && in_place2);
+            if !ok {
+                report.push(
+                    Diagnostic::error(
+                        codes::TAPE_SLOT_OVERLAP,
+                        format!(
+                            "slot {slot}: value born at instruction {} is overwritten at \
+                             instruction {birth2} while still live (last use at {})",
+                            pair[0].0, death1
+                        ),
+                    )
+                    .with_node(tape.instrs[birth2].node)
+                    .with_context(&sg.name),
+                );
+            }
+        }
+    }
+
+    // --- D403: in-place aliasing discipline ------------------------------
+    for (k, instr) in tape.instrs.iter().enumerate() {
+        let reads_own_slot = instr.inputs.contains(&Operand::Slot(instr.out));
+        if instr.in_place {
+            let first_is_own =
+                matches!(instr.inputs.first(), Some(&Operand::Slot(s)) if s == instr.out);
+            if !duet_compiler::memory::in_place_capable(&instr.op) {
+                report.push(
+                    Diagnostic::error(
+                        codes::TAPE_INPLACE,
+                        format!(
+                            "instruction {k} ({}) is flagged in-place but the op cannot \
+                             run in place",
+                            instr.op.name()
+                        ),
+                    )
+                    .with_node(instr.node)
+                    .with_context(&sg.name),
+                );
+            } else if !first_is_own {
+                report.push(
+                    Diagnostic::error(
+                        codes::TAPE_INPLACE,
+                        format!(
+                            "instruction {k} is flagged in-place but its first operand \
+                             is not its output slot {}",
+                            instr.out
+                        ),
+                    )
+                    .with_node(instr.node)
+                    .with_context(&sg.name),
+                );
+            } else if instr.inputs[1..].contains(&Operand::Slot(instr.out)) {
+                report.push(
+                    Diagnostic::error(
+                        codes::TAPE_INPLACE,
+                        format!(
+                            "instruction {k} runs in place on slot {} but another operand \
+                             reads the same slot",
+                            instr.out
+                        ),
+                    )
+                    .with_node(instr.node)
+                    .with_context(&sg.name),
+                );
+            }
+        } else if reads_own_slot {
+            report.push(
+                Diagnostic::error(
+                    codes::TAPE_INPLACE,
+                    format!(
+                        "instruction {k} writes slot {} that it also reads, without being \
+                         flagged in-place",
+                        instr.out
+                    ),
+                )
+                .with_node(instr.node)
+                .with_context(&sg.name),
+            );
+        }
+    }
+
+    // --- D405: peak-byte accounting (warning) ----------------------------
+    let planned: usize = tape.plan.slot_shapes.iter().map(|s| s.byte_size()).sum();
+    let naive: usize = sg
+        .node_ids
+        .iter()
+        .map(|&id| graph.node(id).shape.byte_size())
+        .sum();
+    if planned != tape.plan.planned_peak_bytes
+        || naive != tape.plan.naive_peak_bytes
+        || tape.plan.planned_peak_bytes > tape.plan.naive_peak_bytes
+    {
+        report.push(
+            Diagnostic::warning(
+                codes::TAPE_PEAK_ACCOUNTING,
+                format!(
+                    "plan records planned/naive peak {}/{} bytes; recomputed {}/{}",
+                    tape.plan.planned_peak_bytes, tape.plan.naive_peak_bytes, planned, naive
+                ),
+            )
+            .with_context(&sg.name),
+        );
+    }
+
+    report
+}
+
+/// Run [`check_memory_plan`] over every placed subgraph of an engine
+/// schedule, merging findings into one report.
+pub fn check_memory_plans<'a>(
+    graph: &Graph,
+    subgraphs: impl IntoIterator<Item = &'a CompiledSubgraph>,
+) -> Report {
+    let mut report = Report::new(format!("{}/memory", graph.name));
+    for sg in subgraphs {
+        report.merge(check_memory_plan(graph, sg));
+    }
+    report
+}

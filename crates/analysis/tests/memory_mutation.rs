@@ -1,0 +1,157 @@
+//! Mutation tests for the D4xx memory-plan checker: take a correctly
+//! compiled tape, corrupt it the way a buggy planner would, and assert
+//! the checker pins the corruption with the right code. A checker that
+//! passes clean tapes proves nothing until it also fails broken ones.
+
+use duet_analysis::{check_memory_plan, codes};
+use duet_compiler::passes::fuse_groups;
+use duet_compiler::{CompiledSubgraph, Operand};
+use duet_ir::{Graph, GraphBuilder, Op};
+
+/// fc1 → relu → fc2: one in-place epilogue, two distinct slot shapes.
+fn mlp() -> Graph {
+    let mut b = GraphBuilder::new("mlp", 1);
+    let x = b.input("x", vec![1, 8]);
+    let h = b.dense("fc1", x, 16, Some(Op::Relu)).unwrap();
+    let y = b.dense("fc2", h, 4, None).unwrap();
+    b.finish(&[y]).unwrap()
+}
+
+fn compile(g: &Graph) -> CompiledSubgraph {
+    let ids = g.compute_ids();
+    CompiledSubgraph::from_groups(g, "all", fuse_groups(g, &ids))
+}
+
+#[test]
+fn clean_tape_passes() {
+    let g = mlp();
+    let sg = compile(&g);
+    let report = check_memory_plan(&g, &sg);
+    assert!(report.is_clean(), "unexpected findings:\n{report}");
+    // The fixture must actually exercise the interesting machinery.
+    assert!(
+        sg.tape.instrs.iter().any(|i| i.in_place),
+        "fixture lost its in-place epilogue"
+    );
+    assert!(sg.tape.plan.planned_peak_bytes < sg.tape.plan.naive_peak_bytes);
+}
+
+#[test]
+fn reordered_tape_is_caught() {
+    let g = mlp();
+    let mut sg = compile(&g);
+    // Run the consumer before its producer.
+    sg.tape.instrs.swap(0, 1);
+    let report = check_memory_plan(&g, &sg);
+    assert!(report.contains(codes::TAPE_ORDER), "missed D401:\n{report}");
+    assert!(report.has_errors());
+}
+
+#[test]
+fn aliasing_two_live_slots_is_caught() {
+    let g = mlp();
+    let mut sg = compile(&g);
+    // Retarget the final instruction's output onto a slot whose value it
+    // reads — without in-place rights. The relu value is clobbered while
+    // still live.
+    let last = sg.tape.instrs.len() - 1;
+    let stolen = match sg.tape.instrs[last].inputs[0] {
+        Operand::Slot(s) => s,
+        ref other => panic!("fixture changed: first operand is {other:?}"),
+    };
+    let old = sg.tape.instrs[last].out;
+    sg.tape.instrs[last].out = stolen;
+    for out in &mut sg.tape.outputs {
+        if out.1 == old {
+            out.1 = stolen;
+        }
+    }
+    let report = check_memory_plan(&g, &sg);
+    assert!(
+        report.contains(codes::TAPE_SLOT_OVERLAP) || report.contains(codes::TAPE_INPLACE),
+        "missed the live-slot clobber:\n{report}"
+    );
+    assert!(report.has_errors());
+}
+
+#[test]
+fn in_place_flag_on_incapable_op_is_caught() {
+    let g = mlp();
+    let mut sg = compile(&g);
+    // Flag a Linear (a reduction — reads every input element after
+    // writing starts) as in-place.
+    let victim = sg
+        .tape
+        .instrs
+        .iter()
+        .position(|i| matches!(i.op, Op::Linear))
+        .expect("fixture has a Linear");
+    sg.tape.instrs[victim].in_place = true;
+    let report = check_memory_plan(&g, &sg);
+    assert!(
+        report.contains(codes::TAPE_INPLACE),
+        "missed D403:\n{report}"
+    );
+    assert!(report.has_errors());
+}
+
+#[test]
+fn dropped_in_place_flag_is_caught() {
+    let g = mlp();
+    let mut sg = compile(&g);
+    // The relu reads and writes the same slot; removing its flag leaves
+    // an undeclared alias.
+    let victim = sg
+        .tape
+        .instrs
+        .iter()
+        .position(|i| i.in_place)
+        .expect("fixture has an in-place instr");
+    sg.tape.instrs[victim].in_place = false;
+    let report = check_memory_plan(&g, &sg);
+    assert!(
+        report.contains(codes::TAPE_INPLACE),
+        "missed D403:\n{report}"
+    );
+    assert!(report.has_errors());
+}
+
+#[test]
+fn corrupted_slot_shape_is_caught() {
+    let g = mlp();
+    let mut sg = compile(&g);
+    sg.tape.plan.slot_shapes[0] = vec![1, 3].into();
+    let report = check_memory_plan(&g, &sg);
+    assert!(
+        report.contains(codes::TAPE_SLOT_SHAPE),
+        "missed D404:\n{report}"
+    );
+    assert!(report.has_errors());
+}
+
+#[test]
+fn inflated_peak_accounting_is_a_warning() {
+    let g = mlp();
+    let mut sg = compile(&g);
+    sg.tape.plan.planned_peak_bytes *= 10;
+    let report = check_memory_plan(&g, &sg);
+    assert!(
+        report.contains(codes::TAPE_PEAK_ACCOUNTING),
+        "missed D405:\n{report}"
+    );
+    assert!(!report.has_errors(), "D405 must stay a warning");
+    assert!(report.warning_count() > 0);
+}
+
+#[test]
+fn missing_instruction_is_caught() {
+    let g = mlp();
+    let mut sg = compile(&g);
+    sg.tape.instrs.remove(0);
+    let report = check_memory_plan(&g, &sg);
+    assert!(
+        report.contains(codes::TAPE_COVERAGE),
+        "missed D400:\n{report}"
+    );
+    assert!(report.has_errors());
+}

@@ -1,0 +1,82 @@
+//! `duet-alloc-gate` — CI perf smoke for the memory planner.
+//!
+//! Runs a batch-1 MLP through the tape + arena path (the serve
+//! steady state) and fails if an inference makes more heap-allocation
+//! calls than the budget. This is the regression tripwire: any change
+//! that re-introduces per-run buffer churn — a kernel allocating a
+//! temporary, the tape cloning feeds, an arena slot refreshed every
+//! run — blows the exact count immediately, long before it would show
+//! up as a latency regression.
+//!
+//! The budget covers what the steady state legitimately allocates per
+//! run: the feed-resolution scratch, the output HashMap handed to the
+//! caller, and one copy-on-write refresh for the escaped output slot
+//! (its Arc is still held by the previous run's result).
+//!
+//! Also asserts the planner actually planned: planned peak < naive
+//! peak, with at least one reused or in-place slot.
+
+use duet_bench::count_allocs;
+use duet_compiler::{Compiler, TapeArena};
+use duet_models::{input_feeds, mlp, MlpConfig};
+
+const WARMUP: usize = 4;
+const RUNS: u64 = 64;
+/// Exact-count budget per steady-state inference (see module docs).
+const BUDGET_PER_RUN: u64 = 32;
+
+fn main() {
+    let graph = mlp(&MlpConfig {
+        batch: 1,
+        input: 64,
+        hidden: 64,
+        layers: 3,
+        ..MlpConfig::default()
+    });
+    let sg = Compiler::default().compile_whole(&graph, graph.name.clone());
+    let plan = &sg.tape.plan;
+
+    let mut failed = false;
+    if plan.planned_peak_bytes >= plan.naive_peak_bytes {
+        eprintln!(
+            "FAIL: planner saved nothing (planned {} >= naive {})",
+            plan.planned_peak_bytes, plan.naive_peak_bytes
+        );
+        failed = true;
+    }
+    if plan.reused_slots == 0 && plan.in_place_ops == 0 {
+        eprintln!("FAIL: plan shows no slot reuse and no in-place ops");
+        failed = true;
+    }
+
+    let env = input_feeds(&graph, 7);
+    let mut arena = TapeArena::for_tape(&sg.tape);
+    let mut last = None;
+    for _ in 0..WARMUP {
+        last = Some(sg.execute_with_arena(&env, &mut arena).expect("inference"));
+    }
+    let (allocs, ()) = count_allocs(|| {
+        for _ in 0..RUNS {
+            // Dropping the previous result before the next run is the
+            // steady-state shape: exactly one escaped-output Arc alive.
+            last = Some(sg.execute_with_arena(&env, &mut arena).expect("inference"));
+        }
+    });
+    drop(last);
+
+    let per_run = allocs as f64 / RUNS as f64;
+    println!(
+        "tape+arena steady state: {per_run:.2} allocs/inference over {RUNS} runs \
+         (budget {BUDGET_PER_RUN}); planned/naive peak {}/{} bytes, \
+         {} in-place op(s), {} reused slot(s)",
+        plan.planned_peak_bytes, plan.naive_peak_bytes, plan.in_place_ops, plan.reused_slots
+    );
+    if per_run > BUDGET_PER_RUN as f64 {
+        eprintln!("FAIL: {per_run:.2} allocs/inference exceeds the budget of {BUDGET_PER_RUN}");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("alloc gate passed.");
+}

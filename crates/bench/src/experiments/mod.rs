@@ -5,6 +5,7 @@
 pub mod ablation;
 pub mod comparison;
 pub mod extensions;
+pub mod memory;
 pub mod motivation;
 pub mod sweeps;
 pub mod tables;
@@ -30,6 +31,7 @@ pub const ALL: &[&str] = &[
     "ext-serving-real",
     "ext-systems",
     "ext-nested",
+    "ext-memory-plan",
 ];
 
 /// Run one experiment by id. Returns `None` for an unknown id.
@@ -54,6 +56,7 @@ pub fn run(id: &str) -> Option<serde_json::Value> {
         "ext-serving-real" => extensions::serving_real(),
         "ext-systems" => extensions::systems(),
         "ext-nested" => extensions::nested(),
+        "ext-memory-plan" => memory::memory_plan(),
         _ => return None,
     };
     Some(value)

@@ -9,9 +9,11 @@
 //! or a single artifact with e.g. `... -- fig11`. Text tables go to
 //! stdout; machine-readable copies land in `results/<id>.json`.
 
+pub mod alloc_count;
 pub mod experiments;
 pub mod output;
 
+pub use alloc_count::{allocations, count_allocs};
 pub use output::Table;
 
 use duet_compiler::Compiler;

@@ -22,9 +22,13 @@
 
 pub mod invariants;
 pub mod lower;
+pub mod memory;
 pub mod pass;
 pub mod passes;
 
 pub use invariants::{PassViolation, ViolationKind};
 pub use lower::{CompiledKernel, CompiledSubgraph};
+pub use memory::{
+    ArenaPool, ArenaPoolStats, ExecutableTape, Instr, MemoryPlan, Operand, TapeArena,
+};
 pub use pass::{CompileError, CompileOptions, Compiler, OptimizeStats};

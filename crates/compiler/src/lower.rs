@@ -11,6 +11,8 @@ use std::collections::{HashMap, HashSet};
 use duet_ir::{CostProfile, Graph, GraphError, NodeId, Op};
 use duet_tensor::Tensor;
 
+use crate::memory::{ExecutableTape, TapeArena};
+
 /// One fused kernel: an anchor operator plus absorbed epilogues.
 #[derive(Debug, Clone)]
 pub struct CompiledKernel {
@@ -40,6 +42,8 @@ pub struct CompiledSubgraph {
     pub outputs: Vec<NodeId>,
     /// Total priced cost of the kernel sequence.
     pub cost: CostProfile,
+    /// Memory-planned instruction tape — the default execution path.
+    pub tape: ExecutableTape,
 }
 
 impl CompiledSubgraph {
@@ -68,6 +72,7 @@ impl CompiledSubgraph {
             .collect();
 
         let mut inputs: Vec<NodeId> = Vec::new();
+        let mut input_set: HashSet<NodeId> = HashSet::new();
         let mut outputs: Vec<NodeId> = Vec::new();
         let graph_outputs: HashSet<NodeId> = graph.outputs().iter().copied().collect();
         for &id in &node_ids {
@@ -78,7 +83,7 @@ impl CompiledSubgraph {
                     Op::Input => true,
                     _ => !in_set.contains(&src),
                 };
-                if is_boundary && !inputs.contains(&src) {
+                if is_boundary && input_set.insert(src) {
                     inputs.push(src);
                 }
             }
@@ -93,6 +98,8 @@ impl CompiledSubgraph {
             .iter()
             .fold(CostProfile::zero(), |acc, k| acc.merge(&k.cost));
 
+        let tape = ExecutableTape::build(graph, &node_ids, &inputs, &outputs);
+
         CompiledSubgraph {
             name: name.into(),
             node_ids,
@@ -100,6 +107,7 @@ impl CompiledSubgraph {
             inputs,
             outputs,
             cost,
+            tape,
         }
     }
 
@@ -125,10 +133,36 @@ impl CompiledSubgraph {
         self.kernels.len()
     }
 
-    /// Execute numerically. `env` must hold a tensor for every boundary
-    /// input (keyed by producer node id). Returns the values of
+    /// Execute numerically via the memory-planned tape (the default
+    /// path). `env` must hold a tensor for every boundary input (keyed by
+    /// producer node id). Returns the values of
     /// [`CompiledSubgraph::outputs`], keyed by node id.
+    ///
+    /// `graph` is unused at run time — weights were bound at lowering —
+    /// but kept in the signature so call sites document which graph the
+    /// subgraph belongs to (and so the reference interpreter is a drop-in
+    /// substitute).
     pub fn execute(
+        &self,
+        _graph: &Graph,
+        env: &HashMap<NodeId, Tensor>,
+    ) -> Result<HashMap<NodeId, Tensor>, GraphError> {
+        self.tape.execute(env)
+    }
+
+    /// Execute via the tape into a caller-provided arena (see
+    /// [`TapeArena`]); the zero-allocation serve path.
+    pub fn execute_with_arena(
+        &self,
+        env: &HashMap<NodeId, Tensor>,
+        arena: &mut TapeArena,
+    ) -> Result<HashMap<NodeId, Tensor>, GraphError> {
+        self.tape.execute_with(env, arena)
+    }
+
+    /// The legacy HashMap interpreter, kept as the bit-identity reference
+    /// for the tape executor (property-tested across the model zoo).
+    pub fn execute_reference(
         &self,
         graph: &Graph,
         env: &HashMap<NodeId, Tensor>,

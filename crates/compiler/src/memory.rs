@@ -1,0 +1,653 @@
+//! Static memory planning and the instruction tape.
+//!
+//! Lowering used to hand the executor a per-call HashMap interpreter:
+//! every inference re-resolved node ids, cloned resident weights out of
+//! the graph and allocated a fresh buffer per op. This module replaces
+//! that with a compile-time plan:
+//!
+//! * **Instruction tape** — a topologically ordered [`Instr`] sequence
+//!   whose operands are pre-resolved *slot indices* ([`Operand::Slot`]),
+//!   weight bindings ([`Operand::Weight`], bound once at lowering as
+//!   `Arc`-shared tensors) or boundary feeds ([`Operand::Feed`]).
+//! * **Liveness-based slot assignment** — each value's last use is
+//!   computed over the tape; a dead same-shape slot is recycled before a
+//!   new one is opened, and unary/binary elementwise epilogues run **in
+//!   place** on their first operand when it dies at that instruction.
+//!   [`MemoryPlan`] records planned vs. naive peak bytes.
+//! * **Arena** — a [`TapeArena`] is the slab of slot buffers one
+//!   execution writes into; an [`ArenaPool`] recycles arenas across
+//!   requests (keyed by tape fingerprint) so steady-state serving does
+//!   near-zero tensor allocation.
+//!
+//! Escaping values (subgraph outputs) are published as tensors that
+//! share their slot's buffer; the next execution that finds such a slot
+//! still shared simply re-allocates it (a "refresh"), so aliasing is
+//! never observable from outside.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use duet_ir::{Graph, GraphError, NodeId, Op};
+use duet_tensor::kernels::{self, UnaryOp};
+use duet_tensor::{Shape, Tensor, TensorError};
+
+/// Where an instruction input comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Operand {
+    /// Value produced earlier on the tape, living in an arena slot.
+    Slot(usize),
+    /// Resident weight, bound at lowering time (index into `weights`).
+    Weight(usize),
+    /// Boundary feed (index into `feed_ids`).
+    Feed(usize),
+}
+
+/// One tape instruction: an op with pre-resolved operands and a
+/// destination slot.
+#[derive(Debug, Clone)]
+pub struct Instr {
+    /// Graph node this instruction computes (for diagnostics/outputs).
+    pub node: NodeId,
+    /// The operator to run.
+    pub op: Op,
+    /// Pre-resolved inputs, in the op's argument order.
+    pub inputs: Vec<Operand>,
+    /// Destination slot index.
+    pub out: usize,
+    /// True if this op overwrites its first operand's slot (which the
+    /// planner proved dead after this instruction).
+    pub in_place: bool,
+}
+
+/// What the liveness planner decided, plus its accounting.
+#[derive(Debug, Clone)]
+pub struct MemoryPlan {
+    /// Shape of each physical slot (the arena allocates one buffer each).
+    pub slot_shapes: Vec<Shape>,
+    /// Bytes the slot set occupies — the planned peak.
+    pub planned_peak_bytes: usize,
+    /// Bytes a one-buffer-per-value interpreter would hold live.
+    pub naive_peak_bytes: usize,
+    /// Instructions executing in place on a dead input slot.
+    pub in_place_ops: usize,
+    /// Values that recycled a previously freed same-shape slot.
+    pub reused_slots: usize,
+}
+
+/// A compiled, memory-planned executable for one subgraph.
+#[derive(Debug, Clone)]
+pub struct ExecutableTape {
+    /// Instructions in execution (topological) order.
+    pub instrs: Vec<Instr>,
+    /// Weight tensors bound once at lowering ([`Operand::Weight`] order).
+    pub weights: Vec<Tensor>,
+    /// Graph node each weight binding came from (parallel to `weights`).
+    pub weight_ids: Vec<NodeId>,
+    /// Boundary inputs in feed-resolution order ([`Operand::Feed`]).
+    pub feed_ids: Vec<NodeId>,
+    /// Expected shape of each feed (parallel to `feed_ids`).
+    pub feed_shapes: Vec<Shape>,
+    /// Escaping values: node id and the slot holding its result.
+    pub outputs: Vec<(NodeId, usize)>,
+    /// The slot plan and its accounting.
+    pub plan: MemoryPlan,
+    /// FNV fold over the whole tape; arenas are keyed by this.
+    pub fingerprint: u64,
+}
+
+/// The slab of slot buffers one tape execution writes into.
+///
+/// Slots are `Arc<[f32]>` so escaping outputs can be published without a
+/// copy; a slot still shared at the next execution (its consumer kept the
+/// tensor alive) is transparently re-allocated and counted as a refresh.
+#[derive(Debug)]
+pub struct TapeArena {
+    fingerprint: u64,
+    slots: Vec<Arc<[f32]>>,
+    empty: Arc<[f32]>,
+    refreshes: u64,
+}
+
+impl TapeArena {
+    /// Allocate a fresh arena sized for `tape`.
+    pub fn for_tape(tape: &ExecutableTape) -> Self {
+        TapeArena {
+            fingerprint: tape.fingerprint,
+            slots: tape
+                .plan
+                .slot_shapes
+                .iter()
+                .map(|s| zero_arc(s.volume()))
+                .collect(),
+            empty: Vec::new().into(),
+            refreshes: 0,
+        }
+    }
+
+    /// Fingerprint of the tape this arena was sized for.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Slots re-allocated because an escaped output kept them alive.
+    pub fn refreshes(&self) -> u64 {
+        self.refreshes
+    }
+
+    fn take(&mut self, slot: usize) -> Arc<[f32]> {
+        std::mem::replace(&mut self.slots[slot], Arc::clone(&self.empty))
+    }
+}
+
+fn zero_arc(n: usize) -> Arc<[f32]> {
+    (0..n).map(|_| 0.0f32).collect()
+}
+
+/// Running totals for an [`ArenaPool`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArenaPoolStats {
+    /// Arenas allocated because none was available for the fingerprint.
+    pub created: u64,
+    /// Checkouts served from the pool (steady-state hits).
+    pub reused: u64,
+}
+
+/// Recycles [`TapeArena`]s across requests, keyed by tape fingerprint.
+///
+/// The engine owns one pool; each executor run checks an arena out per
+/// subgraph and returns it after the reply, so steady-state serving
+/// allocates no fresh slot buffers.
+#[derive(Debug, Default)]
+pub struct ArenaPool {
+    shelves: Mutex<HashMap<u64, Vec<TapeArena>>>,
+    created: AtomicU64,
+    reused: AtomicU64,
+}
+
+/// Arenas kept per fingerprint; more are dropped on return.
+const POOL_DEPTH: usize = 8;
+
+impl ArenaPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Check out an arena for `tape`, reusing a pooled one if available.
+    pub fn checkout(&self, tape: &ExecutableTape) -> TapeArena {
+        let pooled = self
+            .shelves
+            .lock()
+            .expect("arena pool poisoned")
+            .get_mut(&tape.fingerprint)
+            .and_then(Vec::pop);
+        match pooled {
+            Some(a) => {
+                self.reused.fetch_add(1, Ordering::Relaxed);
+                a
+            }
+            None => {
+                self.created.fetch_add(1, Ordering::Relaxed);
+                TapeArena::for_tape(tape)
+            }
+        }
+    }
+
+    /// Return an arena for later reuse.
+    pub fn give_back(&self, arena: TapeArena) {
+        let mut shelves = self.shelves.lock().expect("arena pool poisoned");
+        let shelf = shelves.entry(arena.fingerprint).or_default();
+        if shelf.len() < POOL_DEPTH {
+            shelf.push(arena);
+        }
+    }
+
+    /// Checkout/creation totals so far.
+    pub fn stats(&self) -> ArenaPoolStats {
+        ArenaPoolStats {
+            created: self.created.load(Ordering::Relaxed),
+            reused: self.reused.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Ops the planner may run in place on their first operand: elementwise,
+/// output shape identical to input 0.
+pub fn in_place_capable(op: &Op) -> bool {
+    matches!(
+        op,
+        Op::Relu
+            | Op::Sigmoid
+            | Op::Tanh
+            | Op::Gelu
+            | Op::Scale { .. }
+            | Op::Add
+            | Op::Sub
+            | Op::Mul
+            | Op::BiasAdd
+    )
+}
+
+impl ExecutableTape {
+    /// Plan `node_ids` (topologically ordered) of `graph` into a tape.
+    ///
+    /// `boundary_inputs` are the values fed at run time; `outputs` the
+    /// values that escape the subgraph (their slots are never recycled).
+    pub fn build(
+        graph: &Graph,
+        node_ids: &[NodeId],
+        boundary_inputs: &[NodeId],
+        outputs: &[NodeId],
+    ) -> Self {
+        let pos: HashMap<NodeId, usize> = node_ids
+            .iter()
+            .enumerate()
+            .map(|(k, &id)| (id, k))
+            .collect();
+        let feed_index: HashMap<NodeId, usize> = boundary_inputs
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| (id, i))
+            .collect();
+
+        // Last tape index reading each in-subgraph value; escaping values
+        // stay live to the end of the tape.
+        let mut last_use: HashMap<NodeId, usize> = HashMap::new();
+        for (k, &id) in node_ids.iter().enumerate() {
+            for &src in &graph.node(id).inputs {
+                if pos.contains_key(&src) {
+                    last_use.insert(src, k);
+                }
+            }
+        }
+        for &o in outputs {
+            last_use.insert(o, usize::MAX);
+        }
+
+        let mut weights: Vec<Tensor> = Vec::new();
+        let mut weight_ids: Vec<NodeId> = Vec::new();
+        let mut weight_index: HashMap<NodeId, usize> = HashMap::new();
+
+        let mut slot_shapes: Vec<Shape> = Vec::new();
+        let mut slot_of: HashMap<NodeId, usize> = HashMap::new();
+        let mut free: HashMap<Shape, Vec<usize>> = HashMap::new();
+        let mut in_place_ops = 0usize;
+        let mut reused_slots = 0usize;
+
+        let mut instrs: Vec<Instr> = Vec::with_capacity(node_ids.len());
+        for (k, &id) in node_ids.iter().enumerate() {
+            let node = graph.node(id);
+            let inputs: Vec<Operand> = node
+                .inputs
+                .iter()
+                .map(|&src| {
+                    if let Some(&s) = slot_of.get(&src) {
+                        Operand::Slot(s)
+                    } else if let Some(&f) = feed_index.get(&src) {
+                        Operand::Feed(f)
+                    } else {
+                        let w = *weight_index.entry(src).or_insert_with(|| {
+                            let t = graph
+                                .param(src)
+                                .cloned()
+                                .unwrap_or_else(|| Tensor::zeros(node_shape(graph, src)));
+                            weights.push(t);
+                            weight_ids.push(src);
+                            weights.len() - 1
+                        });
+                        Operand::Weight(w)
+                    }
+                })
+                .collect();
+
+            // In-place epilogue: first operand is a slot value that dies
+            // right here and no other operand aliases the same slot.
+            let dies_here = |src: NodeId| last_use.get(&src) == Some(&k);
+            let in_place_slot = if in_place_capable(&node.op) {
+                match (node.inputs.first(), inputs.first()) {
+                    (Some(&src0), Some(&Operand::Slot(s)))
+                        if dies_here(src0)
+                            && slot_shapes[s].volume() == node.shape.volume()
+                            && !inputs[1..].contains(&Operand::Slot(s)) =>
+                    {
+                        Some(s)
+                    }
+                    _ => None,
+                }
+            } else {
+                None
+            };
+
+            let (out, in_place) = match in_place_slot {
+                Some(s) => {
+                    in_place_ops += 1;
+                    (s, true)
+                }
+                None => {
+                    let slot = match free.get_mut(&node.shape).and_then(Vec::pop) {
+                        Some(s) => {
+                            reused_slots += 1;
+                            s
+                        }
+                        None => {
+                            slot_shapes.push(node.shape.clone());
+                            slot_shapes.len() - 1
+                        }
+                    };
+                    (slot, false)
+                }
+            };
+            slot_of.insert(id, out);
+
+            // Release dying input slots *after* the output was assigned so
+            // a non-in-place op never aliases its own input. The in-place
+            // slot itself was consumed, not freed.
+            let mut freed: Vec<usize> = Vec::new();
+            for &src in &node.inputs {
+                if let Some(&s) = slot_of.get(&src) {
+                    if src != id && dies_here(src) && s != out && !freed.contains(&s) {
+                        free.entry(slot_shapes[s].clone()).or_default().push(s);
+                        freed.push(s);
+                    }
+                }
+            }
+
+            instrs.push(Instr {
+                node: id,
+                op: node.op.clone(),
+                inputs,
+                out,
+                in_place,
+            });
+        }
+
+        let out_slots: Vec<(NodeId, usize)> = outputs.iter().map(|&o| (o, slot_of[&o])).collect();
+        let planned_peak_bytes: usize = slot_shapes.iter().map(Shape::byte_size).sum();
+        let naive_peak_bytes: usize = node_ids
+            .iter()
+            .map(|&id| graph.node(id).shape.byte_size())
+            .sum();
+        let plan = MemoryPlan {
+            slot_shapes,
+            planned_peak_bytes,
+            naive_peak_bytes,
+            in_place_ops,
+            reused_slots,
+        };
+        let fingerprint = tape_fingerprint(&instrs, &plan, &out_slots);
+        ExecutableTape {
+            instrs,
+            weights,
+            weight_ids,
+            feed_ids: boundary_inputs.to_vec(),
+            feed_shapes: boundary_inputs
+                .iter()
+                .map(|&id| node_shape(graph, id))
+                .collect(),
+            outputs: out_slots,
+            plan,
+            fingerprint,
+        }
+    }
+}
+
+impl ExecutableTape {
+    /// Execute with a fresh arena (convenience; allocates the slot slab).
+    pub fn execute(
+        &self,
+        env: &HashMap<NodeId, Tensor>,
+    ) -> Result<HashMap<NodeId, Tensor>, GraphError> {
+        let mut arena = TapeArena::for_tape(self);
+        self.execute_with(env, &mut arena)
+    }
+
+    /// Execute into `arena`, which must have been built for this tape
+    /// (same fingerprint). `env` must hold a tensor per boundary input.
+    /// Returns the escaping values keyed by node id; those tensors share
+    /// the arena's buffers (zero-copy) until the next execution refreshes
+    /// the slots they occupy.
+    pub fn execute_with(
+        &self,
+        env: &HashMap<NodeId, Tensor>,
+        arena: &mut TapeArena,
+    ) -> Result<HashMap<NodeId, Tensor>, GraphError> {
+        if arena.fingerprint != self.fingerprint {
+            return Err(TensorError::InvalidArgument {
+                op: "tape",
+                msg: "arena fingerprint does not match tape".into(),
+            }
+            .into());
+        }
+        let mut feeds: Vec<&Tensor> = Vec::with_capacity(self.feed_ids.len());
+        for (i, &id) in self.feed_ids.iter().enumerate() {
+            let t = env.get(&id).ok_or(GraphError::MissingFeed(id))?;
+            if t.len() != self.feed_shapes[i].volume() {
+                return Err(TensorError::LengthMismatch {
+                    expected: self.feed_shapes[i].volume(),
+                    actual: t.len(),
+                }
+                .into());
+            }
+            feeds.push(t);
+        }
+        for instr in &self.instrs {
+            self.run_instr(instr, &feeds, arena)?;
+        }
+        let mut result: HashMap<NodeId, Tensor> = HashMap::with_capacity(self.outputs.len());
+        for &(id, slot) in &self.outputs {
+            let t = Tensor::from_arc(
+                self.plan.slot_shapes[slot].clone(),
+                Arc::clone(&arena.slots[slot]),
+            )
+            .map_err(GraphError::from)?;
+            result.insert(id, t);
+        }
+        Ok(result)
+    }
+
+    fn run_instr(
+        &self,
+        instr: &Instr,
+        feeds: &[&Tensor],
+        arena: &mut TapeArena,
+    ) -> Result<(), GraphError> {
+        let out_len = self.plan.slot_shapes[instr.out].volume();
+        let mut out_arc = arena.take(instr.out);
+        // A slot still shared with a previous run's published output (or
+        // wrongly sized) must be re-allocated before we may write it.
+        if Arc::get_mut(&mut out_arc).map(|b| b.len()) != Some(out_len) {
+            arena.refreshes += 1;
+            out_arc = if instr.in_place && out_arc.len() == out_len {
+                // In-place ops read the old value: copy it into the
+                // fresh buffer.
+                Arc::from(&out_arc[..])
+            } else {
+                zero_arc(out_len)
+            };
+        }
+        let res = {
+            let out = Arc::get_mut(&mut out_arc).expect("refresh made the slot unique");
+            self.dispatch(instr, feeds, arena, out)
+        };
+        arena.slots[instr.out] = out_arc;
+        res.map_err(GraphError::from)
+    }
+
+    /// Raw data + shape of an operand. Never called for the instruction's
+    /// own output slot (the planner forbids that aliasing except via
+    /// `in_place`, which reads `out` directly).
+    fn src<'a>(
+        &'a self,
+        operand: Operand,
+        feeds: &[&'a Tensor],
+        arena: &'a TapeArena,
+    ) -> (&'a [f32], &'a Shape) {
+        match operand {
+            Operand::Slot(s) => (&arena.slots[s], &self.plan.slot_shapes[s]),
+            Operand::Weight(w) => (self.weights[w].data(), self.weights[w].shape()),
+            Operand::Feed(f) => (feeds[f].data(), feeds[f].shape()),
+        }
+    }
+
+    /// Operand as a zero-copy tensor (for ops without an `_into` kernel).
+    fn src_tensor(
+        &self,
+        operand: Operand,
+        feeds: &[&Tensor],
+        arena: &TapeArena,
+    ) -> Result<Tensor, TensorError> {
+        match operand {
+            Operand::Slot(s) => Tensor::from_arc(
+                self.plan.slot_shapes[s].clone(),
+                Arc::clone(&arena.slots[s]),
+            ),
+            Operand::Weight(w) => Ok(self.weights[w].clone()),
+            Operand::Feed(f) => Ok(feeds[f].clone()),
+        }
+    }
+
+    fn dispatch(
+        &self,
+        instr: &Instr,
+        feeds: &[&Tensor],
+        arena: &TapeArena,
+        out: &mut [f32],
+    ) -> Result<(), TensorError> {
+        match &instr.op {
+            Op::Linear => {
+                let (xd, xs) = self.src(instr.inputs[0], feeds, arena);
+                let (wd, ws) = self.src(instr.inputs[1], feeds, arena);
+                let (bd, _) = self.src(instr.inputs[2], feeds, arena);
+                kernels::linear_into(xd, wd, Some(bd), out, xs.dim(0), xs.dim(1), ws.dim(0));
+                Ok(())
+            }
+            Op::MatMul => {
+                let (ad, ashape) = self.src(instr.inputs[0], feeds, arena);
+                let (bd, bshape) = self.src(instr.inputs[1], feeds, arena);
+                kernels::matmul_into(ad, bd, out, ashape.dim(0), ashape.dim(1), bshape.dim(1));
+                Ok(())
+            }
+            Op::Conv2d {
+                stride,
+                padding,
+                bias,
+            } => {
+                let x = self.src_tensor(instr.inputs[0], feeds, arena)?;
+                let w = self.src_tensor(instr.inputs[1], feeds, arena)?;
+                let b = if *bias {
+                    Some(self.src_tensor(instr.inputs[2], feeds, arena)?)
+                } else {
+                    None
+                };
+                kernels::conv2d_into(&x, &w, b.as_ref(), *stride, *padding, out)
+            }
+            Op::Relu | Op::Sigmoid | Op::Tanh | Op::Gelu => {
+                let u = match instr.op {
+                    Op::Relu => UnaryOp::Relu,
+                    Op::Sigmoid => UnaryOp::Sigmoid,
+                    Op::Tanh => UnaryOp::Tanh,
+                    _ => UnaryOp::Gelu,
+                };
+                if instr.in_place {
+                    kernels::unary_inplace(u, out);
+                } else {
+                    let (xd, _) = self.src(instr.inputs[0], feeds, arena);
+                    kernels::unary_into(u, xd, out);
+                }
+                Ok(())
+            }
+            Op::Scale { factor } => {
+                if instr.in_place {
+                    kernels::scale_inplace(out, *factor);
+                } else {
+                    let (xd, _) = self.src(instr.inputs[0], feeds, arena);
+                    kernels::scale_into(xd, *factor, out);
+                }
+                Ok(())
+            }
+            Op::Add | Op::Sub | Op::Mul => {
+                let (bd, _) = self.src(instr.inputs[1], feeds, arena);
+                if instr.in_place {
+                    match instr.op {
+                        Op::Add => kernels::add_inplace(out, bd),
+                        Op::Sub => kernels::sub_inplace(out, bd),
+                        _ => kernels::mul_inplace(out, bd),
+                    }
+                } else {
+                    let (ad, _) = self.src(instr.inputs[0], feeds, arena);
+                    match instr.op {
+                        Op::Add => kernels::add_into(ad, bd, out),
+                        Op::Sub => kernels::sub_into(ad, bd, out),
+                        _ => kernels::mul_into(ad, bd, out),
+                    }
+                }
+                Ok(())
+            }
+            Op::BiasAdd => {
+                let (bd, _) = self.src(instr.inputs[1], feeds, arena);
+                if instr.in_place {
+                    kernels::bias_add_inplace(out, bd);
+                } else {
+                    let (xd, _) = self.src(instr.inputs[0], feeds, arena);
+                    kernels::bias_add_into(xd, bd, out);
+                }
+                Ok(())
+            }
+            // Every other op keeps its allocating kernel; inputs are
+            // wrapped zero-copy and the result is copied into the slot.
+            op => {
+                let tensors: Vec<Tensor> = instr
+                    .inputs
+                    .iter()
+                    .map(|&o| self.src_tensor(o, feeds, arena))
+                    .collect::<Result<_, _>>()?;
+                let refs: Vec<&Tensor> = tensors.iter().collect();
+                let t = op.execute(&refs)?;
+                out.copy_from_slice(t.data());
+                Ok(())
+            }
+        }
+    }
+}
+
+fn node_shape(graph: &Graph, id: NodeId) -> Shape {
+    graph.node(id).shape.clone()
+}
+
+/// FNV-style fold over the tape structure (mirrors `duet_ir::fingerprint`).
+fn tape_fingerprint(instrs: &[Instr], plan: &MemoryPlan, outputs: &[(NodeId, usize)]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut fold = |v: u64| {
+        h ^= v;
+        h = h.wrapping_mul(PRIME);
+    };
+    for i in instrs {
+        fold(i.node as u64);
+        for b in i.op.name().bytes() {
+            fold(b as u64);
+        }
+        for op in &i.inputs {
+            match *op {
+                Operand::Slot(s) => fold(0x1000_0000 | s as u64),
+                Operand::Weight(w) => fold(0x2000_0000 | w as u64),
+                Operand::Feed(f) => fold(0x3000_0000 | f as u64),
+            }
+        }
+        fold(i.out as u64);
+        fold(i.in_place as u64);
+    }
+    for s in &plan.slot_shapes {
+        for &d in s.dims() {
+            fold(d as u64);
+        }
+        fold(u64::MAX); // shape separator
+    }
+    for &(id, s) in outputs {
+        fold(id as u64);
+        fold(s as u64);
+    }
+    h
+}

@@ -18,9 +18,12 @@
 //! latency distributions (Fig. 11/12).
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use duet_analysis::LintConfig;
-use duet_compiler::{CompileError, CompileOptions, CompiledSubgraph, Compiler};
+use duet_compiler::{
+    ArenaPool, ArenaPoolStats, CompileError, CompileOptions, CompiledSubgraph, Compiler,
+};
 use duet_device::{DeviceKind, SystemModel};
 use duet_ir::{Graph, GraphError, NodeId};
 use duet_runtime::{
@@ -235,6 +238,7 @@ impl DuetBuilder {
             allow_fallback: self.allow_fallback,
             min_gain: self.min_gain,
             batch,
+            arenas: Arc::new(ArenaPool::new()),
         })
     }
 
@@ -314,6 +318,7 @@ impl DuetBuilder {
             allow_fallback: self.allow_fallback,
             min_gain: self.min_gain,
             batch,
+            arenas: Arc::new(ArenaPool::new()),
         })
     }
 }
@@ -336,6 +341,9 @@ pub struct Duet {
     allow_fallback: bool,
     min_gain: f64,
     batch: usize,
+    /// Tape-arena pool shared by every executor this engine creates, so
+    /// repeated inferences recycle slot buffers instead of allocating.
+    arenas: Arc<ArenaPool>,
 }
 
 impl Duet {
@@ -398,7 +406,21 @@ impl Duet {
         &self,
         feeds: &HashMap<NodeId, Tensor>,
     ) -> Result<duet_runtime::executor::ExecutionOutcome, GraphError> {
-        HeterogeneousExecutor::new(&self.graph, &self.placed, self.system.clone()).run(feeds)
+        self.executor_with(self.system.clone()).run(feeds)
+    }
+
+    /// Build a pooled executor over this engine's schedule under an
+    /// arbitrary system model (duet-serve runs against the *deployed*
+    /// model, which may drift from the one the plan was made with).
+    /// Arenas come from the engine's shared pool, so steady-state
+    /// inference reuses slot buffers across requests.
+    pub fn executor_with(&self, system: SystemModel) -> HeterogeneousExecutor<'_> {
+        HeterogeneousExecutor::new(&self.graph, &self.placed, system).with_arena_pool(&self.arenas)
+    }
+
+    /// Arena-pool checkout statistics (created vs. reused).
+    pub fn arena_stats(&self) -> ArenaPoolStats {
+        self.arenas.stats()
     }
 
     /// Execute one inference and also record an [`ExecutionWitness`] —
@@ -416,8 +438,7 @@ impl Duet {
         ),
         GraphError,
     > {
-        HeterogeneousExecutor::new(&self.graph, &self.placed, self.system.clone())
-            .run_witnessed(feeds)
+        self.executor_with(self.system.clone()).run_witnessed(feeds)
     }
 
     /// Measure the latency distribution over repeated (noisy, seeded)
@@ -521,6 +542,7 @@ impl Duet {
             allow_fallback: self.allow_fallback,
             min_gain: self.min_gain,
             batch: self.batch,
+            arenas: Arc::new(ArenaPool::new()),
         }
     }
 
@@ -540,6 +562,8 @@ impl Duet {
                 input_bytes: u.profile.input_bytes,
                 output_bytes: u.profile.output_bytes,
                 kernels: u.profile.kernel_count,
+                planned_peak_bytes: u.sg.tape.plan.planned_peak_bytes,
+                naive_peak_bytes: u.sg.tape.plan.naive_peak_bytes,
             })
             .collect();
         PlacementReport {
@@ -627,6 +651,23 @@ mod tests {
         let want = duet.graph().eval(&feeds).unwrap();
         let out_id = duet.graph().outputs()[0];
         assert!(outcome.outputs[&out_id].approx_eq(&want[0], 1e-5));
+    }
+
+    #[test]
+    fn arena_pool_recycles_across_runs() {
+        let g = wide_and_deep(&WideAndDeepConfig::small());
+        let duet = Duet::builder().no_fallback().build(&g).unwrap();
+        let feeds = input_feeds(duet.graph(), 3);
+        for _ in 0..3 {
+            duet.run(&feeds).unwrap();
+        }
+        let stats = duet.arena_stats();
+        assert!(stats.created > 0, "pool never created an arena");
+        assert!(
+            stats.reused > 0,
+            "repeated runs never recycled an arena (created {})",
+            stats.created
+        );
     }
 
     #[test]

@@ -21,6 +21,10 @@ pub struct SubgraphRow {
     pub output_bytes: f64,
     /// Kernel launches after fusion.
     pub kernels: usize,
+    /// Memory-planner accounting: bytes the reusable slot set occupies…
+    pub planned_peak_bytes: usize,
+    /// …vs. what a one-buffer-per-value interpreter would hold live.
+    pub naive_peak_bytes: usize,
 }
 
 /// Full placement report for one engine build.
@@ -59,13 +63,13 @@ impl std::fmt::Display for PlacementReport {
         writeln!(f, "model: {}", self.model)?;
         writeln!(
             f,
-            "{:<16} {:>5} {:>10} {:>12} {:>12} {:>8} {:>10}",
-            "subgraph", "phase", "type", "cpu (ms)", "gpu (ms)", "device", "kernels"
+            "{:<16} {:>5} {:>10} {:>12} {:>12} {:>8} {:>10} {:>10}",
+            "subgraph", "phase", "type", "cpu (ms)", "gpu (ms)", "device", "kernels", "mem (KB)"
         )?;
         for r in &self.subgraphs {
             writeln!(
                 f,
-                "{:<16} {:>5} {:>10} {:>12.3} {:>12.3} {:>8} {:>10}",
+                "{:<16} {:>5} {:>10} {:>12.3} {:>12.3} {:>8} {:>10} {:>10}",
                 r.name,
                 r.phase,
                 match r.kind {
@@ -75,7 +79,12 @@ impl std::fmt::Display for PlacementReport {
                 r.cpu_us / 1e3,
                 r.gpu_us / 1e3,
                 r.device.to_string(),
-                r.kernels
+                r.kernels,
+                format!(
+                    "{:.1}/{:.1}",
+                    r.planned_peak_bytes as f64 / 1024.0,
+                    r.naive_peak_bytes as f64 / 1024.0
+                )
             )?;
         }
         writeln!(
@@ -114,6 +123,8 @@ mod tests {
                     input_bytes: 1024.0,
                     output_bytes: 256.0,
                     kernels: 400,
+                    planned_peak_bytes: 2048,
+                    naive_peak_bytes: 4096,
                 },
                 SubgraphRow {
                     name: "cnn".into(),
@@ -125,6 +136,8 @@ mod tests {
                     input_bytes: 600_000.0,
                     output_bytes: 2048.0,
                     kernels: 21,
+                    planned_peak_bytes: 100_000,
+                    naive_peak_bytes: 300_000,
                 },
             ],
             latency_us: 2600.0,

@@ -27,6 +27,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Sender};
+use duet_compiler::ArenaPool;
 use duet_device::{DeviceKind, SystemModel};
 use duet_ir::{Graph, GraphError, NodeId, Op};
 use duet_tensor::Tensor;
@@ -66,6 +67,7 @@ pub struct HeterogeneousExecutor<'g> {
     placed: &'g [Placed],
     system: SystemModel,
     delays: Option<DelayInjection>,
+    pool: Option<&'g ArenaPool>,
 }
 
 impl<'g> HeterogeneousExecutor<'g> {
@@ -76,6 +78,7 @@ impl<'g> HeterogeneousExecutor<'g> {
             placed,
             system,
             delays: None,
+            pool: None,
         }
     }
 
@@ -83,6 +86,13 @@ impl<'g> HeterogeneousExecutor<'g> {
     /// (interleaving stress testing; virtual clocks are unaffected).
     pub fn with_delays(mut self, delays: DelayInjection) -> Self {
         self.delays = Some(delays);
+        self
+    }
+
+    /// Check tape arenas out of `pool` instead of allocating slot slabs
+    /// per run — the steady-state serving path.
+    pub fn with_arena_pool(mut self, pool: &'g ArenaPool) -> Self {
+        self.pool = Some(pool);
         self
     }
 
@@ -163,8 +173,11 @@ impl<'g> HeterogeneousExecutor<'g> {
         }
         let pending: Vec<AtomicUsize> = deps.iter().map(|d| AtomicUsize::new(d.len())).collect();
 
-        // Shared state.
-        let values: Mutex<HashMap<NodeId, Tensor>> = Mutex::new(feeds.cloned().unwrap_or_default());
+        // Shared state. The store holds only cross-subgraph intermediates;
+        // feeds are immutable for the whole run and are read lock-free
+        // straight from the caller's map (cloning the feed map per run was
+        // a full HashMap rebuild on every inference).
+        let values: Mutex<HashMap<NodeId, Tensor>> = Mutex::new(HashMap::new());
         let numerics = feeds.is_some();
         let finish_us: Vec<Mutex<f64>> = (0..n).map(|_| Mutex::new(0.0)).collect();
         let error: Mutex<Option<GraphError>> = Mutex::new(None);
@@ -288,16 +301,31 @@ impl<'g> HeterogeneousExecutor<'g> {
                         // the shared store — cloning the whole map would be
                         // O(n²) traffic on deep graphs.
                         if numerics {
+                            let feed_map = feeds.expect("numerics implies feeds");
                             let env: HashMap<NodeId, Tensor> = {
                                 let store = values.lock();
                                 placed
                                     .sg
                                     .inputs
                                     .iter()
-                                    .filter_map(|&id| store.get(&id).map(|t| (id, t.clone())))
+                                    .filter_map(|&id| {
+                                        store
+                                            .get(&id)
+                                            .or_else(|| feed_map.get(&id))
+                                            .map(|t| (id, t.clone()))
+                                    })
                                     .collect()
                             };
-                            match placed.sg.execute(self.graph, &env) {
+                            let result = match self.pool {
+                                Some(pool) => {
+                                    let mut arena = pool.checkout(&placed.sg.tape);
+                                    let r = placed.sg.execute_with_arena(&env, &mut arena);
+                                    pool.give_back(arena);
+                                    r
+                                }
+                                None => placed.sg.execute(self.graph, &env),
+                            };
+                            match result {
                                 Ok(outs) => {
                                     values.lock().extend(outs);
                                 }

@@ -24,7 +24,6 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 use duet_device::SystemModel;
-use duet_runtime::HeterogeneousExecutor;
 use duet_tensor::Tensor;
 
 use crate::batch::{merge_feeds, split_outputs};
@@ -259,10 +258,11 @@ impl ServeServer {
         let variant = handle.cache.get_or_build(1);
         let merged = merge_feeds(variant.duet.graph(), &[feeds])?;
         let system = (*handle.system.load()).clone();
-        let outcome =
-            HeterogeneousExecutor::new(variant.duet.graph(), variant.duet.placed(), system)
-                .run(&merged)
-                .map_err(|e| ServeError::Exec(e.to_string()))?;
+        let outcome = variant
+            .duet
+            .executor_with(system)
+            .run(&merged)
+            .map_err(|e| ServeError::Exec(e.to_string()))?;
         let mut split = split_outputs(variant.duet.graph(), &outcome.outputs, 1)?;
         Ok(split.pop().expect("one request, one output map"))
     }
@@ -282,10 +282,11 @@ impl ServeServer {
         let feeds = handle.cache.spec().request_feeds(seed);
         let merged = merge_feeds(variant.duet.graph(), &[&feeds])?;
         let system = (*handle.system.load()).clone();
-        let (_, witness) =
-            HeterogeneousExecutor::new(variant.duet.graph(), variant.duet.placed(), system.clone())
-                .run_witnessed(&merged)
-                .map_err(|e| ServeError::Exec(e.to_string()))?;
+        let (_, witness) = variant
+            .duet
+            .executor_with(system.clone())
+            .run_witnessed(&merged)
+            .map_err(|e| ServeError::Exec(e.to_string()))?;
         Ok(duet_analysis::check_witness(
             variant.duet.graph(),
             variant.duet.placed(),
@@ -404,13 +405,9 @@ fn execute_chunk(
     // Execute through the *deployed* system model, not the one the plan
     // was built against — that gap is exactly what the drift monitor
     // measures.
-    let outcome = match HeterogeneousExecutor::new(
-        variant.duet.graph(),
-        variant.duet.placed(),
-        deployed.clone(),
-    )
-    .run(&feeds)
-    {
+    // The engine-owned arena pool makes this steady-state path recycle
+    // its tape buffers across requests.
+    let outcome = match variant.duet.executor_with(deployed.clone()).run(&feeds) {
         Ok(o) => o,
         Err(e) => return fail_all(chunk, ServeError::Exec(e.to_string())),
     };

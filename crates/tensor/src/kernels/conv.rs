@@ -52,13 +52,47 @@ pub fn conv2d(
     }
     let oh = (h + 2 * padding - kh) / stride + 1;
     let ow = (w + 2 * padding - kw) / stride + 1;
+    let mut out = vec![0.0f32; n * c_out * oh * ow];
+    conv2d_into(x, weight, bias, stride, padding, &mut out)?;
+    Tensor::from_vec(vec![n, c_out, oh, ow], out)
+}
+
+/// [`conv2d`] into a caller-provided buffer (`out` is overwritten; len
+/// `n * c_out * oh * ow`). Same im2col + blocked-GEMM lowering, so the
+/// bytes written are identical to the allocating entry point.
+pub fn conv2d_into(
+    x: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    stride: usize,
+    padding: usize,
+    out: &mut [f32],
+) -> Result<(), TensorError> {
+    x.shape().expect_rank("conv2d", 4)?;
+    weight.shape().expect_rank("conv2d", 4)?;
+    let (n, c_in, h, w) = dims4(x);
+    let (c_out, c_in2, kh, kw) = dims4(weight);
+    if stride == 0 || c_in != c_in2 || h + 2 * padding < kh || w + 2 * padding < kw {
+        return Err(TensorError::InvalidArgument {
+            op: "conv2d",
+            msg: "bad stride, channel or kernel geometry".into(),
+        });
+    }
+    let oh = (h + 2 * padding - kh) / stride + 1;
+    let ow = (w + 2 * padding - kw) / stride + 1;
     let xd = x.data();
     let wd = weight.data();
     let bd = bias.map(Tensor::data);
 
     let patch = c_in * kh * kw;
     let opix = oh * ow;
-    let mut out = vec![0.0f32; n * c_out * opix];
+    if out.len() != n * c_out * opix {
+        return Err(TensorError::LengthMismatch {
+            expected: n * c_out * opix,
+            actual: out.len(),
+        });
+    }
+    out.fill(0.0);
     // One im2col buffer + GEMM per image; images are processed in parallel.
     out.par_chunks_mut(c_out * opix)
         .enumerate()
@@ -77,7 +111,7 @@ pub fn conv2d(
                 }
             }
         });
-    Tensor::from_vec(vec![n, c_out, oh, ow], out)
+    Ok(())
 }
 
 #[allow(clippy::too_many_arguments)]

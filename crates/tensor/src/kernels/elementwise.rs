@@ -41,6 +41,105 @@ impl UnaryOp {
     }
 }
 
+/// Apply a unary operator into a caller-provided buffer (same length).
+pub fn unary_into(op: UnaryOp, x: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(x.len(), out.len());
+    for (o, &v) in out.iter_mut().zip(x.iter()) {
+        *o = op.apply(v);
+    }
+}
+
+/// Apply a unary operator in place — the tape executor's epilogue path
+/// when the input value dies at this instruction.
+pub fn unary_inplace(op: UnaryOp, buf: &mut [f32]) {
+    for v in buf.iter_mut() {
+        *v = op.apply(*v);
+    }
+}
+
+/// `out = x * s` into a caller-provided buffer.
+pub fn scale_into(x: &[f32], s: f32, out: &mut [f32]) {
+    debug_assert_eq!(x.len(), out.len());
+    for (o, &v) in out.iter_mut().zip(x.iter()) {
+        *o = v * s;
+    }
+}
+
+/// `buf *= s` in place.
+pub fn scale_inplace(buf: &mut [f32], s: f32) {
+    for v in buf.iter_mut() {
+        *v *= s;
+    }
+}
+
+/// `out = a + b` into a caller-provided buffer (equal lengths).
+pub fn add_into(a: &[f32], b: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert_eq!(a.len(), out.len());
+    for ((o, &x), &y) in out.iter_mut().zip(a.iter()).zip(b.iter()) {
+        *o = x + y;
+    }
+}
+
+/// `out = a - b` into a caller-provided buffer (equal lengths).
+pub fn sub_into(a: &[f32], b: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert_eq!(a.len(), out.len());
+    for ((o, &x), &y) in out.iter_mut().zip(a.iter()).zip(b.iter()) {
+        *o = x - y;
+    }
+}
+
+/// `out = a * b` into a caller-provided buffer (equal lengths).
+pub fn mul_into(a: &[f32], b: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert_eq!(a.len(), out.len());
+    for ((o, &x), &y) in out.iter_mut().zip(a.iter()).zip(b.iter()) {
+        *o = x * y;
+    }
+}
+
+/// `buf = buf ⊕ b` in place for add/sub/mul (first operand aliased).
+pub fn add_inplace(buf: &mut [f32], b: &[f32]) {
+    debug_assert_eq!(buf.len(), b.len());
+    for (x, &y) in buf.iter_mut().zip(b.iter()) {
+        *x += y;
+    }
+}
+
+/// In-place elementwise subtraction (first operand aliased).
+pub fn sub_inplace(buf: &mut [f32], b: &[f32]) {
+    debug_assert_eq!(buf.len(), b.len());
+    for (x, &y) in buf.iter_mut().zip(b.iter()) {
+        *x -= y;
+    }
+}
+
+/// In-place elementwise multiplication (first operand aliased).
+pub fn mul_inplace(buf: &mut [f32], b: &[f32]) {
+    debug_assert_eq!(buf.len(), b.len());
+    for (x, &y) in buf.iter_mut().zip(b.iter()) {
+        *x *= y;
+    }
+}
+
+/// `out = x + bias` (bias broadcast over the trailing dim) into a buffer.
+pub fn bias_add_into(x: &[f32], bias: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(x.len(), out.len());
+    let c = bias.len();
+    for (i, (o, &v)) in out.iter_mut().zip(x.iter()).enumerate() {
+        *o = v + bias[i % c];
+    }
+}
+
+/// `buf += bias` (broadcast over the trailing dim) in place.
+pub fn bias_add_inplace(buf: &mut [f32], bias: &[f32]) {
+    let c = bias.len();
+    for (i, v) in buf.iter_mut().enumerate() {
+        *v += bias[i % c];
+    }
+}
+
 /// `max(x, 0)` elementwise.
 pub fn relu(x: &Tensor) -> Tensor {
     UnaryOp::Relu.eval(x)

@@ -32,6 +32,55 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
     Tensor::from_vec(vec![m, n], out)
 }
 
+/// `matmul` into a caller-provided buffer (`out` is overwritten, len m*n).
+///
+/// Same blocked kernel and reduction order as [`matmul`], so the bytes
+/// written are identical; the only difference is who owns the buffer.
+pub fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    out.fill(0.0);
+    gemm_into(a, b, out, m, k, n);
+}
+
+/// `linear` into a caller-provided buffer (`out` is overwritten, len m*nout).
+///
+/// `x: [m, kin]`, `w: [nout, kin]`, `bias: [nout]`. Shares the per-element
+/// dot-product loop with [`linear`], so results are bit-identical.
+pub fn linear_into(
+    x: &[f32],
+    w: &[f32],
+    bias: Option<&[f32]>,
+    out: &mut [f32],
+    m: usize,
+    kin: usize,
+    nout: usize,
+) {
+    debug_assert_eq!(x.len(), m * kin);
+    debug_assert_eq!(w.len(), kin * nout);
+    debug_assert_eq!(out.len(), m * nout);
+    let row = |i: usize, orow: &mut [f32]| {
+        let xrow = &x[i * kin..(i + 1) * kin];
+        for (j, o) in orow.iter_mut().enumerate() {
+            let wrow = &w[j * kin..(j + 1) * kin];
+            let mut acc = 0.0f32;
+            for t in 0..kin {
+                acc += xrow[t] * wrow[t];
+            }
+            *o = acc + bias.map_or(0.0, |b| b[j]);
+        }
+    };
+    if m <= 1 {
+        // Batch-1 inference: skip the parallel split (and the chunk list it
+        // allocates) entirely — the hot path for the serve arena.
+        if m == 1 {
+            row(0, out);
+        }
+        return;
+    }
+    out.par_chunks_mut(nout)
+        .enumerate()
+        .for_each(|(i, orow)| row(i, orow));
+}
+
 /// `y = x @ w^T + bias` where `x: [m, in]`, `w: [out, in]`, `bias: [out]`.
 ///
 /// This is the fully-connected layer layout used by the model zoo (PyTorch
@@ -57,22 +106,17 @@ pub fn linear(x: &Tensor, w: &Tensor, bias: Option<&Tensor>) -> Result<Tensor, T
             });
         }
     }
-    let xd = x.data();
-    let wd = w.data();
-    let bd = bias.map(Tensor::data);
     let mut out = vec![0.0f32; m * nout];
     // x @ w^T: each output row is a series of dot products over rows of w.
-    out.par_chunks_mut(nout).enumerate().for_each(|(i, orow)| {
-        let xrow = &xd[i * kin..(i + 1) * kin];
-        for (j, o) in orow.iter_mut().enumerate() {
-            let wrow = &wd[j * kin..(j + 1) * kin];
-            let mut acc = 0.0f32;
-            for t in 0..kin {
-                acc += xrow[t] * wrow[t];
-            }
-            *o = acc + bd.map_or(0.0, |b| b[j]);
-        }
-    });
+    linear_into(
+        x.data(),
+        w.data(),
+        bias.map(Tensor::data),
+        &mut out,
+        m,
+        kin,
+        nout,
+    );
     Tensor::from_vec(vec![m, nout], out)
 }
 
@@ -110,29 +154,42 @@ pub(crate) fn gemm_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize,
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(c.len(), m * n);
+    if m <= ROW_BLOCK {
+        // Single row block: run it inline instead of through the parallel
+        // split, whose chunk list costs an allocation. The per-element
+        // reduction order is unchanged.
+        gemm_block(a, b, c, 0, m, k, n);
+        return;
+    }
     c.par_chunks_mut(ROW_BLOCK * n)
         .enumerate()
         .for_each(|(blk, cblk)| {
             let i0 = blk * ROW_BLOCK;
             let rows = cblk.len() / n.max(1);
-            for kk in (0..k).step_by(K_BLOCK) {
-                let kend = (kk + K_BLOCK).min(k);
-                for di in 0..rows {
-                    let i = i0 + di;
-                    let crow = &mut cblk[di * n..(di + 1) * n];
-                    for t in kk..kend {
-                        let aval = a[i * k + t];
-                        if aval == 0.0 {
-                            continue;
-                        }
-                        let brow = &b[t * n..(t + 1) * n];
-                        for (cv, bv) in crow.iter_mut().zip(brow.iter()) {
-                            *cv += aval * bv;
-                        }
-                    }
+            gemm_block(a, b, cblk, i0, rows, k, n);
+        });
+}
+
+/// One ROW_BLOCK-tall tile of the blocked GEMM: rows `[i0, i0+rows)` of A
+/// into `cblk`, k-blocked, reduction strictly k-ascending per element.
+fn gemm_block(a: &[f32], b: &[f32], cblk: &mut [f32], i0: usize, rows: usize, k: usize, n: usize) {
+    for kk in (0..k).step_by(K_BLOCK) {
+        let kend = (kk + K_BLOCK).min(k);
+        for di in 0..rows {
+            let i = i0 + di;
+            let crow = &mut cblk[di * n..(di + 1) * n];
+            for t in kk..kend {
+                let aval = a[i * k + t];
+                if aval == 0.0 {
+                    continue;
+                }
+                let brow = &b[t * n..(t + 1) * n];
+                for (cv, bv) in crow.iter_mut().zip(brow.iter()) {
+                    *cv += aval * bv;
                 }
             }
-        });
+        }
+    }
 }
 
 #[cfg(test)]

@@ -16,9 +16,15 @@ mod rnn;
 mod util;
 
 pub use attention::{multi_head_attention, scaled_dot_attention};
-pub use conv::{avg_pool2d, batch_norm2d, conv2d, depthwise_conv2d, global_avg_pool2d, max_pool2d};
-pub use elementwise::{add, bias_add, gelu, mul, relu, scale, sigmoid, sub, tanh, UnaryOp};
-pub use gemm::{batched_matmul, linear, matmul};
+pub use conv::{
+    avg_pool2d, batch_norm2d, conv2d, conv2d_into, depthwise_conv2d, global_avg_pool2d, max_pool2d,
+};
+pub use elementwise::{
+    add, add_inplace, add_into, bias_add, bias_add_inplace, bias_add_into, gelu, mul, mul_inplace,
+    mul_into, relu, scale, scale_inplace, scale_into, sigmoid, sub, sub_inplace, sub_into, tanh,
+    unary_inplace, unary_into, UnaryOp,
+};
+pub use gemm::{batched_matmul, linear, linear_into, matmul, matmul_into};
 pub use linalg::{
     concat, embedding, reduce_max, reduce_mean, reduce_sum, slice_rows, split, transpose2d,
 };

@@ -36,6 +36,26 @@ impl Tensor {
         })
     }
 
+    /// Build a tensor that shares an existing buffer without copying.
+    ///
+    /// This is how the tape executor publishes arena slots as output
+    /// tensors: the `Arc` is cloned (refcount bump), not the payload.
+    pub fn from_arc(shape: impl Into<Shape>, data: Arc<[f32]>) -> Result<Self, TensorError> {
+        let shape = shape.into();
+        if shape.volume() != data.len() {
+            return Err(TensorError::LengthMismatch {
+                expected: shape.volume(),
+                actual: data.len(),
+            });
+        }
+        Ok(Tensor { shape, data })
+    }
+
+    /// The shared element buffer itself (O(1) clone handle).
+    pub fn data_arc(&self) -> &Arc<[f32]> {
+        &self.data
+    }
+
     /// A scalar tensor.
     pub fn scalar(value: f32) -> Self {
         Tensor {

@@ -15,9 +15,11 @@
 //!
 //! Per model: the raw graph is verified (`D0xx`), the optimization
 //! pipeline runs with pass-invariant checking forced on (`D1xx`), the
-//! optimized graph is re-verified, and the scheduling decision — a
+//! optimized graph is re-verified, the scheduling decision — a
 //! `--plan` file, or the engine's own freshly exported plan — is linted
-//! (`D2xx`).
+//! (`D2xx`), and every placed subgraph's memory-planned instruction
+//! tape is verified (`D4xx`: coverage, dependency order, live-range
+//! slot overlap, in-place aliasing, shapes, peak accounting).
 //!
 //! The `trace` subcommand is the dynamic counterpart: it builds the
 //! engine, executes one inference on the threaded executor *and* one in
@@ -28,8 +30,8 @@
 //! (load in `chrome://tracing` / Perfetto).
 
 use duet_analysis::{
-    check_agreement, check_optimize, check_witness, lint_plan, verify_graph, LintConfig, Report,
-    WitnessCheckConfig,
+    check_agreement, check_memory_plans, check_optimize, check_witness, lint_plan, verify_graph,
+    LintConfig, Report, WitnessCheckConfig,
 };
 use duet_compiler::CompileOptions;
 use duet_core::{Duet, SchedulePlan};
@@ -110,6 +112,11 @@ fn lint_model(name: &str, opts: &Options) -> Vec<Report> {
                     engine.graph(),
                     &plan.to_facts(),
                     &LintConfig::default(),
+                ));
+                // D4xx: verify every placed subgraph's memory plan.
+                reports.push(check_memory_plans(
+                    engine.graph(),
+                    engine.placed().iter().map(|p| &p.sg),
                 ));
             }
             Err(e) => {
