@@ -34,9 +34,45 @@ step "duet-lint trace over all built-in models (D3xx conformance)"
 cargo run -q --release --bin duet-lint -- trace all
 
 step "duet-serve smoke (low-qps load, zero shed, bit-identity, witness)"
+METRICS_OUT="$(mktemp)"
+trap 'rm -f "$METRICS_OUT"' EXIT
 cargo run -q --release -p duet-serve --bin duet-serve -- \
   --model wide_deep --qps 25 --duration-ms 1200 --max-batch 4 \
-  --no-drift --require-zero-shed
+  --no-drift --require-zero-shed --metrics-out "$METRICS_OUT"
+
+step "prometheus exposition carries every pipeline stage"
+for family in \
+  duet_compile_runs_total \
+  duet_profile_subgraphs_total \
+  duet_sched_corrections_total \
+  duet_sched_moves_accepted_total \
+  duet_exec_runs_total \
+  duet_tape_runs_total \
+  duet_arena_checkouts_total \
+  duet_serve_batches_total \
+  duet_serve_shed_total \
+  duet_serve_queue_depth \
+  duet_serve_batch_size_bucket; do
+  grep -q "^$family" "$METRICS_OUT" \
+    || { echo "FAIL: /metrics family $family missing"; exit 1; }
+done
+echo "all metric families present."
+
+step "merged perfetto trace (duet trace --full) is one valid JSON document"
+TRACE_OUT="$(mktemp --suffix .json)"
+trap 'rm -f "$METRICS_OUT" "$TRACE_OUT"' EXIT
+cargo run -q --release --bin duet -- trace siamese "$TRACE_OUT" --full
+python3 - "$TRACE_OUT" <<'PY'
+import json, sys
+events = json.load(open(sys.argv[1]))
+pids = {e["pid"] for e in events}
+assert pids == {1, 2}, f"expected virtual+wall process lanes, got {pids}"
+assert any(e.get("ph") == "X" for e in events), "no duration slices"
+print(f"trace OK: {len(events)} events across {len(pids)} processes")
+PY
+
+step "telemetry overhead gate (enabled vs disabled, <3% median)"
+cargo run -q --release -p duet-bench --bin duet-telemetry-overhead
 
 echo
 echo "CI gate passed."

@@ -26,6 +26,10 @@ const RUNS: u64 = 64;
 const BUDGET_PER_RUN: u64 = 32;
 
 fn main() {
+    // The budget must hold with telemetry ON: counters are relaxed
+    // atomics and spans go into the pre-sized global ring, so the
+    // instrumented hot path allocates exactly as much as the bare one.
+    duet_telemetry::set_enabled(true);
     let graph = mlp(&MlpConfig {
         batch: 1,
         input: 64,

@@ -185,10 +185,12 @@ impl ArenaPool {
         match pooled {
             Some(a) => {
                 self.reused.fetch_add(1, Ordering::Relaxed);
+                duet_telemetry::registry::ARENA_CHECKOUTS_REUSED.inc();
                 a
             }
             None => {
                 self.created.fetch_add(1, Ordering::Relaxed);
+                duet_telemetry::registry::ARENA_CHECKOUTS_CREATED.inc();
                 TapeArena::for_tape(tape)
             }
         }
@@ -431,6 +433,8 @@ impl ExecutableTape {
             }
             feeds.push(t);
         }
+        duet_telemetry::registry::TAPE_RUNS.inc();
+        duet_telemetry::registry::TAPE_INSTRS.add(self.instrs.len() as u64);
         for instr in &self.instrs {
             self.run_instr(instr, &feeds, arena)?;
         }

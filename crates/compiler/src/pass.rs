@@ -1,6 +1,7 @@
 //! The compiler driver: pass pipeline + lowering entry points.
 
 use duet_ir::{Graph, GraphError, NodeId};
+use duet_telemetry::SpanKind;
 
 use crate::invariants::{self, PassViolation};
 use crate::lower::CompiledSubgraph;
@@ -131,30 +132,59 @@ impl Compiler {
     /// names the offending pass instead of surfacing later as a
     /// mis-profiled schedule or an executor panic.
     pub fn optimize(&self, graph: &Graph) -> Result<(Graph, OptimizeStats), CompileError> {
+        use duet_telemetry::registry as tm;
+        let pipeline_start = duet_telemetry::clock_us();
+        tm::COMPILE_RUNS.inc();
         let mut stats = OptimizeStats {
             nodes_before: graph.len(),
             ..Default::default()
         };
         let mut g = graph.clone();
         if self.options.fold_constants {
+            let t0 = duet_telemetry::clock_us();
             let (g2, n) = passes::fold_constants(&g)?;
             self.verify_pass("fold_constants", &g, &g2, false)?;
             g = g2;
             stats.constants_folded = n;
+            let dur = duet_telemetry::clock_us() - t0;
+            tm::COMPILE_PASS_RUNS_FOLD.inc();
+            tm::COMPILE_PASS_US_FOLD.add_us(dur);
+            tm::COMPILE_PASS_DELTA_FOLD.add(n as u64);
+            duet_telemetry::record_span(SpanKind::PassFoldConstants, n as u64, t0, dur, 0.0, 0.0);
         }
         if self.options.cse {
+            let t0 = duet_telemetry::clock_us();
             let (g2, n) = passes::eliminate_common_subexpressions(&g)?;
             self.verify_pass("cse", &g, &g2, false)?;
             g = g2;
             stats.subexpressions_merged = n;
+            let dur = duet_telemetry::clock_us() - t0;
+            tm::COMPILE_PASS_RUNS_CSE.inc();
+            tm::COMPILE_PASS_US_CSE.add_us(dur);
+            tm::COMPILE_PASS_DELTA_CSE.add(n as u64);
+            duet_telemetry::record_span(SpanKind::PassCse, n as u64, t0, dur, 0.0, 0.0);
         }
         if self.options.dce {
+            let t0 = duet_telemetry::clock_us();
             let (g2, n) = passes::eliminate_dead_code(&g)?;
             self.verify_pass("dce", &g, &g2, true)?;
             g = g2;
             stats.dead_removed = n;
+            let dur = duet_telemetry::clock_us() - t0;
+            tm::COMPILE_PASS_RUNS_DCE.inc();
+            tm::COMPILE_PASS_US_DCE.add_us(dur);
+            tm::COMPILE_PASS_DELTA_DCE.add(n as u64);
+            duet_telemetry::record_span(SpanKind::PassDce, n as u64, t0, dur, 0.0, 0.0);
         }
         stats.nodes_after = g.len();
+        duet_telemetry::record_span(
+            SpanKind::CompileOptimize,
+            stats.nodes_before as u64,
+            pipeline_start,
+            duet_telemetry::clock_us() - pipeline_start,
+            stats.nodes_after as f64,
+            0.0,
+        );
         Ok((g, stats))
     }
 

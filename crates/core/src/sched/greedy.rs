@@ -2,6 +2,7 @@
 
 use duet_device::{DeviceKind, SystemModel};
 use duet_ir::Graph;
+use duet_telemetry::SpanKind;
 
 use super::{placement_latency, SubgraphUnit};
 use crate::partition::PhaseKind;
@@ -73,6 +74,28 @@ pub fn greedy_placement(units: &[SubgraphUnit]) -> Vec<DeviceKind> {
     devices
 }
 
+/// Telemetry payload for one candidate move: encoded identity (single
+/// move `i+1`, pairwise swap `i*1024 + j + 1`), predicted latency, and
+/// the margin vs the epsilon-scaled incumbent (positive = improving).
+fn encode_move(mv: &[usize]) -> u64 {
+    match mv {
+        [i] => *i as u64 + 1,
+        [i, j] => *i as u64 * 1024 + *j as u64 + 1,
+        _ => 0,
+    }
+}
+
+fn record_rejected(encoded: u64, t_new: f64, margin: f64) {
+    duet_telemetry::registry::SCHED_MOVES_REJECTED.inc();
+    duet_telemetry::record_instant(SpanKind::SchedMoveRejected, encoded, t_new, margin);
+}
+
+fn record_accepted(encoded: u64, t_new: f64, margin: f64, gain_us: f64) {
+    duet_telemetry::registry::SCHED_MOVES_ACCEPTED.inc();
+    duet_telemetry::registry::SCHED_ACCEPTED_GAIN_US.observe_us(gain_us);
+    duet_telemetry::record_instant(SpanKind::SchedMoveAccepted, encoded, t_new, margin);
+}
+
 /// Step 3: per-multi-path-phase swap refinement against measured
 /// end-to-end latency.
 pub fn correct(
@@ -81,7 +104,12 @@ pub fn correct(
     system: &SystemModel,
     mut devices: Vec<DeviceKind>,
 ) -> Vec<DeviceKind> {
+    use duet_telemetry::registry as tm;
+    let correction_start = duet_telemetry::clock_us();
+    tm::SCHED_CORRECTIONS.inc();
+    let mut rounds_total = 0u64;
     let mut t_old = placement_latency(graph, units, system, &devices);
+    let t_initial = t_old;
     let phases: Vec<usize> = {
         let mut p: Vec<usize> = units.iter().map(|u| u.phase).collect();
         p.dedup();
@@ -96,7 +124,10 @@ pub fn correct(
         if units[idxs[0]].kind != PhaseKind::MultiPath {
             continue;
         }
-        for _round in 0..MAX_ROUNDS {
+        for round in 0..MAX_ROUNDS {
+            let round_start = duet_telemetry::clock_us();
+            tm::SCHED_ROUNDS.inc();
+            rounds_total += 1;
             // Enumerate single moves and pairwise swaps within the phase
             // ("one of the subgraphs could be empty" — a single move is a
             // swap against the empty subgraph).
@@ -128,17 +159,38 @@ pub fn correct(
                 for &i in &mv {
                     devices[i] = devices[i].other();
                 }
+                tm::SCHED_MOVES_EVALUATED.inc();
+                let margin = t_old * (1.0 - EPS) - t_new;
                 if t_new < t_old * (1.0 - EPS)
                     && best.as_ref().map(|(b, _)| t_new < *b).unwrap_or(true)
                 {
-                    best = Some((t_new, mv));
+                    // The superseded incumbent candidate ends up rejected.
+                    if let Some((b_t, b_mv)) = best.replace((t_new, mv)) {
+                        record_rejected(encode_move(&b_mv), b_t, t_old * (1.0 - EPS) - b_t);
+                    }
+                } else {
+                    record_rejected(encode_move(&mv), t_new, margin);
                 }
             }
+            duet_telemetry::record_span(
+                SpanKind::SchedRound,
+                round as u64,
+                round_start,
+                duet_telemetry::clock_us() - round_start,
+                t_old,
+                0.0,
+            );
             match best {
                 Some((t_new, mv)) => {
                     for &i in &mv {
                         devices[i] = devices[i].other();
                     }
+                    record_accepted(
+                        encode_move(&mv),
+                        t_new,
+                        t_old * (1.0 - EPS) - t_new,
+                        t_old - t_new,
+                    );
                     t_old = t_new;
                 }
                 None => break, // no improving move: converged for this phase
@@ -151,25 +203,57 @@ pub fn correct(
     // its faster device, but a correction run from an arbitrary
     // initialisation (the Random+Correction baseline of §VI-C) must also
     // be able to repair a misplaced sequential phase.
-    for _round in 0..MAX_ROUNDS {
+    for round in 0..MAX_ROUNDS {
+        let round_start = duet_telemetry::clock_us();
+        tm::SCHED_ROUNDS.inc();
+        rounds_total += 1;
         let mut best: Option<(f64, usize)> = None;
         for i in 0..units.len() {
             devices[i] = devices[i].other();
             let t_new = placement_latency(graph, units, system, &devices);
             devices[i] = devices[i].other();
+            tm::SCHED_MOVES_EVALUATED.inc();
+            let margin = t_old * (1.0 - EPS) - t_new;
             if t_new < t_old * (1.0 - EPS) && best.as_ref().map(|(b, _)| t_new < *b).unwrap_or(true)
             {
-                best = Some((t_new, i));
+                if let Some((b_t, b_i)) = best.replace((t_new, i)) {
+                    record_rejected(b_i as u64 + 1, b_t, t_old * (1.0 - EPS) - b_t);
+                }
+            } else {
+                record_rejected(i as u64 + 1, t_new, margin);
             }
         }
+        duet_telemetry::record_span(
+            SpanKind::SchedRound,
+            round as u64,
+            round_start,
+            duet_telemetry::clock_us() - round_start,
+            t_old,
+            0.0,
+        );
         match best {
             Some((t_new, i)) => {
                 devices[i] = devices[i].other();
+                record_accepted(
+                    i as u64 + 1,
+                    t_new,
+                    t_old * (1.0 - EPS) - t_new,
+                    t_old - t_new,
+                );
                 t_old = t_new;
             }
             None => break,
         }
     }
+    tm::SCHED_PREDICTED_LATENCY_US.set(t_old as i64);
+    duet_telemetry::record_span(
+        SpanKind::SchedCorrection,
+        rounds_total,
+        correction_start,
+        duet_telemetry::clock_us() - correction_start,
+        t_initial,
+        t_old,
+    );
     devices
 }
 

@@ -350,6 +350,21 @@ impl<'g> HeterogeneousExecutor<'g> {
                             });
                         }
                         task_counts[device as usize].fetch_add(1, Ordering::Relaxed);
+                        match device {
+                            DeviceKind::Cpu => duet_telemetry::registry::EXEC_SUBGRAPHS_CPU.inc(),
+                            DeviceKind::Gpu => duet_telemetry::registry::EXEC_SUBGRAPHS_GPU.inc(),
+                        }
+                        // Span timestamps are *virtual* µs — the same
+                        // clock the witness records, so span order can be
+                        // checked against witness happens-before.
+                        duet_telemetry::record_span(
+                            duet_telemetry::SpanKind::ExecSubgraph,
+                            i as u64,
+                            start,
+                            exec,
+                            device as u64 as f64,
+                            0.0,
+                        );
 
                         // Trigger consumers whose last dependency this was.
                         for &c in &consumers[i] {
@@ -404,6 +419,15 @@ impl<'g> HeterogeneousExecutor<'g> {
                 outputs.insert(out, v);
             }
         }
+        duet_telemetry::registry::EXEC_RUNS.inc();
+        duet_telemetry::record_span(
+            duet_telemetry::SpanKind::ExecRun,
+            n as u64,
+            0.0,
+            latency,
+            0.0,
+            0.0,
+        );
         Ok(ExecutionOutcome {
             outputs,
             virtual_latency_us: latency,

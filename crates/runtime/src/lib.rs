@@ -41,7 +41,7 @@ pub use sim::{
     SimResult, TimelineEntry,
 };
 pub use stats::LatencyStats;
-pub use trace::{to_chrome_trace, witness_to_chrome_trace};
+pub use trace::{merged_perfetto_trace, to_chrome_trace, witness_to_chrome_trace};
 pub use validate::{validate_schedule, ScheduleError};
 pub use witness::{
     DelayInjection, ExecutionWitness, TransferKind, TriggerEdge, WitnessEvent, WitnessRecorder,

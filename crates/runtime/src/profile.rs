@@ -106,6 +106,8 @@ impl Profiler {
 
     /// Micro-benchmark one compiled subgraph on both devices.
     pub fn profile(&self, graph: &Graph, sg: &CompiledSubgraph) -> SubgraphProfile {
+        use duet_telemetry::registry as tm;
+        let span_start = duet_telemetry::clock_us();
         let run_device = |device: DeviceKind, seed: u64| -> LatencyStats {
             let base = crate::sim::subgraph_exec_time_us(&self.system, device, sg);
             let mut noise = NoiseModel::new(seed);
@@ -113,6 +115,10 @@ impl Profiler {
                 .map(|_| noise.sample(base))
                 .skip(self.warmup)
                 .collect();
+            match device {
+                DeviceKind::Cpu => tm::PROFILE_SAMPLES_CPU.add(samples.len() as u64),
+                DeviceKind::Gpu => tm::PROFILE_SAMPLES_GPU.add(samples.len() as u64),
+            }
             LatencyStats::from_samples(samples)
         };
         // Distinct noise streams per (subgraph, device).
@@ -122,6 +128,15 @@ impl Profiler {
             .fold(0u64, |h, b| h.wrapping_mul(131).wrapping_add(b as u64));
         let cpu_stats = run_device(DeviceKind::Cpu, self.seed ^ tag);
         let gpu_stats = run_device(DeviceKind::Gpu, self.seed ^ tag ^ 0xffff);
+        tm::PROFILE_SUBGRAPHS.inc();
+        duet_telemetry::record_span(
+            duet_telemetry::SpanKind::ProfileSubgraph,
+            tag % 1024,
+            span_start,
+            duet_telemetry::clock_us() - span_start,
+            cpu_stats.mean(),
+            gpu_stats.mean(),
+        );
         SubgraphProfile {
             name: sg.name.clone(),
             cpu_time_us: cpu_stats.mean(),

@@ -44,16 +44,13 @@ impl LatencyStats {
     }
 
     /// Percentile by linear index (nearest-rank method). `q` in `[0, 100]`.
+    ///
+    /// Delegates to [`duet_telemetry::percentile_sorted`] — the one
+    /// shared nearest-rank implementation (including its ulp-epsilon
+    /// rank fix) used by both offline latency summaries and the serving
+    /// metrics.
     pub fn percentile(&self, q: f64) -> f64 {
-        let n = self.sorted.len();
-        // Nearest rank is ⌈q/100 · n⌉, but `q / 100.0` is inexact —
-        // e.g. 99.9/100 · 1000 evaluates to 999.0000000000001 and a bare
-        // ceil would overshoot to rank 1000. Shaving one ulp-scale
-        // epsilon before the ceil restores exact ranks while leaving
-        // genuinely fractional products (which ceil upward regardless)
-        // untouched.
-        let rank = ((q / 100.0) * n as f64 * (1.0 - 1e-12)).ceil() as usize;
-        self.sorted[rank.clamp(1, n) - 1]
+        duet_telemetry::percentile_sorted(&self.sorted, q)
     }
 
     /// Median.

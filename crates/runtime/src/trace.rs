@@ -33,13 +33,17 @@ fn device_tid(device: DeviceKind) -> i64 {
 const TRANSFER_TID: i64 = 3;
 
 fn metadata(process: &str, lanes: &[(i64, &str)]) -> Vec<Value> {
+    metadata_for(1, process, lanes)
+}
+
+fn metadata_for(pid: i64, process: &str, lanes: &[(i64, &str)]) -> Vec<Value> {
     let mut events = vec![json!({
-        "name": "process_name", "ph": "M", "pid": 1, "tid": 0,
+        "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
         "args": {"name": process},
     })];
     for &(tid, name) in lanes {
         events.push(json!({
-            "name": "thread_name", "ph": "M", "pid": 1, "tid": tid,
+            "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
             "args": {"name": name},
         }));
     }
@@ -80,7 +84,11 @@ pub fn to_chrome_trace(process: &str, result: &SimResult) -> String {
 /// the end of the run for the final D2H transfers).
 pub fn witness_to_chrome_trace(process: &str, witness: &ExecutionWitness) -> String {
     let title = format!("{} ({})", process, witness.source);
-    let mut events = metadata(&title, &[(1, "CPU"), (2, "GPU"), (TRANSFER_TID, "PCIe")]);
+    render(witness_events(&title, witness))
+}
+
+fn witness_events(title: &str, witness: &ExecutionWitness) -> Vec<Value> {
+    let mut events = metadata(title, &[(1, "CPU"), (2, "GPU"), (TRANSFER_TID, "PCIe")]);
     // Starts indexed by subgraph so Finish and Transfer events can be
     // matched up and transfers anchored to a timestamp.
     let mut start_at: Vec<Option<f64>> = Vec::new();
@@ -159,6 +167,89 @@ pub fn witness_to_chrome_trace(process: &str, witness: &ExecutionWitness) -> Str
                     },
                 }));
             }
+        }
+    }
+    events
+}
+
+/// Offline-span lane ids within the merged trace's wall-clock process.
+fn stage_tid(stage: &str) -> i64 {
+    match stage {
+        "compile" => 1,
+        "profile" => 2,
+        "schedule" => 3,
+        _ => 4, // serve
+    }
+}
+
+/// The telemetry lane alongside the runtime's CPU/GPU/PCIe lanes.
+const TELEMETRY_TID: i64 = 4;
+
+/// Render the *merged* Perfetto timeline: the witnessed runtime
+/// execution (virtual clock, pid 1: CPU/GPU/PCIe lanes plus a telemetry
+/// dispatch lane) interleaved with the offline pipeline's telemetry
+/// spans (wall clock, pid 2: compile/profile/schedule/serve lanes).
+///
+/// Executor spans share the witness's virtual clock, so they land *on*
+/// the witness slices they describe; offline spans live in a separate
+/// process group because their wall-clock timestamps are not comparable
+/// to virtual microseconds. Zero-duration spans render as instants.
+pub fn merged_perfetto_trace(
+    process: &str,
+    witness: &ExecutionWitness,
+    spans: &[duet_telemetry::Span],
+) -> String {
+    let mut events = Vec::new();
+    events.extend(metadata_for(
+        2,
+        &format!("{process} offline pipeline (wall clock)"),
+        &[
+            (stage_tid("compile"), "compile"),
+            (stage_tid("profile"), "profile"),
+            (stage_tid("schedule"), "schedule"),
+            (stage_tid("serve"), "serve"),
+        ],
+    ));
+    events.extend(witness_events(
+        &format!("{process} runtime (virtual clock)"),
+        witness,
+    ));
+    events.push(json!({
+        "name": "thread_name", "ph": "M", "pid": 1, "tid": TELEMETRY_TID,
+        "args": {"name": "dispatch (telemetry)"},
+    }));
+    for s in spans {
+        let (pid, tid) = if s.kind.stage() == "execute" {
+            (1, TELEMETRY_TID)
+        } else {
+            (2, stage_tid(s.kind.stage()))
+        };
+        let args = json!({
+            "seq": s.seq,
+            "detail": s.detail,
+            "arg0": s.arg0,
+            "arg1": s.arg1,
+        });
+        if s.dur_us > 0.0 {
+            events.push(json!({
+                "name": s.kind.name(),
+                "ph": "X",
+                "pid": pid,
+                "tid": tid,
+                "ts": s.start_us,
+                "dur": s.dur_us,
+                "args": args,
+            }));
+        } else {
+            events.push(json!({
+                "name": s.kind.name(),
+                "ph": "i",
+                "s": "t",
+                "pid": pid,
+                "tid": tid,
+                "ts": s.start_us,
+                "args": args,
+            }));
         }
     }
     render(events)
@@ -297,5 +388,92 @@ mod tests {
         assert_eq!(instants[0]["ts"], 2.0);
         assert_eq!(instants[1]["ts"], 42.0);
         assert!(instants.iter().all(|e| e["tid"] == 3));
+    }
+
+    #[test]
+    fn merged_trace_separates_wall_and_virtual_domains() {
+        use duet_telemetry::{Span, SpanKind};
+        let w = ExecutionWitness {
+            model: "m".into(),
+            source: WitnessSource::Executor,
+            virtual_latency_us: 42.0,
+            events: vec![
+                WitnessEvent::Start {
+                    sg: 0,
+                    name: "sg0".into(),
+                    device: DeviceKind::Cpu,
+                    at_us: 0.0,
+                    triggers: vec![],
+                },
+                WitnessEvent::Finish {
+                    sg: 0,
+                    device: DeviceKind::Cpu,
+                    at_us: 42.0,
+                },
+            ],
+        };
+        let spans = vec![
+            Span {
+                seq: 0,
+                kind: SpanKind::PassCse,
+                detail: 2,
+                start_us: 1000.0,
+                dur_us: 50.0,
+                arg0: 0.0,
+                arg1: 0.0,
+            },
+            Span {
+                seq: 1,
+                kind: SpanKind::SchedMoveAccepted,
+                detail: 5,
+                start_us: 2000.0,
+                dur_us: 0.0,
+                arg0: 123.0,
+                arg1: 1.5,
+            },
+            Span {
+                seq: 2,
+                kind: SpanKind::ExecSubgraph,
+                detail: 0,
+                start_us: 0.0,
+                dur_us: 42.0,
+                arg0: 0.0,
+                arg1: 0.0,
+            },
+        ];
+        let json = merged_perfetto_trace("m", &w, &spans);
+        let parsed: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+        let arr = parsed.as_array().unwrap();
+        // Offline spans live in pid 2, runtime (witness + exec spans) in pid 1.
+        let cse = arr.iter().find(|e| e["name"] == "cse").unwrap();
+        assert_eq!(
+            (cse["pid"].as_i64(), cse["ph"].as_str()),
+            (Some(2), Some("X"))
+        );
+        let mv = arr.iter().find(|e| e["name"] == "move_accepted").unwrap();
+        assert_eq!(
+            (mv["pid"].as_i64(), mv["ph"].as_str()),
+            (Some(2), Some("i"))
+        );
+        assert_eq!(mv["args"]["arg0"], 123.0);
+        let exec = arr.iter().find(|e| e["name"] == "subgraph").unwrap();
+        assert_eq!(exec["pid"].as_i64(), Some(1));
+        assert_eq!(exec["tid"].as_i64(), Some(TELEMETRY_TID));
+        // The witness slice and the exec span agree on the virtual clock.
+        let slice = arr
+            .iter()
+            .find(|e| e["name"] == "sg0" && e["ph"] == "X")
+            .unwrap();
+        assert_eq!(slice["ts"], exec["ts"]);
+        assert_eq!(slice["dur"], exec["dur"]);
+        // Both process groups are named.
+        let names: Vec<&str> = arr
+            .iter()
+            .filter(|e| e["name"] == "process_name")
+            .filter_map(|e| e["args"]["name"].as_str())
+            .collect();
+        assert_eq!(names.len(), 2);
+        assert!(names.iter().any(|n| n.contains("wall clock")));
+        assert!(names.iter().any(|n| n.contains("virtual clock")));
     }
 }

@@ -38,6 +38,8 @@ struct Args {
     closed: Option<usize>,
     require_zero_shed: bool,
     json: bool,
+    metrics_addr: Option<String>,
+    metrics_out: Option<String>,
 }
 
 impl Default for Args {
@@ -55,6 +57,8 @@ impl Default for Args {
             closed: None,
             require_zero_shed: false,
             json: false,
+            metrics_addr: None,
+            metrics_out: None,
         }
     }
 }
@@ -76,6 +80,9 @@ OPTIONS:
   --closed N            closed-loop mode with N workers instead of Poisson
   --require-zero-shed   fail (exit 7) if any request was shed
   --json                print the report as JSON too
+  --metrics-addr ADDR   serve Prometheus text exposition at http://ADDR/metrics
+                        (e.g. 127.0.0.1:9464; port 0 picks a free port)
+  --metrics-out FILE    dump the final Prometheus exposition to FILE on exit
   --help                this text";
 
 fn parse_args() -> Result<Args, String> {
@@ -124,6 +131,8 @@ fn parse_args() -> Result<Args, String> {
             }
             "--require-zero-shed" => args.require_zero_shed = true,
             "--json" => args.json = true,
+            "--metrics-addr" => args.metrics_addr = Some(val("--metrics-addr")?),
+            "--metrics-out" => args.metrics_out = Some(val("--metrics-out")?),
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -253,6 +262,16 @@ fn main() {
     let model = spec.name().to_string();
     let system = SystemModel::paper_server();
 
+    if let Some(addr) = &args.metrics_addr {
+        match duet_telemetry::export::serve_metrics(addr) {
+            Ok(bound) => eprintln!("metrics exposition at http://{bound}/metrics"),
+            Err(e) => {
+                eprintln!("error: cannot bind --metrics-addr {addr}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
     let mut server = ServeServer::new(ServeConfig {
         max_batch: args.max_batch,
         linger: Duration::from_micros(args.linger_us),
@@ -300,6 +319,12 @@ fn main() {
     print_report(&model, &report);
     if args.json {
         println!("{}", json_report(&model, &report, witness.is_clean()));
+    }
+    if let Some(path) = &args.metrics_out {
+        match std::fs::write(path, duet_telemetry::prometheus_text()) {
+            Ok(()) => eprintln!("metrics exposition dumped to {path}"),
+            Err(e) => fail(3, &format!("cannot write --metrics-out {path}: {e}")),
+        }
     }
 
     // ---- hard verifications ----

@@ -13,34 +13,80 @@
 //!
 //! Service samples are normalized per request (`batch latency / batch
 //! size`) so epochs with different batch-size mixes stay comparable.
+//!
+//! **Bounded memory.** Every window here is fixed-size: batch sizes go
+//! into a log2-bucket [`Histogram`] (power-of-two batch sizes occupy
+//! distinct buckets, so the histogram is exact), and latency percentiles
+//! come from bounded [`Reservoir`]s (uniform samples, deterministic
+//! stream). A serving process under sustained load holds a constant
+//! metrics footprint — the previous unbounded `Vec`-per-sample design
+//! grew without limit.
+//!
+//! Every update is also mirrored into the process-global
+//! [`duet_telemetry::registry`] families (`duet_serve_*`), which is what
+//! `--metrics-addr` / `--metrics-out` expose; the per-model instance
+//! remains the source for [`MetricsSnapshot`] reports.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use duet_runtime::LatencyStats;
+use duet_telemetry::registry as tm;
+use duet_telemetry::{Histogram, Reservoir};
 use parking_lot::Mutex;
+
+/// Bounded sample count for the wall-sojourn and virtual-service windows.
+const RESERVOIR_CAP: usize = 4096;
+/// Bounded sample count per epoch window.
+const EPOCH_RESERVOIR_CAP: usize = 1024;
+/// Epoch windows tracked per model. Epochs advance only on drift
+/// injection and plan hot-swap, so this is generous; samples from epochs
+/// beyond the cap still feed the aggregate windows but get no dedicated
+/// per-epoch summary.
+const MAX_EPOCHS: usize = 32;
 
 /// Epoch indices: 0 until the system model changes, bumped on every
 /// injected change and on every plan hot-swap. The drift experiment
 /// reads epoch 1 as "drifted, stale plan" and epoch 2 as "post-swap".
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Metrics {
-    pub submitted: AtomicU64,
-    pub completed: AtomicU64,
-    pub shed_queue_full: AtomicU64,
-    pub shed_expired: AtomicU64,
-    pub exec_errors: AtomicU64,
-    pub batches_executed: AtomicU64,
-    pub plan_swaps: AtomicU64,
-    pub queue_depth: AtomicUsize,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    shed_queue_full: AtomicU64,
+    shed_expired: AtomicU64,
+    exec_errors: AtomicU64,
+    batches_executed: AtomicU64,
+    plan_swaps: AtomicU64,
+    queue_depth: AtomicUsize,
     epoch: AtomicUsize,
-    batch_hist: Mutex<Vec<(usize, u64)>>,
-    sojourn_us: Mutex<Vec<f64>>,
-    epoch_service_us: Mutex<Vec<(usize, f64)>>,
+    batch_size: Histogram,
+    sojourn_us: Reservoir,
+    virtual_service_us: Reservoir,
+    epoch_service_us: Mutex<Vec<Reservoir>>,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics::new()
+    }
 }
 
 impl Metrics {
     pub fn new() -> Self {
-        Metrics::default()
+        Metrics {
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            shed_queue_full: AtomicU64::new(0),
+            shed_expired: AtomicU64::new(0),
+            exec_errors: AtomicU64::new(0),
+            batches_executed: AtomicU64::new(0),
+            plan_swaps: AtomicU64::new(0),
+            queue_depth: AtomicUsize::new(0),
+            epoch: AtomicUsize::new(0),
+            batch_size: Histogram::new("serve_batch_size", "per-model batch sizes"),
+            sojourn_us: Reservoir::new(RESERVOIR_CAP),
+            virtual_service_us: Reservoir::new(RESERVOIR_CAP),
+            epoch_service_us: Mutex::new(Vec::new()),
+        }
     }
 
     /// Current epoch index.
@@ -50,7 +96,60 @@ impl Metrics {
 
     /// Enter the next epoch (system change or plan swap).
     pub fn bump_epoch(&self) -> usize {
-        self.epoch.fetch_add(1, Ordering::Relaxed) + 1
+        let e = self.epoch.fetch_add(1, Ordering::Relaxed) + 1;
+        tm::SERVE_EPOCH.set_max(e as i64);
+        e
+    }
+
+    /// One request submitted (before admission).
+    pub fn inc_submitted(&self) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        tm::SERVE_SUBMITTED.inc();
+    }
+
+    /// One request admitted into the bounded queue. Must be balanced by
+    /// [`Metrics::queue_dec`] when the worker pulls it off — the pairing
+    /// is what makes `queue_depth` return to zero on a drained server.
+    pub fn queue_inc(&self) {
+        self.queue_depth.fetch_add(1, Ordering::Relaxed);
+        tm::SERVE_ADMITTED.inc();
+        tm::SERVE_QUEUE_DEPTH.inc();
+    }
+
+    /// `n` requests pulled off the queue by the worker.
+    pub fn queue_dec(&self, n: usize) {
+        self.queue_depth.fetch_sub(n, Ordering::Relaxed);
+        tm::SERVE_QUEUE_DEPTH.add(-(n as i64));
+    }
+
+    /// Requests currently queued.
+    pub fn queue_depth(&self) -> usize {
+        self.queue_depth.load(Ordering::Relaxed)
+    }
+
+    /// One request shed at admission (queue full). The submit-side inc
+    /// is rolled back by the caller via [`Metrics::queue_dec`].
+    pub fn shed_queue_full(&self) {
+        self.shed_queue_full.fetch_add(1, Ordering::Relaxed);
+        tm::SERVE_SHED_QUEUE_FULL.inc();
+    }
+
+    /// One request shed after queueing (SLA expired before execution).
+    pub fn shed_expired(&self) {
+        self.shed_expired.fetch_add(1, Ordering::Relaxed);
+        tm::SERVE_SHED_EXPIRED.inc();
+    }
+
+    /// One batch failed in execution.
+    pub fn exec_error(&self) {
+        self.exec_errors.fetch_add(1, Ordering::Relaxed);
+        tm::SERVE_EXEC_ERRORS.inc();
+    }
+
+    /// One drift-driven plan hot-swap.
+    pub fn plan_swap(&self) {
+        self.plan_swaps.fetch_add(1, Ordering::Relaxed);
+        tm::SERVE_PLAN_SWAPS.inc();
     }
 
     /// Record one executed batch: its size, and each member request's
@@ -59,50 +158,50 @@ impl Metrics {
         self.batches_executed.fetch_add(1, Ordering::Relaxed);
         self.completed
             .fetch_add(sojourns_us.len() as u64, Ordering::Relaxed);
+        self.batch_size.observe(batch as u64);
+        tm::SERVE_BATCHES.inc();
+        tm::SERVE_COMPLETED.add(sojourns_us.len() as u64);
+        tm::SERVE_BATCH_SIZE.observe(batch as u64);
+        duet_telemetry::record_instant(
+            duet_telemetry::SpanKind::ServeBatch,
+            batch as u64,
+            virtual_batch_us,
+            0.0,
+        );
+        for &s in sojourns_us {
+            self.sojourn_us.record(s);
+            tm::SERVE_SOJOURN_US.observe_us(s);
+        }
+        let epoch = self.epoch();
+        let per_request = virtual_batch_us / batch as f64;
         {
-            let mut hist = self.batch_hist.lock();
-            match hist.iter_mut().find(|(b, _)| *b == batch) {
-                Some((_, n)) => *n += 1,
-                None => {
-                    hist.push((batch, 1));
-                    hist.sort_unstable();
+            let mut windows = self.epoch_service_us.lock();
+            while windows.len() <= epoch && windows.len() < MAX_EPOCHS {
+                windows.push(Reservoir::new(EPOCH_RESERVOIR_CAP));
+            }
+            if let Some(window) = windows.get(epoch) {
+                for _ in 0..sojourns_us.len() {
+                    window.record(per_request);
                 }
             }
         }
-        self.sojourn_us.lock().extend_from_slice(sojourns_us);
-        let epoch = self.epoch();
-        let per_request = virtual_batch_us / batch as f64;
-        let mut svc = self.epoch_service_us.lock();
         for _ in 0..sojourns_us.len() {
-            svc.push((epoch, per_request));
+            self.virtual_service_us.record(per_request);
+            tm::SERVE_VIRTUAL_SERVICE_US.observe_us(per_request);
         }
     }
 
     /// Latency summary of per-request virtual service in one epoch.
     pub fn epoch_service_stats(&self, epoch: usize) -> Option<LatencyStats> {
-        let samples: Vec<f64> = self
-            .epoch_service_us
-            .lock()
-            .iter()
-            .filter(|(e, _)| *e == epoch)
-            .map(|(_, v)| *v)
-            .collect();
-        if samples.is_empty() {
-            None
-        } else {
-            Some(LatencyStats::from_samples(samples))
-        }
+        let windows = self.epoch_service_us.lock();
+        let samples = windows.get(epoch).map(Reservoir::snapshot)?;
+        (!samples.is_empty()).then(|| LatencyStats::from_samples(samples))
     }
 
     /// Point-in-time summary of everything recorded so far.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let sojourn_samples = self.sojourn_us.lock().clone();
-        let service_samples: Vec<f64> = self
-            .epoch_service_us
-            .lock()
-            .iter()
-            .map(|(_, v)| *v)
-            .collect();
+        let sojourn_samples = self.sojourn_us.snapshot();
+        let service_samples = self.virtual_service_us.snapshot();
         MetricsSnapshot {
             submitted: self.submitted.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
@@ -113,7 +212,12 @@ impl Metrics {
             plan_swaps: self.plan_swaps.load(Ordering::Relaxed),
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
             epoch: self.epoch(),
-            batch_histogram: self.batch_hist.lock().clone(),
+            batch_histogram: self
+                .batch_size
+                .pow2_values()
+                .into_iter()
+                .map(|(v, n)| (v as usize, n))
+                .collect(),
             sojourn: (!sojourn_samples.is_empty())
                 .then(|| LatencyStats::from_samples(sojourn_samples)),
             virtual_service: (!service_samples.is_empty())
@@ -134,9 +238,12 @@ pub struct MetricsSnapshot {
     pub plan_swaps: u64,
     pub queue_depth: usize,
     pub epoch: usize,
-    /// (batch size, number of batches executed at that size).
+    /// (batch size, number of batches executed at that size). Exact:
+    /// batch sizes are powers of two, which land in distinct log2
+    /// buckets.
     pub batch_histogram: Vec<(usize, u64)>,
     /// Wall-clock sojourn (queueing + linger + execution), microseconds.
+    /// Percentiles come from a bounded uniform reservoir.
     pub sojourn: Option<LatencyStats>,
     /// Per-request virtual service (modeled hardware), microseconds.
     pub virtual_service: Option<LatencyStats>,
@@ -206,5 +313,31 @@ mod tests {
         assert_eq!(m.epoch_service_stats(1).unwrap().max(), 1100.0);
         assert_eq!(m.epoch_service_stats(2).unwrap().p50(), 200.0);
         assert!(m.epoch_service_stats(3).is_none());
+    }
+
+    #[test]
+    fn latency_windows_stay_bounded_under_sustained_load() {
+        let m = Metrics::new();
+        for i in 0..20_000u64 {
+            m.record_batch(4, &[i as f64; 4], 400.0);
+        }
+        let s = m.snapshot();
+        assert_eq!(s.completed, 80_000);
+        let sojourn = s.sojourn.unwrap();
+        assert!(sojourn.count() <= RESERVOIR_CAP, "reservoir is bounded");
+        assert_eq!(s.batch_histogram, vec![(4, 20_000)]);
+        assert!(m.epoch_service_stats(0).is_some());
+    }
+
+    #[test]
+    fn queue_depth_pairs_inc_and_dec() {
+        let m = Metrics::new();
+        for _ in 0..5 {
+            m.queue_inc();
+        }
+        assert_eq!(m.queue_depth(), 5);
+        m.queue_dec(3);
+        m.queue_dec(2);
+        assert_eq!(m.queue_depth(), 0);
     }
 }

@@ -17,7 +17,6 @@
 //!    observed system and atomically publishes the result (hot swap).
 
 use std::collections::HashMap;
-use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -190,7 +189,7 @@ impl ServeServer {
             .models
             .get(model)
             .ok_or_else(|| ServeError::UnknownModel(model.to_string()))?;
-        handle.metrics.submitted.fetch_add(1, Ordering::Relaxed);
+        handle.metrics.inc_submitted();
         let now = Instant::now();
         let (tx, rx) = bounded(1);
         let pending = Pending {
@@ -199,22 +198,21 @@ impl ServeServer {
             enqueued: now,
             tx,
         };
+        // Inc *before* try_send so the worker (which decs per pulled
+        // request) can never observe depth below zero; a failed send
+        // rolls the inc back.
+        handle.metrics.queue_inc();
         match handle.tx.try_send(pending) {
-            Ok(()) => {
-                handle
-                    .metrics
-                    .queue_depth
-                    .store(handle.tx.len(), Ordering::Relaxed);
-                Ok(ServeHandle { rx })
-            }
+            Ok(()) => Ok(ServeHandle { rx }),
             Err(TrySendError::Full(_)) => {
-                handle
-                    .metrics
-                    .shed_queue_full
-                    .fetch_add(1, Ordering::Relaxed);
+                handle.metrics.queue_dec(1);
+                handle.metrics.shed_queue_full();
                 Err(ServeError::QueueFull)
             }
-            Err(TrySendError::Disconnected(_)) => Err(ServeError::ShuttingDown),
+            Err(TrySendError::Disconnected(_)) => {
+                handle.metrics.queue_dec(1);
+                Err(ServeError::ShuttingDown)
+            }
         }
     }
 
@@ -356,7 +354,10 @@ fn worker_loop(
                 Err(_) => break,
             }
         }
-        metrics.queue_depth.store(rx.len(), Ordering::Relaxed);
+        // One dec per request pulled off the queue — the exact pair of
+        // the submit-side inc, so depth drains back to zero (expired
+        // requests included: they left the queue too).
+        metrics.queue_dec(batch.len());
 
         // SLA expiry: shed requests whose budget elapsed while queued.
         let now = Instant::now();
@@ -364,7 +365,7 @@ fn worker_loop(
             .into_iter()
             .partition(|p| p.deadline.is_none_or(|d| d > now));
         for p in expired {
-            metrics.shed_expired.fetch_add(1, Ordering::Relaxed);
+            metrics.shed_expired();
             let _ = p.tx.send(Err(ServeError::Expired));
         }
 
@@ -391,7 +392,7 @@ fn execute_chunk(
     let deployed = (*system.load()).clone();
 
     let fail_all = |chunk: Vec<Pending>, err: ServeError| {
-        metrics.exec_errors.fetch_add(1, Ordering::Relaxed);
+        metrics.exec_error();
         for p in chunk {
             let _ = p.tx.send(Err(err.clone()));
         }
@@ -430,7 +431,7 @@ fn execute_chunk(
     // cached variant, once.
     if monitor.observe(outcome.virtual_latency_us, variant.duet.latency_us()) {
         cache.recorrect_all(&deployed);
-        metrics.plan_swaps.fetch_add(1, Ordering::Relaxed);
+        metrics.plan_swap();
         metrics.bump_epoch();
         monitor.reset();
     }

@@ -1,0 +1,75 @@
+//! Minimal HTTP exposition endpoint (std-only, no HTTP library).
+//!
+//! [`serve_metrics`] binds a `TcpListener` and answers `GET /metrics`
+//! with the Prometheus text rendering of the global registry. One
+//! request per connection, `Connection: close`, no keep-alive, no TLS —
+//! the consumer is a scraper or `curl`, not a browser. The accept loop
+//! runs on a detached thread so the serving process never waits on it.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+
+/// Spawn the metrics endpoint on `addr` (e.g. `127.0.0.1:9464`; port 0
+/// picks a free port). Returns the actually-bound address.
+pub fn serve_metrics(addr: &str) -> std::io::Result<SocketAddr> {
+    let listener = TcpListener::bind(addr)?;
+    let bound = listener.local_addr()?;
+    std::thread::Builder::new()
+        .name("duet-metrics".into())
+        .spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(stream) = stream else { continue };
+                // A slow or broken scraper must not wedge the endpoint.
+                let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(2)));
+                let _ = handle(stream);
+            }
+        })?;
+    Ok(bound)
+}
+
+fn handle(mut stream: TcpStream) -> std::io::Result<()> {
+    let mut buf = [0u8; 1024];
+    let n = stream.read(&mut buf)?;
+    let request = String::from_utf8_lossy(&buf[..n]);
+    let path = request.split_whitespace().nth(1).unwrap_or("");
+    let (status, body) = if path == "/metrics" || path == "/" {
+        ("200 OK", crate::registry::prometheus_text())
+    } else {
+        ("404 Not Found", String::from("not found\n"))
+    };
+    let header = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(header.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serves_metrics_over_http() {
+        let addr = serve_metrics("127.0.0.1:0").expect("bind");
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+        assert!(response.contains("# TYPE duet_sched_moves_accepted_total counter"));
+        assert!(response.contains("duet_serve_queue_depth"));
+
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(b"GET /nope HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 404"), "{response}");
+    }
+}

@@ -1,0 +1,339 @@
+//! The static metric registry and Prometheus text exposition.
+//!
+//! Every metric in the DUET pipeline is a `static` defined here, grouped
+//! by stage, and listed in the registry slices below. Instrumented
+//! crates reference the statics directly (e.g.
+//! `duet_telemetry::registry::SCHED_MOVES_ACCEPTED.inc()`); the
+//! exposition walks the fixed lists, so `/metrics` always shows every
+//! family — zero-valued families included, which is what lets a scrape
+//! assert presence before traffic arrives.
+//!
+//! Naming scheme: `duet_<stage>_<what>[_total|_us]`, stages `compile`,
+//! `profile`, `sched`, `exec`, `tape`, `arena`, `serve`. Counters of
+//! accumulated time end in `_us_total`; histograms of microsecond
+//! values end in `_us`.
+
+use crate::metric::{bucket_upper_bound, Counter, Gauge, Histogram};
+
+// ---- compile ----
+
+pub static COMPILE_RUNS: Counter = Counter::new(
+    "duet_compile_runs_total",
+    "Compiler::optimize pipeline invocations",
+);
+pub static COMPILE_PASS_RUNS_FOLD: Counter = Counter::with_label(
+    "duet_compile_pass_runs_total",
+    "Optimization pass executions",
+    "pass",
+    "fold_constants",
+);
+pub static COMPILE_PASS_RUNS_CSE: Counter = Counter::with_label(
+    "duet_compile_pass_runs_total",
+    "Optimization pass executions",
+    "pass",
+    "cse",
+);
+pub static COMPILE_PASS_RUNS_DCE: Counter = Counter::with_label(
+    "duet_compile_pass_runs_total",
+    "Optimization pass executions",
+    "pass",
+    "dce",
+);
+pub static COMPILE_PASS_US_FOLD: Counter = Counter::with_label(
+    "duet_compile_pass_wall_us_total",
+    "Accumulated wall time per optimization pass, microseconds",
+    "pass",
+    "fold_constants",
+);
+pub static COMPILE_PASS_US_CSE: Counter = Counter::with_label(
+    "duet_compile_pass_wall_us_total",
+    "Accumulated wall time per optimization pass, microseconds",
+    "pass",
+    "cse",
+);
+pub static COMPILE_PASS_US_DCE: Counter = Counter::with_label(
+    "duet_compile_pass_wall_us_total",
+    "Accumulated wall time per optimization pass, microseconds",
+    "pass",
+    "dce",
+);
+pub static COMPILE_PASS_DELTA_FOLD: Counter = Counter::with_label(
+    "duet_compile_pass_node_delta_total",
+    "Nodes folded/merged/removed per pass",
+    "pass",
+    "fold_constants",
+);
+pub static COMPILE_PASS_DELTA_CSE: Counter = Counter::with_label(
+    "duet_compile_pass_node_delta_total",
+    "Nodes folded/merged/removed per pass",
+    "pass",
+    "cse",
+);
+pub static COMPILE_PASS_DELTA_DCE: Counter = Counter::with_label(
+    "duet_compile_pass_node_delta_total",
+    "Nodes folded/merged/removed per pass",
+    "pass",
+    "dce",
+);
+
+// ---- profile ----
+
+pub static PROFILE_SUBGRAPHS: Counter = Counter::new(
+    "duet_profile_subgraphs_total",
+    "Compiled subgraphs micro-benchmarked (both devices each)",
+);
+pub static PROFILE_SAMPLES_CPU: Counter = Counter::with_label(
+    "duet_profile_samples_total",
+    "Profiling samples recorded after warm-up",
+    "device",
+    "cpu",
+);
+pub static PROFILE_SAMPLES_GPU: Counter = Counter::with_label(
+    "duet_profile_samples_total",
+    "Profiling samples recorded after warm-up",
+    "device",
+    "gpu",
+);
+
+// ---- schedule (Algorithm 1 correction search) ----
+
+pub static SCHED_CORRECTIONS: Counter = Counter::new(
+    "duet_sched_corrections_total",
+    "Correction searches run (offline builds + drift re-corrections)",
+);
+pub static SCHED_ROUNDS: Counter = Counter::new(
+    "duet_sched_correction_rounds_total",
+    "Correction rounds across all searches",
+);
+pub static SCHED_MOVES_EVALUATED: Counter = Counter::new(
+    "duet_sched_moves_evaluated_total",
+    "Candidate moves/swaps priced against measured latency",
+);
+pub static SCHED_MOVES_ACCEPTED: Counter = Counter::new(
+    "duet_sched_moves_accepted_total",
+    "Candidate moves that improved latency and were applied",
+);
+pub static SCHED_MOVES_REJECTED: Counter = Counter::new(
+    "duet_sched_moves_rejected_total",
+    "Candidate moves evaluated but not applied",
+);
+pub static SCHED_ACCEPTED_GAIN_US: Histogram = Histogram::new(
+    "duet_sched_accepted_gain_us",
+    "Predicted latency improvement per accepted move, microseconds",
+);
+pub static SCHED_PREDICTED_LATENCY_US: Gauge = Gauge::new(
+    "duet_sched_predicted_latency_us",
+    "Predicted end-to-end latency after the most recent correction, microseconds",
+);
+
+// ---- execute ----
+
+pub static EXEC_RUNS: Counter =
+    Counter::new("duet_exec_runs_total", "Heterogeneous executor inferences");
+pub static EXEC_SUBGRAPHS_CPU: Counter = Counter::with_label(
+    "duet_exec_subgraphs_total",
+    "Subgraph dispatches per device",
+    "device",
+    "cpu",
+);
+pub static EXEC_SUBGRAPHS_GPU: Counter = Counter::with_label(
+    "duet_exec_subgraphs_total",
+    "Subgraph dispatches per device",
+    "device",
+    "gpu",
+);
+pub static TAPE_RUNS: Counter = Counter::new(
+    "duet_tape_runs_total",
+    "Instruction-tape executions (memory-planned path)",
+);
+pub static TAPE_INSTRS: Counter =
+    Counter::new("duet_tape_instructions_total", "Tape instructions executed");
+pub static ARENA_CHECKOUTS_CREATED: Counter = Counter::with_label(
+    "duet_arena_checkouts_total",
+    "Tape-arena pool checkouts",
+    "result",
+    "created",
+);
+pub static ARENA_CHECKOUTS_REUSED: Counter = Counter::with_label(
+    "duet_arena_checkouts_total",
+    "Tape-arena pool checkouts",
+    "result",
+    "reused",
+);
+
+// ---- serve ----
+
+pub static SERVE_SUBMITTED: Counter = Counter::new(
+    "duet_serve_submitted_total",
+    "Requests submitted across all models",
+);
+pub static SERVE_ADMITTED: Counter = Counter::new(
+    "duet_serve_admitted_total",
+    "Requests accepted by admission control",
+);
+pub static SERVE_COMPLETED: Counter = Counter::new(
+    "duet_serve_completed_total",
+    "Requests answered successfully",
+);
+pub static SERVE_SHED_QUEUE_FULL: Counter = Counter::with_label(
+    "duet_serve_shed_total",
+    "Requests shed",
+    "reason",
+    "queue_full",
+);
+pub static SERVE_SHED_EXPIRED: Counter = Counter::with_label(
+    "duet_serve_shed_total",
+    "Requests shed",
+    "reason",
+    "expired",
+);
+pub static SERVE_EXEC_ERRORS: Counter = Counter::new(
+    "duet_serve_exec_errors_total",
+    "Batches failed in execution",
+);
+pub static SERVE_BATCHES: Counter = Counter::new(
+    "duet_serve_batches_total",
+    "Batches executed by the dynamic batcher",
+);
+pub static SERVE_BATCH_SIZE: Histogram = Histogram::new(
+    "duet_serve_batch_size",
+    "Executed batch sizes (power-of-two chunks)",
+);
+pub static SERVE_SOJOURN_US: Histogram = Histogram::new(
+    "duet_serve_sojourn_us",
+    "Wall-clock sojourn per request (queueing + linger + execution), microseconds",
+);
+pub static SERVE_VIRTUAL_SERVICE_US: Histogram = Histogram::new(
+    "duet_serve_virtual_service_us",
+    "Per-request virtual service share on the modeled hardware, microseconds",
+);
+pub static SERVE_PLAN_SWAPS: Counter =
+    Counter::new("duet_serve_plan_swaps_total", "Drift-driven plan hot-swaps");
+pub static SERVE_QUEUE_DEPTH: Gauge = Gauge::new(
+    "duet_serve_queue_depth",
+    "Requests currently queued across all models",
+);
+pub static SERVE_EPOCH: Gauge = Gauge::new(
+    "duet_serve_epoch",
+    "Highest metrics epoch across models (bumped on drift injection and hot-swap)",
+);
+
+/// Every registered counter, in exposition order.
+pub fn counters() -> &'static [&'static Counter] {
+    static COUNTERS: &[&Counter] = &[
+        &COMPILE_RUNS,
+        &COMPILE_PASS_RUNS_FOLD,
+        &COMPILE_PASS_RUNS_CSE,
+        &COMPILE_PASS_RUNS_DCE,
+        &COMPILE_PASS_US_FOLD,
+        &COMPILE_PASS_US_CSE,
+        &COMPILE_PASS_US_DCE,
+        &COMPILE_PASS_DELTA_FOLD,
+        &COMPILE_PASS_DELTA_CSE,
+        &COMPILE_PASS_DELTA_DCE,
+        &PROFILE_SUBGRAPHS,
+        &PROFILE_SAMPLES_CPU,
+        &PROFILE_SAMPLES_GPU,
+        &SCHED_CORRECTIONS,
+        &SCHED_ROUNDS,
+        &SCHED_MOVES_EVALUATED,
+        &SCHED_MOVES_ACCEPTED,
+        &SCHED_MOVES_REJECTED,
+        &EXEC_RUNS,
+        &EXEC_SUBGRAPHS_CPU,
+        &EXEC_SUBGRAPHS_GPU,
+        &TAPE_RUNS,
+        &TAPE_INSTRS,
+        &ARENA_CHECKOUTS_CREATED,
+        &ARENA_CHECKOUTS_REUSED,
+        &SERVE_SUBMITTED,
+        &SERVE_ADMITTED,
+        &SERVE_COMPLETED,
+        &SERVE_SHED_QUEUE_FULL,
+        &SERVE_SHED_EXPIRED,
+        &SERVE_EXEC_ERRORS,
+        &SERVE_BATCHES,
+        &SERVE_PLAN_SWAPS,
+    ];
+    COUNTERS
+}
+
+/// Every registered gauge.
+pub fn gauges() -> &'static [&'static Gauge] {
+    static GAUGES: &[&Gauge] = &[
+        &SCHED_PREDICTED_LATENCY_US,
+        &SERVE_QUEUE_DEPTH,
+        &SERVE_EPOCH,
+    ];
+    GAUGES
+}
+
+/// Every registered histogram.
+pub fn histograms() -> &'static [&'static Histogram] {
+    static HISTOGRAMS: &[&Histogram] = &[
+        &SCHED_ACCEPTED_GAIN_US,
+        &SERVE_BATCH_SIZE,
+        &SERVE_SOJOURN_US,
+        &SERVE_VIRTUAL_SERVICE_US,
+    ];
+    HISTOGRAMS
+}
+
+/// Render the full global registry in Prometheus text exposition format.
+pub fn prometheus_text() -> String {
+    render_prometheus(counters(), gauges(), histograms())
+}
+
+/// Render arbitrary metric sets in Prometheus text exposition format
+/// (version 0.0.4). Consecutive counters sharing a family name emit one
+/// `# HELP` / `# TYPE` header.
+pub fn render_prometheus(
+    counters: &[&Counter],
+    gauges: &[&Gauge],
+    histograms: &[&Histogram],
+) -> String {
+    let mut out = String::new();
+    let mut last_family = "";
+    for c in counters {
+        if c.name() != last_family {
+            out.push_str(&format!("# HELP {} {}\n", c.name(), c.help()));
+            out.push_str(&format!("# TYPE {} counter\n", c.name()));
+            last_family = c.name();
+        }
+        match c.label() {
+            Some((k, v)) => out.push_str(&format!("{}{{{}=\"{}\"}} {}\n", c.name(), k, v, c.get())),
+            None => out.push_str(&format!("{} {}\n", c.name(), c.get())),
+        }
+    }
+    for g in gauges {
+        out.push_str(&format!("# HELP {} {}\n", g.name(), g.help()));
+        out.push_str(&format!("# TYPE {} gauge\n", g.name()));
+        out.push_str(&format!("{} {}\n", g.name(), g.get()));
+    }
+    for h in histograms {
+        out.push_str(&format!("# HELP {} {}\n", h.name(), h.help()));
+        out.push_str(&format!("# TYPE {} histogram\n", h.name()));
+        let mut cumulative = 0u64;
+        for (i, n) in h.nonzero_buckets() {
+            cumulative += n;
+            let le = bucket_upper_bound(i);
+            if le == u64::MAX {
+                continue; // folded into +Inf below
+            }
+            out.push_str(&format!(
+                "{}_bucket{{le=\"{}\"}} {}\n",
+                h.name(),
+                le,
+                cumulative
+            ));
+        }
+        out.push_str(&format!(
+            "{}_bucket{{le=\"+Inf\"}} {}\n",
+            h.name(),
+            h.count()
+        ));
+        out.push_str(&format!("{}_sum {}\n", h.name(), h.sum()));
+        out.push_str(&format!("{}_count {}\n", h.name(), h.count()));
+    }
+    out
+}

@@ -1,0 +1,300 @@
+//! Bounded span ring buffer.
+//!
+//! Spans record *what happened when* for the merged Perfetto timeline:
+//! compiler passes, per-subgraph profiling, every candidate move of the
+//! Algorithm 1 correction search, executor subgraph dispatches, serving
+//! batches. The ring is a fixed array of slots; each write claims a slot
+//! by a global sequence counter and fills it under a per-slot seqlock,
+//! so writers never block and never allocate, and a reader skips any
+//! slot it catches mid-write. When the ring wraps, the oldest spans are
+//! overwritten — observability is a window, not an archive.
+//!
+//! **Time domains.** Offline-stage spans (compile, profile, schedule,
+//! serve) carry wall-clock microseconds from [`clock_us`] (one process-
+//! wide epoch). Executor spans carry *virtual* microseconds from the
+//! device models — the same clock the execution witness uses, so the
+//! two agree in the merged trace and span ordering can be checked
+//! against witness happens-before order.
+
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// What a span describes. A closed enum keeps span names `'static` and
+/// slot writes purely numeric (no pointers in the ring).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum SpanKind {
+    /// Whole `Compiler::optimize` pipeline. detail = nodes before,
+    /// arg0 = nodes after.
+    CompileOptimize = 0,
+    /// Constant folding pass. detail = constants folded.
+    PassFoldConstants = 1,
+    /// Common-subexpression elimination. detail = merged.
+    PassCse = 2,
+    /// Dead-code elimination. detail = removed.
+    PassDce = 3,
+    /// One subgraph profiled on both devices. detail = subgraph index,
+    /// arg0 = CPU mean µs, arg1 = GPU mean µs.
+    ProfileSubgraph = 4,
+    /// One full correction search. detail = rounds, arg0 = initial
+    /// predicted latency µs, arg1 = final predicted latency µs.
+    SchedCorrection = 5,
+    /// One correction round. detail = round index, arg0 = incumbent
+    /// latency µs.
+    SchedRound = 6,
+    /// Candidate move/swap that improved latency and was applied.
+    /// detail = encoded move (i*1024+j+1, or i+1 for single moves),
+    /// arg0 = predicted latency µs, arg1 = margin vs the epsilon-scaled
+    /// incumbent (positive).
+    SchedMoveAccepted = 7,
+    /// Candidate move/swap evaluated and rejected. Same payload; the
+    /// margin is ≤ 0 (how far it missed the epsilon threshold).
+    SchedMoveRejected = 8,
+    /// One subgraph dispatch on the executor. detail = subgraph index,
+    /// start/dur in *virtual* µs, arg0 = device (0 CPU, 1 GPU).
+    ExecSubgraph = 9,
+    /// One whole executor run. detail = subgraph count, dur = virtual
+    /// latency µs.
+    ExecRun = 10,
+    /// One executed serving batch. detail = batch size, arg0 = virtual
+    /// batch latency µs.
+    ServeBatch = 11,
+}
+
+impl SpanKind {
+    /// Pipeline stage this kind belongs to (Perfetto lane grouping).
+    pub fn stage(self) -> &'static str {
+        match self {
+            SpanKind::CompileOptimize
+            | SpanKind::PassFoldConstants
+            | SpanKind::PassCse
+            | SpanKind::PassDce => "compile",
+            SpanKind::ProfileSubgraph => "profile",
+            SpanKind::SchedCorrection
+            | SpanKind::SchedRound
+            | SpanKind::SchedMoveAccepted
+            | SpanKind::SchedMoveRejected => "schedule",
+            SpanKind::ExecSubgraph | SpanKind::ExecRun => "execute",
+            SpanKind::ServeBatch => "serve",
+        }
+    }
+
+    /// Human-readable event name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKind::CompileOptimize => "optimize",
+            SpanKind::PassFoldConstants => "fold_constants",
+            SpanKind::PassCse => "cse",
+            SpanKind::PassDce => "dce",
+            SpanKind::ProfileSubgraph => "profile_subgraph",
+            SpanKind::SchedCorrection => "correction",
+            SpanKind::SchedRound => "round",
+            SpanKind::SchedMoveAccepted => "move_accepted",
+            SpanKind::SchedMoveRejected => "move_rejected",
+            SpanKind::ExecSubgraph => "subgraph",
+            SpanKind::ExecRun => "run",
+            SpanKind::ServeBatch => "batch",
+        }
+    }
+
+    fn from_u64(v: u64) -> Option<SpanKind> {
+        Some(match v {
+            0 => SpanKind::CompileOptimize,
+            1 => SpanKind::PassFoldConstants,
+            2 => SpanKind::PassCse,
+            3 => SpanKind::PassDce,
+            4 => SpanKind::ProfileSubgraph,
+            5 => SpanKind::SchedCorrection,
+            6 => SpanKind::SchedRound,
+            7 => SpanKind::SchedMoveAccepted,
+            8 => SpanKind::SchedMoveRejected,
+            9 => SpanKind::ExecSubgraph,
+            10 => SpanKind::ExecRun,
+            11 => SpanKind::ServeBatch,
+            _ => return None,
+        })
+    }
+}
+
+/// One recorded span (a snapshot copied out of the ring).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Span {
+    /// Global sequence number (total order of recording).
+    pub seq: u64,
+    pub kind: SpanKind,
+    /// Kind-specific integer payload (see [`SpanKind`] docs).
+    pub detail: u64,
+    /// Start timestamp, microseconds (wall for offline stages, virtual
+    /// for executor spans).
+    pub start_us: f64,
+    /// Duration, microseconds; 0 renders as an instant event.
+    pub dur_us: f64,
+    pub arg0: f64,
+    pub arg1: f64,
+}
+
+struct Slot {
+    /// Seqlock word: `2*seq + 1` while writing, `2*seq + 2` when
+    /// published, 0 when never written.
+    version: AtomicU64,
+    kind: AtomicU64,
+    detail: AtomicU64,
+    start: AtomicU64,
+    dur: AtomicU64,
+    arg0: AtomicU64,
+    arg1: AtomicU64,
+}
+
+impl Slot {
+    fn empty() -> Slot {
+        Slot {
+            version: AtomicU64::new(0),
+            kind: AtomicU64::new(0),
+            detail: AtomicU64::new(0),
+            start: AtomicU64::new(0),
+            dur: AtomicU64::new(0),
+            arg0: AtomicU64::new(0),
+            arg1: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Fixed-capacity multi-writer span buffer. The global ring (via
+/// [`record_span`]) is one instance; tests build small private ones.
+pub struct SpanRing {
+    slots: Box<[Slot]>,
+    seq: AtomicU64,
+    /// Spans with `seq <` floor are hidden (a cheap reset that does not
+    /// race with in-flight writers).
+    floor: AtomicU64,
+}
+
+impl SpanRing {
+    /// Ring with `capacity` slots (rounded up to at least 1).
+    pub fn with_capacity(capacity: usize) -> SpanRing {
+        SpanRing {
+            slots: (0..capacity.max(1)).map(|_| Slot::empty()).collect(),
+            seq: AtomicU64::new(0),
+            floor: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one span. Lock-free and allocation-free.
+    pub fn record(
+        &self,
+        kind: SpanKind,
+        detail: u64,
+        start_us: f64,
+        dur_us: f64,
+        a0: f64,
+        a1: f64,
+    ) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(seq % self.slots.len() as u64) as usize];
+        slot.version.store(2 * seq + 1, Ordering::Relaxed);
+        fence(Ordering::Release);
+        slot.kind.store(kind as u64, Ordering::Relaxed);
+        slot.detail.store(detail, Ordering::Relaxed);
+        slot.start.store(start_us.to_bits(), Ordering::Relaxed);
+        slot.dur.store(dur_us.to_bits(), Ordering::Relaxed);
+        slot.arg0.store(a0.to_bits(), Ordering::Relaxed);
+        slot.arg1.store(a1.to_bits(), Ordering::Relaxed);
+        slot.version.store(2 * seq + 2, Ordering::Release);
+    }
+
+    /// Copy out every published span at or above the floor, oldest
+    /// first. Slots caught mid-write (or overwritten while reading) are
+    /// skipped, never misread.
+    pub fn collect(&self) -> Vec<Span> {
+        let floor = self.floor.load(Ordering::Relaxed);
+        let mut out: Vec<Span> = Vec::with_capacity(self.slots.len());
+        for slot in self.slots.iter() {
+            let v1 = slot.version.load(Ordering::Acquire);
+            if v1 == 0 || v1 % 2 == 1 {
+                continue;
+            }
+            let kind = slot.kind.load(Ordering::Relaxed);
+            let detail = slot.detail.load(Ordering::Relaxed);
+            let start = slot.start.load(Ordering::Relaxed);
+            let dur = slot.dur.load(Ordering::Relaxed);
+            let arg0 = slot.arg0.load(Ordering::Relaxed);
+            let arg1 = slot.arg1.load(Ordering::Relaxed);
+            fence(Ordering::Acquire);
+            if slot.version.load(Ordering::Relaxed) != v1 {
+                continue; // torn: a writer raced us
+            }
+            let seq = v1 / 2 - 1;
+            if seq < floor {
+                continue;
+            }
+            let Some(kind) = SpanKind::from_u64(kind) else {
+                continue;
+            };
+            out.push(Span {
+                seq,
+                kind,
+                detail,
+                start_us: f64::from_bits(start),
+                dur_us: f64::from_bits(dur),
+                arg0: f64::from_bits(arg0),
+                arg1: f64::from_bits(arg1),
+            });
+        }
+        out.sort_by_key(|s| s.seq);
+        out
+    }
+
+    /// Hide everything recorded so far (new recordings still appear).
+    pub fn reset(&self) {
+        self.floor
+            .store(self.seq.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Total spans ever recorded (including overwritten ones).
+    pub fn recorded(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+}
+
+/// Global ring capacity: large enough for a full offline build plus a
+/// few executor runs; the merged-trace path resets it first anyway.
+const GLOBAL_RING_CAPACITY: usize = 16_384;
+
+fn global_ring() -> &'static SpanRing {
+    static RING: OnceLock<SpanRing> = OnceLock::new();
+    RING.get_or_init(|| SpanRing::with_capacity(GLOBAL_RING_CAPACITY))
+}
+
+/// Microseconds since the process-wide telemetry epoch (first call).
+pub fn clock_us() -> f64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now).elapsed().as_secs_f64() * 1e6
+}
+
+/// Record a span into the global ring (no-op when telemetry is off).
+#[inline]
+pub fn record_span(kind: SpanKind, detail: u64, start_us: f64, dur_us: f64, a0: f64, a1: f64) {
+    if crate::enabled() {
+        global_ring().record(kind, detail, start_us, dur_us, a0, a1);
+    }
+}
+
+/// Record an instant event (zero duration, stamped now) into the global
+/// ring.
+#[inline]
+pub fn record_instant(kind: SpanKind, detail: u64, a0: f64, a1: f64) {
+    if crate::enabled() {
+        global_ring().record(kind, detail, clock_us(), 0.0, a0, a1);
+    }
+}
+
+/// Snapshot the global ring, oldest span first.
+pub fn spans() -> Vec<Span> {
+    global_ring().collect()
+}
+
+/// Hide all spans recorded in the global ring so far.
+pub fn reset_spans() {
+    global_ring().reset();
+}

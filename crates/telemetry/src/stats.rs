@@ -1,0 +1,142 @@
+//! Shared percentile arithmetic and the bounded sample reservoir.
+//!
+//! [`percentile_sorted`] is THE nearest-rank implementation for the
+//! whole workspace: `duet_runtime::LatencyStats` and the serving
+//! metrics both delegate here, so the ulp-epsilon rank fix lives in
+//! exactly one place.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Percentile by the nearest-rank method over an ascending-sorted slice.
+/// `q` in `[0, 100]`. Panics on an empty slice — a summary over no
+/// samples is a harness bug.
+///
+/// Nearest rank is ⌈q/100 · n⌉, but `q / 100.0` is inexact — e.g.
+/// 99.9/100 · 1000 evaluates to 999.0000000000001 and a bare ceil would
+/// overshoot to rank 1000. Shaving one ulp-scale epsilon before the
+/// ceil restores exact ranks while leaving genuinely fractional
+/// products (which ceil upward regardless) untouched.
+pub fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
+    let n = sorted.len();
+    assert!(n > 0, "percentile of an empty sample set");
+    let rank = ((q / 100.0) * n as f64 * (1.0 - 1e-12)).ceil() as usize;
+    sorted[rank.clamp(1, n) - 1]
+}
+
+/// Bounded uniform sample reservoir (Vitter's Algorithm R with a
+/// deterministic splitmix64 stream, so tests reproduce exactly).
+///
+/// Memory is fixed at construction: the backing `Vec` is pre-allocated
+/// to capacity and never grows, which is what lets a serving process
+/// keep per-request latency percentiles under sustained load without
+/// unbounded growth.
+#[derive(Debug)]
+pub struct Reservoir {
+    cap: usize,
+    seen: AtomicU64,
+    samples: Mutex<Vec<f64>>,
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+impl Reservoir {
+    /// Reservoir keeping at most `cap` samples.
+    pub fn new(cap: usize) -> Reservoir {
+        let cap = cap.max(1);
+        Reservoir {
+            cap,
+            seen: AtomicU64::new(0),
+            samples: Mutex::new(Vec::with_capacity(cap)),
+        }
+    }
+
+    /// Record one observation. Allocation-free after construction.
+    pub fn record(&self, v: f64) {
+        let n = self.seen.fetch_add(1, Ordering::Relaxed);
+        let mut s = self.samples.lock().expect("reservoir poisoned");
+        if s.len() < self.cap {
+            s.push(v);
+        } else {
+            // Uniform replacement: keep v with probability cap/(n+1).
+            let j = (splitmix64(n) % (n + 1)) as usize;
+            if j < self.cap {
+                s[j] = v;
+            }
+        }
+    }
+
+    /// Observations offered so far (including discarded ones).
+    pub fn seen(&self) -> u64 {
+        self.seen.load(Ordering::Relaxed)
+    }
+
+    /// Samples currently held.
+    pub fn len(&self) -> usize {
+        self.samples.lock().expect("reservoir poisoned").len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copy of the held samples (unsorted).
+    pub fn snapshot(&self) -> Vec<f64> {
+        self.samples.lock().expect("reservoir poisoned").clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_rank_matches_exact_integer_definition() {
+        for n in 1..12usize {
+            let sorted: Vec<f64> = (1..=n).map(|x| x as f64).collect();
+            for q10 in 0..=1000u64 {
+                let want = (q10 * n as u64).div_ceil(1000).clamp(1, n as u64);
+                let got = percentile_sorted(&sorted, q10 as f64 / 10.0);
+                assert_eq!(got, want as f64, "n={n} q={}", q10 as f64 / 10.0);
+            }
+        }
+    }
+
+    #[test]
+    fn ulp_epsilon_keeps_rank_exact() {
+        let sorted: Vec<f64> = (1..=1000).map(f64::from).collect();
+        assert_eq!(percentile_sorted(&sorted, 99.9), 999.0);
+        assert_eq!(percentile_sorted(&sorted, 99.0), 990.0);
+    }
+
+    #[test]
+    fn reservoir_is_bounded_and_deterministic() {
+        let r = Reservoir::new(64);
+        for i in 0..10_000 {
+            r.record(i as f64);
+        }
+        assert_eq!(r.len(), 64);
+        assert_eq!(r.seen(), 10_000);
+        let again = Reservoir::new(64);
+        for i in 0..10_000 {
+            again.record(i as f64);
+        }
+        assert_eq!(r.snapshot(), again.snapshot());
+    }
+
+    #[test]
+    fn reservoir_below_capacity_keeps_everything() {
+        let r = Reservoir::new(100);
+        for i in 0..40 {
+            r.record(i as f64);
+        }
+        let mut s = r.snapshot();
+        s.sort_by(f64::total_cmp);
+        assert_eq!(s, (0..40).map(|i| i as f64).collect::<Vec<_>>());
+    }
+}

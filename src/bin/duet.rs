@@ -34,7 +34,7 @@ fn usage() -> ! {
          duet run <model>\n  duet measure <model> [--runs <n>]\n  duet analyze <model>\n  \
          duet export-plan <model> <file>\n  duet apply-plan <model> <file>\n  \
          duet save <model> <file>\n  duet report-file <file>\n  duet explain <model>\n  \
-         duet trace <model> <file>\n\nmodels: {}\npolicies: \
+         duet trace <model> <file> [--full]\n\nmodels: {}\npolicies: \
          greedy-correction | greedy | random | round-robin | random-correction | ideal | \
          flops-proxy | cpu | gpu\n\nonline serving lives in its own binary: \
          cargo run --release -p duet-serve --bin duet-serve -- --help",
@@ -190,17 +190,42 @@ fn main() {
         "trace" => {
             let model = rest.first().map(String::as_str).unwrap_or_else(|| usage());
             let path = rest.get(1).map(String::as_str).unwrap_or_else(|| usage());
+            let full = rest.iter().any(|a| a == "--full");
             let graph = model_or_die(model);
-            let engine = Duet::builder().build(&graph).expect("engine builds");
-            let sim = duet_runtime::simulate(
-                engine.graph(),
-                engine.placed(),
-                engine.system(),
-                &mut duet_runtime::SimNoise::disabled(),
-            );
-            std::fs::write(path, duet_runtime::to_chrome_trace(model, &sim))
+            if full {
+                // Merged timeline: reset the span ring, run the whole
+                // pipeline (compile → profile → schedule) plus one
+                // witnessed inference, then interleave the collected
+                // telemetry spans with the witness lanes.
+                duet_telemetry::set_enabled(true);
+                duet_telemetry::reset_spans();
+                let engine = Duet::builder().build(&graph).expect("engine builds");
+                let feeds = input_feeds(&graph, 7);
+                let (_, witness) = engine.run_witnessed(&feeds).expect("model runs");
+                let spans = duet_telemetry::spans();
+                std::fs::write(
+                    path,
+                    duet_runtime::merged_perfetto_trace(model, &witness, &spans),
+                )
                 .expect("trace written");
-            println!("timeline for {model} written to {path} (open in ui.perfetto.dev)");
+                println!(
+                    "merged timeline for {model} written to {path}: {} telemetry spans \
+                     across compile/profile/schedule/execute plus witness lanes \
+                     (open in ui.perfetto.dev)",
+                    spans.len()
+                );
+            } else {
+                let engine = Duet::builder().build(&graph).expect("engine builds");
+                let sim = duet_runtime::simulate(
+                    engine.graph(),
+                    engine.placed(),
+                    engine.system(),
+                    &mut duet_runtime::SimNoise::disabled(),
+                );
+                std::fs::write(path, duet_runtime::to_chrome_trace(model, &sim))
+                    .expect("trace written");
+                println!("timeline for {model} written to {path} (open in ui.perfetto.dev)");
+            }
         }
         "measure" => {
             let model = rest.first().map(String::as_str).unwrap_or_else(|| usage());
