@@ -33,6 +33,25 @@ cargo run -q --release --bin duet-lint -- all
 step "duet-lint trace over all built-in models (D3xx conformance)"
 cargo run -q --release --bin duet-lint -- trace all
 
+step "duet-lint model-check over all built-in models (D5xx proof, <1s checker budget)"
+MC_OUT="$(cargo run -q --release --bin duet-lint -- \
+  model-check all --deny-warnings --max-states 200000 | tee /dev/stderr)"
+echo "$MC_OUT" | awk '
+  /^model-check: / {
+    found = 1
+    for (i = 1; i <= NF; i++) if ($(i + 1) == "ms") ms = $i
+    if (ms == "" || ms + 0 >= 1000) { print "FAIL: checker took " ms " ms (budget 1000)"; exit 1 }
+    print "checker wall time " ms " ms - within budget."
+  }
+  END { if (!found) { print "FAIL: no model-check summary line"; exit 1 } }
+'
+
+step "model-check mutation gate (each injected corruption maps to its D5xx code)"
+cargo test -q -p duet-analysis --test model_check_mutation
+
+step "static->dynamic bridge (D5xx-clean plans survive seeded interleaving stress)"
+cargo test -q --test model_check_bridge
+
 step "duet-serve smoke (low-qps load, zero shed, bit-identity, witness)"
 METRICS_OUT="$(mktemp)"
 trap 'rm -f "$METRICS_OUT"' EXIT
@@ -51,6 +70,10 @@ for family in \
   duet_arena_checkouts_total \
   duet_serve_batches_total \
   duet_serve_shed_total \
+  duet_serve_plan_swap_rejected_total \
+  duet_analysis_checks_total \
+  duet_analysis_diagnostics_total \
+  duet_analysis_model_check_states \
   duet_serve_queue_depth \
   duet_serve_batch_size_bucket; do
   grep -q "^$family" "$METRICS_OUT" \

@@ -195,6 +195,7 @@ pub fn verify_graph(graph: &Graph) -> Report {
 
     check_cycles(graph, &mut report);
     check_reachability(graph, &mut report);
+    crate::telemetry::record_check(crate::telemetry::Family::Graph, &report);
     report
 }
 

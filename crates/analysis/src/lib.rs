@@ -33,23 +33,40 @@
 //!   slots: coverage, dependency order, no overlapping live ranges
 //!   sharing a slot, in-place aliasing discipline, slot/weight shape
 //!   agreement, peak-byte accounting.
+//! * **Plan model checker** ([`check_plan`], [`check_plan_model`],
+//!   `D5xx`) — the static counterpart of the witness checker: it
+//!   exhaustively explores every reachable interleaving of a plan's
+//!   concurrent execution (memoized frontier + sleep-set partial-order
+//!   reduction) and proves deadlock-freedom, schedule-determinism,
+//!   transfer/aliasing race freedom, device-occupancy soundness and
+//!   bounded trigger staleness *before* the plan ever runs. Violations
+//!   come with a synthetic counterexample witness renderable as a
+//!   Chrome trace and re-checkable by the `D3xx` analyzer.
 //!
 //! Severities are [`Severity::Error`] (do not run/deploy this artifact)
 //! and [`Severity::Warning`] (runs, but suspicious). The `duet-lint`
-//! CLI in the root crate drives all five over the model zoo and exits
+//! CLI in the root crate drives all six over the model zoo and exits
 //! non-zero on errors; its `trace` subcommand runs a model, records
-//! witnesses and checks them.
+//! witnesses and checks them; its `model-check` subcommand proves the
+//! `D5xx` properties per plan. Every analyzer invocation is counted in
+//! the `duet-telemetry` registry (see [`telemetry`]).
 
 pub mod diagnostics;
 pub mod graph_verifier;
 pub mod memory_check;
+pub mod model_check;
 pub mod pass_check;
 pub mod plan_lint;
+pub mod telemetry;
 pub mod witness_check;
 
 pub use diagnostics::{Diagnostic, Report, Severity};
 pub use graph_verifier::verify_graph;
 pub use memory_check::{check_memory_plan, check_memory_plans};
+pub use model_check::{
+    check_plan, check_plan_model, ModelCheckConfig, ModelCheckOutcome, ModelCheckStats, PlanModel,
+    SubgraphModel, TransferModel,
+};
 pub use pass_check::{check_optimize, violation_to_diagnostic};
 pub use plan_lint::{lint_plan, lint_schedule, LintConfig, PlanFacts, PlanSubgraphFacts};
 pub use witness_check::{check_agreement, check_witness, WitnessCheckConfig};
@@ -184,4 +201,27 @@ pub mod codes {
     /// Recorded planned/naive peak bytes disagree with recomputation, or
     /// the planned peak exceeds the naive peak (warning).
     pub const TAPE_PEAK_ACCOUNTING: &str = "D405";
+
+    // D5xx — plan model checker
+    /// A reachable state has unfinished subgraphs but no enabled event
+    /// (trigger cycle / phantom dependency): the engine stalls forever.
+    pub const MODEL_DEADLOCK: &str = "D500";
+    /// Some interleaving dispatches a subgraph while the producer of one
+    /// of its boundary inputs is unfinished — outputs depend on the
+    /// interleaving (missing trigger edge).
+    pub const MODEL_NONDETERMINISM: &str = "D501";
+    /// A transfer departs while the producer may still be mutating the
+    /// buffer, or a boundary value is not an escaped tape output (its
+    /// slot can be recycled or mutated in place while read).
+    pub const MODEL_TRANSFER_RACE: &str = "D502";
+    /// The plan admits two subgraphs concurrently on one single-lane
+    /// device: its claimed latency is below a device's serialized work.
+    pub const MODEL_DEVICE_OVERCOMMIT: &str = "D503";
+    /// A trigger edge's staleness (completions interleavable between
+    /// producer finish and consumer start under delay injection) exceeds
+    /// the configured bound.
+    pub const MODEL_TRIGGER_STALENESS: &str = "D504";
+    /// The exploration was truncated (state budget or plan size): the
+    /// interleaving properties were not fully proven (warning).
+    pub const MODEL_STATE_BUDGET: &str = "D510";
 }

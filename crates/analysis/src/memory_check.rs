@@ -291,6 +291,7 @@ pub fn check_memory_plan(graph: &Graph, sg: &CompiledSubgraph) -> Report {
         );
     }
 
+    crate::telemetry::record_check(crate::telemetry::Family::Memory, &report);
     report
 }
 

@@ -42,7 +42,7 @@ pub fn check_optimize(
     options: CompileOptions,
 ) -> (Option<(Graph, OptimizeStats)>, Report) {
     let mut report = Report::new(format!("{}:passes", graph.name));
-    match Compiler::new(options.with_check(true)).optimize(graph) {
+    let out = match Compiler::new(options.with_check(true)).optimize(graph) {
         Ok(result) => (Some(result), report),
         Err(CompileError::Invariant(v)) => {
             report.push(violation_to_diagnostic(&v));
@@ -55,7 +55,9 @@ pub fn check_optimize(
             ));
             (None, report)
         }
-    }
+    };
+    crate::telemetry::record_check(crate::telemetry::Family::Pass, &out.1);
+    out
 }
 
 #[cfg(test)]

@@ -47,6 +47,12 @@ pub struct PlanFacts {
     /// batch-16 want different placements — so a plan applied at the
     /// wrong batch is an error, not a curiosity.
     pub batch: usize,
+    /// The plan's claimed end-to-end latency, when it carries one. Used
+    /// by the model checker's `D503` occupancy bound; `None` disables
+    /// that check.
+    pub expected_latency_us: Option<f64>,
+    /// True when the plan records a single-device fallback decision.
+    pub fallback: bool,
     pub subgraphs: Vec<PlanSubgraphFacts>,
 }
 
@@ -190,6 +196,7 @@ pub fn lint_plan(graph: &Graph, facts: &PlanFacts, config: &LintConfig) -> Repor
     if !report.has_errors() {
         perf_lints(graph, facts, &owner, config, &mut report);
     }
+    crate::telemetry::record_check(crate::telemetry::Family::Plan, &report);
     report
 }
 
@@ -201,6 +208,8 @@ pub fn lint_schedule(graph: &Graph, placed: &[Placed]) -> Report {
         model: graph.name.clone(),
         fingerprint: fingerprint(graph),
         batch: graph.leading_batch().unwrap_or(1),
+        expected_latency_us: None,
+        fallback: false,
         subgraphs: placed
             .iter()
             .map(|p| PlanSubgraphFacts {

@@ -499,6 +499,7 @@ pub fn check_witness(
         }
     }
 
+    crate::telemetry::record_check(crate::telemetry::Family::Witness, &report);
     report
 }
 
@@ -567,5 +568,6 @@ pub fn check_agreement(
             );
         }
     }
+    crate::telemetry::record_check(crate::telemetry::Family::Witness, &report);
     report
 }

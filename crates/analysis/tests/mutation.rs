@@ -32,6 +32,8 @@ fn good_facts(g: &Graph) -> PlanFacts {
         model: g.name.clone(),
         fingerprint: fingerprint(g),
         batch: g.leading_batch().unwrap_or(1),
+        expected_latency_us: None,
+        fallback: false,
         subgraphs: vec![PlanSubgraphFacts {
             name: "all".into(),
             phase: 0,

@@ -20,7 +20,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use duet_analysis::LintConfig;
+use duet_analysis::{LintConfig, ModelCheckConfig, ModelCheckOutcome, PlanModel};
 use duet_compiler::{
     ArenaPool, ArenaPoolStats, CompileError, CompileOptions, CompiledSubgraph, Compiler,
 };
@@ -49,6 +49,11 @@ pub enum EngineError {
     /// The `duet-analysis` plan linter found hard errors in a supplied
     /// plan; the report carries the individual `D2xx` diagnostics.
     Lint(duet_analysis::Report),
+    /// The `duet-analysis` plan model checker proved a `D5xx` violation
+    /// (reachable deadlock, nondeterministic dispatch, transfer race,
+    /// device overcommit) in the scheduling decision. Raised only in
+    /// checked builds (`CompileOptions::check`, the debug default).
+    ModelCheck(duet_analysis::Report),
 }
 
 impl From<GraphError> for EngineError {
@@ -76,6 +81,7 @@ impl std::fmt::Display for EngineError {
             EngineError::Compile(e) => write!(f, "{e}"),
             EngineError::Plan(e) => write!(f, "{e}"),
             EngineError::Lint(r) => write!(f, "{r}"),
+            EngineError::ModelCheck(r) => write!(f, "{r}"),
         }
     }
 }
@@ -224,7 +230,7 @@ impl DuetBuilder {
         };
 
         let batch = graph.leading_batch().unwrap_or(1);
-        Ok(Duet {
+        let duet = Duet {
             graph,
             units,
             devices,
@@ -239,7 +245,16 @@ impl DuetBuilder {
             min_gain: self.min_gain,
             batch,
             arenas: Arc::new(ArenaPool::new()),
-        })
+        };
+        // Checked builds prove the D5xx properties of the decision the
+        // scheduler just made before handing it to anyone.
+        if self.compile_options.check {
+            let outcome = duet.check_plan(&ModelCheckConfig::default());
+            if outcome.report.has_errors() {
+                return Err(EngineError::ModelCheck(outcome.report));
+            }
+        }
+        Ok(duet)
     }
 
     /// Instantiate an engine from a previously exported [`SchedulePlan`],
@@ -304,7 +319,7 @@ impl DuetBuilder {
             None => (hetero_placed, hetero_latency),
         };
         let batch = plan.batch;
-        Ok(Duet {
+        let duet = Duet {
             graph,
             units,
             devices,
@@ -319,7 +334,16 @@ impl DuetBuilder {
             min_gain: self.min_gain,
             batch,
             arenas: Arc::new(ArenaPool::new()),
-        })
+        };
+        // A supplied plan is untrusted input: in checked builds, prove
+        // its D5xx interleaving properties, not just its D2xx structure.
+        if self.compile_options.check {
+            let outcome = duet.check_plan(&ModelCheckConfig::default());
+            if outcome.report.has_errors() {
+                return Err(EngineError::ModelCheck(outcome.report));
+            }
+        }
+        Ok(duet)
     }
 }
 
@@ -469,6 +493,40 @@ impl Duet {
             fallback: self.fallback,
             expected_latency_us: self.latency_us,
         }
+    }
+
+    /// Model-check this engine's scheduling decision (`D5xx`): explore
+    /// every reachable interleaving of the exported plan's concurrent
+    /// execution and prove deadlock-freedom, determinism, transfer-race
+    /// freedom, occupancy soundness and bounded trigger staleness.
+    ///
+    /// The model is priced from the engine's own compiled subgraphs and
+    /// system model — the exact per-kernel costs the simulator charges —
+    /// so the `D503` occupancy bound is checked against what the plan's
+    /// `expected_latency_us` actually claims. Checked builds run this
+    /// automatically and refuse dirty plans; it is public so serving can
+    /// gate hot-swaps and tools can render counterexamples.
+    pub fn check_plan(&self, cfg: &ModelCheckConfig) -> ModelCheckOutcome {
+        match self.plan_model() {
+            Ok(model) => duet_analysis::check_plan_model(&model, cfg),
+            // Structurally unmodelable plan: surface the lint report.
+            Err(_) => duet_analysis::check_plan(&self.graph, &self.export_plan().to_facts(), cfg),
+        }
+    }
+
+    /// The priced [`PlanModel`] of this engine's scheduling decision —
+    /// the model checker's input, exposed so callers (the serving
+    /// hot-swap gate, chaos tests) can perturb it before checking.
+    /// `Err` carries the lint report of a structurally unmodelable plan.
+    pub fn plan_model(&self) -> Result<PlanModel, duet_analysis::Report> {
+        let facts = self.export_plan().to_facts();
+        let mut model = PlanModel::from_facts(&self.graph, &facts)?;
+        // The plan's subgraphs are the heterogeneous units even when a
+        // fallback was recorded (self.placed is then the whole-graph
+        // compilation, which has a different shape).
+        let hetero = sched::to_placed(&self.units, &self.devices);
+        model.price_with(&self.system, &hetero);
+        Ok(model)
     }
 
     /// Re-run the offline correction pass (Algorithm 1, step 3) against a

@@ -138,6 +138,8 @@ impl SchedulePlan {
             model: self.model.clone(),
             fingerprint: self.fingerprint,
             batch: self.batch,
+            expected_latency_us: Some(self.expected_latency_us),
+            fallback: self.fallback.is_some(),
             subgraphs: self
                 .subgraphs
                 .iter()

@@ -12,11 +12,16 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use duet_analysis::{check_plan_model, ModelCheckConfig, PlanModel};
 use duet_core::{Duet, SchedulePlan};
 use duet_device::SystemModel;
 use parking_lot::{Mutex, RwLock};
 
 use crate::spec::ModelSpec;
+
+/// A test hook that perturbs a re-corrected plan's model before the
+/// hot-swap gate checks it (chaos injection for the refusal path).
+type SwapChaos = Box<dyn Fn(&mut PlanModel) + Send + Sync>;
 
 /// An `arc-swap`-style publication cell: readers `load` a cheap `Arc`
 /// clone, writers `store` a whole new value. Readers never observe a
@@ -71,6 +76,7 @@ pub struct PlanCache {
     slots: Mutex<BTreeMap<usize, Arc<ArcCell<EngineVariant>>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    swap_chaos: Mutex<Option<SwapChaos>>,
 }
 
 impl PlanCache {
@@ -82,7 +88,16 @@ impl PlanCache {
             slots: Mutex::new(BTreeMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            swap_chaos: Mutex::new(None),
         }
+    }
+
+    /// Install a perturbation applied to every re-corrected plan model
+    /// before the D5xx hot-swap gate checks it. Test-only in spirit: it
+    /// exists to demonstrate (and regression-test) that a dirty
+    /// candidate is refused and the old engine stays published.
+    pub fn set_swap_chaos(&self, f: impl Fn(&mut PlanModel) + Send + Sync + 'static) {
+        *self.swap_chaos.lock() = Some(Box::new(f));
     }
 
     pub fn spec(&self) -> &ModelSpec {
@@ -112,17 +127,40 @@ impl PlanCache {
 
     /// Re-run Algorithm 1's correction for every cached variant against
     /// `system` and atomically publish the re-scheduled engines (the
-    /// feedback loop's hot swap). Returns the number of swapped variants.
-    pub fn recorrect_all(&self, system: &SystemModel) -> usize {
+    /// feedback loop's hot swap).
+    ///
+    /// Every candidate must pass the `D5xx` model check before
+    /// publication: a re-corrected plan proven to admit a deadlock, a
+    /// nondeterministic dispatch or a transfer race is *refused* and the
+    /// currently-published engine keeps serving. Returns
+    /// `(swapped, rejected)` variant counts.
+    pub fn recorrect_all(&self, system: &SystemModel) -> (usize, usize) {
         let slots = self.slots.lock();
+        let chaos = self.swap_chaos.lock();
         let mut swapped = 0;
+        let mut rejected = 0;
         for cell in slots.values() {
             let old = cell.load();
             let duet = old.duet.recorrect(system.clone());
-            cell.store(Arc::new(EngineVariant::from_duet(old.batch, duet)));
-            swapped += 1;
+            let clean = match duet.plan_model() {
+                Ok(mut model) => {
+                    if let Some(f) = chaos.as_ref() {
+                        f(&mut model);
+                    }
+                    !check_plan_model(&model, &ModelCheckConfig::default())
+                        .report
+                        .has_errors()
+                }
+                Err(_) => false,
+            };
+            if clean {
+                cell.store(Arc::new(EngineVariant::from_duet(old.batch, duet)));
+                swapped += 1;
+            } else {
+                rejected += 1;
+            }
         }
-        swapped
+        (swapped, rejected)
     }
 
     /// Batch sizes with a built engine.
@@ -200,13 +238,34 @@ mod tests {
         degraded.gpu.peak_gflops /= 12.0;
         degraded.gpu.mem_bw_gbps /= 8.0;
         degraded.gpu.kernel_launch_us *= 8.0;
-        assert_eq!(c.recorrect_all(&degraded), 1);
+        assert_eq!(c.recorrect_all(&degraded), (1, 0));
         let after = c.get_or_build(2);
         assert!(
             !Arc::ptr_eq(&before, &after),
             "swap must publish a new engine"
         );
         assert_eq!(after.batch, 2);
+    }
+
+    #[test]
+    fn dirty_recorrected_plan_is_refused() {
+        let c = cache();
+        let before = c.get_or_build(2);
+        // Corrupt every candidate with a self-trigger: subgraph 0 waits
+        // on its own finish, a guaranteed D500 deadlock.
+        c.set_swap_chaos(|model| model.add_trigger(0, 0));
+        let mut degraded = SystemModel::paper_server();
+        degraded.gpu.peak_gflops /= 12.0;
+        assert_eq!(
+            c.recorrect_all(&degraded),
+            (0, 1),
+            "dirty candidate must be rejected, not swapped"
+        );
+        let after = c.get_or_build(2);
+        assert!(
+            Arc::ptr_eq(&before, &after),
+            "refused swap keeps the old engine published"
+        );
     }
 
     #[test]

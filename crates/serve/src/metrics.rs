@@ -56,6 +56,7 @@ pub struct Metrics {
     exec_errors: AtomicU64,
     batches_executed: AtomicU64,
     plan_swaps: AtomicU64,
+    plan_swaps_rejected: AtomicU64,
     queue_depth: AtomicUsize,
     epoch: AtomicUsize,
     batch_size: Histogram,
@@ -80,6 +81,7 @@ impl Metrics {
             exec_errors: AtomicU64::new(0),
             batches_executed: AtomicU64::new(0),
             plan_swaps: AtomicU64::new(0),
+            plan_swaps_rejected: AtomicU64::new(0),
             queue_depth: AtomicUsize::new(0),
             epoch: AtomicUsize::new(0),
             batch_size: Histogram::new("serve_batch_size", "per-model batch sizes"),
@@ -152,6 +154,12 @@ impl Metrics {
         tm::SERVE_PLAN_SWAPS.inc();
     }
 
+    /// `n` re-corrected plans refused by the D5xx model-check gate.
+    pub fn plan_swap_rejected(&self, n: u64) {
+        self.plan_swaps_rejected.fetch_add(n, Ordering::Relaxed);
+        tm::SERVE_PLAN_SWAP_REJECTED.add(n);
+    }
+
     /// Record one executed batch: its size, and each member request's
     /// wall sojourn plus per-request virtual service share.
     pub fn record_batch(&self, batch: usize, sojourns_us: &[f64], virtual_batch_us: f64) {
@@ -210,6 +218,7 @@ impl Metrics {
             exec_errors: self.exec_errors.load(Ordering::Relaxed),
             batches_executed: self.batches_executed.load(Ordering::Relaxed),
             plan_swaps: self.plan_swaps.load(Ordering::Relaxed),
+            plan_swaps_rejected: self.plan_swaps_rejected.load(Ordering::Relaxed),
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
             epoch: self.epoch(),
             batch_histogram: self
@@ -236,6 +245,8 @@ pub struct MetricsSnapshot {
     pub exec_errors: u64,
     pub batches_executed: u64,
     pub plan_swaps: u64,
+    /// Re-corrected plans refused by the D5xx model-check gate.
+    pub plan_swaps_rejected: u64,
     pub queue_depth: usize,
     pub epoch: usize,
     /// (batch size, number of batches executed at that size). Exact:

@@ -430,8 +430,13 @@ fn execute_chunk(
     // the plans were corrected against → re-correct and hot-swap every
     // cached variant, once.
     if monitor.observe(outcome.virtual_latency_us, variant.duet.latency_us()) {
-        cache.recorrect_all(&deployed);
-        metrics.plan_swap();
+        let (swapped, rejected) = cache.recorrect_all(&deployed);
+        if rejected > 0 {
+            metrics.plan_swap_rejected(rejected as u64);
+        }
+        if swapped > 0 {
+            metrics.plan_swap();
+        }
         metrics.bump_epoch();
         monitor.reset();
     }

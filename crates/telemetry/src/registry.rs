@@ -209,6 +209,10 @@ pub static SERVE_VIRTUAL_SERVICE_US: Histogram = Histogram::new(
 );
 pub static SERVE_PLAN_SWAPS: Counter =
     Counter::new("duet_serve_plan_swaps_total", "Drift-driven plan hot-swaps");
+pub static SERVE_PLAN_SWAP_REJECTED: Counter = Counter::new(
+    "duet_serve_plan_swap_rejected_total",
+    "Re-corrected plans refused by the D5xx model-check gate",
+);
 pub static SERVE_QUEUE_DEPTH: Gauge = Gauge::new(
     "duet_serve_queue_depth",
     "Requests currently queued across all models",
@@ -216,6 +220,89 @@ pub static SERVE_QUEUE_DEPTH: Gauge = Gauge::new(
 pub static SERVE_EPOCH: Gauge = Gauge::new(
     "duet_serve_epoch",
     "Highest metrics epoch across models (bumped on drift injection and hot-swap)",
+);
+
+// ---- analysis ----
+
+pub static ANALYSIS_CHECKS_GRAPH: Counter = Counter::with_label(
+    "duet_analysis_checks_total",
+    "Analyzer invocations",
+    "family",
+    "graph",
+);
+pub static ANALYSIS_CHECKS_PASS: Counter = Counter::with_label(
+    "duet_analysis_checks_total",
+    "Analyzer invocations",
+    "family",
+    "pass",
+);
+pub static ANALYSIS_CHECKS_PLAN: Counter = Counter::with_label(
+    "duet_analysis_checks_total",
+    "Analyzer invocations",
+    "family",
+    "plan",
+);
+pub static ANALYSIS_CHECKS_WITNESS: Counter = Counter::with_label(
+    "duet_analysis_checks_total",
+    "Analyzer invocations",
+    "family",
+    "witness",
+);
+pub static ANALYSIS_CHECKS_MEMORY: Counter = Counter::with_label(
+    "duet_analysis_checks_total",
+    "Analyzer invocations",
+    "family",
+    "memory",
+);
+pub static ANALYSIS_CHECKS_MODEL: Counter = Counter::with_label(
+    "duet_analysis_checks_total",
+    "Analyzer invocations",
+    "family",
+    "model",
+);
+pub static ANALYSIS_DIAGNOSTICS_GRAPH: Counter = Counter::with_label(
+    "duet_analysis_diagnostics_total",
+    "Diagnostics emitted per analyzer family",
+    "family",
+    "graph",
+);
+pub static ANALYSIS_DIAGNOSTICS_PASS: Counter = Counter::with_label(
+    "duet_analysis_diagnostics_total",
+    "Diagnostics emitted per analyzer family",
+    "family",
+    "pass",
+);
+pub static ANALYSIS_DIAGNOSTICS_PLAN: Counter = Counter::with_label(
+    "duet_analysis_diagnostics_total",
+    "Diagnostics emitted per analyzer family",
+    "family",
+    "plan",
+);
+pub static ANALYSIS_DIAGNOSTICS_WITNESS: Counter = Counter::with_label(
+    "duet_analysis_diagnostics_total",
+    "Diagnostics emitted per analyzer family",
+    "family",
+    "witness",
+);
+pub static ANALYSIS_DIAGNOSTICS_MEMORY: Counter = Counter::with_label(
+    "duet_analysis_diagnostics_total",
+    "Diagnostics emitted per analyzer family",
+    "family",
+    "memory",
+);
+pub static ANALYSIS_DIAGNOSTICS_MODEL: Counter = Counter::with_label(
+    "duet_analysis_diagnostics_total",
+    "Diagnostics emitted per analyzer family",
+    "family",
+    "model",
+);
+pub static ANALYSIS_MODEL_CHECK_STATES: Histogram = Histogram::new(
+    "duet_analysis_model_check_states",
+    "States expanded per plan model check",
+);
+pub static ANALYSIS_MODEL_CHECK_WALL_US: Histogram = Histogram::new(
+    "duet_analysis_model_check_wall_us",
+    "Model-checker wall time per plan, microseconds",
 );
 
 /// Every registered counter, in exposition order.
@@ -254,6 +341,19 @@ pub fn counters() -> &'static [&'static Counter] {
         &SERVE_EXEC_ERRORS,
         &SERVE_BATCHES,
         &SERVE_PLAN_SWAPS,
+        &SERVE_PLAN_SWAP_REJECTED,
+        &ANALYSIS_CHECKS_GRAPH,
+        &ANALYSIS_CHECKS_PASS,
+        &ANALYSIS_CHECKS_PLAN,
+        &ANALYSIS_CHECKS_WITNESS,
+        &ANALYSIS_CHECKS_MEMORY,
+        &ANALYSIS_CHECKS_MODEL,
+        &ANALYSIS_DIAGNOSTICS_GRAPH,
+        &ANALYSIS_DIAGNOSTICS_PASS,
+        &ANALYSIS_DIAGNOSTICS_PLAN,
+        &ANALYSIS_DIAGNOSTICS_WITNESS,
+        &ANALYSIS_DIAGNOSTICS_MEMORY,
+        &ANALYSIS_DIAGNOSTICS_MODEL,
     ];
     COUNTERS
 }
@@ -275,6 +375,8 @@ pub fn histograms() -> &'static [&'static Histogram] {
         &SERVE_BATCH_SIZE,
         &SERVE_SOJOURN_US,
         &SERVE_VIRTUAL_SERVICE_US,
+        &ANALYSIS_MODEL_CHECK_STATES,
+        &ANALYSIS_MODEL_CHECK_WALL_US,
     ];
     HISTOGRAMS
 }

@@ -1,16 +1,18 @@
 //! `duet-lint` — static analysis front end.
 //!
-//! Runs the three `duet-analysis` analyzers over a model (or all of
-//! them) and exits non-zero when any reports an error:
+//! Runs the `duet-analysis` analyzers over a model (or all of them) and
+//! exits non-zero when any reports an error:
 //!
 //! ```text
-//! duet-lint wide_and_deep            # verify + pass-check + schedule lint
-//! duet-lint all                      # every zoo model
-//! duet-lint mtdnn --plan plan.json   # lint a serialized plan instead
-//! duet-lint siamese --json           # machine-readable report
-//! duet-lint resnet50 --fast          # skip the engine build / plan lint
-//! duet-lint trace siamese            # run + record + conformance-check
-//! duet-lint trace mtdnn --out t.json # dump annotated Chrome trace
+//! duet-lint wide_and_deep             # verify + pass-check + schedule lint
+//! duet-lint all                       # every zoo model
+//! duet-lint mtdnn --plan plan.json    # lint a serialized plan instead
+//! duet-lint siamese --json            # machine-readable report
+//! duet-lint resnet50 --fast           # skip the engine build / plan lint
+//! duet-lint trace siamese             # run + record + conformance-check
+//! duet-lint trace mtdnn --out t.json  # dump annotated Chrome trace
+//! duet-lint model-check all           # prove D5xx for every zoo plan
+//! duet-lint model-check mtdnn --out cex.json  # counterexample trace
 //! ```
 //!
 //! Per model: the raw graph is verified (`D0xx`), the optimization
@@ -28,10 +30,28 @@
 //! two witnesses against each other (`check_agreement`). `--out <file>`
 //! additionally dumps the executor witness as an annotated Chrome trace
 //! (load in `chrome://tracing` / Perfetto).
+//!
+//! The `model-check` subcommand proves the `D5xx` interleaving
+//! properties of a plan *before* it runs: deadlock-freedom,
+//! schedule-determinism, transfer/aliasing race freedom, device
+//! occupancy and bounded trigger staleness, by exhaustive exploration
+//! of the plan's reachable states. With the engine's own plan the model
+//! is priced from the compiled subgraphs (enabling the `D503` occupancy
+//! bound); with `--plan <file>` the supplied plan is checked unpriced.
+//! `--out <file>` dumps the first violation's counterexample as a
+//! Chrome trace; `--max-states <n>` bounds the exploration.
+//!
+//! ## Exit codes (stable, same for every subcommand)
+//!
+//! * `0` — all reports clean (warnings allowed unless `--deny-warnings`)
+//! * `1` — at least one error diagnostic, or any warning under
+//!   `--deny-warnings`
+//! * `2` — usage or I/O failure (bad flags, unknown model, unreadable
+//!   or unwritable file)
 
 use duet_analysis::{
     check_agreement, check_memory_plans, check_optimize, check_witness, lint_plan, verify_graph,
-    LintConfig, Report, WitnessCheckConfig,
+    LintConfig, ModelCheckConfig, Report, WitnessCheckConfig,
 };
 use duet_compiler::CompileOptions;
 use duet_core::{Duet, SchedulePlan};
@@ -52,16 +72,30 @@ const MODELS: &[&str] = &[
 fn usage() -> ! {
     eprintln!(
         "usage:\n  duet-lint <model>|all [--plan <file>] [--fast] [--json] [--deny-warnings]\n  \
-         duet-lint trace <model>|all [--seed <n>] [--out <file>] [--json] [--deny-warnings]\n\n\
-         models: {}\n\noptions:\n  --plan <file>    lint a serialized schedule plan against the model\n  \
+         duet-lint trace <model>|all [--seed <n>] [--out <file>] [--json] [--deny-warnings]\n  \
+         duet-lint model-check <model>|all [--plan <file>] [--max-states <n>] [--out <file>]\n                                    \
+         [--json] [--deny-warnings]\n\n\
+         models: {}\n\noptions:\n  --plan <file>    lint/check a serialized schedule plan against the model\n  \
          --fast           skip the engine build (no schedule lint)\n  \
          --seed <n>       input-feed seed for trace runs (default 7)\n  \
-         --out <file>     trace: dump the executor witness as a Chrome trace\n  \
+         --out <file>     trace: dump the executor witness as a Chrome trace\n                   \
+         model-check: dump the counterexample as a Chrome trace\n  \
+         --max-states <n> model-check: exploration budget (default 262144)\n  \
          --json           machine-readable output\n  \
-         --deny-warnings  exit non-zero on warnings too",
+         --deny-warnings  exit non-zero on warnings too\n\nexit codes:\n  \
+         0  clean (warnings allowed unless --deny-warnings)\n  \
+         1  errors found, or warnings under --deny-warnings\n  \
+         2  usage or I/O failure",
         MODELS.join(", ")
     );
     std::process::exit(2);
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Lint,
+    Trace,
+    ModelCheck,
 }
 
 struct Options {
@@ -71,13 +105,37 @@ struct Options {
     deny_warnings: bool,
     seed: u64,
     out: Option<String>,
+    max_states: usize,
+}
+
+/// Read + parse a plan file, exiting 2 on failure (I/O, not a finding).
+fn load_plan(path: &str) -> SchedulePlan {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    SchedulePlan::from_json(&text).unwrap_or_else(|e| {
+        eprintln!("cannot parse {path}: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn write_file(path: &str, contents: &str) {
+    if let Err(e) = std::fs::write(path, contents) {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(2);
+    }
+}
+
+fn known_model(name: &str) -> duet_ir::Graph {
+    zoo_model(name).unwrap_or_else(|| {
+        eprintln!("unknown model {name}");
+        usage()
+    })
 }
 
 fn lint_model(name: &str, opts: &Options) -> Vec<Report> {
-    let graph = zoo_model(name).unwrap_or_else(|| {
-        eprintln!("unknown model {name}");
-        usage()
-    });
+    let graph = known_model(name);
     let mut reports = vec![verify_graph(&graph)];
 
     let (optimized, pass_report) = check_optimize(&graph, CompileOptions::checked());
@@ -90,14 +148,7 @@ fn lint_model(name: &str, opts: &Options) -> Vec<Report> {
     reports.push(post);
 
     if let Some(path) = &opts.plan_path {
-        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
-            eprintln!("cannot read {path}: {e}");
-            std::process::exit(2);
-        });
-        let plan = SchedulePlan::from_json(&text).unwrap_or_else(|e| {
-            eprintln!("cannot parse {path}: {e}");
-            std::process::exit(2);
-        });
+        let plan = load_plan(path);
         reports.push(lint_plan(
             &optimized,
             &plan.to_facts(),
@@ -136,10 +187,7 @@ fn lint_model(name: &str, opts: &Options) -> Vec<Report> {
 /// executor and once in the noise-free simulator, conformance-check
 /// both witnesses (`D30x`) and cross-check them (`D31x`).
 fn trace_model(name: &str, opts: &Options) -> Vec<Report> {
-    let graph = zoo_model(name).unwrap_or_else(|| {
-        eprintln!("unknown model {name}");
-        usage()
-    });
+    let graph = known_model(name);
     let engine = match Duet::builder().build(&graph) {
         Ok(e) => e,
         Err(e) => {
@@ -189,19 +237,70 @@ fn trace_model(name: &str, opts: &Options) -> Vec<Report> {
         check_agreement(&exec_witness, &sim_witness, &cfg),
     ];
     if let Some(path) = &opts.out {
-        let trace = witness_to_chrome_trace(name, &exec_witness);
-        if let Err(e) = std::fs::write(path, trace) {
-            eprintln!("cannot write {path}: {e}");
-            std::process::exit(2);
-        }
+        write_file(path, &witness_to_chrome_trace(name, &exec_witness));
     }
     reports
+}
+
+/// The `model-check` subcommand body: prove the `D5xx` interleaving
+/// properties of one plan. Returns the report plus the (states, wall
+/// microseconds) the summary and the CI gate aggregate.
+fn model_check_model(name: &str, opts: &Options) -> (Vec<Report>, usize, f64) {
+    let graph = known_model(name);
+    let cfg = ModelCheckConfig {
+        max_states: opts.max_states,
+        ..Default::default()
+    };
+    let outcome = if let Some(path) = &opts.plan_path {
+        // A supplied plan: check it against the optimized graph,
+        // unpriced (no engine build, so no D503 occupancy bound).
+        let plan = load_plan(path);
+        let (optimized, pass_report) = check_optimize(&graph, CompileOptions::checked());
+        let Some((optimized, _)) = optimized else {
+            return (vec![pass_report], 0, 0.0);
+        };
+        duet_analysis::check_plan(&optimized, &plan.to_facts(), &cfg)
+    } else {
+        match Duet::builder().build(&graph) {
+            Ok(engine) => engine.check_plan(&cfg),
+            Err(e) => {
+                let mut r = Report::new(format!("{name}:model-check"));
+                r.push(duet_analysis::Diagnostic::error(
+                    duet_analysis::codes::PASS_FAILED,
+                    format!("engine build failed: {e}"),
+                ));
+                return (vec![r], 0, 0.0);
+            }
+        }
+    };
+    if let Some(path) = &opts.out {
+        match &outcome.counterexample {
+            Some(witness) => write_file(path, &witness_to_chrome_trace(name, witness)),
+            None => eprintln!("{name}: clean — no counterexample to write"),
+        }
+    }
+    if !opts.json {
+        let s = &outcome.stats;
+        println!(
+            "{name}: {} state(s), {} transition(s), {} pruned, {:.2} ms{}",
+            s.states,
+            s.transitions,
+            s.pruned,
+            s.wall_us / 1e3,
+            if s.truncated { " (truncated)" } else { "" },
+        );
+    }
+    (
+        vec![outcome.report],
+        outcome.stats.states,
+        outcome.stats.wall_us,
+    )
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut names: Vec<String> = Vec::new();
-    let mut trace = false;
+    let mut mode = Mode::Lint;
     let mut opts = Options {
         plan_path: None,
         fast: false,
@@ -209,12 +308,21 @@ fn main() {
         deny_warnings: false,
         seed: 7,
         out: None,
+        max_states: ModelCheckConfig::default().max_states,
     };
     let mut it = args.into_iter().peekable();
-    if it.peek().map(String::as_str) == Some("trace") {
-        trace = true;
-        it.next();
+    match it.peek().map(String::as_str) {
+        Some("trace") => {
+            mode = Mode::Trace;
+            it.next();
+        }
+        Some("model-check") => {
+            mode = Mode::ModelCheck;
+            it.next();
+        }
+        _ => {}
     }
+    let mut max_states_set = false;
     while let Some(a) = it.next() {
         match a.as_str() {
             "--plan" => match it.next() {
@@ -232,12 +340,25 @@ fn main() {
                 Some(p) => opts.out = Some(p),
                 None => usage(),
             },
+            "--max-states" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) => {
+                    opts.max_states = n;
+                    max_states_set = true;
+                }
+                None => usage(),
+            },
             "--help" | "-h" => usage(),
             flag if flag.starts_with('-') => usage(),
             model => names.push(model.to_string()),
         }
     }
-    if names.is_empty() || (!trace && (opts.out.is_some() || opts.seed != 7)) {
+    // Per-mode flag validity.
+    let flag_ok = match mode {
+        Mode::Lint => opts.out.is_none() && opts.seed == 7 && !max_states_set,
+        Mode::Trace => opts.plan_path.is_none() && !opts.fast && !max_states_set,
+        Mode::ModelCheck => !opts.fast && opts.seed == 7,
+    };
+    if names.is_empty() || !flag_ok {
         usage();
     }
     if names.iter().any(|n| n == "all") {
@@ -254,12 +375,19 @@ fn main() {
 
     let mut errors = 0usize;
     let mut warnings = 0usize;
+    let mut total_states = 0usize;
+    let mut total_wall_us = 0.0f64;
     let mut json_reports = Vec::new();
     for name in &names {
-        let reports = if trace {
-            trace_model(name, &opts)
-        } else {
-            lint_model(name, &opts)
+        let reports = match mode {
+            Mode::Trace => trace_model(name, &opts),
+            Mode::Lint => lint_model(name, &opts),
+            Mode::ModelCheck => {
+                let (reports, states, wall_us) = model_check_model(name, &opts);
+                total_states += states;
+                total_wall_us += wall_us;
+                reports
+            }
         };
         for report in reports {
             errors += report.error_count();
@@ -277,6 +405,13 @@ fn main() {
         let rendered = serde_json::to_string_pretty(&serde_json::Value::Array(json_reports))
             .expect("report serializes");
         println!("{rendered}");
+    } else if mode == Mode::ModelCheck {
+        println!(
+            "model-check: {} plan(s), {total_states} state(s), {:.2} ms total, \
+             {errors} error(s), {warnings} warning(s)",
+            names.len(),
+            total_wall_us / 1e3,
+        );
     } else {
         println!(
             "{} model(s): {errors} error(s), {warnings} warning(s)",
