@@ -49,6 +49,25 @@ echo "$MC_OUT" | awk '
 step "model-check mutation gate (each injected corruption maps to its D5xx code)"
 cargo test -q -p duet-analysis --test model_check_mutation
 
+step "duet-lint dataflow over all built-in models (D6xx proof, <10ms/model budget)"
+DF_OUT="$(cargo run -q --release --bin duet-lint -- \
+  dataflow all --deny-warnings | tee /dev/stderr)"
+echo "$DF_OUT" | awk '
+  /^dataflow: / {
+    found = 1
+    for (i = 1; i <= NF; i++) if ($(i + 1) == "ms/model,") ms = $i
+    if (ms == "" || ms + 0 >= 10) { print "FAIL: worst model took " ms " ms (budget 10)"; exit 1 }
+    print "worst per-model analysis time " ms " ms - within budget."
+  }
+  END { if (!found) { print "FAIL: no dataflow summary line"; exit 1 } }
+'
+
+step "dataflow soundness gate (abstract intervals contain concrete runs)"
+cargo test -q -p duet-analysis --test dataflow_soundness
+
+step "dataflow mutation gate (each seeded hazard maps to its D6xx code)"
+cargo test -q -p duet-analysis --test dataflow_mutation
+
 step "static->dynamic bridge (D5xx-clean plans survive seeded interleaving stress)"
 cargo test -q --test model_check_bridge
 
@@ -74,6 +93,7 @@ for family in \
   duet_analysis_checks_total \
   duet_analysis_diagnostics_total \
   duet_analysis_model_check_states \
+  duet_analysis_dataflow_wall_us \
   duet_serve_queue_depth \
   duet_serve_batch_size_bucket; do
   grep -q "^$family" "$METRICS_OUT" \

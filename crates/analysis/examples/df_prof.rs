@@ -1,0 +1,25 @@
+//! Micro-benchmark for the `D6xx` dataflow analyzer on the heaviest
+//! zoo model. `ci.sh` holds `duet-lint dataflow` to a per-model wall
+//! budget; run this when the analyzer regresses to see the steady-state
+//! cost without process startup noise:
+//!
+//! ```text
+//! cargo run --release -p duet-analysis --example df_prof
+//! ```
+
+use std::time::Instant;
+
+fn main() {
+    let g = duet_models::zoo_model("resnet50").unwrap();
+    let _ = duet_analysis::check_dataflow(&g); // warm-up
+    let iters = 20;
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        let r = duet_analysis::check_dataflow(&g);
+        assert!(r.is_clean());
+    }
+    println!(
+        "resnet50 dataflow: {:.2} ms/iter",
+        t0.elapsed().as_secs_f64() * 1e3 / iters as f64
+    );
+}

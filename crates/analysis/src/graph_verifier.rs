@@ -35,7 +35,6 @@ pub fn verify_graph(graph: &Graph) -> Report {
                 .with_node(idx),
             );
         }
-        let mut inputs_ok = true;
         for &i in &node.inputs {
             if i >= n {
                 report.push(
@@ -45,7 +44,6 @@ pub fn verify_graph(graph: &Graph) -> Report {
                     )
                     .with_node(idx),
                 );
-                inputs_ok = false;
                 continue;
             }
             if i >= idx {
@@ -135,35 +133,35 @@ pub fn verify_graph(graph: &Graph) -> Report {
                     );
                 }
             },
-            _ if inputs_ok && arity_ok => {
-                let shapes: Vec<_> = node.inputs.iter().map(|&i| &graph.node(i).shape).collect();
-                match node.op.infer_shape(&shapes) {
-                    Ok(inferred) if inferred != node.shape => {
-                        report.push(
-                            Diagnostic::error(
-                                codes::SHAPE_MISMATCH,
-                                format!(
-                                    "stored shape {} but {} re-infers {inferred}",
-                                    node.shape,
-                                    node.op.name()
-                                ),
-                            )
-                            .with_node(idx),
-                        );
-                    }
-                    Ok(_) => {}
-                    Err(e) => {
-                        report.push(
-                            Diagnostic::error(
-                                codes::SHAPE_INFERENCE,
-                                format!("shape inference failed: {e}"),
-                            )
-                            .with_node(idx),
-                        );
-                    }
+            // Shape re-inference is delegated to the shared engine in
+            // `duet_ir::infer` (also used by the D6xx dataflow
+            // analyzer, so the two can never disagree); its skip
+            // semantics mirror `inputs_ok`/`arity_ok` above.
+            _ => match duet_ir::infer::check_node_shape(graph, idx) {
+                duet_ir::infer::ShapeCheck::Mismatch { inferred } => {
+                    report.push(
+                        Diagnostic::error(
+                            codes::SHAPE_MISMATCH,
+                            format!(
+                                "stored shape {} but {} re-infers {inferred}",
+                                node.shape,
+                                node.op.name()
+                            ),
+                        )
+                        .with_node(idx),
+                    );
                 }
-            }
-            _ => {}
+                duet_ir::infer::ShapeCheck::Error(e) => {
+                    report.push(
+                        Diagnostic::error(
+                            codes::SHAPE_INFERENCE,
+                            format!("shape inference failed: {e}"),
+                        )
+                        .with_node(idx),
+                    );
+                }
+                _ => {}
+            },
         }
 
         let degenerate = match node.op {

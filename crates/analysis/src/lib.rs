@@ -42,15 +42,25 @@
 //!   bounded trigger staleness *before* the plan ever runs. Violations
 //!   come with a synthetic counterexample witness renderable as a
 //!   Chrome trace and re-checkable by the `D3xx` analyzer.
+//! * **Dataflow analyzer** ([`check_dataflow`], `D6xx`) — abstract
+//!   interpretation over the graph (see [`duet_ir::absint`]): every
+//!   node gets a value interval, NaN/Inf reachability flags,
+//!   constantness and alias/escape facts. Proven hazards become coded
+//!   diagnostics — certain division by zero, reachable NaN production
+//!   with the producing path, certain overflow to Inf, dead-by-constant
+//!   subgraphs, interval-unsound attributes. The same facts feed the
+//!   pass checker (passes must refine, never widen, abstract state) and
+//!   the tape planner's extended in-place eligibility.
 //!
 //! Severities are [`Severity::Error`] (do not run/deploy this artifact)
 //! and [`Severity::Warning`] (runs, but suspicious). The `duet-lint`
-//! CLI in the root crate drives all six over the model zoo and exits
+//! CLI in the root crate drives all seven over the model zoo and exits
 //! non-zero on errors; its `trace` subcommand runs a model, records
 //! witnesses and checks them; its `model-check` subcommand proves the
 //! `D5xx` properties per plan. Every analyzer invocation is counted in
 //! the `duet-telemetry` registry (see [`telemetry`]).
 
+pub mod dataflow;
 pub mod diagnostics;
 pub mod graph_verifier;
 pub mod memory_check;
@@ -60,6 +70,7 @@ pub mod plan_lint;
 pub mod telemetry;
 pub mod witness_check;
 
+pub use dataflow::{check_dataflow, check_dataflow_with};
 pub use diagnostics::{Diagnostic, Report, Severity};
 pub use graph_verifier::verify_graph;
 pub use memory_check::{check_memory_plan, check_memory_plans};
@@ -116,6 +127,9 @@ pub mod codes {
     pub const PASS_GREW_GRAPH: &str = "D103";
     /// A pass itself reported an error while rewriting.
     pub const PASS_FAILED: &str = "D104";
+    /// A pass widened some output's abstract state (interval grew, or a
+    /// NaN/Inf fact appeared that the input graph did not have).
+    pub const PASS_WIDENED_ABSTRACT: &str = "D105";
 
     // D2xx — plan/schedule linter
     /// A planned subgraph schedules a nonexistent node.
@@ -224,4 +238,20 @@ pub mod codes {
     /// The exploration was truncated (state budget or plan size): the
     /// interleaving properties were not fully proven (warning).
     pub const MODEL_STATE_BUDGET: &str = "D510";
+
+    // D6xx — dataflow (abstract interpretation) analyzer
+    /// A divisor is certainly exactly zero on every execution.
+    pub const DATAFLOW_DIV_BY_ZERO: &str = "D600";
+    /// A mathematical domain violation can produce NaN (e.g. the square
+    /// root of a provably negative variance).
+    pub const DATAFLOW_NAN: &str = "D601";
+    /// The entire output interval lies beyond f32 range: every
+    /// execution overflows to ±Inf.
+    pub const DATAFLOW_OVERFLOW: &str = "D602";
+    /// A node's output is statically constant despite a runtime-varying
+    /// input: the subgraph feeding it is dead (warning).
+    pub const DATAFLOW_DEAD_CONST: &str = "D603";
+    /// An op attribute makes interval reasoning (and the kernel itself)
+    /// unsound, e.g. a non-positive or NaN epsilon.
+    pub const DATAFLOW_BAD_ATTRIBUTE: &str = "D604";
 }

@@ -212,7 +212,12 @@ pub fn check_memory_plan(graph: &Graph, sg: &CompiledSubgraph) -> Report {
         if instr.in_place {
             let first_is_own =
                 matches!(instr.inputs.first(), Some(&Operand::Slot(s)) if s == instr.out);
-            if !duet_compiler::memory::in_place_capable(&instr.op) {
+            // Either unconditionally capable, or proof-gated ("extended")
+            // — the same dataflow proof the planner used must still hold
+            // when the tape is checked.
+            let proven = instr.node < graph.len()
+                && duet_compiler::memory::in_place_extended(graph, graph.node(instr.node));
+            if !duet_compiler::memory::in_place_capable(&instr.op) && !proven {
                 report.push(
                     Diagnostic::error(
                         codes::TAPE_INPLACE,

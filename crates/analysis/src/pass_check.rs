@@ -23,6 +23,7 @@ pub fn violation_to_diagnostic(v: &PassViolation) -> Diagnostic {
         ViolationKind::BrokeValidation => codes::PASS_BROKE_VALIDATION,
         ViolationKind::RemovedLiveNode => codes::PASS_REMOVED_LIVE_NODE,
         ViolationKind::GrewGraph => codes::PASS_GREW_GRAPH,
+        ViolationKind::WidenedAbstractState => codes::PASS_WIDENED_ABSTRACT,
     };
     let mut d = Diagnostic::error(code, v.detail.clone()).with_context(v.pass);
     if let Some(n) = v.node {
@@ -103,5 +104,29 @@ mod tests {
             violation_to_diagnostic(&removed).context.as_deref(),
             Some("dce")
         );
+    }
+
+    #[test]
+    fn widened_abstract_state_maps_to_d105() {
+        use duet_compiler::invariants::check_dataflow_refinement;
+        use duet_ir::absint::{analyze_values, AbsintConfig};
+        let g = chain();
+        // "Optimizing" relu(x) to x widens [0, MAX] back to [-MAX, MAX].
+        let mut widened = Graph::new("c");
+        let x = widened.add_input("x", vec![4]);
+        widened.mark_output(x).unwrap();
+        let cfg = AbsintConfig::default();
+        let v = check_dataflow_refinement(
+            "fold_constants",
+            &g,
+            &analyze_values(&g),
+            &widened,
+            &analyze_values(&widened),
+            &cfg,
+        )
+        .unwrap_err();
+        let d = violation_to_diagnostic(&v);
+        assert_eq!(d.code, codes::PASS_WIDENED_ABSTRACT);
+        assert_eq!(d.context.as_deref(), Some("fold_constants"));
     }
 }

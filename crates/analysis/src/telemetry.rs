@@ -2,9 +2,10 @@
 //!
 //! Every analyzer entry point records one `duet_analysis_checks_total`
 //! tick and its emitted diagnostic count under its family label
-//! (`graph`, `pass`, `plan`, `witness`, `memory`, `model`); the model
-//! checker additionally feeds its states-explored and wall-time
-//! histograms. All of it lands in the existing `duet-telemetry`
+//! (`graph`, `pass`, `plan`, `witness`, `memory`, `model`,
+//! `dataflow`); the model checker additionally feeds its
+//! states-explored and wall-time histograms, and the dataflow analyzer
+//! its per-graph wall-time histogram. All of it lands in the existing `duet-telemetry`
 //! registry, so `duet-serve`'s `/metrics` and the `--metrics-out`
 //! snapshot expose analysis activity alongside the pipeline metrics.
 
@@ -28,6 +29,8 @@ pub enum Family {
     Memory,
     /// `D5xx` plan model checker.
     Model,
+    /// `D6xx` dataflow (abstract interpretation) analyzer.
+    Dataflow,
 }
 
 /// Record one analyzer invocation and its diagnostic yield.
@@ -45,6 +48,10 @@ pub fn record_check(family: Family, report: &Report) {
             &tm::ANALYSIS_DIAGNOSTICS_MEMORY,
         ),
         Family::Model => (&tm::ANALYSIS_CHECKS_MODEL, &tm::ANALYSIS_DIAGNOSTICS_MODEL),
+        Family::Dataflow => (
+            &tm::ANALYSIS_CHECKS_DATAFLOW,
+            &tm::ANALYSIS_DIAGNOSTICS_DATAFLOW,
+        ),
     };
     checks.inc();
     diags.add(report.diagnostics().len() as u64);
@@ -56,4 +63,11 @@ pub fn record_model_check(outcome: &ModelCheckOutcome) {
     record_check(Family::Model, &outcome.report);
     tm::ANALYSIS_MODEL_CHECK_STATES.observe(outcome.stats.states as u64);
     tm::ANALYSIS_MODEL_CHECK_WALL_US.observe_us(outcome.stats.wall_us);
+}
+
+/// Record one dataflow-analyzer run: the family tick plus per-graph
+/// wall time.
+pub fn record_dataflow(report: &Report, wall_us: u64) {
+    record_check(Family::Dataflow, report);
+    tm::ANALYSIS_DATAFLOW_WALL_US.observe_us(wall_us as f64);
 }

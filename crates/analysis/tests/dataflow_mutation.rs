@@ -1,0 +1,164 @@
+//! Mutation tests for the `D6xx` dataflow analyzer: each seeded
+//! corruption must trip *exactly* its own code — no cross-talk between
+//! codes, no collateral findings on the corrupted node — and the whole
+//! (uncorrupted) model zoo must analyze clean within the documented
+//! per-model time budget.
+
+use std::time::Instant;
+
+use duet_analysis::{check_dataflow, codes};
+use duet_ir::{Graph, Op};
+use duet_models::zoo_model;
+use duet_tensor::Tensor;
+
+const ZOO: &[&str] = &[
+    "wide_and_deep",
+    "siamese",
+    "mtdnn",
+    "resnet18",
+    "resnet50",
+    "vgg16",
+    "mobilenet",
+    "squeezenet",
+];
+
+/// Every zoo model is D6xx-clean — the analyzer proves no hazards in
+/// working models — and stays under the 10 ms/model budget `ci.sh`
+/// enforces on release builds (debug gets a generous multiple).
+#[test]
+fn zoo_is_dataflow_clean_and_fast() {
+    for name in ZOO {
+        let g = zoo_model(name).unwrap();
+        let t0 = Instant::now();
+        let report = check_dataflow(&g);
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        assert!(
+            report.is_clean(),
+            "{name} should be dataflow-clean:\n{}",
+            report.render()
+        );
+        assert!(ms < 200.0, "{name} took {ms:.1} ms (debug budget 200 ms)");
+    }
+}
+
+/// Helper: the set of distinct codes in a report.
+fn codes_of(report: &duet_analysis::Report) -> Vec<&'static str> {
+    let mut v: Vec<&'static str> = report.diagnostics().iter().map(|d| d.code).collect();
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+fn bn_graph(var_value: f32) -> (Graph, usize) {
+    let mut g = Graph::new("bn");
+    let x = g.add_input("x", vec![1, 4, 8, 8]);
+    let gamma = g.add_constant("gamma", Tensor::ones(vec![4]));
+    let beta = g.add_constant("beta", Tensor::zeros(vec![4]));
+    let mean = g.add_constant("mean", Tensor::zeros(vec![4]));
+    let var = g.add_constant("var", Tensor::full(vec![4], var_value));
+    let bn = g
+        .add_op("bn", Op::BatchNorm2d, &[x, gamma, beta, mean, var])
+        .unwrap();
+    let r = g.add_op("relu", Op::Relu, &[bn]).unwrap();
+    g.mark_output(r).unwrap();
+    (g, bn)
+}
+
+/// `var = -eps` exactly cancels the kernel's `var + eps`: the rsqrt
+/// divisor is certainly zero on every run.
+#[test]
+fn zero_divisor_batch_norm_trips_only_d600() {
+    let (g, bn) = bn_graph(-1e-5);
+    let report = check_dataflow(&g);
+    assert_eq!(codes_of(&report), vec![codes::DATAFLOW_DIV_BY_ZERO]);
+    assert_eq!(report.error_count(), 1);
+    assert_eq!(report.diagnostics()[0].node, Some(bn));
+}
+
+/// A provably negative variance makes `sqrt(var + eps)` NaN: D601 with
+/// the producing path, and nothing else (downstream ops stay silent
+/// under the blanket NaN rule).
+#[test]
+fn negative_variance_trips_only_d601() {
+    let (g, bn) = bn_graph(-0.5);
+    let report = check_dataflow(&g);
+    assert_eq!(codes_of(&report), vec![codes::DATAFLOW_NAN]);
+    assert_eq!(report.error_count(), 1);
+    let d = &report.diagnostics()[0];
+    assert_eq!(d.node, Some(bn));
+    assert!(
+        d.context.as_deref().unwrap_or("").contains("via"),
+        "D601 should carry the producing operand path: {d}"
+    );
+}
+
+/// MatMul of two huge constants: `k × 1e20 × 1e20` exceeds f32 range in
+/// every element, so the whole output interval is beyond ±MAX.
+#[test]
+fn overflow_scale_matmul_trips_only_d602() {
+    let mut g = Graph::new("overflow");
+    let a = g.add_input("a", vec![2, 8]);
+    let big1 = g.add_constant("big1", Tensor::full(vec![8, 8], 1e20));
+    let big2 = g.add_constant("big2", Tensor::full(vec![8, 8], 1e20));
+    let m = g.add_op("m", Op::MatMul, &[big1, big2]).unwrap();
+    let out = g.add_op("out", Op::MatMul, &[a, m]).unwrap();
+    g.mark_output(out).unwrap();
+    let report = check_dataflow(&g);
+    assert_eq!(codes_of(&report), vec![codes::DATAFLOW_OVERFLOW]);
+    let d = report
+        .diagnostics()
+        .iter()
+        .find(|d| d.code == codes::DATAFLOW_OVERFLOW)
+        .unwrap();
+    assert_eq!(d.node, Some(m));
+}
+
+/// Multiplying a runtime input by an all-zeros constant collapses the
+/// output to the point [0, 0]: the input branch is dead.
+#[test]
+fn unreachable_constant_branch_trips_only_d603() {
+    let mut g = Graph::new("dead");
+    let x = g.add_input("x", vec![4, 16]);
+    let l = g.add_op("l", Op::Relu, &[x]).unwrap();
+    let z = g.add_constant("z", Tensor::zeros(vec![4, 16]));
+    let m = g.add_op("m", Op::Mul, &[l, z]).unwrap();
+    g.mark_output(m).unwrap();
+    let report = check_dataflow(&g);
+    assert_eq!(codes_of(&report), vec![codes::DATAFLOW_DEAD_CONST]);
+    assert_eq!(report.error_count(), 0, "D603 is a warning");
+    assert_eq!(report.warning_count(), 1);
+    let d = &report.diagnostics()[0];
+    assert_eq!(d.node, Some(m));
+}
+
+/// A non-positive layer-norm epsilon breaks both the kernel and the
+/// interval bound `|z| ≤ range/sqrt(eps)`.
+#[test]
+fn bad_layer_norm_eps_trips_only_d604() {
+    let mut g = Graph::new("badattr");
+    let x = g.add_input("x", vec![2, 32]);
+    let gamma = g.add_constant("gamma", Tensor::ones(vec![32]));
+    let beta = g.add_constant("beta", Tensor::zeros(vec![32]));
+    let ln = g
+        .add_op("ln", Op::LayerNorm { eps: -1.0 }, &[x, gamma, beta])
+        .unwrap();
+    g.mark_output(ln).unwrap();
+    let report = check_dataflow(&g);
+    assert_eq!(codes_of(&report), vec![codes::DATAFLOW_BAD_ATTRIBUTE]);
+    assert_eq!(report.error_count(), 1);
+    assert_eq!(report.diagnostics()[0].node, Some(ln));
+}
+
+/// The mutation matrix as a whole: no corruption leaks a second code.
+/// (Each case above already asserts exactness; this documents the
+/// pairwise-disjointness claim in one place.)
+#[test]
+fn mutation_codes_are_pairwise_disjoint() {
+    let reports = [
+        check_dataflow(&bn_graph(-1e-5).0),
+        check_dataflow(&bn_graph(-0.5).0),
+    ];
+    let all: Vec<&str> = reports.iter().flat_map(|r| codes_of(r)).collect();
+    assert_eq!(all.len(), 2);
+    assert_ne!(all[0], all[1]);
+}

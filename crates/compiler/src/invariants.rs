@@ -23,7 +23,8 @@
 //! [`Compiler::optimize`]: crate::Compiler::optimize
 //! [`CompileOptions::check`]: crate::CompileOptions
 
-use duet_ir::{Graph, NodeId};
+use duet_ir::absint::{AbsintConfig, DataflowFacts};
+use duet_ir::{Graph, NodeId, Op};
 
 /// Which invariant a pass broke.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,6 +39,11 @@ pub enum ViolationKind {
     RemovedLiveNode,
     /// An optimization pass produced more nodes than it was given.
     GrewGraph,
+    /// A pass widened some output's abstract dataflow state: its value
+    /// interval grew, or a NaN/Inf fact appeared that the input graph's
+    /// analysis did not have. Optimization must only *refine* what the
+    /// abstract interpreter can prove.
+    WidenedAbstractState,
 }
 
 /// A named pass caught breaking an invariant.
@@ -150,6 +156,42 @@ pub fn check_pass(
     Ok(())
 }
 
+/// Verify that a pass *refined* abstract dataflow state: for every
+/// output position, the after-graph's abstract value must be contained
+/// in the before-graph's (interval inside interval, no new NaN/Inf
+/// facts). The output interface is positionally stable (checked by
+/// [`check_pass`] first), so outputs are compared by position.
+///
+/// Constant-fold can materialize constants larger than the analyzer's
+/// scan cap; those are assumed full-range by the analysis — an artifact
+/// of the cap, not a pass bug — and are skipped.
+pub fn check_dataflow_refinement(
+    pass: &'static str,
+    before: &Graph,
+    before_facts: &DataflowFacts,
+    after: &Graph,
+    after_facts: &DataflowFacts,
+    cfg: &AbsintConfig,
+) -> Result<(), PassViolation> {
+    for (pos, (&b, &a)) in before.outputs().iter().zip(after.outputs()).enumerate() {
+        let node = after.node(a);
+        if matches!(node.op, Op::Constant) && node.shape.volume() > cfg.stat_cap {
+            continue;
+        }
+        let bv = before_facts.val(b);
+        let av = after_facts.val(a);
+        if !av.refines(&bv) {
+            return Err(PassViolation {
+                pass,
+                kind: ViolationKind::WidenedAbstractState,
+                node: Some(a),
+                detail: format!("output #{pos} abstract state widened: {bv} -> {av}"),
+            });
+        }
+    }
+    Ok(())
+}
+
 /// Verify a lowering's fusion grouping: every requested node in exactly
 /// one group, nothing extra. A violation here is a compiler bug (the
 /// moral equivalent of an LLVM ICE), so this panics rather than
@@ -225,5 +267,27 @@ mod tests {
     #[should_panic(expected = "fusion")]
     fn fusion_group_loss_panics() {
         assert_fusion_groups(&[1, 2, 3], &[vec![1], vec![3]]);
+    }
+
+    #[test]
+    fn abstract_widening_detected() {
+        use duet_ir::absint::{analyze_values, AbsintConfig};
+        // "Optimized" graph wires the output straight to the raw input,
+        // widening the relu's [0, MAX] interval back to [-MAX, MAX].
+        let before = chain();
+        let mut after = Graph::new("chain");
+        let x = after.add_input("x", vec![4]);
+        after.mark_output(x).unwrap();
+        let bf = analyze_values(&before);
+        let af = analyze_values(&after);
+        let cfg = AbsintConfig::default();
+        let v = check_dataflow_refinement("dce", &before, &bf, &after, &af, &cfg).unwrap_err();
+        assert_eq!(v.kind, ViolationKind::WidenedAbstractState);
+
+        // And an honest identity pass refines trivially.
+        assert_eq!(
+            check_dataflow_refinement("noop", &before, &bf, &before, &bf, &cfg),
+            Ok(())
+        );
     }
 }

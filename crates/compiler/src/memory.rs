@@ -28,7 +28,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use duet_ir::{Graph, GraphError, NodeId, Op};
+use duet_ir::{Graph, GraphError, Node, NodeId, Op};
 use duet_tensor::kernels::{self, UnaryOp};
 use duet_tensor::{Shape, Tensor, TensorError};
 
@@ -231,6 +231,17 @@ pub fn in_place_capable(op: &Op) -> bool {
     )
 }
 
+/// Ops the planner may run in place only when the dataflow analyzer can
+/// *prove* the specific node safe (vs. the unconditional whitelist
+/// above). Today: a BatchNorm2d epilogue whose four parameters are
+/// constants proven finite with `min(var) + eps > 0` — its kernel is
+/// elementwise per position, so overwriting the dying input slot is
+/// exactly as safe as a relu, but only once the scale factors are known
+/// not to blow up (see [`duet_ir::absint::prove_batchnorm_inplace`]).
+pub fn in_place_extended(graph: &Graph, node: &Node) -> bool {
+    matches!(node.op, Op::BatchNorm2d) && duet_ir::absint::prove_batchnorm_inplace(graph, node)
+}
+
 impl ExecutableTape {
     /// Plan `node_ids` (topologically ordered) of `graph` into a tape.
     ///
@@ -306,11 +317,16 @@ impl ExecutableTape {
             // In-place epilogue: first operand is a slot value that dies
             // right here and no other operand aliases the same slot.
             let dies_here = |src: NodeId| last_use.get(&src) == Some(&k);
-            let in_place_slot = if in_place_capable(&node.op) {
+            // Extended (proof-gated) candidates additionally need the
+            // slot's recorded shape to match exactly, because their
+            // kernels reinterpret the buffer through the node's shape.
+            let extended = in_place_extended(graph, node);
+            let in_place_slot = if in_place_capable(&node.op) || extended {
                 match (node.inputs.first(), inputs.first()) {
                     (Some(&src0), Some(&Operand::Slot(s)))
                         if dies_here(src0)
                             && slot_shapes[s].volume() == node.shape.volume()
+                            && (!extended || slot_shapes[s] == node.shape)
                             && !inputs[1..].contains(&Operand::Slot(s)) =>
                     {
                         Some(s)
@@ -597,6 +613,21 @@ impl ExecutableTape {
                     kernels::bias_add_into(xd, bd, out);
                 }
                 Ok(())
+            }
+            Op::BatchNorm2d => {
+                let gamma = self.src_tensor(instr.inputs[1], feeds, arena)?;
+                let beta = self.src_tensor(instr.inputs[2], feeds, arena)?;
+                let mean = self.src_tensor(instr.inputs[3], feeds, arena)?;
+                let var = self.src_tensor(instr.inputs[4], feeds, arena)?;
+                if instr.in_place {
+                    // The planner only flags extended in-place when the
+                    // slot's shape equals the node's NCHW shape.
+                    let shape = self.plan.slot_shapes[instr.out].clone();
+                    kernels::batch_norm2d_inplace(out, &shape, &gamma, &beta, &mean, &var, 1e-5)
+                } else {
+                    let x = self.src_tensor(instr.inputs[0], feeds, arena)?;
+                    kernels::batch_norm2d_into(&x, &gamma, &beta, &mean, &var, 1e-5, out)
+                }
             }
             // Every other op keeps its allocating kernel; inputs are
             // wrapped zero-copy and the result is copied into the slot.

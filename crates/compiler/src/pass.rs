@@ -140,10 +140,20 @@ impl Compiler {
             ..Default::default()
         };
         let mut g = graph.clone();
+        // In check mode every pass must also *refine* abstract dataflow
+        // state (intervals shrink, NaN/Inf facts never appear); the
+        // facts of the running graph are carried forward so each pass
+        // costs exactly one re-analysis.
+        let mut facts = if self.options.check {
+            Some(duet_ir::absint::analyze_values(&g))
+        } else {
+            None
+        };
         if self.options.fold_constants {
             let t0 = duet_telemetry::clock_us();
             let (g2, n) = passes::fold_constants(&g)?;
             self.verify_pass("fold_constants", &g, &g2, false)?;
+            facts = self.verify_dataflow("fold_constants", &g, facts, &g2)?;
             g = g2;
             stats.constants_folded = n;
             let dur = duet_telemetry::clock_us() - t0;
@@ -156,6 +166,7 @@ impl Compiler {
             let t0 = duet_telemetry::clock_us();
             let (g2, n) = passes::eliminate_common_subexpressions(&g)?;
             self.verify_pass("cse", &g, &g2, false)?;
+            facts = self.verify_dataflow("cse", &g, facts, &g2)?;
             g = g2;
             stats.subexpressions_merged = n;
             let dur = duet_telemetry::clock_us() - t0;
@@ -168,6 +179,7 @@ impl Compiler {
             let t0 = duet_telemetry::clock_us();
             let (g2, n) = passes::eliminate_dead_code(&g)?;
             self.verify_pass("dce", &g, &g2, true)?;
+            facts = self.verify_dataflow("dce", &g, facts, &g2)?;
             g = g2;
             stats.dead_removed = n;
             let dur = duet_telemetry::clock_us() - t0;
@@ -176,6 +188,7 @@ impl Compiler {
             tm::COMPILE_PASS_DELTA_DCE.add(n as u64);
             duet_telemetry::record_span(SpanKind::PassDce, n as u64, t0, dur, 0.0, 0.0);
         }
+        let _ = facts; // last pass's facts; nothing left to compare against
         stats.nodes_after = g.len();
         duet_telemetry::record_span(
             SpanKind::CompileOptimize,
@@ -199,6 +212,26 @@ impl Compiler {
             return Ok(());
         }
         invariants::check_pass(pass, before, after, removal_only).map_err(CompileError::Invariant)
+    }
+
+    /// Check abstract-state refinement for one pass and return the
+    /// after-graph's facts for the next pass to compare against.
+    /// `before_facts` is `None` exactly when check mode is off.
+    fn verify_dataflow(
+        &self,
+        pass: &'static str,
+        before: &Graph,
+        before_facts: Option<duet_ir::absint::DataflowFacts>,
+        after: &Graph,
+    ) -> Result<Option<duet_ir::absint::DataflowFacts>, CompileError> {
+        let Some(bf) = before_facts else {
+            return Ok(None);
+        };
+        let cfg = duet_ir::absint::AbsintConfig::default();
+        let af = duet_ir::absint::analyze_values_with(after, &cfg);
+        invariants::check_dataflow_refinement(pass, before, &bf, after, &af, &cfg)
+            .map_err(CompileError::Invariant)?;
+        Ok(Some(af))
     }
 
     /// Lower a node subset of an (already optimized) graph into a

@@ -16,7 +16,7 @@ use std::collections::HashMap;
 
 use duet_compiler::passes::fuse_groups;
 use duet_compiler::{CompileOptions, CompiledSubgraph, Compiler, TapeArena};
-use duet_ir::{Graph, NodeId};
+use duet_ir::{Graph, NodeId, Op};
 use duet_models::{
     input_feeds, mobilenet, mtdnn, resnet, siamese, wide_and_deep, zoo_model, MobileNetConfig,
     MtDnnConfig, ResNetConfig, SiameseConfig, WideAndDeepConfig,
@@ -113,6 +113,30 @@ fn planner_beats_naive_on_every_zoo_model() {
         assert!(
             plan.reused_slots > 0 || plan.in_place_ops > 0,
             "{name}: plan shows no reuse at all"
+        );
+    }
+}
+
+/// The dataflow-proof-gated in-place widening must actually fire: zoo
+/// CNNs carry constant, provably well-conditioned BatchNorm statistics
+/// (unit variance), so their BatchNorm epilogues overwrite the dying
+/// convolution output instead of opening a fresh slot. Bit identity of
+/// the in-place kernel is covered by `tape_bit_identical_to_reference`
+/// above (resnet and mobilenet are in `families()`).
+#[test]
+fn batch_norm_runs_in_place_on_zoo_cnns() {
+    for name in ["resnet18", "mobilenet"] {
+        let model = zoo_model(name).expect("zoo model");
+        let (_, sg) = compile(name, &model);
+        let bn_in_place = sg
+            .tape
+            .instrs
+            .iter()
+            .filter(|i| matches!(i.op, Op::BatchNorm2d) && i.in_place)
+            .count();
+        assert!(
+            bn_in_place > 0,
+            "{name}: no in-place batch-norm instructions on the tape"
         );
     }
 }

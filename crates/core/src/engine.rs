@@ -54,6 +54,11 @@ pub enum EngineError {
     /// device overcommit) in the scheduling decision. Raised only in
     /// checked builds (`CompileOptions::check`, the debug default).
     ModelCheck(duet_analysis::Report),
+    /// The `duet-analysis` dataflow analyzer proved a `D6xx` value
+    /// hazard in the optimized model (certain division by zero,
+    /// reachable NaN, certain overflow, unsound attribute). Raised only
+    /// in checked builds.
+    Dataflow(duet_analysis::Report),
 }
 
 impl From<GraphError> for EngineError {
@@ -82,6 +87,7 @@ impl std::fmt::Display for EngineError {
             EngineError::Plan(e) => write!(f, "{e}"),
             EngineError::Lint(r) => write!(f, "{r}"),
             EngineError::ModelCheck(r) => write!(f, "{r}"),
+            EngineError::Dataflow(r) => write!(f, "{r}"),
         }
     }
 }
@@ -183,6 +189,7 @@ impl DuetBuilder {
     pub fn build(self, model: &Graph) -> Result<Duet, EngineError> {
         let compiler = Compiler::new(self.compile_options);
         let (graph, _stats) = compiler.optimize(model)?;
+        check_dataflow_gate(&graph, self.compile_options.check)?;
 
         let part = match self.granularity {
             Granularity::Coarse => partition(&graph),
@@ -266,6 +273,7 @@ impl DuetBuilder {
     pub fn build_with_plan(self, model: &Graph, plan: &SchedulePlan) -> Result<Duet, EngineError> {
         let compiler = Compiler::new(self.compile_options);
         let (graph, _) = compiler.optimize(model)?;
+        check_dataflow_gate(&graph, self.compile_options.check)?;
         plan.validate_against(&graph)?;
         // Beyond the coarse fingerprint/coverage gate: run the full
         // `duet-analysis` plan linter so a structurally broken plan
@@ -345,6 +353,20 @@ impl DuetBuilder {
         }
         Ok(duet)
     }
+}
+
+/// Checked-build D6xx gate: after optimization, the dataflow analyzer
+/// must prove the graph free of certain value hazards (division by
+/// zero, reachable NaN, overflow to Inf, unsound attributes). Warnings
+/// (`D603` dead-by-constant) do not block the build.
+fn check_dataflow_gate(graph: &Graph, checked: bool) -> Result<(), EngineError> {
+    if checked {
+        let report = duet_analysis::check_dataflow(graph);
+        if report.has_errors() {
+            return Err(EngineError::Dataflow(report));
+        }
+    }
+    Ok(())
 }
 
 /// A scheduled, ready-to-run DUET engine for one model.
@@ -698,6 +720,42 @@ mod tests {
                 .min(duet.single_device_latency_us(DeviceKind::Gpu));
             assert!(duet.latency_us() < best, "{}", g.name);
         }
+    }
+
+    #[test]
+    fn checked_build_rejects_proven_dataflow_hazard() {
+        use duet_ir::Op;
+        // A BatchNorm whose constant variance is provably negative makes
+        // rsqrt(var + eps) NaN on every run — the D6xx gate must refuse
+        // to build it in checked mode.
+        let mut g = Graph::new("bn_bad");
+        let x = g.add_input("x", vec![1, 4, 8, 8]);
+        let gamma = g.add_constant("gamma", Tensor::ones(vec![4]));
+        let beta = g.add_constant("beta", Tensor::zeros(vec![4]));
+        let mean = g.add_constant("mean", Tensor::zeros(vec![4]));
+        let var = g.add_constant("var", Tensor::full(vec![4], -0.5));
+        let bn = g
+            .add_op("bn", Op::BatchNorm2d, &[x, gamma, beta, mean, var])
+            .unwrap();
+        g.mark_output(bn).unwrap();
+
+        let err = Duet::builder()
+            .compile_options(CompileOptions::checked())
+            .build(&g)
+            .unwrap_err();
+        match err {
+            EngineError::Dataflow(report) => {
+                assert!(report.contains(duet_analysis::codes::DATAFLOW_NAN))
+            }
+            other => panic!("expected Dataflow error, got {other}"),
+        }
+
+        // Unchecked builds skip the gate (hazards are a lint concern,
+        // not a hard failure, when the user opts out of checking).
+        Duet::builder()
+            .compile_options(CompileOptions::default().with_check(false))
+            .build(&g)
+            .unwrap();
     }
 
     #[test]

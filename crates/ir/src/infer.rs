@@ -1,0 +1,126 @@
+//! Shared whole-graph shape re-inference.
+//!
+//! Both the `D0xx` graph verifier and the `D6xx` dataflow analyzer need
+//! to re-derive every node's shape from its inputs and compare against
+//! the stored shape — the verifier to report `D005`/`D006`, the
+//! abstract interpreter to know which nodes it may trust reduction
+//! lengths and trailing dims for. Keeping one engine here (next to
+//! [`Op::infer_shape`] itself) guarantees the two can never disagree
+//! about what a node's shape *should* be.
+//!
+//! The skip semantics are deliberate and shared: a node whose input ids
+//! point outside the graph, or whose input count violates the operator
+//! arity, is [`ShapeCheck::Skipped`] — those defects carry their own
+//! codes (`D000`/`D004`) and re-inference over garbage inputs would
+//! only produce noise on top of them.
+
+use duet_tensor::{Shape, TensorError};
+
+use crate::graph::{Graph, NodeId};
+use crate::op::Op;
+
+/// Outcome of re-inferring one node's shape.
+#[derive(Debug)]
+pub enum ShapeCheck {
+    /// Source node (`Input`/`Constant`): shapes are declared, not
+    /// inferred.
+    Source,
+    /// Re-inference agrees with the stored shape.
+    Ok,
+    /// Re-inference succeeded but disagrees with the stored shape.
+    Mismatch {
+        /// What [`Op::infer_shape`] derives from the stored input
+        /// shapes.
+        inferred: Shape,
+    },
+    /// [`Op::infer_shape`] rejected the input shapes outright.
+    Error(TensorError),
+    /// Not checkable: an input id is out of range or the arity is
+    /// wrong (reported under their own codes by the verifier).
+    Skipped,
+}
+
+impl ShapeCheck {
+    /// True when the stored shape can be trusted (sources declare
+    /// theirs; `Ok` nodes re-derive theirs).
+    pub fn trusted(&self) -> bool {
+        matches!(self, ShapeCheck::Source | ShapeCheck::Ok)
+    }
+}
+
+/// Re-infer the shape of node `id` from its inputs' stored shapes.
+pub fn check_node_shape(graph: &Graph, id: NodeId) -> ShapeCheck {
+    let n = graph.len();
+    if id >= n {
+        return ShapeCheck::Skipped;
+    }
+    let node = graph.node(id);
+    if matches!(node.op, Op::Input | Op::Constant) {
+        return ShapeCheck::Source;
+    }
+    if node.inputs.iter().any(|&i| i >= n) {
+        return ShapeCheck::Skipped;
+    }
+    let (lo, hi) = node.op.arity();
+    if node.inputs.len() < lo || node.inputs.len() > hi {
+        return ShapeCheck::Skipped;
+    }
+    let shapes: Vec<&Shape> = node.inputs.iter().map(|&i| &graph.node(i).shape).collect();
+    match node.op.infer_shape(&shapes) {
+        Ok(inferred) if inferred != node.shape => ShapeCheck::Mismatch { inferred },
+        Ok(_) => ShapeCheck::Ok,
+        Err(e) => ShapeCheck::Error(e),
+    }
+}
+
+/// Re-infer every node's shape. `result[id]` is the check for node
+/// `id`.
+pub fn check_shapes(graph: &Graph) -> Vec<ShapeCheck> {
+    (0..graph.len())
+        .map(|id| check_node_shape(graph, id))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use duet_tensor::Tensor;
+
+    #[test]
+    fn clean_graph_checks_clean() {
+        let mut g = Graph::new("t");
+        let x = g.add_input("x", vec![2, 8]);
+        let w = g.add_constant("w", Tensor::randn(vec![8, 4], 0.1, 1));
+        let m = g.add_op("m", Op::MatMul, &[x, w]).unwrap();
+        g.mark_output(m).unwrap();
+        let checks = check_shapes(&g);
+        assert!(matches!(checks[x], ShapeCheck::Source));
+        assert!(matches!(checks[w], ShapeCheck::Source));
+        assert!(matches!(checks[m], ShapeCheck::Ok));
+    }
+
+    #[test]
+    fn corrupted_shape_is_a_mismatch() {
+        let mut g = Graph::new("t");
+        let x = g.add_input("x", vec![4]);
+        let r = g.add_op("r", Op::Relu, &[x]).unwrap();
+        g.mark_output(r).unwrap();
+        g.node_unchecked_mut(r).shape = duet_tensor::Shape::new(vec![5]);
+        assert!(matches!(
+            check_node_shape(&g, r),
+            ShapeCheck::Mismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn bad_arity_is_skipped_not_inferred() {
+        let mut g = Graph::new("t");
+        let x = g.add_input("x", vec![4]);
+        let r = g.add_op("r", Op::Relu, &[x]).unwrap();
+        g.mark_output(r).unwrap();
+        g.node_unchecked_mut(r).inputs = vec![x, x];
+        assert!(matches!(check_node_shape(&g, r), ShapeCheck::Skipped));
+        g.node_unchecked_mut(r).inputs = vec![99];
+        assert!(matches!(check_node_shape(&g, r), ShapeCheck::Skipped));
+    }
+}

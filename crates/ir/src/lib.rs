@@ -17,12 +17,14 @@
 //! into per-device execution-time estimates; the *profiler* in
 //! `duet-runtime` measures compiled subgraphs against those models.
 
+pub mod absint;
 pub mod builder;
 pub mod cost;
 pub mod dot;
 pub mod expr;
 pub mod fingerprint;
 pub mod graph;
+pub mod infer;
 pub mod metrics;
 pub mod op;
 pub mod serialize;

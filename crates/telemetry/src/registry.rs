@@ -296,6 +296,18 @@ pub static ANALYSIS_DIAGNOSTICS_MODEL: Counter = Counter::with_label(
     "family",
     "model",
 );
+pub static ANALYSIS_CHECKS_DATAFLOW: Counter = Counter::with_label(
+    "duet_analysis_checks_total",
+    "Analyzer invocations",
+    "family",
+    "dataflow",
+);
+pub static ANALYSIS_DIAGNOSTICS_DATAFLOW: Counter = Counter::with_label(
+    "duet_analysis_diagnostics_total",
+    "Diagnostics emitted per analyzer family",
+    "family",
+    "dataflow",
+);
 pub static ANALYSIS_MODEL_CHECK_STATES: Histogram = Histogram::new(
     "duet_analysis_model_check_states",
     "States expanded per plan model check",
@@ -303,6 +315,10 @@ pub static ANALYSIS_MODEL_CHECK_STATES: Histogram = Histogram::new(
 pub static ANALYSIS_MODEL_CHECK_WALL_US: Histogram = Histogram::new(
     "duet_analysis_model_check_wall_us",
     "Model-checker wall time per plan, microseconds",
+);
+pub static ANALYSIS_DATAFLOW_WALL_US: Histogram = Histogram::new(
+    "duet_analysis_dataflow_wall_us",
+    "Dataflow (abstract interpretation) wall time per graph, microseconds",
 );
 
 /// Every registered counter, in exposition order.
@@ -354,6 +370,8 @@ pub fn counters() -> &'static [&'static Counter] {
         &ANALYSIS_DIAGNOSTICS_WITNESS,
         &ANALYSIS_DIAGNOSTICS_MEMORY,
         &ANALYSIS_DIAGNOSTICS_MODEL,
+        &ANALYSIS_CHECKS_DATAFLOW,
+        &ANALYSIS_DIAGNOSTICS_DATAFLOW,
     ];
     COUNTERS
 }
@@ -377,6 +395,7 @@ pub fn histograms() -> &'static [&'static Histogram] {
         &SERVE_VIRTUAL_SERVICE_US,
         &ANALYSIS_MODEL_CHECK_STATES,
         &ANALYSIS_MODEL_CHECK_WALL_US,
+        &ANALYSIS_DATAFLOW_WALL_US,
     ];
     HISTOGRAMS
 }

@@ -17,7 +17,8 @@ mod util;
 
 pub use attention::{multi_head_attention, scaled_dot_attention};
 pub use conv::{
-    avg_pool2d, batch_norm2d, conv2d, conv2d_into, depthwise_conv2d, global_avg_pool2d, max_pool2d,
+    avg_pool2d, batch_norm2d, batch_norm2d_inplace, batch_norm2d_into, conv2d, conv2d_into,
+    depthwise_conv2d, global_avg_pool2d, max_pool2d,
 };
 pub use elementwise::{
     add, add_inplace, add_into, bias_add, bias_add_inplace, bias_add_into, gelu, mul, mul_inplace,

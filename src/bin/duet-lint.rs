@@ -13,6 +13,8 @@
 //! duet-lint trace mtdnn --out t.json  # dump annotated Chrome trace
 //! duet-lint model-check all           # prove D5xx for every zoo plan
 //! duet-lint model-check mtdnn --out cex.json  # counterexample trace
+//! duet-lint dataflow all              # D6xx abstract interpretation
+//! duet-lint dataflow resnet50 --json  # machine-readable hazards
 //! ```
 //!
 //! Per model: the raw graph is verified (`D0xx`), the optimization
@@ -40,6 +42,15 @@
 //! bound); with `--plan <file>` the supplied plan is checked unpriced.
 //! `--out <file>` dumps the first violation's counterexample as a
 //! Chrome trace; `--max-states <n>` bounds the exploration.
+//!
+//! The `dataflow` subcommand runs the `D6xx` abstract interpreter over
+//! the raw model graph: value intervals, NaN/Inf reachability and
+//! alias/escape facts in one forward pass, reporting proven hazards
+//! (certain division by zero, reachable NaN with its producing path,
+//! certain overflow to infinity, dead-by-constant results, unsound
+//! attributes). Per model it prints node count, finding counts and the
+//! analyzer's wall time; the summary line carries the worst per-model
+//! time so CI can hold the analyzer to its latency budget.
 //!
 //! ## Exit codes (stable, same for every subcommand)
 //!
@@ -74,7 +85,8 @@ fn usage() -> ! {
         "usage:\n  duet-lint <model>|all [--plan <file>] [--fast] [--json] [--deny-warnings]\n  \
          duet-lint trace <model>|all [--seed <n>] [--out <file>] [--json] [--deny-warnings]\n  \
          duet-lint model-check <model>|all [--plan <file>] [--max-states <n>] [--out <file>]\n                                    \
-         [--json] [--deny-warnings]\n\n\
+         [--json] [--deny-warnings]\n  \
+         duet-lint dataflow <model>|all [--json] [--deny-warnings]\n\n\
          models: {}\n\noptions:\n  --plan <file>    lint/check a serialized schedule plan against the model\n  \
          --fast           skip the engine build (no schedule lint)\n  \
          --seed <n>       input-feed seed for trace runs (default 7)\n  \
@@ -96,6 +108,7 @@ enum Mode {
     Lint,
     Trace,
     ModelCheck,
+    Dataflow,
 }
 
 struct Options {
@@ -297,6 +310,27 @@ fn model_check_model(name: &str, opts: &Options) -> (Vec<Report>, usize, f64) {
     )
 }
 
+/// The `dataflow` subcommand body: abstract-interpret one model's raw
+/// graph (`D6xx`). Returns the report plus the analyzer's wall
+/// microseconds, which the summary aggregates into a worst-model time
+/// for the CI latency budget.
+fn dataflow_model(name: &str, opts: &Options) -> (Vec<Report>, f64) {
+    let graph = known_model(name);
+    let t0 = std::time::Instant::now();
+    let report = duet_analysis::check_dataflow(&graph);
+    let wall_us = t0.elapsed().as_secs_f64() * 1e6;
+    if !opts.json {
+        println!(
+            "{name}: {} node(s), {} error(s), {} warning(s), {:.2} ms",
+            graph.len(),
+            report.error_count(),
+            report.warning_count(),
+            wall_us / 1e3,
+        );
+    }
+    (vec![report], wall_us)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut names: Vec<String> = Vec::new();
@@ -318,6 +352,10 @@ fn main() {
         }
         Some("model-check") => {
             mode = Mode::ModelCheck;
+            it.next();
+        }
+        Some("dataflow") => {
+            mode = Mode::Dataflow;
             it.next();
         }
         _ => {}
@@ -357,6 +395,13 @@ fn main() {
         Mode::Lint => opts.out.is_none() && opts.seed == 7 && !max_states_set,
         Mode::Trace => opts.plan_path.is_none() && !opts.fast && !max_states_set,
         Mode::ModelCheck => !opts.fast && opts.seed == 7,
+        Mode::Dataflow => {
+            opts.plan_path.is_none()
+                && !opts.fast
+                && opts.out.is_none()
+                && opts.seed == 7
+                && !max_states_set
+        }
     };
     if names.is_empty() || !flag_ok {
         usage();
@@ -377,6 +422,7 @@ fn main() {
     let mut warnings = 0usize;
     let mut total_states = 0usize;
     let mut total_wall_us = 0.0f64;
+    let mut max_wall_us = 0.0f64;
     let mut json_reports = Vec::new();
     for name in &names {
         let reports = match mode {
@@ -386,6 +432,12 @@ fn main() {
                 let (reports, states, wall_us) = model_check_model(name, &opts);
                 total_states += states;
                 total_wall_us += wall_us;
+                reports
+            }
+            Mode::Dataflow => {
+                let (reports, wall_us) = dataflow_model(name, &opts);
+                total_wall_us += wall_us;
+                max_wall_us = max_wall_us.max(wall_us);
                 reports
             }
         };
@@ -411,6 +463,14 @@ fn main() {
              {errors} error(s), {warnings} warning(s)",
             names.len(),
             total_wall_us / 1e3,
+        );
+    } else if mode == Mode::Dataflow {
+        println!(
+            "dataflow: {} model(s), {:.2} ms total, worst {:.2} ms/model, \
+             {errors} error(s), {warnings} warning(s)",
+            names.len(),
+            total_wall_us / 1e3,
+            max_wall_us / 1e3,
         );
     } else {
         println!(
