@@ -101,6 +101,49 @@ for family in \
 done
 echo "all metric families present."
 
+step "duet tune gate (drift scenario: never worse than Algorithm 1, promoted, deterministic)"
+TUNE_A="$(mktemp --suffix .json)"
+TUNE_B="$(mktemp --suffix .json)"
+TUNE_METRICS="$(mktemp)"
+trap 'rm -f "$METRICS_OUT" "$TUNE_A" "$TUNE_B" "$TUNE_METRICS"' EXIT
+# The CLI exits nonzero on a never-worse violation or failed promotion;
+# on the zoo the drift run must also strictly beat the stale plan.
+cargo run -q --release --bin duet -- tune wide_and_deep \
+  --drift --seed 51966 --json "$TUNE_A" --metrics-out "$TUNE_METRICS"
+cargo run -q --release --bin duet -- tune mtdnn \
+  --drift --seed 51966 --json "$TUNE_B"
+python3 - "$TUNE_A" "$TUNE_B" <<'PY'
+import json, sys
+for path in sys.argv[1:]:
+    run = json.load(open(path))["runs"][0]
+    assert run["promoted"], f'{run["model"]}: winning plan failed promotion'
+    assert run["tuned_us"] <= run["algorithm1_us"], f'{run["model"]}: worse than Algorithm 1'
+    assert run["speedup_vs_stale"] > 1.0, \
+        f'{run["model"]}: no strict win over the stale plan under drift'
+    print(f'{run["model"]}: {run["speedup_vs_stale"]:.3f}x vs stale, promoted')
+PY
+# Fixed-seed determinism: the same seed must reproduce the same report.
+cargo run -q --release --bin duet -- tune wide_and_deep \
+  --drift --seed 51966 --json "$TUNE_B" > /dev/null
+python3 - "$TUNE_A" "$TUNE_B" <<'PY'
+import json, sys
+a, b = (json.load(open(p)) for p in sys.argv[1:])
+drop = lambda r: {k: v for k, v in r.items() if k != "wall_us"}
+assert [drop(r) for r in a["runs"]] == [drop(r) for r in b["runs"]], \
+    "same seed produced a different tuning report"
+print("fixed-seed determinism holds.")
+PY
+for family in \
+  duet_tune_runs_total \
+  duet_tune_candidates_total \
+  duet_tune_promotions_total \
+  duet_tune_oracle_wall_us \
+  duet_tune_search_wall_us; do
+  grep -q "^$family" "$TUNE_METRICS" \
+    || { echo "FAIL: /metrics family $family missing from tune run"; exit 1; }
+done
+echo "all duet_tune_* metric families present."
+
 step "merged perfetto trace (duet trace --full) is one valid JSON document"
 TRACE_OUT="$(mktemp --suffix .json)"
 trap 'rm -f "$METRICS_OUT" "$TRACE_OUT"' EXIT

@@ -161,6 +161,10 @@ pub mod codes {
     /// The plan's recorded batch size disagrees with the batch implied
     /// by its graph's input/output shapes (or is zero).
     pub const PLAN_BATCH_MISMATCH: &str = "D214";
+    /// A heterogeneous plan's simulated makespan exceeds the
+    /// critical-path lower bound by more than the configured factor
+    /// (warning): provable headroom remains — re-tune the schedule.
+    pub const PLAN_FAR_FROM_BOUND: &str = "D215";
 
     // D3xx — runtime-conformance (witness) checker
     /// A placed subgraph never executed.

@@ -958,6 +958,7 @@ mod tests {
             batch: 1,
             expected_latency_us: None,
             fallback: false,
+            critical_path_lb_us: None,
             subgraphs: [
                 ("a", DeviceKind::Cpu),
                 ("b", DeviceKind::Cpu),

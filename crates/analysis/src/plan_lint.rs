@@ -53,6 +53,11 @@ pub struct PlanFacts {
     pub expected_latency_us: Option<f64>,
     /// True when the plan records a single-device fallback decision.
     pub fallback: bool,
+    /// Critical-path lower bound on any placement's makespan, when the
+    /// producer computed one (chain bound ∨ work bound; see
+    /// `duet-core`'s `critical_path_lower_bound_us`). Drives the `D215`
+    /// optimality-gap lint; `None` disables it.
+    pub critical_path_lb_us: Option<f64>,
     pub subgraphs: Vec<PlanSubgraphFacts>,
 }
 
@@ -66,6 +71,11 @@ pub struct LintConfig {
     /// Warn when a multi-path phase's heaviest path exceeds its lightest
     /// by more than this factor (default 8×).
     pub imbalance_ratio: f64,
+    /// Warn when a heterogeneous plan's claimed makespan exceeds the
+    /// critical-path lower bound by more than this factor (default 2×) —
+    /// the schedule is leaving at least half the provable headroom on
+    /// the table and is a candidate for re-tuning.
+    pub makespan_bound_factor: f64,
 }
 
 impl Default for LintConfig {
@@ -73,6 +83,7 @@ impl Default for LintConfig {
         LintConfig {
             max_cross_traffic_bytes: 8.0 * 1024.0 * 1024.0,
             imbalance_ratio: 8.0,
+            makespan_bound_factor: 2.0,
         }
     }
 }
@@ -210,6 +221,7 @@ pub fn lint_schedule(graph: &Graph, placed: &[Placed]) -> Report {
         batch: graph.leading_batch().unwrap_or(1),
         expected_latency_us: None,
         fallback: false,
+        critical_path_lb_us: None,
         subgraphs: placed
             .iter()
             .map(|p| PlanSubgraphFacts {
@@ -339,6 +351,31 @@ fn perf_lints(
                     bytes / 1e6
                 ),
             ));
+        }
+    }
+
+    // Optimality gap: a heterogeneous plan whose claimed makespan sits
+    // far above the critical-path lower bound is leaving provable
+    // headroom unused. Fallback plans are exempt — a single device
+    // cannot exploit the work bound's two-device parallelism, so
+    // best-single latency near 2× the bound is the *expected* shape of
+    // a correct fallback decision, not a tuning failure.
+    if !facts.fallback {
+        if let (Some(latency), Some(lb)) = (facts.expected_latency_us, facts.critical_path_lb_us) {
+            if lb > 0.0 && latency > config.makespan_bound_factor * lb {
+                report.push(Diagnostic::warning(
+                    codes::PLAN_FAR_FROM_BOUND,
+                    format!(
+                        "simulated makespan {:.1} us is {:.2}x the critical-path \
+                         lower bound {:.1} us (threshold {:.1}x) — the schedule \
+                         has provable headroom; consider `duet tune`",
+                        latency,
+                        latency / lb,
+                        lb,
+                        config.makespan_bound_factor
+                    ),
+                ));
+            }
         }
     }
 

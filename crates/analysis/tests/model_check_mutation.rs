@@ -72,6 +72,7 @@ fn priced_model() -> (Graph, PlanModel, Vec<Placed>) {
         batch: 1,
         expected_latency_us: Some(expected),
         fallback: false,
+        critical_path_lb_us: None,
         subgraphs: PLACEMENT
             .iter()
             .map(|&(name, device)| PlanSubgraphFacts {

@@ -34,6 +34,7 @@ fn good_facts(g: &Graph) -> PlanFacts {
         batch: g.leading_batch().unwrap_or(1),
         expected_latency_us: None,
         fallback: false,
+        critical_path_lb_us: None,
         subgraphs: vec![PlanSubgraphFacts {
             name: "all".into(),
             phase: 0,
@@ -196,6 +197,42 @@ fn batch_mismatch_is_caught_as_d214() {
         r.contains(codes::PLAN_BATCH_MISMATCH),
         "batch 0 must be rejected:\n{r}"
     );
+}
+
+#[test]
+fn makespan_far_from_bound_is_warned_as_d215() {
+    let g = victim();
+    let mut facts = good_facts(&g);
+    facts.critical_path_lb_us = Some(100.0);
+    facts.expected_latency_us = Some(150.0);
+    let r = lint_plan(&g, &facts, &LintConfig::default());
+    assert!(
+        !r.contains(codes::PLAN_FAR_FROM_BOUND),
+        "1.5x the bound is within the 2x threshold:\n{r}"
+    );
+
+    facts.expected_latency_us = Some(250.0);
+    let r = lint_plan(&g, &facts, &LintConfig::default());
+    assert!(
+        r.contains(codes::PLAN_FAR_FROM_BOUND),
+        "2.5x the bound must warn:\n{r}"
+    );
+    assert!(!r.has_errors(), "D215 is a warning, not an error");
+
+    // Fallback plans are exempt: a single device cannot exploit the
+    // work bound's two-device parallelism.
+    facts.fallback = true;
+    let r = lint_plan(&g, &facts, &LintConfig::default());
+    assert!(
+        !r.contains(codes::PLAN_FAR_FROM_BOUND),
+        "fallback plans are exempt from D215:\n{r}"
+    );
+
+    // And plans without a recorded bound skip the lint entirely.
+    facts.fallback = false;
+    facts.critical_path_lb_us = None;
+    let r = lint_plan(&g, &facts, &LintConfig::default());
+    assert!(!r.contains(codes::PLAN_FAR_FROM_BOUND));
 }
 
 #[test]

@@ -514,6 +514,80 @@ impl Duet {
                 .collect(),
             fallback: self.fallback,
             expected_latency_us: self.latency_us,
+            critical_path_lb_us: Some(self.critical_path_lower_bound_us()),
+        }
+    }
+
+    /// Critical-path lower bound on the makespan of *any* placement of
+    /// this engine's subgraphs, microseconds (chain bound ∨ work bound;
+    /// see [`sched::critical_path_lower_bound_us`]). No device
+    /// assignment — tuned, corrected, or exhaustively enumerated — can
+    /// simulate below this, which makes `latency_us() / bound` the
+    /// engine's "how far from optimal" readout.
+    pub fn critical_path_lower_bound_us(&self) -> f64 {
+        sched::critical_path_lower_bound_us(&self.units, &self.system)
+    }
+
+    /// Re-place this engine's *already compiled and profiled* subgraphs
+    /// onto an explicit device vector and return the resulting engine —
+    /// the autotuner's promotion path. Everything expensive (graph
+    /// optimization, partitioning, lowering, profiling) is reused; only
+    /// the simulator and the single-device fallback decision re-run, so
+    /// instantiating a candidate costs one `measure_latency` call.
+    ///
+    /// The fallback rule is the same as [`DuetBuilder::build`]: if the
+    /// proposed heterogeneous placement does not beat the best single
+    /// device by `min_gain`, the returned engine records a fallback (a
+    /// tuned plan must not smuggle a sub-threshold win past the §VI-E
+    /// guardrail).
+    ///
+    /// Panics if `devices.len()` differs from `units().len()`.
+    pub fn with_devices(&self, devices: Vec<DeviceKind>) -> Duet {
+        assert_eq!(
+            devices.len(),
+            self.units.len(),
+            "one device per scheduling unit"
+        );
+        let hetero_placed = sched::to_placed(&self.units, &devices);
+        let hetero_latency = measure_latency(&self.graph, &hetero_placed, &self.system);
+        let best_single = self.cpu_only_us.min(self.gpu_only_us);
+        let fallback =
+            if self.allow_fallback && hetero_latency > best_single * (1.0 - self.min_gain) {
+                Some(if self.cpu_only_us <= self.gpu_only_us {
+                    DeviceKind::Cpu
+                } else {
+                    DeviceKind::Gpu
+                })
+            } else {
+                None
+            };
+        let single_placed = |d: DeviceKind| {
+            vec![Placed {
+                sg: self.whole.clone(),
+                device: d,
+            }]
+        };
+        let (placed, latency_us) = match fallback {
+            Some(DeviceKind::Cpu) => (single_placed(DeviceKind::Cpu), self.cpu_only_us),
+            Some(DeviceKind::Gpu) => (single_placed(DeviceKind::Gpu), self.gpu_only_us),
+            None => (hetero_placed, hetero_latency),
+        };
+        Duet {
+            graph: self.graph.clone(),
+            units: self.units.clone(),
+            devices,
+            placed,
+            latency_us,
+            cpu_only_us: self.cpu_only_us,
+            gpu_only_us: self.gpu_only_us,
+            fallback,
+            system: self.system.clone(),
+            whole: self.whole.clone(),
+            allow_fallback: self.allow_fallback,
+            min_gain: self.min_gain,
+            batch: self.batch,
+            // Same compiled tapes — candidates can share the pool.
+            arenas: Arc::clone(&self.arenas),
         }
     }
 
@@ -653,6 +727,7 @@ impl Duet {
             cpu_only_us: self.cpu_only_us,
             gpu_only_us: self.gpu_only_us,
             fallback: self.fallback,
+            critical_path_lb_us: self.critical_path_lower_bound_us(),
         }
     }
 }
@@ -923,6 +998,45 @@ mod tests {
         );
         // The corrected placement differs from the stale one.
         assert_ne!(corrected.devices(), duet.devices());
+    }
+
+    #[test]
+    fn critical_path_bound_is_sound_and_with_devices_reuses_artifacts() {
+        let g = wide_and_deep(&WideAndDeepConfig::default());
+        let duet = Duet::builder().no_fallback().build(&g).unwrap();
+        let lb = duet.critical_path_lower_bound_us();
+        assert!(lb > 0.0);
+        assert!(
+            duet.latency_us() >= lb - 1e-9,
+            "bound must be a lower bound"
+        );
+        // Re-placing on the engine's own devices reproduces its latency
+        // exactly, and every single-flip neighbor still respects the
+        // bound.
+        let same = duet.with_devices(duet.devices().to_vec());
+        assert_eq!(same.latency_us().to_bits(), duet.latency_us().to_bits());
+        for i in 0..duet.devices().len() {
+            let mut devices = duet.devices().to_vec();
+            devices[i] = devices[i].other();
+            let cand = duet.with_devices(devices.clone());
+            assert_eq!(cand.devices(), &devices[..]);
+            assert!(cand.latency_us() >= lb - 1e-9);
+        }
+    }
+
+    #[test]
+    fn with_devices_keeps_the_fallback_guardrail() {
+        // A deliberately bad placement must not smuggle a sub-threshold
+        // "win" past the §VI-E fallback rule.
+        let g = resnet(&ResNetConfig::default());
+        let duet = Duet::builder().build(&g).unwrap();
+        let all_cpu = vec![DeviceKind::Cpu; duet.units().len()];
+        let cand = duet.with_devices(all_cpu);
+        assert_eq!(cand.fallback_device(), Some(DeviceKind::Gpu));
+        assert_eq!(
+            cand.latency_us(),
+            cand.single_device_latency_us(DeviceKind::Gpu)
+        );
     }
 
     #[test]

@@ -54,6 +54,12 @@ pub struct SchedulePlan {
     pub fallback: Option<DeviceKind>,
     /// The latency the scheduler measured when the plan was made, us.
     pub expected_latency_us: f64,
+    /// Critical-path lower bound on any placement's makespan, us (chain
+    /// bound ∨ work bound — `sched::critical_path_lower_bound_us`).
+    /// Feeds the `D215` optimality-gap lint; plans exported before this
+    /// field existed deserialize as `None` and skip the lint.
+    #[serde(default)]
+    pub critical_path_lb_us: Option<f64>,
 }
 
 fn default_batch() -> usize {
@@ -140,6 +146,7 @@ impl SchedulePlan {
             batch: self.batch,
             expected_latency_us: Some(self.expected_latency_us),
             fallback: self.fallback.is_some(),
+            critical_path_lb_us: self.critical_path_lb_us,
             subgraphs: self
                 .subgraphs
                 .iter()
@@ -206,6 +213,7 @@ mod tests {
             }],
             fallback: None,
             expected_latency_us: 2400.0,
+            critical_path_lb_us: None,
         };
         let back = SchedulePlan::from_json(&plan.to_json()).unwrap();
         assert_eq!(back.subgraphs[0].nodes, vec![3, 4]);
@@ -230,6 +238,7 @@ mod tests {
                 }],
                 fallback: None,
                 expected_latency_us: 100.0 * batch as f64,
+                critical_path_lb_us: None,
             };
             let back = SchedulePlan::from_json(&plan.to_json()).unwrap();
             assert_eq!(back.batch, batch);
@@ -268,6 +277,7 @@ mod tests {
             }],
             fallback: None,
             expected_latency_us: 1.0,
+            critical_path_lb_us: None,
         };
         assert!(plan.validate_against(&g).is_ok());
         assert!(matches!(

@@ -39,6 +39,10 @@ pub struct PlacementReport {
     pub gpu_only_us: f64,
     /// `Some(device)` if DUET fell back to single-device execution.
     pub fallback: Option<DeviceKind>,
+    /// Critical-path lower bound on any placement's makespan, us: the
+    /// longest best-device dependency chain ∨ total best-device work
+    /// spread over both devices. No schedule can simulate below it.
+    pub critical_path_lb_us: f64,
 }
 
 impl PlacementReport {
@@ -46,6 +50,12 @@ impl PlacementReport {
     /// it is exactly 1 by construction).
     pub fn speedup_vs_best_single(&self) -> f64 {
         self.cpu_only_us.min(self.gpu_only_us) / self.latency_us
+    }
+
+    /// How far the scheduled latency sits above the critical-path lower
+    /// bound (>= 1; close to 1 means provably near-optimal).
+    pub fn bound_ratio(&self) -> f64 {
+        self.latency_us / self.critical_path_lb_us
     }
 
     /// Names of subgraphs on a given device.
@@ -93,6 +103,12 @@ impl std::fmt::Display for PlacementReport {
             self.latency_us / 1e3,
             self.cpu_only_us / 1e3,
             self.gpu_only_us / 1e3
+        )?;
+        writeln!(
+            f,
+            "critical-path bound: {:.3} ms ({:.2}x above bound)",
+            self.critical_path_lb_us / 1e3,
+            self.bound_ratio()
         )?;
         match self.fallback {
             Some(d) => writeln!(f, "decision: fallback to single-device {d}"),
@@ -144,6 +160,7 @@ mod tests {
             cpu_only_us: 17300.0,
             gpu_only_us: 7300.0,
             fallback: None,
+            critical_path_lb_us: 2400.0,
         }
     }
 

@@ -111,6 +111,74 @@ pub fn placement_latency(
     measure_latency(graph, &to_placed(units, devices), system)
 }
 
+/// Critical-path lower bound on the makespan of *any* placement of
+/// `units`, microseconds.
+///
+/// Two classic bounds, both sound for a two-device system, combined by
+/// `max`:
+///
+/// * **chain bound** — the longest dependency chain through the subgraph
+///   DAG with every subgraph priced at its *faster* device and all
+///   transfers ignored (no placement can beat the best device on a
+///   serial chain);
+/// * **work bound** — total best-device work divided by the system's
+///   total lane capacity (two on the paper's one-lane-per-device
+///   server): even perfect overlap cannot finish faster than the work
+///   spread evenly, and lane sharing only *slows* lanes down
+///   (`lane_penalty >= 1`), so capacity is an over-estimate and the
+///   bound stays sound.
+///
+/// No placement simulated by `measure_latency` can undercut this, which
+/// makes `simulated / bound` a principled "how far from optimal" readout
+/// (reported in the placement report, linted as `D215` past 2×) and a
+/// stopping signal for schedule search.
+pub fn critical_path_lower_bound_us(units: &[SubgraphUnit], system: &SystemModel) -> f64 {
+    use std::collections::HashMap;
+    let n = units.len();
+    let best: Vec<f64> = units
+        .iter()
+        .map(|u| {
+            let sg = &u.sg;
+            duet_runtime::subgraph_exec_time_us(system, DeviceKind::Cpu, sg).min(
+                duet_runtime::subgraph_exec_time_us(system, DeviceKind::Gpu, sg),
+            )
+        })
+        .collect();
+    let mut producer: HashMap<duet_ir::NodeId, usize> = HashMap::new();
+    for (i, u) in units.iter().enumerate() {
+        for &id in &u.sg.node_ids {
+            producer.insert(id, i);
+        }
+    }
+    // Longest chain ending at each subgraph. `units` is not guaranteed
+    // topologically ordered, so iterate to a fixpoint over the DAG
+    // (depth bounded by n).
+    let mut chain = best.clone();
+    for _ in 0..n {
+        let mut changed = false;
+        for (i, u) in units.iter().enumerate() {
+            let longest_dep =
+                u.sg.inputs
+                    .iter()
+                    .filter_map(|src| producer.get(src))
+                    .map(|&p| chain[p])
+                    .fold(0.0f64, f64::max);
+            let c = best[i] + longest_dep;
+            if c > chain[i] {
+                chain[i] = c;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let chain_bound = chain.iter().copied().fold(0.0f64, f64::max);
+    let capacity = (system.cpu.lanes.max(1) + system.gpu.lanes.max(1)) as f64;
+    let work_bound = best.iter().sum::<f64>() / capacity;
+    chain_bound.max(work_bound)
+}
+
 /// Build scheduling units from a compiled partition and its profiles.
 pub fn make_units(
     partition: &crate::Partition,

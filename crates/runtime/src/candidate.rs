@@ -1,0 +1,359 @@
+//! Batch candidate simulation: the tuner's fast oracle.
+//!
+//! A schedule search evaluates thousands of placements of the *same*
+//! compiled subgraphs — only the device vector changes. Calling
+//! [`crate::measure_latency`] per candidate re-derives everything from
+//! scratch each time: the node→producer map, every boundary dependency,
+//! per-value byte sizes, and (dominant for kernel-rich models like
+//! ResNet-50) a full walk over every compiled kernel to price each
+//! subgraph on its device. [`CandidateSim`] hoists all of that out of the
+//! loop:
+//!
+//! * the subgraph-level dependency structure and per-edge transfer times
+//!   are computed once,
+//! * per-(subgraph, device) execution times are memoized in a dense
+//!   `n × 2` table (filled from the analytic device model or any
+//!   caller-supplied cost function — the tuner's fitted model plugs in
+//!   here),
+//!
+//! so a candidate evaluation is a pure list-scheduling replay over `n`
+//! subgraphs — no kernel walks, no hashing, no allocation beyond a few
+//! scratch vectors. [`CandidateSim::makespan`] reproduces the event
+//! semantics of [`crate::simulate`] with noise disabled *exactly*: for
+//! every placement the returned latency is bit-identical to
+//! `measure_latency` (property-tested across the zoo), which is what lets
+//! the tuner's never-worse guarantee transfer from the oracle to the
+//! authoritative simulator.
+
+use std::collections::HashMap;
+
+use duet_compiler::CompiledSubgraph;
+use duet_device::{DeviceKind, SystemModel};
+use duet_ir::{Graph, NodeId, Op};
+
+use crate::sim::subgraph_exec_time_us;
+
+/// One precomputed boundary dependency of a subgraph.
+#[derive(Debug, Clone, Copy)]
+struct Dep {
+    /// Producing subgraph, or `None` for a host-resident graph input.
+    producer: Option<usize>,
+    /// Transfer cost if this edge crosses the device boundary, µs.
+    transfer_us: f64,
+}
+
+/// A reusable, allocation-light evaluator of placements over one fixed
+/// set of compiled subgraphs.
+#[derive(Debug, Clone)]
+pub struct CandidateSim {
+    n: usize,
+    /// Boundary dependencies per subgraph.
+    deps: Vec<Vec<Dep>>,
+    /// Memoized execution time per (subgraph, device), µs.
+    exec_us: Vec<[f64; 2]>,
+    /// Graph outputs: (producing subgraph, D2H transfer µs if produced
+    /// on the GPU).
+    outputs: Vec<(usize, f64)>,
+    /// Execution lanes per device (paper engines run 1).
+    lanes: [usize; 2],
+    /// Lane-sharing contention penalty per device.
+    lane_penalty: [f64; 2],
+}
+
+impl CandidateSim {
+    /// Precompute the oracle for `subgraphs` of `graph`, pricing the
+    /// execution table with the analytic device model (the same pricing
+    /// [`crate::simulate`] uses).
+    pub fn new(graph: &Graph, subgraphs: &[CompiledSubgraph], system: &SystemModel) -> Self {
+        Self::with_exec_time(graph, subgraphs, system, |device, sg| {
+            subgraph_exec_time_us(system, device, sg)
+        })
+    }
+
+    /// Precompute with a caller-supplied per-(device, subgraph) cost
+    /// function — the hook a fitted cost model plugs into. Dependency
+    /// structure and transfer pricing stay analytic (PCIe time is a
+    /// property of the interconnect model, not the kernel cost model).
+    pub fn with_exec_time(
+        graph: &Graph,
+        subgraphs: &[CompiledSubgraph],
+        system: &SystemModel,
+        exec_time_us: impl Fn(DeviceKind, &CompiledSubgraph) -> f64,
+    ) -> Self {
+        let n = subgraphs.len();
+        let mut producer: HashMap<NodeId, usize> = HashMap::new();
+        for (i, sg) in subgraphs.iter().enumerate() {
+            for &id in &sg.node_ids {
+                producer.insert(id, i);
+            }
+        }
+        let deps: Vec<Vec<Dep>> = subgraphs
+            .iter()
+            .map(|sg| {
+                sg.inputs
+                    .iter()
+                    .map(|&src| {
+                        let bytes = graph.node(src).shape.byte_size() as f64;
+                        let p = match graph.node(src).op {
+                            Op::Input => None,
+                            _ => Some(*producer.get(&src).unwrap_or_else(|| {
+                                panic!("schedule does not cover producer of node {src}")
+                            })),
+                        };
+                        Dep {
+                            producer: p,
+                            transfer_us: system.transfer_time_us(bytes),
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let exec_us: Vec<[f64; 2]> = subgraphs
+            .iter()
+            .map(|sg| {
+                [
+                    exec_time_us(DeviceKind::Cpu, sg),
+                    exec_time_us(DeviceKind::Gpu, sg),
+                ]
+            })
+            .collect();
+        let outputs: Vec<(usize, f64)> = graph
+            .outputs()
+            .iter()
+            .map(|&out| {
+                let p = *producer
+                    .get(&out)
+                    .expect("output produced by some subgraph");
+                let bytes = graph.node(out).shape.byte_size() as f64;
+                (p, system.transfer_time_us(bytes))
+            })
+            .collect();
+        CandidateSim {
+            n,
+            deps,
+            exec_us,
+            outputs,
+            lanes: [system.cpu.lanes.max(1), system.gpu.lanes.max(1)],
+            lane_penalty: [system.cpu.lane_penalty(), system.gpu.lane_penalty()],
+        }
+    }
+
+    /// Number of subgraphs a candidate device vector must cover.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the oracle covers no subgraphs.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Memoized execution time of subgraph `i` on `device`, µs.
+    pub fn exec_time_us(&self, i: usize, device: DeviceKind) -> f64 {
+        self.exec_us[i][device as usize]
+    }
+
+    /// Noise-free end-to-end makespan of one placement, µs —
+    /// bit-identical to `measure_latency` over the same subgraphs when
+    /// the execution table is analytic.
+    pub fn makespan(&self, devices: &[DeviceKind]) -> f64 {
+        assert_eq!(devices.len(), self.n, "one device per subgraph");
+        let mut finish = vec![f64::NAN; self.n];
+        let mut done = vec![false; self.n];
+        let mut free: [Vec<f64>; 2] = [vec![0.0; self.lanes[0]], vec![0.0; self.lanes[1]]];
+        let earliest_lane = |free: &[f64]| -> usize {
+            free.iter()
+                .enumerate()
+                .min_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(i, _)| i)
+                .expect("device has at least one lane")
+        };
+        for _ in 0..self.n {
+            // Earliest-start-first among ready subgraphs, ties to the
+            // lower index — the same dispatch rule as the full simulator.
+            let mut best: Option<(f64, usize, f64)> = None; // (est, idx, ready)
+            for i in 0..self.n {
+                if done[i] {
+                    continue;
+                }
+                if self.deps[i]
+                    .iter()
+                    .any(|d| d.producer.map(|p| !done[p]).unwrap_or(false))
+                {
+                    continue;
+                }
+                let dev = devices[i];
+                let mut ready = 0.0f64;
+                for d in &self.deps[i] {
+                    match d.producer {
+                        None => {
+                            if dev == DeviceKind::Gpu {
+                                ready = ready.max(d.transfer_us);
+                            }
+                        }
+                        Some(p) => {
+                            let mut t = finish[p];
+                            if devices[p] != dev {
+                                t += d.transfer_us;
+                            }
+                            ready = ready.max(t);
+                        }
+                    }
+                }
+                let lanes = &free[dev as usize];
+                let est = ready.max(lanes[earliest_lane(lanes)]);
+                let better = match best {
+                    None => true,
+                    Some((bs, bi, _)) => est < bs || (est == bs && i < bi),
+                };
+                if better {
+                    best = Some((est, i, ready));
+                }
+            }
+            let (_, i, ready) = best.expect("acyclic schedule always has a ready subgraph");
+            let dev = devices[i] as usize;
+            let lanes = &mut free[dev];
+            let lane = earliest_lane(lanes);
+            let start = ready.max(lanes[lane]);
+            let contended = lanes
+                .iter()
+                .enumerate()
+                .any(|(l, &t)| l != lane && t > start);
+            let penalty = if contended {
+                self.lane_penalty[dev]
+            } else {
+                1.0
+            };
+            let end = start + self.exec_us[i][dev] * penalty;
+            finish[i] = end;
+            done[i] = true;
+            lanes[lane] = end;
+        }
+        let mut latency: f64 = 0.0;
+        for &(p, d2h_us) in &self.outputs {
+            let mut t = finish[p];
+            if devices[p] == DeviceKind::Gpu {
+                t += d2h_us;
+            }
+            latency = latency.max(t);
+        }
+        latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure::measure_latency;
+    use crate::sim::Placed;
+    use duet_compiler::Compiler;
+    use duet_ir::GraphBuilder;
+
+    fn branchy() -> Graph {
+        let mut b = GraphBuilder::new("branchy", 1);
+        let x = b.input("x", vec![1, 512]);
+        let l = b.dense("left", x, 1024, Some(Op::Relu)).unwrap();
+        let r = b.dense("right", x, 1024, Some(Op::Tanh)).unwrap();
+        let cat = b.op("cat", Op::Concat { axis: 1 }, &[l, r]).unwrap();
+        let y = b.dense("head", cat, 8, None).unwrap();
+        b.finish(&[y]).unwrap()
+    }
+
+    fn split(g: &Graph) -> Vec<CompiledSubgraph> {
+        let c = Compiler::default();
+        let ids = g.compute_ids();
+        let by = |prefix: &str| -> Vec<NodeId> {
+            ids.iter()
+                .copied()
+                .filter(|&i| g.node(i).label.starts_with(prefix))
+                .collect()
+        };
+        let rest: Vec<NodeId> = ids
+            .iter()
+            .copied()
+            .filter(|&i| {
+                !g.node(i).label.starts_with("left") && !g.node(i).label.starts_with("right")
+            })
+            .collect();
+        vec![
+            c.compile_nodes(g, &by("left"), "left"),
+            c.compile_nodes(g, &by("right"), "right"),
+            c.compile_nodes(g, &rest, "head"),
+        ]
+    }
+
+    #[test]
+    fn makespan_is_bit_identical_to_measure_latency() {
+        let g = branchy();
+        let sys = SystemModel::paper_server();
+        let sgs = split(&g);
+        let sim = CandidateSim::new(&g, &sgs, &sys);
+        for mask in 0u32..8 {
+            let devices: Vec<DeviceKind> = (0..3)
+                .map(|i| {
+                    if mask >> i & 1 == 0 {
+                        DeviceKind::Cpu
+                    } else {
+                        DeviceKind::Gpu
+                    }
+                })
+                .collect();
+            let placed: Vec<Placed> = sgs
+                .iter()
+                .zip(&devices)
+                .map(|(sg, &device)| Placed {
+                    sg: sg.clone(),
+                    device,
+                })
+                .collect();
+            let want = measure_latency(&g, &placed, &sys);
+            let got = sim.makespan(&devices);
+            assert_eq!(
+                got.to_bits(),
+                want.to_bits(),
+                "mask {mask}: {got} vs {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn makespan_matches_under_cpu_lanes() {
+        let g = branchy();
+        let mut sys = SystemModel::paper_server();
+        sys.cpu = sys.cpu.with_lanes(2, 0.7);
+        let sgs = split(&g);
+        let sim = CandidateSim::new(&g, &sgs, &sys);
+        let devices = vec![DeviceKind::Cpu; 3];
+        let placed: Vec<Placed> = sgs
+            .iter()
+            .map(|sg| Placed {
+                sg: sg.clone(),
+                device: DeviceKind::Cpu,
+            })
+            .collect();
+        let want = measure_latency(&g, &placed, &sys);
+        assert_eq!(sim.makespan(&devices).to_bits(), want.to_bits());
+    }
+
+    #[test]
+    fn custom_exec_table_shifts_makespan() {
+        let g = branchy();
+        let sys = SystemModel::paper_server();
+        let sgs = split(&g);
+        let doubled = CandidateSim::with_exec_time(&g, &sgs, &sys, |d, sg| {
+            2.0 * subgraph_exec_time_us(&sys, d, sg)
+        });
+        let plain = CandidateSim::new(&g, &sgs, &sys);
+        let devices = vec![DeviceKind::Cpu; 3];
+        assert!(doubled.makespan(&devices) > plain.makespan(&devices));
+    }
+
+    #[test]
+    #[should_panic(expected = "one device per subgraph")]
+    fn wrong_arity_rejected() {
+        let g = branchy();
+        let sys = SystemModel::paper_server();
+        let sgs = split(&g);
+        CandidateSim::new(&g, &sgs, &sys).makespan(&[DeviceKind::Cpu]);
+    }
+}

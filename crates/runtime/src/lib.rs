@@ -22,6 +22,7 @@
 //!   readiness, per-device monotonicity, transfer accounting, reported
 //!   latency.
 
+pub mod candidate;
 pub mod executor;
 pub mod measure;
 pub mod profile;
@@ -32,6 +33,7 @@ pub mod trace;
 pub mod validate;
 pub mod witness;
 
+pub use candidate::CandidateSim;
 pub use executor::HeterogeneousExecutor;
 pub use measure::{measure_latency, measure_stats};
 pub use profile::{Profiler, SubgraphProfile};

@@ -163,6 +163,49 @@ impl PlanCache {
         (swapped, rejected)
     }
 
+    /// Like [`PlanCache::recorrect_all`], but each candidate comes from
+    /// the full autotuner ([`duet_tune::tune_drifted`]) instead of
+    /// Algorithm 1's correction alone: re-correct under `system`, then
+    /// search the placement space from that seed. Never worse than the
+    /// plain re-correction (the tuner seeds with it), and held to a
+    /// *stricter* gate — the tuner's own D2xx+D5xx promotion must accept
+    /// the plan *and* the chaos-aware model check used for plain swaps
+    /// must pass. Returns `(swapped, rejected)` variant counts.
+    pub fn tune_all(&self, system: &SystemModel) -> (usize, usize) {
+        let slots = self.slots.lock();
+        let chaos = self.swap_chaos.lock();
+        let mut swapped = 0;
+        let mut rejected = 0;
+        // Bounded budget: this runs on the serving worker thread.
+        let cfg = duet_tune::TuneConfig {
+            budget: 400,
+            ..duet_tune::TuneConfig::default()
+        };
+        for cell in slots.values() {
+            let old = cell.load();
+            let outcome = duet_tune::tune_drifted(&old.duet, system.clone(), &cfg);
+            let clean = outcome.promoted
+                && match outcome.tuned.plan_model() {
+                    Ok(mut model) => {
+                        if let Some(f) = chaos.as_ref() {
+                            f(&mut model);
+                        }
+                        !check_plan_model(&model, &ModelCheckConfig::default())
+                            .report
+                            .has_errors()
+                    }
+                    Err(_) => false,
+                };
+            if clean {
+                cell.store(Arc::new(EngineVariant::from_duet(old.batch, outcome.tuned)));
+                swapped += 1;
+            } else {
+                rejected += 1;
+            }
+        }
+        (swapped, rejected)
+    }
+
     /// Batch sizes with a built engine.
     pub fn cached_batches(&self) -> Vec<usize> {
         self.slots.lock().keys().copied().collect()
@@ -265,6 +308,47 @@ mod tests {
         assert!(
             Arc::ptr_eq(&before, &after),
             "refused swap keeps the old engine published"
+        );
+    }
+
+    #[test]
+    fn tune_all_publishes_engines_no_worse_than_recorrection() {
+        let c = cache();
+        let before = c.get_or_build(2);
+        let mut degraded = SystemModel::paper_server();
+        degraded.gpu.peak_gflops /= 12.0;
+        degraded.gpu.mem_bw_gbps /= 8.0;
+        degraded.gpu.kernel_launch_us *= 8.0;
+        assert_eq!(c.tune_all(&degraded), (1, 0));
+        let after = c.get_or_build(2);
+        assert!(
+            !Arc::ptr_eq(&before, &after),
+            "tuned swap must publish a new engine"
+        );
+        // Compare against what a plain recorrection would have served.
+        let replanned = before.duet.recorrect(degraded);
+        assert!(
+            after.duet.latency_us() <= replanned.latency_us(),
+            "tuned plan must be no worse than Algorithm 1's recorrection"
+        );
+    }
+
+    #[test]
+    fn dirty_tuned_plan_is_refused() {
+        let c = cache();
+        let before = c.get_or_build(2);
+        c.set_swap_chaos(|model| model.add_trigger(0, 0));
+        let mut degraded = SystemModel::paper_server();
+        degraded.gpu.peak_gflops /= 12.0;
+        assert_eq!(
+            c.tune_all(&degraded),
+            (0, 1),
+            "dirty tuned candidate must be rejected, not swapped"
+        );
+        let after = c.get_or_build(2);
+        assert!(
+            Arc::ptr_eq(&before, &after),
+            "refused tuned swap keeps the old engine published"
         );
     }
 

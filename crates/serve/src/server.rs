@@ -48,6 +48,11 @@ pub struct ServeConfig {
     /// Build the batch-1 and max-batch engines at registration time so
     /// the first requests don't pay the offline-pipeline cost inline.
     pub prewarm: bool,
+    /// When drift is confirmed, answer with the full autotuner
+    /// ([`PlanCache::tune_all`]) instead of Algorithm 1's recorrection
+    /// alone. Finds strictly better plans on most of the zoo under
+    /// drift, at a higher (but budget-bounded) swap cost.
+    pub tune_on_drift: bool,
 }
 
 impl Default for ServeConfig {
@@ -58,6 +63,7 @@ impl Default for ServeConfig {
             queue_cap: 256,
             feedback: FeedbackConfig::default(),
             prewarm: true,
+            tune_on_drift: false,
         }
     }
 }
@@ -375,7 +381,7 @@ fn worker_loop(
         while !rest.is_empty() {
             let k = largest_pow2(rest.len().min(cfg.max_batch));
             let chunk: Vec<Pending> = rest.drain(..k).collect();
-            execute_chunk(chunk, &cache, &system, &metrics, &mut monitor);
+            execute_chunk(chunk, &cache, &system, &metrics, &mut monitor, &cfg);
         }
     }
 }
@@ -386,6 +392,7 @@ fn execute_chunk(
     system: &ArcCell<SystemModel>,
     metrics: &Metrics,
     monitor: &mut DriftMonitor,
+    cfg: &ServeConfig,
 ) {
     let k = chunk.len();
     let variant = cache.get_or_build(k);
@@ -430,7 +437,11 @@ fn execute_chunk(
     // the plans were corrected against → re-correct and hot-swap every
     // cached variant, once.
     if monitor.observe(outcome.virtual_latency_us, variant.duet.latency_us()) {
-        let (swapped, rejected) = cache.recorrect_all(&deployed);
+        let (swapped, rejected) = if cfg.tune_on_drift {
+            cache.tune_all(&deployed)
+        } else {
+            cache.recorrect_all(&deployed)
+        };
         if rejected > 0 {
             metrics.plan_swap_rejected(rejected as u64);
         }

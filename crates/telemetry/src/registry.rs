@@ -222,6 +222,37 @@ pub static SERVE_EPOCH: Gauge = Gauge::new(
     "Highest metrics epoch across models (bumped on drift injection and hot-swap)",
 );
 
+// ---- tune (simulator-oracle schedule search) ----
+
+pub static TUNE_RUNS: Counter = Counter::new(
+    "duet_tune_runs_total",
+    "Autotuning searches run (one per model/batch tuned)",
+);
+pub static TUNE_CANDIDATES: Counter = Counter::new(
+    "duet_tune_candidates_total",
+    "Placement candidates priced by the simulator oracle",
+);
+pub static TUNE_PROMOTIONS_ACCEPTED: Counter = Counter::with_label(
+    "duet_tune_promotions_total",
+    "Winning plans through the D5xx/D2xx promotion gate",
+    "result",
+    "accepted",
+);
+pub static TUNE_PROMOTIONS_REJECTED: Counter = Counter::with_label(
+    "duet_tune_promotions_total",
+    "Winning plans through the D5xx/D2xx promotion gate",
+    "result",
+    "rejected",
+);
+pub static TUNE_ORACLE_WALL_US: Histogram = Histogram::new(
+    "duet_tune_oracle_wall_us",
+    "Oracle wall time per candidate batch, microseconds",
+);
+pub static TUNE_SEARCH_WALL_US: Histogram = Histogram::new(
+    "duet_tune_search_wall_us",
+    "End-to-end wall time per strategy search, microseconds",
+);
+
 // ---- analysis ----
 
 pub static ANALYSIS_CHECKS_GRAPH: Counter = Counter::with_label(
@@ -358,6 +389,10 @@ pub fn counters() -> &'static [&'static Counter] {
         &SERVE_BATCHES,
         &SERVE_PLAN_SWAPS,
         &SERVE_PLAN_SWAP_REJECTED,
+        &TUNE_RUNS,
+        &TUNE_CANDIDATES,
+        &TUNE_PROMOTIONS_ACCEPTED,
+        &TUNE_PROMOTIONS_REJECTED,
         &ANALYSIS_CHECKS_GRAPH,
         &ANALYSIS_CHECKS_PASS,
         &ANALYSIS_CHECKS_PLAN,
@@ -393,6 +428,8 @@ pub fn histograms() -> &'static [&'static Histogram] {
         &SERVE_BATCH_SIZE,
         &SERVE_SOJOURN_US,
         &SERVE_VIRTUAL_SERVICE_US,
+        &TUNE_ORACLE_WALL_US,
+        &TUNE_SEARCH_WALL_US,
         &ANALYSIS_MODEL_CHECK_STATES,
         &ANALYSIS_MODEL_CHECK_WALL_US,
         &ANALYSIS_DATAFLOW_WALL_US,

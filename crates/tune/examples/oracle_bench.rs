@@ -1,0 +1,82 @@
+//! Micro-benchmark for the tuner's memoized candidate oracle.
+//!
+//! A schedule search evaluates thousands of placements of the same
+//! compiled subgraphs. The naive oracle calls
+//! [`duet_runtime::measure_latency`] per candidate, which re-walks every
+//! compiled kernel to price each subgraph (dominant for kernel-rich
+//! models like ResNet-50). [`duet_tune::Oracle`] memoizes the
+//! per-(subgraph, device) prices once and replays only the
+//! list-scheduling loop. This bench measures that speedup — quoted in
+//! EXPERIMENTS.md — and cross-checks that both oracles agree bitwise on
+//! every candidate:
+//!
+//! ```text
+//! cargo run --release -p duet-tune --example oracle_bench
+//! ```
+
+use std::time::Instant;
+
+use duet_core::Duet;
+use duet_device::DeviceKind;
+use duet_models::zoo_model;
+use duet_runtime::{measure_latency, Placed};
+use duet_tune::Oracle;
+
+fn main() {
+    for name in ["resnet50", "wide_and_deep"] {
+        let g = zoo_model(name).unwrap();
+        let engine = Duet::builder().build(&g).unwrap();
+        let units = engine.units();
+        let n = units.len();
+        let candidates: Vec<Vec<DeviceKind>> = (0..2000u64)
+            .map(|i| {
+                // Cheap deterministic pseudo-random masks.
+                let mut x = i.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xD0E7;
+                (0..n)
+                    .map(|_| {
+                        x ^= x << 13;
+                        x ^= x >> 7;
+                        x ^= x << 17;
+                        if x & 1 == 0 {
+                            DeviceKind::Cpu
+                        } else {
+                            DeviceKind::Gpu
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let t0 = Instant::now();
+        let naive: Vec<f64> = candidates
+            .iter()
+            .map(|devices| {
+                let placed: Vec<Placed> = units
+                    .iter()
+                    .zip(devices)
+                    .map(|(u, &device)| Placed {
+                        sg: u.sg.clone(),
+                        device,
+                    })
+                    .collect();
+                measure_latency(engine.graph(), &placed, engine.system())
+            })
+            .collect();
+        let naive_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        let subgraphs: Vec<_> = units.iter().map(|u| u.sg.clone()).collect();
+        let t1 = Instant::now();
+        let oracle = Oracle::analytic(engine.graph(), &subgraphs, engine.system());
+        let memoized: Vec<f64> = candidates.iter().map(|c| oracle.evaluate(c)).collect();
+        let memo_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+        for (a, b) in naive.iter().zip(&memoized) {
+            assert_eq!(a.to_bits(), b.to_bits(), "oracles disagree");
+        }
+        println!(
+            "{name}: {n} subgraphs, {} candidates | naive {naive_ms:.1} ms | memoized {memo_ms:.1} ms (incl. setup) | speedup {:.1}x",
+            candidates.len(),
+            naive_ms / memo_ms,
+        );
+    }
+}

@@ -1,0 +1,126 @@
+//! On-disk cache of promoted plans.
+//!
+//! One JSON file per (model, graph fingerprint, batch) —
+//! `{model}-{fingerprint:016x}-b{batch}.json` — holding the exported
+//! [`SchedulePlan`]. Serving looks plans up by the *deployed* graph, so
+//! a cache hit is only returned when the stored fingerprint and batch
+//! match (a plan for last week's model shape never mis-applies).
+//! Callers are expected to store only plans the promotion gate accepted.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use duet_core::{fingerprint, SchedulePlan};
+use duet_ir::Graph;
+
+/// A directory of promoted plans.
+#[derive(Debug, Clone)]
+pub struct TuneCache {
+    dir: PathBuf,
+}
+
+impl TuneCache {
+    /// Open (creating if needed) a cache rooted at `dir`.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(TuneCache { dir })
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Stable file name for one plan.
+    pub fn key(plan: &SchedulePlan) -> String {
+        format!(
+            "{}-{:016x}-b{}.json",
+            plan.model, plan.fingerprint, plan.batch
+        )
+    }
+
+    /// Persist `plan`, returning its path. Overwrites any previous plan
+    /// for the same (model, fingerprint, batch).
+    pub fn store(&self, plan: &SchedulePlan) -> io::Result<PathBuf> {
+        let path = self.dir.join(Self::key(plan));
+        fs::write(&path, plan.to_json())?;
+        Ok(path)
+    }
+
+    /// Load the plan for (model, fingerprint, batch), if present and
+    /// parseable.
+    pub fn load(&self, model: &str, fingerprint: u64, batch: usize) -> Option<SchedulePlan> {
+        let path = self
+            .dir
+            .join(format!("{model}-{fingerprint:016x}-b{batch}.json"));
+        let text = fs::read_to_string(path).ok()?;
+        SchedulePlan::from_json(&text).ok()
+    }
+
+    /// Load a cached plan applicable to `graph` (fingerprint + coverage
+    /// validated), or `None`.
+    pub fn load_for(&self, graph: &Graph) -> Option<SchedulePlan> {
+        let plan = self.load(
+            &graph.name,
+            fingerprint(graph),
+            graph.leading_batch().unwrap_or(1),
+        )?;
+        plan.validate_against(graph).ok()?;
+        Some(plan)
+    }
+
+    /// Every plan currently in the cache (skipping unparseable files).
+    pub fn entries(&self) -> Vec<SchedulePlan> {
+        let Ok(rd) = fs::read_dir(&self.dir) else {
+            return Vec::new();
+        };
+        let mut plans: Vec<SchedulePlan> = rd
+            .flatten()
+            .filter(|e| e.path().extension().is_some_and(|x| x == "json"))
+            .filter_map(|e| fs::read_to_string(e.path()).ok())
+            .filter_map(|t| SchedulePlan::from_json(&t).ok())
+            .collect();
+        plans.sort_by(|a, b| (&a.model, a.batch).cmp(&(&b.model, b.batch)));
+        plans
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use duet_core::Duet;
+    use duet_models::zoo_model;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("duet-tune-cache-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn round_trips_a_plan_by_graph() {
+        let g = zoo_model("wide_and_deep").unwrap();
+        let engine = Duet::builder().build(&g).unwrap();
+        let plan = engine.export_plan();
+        let cache = TuneCache::open(tmpdir("rt")).unwrap();
+        let path = cache.store(&plan).unwrap();
+        assert!(path.exists());
+        let loaded = cache.load_for(&g).expect("cache hit");
+        assert_eq!(loaded.to_json(), plan.to_json());
+        assert_eq!(cache.entries().len(), 1);
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn misses_on_a_different_graph() {
+        let g = zoo_model("wide_and_deep").unwrap();
+        let other = zoo_model("siamese").unwrap();
+        let engine = Duet::builder().build(&g).unwrap();
+        let cache = TuneCache::open(tmpdir("miss")).unwrap();
+        cache.store(&engine.export_plan()).unwrap();
+        assert!(cache.load_for(&other).is_none());
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+}

@@ -1,0 +1,400 @@
+//! Pluggable subgraph cost models for the tuner's oracle.
+//!
+//! The search oracle prices every candidate from a dense
+//! per-(subgraph, device) table (see [`crate::Oracle`]); this module
+//! decides what goes *into* that table. [`AnalyticCostModel`] reproduces
+//! the simulator's roofline pricing bit-for-bit. [`FittedCostModel`]
+//! corrects it with measurements: the analytic model prices every kernel
+//! from the same formula, so its errors are correlated *within an
+//! operator family* — one affine correction per (device,
+//! [`KernelClass`]) captures most of the systematic bias while needing
+//! only a handful of samples to fit. Classes with fewer than
+//! [`FittedCostModel::MIN_SAMPLES`] samples (or a degenerate fit) fall
+//! back to the analytic price.
+
+use std::collections::HashMap;
+
+use duet_compiler::{CompiledSubgraph, KernelClass};
+use duet_device::{DeviceKind, SystemModel};
+use duet_ir::{Graph, NodeId};
+use duet_runtime::{subgraph_exec_time_us, SubgraphProfile};
+use duet_telemetry::{Span, SpanKind};
+
+/// Prices a compiled subgraph on a device.
+///
+/// `Sync` so the oracle can fill its execution table from parallel
+/// workers.
+pub trait CostModel: Sync {
+    /// Short display name ("analytic", "fitted").
+    fn name(&self) -> &'static str;
+    /// Predicted execution time of `sg` on `device`, microseconds.
+    fn subgraph_time_us(&self, device: DeviceKind, sg: &CompiledSubgraph) -> f64;
+}
+
+/// The simulator's own pricing: per-kernel roofline under the system's
+/// device models. An oracle built from this model is bit-identical to
+/// `measure_latency`.
+#[derive(Debug, Clone)]
+pub struct AnalyticCostModel {
+    system: SystemModel,
+}
+
+impl AnalyticCostModel {
+    pub fn new(system: SystemModel) -> Self {
+        AnalyticCostModel { system }
+    }
+}
+
+impl CostModel for AnalyticCostModel {
+    fn name(&self) -> &'static str {
+        "analytic"
+    }
+
+    fn subgraph_time_us(&self, device: DeviceKind, sg: &CompiledSubgraph) -> f64 {
+        subgraph_exec_time_us(&self.system, device, sg)
+    }
+}
+
+/// One affine correction: `measured ≈ scale · analytic + offset_us`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Affine {
+    pub scale: f64,
+    pub offset_us: f64,
+}
+
+impl Affine {
+    fn predict(&self, analytic_us: f64) -> f64 {
+        self.scale * analytic_us + self.offset_us
+    }
+}
+
+/// Accumulates (analytic, measured) pairs per (device, kernel class)
+/// from whatever measurement sources are at hand: offline profiler
+/// means and/or `ExecSubgraph` telemetry spans recorded by live
+/// executor runs.
+///
+/// Measurements arrive at *subgraph* granularity; they are distributed
+/// over the subgraph's kernels proportionally to each kernel's analytic
+/// share, which keeps the per-class buckets populated even when every
+/// subgraph mixes classes.
+#[derive(Debug, Clone, Default)]
+pub struct Calibration {
+    samples: HashMap<(DeviceKind, KernelClass), Vec<(f64, f64)>>,
+}
+
+impl Calibration {
+    pub fn new() -> Self {
+        Calibration::default()
+    }
+
+    /// Record one raw (analytic, measured) kernel sample.
+    pub fn add_sample(
+        &mut self,
+        device: DeviceKind,
+        class: KernelClass,
+        analytic_us: f64,
+        measured_us: f64,
+    ) {
+        if analytic_us.is_finite() && measured_us.is_finite() && measured_us > 0.0 {
+            self.samples
+                .entry((device, class))
+                .or_default()
+                .push((analytic_us, measured_us));
+        }
+    }
+
+    /// Distribute one measured whole-subgraph time over its kernels
+    /// proportionally to their analytic prices.
+    pub fn add_subgraph(
+        &mut self,
+        system: &SystemModel,
+        graph: &Graph,
+        device: DeviceKind,
+        sg: &CompiledSubgraph,
+        measured_us: f64,
+    ) {
+        let total = subgraph_exec_time_us(system, device, sg);
+        if !total.is_finite() || total <= 0.0 || !measured_us.is_finite() || measured_us <= 0.0 {
+            return;
+        }
+        for k in &sg.kernels {
+            let analytic = system.exec_time_us(device, &k.cost);
+            self.add_sample(
+                device,
+                k.class(graph),
+                analytic,
+                measured_us * analytic / total,
+            );
+        }
+    }
+
+    /// Harvest the offline profiler's per-device means (both devices are
+    /// always profiled, so this populates CPU and GPU buckets at once).
+    pub fn add_profiles(
+        &mut self,
+        system: &SystemModel,
+        graph: &Graph,
+        subgraphs: &[CompiledSubgraph],
+        profiles: &[SubgraphProfile],
+    ) {
+        for (sg, p) in subgraphs.iter().zip(profiles) {
+            self.add_subgraph(system, graph, DeviceKind::Cpu, sg, p.cpu_time_us);
+            self.add_subgraph(system, graph, DeviceKind::Gpu, sg, p.gpu_time_us);
+        }
+    }
+
+    /// Harvest `ExecSubgraph` telemetry spans from live executor runs
+    /// (`detail` = subgraph index, `arg0` = device, `dur_us` = measured
+    /// virtual duration). Spans indexing outside `subgraphs` are
+    /// ignored — the ring may hold spans from other engines.
+    pub fn add_spans(
+        &mut self,
+        system: &SystemModel,
+        graph: &Graph,
+        subgraphs: &[CompiledSubgraph],
+        spans: &[Span],
+    ) {
+        for s in spans {
+            if s.kind != SpanKind::ExecSubgraph {
+                continue;
+            }
+            let Some(sg) = subgraphs.get(s.detail as usize) else {
+                continue;
+            };
+            let device = if s.arg0 == 0.0 {
+                DeviceKind::Cpu
+            } else {
+                DeviceKind::Gpu
+            };
+            self.add_subgraph(system, graph, device, sg, s.dur_us);
+        }
+    }
+
+    /// Total raw samples across all buckets.
+    pub fn sample_count(&self) -> usize {
+        self.samples.values().map(Vec::len).sum()
+    }
+
+    fn bucket(&self, device: DeviceKind, class: KernelClass) -> &[(f64, f64)] {
+        self.samples
+            .get(&(device, class))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+}
+
+/// Analytic pricing with per-(device, class) affine corrections fitted
+/// by least squares from a [`Calibration`].
+#[derive(Debug, Clone)]
+pub struct FittedCostModel {
+    system: SystemModel,
+    /// Kernel anchor → class, precomputed so pricing needs no graph.
+    classes: HashMap<NodeId, KernelClass>,
+    fits: HashMap<(DeviceKind, KernelClass), Affine>,
+}
+
+impl FittedCostModel {
+    /// Minimum samples before a (device, class) bucket is trusted.
+    pub const MIN_SAMPLES: usize = 3;
+
+    /// Fit affine corrections from `cal` for the kernels of
+    /// `subgraphs`. Buckets that are thin or degenerate (no spread in
+    /// the analytic predictor, negative scale) keep the identity fit —
+    /// i.e. fall back to the analytic price.
+    pub fn fit(
+        system: SystemModel,
+        graph: &Graph,
+        subgraphs: &[CompiledSubgraph],
+        cal: &Calibration,
+    ) -> Self {
+        let mut classes = HashMap::new();
+        for sg in subgraphs {
+            for k in &sg.kernels {
+                classes.insert(k.anchor, k.class(graph));
+            }
+        }
+        let mut fits = HashMap::new();
+        for device in DeviceKind::both() {
+            for class in KernelClass::ALL {
+                if let Some(fit) = least_squares(cal.bucket(device, class)) {
+                    fits.insert((device, class), fit);
+                }
+            }
+        }
+        FittedCostModel {
+            system,
+            classes,
+            fits,
+        }
+    }
+
+    /// Number of (device, class) buckets that got a real fit.
+    pub fn fitted_buckets(&self) -> usize {
+        self.fits.len()
+    }
+
+    /// The fitted correction for one bucket, if any.
+    pub fn fit_for(&self, device: DeviceKind, class: KernelClass) -> Option<Affine> {
+        self.fits.get(&(device, class)).copied()
+    }
+}
+
+impl CostModel for FittedCostModel {
+    fn name(&self) -> &'static str {
+        "fitted"
+    }
+
+    fn subgraph_time_us(&self, device: DeviceKind, sg: &CompiledSubgraph) -> f64 {
+        sg.kernels
+            .iter()
+            .map(|k| {
+                let analytic = self.system.exec_time_us(device, &k.cost);
+                let class = self
+                    .classes
+                    .get(&k.anchor)
+                    .copied()
+                    .unwrap_or(KernelClass::Elementwise);
+                match self.fits.get(&(device, class)) {
+                    // A fit can extrapolate below zero on tiny kernels;
+                    // the simulator needs positive durations, so floor
+                    // at a fraction of the analytic price.
+                    Some(fit) => fit.predict(analytic).max(0.05 * analytic),
+                    None => analytic,
+                }
+            })
+            .sum()
+    }
+}
+
+/// Ordinary least squares `y = a·x + b`; `None` when the bucket is thin,
+/// the predictor has no spread, or the slope comes out non-positive
+/// (a pathological fit the analytic fallback beats).
+fn least_squares(samples: &[(f64, f64)]) -> Option<Affine> {
+    if samples.len() < FittedCostModel::MIN_SAMPLES {
+        return None;
+    }
+    let n = samples.len() as f64;
+    let (sx, sy) = samples
+        .iter()
+        .fold((0.0, 0.0), |(sx, sy), &(x, y)| (sx + x, sy + y));
+    let (mx, my) = (sx / n, sy / n);
+    let (sxx, sxy) = samples.iter().fold((0.0, 0.0), |(sxx, sxy), &(x, y)| {
+        (sxx + (x - mx) * (x - mx), sxy + (x - mx) * (y - my))
+    });
+    if sxx <= 1e-12 {
+        return None;
+    }
+    let scale = sxy / sxx;
+    if !scale.is_finite() || scale <= 0.0 {
+        return None;
+    }
+    Some(Affine {
+        scale,
+        offset_us: my - scale * mx,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use duet_compiler::Compiler;
+    use duet_ir::{GraphBuilder, Op};
+
+    fn mlp() -> (Graph, Vec<CompiledSubgraph>) {
+        let mut b = GraphBuilder::new("mlp", 1);
+        let x = b.input("x", vec![1, 64]);
+        let h = b.dense("fc1", x, 128, Some(Op::Relu)).unwrap();
+        let y = b.dense("fc2", h, 8, None).unwrap();
+        let g = b.finish(&[y]).unwrap();
+        let sg = Compiler::default().compile_nodes(&g, &g.compute_ids(), "all");
+        (g, vec![sg])
+    }
+
+    #[test]
+    fn analytic_model_matches_simulator_pricing() {
+        let (_, sgs) = mlp();
+        let sys = SystemModel::paper_server();
+        let m = AnalyticCostModel::new(sys.clone());
+        for d in DeviceKind::both() {
+            let got = m.subgraph_time_us(d, &sgs[0]);
+            let want = subgraph_exec_time_us(&sys, d, &sgs[0]);
+            assert_eq!(got.to_bits(), want.to_bits());
+        }
+    }
+
+    #[test]
+    fn thin_calibration_falls_back_to_analytic() {
+        let (g, sgs) = mlp();
+        let sys = SystemModel::paper_server();
+        let cal = Calibration::new(); // no samples at all
+        let m = FittedCostModel::fit(sys.clone(), &g, &sgs, &cal);
+        assert_eq!(m.fitted_buckets(), 0);
+        for d in DeviceKind::both() {
+            let got = m.subgraph_time_us(d, &sgs[0]);
+            let want = subgraph_exec_time_us(&sys, d, &sgs[0]);
+            assert_eq!(got.to_bits(), want.to_bits());
+        }
+    }
+
+    #[test]
+    fn fit_recovers_a_planted_affine_bias() {
+        let (g, sgs) = mlp();
+        let sys = SystemModel::paper_server();
+        // Plant measured = 1.5 * analytic + 2 µs on the CPU/Gemm bucket
+        // via whole-subgraph observations of scaled analytic times.
+        let mut cal = Calibration::new();
+        for k in &sgs[0].kernels {
+            let a = sys.exec_time_us(DeviceKind::Cpu, &k.cost);
+            for jitter in [0.5, 1.0, 2.0] {
+                cal.add_sample(
+                    DeviceKind::Cpu,
+                    k.class(&g),
+                    a * jitter,
+                    1.5 * (a * jitter) + 2.0,
+                );
+            }
+        }
+        let m = FittedCostModel::fit(sys.clone(), &g, &sgs, &cal);
+        assert!(m.fitted_buckets() >= 1);
+        let fit = m.fit_for(DeviceKind::Cpu, KernelClass::Gemm).unwrap();
+        assert!((fit.scale - 1.5).abs() < 1e-9, "scale {}", fit.scale);
+        assert!(
+            (fit.offset_us - 2.0).abs() < 1e-6,
+            "offset {}",
+            fit.offset_us
+        );
+        // And the prediction moves in the direction of the bias.
+        let analytic = subgraph_exec_time_us(&sys, DeviceKind::Cpu, &sgs[0]);
+        assert!(m.subgraph_time_us(DeviceKind::Cpu, &sgs[0]) > analytic);
+        // GPU bucket was never calibrated — untouched.
+        let gpu = subgraph_exec_time_us(&sys, DeviceKind::Gpu, &sgs[0]);
+        assert_eq!(
+            m.subgraph_time_us(DeviceKind::Gpu, &sgs[0]).to_bits(),
+            gpu.to_bits()
+        );
+    }
+
+    #[test]
+    fn spans_calibrate_the_model() {
+        let (g, sgs) = mlp();
+        let sys = SystemModel::paper_server();
+        let analytic = subgraph_exec_time_us(&sys, DeviceKind::Gpu, &sgs[0]);
+        let mk = |dur: f64| Span {
+            seq: 0,
+            kind: SpanKind::ExecSubgraph,
+            detail: 0,
+            start_us: 0.0,
+            dur_us: dur,
+            arg0: 1.0, // GPU
+            arg1: 0.0,
+        };
+        let spans = vec![
+            mk(2.0 * analytic),
+            mk(2.0 * analytic * 1.01),
+            mk(2.0 * analytic * 0.99),
+        ];
+        let mut cal = Calibration::new();
+        cal.add_spans(&sys, &g, &sgs, &spans);
+        assert!(cal.sample_count() > 0);
+    }
+}

@@ -1,0 +1,43 @@
+//! `duet-tune`: simulator-oracle schedule autotuning.
+//!
+//! Algorithm 1 (greedy critical-path placement + correction) is fast and
+//! good, but it is one point in a large placement space — the D215
+//! optimality-gap lint shows several zoo models sitting 1.5–1.6× above
+//! the critical-path lower bound. This crate searches that space with
+//! the deterministic virtual-clock simulator as the objective oracle:
+//!
+//! * [`SearchStrategy`] — pluggable search over per-subgraph device
+//!   vectors. Ships three implementations: a critical-path-first
+//!   constructive baseline, beam search over single-device flips, and
+//!   simulated annealing over flip/swap neighborhoods. All are seeded
+//!   with Algorithm 1's placement, so the tuner is *never worse* by
+//!   construction.
+//! * [`CostModel`] — the oracle's pricing hook. [`AnalyticCostModel`]
+//!   reproduces the simulator's roofline pricing exactly;
+//!   [`FittedCostModel`] calibrates one affine correction per
+//!   (device, kernel class) from profiler runs and executor telemetry
+//!   spans, falling back to the analytic price where samples are thin.
+//!   The fitted model only *guides* search — the final ranking and every
+//!   reported latency come from the analytic oracle, so promoted plans
+//!   stay consistent with what the D503 occupancy check re-derives.
+//! * Proven-plan promotion — a winning placement is instantiated via
+//!   [`duet_core::Duet::with_devices`] (which re-applies the §VI-E
+//!   single-device fallback guardrail), then must pass the D2xx plan
+//!   lints *and* the exhaustive D5xx model check before [`TuneCache`]
+//!   persists it for serving to hot-swap.
+//!
+//! Entry point: [`tune`] (or the `duet tune <model>` CLI).
+
+pub mod cache;
+pub mod cost;
+pub mod oracle;
+pub mod strategy;
+pub mod tuner;
+
+pub use cache::TuneCache;
+pub use cost::{Affine, AnalyticCostModel, Calibration, CostModel, FittedCostModel};
+pub use oracle::Oracle;
+pub use strategy::{
+    BeamSearch, CriticalPathFirst, SearchContext, SearchResult, SearchStrategy, SimulatedAnnealing,
+};
+pub use tuner::{tune, tune_drifted, StrategyReport, TuneConfig, TuneOutcome};

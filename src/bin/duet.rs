@@ -9,6 +9,7 @@
 //! duet analyze mtdnn                       # structural metrics
 //! duet export-plan siamese plan.json       # save the offline decision
 //! duet apply-plan siamese plan.json        # reload it (no re-scheduling)
+//! duet tune all --drift                    # autotune the zoo under drift
 //! ```
 
 use std::collections::HashMap;
@@ -34,7 +35,9 @@ fn usage() -> ! {
          duet run <model>\n  duet measure <model> [--runs <n>]\n  duet analyze <model>\n  \
          duet export-plan <model> <file>\n  duet apply-plan <model> <file>\n  \
          duet save <model> <file>\n  duet report-file <file>\n  duet explain <model>\n  \
-         duet trace <model> <file> [--full]\n\nmodels: {}\npolicies: \
+         duet trace <model> <file> [--full]\n  \
+         duet tune <model|all> [--budget <n>] [--seed <n>] [--drift] [--cache <dir>] \
+         [--json <file>] [--metrics-out <file>]\n\nmodels: {}\npolicies: \
          greedy-correction | greedy | random | round-robin | random-correction | ideal | \
          flops-proxy | cpu | gpu\n\nonline serving lives in its own binary: \
          cargo run --release -p duet-serve --bin duet-serve -- --help",
@@ -244,6 +247,128 @@ fn main() {
                 s.count()
             );
         }
+        "tune" => cmd_tune(&rest),
         _ => usage(),
+    }
+}
+
+/// `duet tune <model|all>` — search placements with the simulator
+/// oracle, prove the winner (D2xx + D5xx), optionally persist it, and
+/// report speedup vs Algorithm 1 — or, with `--drift`, vs the stale
+/// plan under a degraded deployment (the serving hot-swap scenario).
+/// Exits nonzero if any run comes back worse than Algorithm 1 or fails
+/// promotion.
+fn cmd_tune(rest: &[String]) {
+    let model = rest.first().map(String::as_str).unwrap_or_else(|| usage());
+    let cfg = duet_tune::TuneConfig {
+        seed: flag(rest, "--seed")
+            .map(|s| s.parse().expect("numeric --seed"))
+            .unwrap_or(0xD0E7),
+        budget: flag(rest, "--budget")
+            .map(|b| b.parse().expect("numeric --budget"))
+            .unwrap_or(2000),
+        ..duet_tune::TuneConfig::default()
+    };
+    let drift = rest.iter().any(|a| a == "--drift");
+    let cache = flag(rest, "--cache").map(|dir| {
+        duet_tune::TuneCache::open(&dir).unwrap_or_else(|e| {
+            eprintln!("cannot open tune cache {dir}: {e}");
+            std::process::exit(1);
+        })
+    });
+    let names: Vec<&str> = if model == "all" {
+        MODELS.to_vec()
+    } else {
+        vec![model]
+    };
+
+    let mut failed = false;
+    let mut rows = Vec::new();
+    for name in &names {
+        let graph = model_or_die(name);
+        let engine = Duet::builder().build(&graph).expect("engine builds");
+        let out = if drift {
+            // The canonical drift scenario (duet-serve's smoke test):
+            // the GPU loses most of its compute, bandwidth and launch
+            // throughput, and the tuner races the stale plan.
+            let mut deployed = engine.system().clone();
+            deployed.gpu.peak_gflops /= 12.0;
+            deployed.gpu.mem_bw_gbps /= 8.0;
+            deployed.gpu.kernel_launch_us *= 8.0;
+            duet_tune::tune_drifted(&engine, deployed, &cfg)
+        } else {
+            duet_tune::tune(&engine, &cfg)
+        };
+        println!("{out}");
+        if !out.promoted || out.tuned_us > out.algorithm1_us {
+            failed = true;
+        }
+        if let Some(cache) = &cache {
+            if out.promoted {
+                match cache.store(&out.plan) {
+                    Ok(path) => println!("  cached: {}", path.display()),
+                    Err(e) => {
+                        eprintln!("  cache store failed: {e}");
+                        failed = true;
+                    }
+                }
+            }
+        }
+        println!();
+        rows.push(serde_json::json!({
+            "model": out.model,
+            "algorithm1_us": out.algorithm1_us,
+            "tuned_us": out.tuned_us,
+            "stale_us": out.stale_us,
+            "speedup": out.speedup(),
+            "speedup_vs_stale": out.speedup_vs_stale(),
+            "winner": out.winner,
+            "cost_model": out.cost_model,
+            "fitted_buckets": out.fitted_buckets,
+            "candidates": out.candidates,
+            "wall_us": out.wall_us,
+            "critical_path_lb_us": out.critical_path_lb_us,
+            "promoted": out.promoted,
+            // Per-strategy search cost in oracle evaluations (wall time
+            // stays top-level only, keeping this block deterministic).
+            "strategies": out.strategies.iter().map(|s| serde_json::json!({
+                "name": s.name,
+                "makespan_us": s.makespan_us,
+                "evaluated": s.evaluated,
+            })).collect::<Vec<_>>(),
+        }));
+    }
+
+    let better = rows
+        .iter()
+        .filter(|r| r["speedup"].as_f64() > Some(1.0))
+        .count();
+    let worse = rows
+        .iter()
+        .filter(|r| r["speedup"].as_f64() < Some(1.0))
+        .count();
+    println!(
+        "tuned {} model(s): {} strictly better than Algorithm 1, {} tie(s), {} worse",
+        rows.len(),
+        better,
+        rows.len() - better - worse,
+        worse
+    );
+    if let Some(path) = flag(rest, "--json") {
+        let doc = serde_json::json!({ "drift": drift, "runs": rows });
+        std::fs::write(
+            &path,
+            serde_json::to_string_pretty(&doc).expect("serializes"),
+        )
+        .expect("json written");
+        println!("json report written to {path}");
+    }
+    if let Some(path) = flag(rest, "--metrics-out") {
+        std::fs::write(&path, duet_telemetry::prometheus_text()).expect("metrics written");
+        println!("metrics exposition dumped to {path}");
+    }
+    if failed {
+        eprintln!("FAIL: a run regressed vs Algorithm 1 or failed promotion");
+        std::process::exit(1);
     }
 }

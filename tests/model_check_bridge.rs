@@ -124,6 +124,7 @@ fn model_of(
         batch: 1,
         expected_latency_us: None,
         fallback: false,
+        critical_path_lb_us: None,
         subgraphs: placed
             .iter()
             .zip(node_sets)
