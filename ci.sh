@@ -27,6 +27,9 @@ cargo test -q -p duet-runtime --test interleave
 step "allocation gate (tape+arena steady-state budget)"
 cargo run -q --release -p duet-bench --bin duet-alloc-gate
 
+step "kernel engine perf floor (vectorized vs seed kernels, alternating trials)"
+cargo run -q --release -p duet-bench --bin duet-kernel-floor
+
 step "duet-lint over all built-in models"
 cargo run -q --release --bin duet-lint -- all
 

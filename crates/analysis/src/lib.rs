@@ -219,6 +219,12 @@ pub mod codes {
     /// Recorded planned/naive peak bytes disagree with recomputation, or
     /// the planned peak exceeds the naive peak (warning).
     pub const TAPE_PEAK_ACCOUNTING: &str = "D405";
+    /// A fused epilogue chain is unsound: an epilogue operand aliases
+    /// the output buffer being mutated, a chain interior value has
+    /// another consumer or escapes (so eliding it loses a live value),
+    /// a step disagrees with its graph node's operator/operands, or a
+    /// fused batch-norm lacks the dataflow well-conditioning proof.
+    pub const TAPE_FUSED_ALIAS: &str = "D406";
 
     // D5xx — plan model checker
     /// A reachable state has unfinished subgraphs but no enabled event

@@ -10,25 +10,43 @@
 //! checker re-derives liveness from the tape itself — independently of
 //! the planner's own bookkeeping — and verifies:
 //!
-//! * **D400** the tape covers exactly the subgraph's nodes, feeds and
-//!   outputs, with weight bindings matching the graph's parameters;
+//! * **D400** the tape covers exactly the subgraph's nodes (anchors
+//!   plus fused epilogue steps), feeds and outputs, with weight
+//!   bindings matching the graph's parameters;
 //! * **D401** tape order respects graph dependencies (a producer's
-//!   instruction precedes every consumer's);
+//!   instruction precedes every consumer's; within one fused
+//!   instruction, only the chain-predecessor may be read);
 //! * **D402** no two values with overlapping live ranges share a slot;
 //! * **D403** in-place instructions only alias their dying first
 //!   operand — and any instruction whose output slot doubles as an input
 //!   slot *must* be flagged in place;
-//! * **D404** slot, feed and weight shapes agree with the graph;
+//! * **D404** slot volumes, per-instruction operand shapes, feed and
+//!   weight shapes agree with the graph;
 //! * **D405** (warning) the recorded peak-byte accounting is consistent
-//!   and planned peak does not exceed naive peak.
+//!   and planned peak does not exceed naive peak;
+//! * **D406** fused epilogue chains are sound: no epilogue operand
+//!   aliases the buffer being mutated, interior chain values are
+//!   sole-consumer and never escape, each step agrees with its graph
+//!   node's operator, and fused batch-norms carry the dataflow
+//!   well-conditioning proof.
 
 use std::collections::{HashMap, HashSet};
 
-use duet_compiler::{CompiledSubgraph, Operand};
-use duet_ir::Graph;
+use duet_compiler::{CompiledSubgraph, EpilogueOp, Instr, Operand};
+use duet_ir::{Graph, NodeId, Op};
+use duet_tensor::kernels::UnaryOp;
 
 use crate::codes;
 use crate::diagnostics::{Diagnostic, Report};
+
+/// All graph nodes one fused instruction computes: the anchor followed
+/// by its epilogue chain, in execution order. The last member is the
+/// value the instruction leaves in its output slot.
+fn members(instr: &Instr) -> Vec<NodeId> {
+    std::iter::once(instr.node)
+        .chain(instr.epilogue.iter().map(|s| s.node))
+        .collect()
+}
 
 /// Verify `sg`'s memory plan against the graph it was compiled from.
 pub fn check_memory_plan(graph: &Graph, sg: &CompiledSubgraph) -> Report {
@@ -37,7 +55,7 @@ pub fn check_memory_plan(graph: &Graph, sg: &CompiledSubgraph) -> Report {
     let n_slots = tape.plan.slot_shapes.len();
 
     // --- D400: coverage -------------------------------------------------
-    let tape_nodes: Vec<_> = tape.instrs.iter().map(|i| i.node).collect();
+    let tape_nodes: Vec<_> = tape.instrs.iter().flat_map(members).collect();
     let tape_set: HashSet<_> = tape_nodes.iter().copied().collect();
     let sg_set: HashSet<_> = sg.node_ids.iter().copied().collect();
     if tape_set != sg_set || tape_nodes.len() != sg.node_ids.len() {
@@ -74,13 +92,14 @@ pub fn check_memory_plan(graph: &Graph, sg: &CompiledSubgraph) -> Report {
     }
 
     // --- D404: shape agreement -----------------------------------------
-    let instr_of: HashMap<_, _> = tape
+    // Every member (anchor or epilogue step) maps to its instruction.
+    let instr_of: HashMap<NodeId, usize> = tape
         .instrs
         .iter()
         .enumerate()
-        .map(|(k, i)| (i.node, k))
+        .flat_map(|(k, i)| members(i).into_iter().map(move |m| (m, k)))
         .collect();
-    for instr in &tape.instrs {
+    for (k, instr) in tape.instrs.iter().enumerate() {
         if instr.out >= n_slots {
             report.push(
                 Diagnostic::error(
@@ -92,15 +111,17 @@ pub fn check_memory_plan(graph: &Graph, sg: &CompiledSubgraph) -> Report {
             );
             continue;
         }
-        let node = graph.node(instr.node);
+        // The value left in the slot is the chain tail's.
+        let tail = *members(instr).last().expect("anchor always present");
+        let value_shape = &graph.node(tail).shape;
         let slot = &tape.plan.slot_shapes[instr.out];
-        if slot.volume() != node.shape.volume() {
+        if slot.volume() != value_shape.volume() {
             report.push(
                 Diagnostic::error(
                     codes::TAPE_SLOT_SHAPE,
                     format!(
-                        "node produces {} elements but its slot {} holds {}",
-                        node.shape.volume(),
+                        "instruction produces {} elements but its slot {} holds {}",
+                        value_shape.volume(),
                         instr.out,
                         slot.volume()
                     ),
@@ -108,6 +129,71 @@ pub fn check_memory_plan(graph: &Graph, sg: &CompiledSubgraph) -> Report {
                 .with_node(instr.node)
                 .with_context(&sg.name),
             );
+        }
+        if instr.out_shape != *value_shape {
+            report.push(
+                Diagnostic::error(
+                    codes::TAPE_SLOT_SHAPE,
+                    format!(
+                        "recorded out_shape {:?} disagrees with the chain tail's graph \
+                         shape {:?}",
+                        instr.out_shape.dims(),
+                        value_shape.dims()
+                    ),
+                )
+                .with_node(instr.node)
+                .with_context(&sg.name),
+            );
+        }
+        // Slots are shape-polymorphic under coalescing, so the
+        // per-instruction operand shapes are authoritative — each must
+        // agree with what actually flows in: the producing
+        // instruction's out_shape for slots, the bound tensor for
+        // weights, the declared feed shape for feeds.
+        if instr.arg_shapes.len() != instr.inputs.len() || instr.args > instr.inputs.len() {
+            report.push(
+                Diagnostic::error(
+                    codes::TAPE_SLOT_SHAPE,
+                    format!(
+                        "operand bookkeeping inconsistent: {} inputs, {} arg_shapes, \
+                         {} anchor args",
+                        instr.inputs.len(),
+                        instr.arg_shapes.len(),
+                        instr.args
+                    ),
+                )
+                .with_node(instr.node)
+                .with_context(&sg.name),
+            );
+            continue;
+        }
+        for (i, operand) in instr.inputs.iter().enumerate() {
+            let expect = match *operand {
+                Operand::Slot(s) => tape.instrs[..k]
+                    .iter()
+                    .rev()
+                    .find(|p| p.out == s)
+                    .map(|p| p.out_shape.clone()),
+                Operand::Weight(w) => tape.weights.get(w).map(|t| t.shape().clone()),
+                Operand::Feed(f) => tape.feed_shapes.get(f).cloned(),
+            };
+            if let Some(expect) = expect {
+                if instr.arg_shapes[i] != expect {
+                    report.push(
+                        Diagnostic::error(
+                            codes::TAPE_SLOT_SHAPE,
+                            format!(
+                                "operand {i} records shape {:?} but the incoming value \
+                                 has shape {:?}",
+                                instr.arg_shapes[i].dims(),
+                                expect.dims()
+                            ),
+                        )
+                        .with_node(instr.node)
+                        .with_context(&sg.name),
+                    );
+                }
+            }
         }
     }
     for (w, &id) in tape.weight_ids.iter().enumerate() {
@@ -131,9 +217,16 @@ pub fn check_memory_plan(graph: &Graph, sg: &CompiledSubgraph) -> Report {
 
     // --- D401: tape order respects graph dependencies -------------------
     for (k, instr) in tape.instrs.iter().enumerate() {
-        for &src in &graph.node(instr.node).inputs {
-            if let Some(&kp) = instr_of.get(&src) {
-                if kp >= k {
+        let chain = members(instr);
+        for (mi, &m) in chain.iter().enumerate() {
+            for &src in &graph.node(m).inputs {
+                let Some(&kp) = instr_of.get(&src) else {
+                    continue;
+                };
+                // A same-instruction source is legal only as the chain
+                // predecessor (the value flowing through the epilogue).
+                let ok = kp < k || (kp == k && mi > 0 && chain[mi - 1] == src);
+                if !ok {
                     report.push(
                         Diagnostic::error(
                             codes::TAPE_ORDER,
@@ -142,7 +235,7 @@ pub fn check_memory_plan(graph: &Graph, sg: &CompiledSubgraph) -> Report {
                                  has not produced yet"
                             ),
                         )
-                        .with_node(instr.node)
+                        .with_node(m)
                         .with_context(&sg.name),
                     );
                 }
@@ -270,6 +363,118 @@ pub fn check_memory_plan(graph: &Graph, sg: &CompiledSubgraph) -> Report {
                 .with_node(instr.node)
                 .with_context(&sg.name),
             );
+        }
+    }
+
+    // --- D406: fused epilogue chains ------------------------------------
+    let escaping_nodes: HashSet<NodeId> = tape.outputs.iter().map(|&(id, _)| id).collect();
+    for (k, instr) in tape.instrs.iter().enumerate() {
+        let chain = members(instr);
+        // Interior chain values are elided — they never materialize, so
+        // every one must be consumed by its chain successor alone and
+        // must not escape the subgraph.
+        for w in chain.windows(2) {
+            let (cur, next) = (w[0], w[1]);
+            let n = graph.node(cur);
+            if n.outputs.len() != 1 || n.outputs[0] != next || escaping_nodes.contains(&cur) {
+                report.push(
+                    Diagnostic::error(
+                        codes::TAPE_FUSED_ALIAS,
+                        format!(
+                            "instruction {k} elides chain value {cur}, but it is not the \
+                             sole input of its successor {next} (or it escapes)"
+                        ),
+                    )
+                    .with_node(cur)
+                    .with_context(&sg.name),
+                );
+            }
+        }
+        for (si, step) in instr.epilogue.iter().enumerate() {
+            let enode = graph.node(step.node);
+            let chain_val = chain[si];
+            // Operand references must stay in range and must never
+            // alias the output buffer the epilogue is mutating.
+            let refs: Vec<usize> = match step.op {
+                EpilogueOp::Unary(_) | EpilogueOp::Scale(_) => vec![],
+                EpilogueOp::Add { rhs } | EpilogueOp::Sub { rhs, .. } | EpilogueOp::Mul { rhs } => {
+                    vec![rhs]
+                }
+                EpilogueOp::BiasAdd { bias } => vec![bias],
+                EpilogueOp::BatchNorm {
+                    gamma,
+                    beta,
+                    mean,
+                    var,
+                } => vec![gamma, beta, mean, var],
+            };
+            for &r in &refs {
+                if r >= instr.inputs.len() {
+                    report.push(
+                        Diagnostic::error(
+                            codes::TAPE_FUSED_ALIAS,
+                            format!(
+                                "epilogue step {si} of instruction {k} references operand \
+                                 {r}, but the instruction has {}",
+                                instr.inputs.len()
+                            ),
+                        )
+                        .with_node(step.node)
+                        .with_context(&sg.name),
+                    );
+                } else if instr.inputs[r] == Operand::Slot(instr.out) {
+                    report.push(
+                        Diagnostic::error(
+                            codes::TAPE_FUSED_ALIAS,
+                            format!(
+                                "epilogue step {si} of instruction {k} reads slot {} — \
+                                 the buffer the chain is mutating",
+                                instr.out
+                            ),
+                        )
+                        .with_node(step.node)
+                        .with_context(&sg.name),
+                    );
+                }
+            }
+            // The recorded in-place operation must realize exactly the
+            // graph node's operator applied to the chain value.
+            let agrees = match (&enode.op, step.op) {
+                (Op::Relu, EpilogueOp::Unary(UnaryOp::Relu))
+                | (Op::Sigmoid, EpilogueOp::Unary(UnaryOp::Sigmoid))
+                | (Op::Tanh, EpilogueOp::Unary(UnaryOp::Tanh))
+                | (Op::Gelu, EpilogueOp::Unary(UnaryOp::Gelu)) => true,
+                (Op::Scale { factor }, EpilogueOp::Scale(f)) => factor.to_bits() == f.to_bits(),
+                (Op::Add, EpilogueOp::Add { .. }) | (Op::Mul, EpilogueOp::Mul { .. }) => true,
+                (Op::Sub, EpilogueOp::Sub { reversed, .. }) => {
+                    reversed == (enode.inputs[1] == chain_val)
+                }
+                (Op::BiasAdd, EpilogueOp::BiasAdd { .. }) => enode.inputs[0] == chain_val,
+                // A fused batch-norm reinterprets the buffer through the
+                // node's shape and bakes in the scale factors — the same
+                // dataflow proof the planner used must still hold here.
+                (Op::BatchNorm2d, EpilogueOp::BatchNorm { .. }) => {
+                    enode.inputs[0] == chain_val
+                        && duet_ir::absint::prove_batchnorm_inplace(graph, enode)
+                }
+                _ => false,
+            };
+            if !agrees {
+                report.push(
+                    Diagnostic::error(
+                        codes::TAPE_FUSED_ALIAS,
+                        format!(
+                            "epilogue step {si} of instruction {k} ({:?}) does not realize \
+                             graph node {}'s operator {}",
+                            step.op,
+                            step.node,
+                            enode.op.name()
+                        ),
+                    )
+                    .with_node(step.node)
+                    .with_context(&sg.name),
+                );
+            }
         }
     }
 

@@ -5,7 +5,7 @@
 
 use duet_analysis::{check_memory_plan, codes};
 use duet_compiler::passes::fuse_groups;
-use duet_compiler::{CompiledSubgraph, Operand};
+use duet_compiler::{CompiledSubgraph, EpilogueOp, Operand, TapeOptions};
 use duet_ir::{Graph, GraphBuilder, Op};
 
 /// fc1 → relu → fc2: one in-place epilogue, two distinct slot shapes.
@@ -17,9 +17,28 @@ fn mlp() -> Graph {
     b.finish(&[y]).unwrap()
 }
 
+/// The legacy (PR-4) tape layout: one instruction per node, graph
+/// order. The slot/in-place corruptions below need the relu to be its
+/// own instruction rather than a fused epilogue step.
 fn compile(g: &Graph) -> CompiledSubgraph {
     let ids = g.compute_ids();
+    CompiledSubgraph::from_groups_with(g, "all", fuse_groups(g, &ids), TapeOptions::none())
+}
+
+/// The default register-graph layout, epilogue chains fused.
+fn compile_fused(g: &Graph) -> CompiledSubgraph {
+    let ids = g.compute_ids();
     CompiledSubgraph::from_groups(g, "all", fuse_groups(g, &ids))
+}
+
+/// fc1 → relu → residual add(·, x): a linear anchor carrying a
+/// two-step epilogue chain (unary + binary) on the fused tape.
+fn residual_mlp() -> Graph {
+    let mut b = GraphBuilder::new("res", 1);
+    let x = b.input("x", vec![1, 8]);
+    let h = b.dense("fc1", x, 8, Some(Op::Relu)).unwrap();
+    let s = b.op("res", Op::Add, &[h, x]).unwrap();
+    b.finish(&[s]).unwrap()
 }
 
 #[test]
@@ -154,4 +173,98 @@ fn missing_instruction_is_caught() {
         "missed D400:\n{report}"
     );
     assert!(report.has_errors());
+}
+
+// --- fused-tape (D406 and friends) corruptions --------------------------
+
+#[test]
+fn clean_fused_tape_passes() {
+    let g = residual_mlp();
+    let sg = compile_fused(&g);
+    let report = check_memory_plan(&g, &sg);
+    assert!(report.is_clean(), "unexpected findings:\n{report}");
+    // The fixture must actually fuse the two-step chain.
+    assert_eq!(sg.tape.instrs.len(), 1, "expected one fused instruction");
+    assert_eq!(sg.tape.instrs[0].epilogue.len(), 2);
+    assert_eq!(sg.tape.plan.fused_epilogues, 2);
+}
+
+#[test]
+fn epilogue_operand_aliasing_output_is_caught() {
+    let g = residual_mlp();
+    let mut sg = compile_fused(&g);
+    // Retarget the residual add's rhs onto the very buffer the chain is
+    // mutating — the classic fused-aliasing miscompile.
+    let instr = &mut sg.tape.instrs[0];
+    let rhs = match instr.epilogue[1].op {
+        EpilogueOp::Add { rhs } => rhs,
+        ref other => panic!("fixture changed: second step is {other:?}"),
+    };
+    instr.inputs[rhs] = Operand::Slot(instr.out);
+    let report = check_memory_plan(&g, &sg);
+    assert!(
+        report.contains(codes::TAPE_FUSED_ALIAS),
+        "missed D406:\n{report}"
+    );
+    assert!(report.has_errors());
+}
+
+#[test]
+fn epilogue_op_disagreeing_with_graph_is_caught() {
+    let g = residual_mlp();
+    let mut sg = compile_fused(&g);
+    // The graph says relu; the tape claims tanh.
+    sg.tape.instrs[0].epilogue[0].op = EpilogueOp::Unary(duet_tensor::kernels::UnaryOp::Tanh);
+    let report = check_memory_plan(&g, &sg);
+    assert!(
+        report.contains(codes::TAPE_FUSED_ALIAS),
+        "missed D406:\n{report}"
+    );
+    assert!(report.has_errors());
+}
+
+#[test]
+fn dropped_epilogue_step_is_caught() {
+    let g = residual_mlp();
+    let mut sg = compile_fused(&g);
+    // Silently dropping the chain's last step loses the residual add:
+    // coverage no longer matches the subgraph.
+    sg.tape.instrs[0].epilogue.pop();
+    let report = check_memory_plan(&g, &sg);
+    assert!(
+        report.contains(codes::TAPE_COVERAGE),
+        "missed D400:\n{report}"
+    );
+    assert!(report.has_errors());
+}
+
+#[test]
+fn corrupted_arg_shape_is_caught() {
+    let g = residual_mlp();
+    let mut sg = compile_fused(&g);
+    sg.tape.instrs[0].arg_shapes[0] = vec![2, 2].into();
+    let report = check_memory_plan(&g, &sg);
+    assert!(
+        report.contains(codes::TAPE_SLOT_SHAPE),
+        "missed D404:\n{report}"
+    );
+    assert!(report.has_errors());
+}
+
+#[test]
+fn fused_zoo_tapes_are_clean() {
+    // The full checker, fused path included, accepts every compiled zoo
+    // model — D406 must not reject legitimate chains (conv→bn→relu,
+    // residual adds, linear→relu).
+    use duet_compiler::{CompileOptions, Compiler};
+    for &name in duet_models::zoo_names() {
+        let model = duet_models::zoo_model(name).expect("zoo model");
+        let (model, _) = Compiler::new(CompileOptions::default())
+            .optimize(&model)
+            .expect("optimize");
+        let ids = model.compute_ids();
+        let sg = CompiledSubgraph::from_groups(&model, name, fuse_groups(&model, &ids));
+        let report = check_memory_plan(&model, &sg);
+        assert!(report.is_clean(), "{name}: unexpected findings:\n{report}");
+    }
 }

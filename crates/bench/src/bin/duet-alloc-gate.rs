@@ -52,6 +52,12 @@ fn main() {
         eprintln!("FAIL: plan shows no slot reuse and no in-place ops");
         failed = true;
     }
+    if plan.fused_epilogues == 0 {
+        // An MLP is wall-to-wall linear→relu chains; a tape that fuses
+        // none of them has lost the register-graph path entirely.
+        eprintln!("FAIL: plan fused no epilogue chains");
+        failed = true;
+    }
 
     let env = input_feeds(&graph, 7);
     let mut arena = TapeArena::for_tape(&sg.tape);
@@ -72,8 +78,12 @@ fn main() {
     println!(
         "tape+arena steady state: {per_run:.2} allocs/inference over {RUNS} runs \
          (budget {BUDGET_PER_RUN}); planned/naive peak {}/{} bytes, \
-         {} in-place op(s), {} reused slot(s)",
-        plan.planned_peak_bytes, plan.naive_peak_bytes, plan.in_place_ops, plan.reused_slots
+         {} in-place op(s), {} reused slot(s), {} fused epilogue(s)",
+        plan.planned_peak_bytes,
+        plan.naive_peak_bytes,
+        plan.in_place_ops,
+        plan.reused_slots,
+        plan.fused_epilogues
     );
     if per_run > BUDGET_PER_RUN as f64 {
         eprintln!("FAIL: {per_run:.2} allocs/inference exceeds the budget of {BUDGET_PER_RUN}");

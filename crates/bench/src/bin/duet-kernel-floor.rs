@@ -1,0 +1,53 @@
+//! `duet-kernel-floor` — CI perf floor for the vectorized kernel engine.
+//!
+//! Runs the per-family kernel microbenchmarks (see
+//! `experiments/kernels.rs`) with the seed and vectorized engines
+//! alternating on successive trials in one process, and fails if the
+//! speedup ever regresses below the floor: a geometric mean of 2x across
+//! the suite, and no individual kernel below 1.25x. Alternating trials
+//! plus medians is what makes a ratio gate (rather than an absolute
+//! latency gate) stable enough for CI: both populations absorb the same
+//! machine noise, and the floor sits well under the measured margins.
+
+use duet_bench::experiments::kernels::{geomean, micro_speedups};
+
+const PAIRS: usize = 9;
+const FLOOR_GEOMEAN: f64 = 2.0;
+const FLOOR_EACH: f64 = 1.25;
+
+fn main() {
+    let benches = micro_speedups(PAIRS);
+    let mut failed = false;
+    for b in &benches {
+        println!(
+            "{:>14} {:<26} seed {:>9.1} us, vectorized {:>9.1} us, {:.2}x",
+            b.name,
+            b.what,
+            b.reference_us,
+            b.vectorized_us,
+            b.speedup()
+        );
+        if b.speedup() < FLOOR_EACH {
+            eprintln!(
+                "FAIL: {} ({}) at {:.2}x is below the {FLOOR_EACH}x per-kernel floor",
+                b.name,
+                b.what,
+                b.speedup()
+            );
+            failed = true;
+        }
+    }
+    let g = geomean(&benches);
+    println!(
+        "geomean: {g:.2}x over {} kernels (floor {FLOOR_GEOMEAN}x)",
+        benches.len()
+    );
+    if g < FLOOR_GEOMEAN {
+        eprintln!("FAIL: geomean {g:.2}x is below the {FLOOR_GEOMEAN}x floor");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("kernel floor gate passed.");
+}

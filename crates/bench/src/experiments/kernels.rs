@@ -1,0 +1,288 @@
+//! `ext-kernel-speed`: the vectorized kernel engine against the seed
+//! scalar kernels, measured in-process.
+//!
+//! Both engines live in one binary behind `set_reference_mode`, so every
+//! benchmark alternates reference/vectorized on successive trials — the
+//! same discipline as the telemetry-overhead gate: scheduler noise,
+//! thermal drift and cache state hit both populations identically, and
+//! per-trial medians make the ratio stable on a single-core box.
+//!
+//! Two sections:
+//!
+//! * **micro** — one microbenchmark per zoo family, shaped like the
+//!   family's dominant kernel (batch-1 linear for wide&deep, the LSTM
+//!   sequence for Siamese, attention GEMM for MT-DNN, im2col/1x1 convs
+//!   for the CNNs, depthwise for MobileNet). The `duet-kernel-floor` CI
+//!   gate runs this section with fewer trials and enforces the floor.
+//! * **e2e** — every zoo model at test scale through the default fused
+//!   tape with a warm arena, so the end-to-end number includes all the
+//!   non-kernel machinery the speedup has to shine through.
+
+use std::time::Instant;
+
+use duet_compiler::passes::fuse_groups;
+use duet_compiler::{CompileOptions, CompiledSubgraph, Compiler, TapeArena};
+use duet_models::{
+    input_feeds, mobilenet, mtdnn, resnet, siamese, squeezenet, vgg16, wide_and_deep,
+    MobileNetConfig, MtDnnConfig, ResNetConfig, SiameseConfig, WideAndDeepConfig,
+};
+use duet_tensor::kernels::{self, set_reference_mode};
+use duet_tensor::Tensor;
+use serde_json::json;
+
+use crate::output::{f3, Table};
+
+/// One alternating-trial measurement: reference vs vectorized medians.
+pub struct EngineBench {
+    /// Zoo family (micro) or model name (e2e).
+    pub name: &'static str,
+    /// What was measured.
+    pub what: String,
+    pub reference_us: f64,
+    pub vectorized_us: f64,
+}
+
+impl EngineBench {
+    pub fn speedup(&self) -> f64 {
+        self.reference_us / self.vectorized_us
+    }
+}
+
+/// Geometric mean of the speedups.
+pub fn geomean(benches: &[EngineBench]) -> f64 {
+    let log_sum: f64 = benches.iter().map(|b| b.speedup().ln()).sum();
+    (log_sum / benches.len() as f64).exp()
+}
+
+fn median(mut v: Vec<f64>) -> f64 {
+    v.sort_by(f64::total_cmp);
+    v[v.len() / 2]
+}
+
+fn time(f: &mut dyn FnMut()) -> f64 {
+    let start = Instant::now();
+    f();
+    start.elapsed().as_secs_f64() * 1e6
+}
+
+/// Run `f` `pairs` times per engine, alternating which engine goes first
+/// each pair, and return the (reference, vectorized) medians in µs. The
+/// reference flag is always restored to off.
+fn alternate(pairs: usize, f: &mut dyn FnMut()) -> (f64, f64) {
+    // One unmeasured warmup per engine: page in both code paths.
+    set_reference_mode(false);
+    f();
+    set_reference_mode(true);
+    f();
+    let mut reference = Vec::with_capacity(pairs);
+    let mut vectorized = Vec::with_capacity(pairs);
+    for i in 0..pairs {
+        for &ref_first in &[i % 2 == 0, i % 2 != 0] {
+            set_reference_mode(ref_first);
+            let us = time(f);
+            if ref_first {
+                reference.push(us);
+            } else {
+                vectorized.push(us);
+            }
+        }
+    }
+    set_reference_mode(false);
+    (median(reference), median(vectorized))
+}
+
+/// The per-family microbenchmarks. `pairs` trials per engine each.
+pub fn micro_speedups(pairs: usize) -> Vec<EngineBench> {
+    let mut out = Vec::new();
+    let mut push = |name: &'static str, what: &str, f: &mut dyn FnMut()| {
+        let (r, v) = alternate(pairs, f);
+        out.push(EngineBench {
+            name,
+            what: what.to_string(),
+            reference_us: r,
+            vectorized_us: v,
+        });
+    };
+
+    // wide_and_deep: batch-1 fully-connected tower.
+    {
+        let x = Tensor::randn(vec![1, 1024], 1.0, 1);
+        let w = Tensor::randn(vec![1024, 1024], 0.05, 2);
+        let b = Tensor::randn(vec![1024], 0.05, 3);
+        push("wide_and_deep", "linear 1x1024x1024", &mut || {
+            kernels::linear(&x, &w, Some(&b)).unwrap();
+        });
+    }
+    // siamese: the recurrent tower, sequential steps over a shared buffer.
+    {
+        let (input, hidden, seq) = (128, 128, 16);
+        let x = Tensor::randn(vec![seq, 1, input], 1.0, 4);
+        let w_ih = Tensor::randn(vec![4 * hidden, input], 0.05, 5);
+        let w_hh = Tensor::randn(vec![4 * hidden, hidden], 0.05, 6);
+        let b = Tensor::randn(vec![4 * hidden], 0.05, 7);
+        push("siamese", "lstm seq16 128->128", &mut || {
+            kernels::lstm(&x, &w_ih, &w_hh, &b).unwrap();
+        });
+    }
+    // mtdnn: transformer attention/projection GEMM.
+    {
+        let a = Tensor::randn(vec![128, 256], 1.0, 8);
+        let b = Tensor::randn(vec![256, 256], 0.05, 9);
+        push("mtdnn", "matmul 128x256x256", &mut || {
+            kernels::matmul(&a, &b).unwrap();
+        });
+    }
+    // resnet18: the canonical 3x3 residual-stage convolution.
+    {
+        let x = Tensor::randn(vec![1, 64, 28, 28], 1.0, 10);
+        let w = Tensor::randn(vec![64, 64, 3, 3], 0.05, 11);
+        let b = Tensor::randn(vec![64], 0.05, 12);
+        push("resnet18", "conv2d 64->64 28x28 k3", &mut || {
+            kernels::conv2d(&x, &w, Some(&b), 1, 1).unwrap();
+        });
+    }
+    // resnet50: the bottleneck's 1x1 projection.
+    {
+        let x = Tensor::randn(vec![1, 256, 14, 14], 1.0, 13);
+        let w = Tensor::randn(vec![64, 256, 1, 1], 0.05, 14);
+        let b = Tensor::randn(vec![64], 0.05, 15);
+        push("resnet50", "conv2d 256->64 14x14 k1", &mut || {
+            kernels::conv2d(&x, &w, Some(&b), 1, 0).unwrap();
+        });
+    }
+    // vgg16: the im2col GEMM panel a VGG stage lowers to.
+    {
+        let a = Tensor::randn(vec![256, 256], 1.0, 16);
+        let b = Tensor::randn(vec![256, 256], 0.05, 17);
+        push("vgg16", "matmul 256x256x256", &mut || {
+            kernels::matmul(&a, &b).unwrap();
+        });
+    }
+    // mobilenet: the depthwise stage.
+    {
+        let x = Tensor::randn(vec![1, 128, 28, 28], 1.0, 18);
+        let w = Tensor::randn(vec![128, 1, 3, 3], 0.05, 19);
+        let b = Tensor::randn(vec![128], 0.05, 20);
+        push("mobilenet", "depthwise 128ch 28x28 k3", &mut || {
+            kernels::depthwise_conv2d(&x, &w, Some(&b), 1, 1).unwrap();
+        });
+    }
+    // squeezenet: a fire module's 3x3 expand convolution.
+    {
+        let x = Tensor::randn(vec![1, 16, 28, 28], 1.0, 21);
+        let w = Tensor::randn(vec![64, 16, 3, 3], 0.05, 22);
+        let b = Tensor::randn(vec![64], 0.05, 23);
+        push("squeezenet", "conv2d 16->64 28x28 k3", &mut || {
+            kernels::conv2d(&x, &w, Some(&b), 1, 1).unwrap();
+        });
+    }
+    out
+}
+
+/// Every zoo model at test scale (the `small()` configs; 32–64 px
+/// images for the fixed-size CNNs), end to end through the fused tape.
+fn e2e_models() -> Vec<(&'static str, duet_ir::Graph)> {
+    vec![
+        ("wide_and_deep", wide_and_deep(&WideAndDeepConfig::small())),
+        ("siamese", siamese(&SiameseConfig::small())),
+        ("mtdnn", mtdnn(&MtDnnConfig::small())),
+        ("resnet18", resnet(&ResNetConfig::small())),
+        (
+            "resnet50",
+            resnet(&ResNetConfig {
+                depth: 50,
+                ..ResNetConfig::small()
+            }),
+        ),
+        ("vgg16", vgg16(1, 32)),
+        ("mobilenet", mobilenet(&MobileNetConfig::small())),
+        ("squeezenet", squeezenet(1, 64)),
+    ]
+}
+
+/// End-to-end inference medians per zoo model: same fused tape, same
+/// warm arena, only the kernel engine flips between trials.
+pub fn e2e_speedups(pairs: usize) -> Vec<EngineBench> {
+    let mut out = Vec::new();
+    for (name, model) in e2e_models() {
+        let (graph, _) = Compiler::new(CompileOptions::default())
+            .optimize(&model)
+            .expect("optimize");
+        let ids = graph.compute_ids();
+        let sg = CompiledSubgraph::from_groups(&graph, name, fuse_groups(&graph, &ids));
+        let env = input_feeds(&graph, 7);
+        let mut arena = TapeArena::for_tape(&sg.tape);
+        let (r, v) = alternate(pairs, &mut || {
+            sg.execute_with_arena(&env, &mut arena).expect("inference");
+        });
+        out.push(EngineBench {
+            name,
+            what: "end-to-end inference".to_string(),
+            reference_us: r,
+            vectorized_us: v,
+        });
+    }
+    out
+}
+
+/// The `ext-kernel-speed` experiment: both sections, table + JSON.
+pub fn kernel_speed() -> serde_json::Value {
+    println!("== Ext: vectorized kernel engine vs seed kernels ==\n");
+
+    let micro = micro_speedups(15);
+    let mut t = Table::new(&["family", "kernel", "seed us", "vectorized us", "speedup"]);
+    for b in &micro {
+        t.row(vec![
+            b.name.to_string(),
+            b.what.clone(),
+            f3(b.reference_us),
+            f3(b.vectorized_us),
+            format!("{:.2}x", b.speedup()),
+        ]);
+    }
+    println!("{t}");
+    println!(
+        "micro geomean: {:.2}x over {} kernels\n",
+        geomean(&micro),
+        micro.len()
+    );
+
+    let e2e = e2e_speedups(9);
+    let mut t = Table::new(&["model", "seed us", "vectorized us", "speedup"]);
+    for b in &e2e {
+        t.row(vec![
+            b.name.to_string(),
+            f3(b.reference_us),
+            f3(b.vectorized_us),
+            format!("{:.2}x", b.speedup()),
+        ]);
+    }
+    println!("{t}");
+    println!(
+        "e2e geomean: {:.2}x over {} models; the seed engine and the tape \
+         machinery are identical on both sides — only the kernels flip\n",
+        geomean(&e2e),
+        e2e.len()
+    );
+
+    let section = |benches: &[EngineBench]| {
+        benches
+            .iter()
+            .map(|b| {
+                json!({
+                    "name": b.name,
+                    "what": b.what,
+                    "reference_us": b.reference_us,
+                    "vectorized_us": b.vectorized_us,
+                    "speedup": b.speedup(),
+                })
+            })
+            .collect::<Vec<_>>()
+    };
+    json!({
+        "micro": section(&micro),
+        "micro_geomean": geomean(&micro),
+        "e2e": section(&e2e),
+        "e2e_geomean": geomean(&e2e),
+    })
+}

@@ -5,6 +5,7 @@
 pub mod ablation;
 pub mod comparison;
 pub mod extensions;
+pub mod kernels;
 pub mod memory;
 pub mod motivation;
 pub mod sweeps;
@@ -32,6 +33,7 @@ pub const ALL: &[&str] = &[
     "ext-systems",
     "ext-nested",
     "ext-memory-plan",
+    "ext-kernel-speed",
 ];
 
 /// Run one experiment by id. Returns `None` for an unknown id.
@@ -57,6 +59,7 @@ pub fn run(id: &str) -> Option<serde_json::Value> {
         "ext-systems" => extensions::systems(),
         "ext-nested" => extensions::nested(),
         "ext-memory-plan" => memory::memory_plan(),
+        "ext-kernel-speed" => kernels::kernel_speed(),
         _ => return None,
     };
     Some(value)

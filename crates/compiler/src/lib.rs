@@ -29,6 +29,7 @@ pub mod passes;
 pub use invariants::{PassViolation, ViolationKind};
 pub use lower::{CompiledKernel, CompiledSubgraph, KernelClass};
 pub use memory::{
-    ArenaPool, ArenaPoolStats, ExecutableTape, Instr, MemoryPlan, Operand, TapeArena,
+    ArenaPool, ArenaPoolStats, EpilogueOp, EpilogueStep, ExecutableTape, Instr, MemoryPlan,
+    Operand, TapeArena, TapeOptions,
 };
 pub use pass::{CompileError, CompileOptions, Compiler, OptimizeStats};

@@ -11,7 +11,7 @@ use std::collections::{HashMap, HashSet};
 use duet_ir::{CostProfile, Graph, GraphError, NodeId, Op};
 use duet_tensor::Tensor;
 
-use crate::memory::{ExecutableTape, TapeArena};
+use crate::memory::{ExecutableTape, TapeArena, TapeOptions};
 
 /// One fused kernel: an anchor operator plus absorbed epilogues.
 #[derive(Debug, Clone)]
@@ -131,6 +131,18 @@ impl CompiledSubgraph {
     /// fusion groups (`groups` must exactly cover `nodes`; see
     /// [`crate::passes::fuse_groups`]).
     pub fn from_groups(graph: &Graph, name: impl Into<String>, groups: Vec<Vec<NodeId>>) -> Self {
+        Self::from_groups_with(graph, name, groups, TapeOptions::default())
+    }
+
+    /// [`CompiledSubgraph::from_groups`] with explicit tape planner
+    /// switches — A/B benchmarking and checker fixtures that need the
+    /// unfused/unscheduled tape layout.
+    pub fn from_groups_with(
+        graph: &Graph,
+        name: impl Into<String>,
+        groups: Vec<Vec<NodeId>>,
+        tape_opts: TapeOptions,
+    ) -> Self {
         let mut node_ids: Vec<NodeId> = groups.iter().flatten().copied().collect();
         node_ids.sort_unstable();
         let in_set: HashSet<NodeId> = node_ids.iter().copied().collect();
@@ -178,7 +190,7 @@ impl CompiledSubgraph {
             .iter()
             .fold(CostProfile::zero(), |acc, k| acc.merge(&k.cost));
 
-        let tape = ExecutableTape::build(graph, &node_ids, &inputs, &outputs);
+        let tape = ExecutableTape::build_with(graph, &node_ids, &inputs, &outputs, tape_opts);
 
         CompiledSubgraph {
             name: name.into(),

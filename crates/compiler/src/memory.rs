@@ -1,30 +1,47 @@
-//! Static memory planning and the instruction tape.
+//! Static memory planning and the register-graph instruction tape.
 //!
 //! Lowering used to hand the executor a per-call HashMap interpreter:
 //! every inference re-resolved node ids, cloned resident weights out of
 //! the graph and allocated a fresh buffer per op. This module replaces
 //! that with a compile-time plan:
 //!
-//! * **Instruction tape** — a topologically ordered [`Instr`] sequence
-//!   whose operands are pre-resolved *slot indices* ([`Operand::Slot`]),
-//!   weight bindings ([`Operand::Weight`], bound once at lowering as
-//!   `Arc`-shared tensors) or boundary feeds ([`Operand::Feed`]).
+//! * **Epilogue-chain fusion** — a maximal sole-consumer chain of
+//!   elementwise followers (relu, scale, residual add, bias-add, and
+//!   proof-gated inference batch-norm) is absorbed into its producer's
+//!   instruction as [`EpilogueStep`]s. `linear → relu → add` and
+//!   `conv → batchnorm → relu` each emit as a *single* fused instruction
+//!   whose intermediates never materialize: the epilogue mutates the
+//!   anchor's output buffer in registers-to-slot order, exactly as the
+//!   unfused kernels would have written it (the in-place elementwise
+//!   kernels are bit-identical to their `_into` twins).
+//! * **Tape-order scheduling** — fused groups are list-scheduled with a
+//!   bytes-freed-greedy heuristic: among ready groups, prefer the one
+//!   that releases the most dead input bytes net of its own output
+//!   allocation. Any topological order is semantically equal; this one
+//!   shortens live ranges so the slot planner sees more reuse.
 //! * **Liveness-based slot assignment** — each value's last use is
-//!   computed over the tape; a dead same-shape slot is recycled before a
-//!   new one is opened, and unary/binary elementwise epilogues run **in
-//!   place** on their first operand when it dies at that instruction.
-//!   [`MemoryPlan`] records planned vs. naive peak bytes.
+//!   computed over the tape; a dead *equal-volume* slot is recycled
+//!   (shape-changing reuse is "coalescing", counted separately) before a
+//!   new one is opened, and capable anchors run **in place** on their
+//!   first operand when it dies at that instruction. [`MemoryPlan`]
+//!   records planned vs. naive peak bytes plus fusion/coalescing counts.
 //! * **Arena** — a [`TapeArena`] is the slab of slot buffers one
 //!   execution writes into; an [`ArenaPool`] recycles arenas across
 //!   requests (keyed by tape fingerprint) so steady-state serving does
 //!   near-zero tensor allocation.
+//!
+//! Because slots are shape-polymorphic under coalescing, every
+//! instruction carries its own operand shapes ([`Instr::arg_shapes`])
+//! and output shape ([`Instr::out_shape`]); `plan.slot_shapes` records
+//! the shape each slot was *opened* with and is only authoritative for
+//! volume.
 //!
 //! Escaping values (subgraph outputs) are published as tensors that
 //! share their slot's buffer; the next execution that finds such a slot
 //! still shared simply re-allocates it (a "refresh"), so aliasing is
 //! never observable from outside.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -43,18 +60,69 @@ pub enum Operand {
     Feed(usize),
 }
 
-/// One tape instruction: an op with pre-resolved operands and a
-/// destination slot.
+/// One fused follower applied to the anchor's output buffer in place.
+/// Operand references are indices into the owning [`Instr::inputs`]
+/// (always `>= Instr::args`, the extras appended after the anchor's own
+/// arguments).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EpilogueOp {
+    /// `buf = u(buf)` elementwise.
+    Unary(UnaryOp),
+    /// `buf *= factor`.
+    Scale(f32),
+    /// `buf += inputs[rhs]` elementwise.
+    Add { rhs: usize },
+    /// `buf -= inputs[rhs]`, or `buf = inputs[rhs] - buf` when
+    /// `reversed` (the chain value was the graph op's second operand).
+    Sub { rhs: usize, reversed: bool },
+    /// `buf *= inputs[rhs]` elementwise.
+    Mul { rhs: usize },
+    /// `buf += inputs[bias]` broadcast over the trailing dim.
+    BiasAdd { bias: usize },
+    /// Inference batch-norm over the buffer interpreted through the
+    /// instruction's `out_shape` (NCHW). Fused only when
+    /// [`duet_ir::absint::prove_batchnorm_inplace`] holds for the node.
+    BatchNorm {
+        gamma: usize,
+        beta: usize,
+        mean: usize,
+        var: usize,
+    },
+}
+
+/// One node of an absorbed epilogue chain: which graph node it computes
+/// and the in-place operation that realizes it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpilogueStep {
+    /// Graph node this step computes (for diagnostics/verification).
+    pub node: NodeId,
+    /// The in-place operation applied to the output buffer.
+    pub op: EpilogueOp,
+}
+
+/// One tape instruction: an anchor op with pre-resolved operands, an
+/// absorbed epilogue chain and a destination slot.
 #[derive(Debug, Clone)]
 pub struct Instr {
-    /// Graph node this instruction computes (for diagnostics/outputs).
+    /// Graph node the *anchor* op computes (for diagnostics/outputs).
     pub node: NodeId,
-    /// The operator to run.
+    /// The anchor operator to run.
     pub op: Op,
-    /// Pre-resolved inputs, in the op's argument order.
+    /// Pre-resolved inputs: the anchor's own arguments (`..args`)
+    /// followed by extra operands referenced by epilogue steps.
     pub inputs: Vec<Operand>,
+    /// How many leading `inputs` belong to the anchor op itself.
+    pub args: usize,
+    /// Shape of each operand in `inputs` (authoritative — slot shapes
+    /// may be coalesced).
+    pub arg_shapes: Vec<Shape>,
+    /// Fused followers applied to the output buffer, in chain order.
+    pub epilogue: Vec<EpilogueStep>,
     /// Destination slot index.
     pub out: usize,
+    /// Shape of the value this instruction leaves in `out` (the last
+    /// chain node's shape; equal to the anchor's when no epilogue).
+    pub out_shape: Shape,
     /// True if this op overwrites its first operand's slot (which the
     /// planner proved dead after this instruction).
     pub in_place: bool,
@@ -63,7 +131,9 @@ pub struct Instr {
 /// What the liveness planner decided, plus its accounting.
 #[derive(Debug, Clone)]
 pub struct MemoryPlan {
-    /// Shape of each physical slot (the arena allocates one buffer each).
+    /// Shape each physical slot was opened with (the arena allocates one
+    /// buffer of that volume each; later values may coalesce into it
+    /// with a different shape of equal volume).
     pub slot_shapes: Vec<Shape>,
     /// Bytes the slot set occupies — the planned peak.
     pub planned_peak_bytes: usize,
@@ -71,8 +141,50 @@ pub struct MemoryPlan {
     pub naive_peak_bytes: usize,
     /// Instructions executing in place on a dead input slot.
     pub in_place_ops: usize,
-    /// Values that recycled a previously freed same-shape slot.
+    /// Values that recycled a previously freed equal-volume slot.
     pub reused_slots: usize,
+    /// Epilogue steps fused into anchor instructions (intermediates that
+    /// never materialized).
+    pub fused_epilogues: usize,
+    /// Slot reuses whose new shape differed from the slot's opening
+    /// shape (equal volume) — reuse a shape-keyed free list would miss.
+    pub coalesced_slots: usize,
+}
+
+/// Planner switches; the default enables the whole register-graph
+/// pipeline. Turning a knob off is for A/B benchmarks and for checker
+/// fixtures that need the unfused/unscheduled layout.
+#[derive(Debug, Clone, Copy)]
+pub struct TapeOptions {
+    /// Absorb sole-consumer elementwise chains as [`EpilogueStep`]s.
+    pub fuse_epilogues: bool,
+    /// Bytes-freed-greedy list scheduling (off: original graph order,
+    /// still topologically valid).
+    pub reorder: bool,
+    /// Volume-keyed slot recycling (off: exact-shape matches only).
+    pub coalesce: bool,
+}
+
+impl Default for TapeOptions {
+    fn default() -> Self {
+        TapeOptions {
+            fuse_epilogues: true,
+            reorder: true,
+            coalesce: true,
+        }
+    }
+}
+
+impl TapeOptions {
+    /// Everything off: one instruction per node, graph order,
+    /// exact-shape slot reuse — the PR-4 tape layout.
+    pub fn none() -> Self {
+        TapeOptions {
+            fuse_epilogues: false,
+            reorder: false,
+            coalesce: false,
+        }
+    }
 }
 
 /// A compiled, memory-planned executable for one subgraph.
@@ -90,6 +202,9 @@ pub struct ExecutableTape {
     pub feed_shapes: Vec<Shape>,
     /// Escaping values: node id and the slot holding its result.
     pub outputs: Vec<(NodeId, usize)>,
+    /// Shape of each escaping value (parallel to `outputs`; slots may be
+    /// coalesced, so the slot's opening shape is not authoritative).
+    pub output_shapes: Vec<Shape>,
     /// The slot plan and its accounting.
     pub plan: MemoryPlan,
     /// FNV fold over the whole tape; arenas are keyed by this.
@@ -242,8 +357,248 @@ pub fn in_place_extended(graph: &Graph, node: &Node) -> bool {
     matches!(node.op, Op::BatchNorm2d) && duet_ir::absint::prove_batchnorm_inplace(graph, node)
 }
 
+/// Can `node` be absorbed as an epilogue step onto a chain whose current
+/// value is `chain`? Structural conditions only (sole-consumer and
+/// escape checks are the caller's job): the op must be realizable as an
+/// in-place mutation of the chain buffer, read the chain value exactly
+/// once, and preserve its volume.
+fn epilogue_fusable(graph: &Graph, node: &Node, chain: NodeId) -> bool {
+    if node.inputs.iter().filter(|&&i| i == chain).count() != 1 {
+        return false;
+    }
+    let chain_shape = &graph.node(chain).shape;
+    if node.shape.volume() != chain_shape.volume() {
+        return false;
+    }
+    match node.op {
+        Op::Relu
+        | Op::Sigmoid
+        | Op::Tanh
+        | Op::Gelu
+        | Op::Scale { .. }
+        | Op::Add
+        | Op::Sub
+        | Op::Mul => true,
+        // Broadcast over the trailing dim: only the data operand may be
+        // the chain value.
+        Op::BiasAdd => node.inputs[0] == chain,
+        // The in-place kernel reinterprets the buffer through the node's
+        // NCHW shape, so dims must match exactly — and the scale factors
+        // must be proven well-conditioned, the same gate standalone
+        // in-place batch-norm uses.
+        Op::BatchNorm2d => {
+            node.inputs[0] == chain
+                && node.shape == *chain_shape
+                && duet_ir::absint::prove_batchnorm_inplace(graph, node)
+        }
+        _ => false,
+    }
+}
+
+/// Partition `node_ids` (topological order) into fused emission groups:
+/// each group is an anchor followed by its absorbed sole-consumer
+/// elementwise chain, in chain order. With fusion off every node is its
+/// own group.
+fn fuse_chains(
+    graph: &Graph,
+    node_ids: &[NodeId],
+    escape_set: &HashSet<NodeId>,
+    fuse: bool,
+) -> Vec<Vec<NodeId>> {
+    if !fuse {
+        return node_ids.iter().map(|&id| vec![id]).collect();
+    }
+    let mut groups: Vec<Vec<NodeId>> = Vec::new();
+    // Chain tails open for extension: tail value id → group index.
+    let mut open_tail: HashMap<NodeId, usize> = HashMap::new();
+    for &id in node_ids {
+        let node = graph.node(id);
+        // A producer chain absorbs `id` when the chain's tail value is
+        // consumed by `id` alone (globally — a consumer outside the
+        // subgraph would make the tail escape anyway, but the explicit
+        // escape check also covers graph outputs) and the op can run as
+        // an in-place mutation of the tail's buffer.
+        let absorbed = node.inputs.iter().find_map(|&p| {
+            let g = *open_tail.get(&p)?;
+            let pn = graph.node(p);
+            (pn.outputs.len() == 1
+                && pn.outputs[0] == id
+                && !escape_set.contains(&p)
+                && epilogue_fusable(graph, node, p)
+                // Every other operand must be computable before the
+                // anchor: a weight, a feed, or another group's value —
+                // never a member of this same chain (impossible under
+                // sole-consumer links, but cheap to enforce).
+                && node
+                    .inputs
+                    .iter()
+                    .all(|&o| o == p || !groups[g].contains(&o)))
+            .then_some((g, p))
+        });
+        match absorbed {
+            Some((g, p)) => {
+                groups[g].push(id);
+                open_tail.remove(&p);
+                open_tail.insert(id, g);
+            }
+            None => {
+                open_tail.insert(id, groups.len());
+                groups.push(vec![id]);
+            }
+        }
+    }
+    groups
+}
+
+/// Order `groups` topologically. With `reorder` on, ties are broken
+/// bytes-freed-greedy: among ready groups pick the one releasing the
+/// most dead input bytes net of its own output allocation (then lowest
+/// original index, for determinism). Off, original order wherever valid.
+fn schedule_groups(
+    graph: &Graph,
+    groups: &[Vec<NodeId>],
+    escape_set: &HashSet<NodeId>,
+    reorder: bool,
+) -> Vec<usize> {
+    let n = groups.len();
+    let mut group_of: HashMap<NodeId, usize> = HashMap::new();
+    for (g, members) in groups.iter().enumerate() {
+        for &m in members {
+            group_of.insert(m, g);
+        }
+    }
+    // Group-level dependency edges and per-value consumer counts. A
+    // group's consumed values are the *tails* of other groups (chain
+    // intermediates are only ever read inside their own group).
+    let mut consumed: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    let mut indegree: Vec<usize> = vec![0; n];
+    let mut successors: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut consumers_left: HashMap<NodeId, usize> = HashMap::new();
+    for (g, members) in groups.iter().enumerate() {
+        let mut preds: Vec<usize> = Vec::new();
+        for &m in members {
+            for &src in &graph.node(m).inputs {
+                match group_of.get(&src) {
+                    Some(&pg) if pg != g => {
+                        if !consumed[g].contains(&src) {
+                            consumed[g].push(src);
+                            *consumers_left.entry(src).or_insert(0) += 1;
+                        }
+                        if !preds.contains(&pg) {
+                            preds.push(pg);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        indegree[g] = preds.len();
+        for pg in preds {
+            successors[pg].push(g);
+        }
+    }
+
+    let tail_bytes = |g: usize| -> i64 {
+        graph
+            .node(*groups[g].last().expect("non-empty group"))
+            .shape
+            .byte_size() as i64
+    };
+    let mut ready: Vec<usize> = (0..n).filter(|&g| indegree[g] == 0).collect();
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    while !ready.is_empty() {
+        let pos = if !reorder {
+            // Stable topological order: lowest original index first.
+            (0..ready.len())
+                .min_by_key(|&i| ready[i])
+                .expect("non-empty ready set")
+        } else {
+            let score = |g: usize| -> i64 {
+                let freed: i64 = consumed[g]
+                    .iter()
+                    .filter(|&&v| !escape_set.contains(&v) && consumers_left[&v] == 1)
+                    .map(|&v| graph.node(v).shape.byte_size() as i64)
+                    .sum();
+                freed - tail_bytes(g)
+            };
+            (0..ready.len())
+                .max_by_key(|&i| (score(ready[i]), std::cmp::Reverse(ready[i])))
+                .expect("non-empty ready set")
+        };
+        let g = ready.swap_remove(pos);
+        order.push(g);
+        for &v in &consumed[g] {
+            *consumers_left.get_mut(&v).expect("counted above") -= 1;
+        }
+        for &s in &successors[g] {
+            indegree[s] -= 1;
+            if indegree[s] == 0 {
+                ready.push(s);
+            }
+        }
+    }
+    assert_eq!(order.len(), n, "group dependency cycle (graph is a DAG)");
+    order
+}
+
+/// Resolves graph value ids to tape operands, creating weight bindings
+/// on first sight.
+struct OperandBinder<'g> {
+    graph: &'g Graph,
+    feed_index: HashMap<NodeId, usize>,
+    weights: Vec<Tensor>,
+    weight_ids: Vec<NodeId>,
+    weight_index: HashMap<NodeId, usize>,
+}
+
+impl OperandBinder<'_> {
+    fn resolve(&mut self, slot_of: &HashMap<NodeId, usize>, src: NodeId) -> Operand {
+        if let Some(&s) = slot_of.get(&src) {
+            Operand::Slot(s)
+        } else if let Some(&f) = self.feed_index.get(&src) {
+            Operand::Feed(f)
+        } else {
+            let w = *self.weight_index.entry(src).or_insert_with(|| {
+                let t = self
+                    .graph
+                    .param(src)
+                    .cloned()
+                    .unwrap_or_else(|| Tensor::zeros(node_shape(self.graph, src)));
+                self.weights.push(t);
+                self.weight_ids.push(src);
+                self.weights.len() - 1
+            });
+            Operand::Weight(w)
+        }
+    }
+}
+
+/// The free-slot pool: volume-keyed under coalescing (any dead
+/// equal-volume slot may be recycled), exact-shape-keyed otherwise.
+enum FreeList {
+    ByVolume(HashMap<usize, Vec<usize>>),
+    ByShape(HashMap<Shape, Vec<usize>>),
+}
+
+impl FreeList {
+    fn pop(&mut self, shape: &Shape) -> Option<usize> {
+        match self {
+            FreeList::ByVolume(m) => m.get_mut(&shape.volume()).and_then(Vec::pop),
+            FreeList::ByShape(m) => m.get_mut(shape).and_then(Vec::pop),
+        }
+    }
+
+    fn push(&mut self, shape: &Shape, slot: usize) {
+        match self {
+            FreeList::ByVolume(m) => m.entry(shape.volume()).or_default().push(slot),
+            FreeList::ByShape(m) => m.entry(shape.clone()).or_default().push(slot),
+        }
+    }
+}
+
 impl ExecutableTape {
-    /// Plan `node_ids` (topologically ordered) of `graph` into a tape.
+    /// Plan `node_ids` (topologically ordered) of `graph` into a tape
+    /// with the default [`TapeOptions`].
     ///
     /// `boundary_inputs` are the values fed at run time; `outputs` the
     /// values that escape the subgraph (their slots are never recycled).
@@ -253,24 +608,45 @@ impl ExecutableTape {
         boundary_inputs: &[NodeId],
         outputs: &[NodeId],
     ) -> Self {
-        let pos: HashMap<NodeId, usize> = node_ids
-            .iter()
-            .enumerate()
-            .map(|(k, &id)| (id, k))
-            .collect();
+        Self::build_with(
+            graph,
+            node_ids,
+            boundary_inputs,
+            outputs,
+            TapeOptions::default(),
+        )
+    }
+
+    /// [`ExecutableTape::build`] with explicit planner switches.
+    pub fn build_with(
+        graph: &Graph,
+        node_ids: &[NodeId],
+        boundary_inputs: &[NodeId],
+        outputs: &[NodeId],
+        opts: TapeOptions,
+    ) -> Self {
+        let in_set: HashSet<NodeId> = node_ids.iter().copied().collect();
+        let escape_set: HashSet<NodeId> = outputs.iter().copied().collect();
         let feed_index: HashMap<NodeId, usize> = boundary_inputs
             .iter()
             .enumerate()
             .map(|(i, &id)| (id, i))
             .collect();
 
-        // Last tape index reading each in-subgraph value; escaping values
-        // stay live to the end of the tape.
+        let groups = fuse_chains(graph, node_ids, &escape_set, opts.fuse_epilogues);
+        let order = schedule_groups(graph, &groups, &escape_set, opts.reorder);
+
+        // Last emission index reading each materialized value (group
+        // tails); escaping values stay live to the end of the tape.
+        // Chain-internal reads are not uses — the value never exists.
         let mut last_use: HashMap<NodeId, usize> = HashMap::new();
-        for (k, &id) in node_ids.iter().enumerate() {
-            for &src in &graph.node(id).inputs {
-                if pos.contains_key(&src) {
-                    last_use.insert(src, k);
+        for (k, &gi) in order.iter().enumerate() {
+            let members: HashSet<NodeId> = groups[gi].iter().copied().collect();
+            for &m in &groups[gi] {
+                for &src in &graph.node(m).inputs {
+                    if in_set.contains(&src) && !members.contains(&src) {
+                        last_use.insert(src, k);
+                    }
                 }
             }
         }
@@ -278,55 +654,119 @@ impl ExecutableTape {
             last_use.insert(o, usize::MAX);
         }
 
-        let mut weights: Vec<Tensor> = Vec::new();
-        let mut weight_ids: Vec<NodeId> = Vec::new();
-        let mut weight_index: HashMap<NodeId, usize> = HashMap::new();
-
+        let mut binder = OperandBinder {
+            graph,
+            feed_index,
+            weights: Vec::new(),
+            weight_ids: Vec::new(),
+            weight_index: HashMap::new(),
+        };
         let mut slot_shapes: Vec<Shape> = Vec::new();
         let mut slot_of: HashMap<NodeId, usize> = HashMap::new();
-        let mut free: HashMap<Shape, Vec<usize>> = HashMap::new();
+        let mut free = if opts.coalesce {
+            FreeList::ByVolume(HashMap::new())
+        } else {
+            FreeList::ByShape(HashMap::new())
+        };
         let mut in_place_ops = 0usize;
         let mut reused_slots = 0usize;
+        let mut fused_epilogues = 0usize;
+        let mut coalesced_slots = 0usize;
 
-        let mut instrs: Vec<Instr> = Vec::with_capacity(node_ids.len());
-        for (k, &id) in node_ids.iter().enumerate() {
-            let node = graph.node(id);
-            let inputs: Vec<Operand> = node
-                .inputs
-                .iter()
-                .map(|&src| {
-                    if let Some(&s) = slot_of.get(&src) {
-                        Operand::Slot(s)
-                    } else if let Some(&f) = feed_index.get(&src) {
-                        Operand::Feed(f)
-                    } else {
-                        let w = *weight_index.entry(src).or_insert_with(|| {
-                            let t = graph
-                                .param(src)
-                                .cloned()
-                                .unwrap_or_else(|| Tensor::zeros(node_shape(graph, src)));
-                            weights.push(t);
-                            weight_ids.push(src);
-                            weights.len() - 1
-                        });
-                        Operand::Weight(w)
+        let mut instrs: Vec<Instr> = Vec::with_capacity(groups.len());
+        for (k, &gi) in order.iter().enumerate() {
+            let group = &groups[gi];
+            let anchor_id = group[0];
+            let anchor = graph.node(anchor_id);
+            let tail_id = *group.last().expect("non-empty group");
+            let out_shape = node_shape(graph, tail_id);
+
+            let mut inputs: Vec<Operand> = Vec::with_capacity(anchor.inputs.len());
+            let mut arg_shapes: Vec<Shape> = Vec::with_capacity(anchor.inputs.len());
+            // Distinct graph values this instruction consumes (for the
+            // dying-slot release below).
+            let mut consumed: Vec<NodeId> = Vec::new();
+            for &src in &anchor.inputs {
+                inputs.push(binder.resolve(&slot_of, src));
+                arg_shapes.push(node_shape(graph, src));
+                if in_set.contains(&src) && !consumed.contains(&src) {
+                    consumed.push(src);
+                }
+            }
+            let args = inputs.len();
+
+            let mut epilogue: Vec<EpilogueStep> = Vec::with_capacity(group.len() - 1);
+            let mut chain = anchor_id;
+            for &e in &group[1..] {
+                let enode = graph.node(e);
+                // Append the non-chain operand(s) and record their index.
+                let mut extra = |src: NodeId,
+                                 inputs: &mut Vec<Operand>,
+                                 arg_shapes: &mut Vec<Shape>|
+                 -> usize {
+                    inputs.push(binder.resolve(&slot_of, src));
+                    arg_shapes.push(node_shape(graph, src));
+                    if in_set.contains(&src) && !consumed.contains(&src) {
+                        consumed.push(src);
                     }
-                })
-                .collect();
+                    inputs.len() - 1
+                };
+                let op = match enode.op {
+                    Op::Relu => EpilogueOp::Unary(UnaryOp::Relu),
+                    Op::Sigmoid => EpilogueOp::Unary(UnaryOp::Sigmoid),
+                    Op::Tanh => EpilogueOp::Unary(UnaryOp::Tanh),
+                    Op::Gelu => EpilogueOp::Unary(UnaryOp::Gelu),
+                    Op::Scale { factor } => EpilogueOp::Scale(factor),
+                    Op::Add => {
+                        let other = other_operand(enode, chain);
+                        EpilogueOp::Add {
+                            rhs: extra(other, &mut inputs, &mut arg_shapes),
+                        }
+                    }
+                    Op::Mul => {
+                        let other = other_operand(enode, chain);
+                        EpilogueOp::Mul {
+                            rhs: extra(other, &mut inputs, &mut arg_shapes),
+                        }
+                    }
+                    Op::Sub => {
+                        let reversed = enode.inputs[1] == chain;
+                        let other = other_operand(enode, chain);
+                        EpilogueOp::Sub {
+                            rhs: extra(other, &mut inputs, &mut arg_shapes),
+                            reversed,
+                        }
+                    }
+                    Op::BiasAdd => EpilogueOp::BiasAdd {
+                        bias: extra(enode.inputs[1], &mut inputs, &mut arg_shapes),
+                    },
+                    Op::BatchNorm2d => EpilogueOp::BatchNorm {
+                        gamma: extra(enode.inputs[1], &mut inputs, &mut arg_shapes),
+                        beta: extra(enode.inputs[2], &mut inputs, &mut arg_shapes),
+                        mean: extra(enode.inputs[3], &mut inputs, &mut arg_shapes),
+                        var: extra(enode.inputs[4], &mut inputs, &mut arg_shapes),
+                    },
+                    ref other => unreachable!("non-fusable epilogue op {}", other.name()),
+                };
+                epilogue.push(EpilogueStep { node: e, op });
+                chain = e;
+            }
+            fused_epilogues += epilogue.len();
 
-            // In-place epilogue: first operand is a slot value that dies
-            // right here and no other operand aliases the same slot.
+            // In-place: the anchor's first operand is a slot value that
+            // dies right here and no other operand (including epilogue
+            // extras) aliases the same slot.
             let dies_here = |src: NodeId| last_use.get(&src) == Some(&k);
             // Extended (proof-gated) candidates additionally need the
-            // slot's recorded shape to match exactly, because their
-            // kernels reinterpret the buffer through the node's shape.
-            let extended = in_place_extended(graph, node);
-            let in_place_slot = if in_place_capable(&node.op) || extended {
-                match (node.inputs.first(), inputs.first()) {
+            // incoming value's shape to match the node's exactly,
+            // because their kernels reinterpret the buffer through it.
+            let extended = in_place_extended(graph, anchor);
+            let in_place_slot = if in_place_capable(&anchor.op) || extended {
+                match (anchor.inputs.first(), inputs.first()) {
                     (Some(&src0), Some(&Operand::Slot(s)))
                         if dies_here(src0)
-                            && slot_shapes[s].volume() == node.shape.volume()
-                            && (!extended || slot_shapes[s] == node.shape)
+                            && slot_shapes[s].volume() == out_shape.volume()
+                            && (!extended || arg_shapes[0] == anchor.shape)
                             && !inputs[1..].contains(&Operand::Slot(s)) =>
                     {
                         Some(s)
@@ -343,44 +783,52 @@ impl ExecutableTape {
                     (s, true)
                 }
                 None => {
-                    let slot = match free.get_mut(&node.shape).and_then(Vec::pop) {
+                    let slot = match free.pop(&out_shape) {
                         Some(s) => {
                             reused_slots += 1;
+                            if slot_shapes[s] != out_shape {
+                                coalesced_slots += 1;
+                            }
                             s
                         }
                         None => {
-                            slot_shapes.push(node.shape.clone());
+                            slot_shapes.push(out_shape.clone());
                             slot_shapes.len() - 1
                         }
                     };
                     (slot, false)
                 }
             };
-            slot_of.insert(id, out);
+            slot_of.insert(tail_id, out);
 
-            // Release dying input slots *after* the output was assigned so
-            // a non-in-place op never aliases its own input. The in-place
-            // slot itself was consumed, not freed.
+            // Release dying input slots *after* the output was assigned
+            // so a non-in-place op never aliases its own input. The
+            // in-place slot itself was consumed, not freed.
             let mut freed: Vec<usize> = Vec::new();
-            for &src in &node.inputs {
+            for &src in &consumed {
                 if let Some(&s) = slot_of.get(&src) {
-                    if src != id && dies_here(src) && s != out && !freed.contains(&s) {
-                        free.entry(slot_shapes[s].clone()).or_default().push(s);
+                    if src != tail_id && dies_here(src) && s != out && !freed.contains(&s) {
+                        free.push(&slot_shapes[s], s);
                         freed.push(s);
                     }
                 }
             }
 
             instrs.push(Instr {
-                node: id,
-                op: node.op.clone(),
+                node: anchor_id,
+                op: anchor.op.clone(),
                 inputs,
+                args,
+                arg_shapes,
+                epilogue,
                 out,
+                out_shape,
                 in_place,
             });
         }
 
         let out_slots: Vec<(NodeId, usize)> = outputs.iter().map(|&o| (o, slot_of[&o])).collect();
+        let output_shapes: Vec<Shape> = outputs.iter().map(|&o| node_shape(graph, o)).collect();
         let planned_peak_bytes: usize = slot_shapes.iter().map(Shape::byte_size).sum();
         let naive_peak_bytes: usize = node_ids
             .iter()
@@ -392,21 +840,34 @@ impl ExecutableTape {
             naive_peak_bytes,
             in_place_ops,
             reused_slots,
+            fused_epilogues,
+            coalesced_slots,
         };
         let fingerprint = tape_fingerprint(&instrs, &plan, &out_slots);
         ExecutableTape {
             instrs,
-            weights,
-            weight_ids,
+            weights: binder.weights,
+            weight_ids: binder.weight_ids,
             feed_ids: boundary_inputs.to_vec(),
             feed_shapes: boundary_inputs
                 .iter()
                 .map(|&id| node_shape(graph, id))
                 .collect(),
             outputs: out_slots,
+            output_shapes,
             plan,
             fingerprint,
         }
+    }
+}
+
+/// The operand of a binary `node` that is *not* the chain value (the
+/// chain appears exactly once; guaranteed by [`epilogue_fusable`]).
+fn other_operand(node: &Node, chain: NodeId) -> NodeId {
+    if node.inputs[0] == chain {
+        node.inputs[1]
+    } else {
+        node.inputs[0]
     }
 }
 
@@ -455,9 +916,9 @@ impl ExecutableTape {
             self.run_instr(instr, &feeds, arena)?;
         }
         let mut result: HashMap<NodeId, Tensor> = HashMap::with_capacity(self.outputs.len());
-        for &(id, slot) in &self.outputs {
+        for (i, &(id, slot)) in self.outputs.iter().enumerate() {
             let t = Tensor::from_arc(
-                self.plan.slot_shapes[slot].clone(),
+                self.output_shapes[i].clone(),
                 Arc::clone(&arena.slots[slot]),
             )
             .map_err(GraphError::from)?;
@@ -472,7 +933,7 @@ impl ExecutableTape {
         feeds: &[&Tensor],
         arena: &mut TapeArena,
     ) -> Result<(), GraphError> {
-        let out_len = self.plan.slot_shapes[instr.out].volume();
+        let out_len = instr.out_shape.volume();
         let mut out_arc = arena.take(instr.out);
         // A slot still shared with a previous run's published output (or
         // wrongly sized) must be re-allocated before we may write it.
@@ -489,42 +950,96 @@ impl ExecutableTape {
         let res = {
             let out = Arc::get_mut(&mut out_arc).expect("refresh made the slot unique");
             self.dispatch(instr, feeds, arena, out)
+                .and_then(|()| self.apply_epilogue(instr, feeds, arena, out))
         };
         arena.slots[instr.out] = out_arc;
         res.map_err(GraphError::from)
     }
 
-    /// Raw data + shape of an operand. Never called for the instruction's
-    /// own output slot (the planner forbids that aliasing except via
-    /// `in_place`, which reads `out` directly).
+    /// Raw data + shape of operand `idx`. Never called for the
+    /// instruction's own output slot (the planner forbids that aliasing
+    /// except via `in_place`, which reads `out` directly). Shapes come
+    /// from the instruction, not the slot plan — slots may be coalesced.
     fn src<'a>(
         &'a self,
-        operand: Operand,
+        instr: &'a Instr,
+        idx: usize,
         feeds: &[&'a Tensor],
         arena: &'a TapeArena,
     ) -> (&'a [f32], &'a Shape) {
-        match operand {
-            Operand::Slot(s) => (&arena.slots[s], &self.plan.slot_shapes[s]),
-            Operand::Weight(w) => (self.weights[w].data(), self.weights[w].shape()),
-            Operand::Feed(f) => (feeds[f].data(), feeds[f].shape()),
+        let shape = &instr.arg_shapes[idx];
+        match instr.inputs[idx] {
+            Operand::Slot(s) => (&arena.slots[s], shape),
+            Operand::Weight(w) => (self.weights[w].data(), shape),
+            Operand::Feed(f) => (feeds[f].data(), shape),
         }
     }
 
     /// Operand as a zero-copy tensor (for ops without an `_into` kernel).
     fn src_tensor(
         &self,
-        operand: Operand,
+        instr: &Instr,
+        idx: usize,
         feeds: &[&Tensor],
         arena: &TapeArena,
     ) -> Result<Tensor, TensorError> {
-        match operand {
-            Operand::Slot(s) => Tensor::from_arc(
-                self.plan.slot_shapes[s].clone(),
-                Arc::clone(&arena.slots[s]),
-            ),
+        let shape = instr.arg_shapes[idx].clone();
+        match instr.inputs[idx] {
+            Operand::Slot(s) => Tensor::from_arc(shape, Arc::clone(&arena.slots[s])),
             Operand::Weight(w) => Ok(self.weights[w].clone()),
             Operand::Feed(f) => Ok(feeds[f].clone()),
         }
+    }
+
+    /// Apply the fused epilogue chain to the anchor's output buffer, in
+    /// chain order. Each step is the in-place twin of the standalone
+    /// kernel, so the buffer ends bit-identical to the unfused sequence.
+    fn apply_epilogue(
+        &self,
+        instr: &Instr,
+        feeds: &[&Tensor],
+        arena: &TapeArena,
+        out: &mut [f32],
+    ) -> Result<(), TensorError> {
+        for step in &instr.epilogue {
+            match step.op {
+                EpilogueOp::Unary(u) => kernels::unary_inplace(u, out),
+                EpilogueOp::Scale(f) => kernels::scale_inplace(out, f),
+                EpilogueOp::Add { rhs } => {
+                    let (bd, _) = self.src(instr, rhs, feeds, arena);
+                    kernels::add_inplace(out, bd);
+                }
+                EpilogueOp::Mul { rhs } => {
+                    let (bd, _) = self.src(instr, rhs, feeds, arena);
+                    kernels::mul_inplace(out, bd);
+                }
+                EpilogueOp::Sub { rhs, reversed } => {
+                    let (bd, _) = self.src(instr, rhs, feeds, arena);
+                    if reversed {
+                        kernels::rsub_inplace(out, bd);
+                    } else {
+                        kernels::sub_inplace(out, bd);
+                    }
+                }
+                EpilogueOp::BiasAdd { bias } => {
+                    let (bd, _) = self.src(instr, bias, feeds, arena);
+                    kernels::bias_add_inplace(out, bd);
+                }
+                EpilogueOp::BatchNorm {
+                    gamma,
+                    beta,
+                    mean,
+                    var,
+                } => {
+                    let g = self.src_tensor(instr, gamma, feeds, arena)?;
+                    let b = self.src_tensor(instr, beta, feeds, arena)?;
+                    let m = self.src_tensor(instr, mean, feeds, arena)?;
+                    let v = self.src_tensor(instr, var, feeds, arena)?;
+                    kernels::batch_norm2d_inplace(out, &instr.out_shape, &g, &b, &m, &v, 1e-5)?;
+                }
+            }
+        }
+        Ok(())
     }
 
     fn dispatch(
@@ -536,15 +1051,15 @@ impl ExecutableTape {
     ) -> Result<(), TensorError> {
         match &instr.op {
             Op::Linear => {
-                let (xd, xs) = self.src(instr.inputs[0], feeds, arena);
-                let (wd, ws) = self.src(instr.inputs[1], feeds, arena);
-                let (bd, _) = self.src(instr.inputs[2], feeds, arena);
+                let (xd, xs) = self.src(instr, 0, feeds, arena);
+                let (wd, ws) = self.src(instr, 1, feeds, arena);
+                let (bd, _) = self.src(instr, 2, feeds, arena);
                 kernels::linear_into(xd, wd, Some(bd), out, xs.dim(0), xs.dim(1), ws.dim(0));
                 Ok(())
             }
             Op::MatMul => {
-                let (ad, ashape) = self.src(instr.inputs[0], feeds, arena);
-                let (bd, bshape) = self.src(instr.inputs[1], feeds, arena);
+                let (ad, ashape) = self.src(instr, 0, feeds, arena);
+                let (bd, bshape) = self.src(instr, 1, feeds, arena);
                 kernels::matmul_into(ad, bd, out, ashape.dim(0), ashape.dim(1), bshape.dim(1));
                 Ok(())
             }
@@ -553,10 +1068,10 @@ impl ExecutableTape {
                 padding,
                 bias,
             } => {
-                let x = self.src_tensor(instr.inputs[0], feeds, arena)?;
-                let w = self.src_tensor(instr.inputs[1], feeds, arena)?;
+                let x = self.src_tensor(instr, 0, feeds, arena)?;
+                let w = self.src_tensor(instr, 1, feeds, arena)?;
                 let b = if *bias {
-                    Some(self.src_tensor(instr.inputs[2], feeds, arena)?)
+                    Some(self.src_tensor(instr, 2, feeds, arena)?)
                 } else {
                     None
                 };
@@ -572,7 +1087,7 @@ impl ExecutableTape {
                 if instr.in_place {
                     kernels::unary_inplace(u, out);
                 } else {
-                    let (xd, _) = self.src(instr.inputs[0], feeds, arena);
+                    let (xd, _) = self.src(instr, 0, feeds, arena);
                     kernels::unary_into(u, xd, out);
                 }
                 Ok(())
@@ -581,13 +1096,13 @@ impl ExecutableTape {
                 if instr.in_place {
                     kernels::scale_inplace(out, *factor);
                 } else {
-                    let (xd, _) = self.src(instr.inputs[0], feeds, arena);
+                    let (xd, _) = self.src(instr, 0, feeds, arena);
                     kernels::scale_into(xd, *factor, out);
                 }
                 Ok(())
             }
             Op::Add | Op::Sub | Op::Mul => {
-                let (bd, _) = self.src(instr.inputs[1], feeds, arena);
+                let (bd, _) = self.src(instr, 1, feeds, arena);
                 if instr.in_place {
                     match instr.op {
                         Op::Add => kernels::add_inplace(out, bd),
@@ -595,7 +1110,7 @@ impl ExecutableTape {
                         _ => kernels::mul_inplace(out, bd),
                     }
                 } else {
-                    let (ad, _) = self.src(instr.inputs[0], feeds, arena);
+                    let (ad, _) = self.src(instr, 0, feeds, arena);
                     match instr.op {
                         Op::Add => kernels::add_into(ad, bd, out),
                         Op::Sub => kernels::sub_into(ad, bd, out),
@@ -605,37 +1120,45 @@ impl ExecutableTape {
                 Ok(())
             }
             Op::BiasAdd => {
-                let (bd, _) = self.src(instr.inputs[1], feeds, arena);
+                let (bd, _) = self.src(instr, 1, feeds, arena);
                 if instr.in_place {
                     kernels::bias_add_inplace(out, bd);
                 } else {
-                    let (xd, _) = self.src(instr.inputs[0], feeds, arena);
+                    let (xd, _) = self.src(instr, 0, feeds, arena);
                     kernels::bias_add_into(xd, bd, out);
                 }
                 Ok(())
             }
             Op::BatchNorm2d => {
-                let gamma = self.src_tensor(instr.inputs[1], feeds, arena)?;
-                let beta = self.src_tensor(instr.inputs[2], feeds, arena)?;
-                let mean = self.src_tensor(instr.inputs[3], feeds, arena)?;
-                let var = self.src_tensor(instr.inputs[4], feeds, arena)?;
+                let gamma = self.src_tensor(instr, 1, feeds, arena)?;
+                let beta = self.src_tensor(instr, 2, feeds, arena)?;
+                let mean = self.src_tensor(instr, 3, feeds, arena)?;
+                let var = self.src_tensor(instr, 4, feeds, arena)?;
                 if instr.in_place {
                     // The planner only flags extended in-place when the
-                    // slot's shape equals the node's NCHW shape.
-                    let shape = self.plan.slot_shapes[instr.out].clone();
-                    kernels::batch_norm2d_inplace(out, &shape, &gamma, &beta, &mean, &var, 1e-5)
+                    // incoming value's shape equals the node's NCHW
+                    // shape — which, absent an epilogue, is out_shape.
+                    kernels::batch_norm2d_inplace(
+                        out,
+                        &instr.arg_shapes[0],
+                        &gamma,
+                        &beta,
+                        &mean,
+                        &var,
+                        1e-5,
+                    )
                 } else {
-                    let x = self.src_tensor(instr.inputs[0], feeds, arena)?;
+                    let x = self.src_tensor(instr, 0, feeds, arena)?;
                     kernels::batch_norm2d_into(&x, &gamma, &beta, &mean, &var, 1e-5, out)
                 }
             }
             // Every other op keeps its allocating kernel; inputs are
             // wrapped zero-copy and the result is copied into the slot.
+            // Only the anchor's own arguments participate — trailing
+            // operands belong to epilogue steps.
             op => {
-                let tensors: Vec<Tensor> = instr
-                    .inputs
-                    .iter()
-                    .map(|&o| self.src_tensor(o, feeds, arena))
+                let tensors: Vec<Tensor> = (0..instr.args)
+                    .map(|i| self.src_tensor(instr, i, feeds, arena))
                     .collect::<Result<_, _>>()?;
                 let refs: Vec<&Tensor> = tensors.iter().collect();
                 let t = op.execute(&refs)?;
@@ -671,7 +1194,58 @@ fn tape_fingerprint(instrs: &[Instr], plan: &MemoryPlan, outputs: &[(NodeId, usi
                 Operand::Feed(f) => fold(0x3000_0000 | f as u64),
             }
         }
+        fold(i.args as u64);
+        for step in &i.epilogue {
+            fold(step.node as u64);
+            match step.op {
+                EpilogueOp::Unary(u) => {
+                    fold(0x41);
+                    fold(match u {
+                        UnaryOp::Relu => 1,
+                        UnaryOp::Sigmoid => 2,
+                        UnaryOp::Tanh => 3,
+                        UnaryOp::Gelu => 4,
+                    });
+                }
+                EpilogueOp::Scale(f) => {
+                    fold(0x42);
+                    fold(f.to_bits() as u64);
+                }
+                EpilogueOp::Add { rhs } => {
+                    fold(0x43);
+                    fold(rhs as u64);
+                }
+                EpilogueOp::Sub { rhs, reversed } => {
+                    fold(0x44);
+                    fold(rhs as u64);
+                    fold(reversed as u64);
+                }
+                EpilogueOp::Mul { rhs } => {
+                    fold(0x45);
+                    fold(rhs as u64);
+                }
+                EpilogueOp::BiasAdd { bias } => {
+                    fold(0x46);
+                    fold(bias as u64);
+                }
+                EpilogueOp::BatchNorm {
+                    gamma,
+                    beta,
+                    mean,
+                    var,
+                } => {
+                    fold(0x47);
+                    fold(gamma as u64);
+                    fold(beta as u64);
+                    fold(mean as u64);
+                    fold(var as u64);
+                }
+            }
+        }
         fold(i.out as u64);
+        for &d in i.out_shape.dims() {
+            fold(d as u64);
+        }
         fold(i.in_place as u64);
     }
     for s in &plan.slot_shapes {

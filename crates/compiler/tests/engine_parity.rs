@@ -1,0 +1,92 @@
+//! Cross-engine parity: the vectorized, epilogue-fused, arena-reusing
+//! tape against the seed engine end to end.
+//!
+//! `tape_zoo.rs` proves the tape is bit-identical to the reference
+//! interpreter *under the same kernels*. This suite crosses the other
+//! axis: reference mode routes GEMM/linear/depthwise/LSTM through the
+//! seed scalar kernels, and the whole-model outputs must still agree
+//! within the tolerance the per-kernel ulp contracts compose to
+//! (`crates/tensor/tests/kernel_contract.rs` states the per-kernel
+//! bounds). Covered paths: fresh tape, warm arena (three reuses), and the
+//! fused-epilogue instructions the default tape emits.
+//!
+//! Reference mode is process-global; this file keeps every flip inside
+//! one `#[test]` so no parallel test observes a half-flipped engine.
+
+use duet_compiler::passes::fuse_groups;
+use duet_compiler::{CompileOptions, CompiledSubgraph, Compiler, TapeArena};
+use duet_ir::Graph;
+use duet_models::{
+    input_feeds, mobilenet, mtdnn, resnet, siamese, wide_and_deep, MobileNetConfig, MtDnnConfig,
+    ResNetConfig, SiameseConfig, WideAndDeepConfig,
+};
+use duet_tensor::kernels::set_reference_mode;
+use duet_tensor::Tensor;
+
+fn families() -> Vec<(&'static str, Graph)> {
+    vec![
+        ("wide_and_deep", wide_and_deep(&WideAndDeepConfig::small())),
+        ("siamese", siamese(&SiameseConfig::small())),
+        ("mtdnn", mtdnn(&MtDnnConfig::small())),
+        ("resnet", resnet(&ResNetConfig::small())),
+        ("mobilenet", mobilenet(&MobileNetConfig::small())),
+    ]
+}
+
+struct RefModeGuard;
+impl Drop for RefModeGuard {
+    fn drop(&mut self) {
+        set_reference_mode(false);
+    }
+}
+
+/// Element-wise closeness with a mixed absolute/relative budget: deep
+/// stacks of ulp-bounded kernels drift proportionally to the magnitudes
+/// flowing through them, while post-softmax outputs sit near zero where
+/// only the absolute term bites.
+fn assert_close(name: &str, id: duet_ir::NodeId, want: &Tensor, got: &Tensor) {
+    assert_eq!(want.shape(), got.shape(), "{name}/{id}: shape");
+    for (i, (w, g)) in want.data().iter().zip(got.data()).enumerate() {
+        let tol = 1e-3 + 1e-3 * w.abs();
+        assert!(
+            (w - g).abs() <= tol,
+            "{name}/{id}: element {i}: seed {w} vs vectorized {g}"
+        );
+    }
+}
+
+#[test]
+fn vectorized_fused_tape_matches_seed_engine_on_zoo() {
+    for (name, model) in families() {
+        let (graph, _) = Compiler::new(CompileOptions::default())
+            .optimize(&model)
+            .expect("optimize");
+        let ids = graph.compute_ids();
+        let sg = CompiledSubgraph::from_groups(&graph, name, fuse_groups(&graph, &ids));
+        assert!(
+            sg.tape.plan.fused_epilogues > 0,
+            "{name}: fixture stopped exercising the fused path"
+        );
+        let env = input_feeds(&graph, 7);
+
+        // Oracle: seed kernels through the reference interpreter.
+        let want = {
+            set_reference_mode(true);
+            let _guard = RefModeGuard;
+            sg.execute_reference(&graph, &env).unwrap()
+        };
+
+        // Vectorized engine: fresh tape, then a warm arena reused thrice.
+        let fresh = sg.execute(&graph, &env).unwrap();
+        for (id, w) in &want {
+            assert_close(name, *id, w, &fresh[id]);
+        }
+        let mut arena = TapeArena::for_tape(&sg.tape);
+        for _ in 0..3 {
+            let warm = sg.execute_with_arena(&env, &mut arena).unwrap();
+            for (id, w) in &want {
+                assert_close(name, *id, w, &warm[id]);
+            }
+        }
+    }
+}

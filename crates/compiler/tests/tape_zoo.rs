@@ -15,7 +15,9 @@
 use std::collections::HashMap;
 
 use duet_compiler::passes::fuse_groups;
-use duet_compiler::{CompileOptions, CompiledSubgraph, Compiler, TapeArena};
+use duet_compiler::{
+    CompileOptions, CompiledSubgraph, Compiler, EpilogueOp, TapeArena, TapeOptions,
+};
 use duet_ir::{Graph, NodeId, Op};
 use duet_models::{
     input_feeds, mobilenet, mtdnn, resnet, siamese, wide_and_deep, zoo_model, MobileNetConfig,
@@ -114,30 +116,81 @@ fn planner_beats_naive_on_every_zoo_model() {
             plan.reused_slots > 0 || plan.in_place_ops > 0,
             "{name}: plan shows no reuse at all"
         );
+        assert!(
+            plan.fused_epilogues > 0,
+            "{name}: no epilogue chains fused on the tape"
+        );
     }
 }
 
-/// The dataflow-proof-gated in-place widening must actually fire: zoo
+/// The dataflow-proof-gated BatchNorm handling must actually fire: zoo
 /// CNNs carry constant, provably well-conditioned BatchNorm statistics
-/// (unit variance), so their BatchNorm epilogues overwrite the dying
-/// convolution output instead of opening a fresh slot. Bit identity of
-/// the in-place kernel is covered by `tape_bit_identical_to_reference`
-/// above (resnet and mobilenet are in `families()`).
+/// (unit variance), so conv → batchnorm (→ relu) chains emit as single
+/// fused instructions whose BatchNorm is an [`EpilogueOp::BatchNorm`]
+/// step mutating the convolution's output buffer — no standalone
+/// BatchNorm instruction, no intermediate slot. Bit identity of the
+/// fused chain is covered by `tape_bit_identical_to_reference` above
+/// (resnet and mobilenet are in `families()`).
 #[test]
-fn batch_norm_runs_in_place_on_zoo_cnns() {
+fn batch_norm_fuses_into_conv_on_zoo_cnns() {
     for name in ["resnet18", "mobilenet"] {
         let model = zoo_model(name).expect("zoo model");
-        let (_, sg) = compile(name, &model);
-        let bn_in_place = sg
+        let (graph, sg) = compile(name, &model);
+        let bn_steps = sg
             .tape
             .instrs
             .iter()
-            .filter(|i| matches!(i.op, Op::BatchNorm2d) && i.in_place)
+            .flat_map(|i| i.epilogue.iter())
+            .filter(|s| matches!(s.op, EpilogueOp::BatchNorm { .. }))
+            .count();
+        let bn_nodes = graph
+            .compute_ids()
+            .iter()
+            .filter(|&&id| matches!(graph.node(id).op, Op::BatchNorm2d))
             .count();
         assert!(
-            bn_in_place > 0,
-            "{name}: no in-place batch-norm instructions on the tape"
+            bn_steps > 0,
+            "{name}: no batch-norm epilogue steps on the tape"
         );
+        assert_eq!(
+            bn_steps, bn_nodes,
+            "{name}: some batch-norms still anchor their own instruction"
+        );
+        assert!(sg.tape.plan.fused_epilogues >= bn_steps);
+    }
+}
+
+/// Fusion, scheduling and coalescing are each independently
+/// bit-transparent: toggling any subset of [`TapeOptions`] produces the
+/// same outputs, to the bit, on every zoo family.
+#[test]
+fn tape_options_are_bit_transparent() {
+    for (name, model) in families() {
+        let (graph, _) = Compiler::new(CompileOptions::default())
+            .optimize(&model)
+            .expect("optimize");
+        let ids = graph.compute_ids();
+        let groups = fuse_groups(&graph, &ids);
+        let env = input_feeds(&graph, 42);
+        let full = CompiledSubgraph::from_groups(&graph, name, groups.clone());
+        let want = full.execute(&graph, &env).unwrap();
+        for opts in [
+            TapeOptions::none(),
+            TapeOptions {
+                fuse_epilogues: true,
+                reorder: false,
+                coalesce: false,
+            },
+            TapeOptions {
+                fuse_epilogues: false,
+                reorder: true,
+                coalesce: true,
+            },
+        ] {
+            let sg = CompiledSubgraph::from_groups_with(&graph, name, groups.clone(), opts);
+            let got = sg.execute(&graph, &env).unwrap();
+            assert_bit_identical(name, &want, &got);
+        }
     }
 }
 

@@ -39,6 +39,21 @@ pub use squeezenet::squeezenet;
 pub use vgg::vgg16;
 pub use wide_deep::{wide_and_deep, WideAndDeepConfig};
 
+/// The zoo roster, in the paper's evaluation order. Each entry is a
+/// valid [`zoo_model`] name.
+pub fn zoo_names() -> &'static [&'static str] {
+    &[
+        "wide_and_deep",
+        "siamese",
+        "mtdnn",
+        "resnet18",
+        "resnet50",
+        "vgg16",
+        "mobilenet",
+        "squeezenet",
+    ]
+}
+
 /// Every paper workload by name, for harness loops.
 pub fn zoo_model(name: &str) -> Option<duet_ir::Graph> {
     match name {

@@ -70,9 +70,22 @@ pub struct HeterogeneousExecutor<'g> {
     pool: Option<&'g ArenaPool>,
 }
 
+/// Inter-op worker threads the executor runs: one per device (CPU, GPU).
+pub const DEVICE_WORKERS: usize = 2;
+
 impl<'g> HeterogeneousExecutor<'g> {
     /// Create an executor over a placed schedule.
+    ///
+    /// Also pins the global kernel pool the first time any executor is
+    /// built: intra-op data parallelism gets `available_parallelism() -
+    /// DEVICE_WORKERS` threads (floored at 1), so kernel lanes and the two
+    /// device workers together never oversubscribe the machine. The pool
+    /// is process-wide and sized once — concurrent executors share it.
     pub fn new(graph: &'g Graph, placed: &'g [Placed], system: SystemModel) -> Self {
+        let hw = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        rayon::configure(hw.saturating_sub(DEVICE_WORKERS).max(1));
         HeterogeneousExecutor {
             graph,
             placed,

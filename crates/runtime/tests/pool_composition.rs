@@ -1,0 +1,85 @@
+//! Regression tests for intra-op × inter-op thread composition.
+//!
+//! The seed rayon stand-in spawned fresh scoped threads per parallel call,
+//! so two subgraphs running kernels concurrently could momentarily hold
+//! `2 × available_parallelism()` compute threads. The pinned global pool
+//! bounds the set of threads that ever execute kernel work items to
+//! `pool workers + submitting callers`, no matter how many parallel
+//! regions run concurrently or sequentially.
+//!
+//! This file is its own test binary on purpose: the pool is process-global
+//! and sized at first use, so `rayon::configure` must win the race here.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Barrier, Mutex};
+use std::thread::{self, ThreadId};
+
+use rayon::prelude::*;
+
+const POOL_WIDTH: usize = 3; // 1 participating caller + 2 background workers
+
+#[test]
+fn concurrent_parallel_regions_do_not_oversubscribe() {
+    assert!(
+        rayon::configure(POOL_WIDTH),
+        "pool must not be initialized before this test configures it"
+    );
+    assert_eq!(rayon::current_num_threads(), POOL_WIDTH);
+
+    const CALLERS: usize = 4; // stand-ins for executor device workers
+    const ROUNDS: usize = 20;
+    const CHUNKS: usize = 32;
+
+    let ids: Mutex<HashSet<ThreadId>> = Mutex::new(HashSet::new());
+    let caller_ids: Mutex<HashSet<ThreadId>> = Mutex::new(HashSet::new());
+    let items_done = AtomicUsize::new(0);
+    let barrier = Barrier::new(CALLERS);
+
+    thread::scope(|scope| {
+        for _ in 0..CALLERS {
+            scope.spawn(|| {
+                caller_ids.lock().unwrap().insert(thread::current().id());
+                barrier.wait(); // maximize overlap between callers
+                for _ in 0..ROUNDS {
+                    let mut buf = vec![0u64; CHUNKS * 8];
+                    buf.par_chunks_mut(8).enumerate().for_each(|(i, c)| {
+                        // Enough work that chunks actually spread across
+                        // the pool rather than finishing inline.
+                        let mut acc = i as u64;
+                        for k in 0..2_000u64 {
+                            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+                        }
+                        c[0] = acc;
+                        ids.lock().unwrap().insert(thread::current().id());
+                        items_done.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        }
+    });
+
+    // Every chunk ran exactly once.
+    assert_eq!(
+        items_done.load(Ordering::Relaxed),
+        CALLERS * ROUNDS * CHUNKS
+    );
+
+    // The thread set that executed kernel items is bounded by the pinned
+    // pool workers plus the participating callers themselves — never the
+    // per-call thread explosion of the old stand-in.
+    let executed = ids.lock().unwrap();
+    let callers = caller_ids.lock().unwrap();
+    let pool_workers: HashSet<ThreadId> = executed.difference(&callers).copied().collect();
+    assert!(
+        pool_workers.len() < POOL_WIDTH,
+        "kernel items ran on {} non-caller threads; pool only owns {}",
+        pool_workers.len(),
+        POOL_WIDTH - 1
+    );
+    assert!(
+        executed.len() <= (POOL_WIDTH - 1) + CALLERS,
+        "oversubscribed: {} distinct threads executed kernel items",
+        executed.len()
+    );
+}

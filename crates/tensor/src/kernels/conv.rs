@@ -92,8 +92,8 @@ pub fn conv2d_into(
             actual: out.len(),
         });
     }
-    out.fill(0.0);
     // One im2col buffer + GEMM per image; images are processed in parallel.
+    // No zero-fill pass: gemm_into overwrites every output element.
     out.par_chunks_mut(c_out * opix)
         .enumerate()
         .for_each(|(img, oimg)| {
@@ -136,14 +136,30 @@ fn im2col(
                 let dst = &mut col[row * opix..(row + 1) * opix];
                 for oy in 0..oh {
                     let iy = (oy * stride + ki) as isize - padding as isize;
-                    for ox in 0..ow {
-                        let ix = (ox * stride + kj) as isize - padding as isize;
-                        dst[oy * ow + ox] =
-                            if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < w {
-                                x[ci * h * w + iy as usize * w + ix as usize]
+                    let drow = &mut dst[oy * ow..(oy + 1) * ow];
+                    if iy < 0 || iy as usize >= h {
+                        drow.fill(0.0);
+                        continue;
+                    }
+                    let xrow = &x[ci * h * w + iy as usize * w..ci * h * w + (iy as usize + 1) * w];
+                    if stride == 1 {
+                        // Contiguous tap: ix = ox + kj - padding, so the
+                        // in-bounds span is one memcpy with zero margins.
+                        let ox_lo = padding.saturating_sub(kj).min(ow);
+                        let ox_hi = (w + padding).saturating_sub(kj).min(ow).max(ox_lo);
+                        drow[..ox_lo].fill(0.0);
+                        drow[ox_hi..].fill(0.0);
+                        let ix0 = ox_lo + kj - padding;
+                        drow[ox_lo..ox_hi].copy_from_slice(&xrow[ix0..ix0 + (ox_hi - ox_lo)]);
+                    } else {
+                        for (ox, d) in drow.iter_mut().enumerate() {
+                            let ix = (ox * stride + kj) as isize - padding as isize;
+                            *d = if ix >= 0 && (ix as usize) < w {
+                                xrow[ix as usize]
                             } else {
                                 0.0
                             };
+                        }
                     }
                 }
             }
@@ -308,27 +324,126 @@ pub fn depthwise_conv2d(
             let xplane = &xd[plane * h * w..(plane + 1) * h * w];
             let wplane = &wd[ci * kh * kw..(ci + 1) * kh * kw];
             let bv = bd.map_or(0.0, |b| b[ci]);
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    let mut acc = bv;
-                    for ky in 0..kh {
-                        let iy = (oy * stride + ky) as isize - padding as isize;
-                        if iy < 0 || iy as usize >= h {
-                            continue;
-                        }
-                        for kx in 0..kw {
-                            let ix = (ox * stride + kx) as isize - padding as isize;
-                            if ix < 0 || ix as usize >= w {
-                                continue;
-                            }
-                            acc += xplane[iy as usize * w + ix as usize] * wplane[ky * kw + kx];
-                        }
-                    }
-                    oplane[oy * ow + ox] = acc;
-                }
-            }
+            depthwise_plane(
+                xplane, wplane, oplane, h, w, kh, kw, stride, padding, oh, ow, bv,
+            );
         });
     Tensor::from_vec(vec![n, c, oh, ow], out)
+}
+
+/// One (image, channel) plane of the depthwise conv.
+///
+/// The stride-1 interior runs 8 outputs per step with lane accumulators;
+/// each output element still accumulates `bias, then taps in (ky, kx)
+/// ascending order` — exactly the scalar kernel's chain — so the
+/// vectorized path is **bit-identical** to the scalar one (exact
+/// contract: independent outputs, no reassociation). Edges, stride > 1
+/// and reference mode take the scalar path.
+#[allow(clippy::too_many_arguments)]
+fn depthwise_plane(
+    x: &[f32],
+    wk: &[f32],
+    o: &mut [f32],
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    padding: usize,
+    oh: usize,
+    ow: usize,
+    bv: f32,
+) {
+    const L: usize = 8;
+    if super::reference::reference_mode() || stride != 1 {
+        for oy in 0..oh {
+            depthwise_scalar_span(
+                x,
+                wk,
+                &mut o[oy * ow..(oy + 1) * ow],
+                oy,
+                0,
+                ow,
+                h,
+                w,
+                kh,
+                kw,
+                stride,
+                padding,
+                bv,
+            );
+        }
+        return;
+    }
+    // Interior span where every kx tap is in bounds (stride 1):
+    // ox >= padding and ox + kw - 1 - padding < w.
+    let ox_lo = padding.min(ow);
+    let ox_hi = (w + padding + 1).saturating_sub(kw).min(ow).max(ox_lo);
+    for oy in 0..oh {
+        let rows_ok = oy >= padding && oy + kh <= h + padding;
+        let orow = &mut o[oy * ow..(oy + 1) * ow];
+        if !rows_ok {
+            depthwise_scalar_span(x, wk, orow, oy, 0, ow, h, w, kh, kw, 1, padding, bv);
+            continue;
+        }
+        let iy0 = oy - padding;
+        depthwise_scalar_span(x, wk, orow, oy, 0, ox_lo, h, w, kh, kw, 1, padding, bv);
+        let mut ox = ox_lo;
+        while ox + L <= ox_hi {
+            let mut acc = [bv; L];
+            for ky in 0..kh {
+                let xrow = &x[(iy0 + ky) * w..(iy0 + ky + 1) * w];
+                for kx in 0..kw {
+                    let wv = wk[ky * kw + kx];
+                    let base = ox + kx - padding;
+                    let xs = <&[f32; L]>::try_from(&xrow[base..base + L]).unwrap();
+                    for l in 0..L {
+                        acc[l] += xs[l] * wv;
+                    }
+                }
+            }
+            orow[ox..ox + L].copy_from_slice(&acc);
+            ox += L;
+        }
+        depthwise_scalar_span(x, wk, orow, oy, ox, ow, h, w, kh, kw, 1, padding, bv);
+    }
+}
+
+/// Scalar depthwise span `[ox0, ox1)` of output row `oy`: the seed tap
+/// loop (bias first, then in-bounds taps in (ky, kx) ascending order).
+#[allow(clippy::too_many_arguments, clippy::needless_range_loop)]
+fn depthwise_scalar_span(
+    x: &[f32],
+    wk: &[f32],
+    orow: &mut [f32],
+    oy: usize,
+    ox0: usize,
+    ox1: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    padding: usize,
+    bv: f32,
+) {
+    for ox in ox0..ox1 {
+        let mut acc = bv;
+        for ky in 0..kh {
+            let iy = (oy * stride + ky) as isize - padding as isize;
+            if iy < 0 || iy as usize >= h {
+                continue;
+            }
+            for kx in 0..kw {
+                let ix = (ox * stride + kx) as isize - padding as isize;
+                if ix < 0 || ix as usize >= w {
+                    continue;
+                }
+                acc += x[iy as usize * w + ix as usize] * wk[ky * kw + kx];
+            }
+        }
+        orow[ox] = acc;
+    }
 }
 
 /// Inference-mode batch norm over NCHW input with per-channel statistics.

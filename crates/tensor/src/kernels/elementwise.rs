@@ -115,6 +115,16 @@ pub fn sub_inplace(buf: &mut [f32], b: &[f32]) {
     }
 }
 
+/// In-place *reversed* subtraction: `buf = a - buf`. The tape executor's
+/// epilogue path for a `Sub` whose chain value is the *second* operand
+/// (the subtrahend lives in the accumulator buffer).
+pub fn rsub_inplace(buf: &mut [f32], a: &[f32]) {
+    debug_assert_eq!(buf.len(), a.len());
+    for (x, &y) in buf.iter_mut().zip(a.iter()) {
+        *x = y - *x;
+    }
+}
+
 /// In-place elementwise multiplication (first operand aliased).
 pub fn mul_inplace(buf: &mut [f32], b: &[f32]) {
     debug_assert_eq!(buf.len(), b.len());

@@ -1,18 +1,21 @@
 //! General matrix multiplication: the workhorse kernel.
 //!
-//! `matmul` uses a cache-blocked i-k-j loop order with a parallel split over
-//! row blocks. The reduction order for each output element is fixed (k
-//! ascending), so the result is identical for any thread count.
+//! The default engine is the register-tiled microkernel in [`super::micro`]
+//! (exact contract: bit-identical to the naive triple loop — see the
+//! module docs there). Setting reference mode (see [`super::reference`])
+//! routes every entry point through the seed scalar kernels instead, which
+//! is how the contract tests and the `duet-kernel-floor` gate get a
+//! same-process before/after comparison.
+//!
+//! `linear` is dot-product shaped (`x @ w^T`), so it uses the lane-split
+//! reduction with the **ulp-bounded** contract rather than the exact one:
+//! a serial dot product is a single dependency chain that cannot
+//! vectorize without reassociating.
 
 use rayon::prelude::*;
 
+use super::{micro, reference};
 use crate::{Tensor, TensorError};
-
-/// Tile height for the parallel row split. 32 rows of f32 output keeps a
-/// tile of B columns resident in L1/L2 for typical model widths.
-const ROW_BLOCK: usize = 32;
-/// K-blocking factor: keeps a (ROW_BLOCK x K_BLOCK) panel of A hot.
-const K_BLOCK: usize = 256;
 
 /// `C[m,n] = A[m,k] * B[k,n]`.
 pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
@@ -34,17 +37,18 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
 
 /// `matmul` into a caller-provided buffer (`out` is overwritten, len m*n).
 ///
-/// Same blocked kernel and reduction order as [`matmul`], so the bytes
-/// written are identical; the only difference is who owns the buffer.
+/// Same kernel and per-element reduction order as [`matmul`], so the bytes
+/// written are identical; the only difference is who owns the buffer. The
+/// tiled engine writes every element, so there is no zero-fill pass here.
 pub fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
-    out.fill(0.0);
     gemm_into(a, b, out, m, k, n);
 }
 
 /// `linear` into a caller-provided buffer (`out` is overwritten, len m*nout).
 ///
-/// `x: [m, kin]`, `w: [nout, kin]`, `bias: [nout]`. Shares the per-element
-/// dot-product loop with [`linear`], so results are bit-identical.
+/// `x: [m, kin]`, `w: [nout, kin]`, `bias: [nout]`. Shares the lane-split
+/// dot kernel with [`linear`], so results are bit-identical between the
+/// two entry points. Ulp-bounded contract versus the serial reference.
 pub fn linear_into(
     x: &[f32],
     w: &[f32],
@@ -57,28 +61,41 @@ pub fn linear_into(
     debug_assert_eq!(x.len(), m * kin);
     debug_assert_eq!(w.len(), kin * nout);
     debug_assert_eq!(out.len(), m * nout);
-    let row = |i: usize, orow: &mut [f32]| {
-        let xrow = &x[i * kin..(i + 1) * kin];
-        for (j, o) in orow.iter_mut().enumerate() {
-            let wrow = &w[j * kin..(j + 1) * kin];
-            let mut acc = 0.0f32;
-            for t in 0..kin {
-                acc += xrow[t] * wrow[t];
-            }
-            *o = acc + bias.map_or(0.0, |b| b[j]);
-        }
-    };
+    if reference::reference_mode() {
+        return reference::linear_into_ref(x, w, bias, out, m, kin, nout);
+    }
     if m <= 1 {
         // Batch-1 inference: skip the parallel split (and the chunk list it
         // allocates) entirely — the hot path for the serve arena.
         if m == 1 {
-            row(0, out);
+            micro::linear_row(x, w, bias, out, kin);
         }
         return;
     }
     out.par_chunks_mut(nout)
         .enumerate()
-        .for_each(|(i, orow)| row(i, orow));
+        .for_each(|(i, orow)| micro::linear_row(&x[i * kin..(i + 1) * kin], w, bias, orow, kin));
+}
+
+/// Accumulating linear: `out[i,j] += x_i · w_j` (no bias). The LSTM/GRU
+/// gate kernels use this to fold the hidden-state GEMM onto the input
+/// GEMM's buffer without a separate gates tensor. Same lane-split dot and
+/// ulp-bounded contract as [`linear_into`].
+pub fn linear_acc_into(x: &[f32], w: &[f32], out: &mut [f32], m: usize, kin: usize, nout: usize) {
+    debug_assert_eq!(x.len(), m * kin);
+    debug_assert_eq!(w.len(), kin * nout);
+    debug_assert_eq!(out.len(), m * nout);
+    if reference::reference_mode() {
+        return reference::linear_acc_into_ref(x, w, out, m, kin, nout);
+    }
+    for i in 0..m {
+        micro::linear_row_acc(
+            &x[i * kin..(i + 1) * kin],
+            w,
+            &mut out[i * nout..(i + 1) * nout],
+            kin,
+        );
+    }
 }
 
 /// `y = x @ w^T + bias` where `x: [m, in]`, `w: [out, in]`, `bias: [out]`.
@@ -149,47 +166,21 @@ pub fn batched_matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
     Tensor::from_vec(vec![ba, m, n], out)
 }
 
-/// Blocked GEMM into a preallocated output (`c` must be zeroed, len m*n).
+/// GEMM into a preallocated output (`c` is overwritten, len m*n).
+///
+/// Dispatches to the register-tiled engine (writes every element; exact
+/// contract) or, in reference mode, zero-fills and runs the seed
+/// accumulate kernel — reproducing the seed bytes exactly.
 pub(crate) fn gemm_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(c.len(), m * n);
-    if m <= ROW_BLOCK {
-        // Single row block: run it inline instead of through the parallel
-        // split, whose chunk list costs an allocation. The per-element
-        // reduction order is unchanged.
-        gemm_block(a, b, c, 0, m, k, n);
+    if reference::reference_mode() {
+        c.fill(0.0);
+        reference::gemm_acc_ref(a, b, c, m, k, n);
         return;
     }
-    c.par_chunks_mut(ROW_BLOCK * n)
-        .enumerate()
-        .for_each(|(blk, cblk)| {
-            let i0 = blk * ROW_BLOCK;
-            let rows = cblk.len() / n.max(1);
-            gemm_block(a, b, cblk, i0, rows, k, n);
-        });
-}
-
-/// One ROW_BLOCK-tall tile of the blocked GEMM: rows `[i0, i0+rows)` of A
-/// into `cblk`, k-blocked, reduction strictly k-ascending per element.
-fn gemm_block(a: &[f32], b: &[f32], cblk: &mut [f32], i0: usize, rows: usize, k: usize, n: usize) {
-    for kk in (0..k).step_by(K_BLOCK) {
-        let kend = (kk + K_BLOCK).min(k);
-        for di in 0..rows {
-            let i = i0 + di;
-            let crow = &mut cblk[di * n..(di + 1) * n];
-            for t in kk..kend {
-                let aval = a[i * k + t];
-                if aval == 0.0 {
-                    continue;
-                }
-                let brow = &b[t * n..(t + 1) * n];
-                for (cv, bv) in crow.iter_mut().zip(brow.iter()) {
-                    *cv += aval * bv;
-                }
-            }
-        }
-    }
+    micro::gemm_tiled(a, b, c, m, k, n);
 }
 
 #[cfg(test)]
@@ -233,6 +224,24 @@ mod tests {
     }
 
     #[test]
+    fn matmul_exact_against_naive_bits() {
+        // The tiled engine's contract is exact identity, not approx.
+        for &(m, k, n) in &[(3, 5, 2), (33, 64, 17), (8, 128, 48)] {
+            let a = Tensor::randn(vec![m, k], 1.0, (m + n) as u64);
+            let b = Tensor::randn(vec![k, n], 1.0, (k + 1) as u64);
+            let fast = matmul(&a, &b).unwrap();
+            let slow = naive_matmul(&a, &b);
+            assert!(
+                fast.data()
+                    .iter()
+                    .zip(slow.data())
+                    .all(|(x, y)| x.to_bits() == y.to_bits()),
+                "bit mismatch at ({m},{k},{n})"
+            );
+        }
+    }
+
+    #[test]
     fn matmul_rejects_bad_shapes() {
         let a = Tensor::zeros(vec![2, 3]);
         let b = Tensor::zeros(vec![4, 5]);
@@ -272,6 +281,15 @@ mod tests {
         let w = Tensor::zeros(vec![2, 3]);
         let b = Tensor::zeros(vec![5]);
         assert!(linear(&x, &w, Some(&b)).is_err());
+    }
+
+    #[test]
+    fn linear_acc_adds_onto_existing() {
+        let x = Tensor::ones(vec![2, 3]);
+        let w = Tensor::ones(vec![4, 3]);
+        let mut out = vec![10.0f32; 8];
+        linear_acc_into(x.data(), w.data(), &mut out, 2, 3, 4);
+        assert!(out.iter().all(|&v| v == 13.0));
     }
 
     #[test]

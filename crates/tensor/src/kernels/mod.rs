@@ -5,13 +5,22 @@
 //! with rayon over independent output rows, which keeps results bit-exact
 //! regardless of thread count (each output element is produced by exactly
 //! one reduction performed in a fixed order).
+//!
+//! The arithmetic engine lives in [`micro`]: lane-chunked, register-tiled
+//! microkernels with documented reduction-order contracts (exact `to_bits`
+//! identity where reassociation-free, ulp-bounded where the k-reduction is
+//! lane-split). [`set_reference_mode`] routes the heavy kernels through the
+//! seed scalar implementations instead — the oracle for contract tests and
+//! the baseline for the `duet-kernel-floor` CI gate.
 
 mod attention;
 mod conv;
 mod elementwise;
 mod gemm;
 mod linalg;
+pub mod micro;
 mod norm;
+mod reference;
 mod rnn;
 mod util;
 
@@ -22,13 +31,14 @@ pub use conv::{
 };
 pub use elementwise::{
     add, add_inplace, add_into, bias_add, bias_add_inplace, bias_add_into, gelu, mul, mul_inplace,
-    mul_into, relu, scale, scale_inplace, scale_into, sigmoid, sub, sub_inplace, sub_into, tanh,
-    unary_inplace, unary_into, UnaryOp,
+    mul_into, relu, rsub_inplace, scale, scale_inplace, scale_into, sigmoid, sub, sub_inplace,
+    sub_into, tanh, unary_inplace, unary_into, UnaryOp,
 };
-pub use gemm::{batched_matmul, linear, linear_into, matmul, matmul_into};
+pub use gemm::{batched_matmul, linear, linear_acc_into, linear_into, matmul, matmul_into};
 pub use linalg::{
     concat, embedding, reduce_max, reduce_mean, reduce_sum, slice_rows, split, transpose2d,
 };
 pub use norm::{layer_norm, log_softmax, softmax};
+pub use reference::{reference_mode, set_reference_mode};
 pub use rnn::{gru_step, lstm, lstm_step, LstmState};
 pub use util::{argmax, cosine_similarity, one_hot, topk};

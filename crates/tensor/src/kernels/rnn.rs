@@ -6,9 +6,20 @@
 //! wins (paper §III-B, Fig. 4). These kernels implement the standard cell
 //! equations; gate weights follow the PyTorch `[4*hidden, in]` layout with
 //! gate order i, f, g, o (LSTM) and r, z, n (GRU).
+//!
+//! The LSTM path is fused: one gates buffer receives `x @ w_ih^T + b` and
+//! then accumulates `h @ w_hh^T` in place (`linear_acc_into`), and the
+//! sequence driver reuses that buffer plus ping-pong h/c state across
+//! timesteps — no per-step tensor allocation. The gate arithmetic
+//! `σ((x·w+b) + h·w)` associates exactly as the two-GEMM composition the
+//! seed used, so the fused path is **bit-identical** to composing
+//! `linear` + `linear` + gate math with the same dot kernel (the contract
+//! test asserts this). Reference mode routes through the composed seed
+//! path with serial dots.
 
 use super::elementwise::UnaryOp;
-use super::gemm::linear;
+use super::gemm::{linear, linear_acc_into, linear_into};
+use super::reference;
 use crate::{Tensor, TensorError};
 
 /// Hidden and cell state of an LSTM layer, each `[batch, hidden]`.
@@ -28,11 +39,73 @@ impl LstmState {
     }
 }
 
-/// One LSTM timestep.
-///
-/// `x: [batch, in]`, `w_ih: [4*hidden, in]`, `w_hh: [4*hidden, hidden]`,
-/// `b: [4*hidden]`. Returns the next state.
-pub fn lstm_step(
+/// Validate LSTM weight shapes against an input width. Returns `hidden`.
+fn lstm_weight_dims(
+    input: usize,
+    w_ih: &Tensor,
+    w_hh: &Tensor,
+    b: &Tensor,
+) -> Result<usize, TensorError> {
+    w_ih.shape().expect_rank("lstm_step", 2)?;
+    w_hh.shape().expect_rank("lstm_step", 2)?;
+    let hidden = w_hh.shape().dim(1);
+    if w_ih.shape().dim(0) != 4 * hidden
+        || w_ih.shape().dim(1) != input
+        || w_hh.shape().dim(0) != 4 * hidden
+        || b.len() != 4 * hidden
+    {
+        return Err(TensorError::ShapeMismatch {
+            op: "lstm_step",
+            lhs: w_ih.shape().dims().to_vec(),
+            rhs: w_hh.shape().dims().to_vec(),
+        });
+    }
+    Ok(hidden)
+}
+
+/// One fused LSTM timestep over raw slices. `gates` is scratch of len
+/// `batch * 4 * hidden`; `h_out`/`c_out` are `batch * hidden`.
+#[allow(clippy::too_many_arguments)]
+fn lstm_step_fused(
+    x: &[f32],
+    h_prev: &[f32],
+    c_prev: &[f32],
+    w_ih: &[f32],
+    w_hh: &[f32],
+    b: &[f32],
+    gates: &mut [f32],
+    h_out: &mut [f32],
+    c_out: &mut [f32],
+    batch: usize,
+    input: usize,
+    hidden: usize,
+) {
+    linear_into(x, w_ih, Some(b), gates, batch, input, 4 * hidden);
+    linear_acc_into(h_prev, w_hh, gates, batch, hidden, 4 * hidden);
+    for bi in 0..batch {
+        let g = &gates[bi * 4 * hidden..(bi + 1) * 4 * hidden];
+        let (gi, rest) = g.split_at(hidden);
+        let (gf, rest) = rest.split_at(hidden);
+        let (gg, go) = rest.split_at(hidden);
+        let cp = &c_prev[bi * hidden..(bi + 1) * hidden];
+        let ho = &mut h_out[bi * hidden..(bi + 1) * hidden];
+        let co = &mut c_out[bi * hidden..(bi + 1) * hidden];
+        for j in 0..hidden {
+            let i_g = UnaryOp::Sigmoid.apply(gi[j]);
+            let f_g = UnaryOp::Sigmoid.apply(gf[j]);
+            let g_g = gg[j].tanh();
+            let o_g = UnaryOp::Sigmoid.apply(go[j]);
+            let c_new = f_g * cp[j] + i_g * g_g;
+            co[j] = c_new;
+            ho[j] = o_g * c_new.tanh();
+        }
+    }
+}
+
+/// Seed composition: two allocating GEMMs then gate math. Kept as the
+/// reference-mode path; the fused path must match it bit-for-bit when
+/// both use the same dot kernel.
+fn lstm_step_composed(
     x: &Tensor,
     state: &LstmState,
     w_ih: &Tensor,
@@ -73,10 +146,62 @@ pub fn lstm_step(
     })
 }
 
+/// One LSTM timestep.
+///
+/// `x: [batch, in]`, `w_ih: [4*hidden, in]`, `w_hh: [4*hidden, hidden]`,
+/// `b: [4*hidden]`. Returns the next state.
+pub fn lstm_step(
+    x: &Tensor,
+    state: &LstmState,
+    w_ih: &Tensor,
+    w_hh: &Tensor,
+    b: &Tensor,
+) -> Result<LstmState, TensorError> {
+    if reference::reference_mode() {
+        return lstm_step_composed(x, state, w_ih, w_hh, b);
+    }
+    x.shape().expect_rank("lstm_step", 2)?;
+    state.h.shape().expect_rank("lstm_step", 2)?;
+    let (batch, input) = (x.shape().dim(0), x.shape().dim(1));
+    let hidden = lstm_weight_dims(input, w_ih, w_hh, b)?;
+    if state.h.shape().dim(0) != batch
+        || state.h.shape().dim(1) != hidden
+        || state.c.shape() != state.h.shape()
+    {
+        return Err(TensorError::ShapeMismatch {
+            op: "lstm_step",
+            lhs: state.h.shape().dims().to_vec(),
+            rhs: vec![batch, hidden],
+        });
+    }
+    let mut gates = vec![0.0f32; batch * 4 * hidden];
+    let mut h = vec![0.0f32; batch * hidden];
+    let mut c = vec![0.0f32; batch * hidden];
+    lstm_step_fused(
+        x.data(),
+        state.h.data(),
+        state.c.data(),
+        w_ih.data(),
+        w_hh.data(),
+        b.data(),
+        &mut gates,
+        &mut h,
+        &mut c,
+        batch,
+        input,
+        hidden,
+    );
+    Ok(LstmState {
+        h: Tensor::from_vec(vec![batch, hidden], h)?,
+        c: Tensor::from_vec(vec![batch, hidden], c)?,
+    })
+}
+
 /// Full single-layer LSTM over a sequence.
 ///
 /// `x: [seq, batch, in]`. Returns the `[seq, batch, hidden]` output stack
-/// (all hidden states) and the final state.
+/// (all hidden states) and the final state. The driver allocates one gates
+/// scratch buffer and one ping-pong state pair for the whole sequence.
 pub fn lstm(
     x: &Tensor,
     w_ih: &Tensor,
@@ -85,22 +210,61 @@ pub fn lstm(
 ) -> Result<(Tensor, LstmState), TensorError> {
     x.shape().expect_rank("lstm", 3)?;
     let (seq, batch, input) = (x.shape().dim(0), x.shape().dim(1), x.shape().dim(2));
-    let hidden = w_hh.shape().dim(1);
-    let mut state = LstmState::zeros(batch, hidden);
-    let mut outputs = Vec::with_capacity(seq * batch * hidden);
-    for t in 0..seq {
-        let xt = Tensor::from_vec(
-            vec![batch, input],
-            x.data()[t * batch * input..(t + 1) * batch * input].to_vec(),
-        )?;
-        state = lstm_step(&xt, &state, w_ih, w_hh, b)?;
-        outputs.extend_from_slice(state.h.data());
+    if reference::reference_mode() {
+        let hidden = w_hh.shape().dim(1);
+        let mut state = LstmState::zeros(batch, hidden);
+        let mut outputs = Vec::with_capacity(seq * batch * hidden);
+        for t in 0..seq {
+            let xt = Tensor::from_vec(
+                vec![batch, input],
+                x.data()[t * batch * input..(t + 1) * batch * input].to_vec(),
+            )?;
+            state = lstm_step(&xt, &state, w_ih, w_hh, b)?;
+            outputs.extend_from_slice(state.h.data());
+        }
+        return Ok((Tensor::from_vec(vec![seq, batch, hidden], outputs)?, state));
     }
-    Ok((Tensor::from_vec(vec![seq, batch, hidden], outputs)?, state))
+    let hidden = lstm_weight_dims(input, w_ih, w_hh, b)?;
+    let mut h = vec![0.0f32; batch * hidden];
+    let mut c = vec![0.0f32; batch * hidden];
+    let mut h_next = vec![0.0f32; batch * hidden];
+    let mut c_next = vec![0.0f32; batch * hidden];
+    let mut gates = vec![0.0f32; batch * 4 * hidden];
+    let mut outputs = Vec::with_capacity(seq * batch * hidden);
+    let xd = x.data();
+    for t in 0..seq {
+        lstm_step_fused(
+            &xd[t * batch * input..(t + 1) * batch * input],
+            &h,
+            &c,
+            w_ih.data(),
+            w_hh.data(),
+            b.data(),
+            &mut gates,
+            &mut h_next,
+            &mut c_next,
+            batch,
+            input,
+            hidden,
+        );
+        std::mem::swap(&mut h, &mut h_next);
+        std::mem::swap(&mut c, &mut c_next);
+        outputs.extend_from_slice(&h);
+    }
+    Ok((
+        Tensor::from_vec(vec![seq, batch, hidden], outputs)?,
+        LstmState {
+            h: Tensor::from_vec(vec![batch, hidden], h)?,
+            c: Tensor::from_vec(vec![batch, hidden], c)?,
+        },
+    ))
 }
 
 /// One GRU timestep. `w_ih: [3*hidden, in]`, `w_hh: [3*hidden, hidden]`,
 /// gate order r, z, n (PyTorch convention). Returns the next hidden state.
+/// The n-gate couples `r` with the hidden GEMM (`r * (h·w_n)`), so the two
+/// GEMMs cannot share a buffer the way the LSTM's do; the win here comes
+/// from the lane-split dot kernel underneath `linear`.
 pub fn gru_step(
     x: &Tensor,
     h: &Tensor,
@@ -193,6 +357,32 @@ mod tests {
         assert!(fin.h.approx_eq(&st.h, 1e-6));
         assert!(fin.c.approx_eq(&st.c, 1e-6));
         assert_eq!(&stack.data()[3 * 10..], st.h.data());
+    }
+
+    /// The fused step and the two-GEMM composition share every arithmetic
+    /// operation in the same association, so they must agree bit-for-bit.
+    #[test]
+    fn lstm_fused_bit_identical_to_composed() {
+        let (w_ih, w_hh, b) = tiny_weights(17, 9, 4);
+        let x = Tensor::randn(vec![3, 9], 1.0, 31);
+        let s = LstmState {
+            h: Tensor::randn(vec![3, 17], 0.7, 32),
+            c: Tensor::randn(vec![3, 17], 0.7, 33),
+        };
+        let fused = lstm_step(&x, &s, &w_ih, &w_hh, &b).unwrap();
+        let composed = lstm_step_composed(&x, &s, &w_ih, &w_hh, &b).unwrap();
+        assert!(fused
+            .h
+            .data()
+            .iter()
+            .zip(composed.h.data())
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
+        assert!(fused
+            .c
+            .data()
+            .iter()
+            .zip(composed.c.data())
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
     }
 
     #[test]

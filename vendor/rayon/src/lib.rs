@@ -1,60 +1,239 @@
-//! Minimal offline stand-in for `rayon`.
+//! Minimal offline stand-in for `rayon`, backed by one persistent global
+//! worker pool.
 //!
 //! Implements the one parallel pattern the tensor kernels use —
-//! `slice.par_chunks_mut(n).enumerate().for_each(..)` — on scoped std
-//! threads. Chunks are dealt to `available_parallelism()` workers in
-//! round-robin order; each worker owns disjoint `&mut` chunks, so the
-//! data race freedom argument is the same as rayon's.
+//! `slice.par_chunks_mut(n).enumerate().for_each(..)` — by submitting the
+//! chunk list as a job to a process-wide pool. Unlike the earlier stand-in
+//! (which spawned fresh scoped threads on every call), the pool is created
+//! once and pinned: when several subgraphs run kernels concurrently their
+//! parallel regions share the same workers instead of multiplying threads,
+//! so intra-op parallelism composes with the executor's inter-op device
+//! workers without oversubscription.
+//!
+//! # Sizing
+//!
+//! The pool holds `threads() - 1` background workers; every submitting
+//! thread participates in its own job, so a single caller reaches full
+//! width while concurrent callers add at most themselves. The size is
+//! resolved once, at first use, from (in priority order) the
+//! `DUET_KERNEL_THREADS` environment variable, the first [`configure`]
+//! call, or `available_parallelism() - 2` (reserving the
+//! `HeterogeneousExecutor`'s two device-worker threads), floored at 1.
+//!
+//! # Determinism
+//!
+//! Work items are whole chunks claimed by an atomic counter; each chunk is
+//! executed by exactly one thread, and kernels perform every per-element
+//! reduction within a single chunk, so results are bit-identical for any
+//! pool size — including 1, where jobs run inline on the caller.
 
+use std::cell::UnsafeCell;
+use std::collections::VecDeque;
 use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 pub mod prelude {
     pub use crate::ParallelSliceMut;
 }
 
-fn worker_count(tasks: usize) -> usize {
+/// Request a pool width (total threads executing one job, caller included).
+/// Effective only before the pool's first use; returns whether it applied.
+pub fn configure(threads: usize) -> bool {
+    if threads == 0 || POOL.get().is_some() {
+        return false;
+    }
+    let mut req = REQUESTED.lock().unwrap();
+    if POOL.get().is_some() {
+        return false;
+    }
+    *req = Some(threads);
+    true
+}
+
+/// The pool width currently in effect (forces initialization).
+pub fn current_num_threads() -> usize {
+    pool().threads
+}
+
+static POOL: OnceLock<Arc<Pool>> = OnceLock::new();
+static REQUESTED: Mutex<Option<usize>> = Mutex::new(None);
+
+fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("DUET_KERNEL_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    if let Some(n) = *REQUESTED.lock().unwrap() {
+        return n;
+    }
     let hw = std::thread::available_parallelism()
         .map(NonZeroUsize::get)
         .unwrap_or(1);
-    hw.min(tasks).max(1)
+    // Reserve two hardware threads for the executor's device workers.
+    hw.saturating_sub(2).max(1)
 }
 
-/// Run `f` over `(index, item)` pairs on scoped threads.
+fn pool() -> &'static Arc<Pool> {
+    POOL.get_or_init(|| {
+        let threads = default_threads();
+        let pool = Arc::new(Pool {
+            threads,
+            queue: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+        });
+        for w in 0..threads.saturating_sub(1) {
+            let p = Arc::clone(&pool);
+            std::thread::Builder::new()
+                .name(format!("duet-kernel-{w}"))
+                .spawn(move || worker_loop(p))
+                .expect("spawn kernel pool worker");
+        }
+        pool
+    })
+}
+
+struct Pool {
+    threads: usize,
+    queue: Mutex<VecDeque<Arc<Job>>>,
+    cv: Condvar,
+}
+
+fn worker_loop(pool: Arc<Pool>) {
+    loop {
+        let job = {
+            let mut q = pool.queue.lock().unwrap();
+            loop {
+                while q
+                    .front()
+                    .is_some_and(|j| j.next.load(Ordering::Relaxed) >= j.total)
+                {
+                    q.pop_front();
+                }
+                if let Some(j) = q.front() {
+                    break Arc::clone(j);
+                }
+                q = pool.cv.wait(q).unwrap();
+            }
+        };
+        job.work();
+    }
+}
+
+/// One submitted parallel region: a type-erased item table plus claim and
+/// completion counters. `data` points into the submitting caller's stack;
+/// it is only dereferenced for claimed indices (`i < total`), and the
+/// caller blocks until `done == total`, so the pointer never outlives the
+/// frame it refers to.
+struct Job {
+    data: *const (),
+    run_item: unsafe fn(*const (), usize),
+    next: AtomicUsize,
+    done: AtomicUsize,
+    total: usize,
+    panicked: AtomicBool,
+    finished: Mutex<bool>,
+    cv: Condvar,
+}
+
+unsafe impl Send for Job {}
+unsafe impl Sync for Job {}
+
+impl Job {
+    fn work(&self) {
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.total {
+                return;
+            }
+            let ok = catch_unwind(AssertUnwindSafe(|| unsafe {
+                (self.run_item)(self.data, i)
+            }));
+            if ok.is_err() {
+                self.panicked.store(true, Ordering::SeqCst);
+            }
+            if self.done.fetch_add(1, Ordering::SeqCst) + 1 == self.total {
+                *self.finished.lock().unwrap() = true;
+                self.cv.notify_all();
+            }
+        }
+    }
+
+    fn wait(&self) {
+        let mut fin = self.finished.lock().unwrap();
+        while !*fin {
+            fin = self.cv.wait(fin).unwrap();
+        }
+    }
+}
+
+/// Item slot claimed (and taken) by exactly one thread, keyed by the job's
+/// atomic `next` counter.
+struct ItemSlot<T>(UnsafeCell<Option<T>>);
+
+unsafe impl<T: Send> Sync for ItemSlot<T> {}
+
+struct Ctx<'a, T, F> {
+    items: &'a [ItemSlot<T>],
+    f: &'a F,
+}
+
+unsafe fn run_item<T: Send, F: Fn(usize, T) + Sync>(data: *const (), i: usize) {
+    let ctx = &*(data as *const Ctx<'_, T, F>);
+    let item = (*ctx.items[i].0.get()).take().expect("item claimed twice");
+    (ctx.f)(i, item);
+}
+
+/// Run `f` over `(index, item)` pairs on the global pool; the caller
+/// participates and returns only when every item has completed.
 fn run_parallel<T, F>(items: Vec<T>, f: F)
 where
     T: Send,
     F: Fn(usize, T) + Sync,
 {
-    let n = items.len();
-    if n <= 1 {
+    let total = items.len();
+    if total == 0 {
+        return;
+    }
+    let p = pool();
+    if total == 1 || p.threads <= 1 {
         for (i, item) in items.into_iter().enumerate() {
             f(i, item);
         }
         return;
     }
-    let workers = worker_count(n);
-    if workers == 1 {
-        for (i, item) in items.into_iter().enumerate() {
-            f(i, item);
-        }
-        return;
-    }
-    // Deal items round-robin so neighbouring (similar-sized) chunks
-    // spread across workers.
-    let mut per_worker: Vec<Vec<(usize, T)>> = (0..workers).map(|_| Vec::new()).collect();
-    for (i, item) in items.into_iter().enumerate() {
-        per_worker[i % workers].push((i, item));
-    }
-    let f = &f;
-    std::thread::scope(|scope| {
-        for batch in per_worker {
-            scope.spawn(move || {
-                for (i, item) in batch {
-                    f(i, item);
-                }
-            });
-        }
+    let slots: Vec<ItemSlot<T>> = items
+        .into_iter()
+        .map(|t| ItemSlot(UnsafeCell::new(Some(t))))
+        .collect();
+    let ctx = Ctx {
+        items: &slots,
+        f: &f,
+    };
+    let job = Arc::new(Job {
+        data: (&ctx as *const Ctx<'_, T, F>).cast(),
+        run_item: run_item::<T, F>,
+        next: AtomicUsize::new(0),
+        done: AtomicUsize::new(0),
+        total,
+        panicked: AtomicBool::new(false),
+        finished: Mutex::new(false),
+        cv: Condvar::new(),
     });
+    {
+        let mut q = p.queue.lock().unwrap();
+        q.push_back(Arc::clone(&job));
+    }
+    p.cv.notify_all();
+    job.work();
+    job.wait();
+    if job.panicked.load(Ordering::SeqCst) {
+        panic!("parallel kernel task panicked");
+    }
 }
 
 /// `par_chunks_mut` entry point (subset of `rayon::slice::ParallelSliceMut`).
@@ -135,5 +314,25 @@ mod tests {
             }
         });
         assert!(v.iter().all(|&x| x == 2.0));
+    }
+
+    #[test]
+    fn nested_parallel_regions_complete() {
+        // A chunk body that itself submits a job must not deadlock: the
+        // inner caller participates in its own job.
+        let mut v = vec![0u32; 256];
+        v.par_chunks_mut(64).for_each(|c| {
+            let mut inner = vec![0u32; 128];
+            inner.par_chunks_mut(16).for_each(|ic| {
+                for x in ic.iter_mut() {
+                    *x += 1;
+                }
+            });
+            let s: u32 = inner.iter().sum();
+            for x in c.iter_mut() {
+                *x = s;
+            }
+        });
+        assert!(v.iter().all(|&x| x == 128));
     }
 }
