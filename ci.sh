@@ -98,11 +98,42 @@ for family in \
   duet_analysis_model_check_states \
   duet_analysis_dataflow_wall_us \
   duet_serve_queue_depth \
-  duet_serve_batch_size_bucket; do
+  duet_serve_batch_size_bucket \
+  duet_serve_slo_breaches_total \
+  duet_serve_segment_us_bucket \
+  duet_insight_traces_total \
+  duet_insight_torn_reads_total \
+  duet_insight_dumps_total; do
   grep -q "^$family" "$METRICS_OUT" \
     || { echo "FAIL: /metrics family $family missing"; exit 1; }
 done
 echo "all metric families present."
+
+step "flight recorder end-to-end (SLO burn -> one dump -> render/attribution/replay)"
+FLIGHT_DIR="$(mktemp -d)"
+INSIGHT_OUT="$(mktemp --suffix .json)"
+trap 'rm -f "$METRICS_OUT" "$INSIGHT_OUT"; rm -rf "$FLIGHT_DIR"' EXIT
+# A 50 us SLO no real request can meet: the first window burns, the
+# flight recorder latches, and exactly one dump lands in the directory.
+cargo run -q --release -p duet-serve --bin duet-serve -- \
+  --model mlp --qps 200 --duration-ms 400 --no-drift \
+  --slo 50 --slo-window 4 --slo-burn 2 --flight-dir "$FLIGHT_DIR"
+DUMPS=("$FLIGHT_DIR"/dump-*)
+[ "${#DUMPS[@]}" -eq 1 ] \
+  || { echo "FAIL: expected exactly one dump, found ${#DUMPS[@]}"; exit 1; }
+[ -f "${DUMPS[0]}/manifest.json" ] && [ -f "${DUMPS[0]}/traces.json" ] \
+  || { echo "FAIL: dump ${DUMPS[0]} is missing its artifacts"; exit 1; }
+cargo run -q --release --bin duet -- insight attribution "${DUMPS[0]}"
+cargo run -q --release --bin duet -- insight render "${DUMPS[0]}" "$INSIGHT_OUT"
+python3 - "$INSIGHT_OUT" <<'PY'
+import json, sys
+events = json.load(open(sys.argv[1]))
+pids = {e["pid"] for e in events}
+assert pids == {1, 2}, f"expected virtual+wall process lanes, got {pids}"
+assert any(e.get("ph") == "X" for e in events), "no duration slices"
+print(f"insight render OK: {len(events)} events across {len(pids)} processes")
+PY
+cargo run -q --release --bin duet-lint -- trace --dump "${DUMPS[0]}"
 
 step "duet tune gate (drift scenario: never worse than Algorithm 1, promoted, deterministic)"
 TUNE_A="$(mktemp --suffix .json)"

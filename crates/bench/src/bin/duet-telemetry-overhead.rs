@@ -11,14 +11,23 @@
 //! slower than the median disabled run. Per-run medians over thousands
 //! of samples are stable where trial means on a ~50 µs threaded run are
 //! pure noise.
+//!
+//! A second phase holds the same 3% budget over the *serving* path:
+//! sequential submit→wait requests through a live [`ServeServer`],
+//! where every completed request additionally pays causal span
+//! recording, per-segment attribution and the flight-recorder ring.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use duet_core::Duet;
 use duet_models::{input_feeds, mlp, MlpConfig};
+use duet_serve::{ModelSpec, ServeConfig, ServeServer};
 
 const WARMUP: usize = 32;
 const PAIRS: usize = 1500;
+/// submit→wait round trips are ~10x longer than a bare engine run, so
+/// fewer pairs reach a stable median.
+const SERVE_PAIRS: usize = 400;
 /// Allowed relative overhead of telemetry-enabled over disabled.
 const MAX_OVERHEAD: f64 = 0.03;
 
@@ -83,4 +92,64 @@ fn main() {
         std::process::exit(1);
     }
     println!("telemetry overhead gate passed.");
+
+    // ---- phase 2: the attribution-enabled serving path ----
+    let mut server = ServeServer::new(ServeConfig {
+        max_batch: 1,
+        linger: Duration::ZERO,
+        ..ServeConfig::default()
+    });
+    let spec = ModelSpec::serving_zoo("mlp").expect("zoo model");
+    server.register(spec, duet_device::SystemModel::paper_server());
+    let spec = ModelSpec::serving_zoo("mlp").expect("zoo model");
+
+    let timed_request = |enabled: bool, seed: u64| -> f64 {
+        duet_telemetry::set_enabled(enabled);
+        let feeds = spec.request_feeds(seed);
+        let start = Instant::now();
+        server
+            .submit("mlp", feeds, None)
+            .expect("admitted")
+            .wait()
+            .expect("completes");
+        start.elapsed().as_secs_f64()
+    };
+
+    for i in 0..WARMUP {
+        timed_request(true, i as u64);
+    }
+    let mut on = Vec::with_capacity(SERVE_PAIRS);
+    let mut off = Vec::with_capacity(SERVE_PAIRS);
+    for i in 0..SERVE_PAIRS {
+        let seed = 1000 + i as u64;
+        if i % 2 == 0 {
+            on.push(timed_request(true, seed));
+            off.push(timed_request(false, seed));
+        } else {
+            off.push(timed_request(false, seed));
+            on.push(timed_request(true, seed));
+        }
+    }
+    duet_telemetry::set_enabled(true);
+
+    let med_on = median(on);
+    let med_off = median(off);
+    let overhead = med_on / med_off - 1.0;
+    println!(
+        "attribution-enabled serve overhead on mlp: enabled {:.1} us/request, \
+         disabled {:.1} us/request, overhead {:+.2}% (budget {:.0}%)",
+        med_on * 1e6,
+        med_off * 1e6,
+        overhead * 100.0,
+        MAX_OVERHEAD * 100.0
+    );
+    if overhead > MAX_OVERHEAD {
+        eprintln!(
+            "FAIL: serve-path tracing+attribution adds {:.2}% to request latency (budget {:.0}%)",
+            overhead * 100.0,
+            MAX_OVERHEAD * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!("serve attribution overhead gate passed.");
 }

@@ -40,6 +40,29 @@ use crate::witness::{
     WitnessSource,
 };
 
+/// Virtual-time decomposition of one run: where the modeled hardware
+/// spent its microseconds. Busy times are summed per device (they can
+/// overlap in wall terms — the two workers run concurrently — so the
+/// three parts bound, rather than partition, the virtual latency); the
+/// attribution layer in `duet-serve` uses their *ratios* to split a
+/// measured wall interval into per-device compute and transfer shares.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ExecBreakdown {
+    /// Summed virtual execution time of CPU-placed subgraphs, µs.
+    pub cpu_busy_us: f64,
+    /// Summed virtual execution time of GPU-placed subgraphs, µs.
+    pub gpu_busy_us: f64,
+    /// Summed virtual interconnect time (H2D + D2D + final D2H), µs.
+    pub transfer_us: f64,
+}
+
+impl ExecBreakdown {
+    /// Total accounted virtual time across all three parts.
+    pub fn total_us(&self) -> f64 {
+        self.cpu_busy_us + self.gpu_busy_us + self.transfer_us
+    }
+}
+
 /// Result of one heterogeneous inference.
 #[derive(Debug)]
 pub struct ExecutionOutcome {
@@ -54,6 +77,14 @@ pub struct ExecutionOutcome {
     pub wall_time: Duration,
     /// How many subgraphs each device executed.
     pub tasks_per_device: HashMap<DeviceKind, usize>,
+    /// Virtual-time decomposition of the run.
+    pub breakdown: ExecBreakdown,
+    /// Causally-linked spans of this run (run → subgraph → kernel),
+    /// populated only when [`HeterogeneousExecutor::with_trace`] set a
+    /// context. Independent of the global ring and of
+    /// `duet_telemetry::enabled()`, so the flight recorder sees a
+    /// complete tree even with span recording off.
+    pub trace_spans: Vec<duet_telemetry::Span>,
 }
 
 enum Msg {
@@ -68,6 +99,7 @@ pub struct HeterogeneousExecutor<'g> {
     system: SystemModel,
     delays: Option<DelayInjection>,
     pool: Option<&'g ArenaPool>,
+    trace: Option<duet_telemetry::TraceContext>,
 }
 
 /// Inter-op worker threads the executor runs: one per device (CPU, GPU).
@@ -92,6 +124,7 @@ impl<'g> HeterogeneousExecutor<'g> {
             system,
             delays: None,
             pool: None,
+            trace: None,
         }
     }
 
@@ -106,6 +139,16 @@ impl<'g> HeterogeneousExecutor<'g> {
     /// per run — the steady-state serving path.
     pub fn with_arena_pool(mut self, pool: &'g ArenaPool) -> Self {
         self.pool = Some(pool);
+        self
+    }
+
+    /// Link this run into a causal trace: the run span becomes a child
+    /// of `parent`, each subgraph dispatch a child of the run span, and
+    /// each kernel-tape execution a child of its dispatch. The linked
+    /// spans go to the global ring *and* come back in
+    /// [`ExecutionOutcome::trace_spans`].
+    pub fn with_trace(mut self, parent: duet_telemetry::TraceContext) -> Self {
+        self.trace = Some(parent);
         self
     }
 
@@ -196,6 +239,12 @@ impl<'g> HeterogeneousExecutor<'g> {
         let error: Mutex<Option<GraphError>> = Mutex::new(None);
         let done = AtomicUsize::new(0);
         let task_counts: [AtomicUsize; 2] = [AtomicUsize::new(0), AtomicUsize::new(0)];
+        // Virtual-time accounting and (when tracing) the causal span
+        // tree; workers accumulate locally and merge once at exit.
+        let busy_us: [Mutex<f64>; 2] = [Mutex::new(0.0), Mutex::new(0.0)];
+        let transfer_total_us: Mutex<f64> = Mutex::new(0.0);
+        let run_ctx = self.trace.map(|parent| (parent, parent.child()));
+        let trace_spans: Mutex<Vec<duet_telemetry::Span>> = Mutex::new(Vec::new());
 
         let (cpu_tx, cpu_rx) = unbounded::<Msg>();
         let (gpu_tx, gpu_rx) = unbounded::<Msg>();
@@ -225,11 +274,16 @@ impl<'g> HeterogeneousExecutor<'g> {
                 let consumers = &consumers;
                 let deps = &deps;
                 let task_counts = &task_counts;
+                let busy_us = &busy_us;
+                let transfer_total_us = &transfer_total_us;
+                let trace_spans = &trace_spans;
                 let cpu_tx = cpu_tx.clone();
                 let gpu_tx = gpu_tx.clone();
                 scope.spawn(move || {
                     // Worker loop: poll own queue, execute, trigger deps.
                     let mut device_time = 0.0f64;
+                    let mut local_busy = 0.0f64;
+                    let mut local_xfer = 0.0f64;
                     let mut delay_rng = self
                         .delays
                         .map(|d| SmallRng::seed_from_u64(d.seed ^ (0xD1CE << device as u64)));
@@ -274,6 +328,7 @@ impl<'g> HeterogeneousExecutor<'g> {
                                 };
                             t += xfer;
                             ready = ready.max(t);
+                            local_xfer += xfer;
                             if recorder.is_some() {
                                 triggers.push(TriggerEdge {
                                     node: src,
@@ -367,17 +422,76 @@ impl<'g> HeterogeneousExecutor<'g> {
                             DeviceKind::Cpu => duet_telemetry::registry::EXEC_SUBGRAPHS_CPU.inc(),
                             DeviceKind::Gpu => duet_telemetry::registry::EXEC_SUBGRAPHS_GPU.inc(),
                         }
+                        local_busy += exec;
                         // Span timestamps are *virtual* µs — the same
                         // clock the witness records, so span order can be
                         // checked against witness happens-before.
-                        duet_telemetry::record_span(
-                            duet_telemetry::SpanKind::ExecSubgraph,
-                            i as u64,
-                            start,
-                            exec,
-                            device as u64 as f64,
-                            0.0,
-                        );
+                        match run_ctx {
+                            Some((_, run)) => {
+                                // Dispatch and kernel spans hang off the
+                                // run span: request → batch → run →
+                                // subgraph → kernel is one linked tree.
+                                let sg_ctx = run.child();
+                                let kernel_ctx = sg_ctx.child();
+                                let instrs = placed.sg.tape.instrs.len() as u64;
+                                duet_telemetry::record_span_traced(
+                                    duet_telemetry::SpanKind::ExecSubgraph,
+                                    i as u64,
+                                    start,
+                                    exec,
+                                    device as u64 as f64,
+                                    0.0,
+                                    sg_ctx.trace_id,
+                                    sg_ctx.span_id,
+                                    run.span_id,
+                                );
+                                duet_telemetry::record_span_traced(
+                                    duet_telemetry::SpanKind::ExecKernel,
+                                    instrs,
+                                    start,
+                                    exec,
+                                    device as u64 as f64,
+                                    0.0,
+                                    kernel_ctx.trace_id,
+                                    kernel_ctx.span_id,
+                                    sg_ctx.span_id,
+                                );
+                                let mut spans = trace_spans.lock();
+                                let seq = spans.len() as u64;
+                                spans.push(duet_telemetry::Span {
+                                    seq,
+                                    kind: duet_telemetry::SpanKind::ExecSubgraph,
+                                    detail: i as u64,
+                                    start_us: start,
+                                    dur_us: exec,
+                                    arg0: device as u64 as f64,
+                                    arg1: 0.0,
+                                    trace_id: sg_ctx.trace_id,
+                                    span_id: sg_ctx.span_id,
+                                    parent_id: run.span_id,
+                                });
+                                spans.push(duet_telemetry::Span {
+                                    seq: seq + 1,
+                                    kind: duet_telemetry::SpanKind::ExecKernel,
+                                    detail: instrs,
+                                    start_us: start,
+                                    dur_us: exec,
+                                    arg0: device as u64 as f64,
+                                    arg1: 0.0,
+                                    trace_id: kernel_ctx.trace_id,
+                                    span_id: kernel_ctx.span_id,
+                                    parent_id: sg_ctx.span_id,
+                                });
+                            }
+                            None => duet_telemetry::record_span(
+                                duet_telemetry::SpanKind::ExecSubgraph,
+                                i as u64,
+                                start,
+                                exec,
+                                device as u64 as f64,
+                                0.0,
+                            ),
+                        }
 
                         // Trigger consumers whose last dependency this was.
                         for &c in &consumers[i] {
@@ -394,6 +508,8 @@ impl<'g> HeterogeneousExecutor<'g> {
                             let _ = gpu_tx.send(Msg::Stop);
                         }
                     }
+                    *busy_us[device as usize].lock() += local_busy;
+                    *transfer_total_us.lock() += local_xfer;
                 });
             }
         });
@@ -413,6 +529,7 @@ impl<'g> HeterogeneousExecutor<'g> {
                 let bytes = self.graph.node(out).shape.byte_size() as f64;
                 let xfer = self.system.transfer_time_us(bytes);
                 t += xfer;
+                *transfer_total_us.lock() += xfer;
                 if let Some(rec) = recorder {
                     rec.record(WitnessEvent::Transfer {
                         node: out,
@@ -433,14 +550,43 @@ impl<'g> HeterogeneousExecutor<'g> {
             }
         }
         duet_telemetry::registry::EXEC_RUNS.inc();
-        duet_telemetry::record_span(
-            duet_telemetry::SpanKind::ExecRun,
-            n as u64,
-            0.0,
-            latency,
-            0.0,
-            0.0,
-        );
+        let mut trace_spans = trace_spans.into_inner();
+        match run_ctx {
+            Some((parent, run)) => {
+                duet_telemetry::record_span_traced(
+                    duet_telemetry::SpanKind::ExecRun,
+                    n as u64,
+                    0.0,
+                    latency,
+                    0.0,
+                    0.0,
+                    run.trace_id,
+                    run.span_id,
+                    parent.span_id,
+                );
+                let seq = trace_spans.len() as u64;
+                trace_spans.push(duet_telemetry::Span {
+                    seq,
+                    kind: duet_telemetry::SpanKind::ExecRun,
+                    detail: n as u64,
+                    start_us: 0.0,
+                    dur_us: latency,
+                    arg0: 0.0,
+                    arg1: 0.0,
+                    trace_id: run.trace_id,
+                    span_id: run.span_id,
+                    parent_id: parent.span_id,
+                });
+            }
+            None => duet_telemetry::record_span(
+                duet_telemetry::SpanKind::ExecRun,
+                n as u64,
+                0.0,
+                latency,
+                0.0,
+                0.0,
+            ),
+        }
         Ok(ExecutionOutcome {
             outputs,
             virtual_latency_us: latency,
@@ -449,6 +595,15 @@ impl<'g> HeterogeneousExecutor<'g> {
                 (DeviceKind::Cpu, task_counts[0].load(Ordering::Relaxed)),
                 (DeviceKind::Gpu, task_counts[1].load(Ordering::Relaxed)),
             ]),
+            breakdown: {
+                let [cpu_busy, gpu_busy] = busy_us;
+                ExecBreakdown {
+                    cpu_busy_us: cpu_busy.into_inner(),
+                    gpu_busy_us: gpu_busy.into_inner(),
+                    transfer_us: transfer_total_us.into_inner(),
+                }
+            },
+            trace_spans,
         })
     }
 }

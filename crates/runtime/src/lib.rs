@@ -34,7 +34,7 @@ pub mod validate;
 pub mod witness;
 
 pub use candidate::CandidateSim;
-pub use executor::HeterogeneousExecutor;
+pub use executor::{ExecBreakdown, ExecutionOutcome, HeterogeneousExecutor};
 pub use measure::{measure_latency, measure_stats};
 pub use profile::{Profiler, SubgraphProfile};
 pub use serving::{simulate_serving, ServingConfig, ServingResult};

@@ -224,12 +224,24 @@ pub fn merged_perfetto_trace(
         } else {
             (2, stage_tid(s.kind.stage()))
         };
-        let args = json!({
-            "seq": s.seq,
-            "detail": s.detail,
-            "arg0": s.arg0,
-            "arg1": s.arg1,
-        });
+        let args = if s.is_traced() {
+            json!({
+                "seq": s.seq,
+                "detail": s.detail,
+                "arg0": s.arg0,
+                "arg1": s.arg1,
+                "trace_id": s.trace_id,
+                "span_id": s.span_id,
+                "parent_id": s.parent_id,
+            })
+        } else {
+            json!({
+                "seq": s.seq,
+                "detail": s.detail,
+                "arg0": s.arg0,
+                "arg1": s.arg1,
+            })
+        };
         if s.dur_us > 0.0 {
             events.push(json!({
                 "name": s.kind.name(),
@@ -421,6 +433,9 @@ mod tests {
                 dur_us: 50.0,
                 arg0: 0.0,
                 arg1: 0.0,
+                trace_id: 0,
+                span_id: 0,
+                parent_id: 0,
             },
             Span {
                 seq: 1,
@@ -430,6 +445,9 @@ mod tests {
                 dur_us: 0.0,
                 arg0: 123.0,
                 arg1: 1.5,
+                trace_id: 0,
+                span_id: 0,
+                parent_id: 0,
             },
             Span {
                 seq: 2,
@@ -439,6 +457,9 @@ mod tests {
                 dur_us: 42.0,
                 arg0: 0.0,
                 arg1: 0.0,
+                trace_id: 0,
+                span_id: 0,
+                parent_id: 0,
             },
         ];
         let json = merged_perfetto_trace("m", &w, &spans);

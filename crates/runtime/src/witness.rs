@@ -22,9 +22,10 @@
 use duet_device::DeviceKind;
 use duet_ir::NodeId;
 use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
 
 /// Which engine produced a witness.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum WitnessSource {
     /// The threaded two-worker executor (real numerics + virtual clock).
     Executor,
@@ -42,7 +43,7 @@ impl std::fmt::Display for WitnessSource {
 }
 
 /// One boundary value a subgraph consumed when it started.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TriggerEdge {
     /// The graph node whose value crossed the subgraph boundary.
     pub node: NodeId,
@@ -56,7 +57,7 @@ pub struct TriggerEdge {
 }
 
 /// Which way a value moved across the interconnect.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum TransferKind {
     /// Host-resident graph input fed to the GPU.
     HostToDevice,
@@ -107,6 +108,94 @@ pub enum WitnessEvent {
     },
 }
 
+// Serde for `WitnessEvent` is hand-written: the derive covers only
+// named-field structs and unit enums, and this is a data-carrying enum.
+// Each variant becomes an object tagged by a `"type"` key.
+impl Serialize for WitnessEvent {
+    fn to_value(&self) -> serde::Value {
+        let mut map = serde::Map::new();
+        match self {
+            WitnessEvent::Start {
+                sg,
+                name,
+                device,
+                at_us,
+                triggers,
+            } => {
+                map.insert("type", serde::Value::String("start".into()));
+                map.insert("sg", sg.to_value());
+                map.insert("name", name.to_value());
+                map.insert("device", device.to_value());
+                map.insert("at_us", at_us.to_value());
+                map.insert("triggers", triggers.to_value());
+            }
+            WitnessEvent::Finish { sg, device, at_us } => {
+                map.insert("type", serde::Value::String("finish".into()));
+                map.insert("sg", sg.to_value());
+                map.insert("device", device.to_value());
+                map.insert("at_us", at_us.to_value());
+            }
+            WitnessEvent::Transfer {
+                node,
+                kind,
+                bytes,
+                time_us,
+                consumer,
+            } => {
+                map.insert("type", serde::Value::String("transfer".into()));
+                map.insert("node", node.to_value());
+                map.insert("kind", kind.to_value());
+                map.insert("bytes", bytes.to_value());
+                map.insert("time_us", time_us.to_value());
+                map.insert("consumer", consumer.to_value());
+            }
+        }
+        serde::Value::Object(map)
+    }
+}
+
+impl Deserialize for WitnessEvent {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeserializeError> {
+        fn field<T: Deserialize>(
+            obj: &serde::Map,
+            key: &str,
+        ) -> Result<T, serde::DeserializeError> {
+            let v = obj.get(key).ok_or_else(|| {
+                serde::DeserializeError::custom(format!("WitnessEvent: missing field `{key}`"))
+            })?;
+            T::from_value(v)
+        }
+        let obj = v
+            .as_object()
+            .ok_or_else(|| serde::DeserializeError::custom("expected object for WitnessEvent"))?;
+        let tag: String = field(obj, "type")?;
+        match tag.as_str() {
+            "start" => Ok(WitnessEvent::Start {
+                sg: field(obj, "sg")?,
+                name: field(obj, "name")?,
+                device: field(obj, "device")?,
+                at_us: field(obj, "at_us")?,
+                triggers: field(obj, "triggers")?,
+            }),
+            "finish" => Ok(WitnessEvent::Finish {
+                sg: field(obj, "sg")?,
+                device: field(obj, "device")?,
+                at_us: field(obj, "at_us")?,
+            }),
+            "transfer" => Ok(WitnessEvent::Transfer {
+                node: field(obj, "node")?,
+                kind: field(obj, "kind")?,
+                bytes: field(obj, "bytes")?,
+                time_us: field(obj, "time_us")?,
+                consumer: field(obj, "consumer")?,
+            }),
+            other => Err(serde::DeserializeError::custom(format!(
+                "unknown WitnessEvent type `{other}`"
+            ))),
+        }
+    }
+}
+
 impl WitnessEvent {
     /// The subgraph a `Start`/`Finish` event belongs to.
     pub fn subgraph(&self) -> Option<usize> {
@@ -119,7 +208,7 @@ impl WitnessEvent {
 
 /// The complete record of one run: every event in observed order plus
 /// the latency the engine reported for the run.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ExecutionWitness {
     /// Name of the model (graph) that was run.
     pub model: String,

@@ -13,17 +13,21 @@
 //!
 //! Exit codes: 0 ok, 2 usage, 3 wedged/deadlock, 4 drift verification
 //! failed, 5 bit-identity failed, 6 witness conformance failed, 7 shed
-//! under `--require-zero-shed`.
+//! under `--require-zero-shed`, 8 attribution segments failed to sum to
+//! the measured sojourn.
 
 // The report `json!` literal is wide enough to exhaust the default
 // macro recursion limit of the vendored serde_json.
 #![recursion_limit = "512"]
 
+use std::path::PathBuf;
 use std::time::Duration;
 
 use duet_device::SystemModel;
 use duet_serve::loadgen::degraded_gpu;
-use duet_serve::{LoadGen, LoadGenConfig, LoadReport, ModelSpec, ServeConfig, ServeServer};
+use duet_serve::{
+    LoadGen, LoadGenConfig, LoadReport, ModelSpec, ServeConfig, ServeServer, SloConfig,
+};
 
 struct Args {
     model: String,
@@ -41,6 +45,10 @@ struct Args {
     json: bool,
     metrics_addr: Option<String>,
     metrics_out: Option<String>,
+    slo_us: Option<f64>,
+    slo_window: usize,
+    slo_burn: usize,
+    flight_dir: Option<PathBuf>,
 }
 
 impl Default for Args {
@@ -61,6 +69,10 @@ impl Default for Args {
             json: false,
             metrics_addr: None,
             metrics_out: None,
+            slo_us: None,
+            slo_window: 64,
+            slo_burn: 8,
+            flight_dir: None,
         }
     }
 }
@@ -87,6 +99,13 @@ OPTIONS:
   --metrics-addr ADDR   serve Prometheus text exposition at http://ADDR/metrics
                         (e.g. 127.0.0.1:9464; port 0 picks a free port)
   --metrics-out FILE    dump the final Prometheus exposition to FILE on exit
+  --slo US              per-request sojourn SLO in microseconds; breaches are
+                        counted and a burn fires the flight recorder
+  --slo-window N        sliding window for SLO burn detection (default 64)
+  --slo-burn N          breaches within the window that constitute a burn
+                        (default 8)
+  --flight-dir DIR      write an anomaly-triggered flight dump (last traces +
+                        metrics + plan + witness) under DIR, at most once
   --help                this text";
 
 fn parse_args() -> Result<Args, String> {
@@ -138,6 +157,20 @@ fn parse_args() -> Result<Args, String> {
             "--json" => args.json = true,
             "--metrics-addr" => args.metrics_addr = Some(val("--metrics-addr")?),
             "--metrics-out" => args.metrics_out = Some(val("--metrics-out")?),
+            "--slo" => {
+                args.slo_us = Some(val("--slo")?.parse().map_err(|e| format!("--slo: {e}"))?)
+            }
+            "--slo-window" => {
+                args.slo_window = val("--slo-window")?
+                    .parse()
+                    .map_err(|e| format!("--slo-window: {e}"))?
+            }
+            "--slo-burn" => {
+                args.slo_burn = val("--slo-burn")?
+                    .parse()
+                    .map_err(|e| format!("--slo-burn: {e}"))?
+            }
+            "--flight-dir" => args.flight_dir = Some(PathBuf::from(val("--flight-dir")?)),
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -178,9 +211,15 @@ fn print_report(model: &str, report: &LoadReport) {
         s.mean_batch(),
         hist.join(", ")
     );
+    // Per-phase latency attribution replaces the old single end-to-end
+    // sojourn line: each completed request's wall time is decomposed
+    // into queue/linger/compute/transfer/overhead segments server-side.
+    if report.attribution.requests > 0 {
+        print!("{}", report.attribution.render_table());
+    }
     if let Some(w) = &s.sojourn {
         println!(
-            "sojourn   wall P50 {:.2} ms | P99 {:.2} ms | max {:.2} ms",
+            "sojourn   total wall P50 {:.2} ms | P99 {:.2} ms | max {:.2} ms",
             w.p50() / 1e3,
             w.p99() / 1e3,
             w.max() / 1e3
@@ -232,6 +271,8 @@ fn json_report(model: &str, report: &LoadReport, witness_clean: bool) -> String 
         "batch_histogram": hist,
         "sojourn_p50_us": s.sojourn.as_ref().map(|w| w.p50()),
         "sojourn_p99_us": s.sojourn.as_ref().map(|w| w.p99()),
+        "attribution": report.attribution,
+        "attribution_mismatches": report.attribution_mismatches,
         "virtual_service_p50_us": s.virtual_service.as_ref().map(|v| v.p50()),
         "virtual_service_p99_us": s.virtual_service.as_ref().map(|v| v.p99()),
         "plan_swaps": s.plan_swaps,
@@ -282,6 +323,12 @@ fn main() {
         linger: Duration::from_micros(args.linger_us),
         queue_cap: args.queue_cap,
         tune_on_drift: args.tune_on_drift,
+        slo: args.slo_us.map(|limit_us| SloConfig {
+            limit_us,
+            window: args.slo_window,
+            burn_threshold: args.slo_burn,
+        }),
+        flight_dir: args.flight_dir.clone(),
         ..ServeConfig::default()
     });
     eprintln!(
@@ -400,6 +447,21 @@ fn main() {
                 "shed under --require-zero-shed: queue-full {} expired {}",
                 report.snapshot.shed_queue_full, report.snapshot.shed_expired
             ),
+        );
+    }
+    if report.attribution_mismatches > 0 {
+        fail(
+            8,
+            &format!(
+                "{} responses had attribution segments that do not sum to the measured sojourn (>5% off)",
+                report.attribution_mismatches
+            ),
+        );
+    }
+    if let Some(dump) = server.flight(&model).and_then(|f| f.last_dump()) {
+        println!(
+            "flight    anomaly dump written to {} (inspect with `duet insight render`)",
+            dump.display()
         );
     }
     println!("OK");

@@ -27,6 +27,15 @@
 //! * **Metrics** ([`Metrics`]) — shed/completion counters, queue depth,
 //!   batch-size histogram, wall-clock sojourn and virtual service
 //!   percentiles, partitioned into drift epochs.
+//! * **duet-insight** ([`FlightRecorder`], [`Attribution`],
+//!   [`SloMonitor`]) — a per-request trace context minted at admission
+//!   links every span from admission through batch, subgraph and kernel
+//!   into one causal tree; each response carries a per-segment
+//!   (queue/linger/compute/transfer/overhead) decomposition of its
+//!   measured sojourn; an always-on bounded ring of completed span
+//!   trees is dumped to disk on anomalies (SLO burn, shed, drift
+//!   hot-swap, checker-refused swap) for offline analysis with
+//!   `duet insight` and `duet-lint trace --dump`.
 //!
 //! The `duet-serve` binary is a closed/open-loop Poisson load generator
 //! over this runtime; `cargo run --release -p duet-serve --bin
@@ -35,6 +44,8 @@
 pub mod batch;
 pub mod cache;
 pub mod feedback;
+pub mod flight;
+pub mod insight;
 pub mod loadgen;
 pub mod metrics;
 pub mod server;
@@ -43,6 +54,10 @@ pub mod spec;
 pub use batch::{merge_feeds, split_outputs};
 pub use cache::{ArcCell, EngineVariant, PlanCache};
 pub use feedback::{DriftMonitor, FeedbackConfig};
+pub use flight::{
+    AnomalyRule, FlightDump, FlightRecorder, RequestTrace, SloConfig, SloMonitor, SloVerdict,
+};
+pub use insight::{Attribution, AttributionSummary, SegmentSummary};
 pub use loadgen::{LoadGen, LoadGenConfig, LoadReport};
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use server::{ServeConfig, ServeHandle, ServeResponse, ServeServer};

@@ -18,6 +18,7 @@ use duet_device::SystemModel;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+use crate::insight::{Attribution, AttributionSummary};
 use crate::metrics::MetricsSnapshot;
 use crate::server::{ServeResponse, ServeServer};
 use crate::ServeError;
@@ -109,6 +110,13 @@ pub struct LoadReport {
     pub post_swap_epoch_p50_us: Option<f64>,
     /// Completed requests per second of generation time.
     pub throughput_qps: f64,
+    /// Per-segment tail-latency attribution (mean/P50/P99) over every
+    /// successful response — where the sojourn actually went.
+    pub attribution: AttributionSummary,
+    /// Responses whose attribution segments failed to sum to the
+    /// measured sojourn within 5% — nonzero means the decomposition
+    /// lost track of real time.
+    pub attribution_mismatches: u64,
 }
 
 /// The generator itself.
@@ -137,6 +145,9 @@ impl LoadGen {
         let undrained = AtomicU64::new(0);
         // (request seed, response) pairs kept for bit-identity checks.
         let samples: Mutex<Vec<(u64, ServeResponse)>> = Mutex::new(Vec::new());
+        // Every successful response's sojourn decomposition.
+        let attributions: Mutex<Vec<Attribution>> = Mutex::new(Vec::new());
+        let attribution_mismatches = AtomicU64::new(0);
         let drift_injected = AtomicBool::new(false);
 
         let half = self.cfg.duration / 2;
@@ -151,6 +162,14 @@ impl LoadGen {
             |seed: u64, result: Option<Result<ServeResponse, ServeError>>| match result {
                 Some(Ok(resp)) => {
                     ok_responses.fetch_add(1, Ordering::Relaxed);
+                    // The segments must re-add to the measured sojourn —
+                    // an attribution that loses time is worthless.
+                    let sojourn_us = resp.sojourn.as_secs_f64() * 1e6;
+                    if (resp.attribution.total_us() - sojourn_us).abs() > sojourn_us.max(1.0) * 0.05
+                    {
+                        attribution_mismatches.fetch_add(1, Ordering::Relaxed);
+                    }
+                    attributions.lock().unwrap().push(resp.attribution);
                     let mut s = samples.lock().unwrap();
                     if s.len() < self.cfg.verify_samples {
                         s.push((seed, resp));
@@ -282,6 +301,7 @@ impl LoadGen {
             (None, None, None)
         };
         let completed = snapshot.completed;
+        let attribution = AttributionSummary::from_samples(&attributions.into_inner().unwrap());
         Ok(LoadReport {
             wall: started.elapsed(),
             snapshot,
@@ -297,6 +317,8 @@ impl LoadGen {
             drift_epoch_p50_us: drift_p50,
             post_swap_epoch_p50_us: post_p50,
             throughput_qps: completed as f64 / self.cfg.duration.as_secs_f64().max(1e-9),
+            attribution,
+            attribution_mismatches: attribution_mismatches.load(Ordering::Relaxed),
         })
     }
 }

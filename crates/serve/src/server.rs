@@ -17,17 +17,24 @@
 //!    observed system and atomically publishes the result (hot swap).
 
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 use duet_device::SystemModel;
+use duet_telemetry::registry as tm;
+use duet_telemetry::{clock_us, record_span_traced, Span, SpanKind, TraceContext};
 use duet_tensor::Tensor;
 
 use crate::batch::{merge_feeds, split_outputs};
 use crate::cache::{ArcCell, PlanCache};
 use crate::feedback::{DriftMonitor, FeedbackConfig};
+use crate::flight::{
+    AnomalyRule, DumpPayload, FlightRecorder, RequestTrace, SloConfig, SloMonitor,
+};
+use crate::insight::Attribution;
 use crate::metrics::Metrics;
 use crate::spec::ModelSpec;
 use crate::ServeError;
@@ -53,6 +60,16 @@ pub struct ServeConfig {
     /// alone. Finds strictly better plans on most of the zoo under
     /// drift, at a higher (but budget-bounded) swap cost.
     pub tune_on_drift: bool,
+    /// Per-request sojourn SLO; a burn (threshold breaches within the
+    /// sliding window) fires the flight recorder. `None` disables SLO
+    /// monitoring entirely.
+    pub slo: Option<SloConfig>,
+    /// Where an anomaly-triggered flight dump lands. `None` keeps the
+    /// in-memory ring (still inspectable via [`ServeServer::flight`])
+    /// but never writes a dump.
+    pub flight_dir: Option<PathBuf>,
+    /// How many completed request traces the flight ring retains.
+    pub flight_capacity: usize,
 }
 
 impl Default for ServeConfig {
@@ -64,6 +81,9 @@ impl Default for ServeConfig {
             feedback: FeedbackConfig::default(),
             prewarm: true,
             tune_on_drift: false,
+            slo: None,
+            flight_dir: None,
+            flight_capacity: 64,
         }
     }
 }
@@ -82,6 +102,12 @@ pub struct ServeResponse {
     pub sojourn: Duration,
     /// Metrics epoch the request completed in.
     pub epoch: usize,
+    /// Causal trace id minted at admission — the key that joins this
+    /// response to its span tree in `/metrics` exemplars and flight
+    /// dumps.
+    pub trace_id: u64,
+    /// Where the sojourn went, segment by segment; sums to `sojourn`.
+    pub attribution: Attribution,
 }
 
 /// Awaitable handle for a submitted request.
@@ -114,6 +140,12 @@ struct Pending {
     feeds: HashMap<String, Tensor>,
     deadline: Option<Instant>,
     enqueued: Instant,
+    /// When the batcher pulled this request off the queue; stamped by
+    /// the worker, `None` until then.
+    pulled: Option<Instant>,
+    /// Causal trace context minted at admission: the trace id and the
+    /// root (request) span id.
+    trace: TraceContext,
     tx: Sender<Result<ServeResponse, ServeError>>,
 }
 
@@ -122,6 +154,7 @@ struct ModelHandle {
     metrics: Arc<Metrics>,
     system: Arc<ArcCell<SystemModel>>,
     cache: Arc<PlanCache>,
+    flight: Arc<FlightRecorder>,
     worker: Option<JoinHandle<()>>,
 }
 
@@ -154,15 +187,20 @@ impl ServeServer {
         }
         let metrics = Arc::new(Metrics::new());
         let system = Arc::new(ArcCell::new(system));
+        let flight = Arc::new(FlightRecorder::new(
+            self.cfg.flight_capacity,
+            self.cfg.flight_dir.clone(),
+        ));
         let (tx, rx) = bounded::<Pending>(self.cfg.queue_cap);
         let worker = {
             let cache = cache.clone();
             let system = system.clone();
             let metrics = metrics.clone();
+            let flight = flight.clone();
             let cfg = self.cfg.clone();
             std::thread::Builder::new()
                 .name(format!("duet-serve:{name}"))
-                .spawn(move || worker_loop(rx, cache, system, metrics, cfg))
+                .spawn(move || worker_loop(rx, cache, system, metrics, flight, cfg))
                 .expect("spawn serving worker")
         };
         self.models.insert(
@@ -172,6 +210,7 @@ impl ServeServer {
                 metrics,
                 system,
                 cache,
+                flight,
                 worker: Some(worker),
             },
         );
@@ -197,11 +236,14 @@ impl ServeServer {
             .ok_or_else(|| ServeError::UnknownModel(model.to_string()))?;
         handle.metrics.inc_submitted();
         let now = Instant::now();
+        let trace = TraceContext::root();
         let (tx, rx) = bounded(1);
         let pending = Pending {
             feeds,
             deadline: sla.map(|d| now + d),
             enqueued: now,
+            pulled: None,
+            trace,
             tx,
         };
         // Inc *before* try_send so the worker (which decs per pulled
@@ -213,6 +255,12 @@ impl ServeServer {
             Err(TrySendError::Full(_)) => {
                 handle.metrics.queue_dec(1);
                 handle.metrics.shed_queue_full();
+                if handle.flight.armed() {
+                    let system = (*handle.system.load()).clone();
+                    handle.flight.trigger(AnomalyRule::Shed, || {
+                        anomaly_payload(&handle.cache, &system, trace.trace_id)
+                    });
+                }
                 Err(ServeError::QueueFull)
             }
             Err(TrySendError::Disconnected(_)) => {
@@ -230,6 +278,11 @@ impl ServeServer {
     /// The model's plan cache.
     pub fn cache(&self, model: &str) -> Option<Arc<PlanCache>> {
         self.models.get(model).map(|h| h.cache.clone())
+    }
+
+    /// The model's flight recorder (trace ring + anomaly dump latch).
+    pub fn flight(&self, model: &str) -> Option<Arc<FlightRecorder>> {
+        self.models.get(model).map(|h| h.flight.clone())
     }
 
     /// Replace the model's *deployed* system model (drift injection for
@@ -325,22 +378,28 @@ fn worker_loop(
     cache: Arc<PlanCache>,
     system: Arc<ArcCell<SystemModel>>,
     metrics: Arc<Metrics>,
+    flight: Arc<FlightRecorder>,
     cfg: ServeConfig,
 ) {
     let mut monitor = DriftMonitor::new(cfg.feedback.clone());
+    let mut slo = cfg.slo.clone().map(SloMonitor::new);
     loop {
         // Block for the first request; a closed channel is shutdown.
-        let first = match rx.recv() {
+        let mut first = match rx.recv() {
             Ok(p) => p,
             Err(_) => return,
         };
+        first.pulled = Some(Instant::now());
         let mut batch = vec![first];
         // Greedily drain whatever is already queued: under backlog the
         // batch should fill instantly instead of waiting out a linger
         // window that expired while the oldest request sat in the queue.
         while batch.len() < cfg.max_batch {
             match rx.try_recv() {
-                Some(p) => batch.push(p),
+                Some(mut p) => {
+                    p.pulled = Some(Instant::now());
+                    batch.push(p);
+                }
                 None => break,
             }
         }
@@ -356,7 +415,10 @@ fn worker_loop(
                 break;
             };
             match rx.recv_timeout(remaining) {
-                Ok(p) => batch.push(p),
+                Ok(mut p) => {
+                    p.pulled = Some(Instant::now());
+                    batch.push(p);
+                }
                 Err(_) => break,
             }
         }
@@ -372,6 +434,12 @@ fn worker_loop(
             .partition(|p| p.deadline.is_none_or(|d| d > now));
         for p in expired {
             metrics.shed_expired();
+            if flight.armed() {
+                let deployed = (*system.load()).clone();
+                flight.trigger(AnomalyRule::Shed, || {
+                    anomaly_payload(&cache, &deployed, p.trace.trace_id)
+                });
+            }
             let _ = p.tx.send(Err(ServeError::Expired));
         }
 
@@ -381,17 +449,72 @@ fn worker_loop(
         while !rest.is_empty() {
             let k = largest_pow2(rest.len().min(cfg.max_batch));
             let chunk: Vec<Pending> = rest.drain(..k).collect();
-            execute_chunk(chunk, &cache, &system, &metrics, &mut monitor, &cfg);
+            execute_chunk(
+                chunk,
+                &cache,
+                &system,
+                &metrics,
+                &flight,
+                &mut monitor,
+                &mut slo,
+                &cfg,
+            );
         }
     }
 }
 
+/// Build the forensic context for a flight dump: the serving batch-1
+/// plan, the deployed system model and one freshly witnessed batch-1
+/// run. Only called when a dump is actually about to be written (the
+/// dump-once latch means each server process pays this at most once).
+fn anomaly_payload(cache: &PlanCache, system: &SystemModel, trigger_trace: u64) -> DumpPayload {
+    let variant = cache.get_or_build(1);
+    let witness_json = (|| {
+        let feeds = cache.spec().request_feeds(0);
+        let merged = merge_feeds(variant.duet.graph(), &[&feeds]).ok()?;
+        let (_, witness) = variant
+            .duet
+            .executor_with(system.clone())
+            .run_witnessed(&merged)
+            .ok()?;
+        serde_json::to_string_pretty(&witness).ok()
+    })();
+    DumpPayload {
+        model: cache.spec().name().to_string(),
+        plan_json: variant.plan.to_json(),
+        plan_fingerprint: variant.plan.fingerprint,
+        system_json: serde_json::to_string_pretty(system).expect("system model serializes"),
+        witness_json,
+        trigger_trace_id: trigger_trace,
+    }
+}
+
+/// Publish a span to the global telemetry ring (the flight ring gets
+/// the owned `Span` structs separately, so dumps are complete even with
+/// span recording disabled).
+fn ring_span(s: &Span) {
+    record_span_traced(
+        s.kind,
+        s.detail,
+        s.start_us,
+        s.dur_us,
+        s.arg0,
+        s.arg1,
+        s.trace_id,
+        s.span_id,
+        s.parent_id,
+    );
+}
+
+#[allow(clippy::too_many_arguments)]
 fn execute_chunk(
     chunk: Vec<Pending>,
     cache: &PlanCache,
     system: &ArcCell<SystemModel>,
     metrics: &Metrics,
+    flight: &FlightRecorder,
     monitor: &mut DriftMonitor,
+    slo: &mut Option<SloMonitor>,
     cfg: &ServeConfig,
 ) {
     let k = chunk.len();
@@ -405,20 +528,34 @@ fn execute_chunk(
         }
     };
 
+    let t_exec = Instant::now();
     let req_feeds: Vec<&HashMap<String, Tensor>> = chunk.iter().map(|p| &p.feeds).collect();
     let feeds = match merge_feeds(variant.duet.graph(), &req_feeds) {
         Ok(f) => f,
         Err(e) => return fail_all(chunk, e),
     };
+    // Causal context: the shared batch span is a child of the *oldest*
+    // request's root, so at least one trace id runs admission → batch →
+    // subgraph → kernel unbroken; every other member links to the batch
+    // span through its exec span's arg0.
+    let lead = chunk[0].trace;
+    let batch_ctx = lead.child();
     // Execute through the *deployed* system model, not the one the plan
     // was built against — that gap is exactly what the drift monitor
     // measures.
     // The engine-owned arena pool makes this steady-state path recycle
     // its tape buffers across requests.
-    let outcome = match variant.duet.executor_with(deployed.clone()).run(&feeds) {
+    let t_run_start = Instant::now();
+    let outcome = match variant
+        .duet
+        .executor_with(deployed.clone())
+        .with_trace(batch_ctx)
+        .run(&feeds)
+    {
         Ok(o) => o,
         Err(e) => return fail_all(chunk, ServeError::Exec(e.to_string())),
     };
+    let run_wall_us = t_run_start.elapsed().as_secs_f64() * 1e6;
     let pieces = match split_outputs(variant.duet.graph(), &outcome.outputs, k) {
         Ok(p) => p,
         Err(e) => return fail_all(chunk, e),
@@ -432,6 +569,26 @@ fn execute_chunk(
     let epoch = metrics.epoch();
     metrics.record_batch(k, &sojourns_us, outcome.virtual_latency_us);
 
+    // Anchor for converting `Instant`s into the telemetry wall clock:
+    // one sample serves every span of this batch.
+    let anchor = Instant::now();
+    let anchor_us = clock_us();
+    let us_of = |t: Instant| anchor_us - anchor.saturating_duration_since(t).as_secs_f64() * 1e6;
+    let exec_wall_us = done.duration_since(t_exec).as_secs_f64() * 1e6;
+    let batch_span = Span {
+        seq: 0,
+        kind: SpanKind::ServeBatch,
+        detail: k as u64,
+        start_us: us_of(t_exec),
+        dur_us: exec_wall_us,
+        arg0: outcome.virtual_latency_us,
+        arg1: 0.0,
+        trace_id: batch_ctx.trace_id,
+        span_id: batch_ctx.span_id,
+        parent_id: lead.span_id,
+    };
+    ring_span(&batch_span);
+
     // Feedback: measured vs predicted, both in the virtual domain. A
     // sustained gap means the deployed system no longer matches the one
     // the plans were corrected against → re-correct and hot-swap every
@@ -444,21 +601,148 @@ fn execute_chunk(
         };
         if rejected > 0 {
             metrics.plan_swap_rejected(rejected as u64);
+            if flight.armed() {
+                flight.trigger(AnomalyRule::SwapRefused, || {
+                    anomaly_payload(cache, &deployed, 0)
+                });
+            }
         }
         if swapped > 0 {
             metrics.plan_swap();
+            if flight.armed() {
+                flight.trigger(AnomalyRule::DriftSwap, || {
+                    anomaly_payload(cache, &deployed, 0)
+                });
+            }
         }
         metrics.bump_epoch();
         monitor.reset();
     }
 
+    let plan_fingerprint = variant.plan.fingerprint;
+    let model = cache.spec().name().to_string();
     for ((p, piece), sojourn_us) in chunk.into_iter().zip(pieces).zip(sojourns_us) {
+        let pulled = p.pulled.unwrap_or(t_exec);
+        let queue_us = pulled.saturating_duration_since(p.enqueued).as_secs_f64() * 1e6;
+        let linger_us = t_exec.saturating_duration_since(pulled).as_secs_f64() * 1e6;
+        // Per-member execution share is the sojourn remainder, so the
+        // attribution sums to the measured sojourn *exactly*.
+        let attribution = Attribution::attribute(
+            queue_us,
+            linger_us,
+            sojourn_us - queue_us - linger_us,
+            run_wall_us,
+            &outcome.breakdown,
+        );
+        let tid = p.trace.trace_id;
+        tm::SERVE_SEGMENT_QUEUE.observe_exemplar(attribution.queue_us as u64, tid);
+        tm::SERVE_SEGMENT_LINGER.observe_exemplar(attribution.linger_us as u64, tid);
+        tm::SERVE_SEGMENT_COMPUTE_CPU.observe_exemplar(attribution.compute_cpu_us as u64, tid);
+        tm::SERVE_SEGMENT_COMPUTE_GPU.observe_exemplar(attribution.compute_gpu_us as u64, tid);
+        tm::SERVE_SEGMENT_TRANSFER.observe_exemplar(attribution.transfer_us as u64, tid);
+        tm::SERVE_SEGMENT_OVERHEAD.observe_exemplar(attribution.overhead_us as u64, tid);
+        // Sojourn was already observed by `record_batch`; only attach
+        // the trace linkage here.
+        tm::SERVE_SOJOURN_US.exemplar_hint(sojourn_us as u64, tid);
+
+        // The request's own span tree: root + one span per segment
+        // phase, children of the root.
+        let queue_ctx = p.trace.child();
+        let linger_ctx = p.trace.child();
+        let exec_ctx = p.trace.child();
+        let member_spans = [
+            Span {
+                seq: 0,
+                kind: SpanKind::ServeRequest,
+                detail: k as u64,
+                start_us: us_of(p.enqueued),
+                dur_us: sojourn_us,
+                arg0: 0.0,
+                arg1: 0.0,
+                trace_id: tid,
+                span_id: p.trace.span_id,
+                parent_id: 0,
+            },
+            Span {
+                seq: 1,
+                kind: SpanKind::ServeQueue,
+                detail: 0,
+                start_us: us_of(p.enqueued),
+                dur_us: queue_us,
+                arg0: 0.0,
+                arg1: 0.0,
+                trace_id: tid,
+                span_id: queue_ctx.span_id,
+                parent_id: p.trace.span_id,
+            },
+            Span {
+                seq: 2,
+                kind: SpanKind::ServeLinger,
+                detail: 0,
+                start_us: us_of(pulled),
+                dur_us: linger_us,
+                arg0: 0.0,
+                arg1: 0.0,
+                trace_id: tid,
+                span_id: linger_ctx.span_id,
+                parent_id: p.trace.span_id,
+            },
+            Span {
+                seq: 3,
+                kind: SpanKind::ServeExec,
+                detail: k as u64,
+                // arg0 links into the shared batch span (which lives in
+                // the lead request's trace).
+                start_us: us_of(t_exec),
+                dur_us: exec_wall_us,
+                arg0: batch_ctx.span_id as f64,
+                arg1: 0.0,
+                trace_id: tid,
+                span_id: exec_ctx.span_id,
+                parent_id: p.trace.span_id,
+            },
+        ];
+        for s in &member_spans {
+            ring_span(s);
+        }
+
+        // Flight ring: the member's own tree plus the shared batch and
+        // executor spans, so a dumped trace replays end to end.
+        let mut spans = member_spans.to_vec();
+        spans.push(batch_span);
+        spans.extend(outcome.trace_spans.iter().copied());
+        flight.record(Arc::new(RequestTrace {
+            trace_id: tid,
+            model: model.clone(),
+            batch: k,
+            epoch,
+            plan_fingerprint,
+            sojourn_us,
+            attribution,
+            spans,
+        }));
+
+        // SLO accounting, and the flight trigger on a burn.
+        if let Some(m) = slo.as_mut() {
+            let verdict = m.observe(sojourn_us);
+            if verdict.breached {
+                tm::SERVE_SLO_BREACHES.inc();
+            }
+            if verdict.burning && flight.armed() {
+                flight.trigger(AnomalyRule::SloBurn, || {
+                    anomaly_payload(cache, &deployed, tid)
+                });
+            }
+        }
+
         let _ = p.tx.send(Ok(ServeResponse {
             outputs: piece,
             batch_size: k,
             virtual_service_us: outcome.virtual_latency_us / k as f64,
             sojourn: Duration::from_secs_f64(sojourn_us / 1e6),
             epoch,
+            trace_id: tid,
+            attribution,
         }));
     }
 }

@@ -11,7 +11,8 @@ use std::time::{Duration, Instant};
 
 use duet_device::SystemModel;
 use duet_serve::loadgen::degraded_gpu;
-use duet_serve::{ModelSpec, ServeConfig, ServeError, ServeServer};
+use duet_serve::{FlightDump, ModelSpec, ServeConfig, ServeError, ServeServer, SloConfig};
+use duet_telemetry::SpanKind;
 use proptest::prelude::*;
 
 fn server_for(model: &str, cfg: ServeConfig) -> ServeServer {
@@ -233,4 +234,145 @@ fn witnessed_request_passes_runtime_conformance() {
     let server = server_for("mlp", ServeConfig::default());
     let report = server.witness_check("mlp", 42).unwrap();
     assert!(report.is_clean(), "witness conformance errors:\n{report}");
+}
+
+/// Tentpole: one trace id flows admission → batch → subgraph → kernel.
+/// The flight ring keeps every completed request's span tree; the batch
+/// lead's tree must contain the full parent-linked causal chain under
+/// its own trace id.
+#[test]
+fn trace_context_links_admission_to_kernel() {
+    let server = server_for(
+        "mlp",
+        ServeConfig {
+            max_batch: 4,
+            linger: Duration::from_millis(50),
+            ..ServeConfig::default()
+        },
+    );
+    let spec = ModelSpec::serving_zoo("mlp").unwrap();
+    let handles: Vec<_> = (0..4)
+        .map(|i| server.submit("mlp", spec.request_feeds(i), None).unwrap())
+        .collect();
+    let mut trace_ids = Vec::new();
+    for h in handles {
+        let resp = h.wait().unwrap();
+        assert_ne!(resp.trace_id, 0, "every response carries a trace id");
+        trace_ids.push(resp.trace_id);
+    }
+    trace_ids.sort_unstable();
+    trace_ids.dedup();
+    assert_eq!(trace_ids.len(), 4, "trace ids are per-request unique");
+
+    let traces = server.flight("mlp").unwrap().traces();
+    assert_eq!(traces.len(), 4, "flight ring holds all completed requests");
+    // At least one trace (the batch lead's) carries the unbroken chain
+    // request -> batch -> run -> subgraph -> kernel under its trace id.
+    let full_chain = traces.iter().any(|t| {
+        let own = |k: SpanKind| {
+            t.spans
+                .iter()
+                .filter(move |s| s.kind == k && s.trace_id == t.trace_id)
+        };
+        own(SpanKind::ServeRequest).any(|req| {
+            own(SpanKind::ServeBatch)
+                .filter(|b| b.parent_id == req.span_id)
+                .any(|b| {
+                    own(SpanKind::ExecRun)
+                        .filter(|r| r.parent_id == b.span_id)
+                        .any(|r| {
+                            own(SpanKind::ExecSubgraph)
+                                .filter(|sg| sg.parent_id == r.span_id)
+                                .any(|sg| {
+                                    own(SpanKind::ExecKernel).any(|kn| kn.parent_id == sg.span_id)
+                                })
+                        })
+                })
+        })
+    });
+    assert!(
+        full_chain,
+        "no trace carries the admission->batch->subgraph->kernel chain"
+    );
+    // Every member decomposes: segments sum to the measured sojourn.
+    for t in &traces {
+        let sum = t.attribution.total_us();
+        assert!(
+            (sum - t.sojourn_us).abs() <= t.sojourn_us.max(1.0) * 0.05,
+            "attribution sums to {sum:.1} us but sojourn is {:.1} us",
+            t.sojourn_us
+        );
+    }
+}
+
+/// Satellite (d): a synthetic SLO breach produces exactly one flight
+/// dump, the dump contains the breaching trace, and the latch holds
+/// against further anomalies.
+#[test]
+fn slo_breach_writes_exactly_one_dump_with_breaching_trace() {
+    let dir = std::env::temp_dir().join(format!(
+        "duet-serve-slo-test-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let server = server_for(
+        "mlp",
+        ServeConfig {
+            max_batch: 1,
+            linger: Duration::ZERO,
+            // Sub-microsecond SLO: the first completed request breaches
+            // and a 1-of-1 window burns immediately.
+            slo: Some(SloConfig {
+                limit_us: 0.001,
+                window: 1,
+                burn_threshold: 1,
+            }),
+            flight_dir: Some(dir.clone()),
+            ..ServeConfig::default()
+        },
+    );
+    let spec = ModelSpec::serving_zoo("mlp").unwrap();
+    let first = server
+        .submit("mlp", spec.request_feeds(7), None)
+        .unwrap()
+        .wait()
+        .unwrap();
+    // The dump (including its witnessed replay run) happens on the
+    // worker thread; give it a bounded moment to land.
+    let flight = server.flight("mlp").unwrap();
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let dump_path = loop {
+        if let Some(p) = flight.last_dump() {
+            break p;
+        }
+        assert!(Instant::now() < deadline, "SLO burn never produced a dump");
+        std::thread::sleep(Duration::from_millis(10));
+    };
+
+    // Further breaches are latched: still exactly one dump directory.
+    for i in 0..4 {
+        server
+            .submit("mlp", spec.request_feeds(100 + i), None)
+            .unwrap()
+            .wait()
+            .unwrap();
+    }
+    let entries: Vec<_> = std::fs::read_dir(&dir).unwrap().flatten().collect();
+    assert_eq!(entries.len(), 1, "exactly one dump directory");
+    assert_eq!(entries[0].path(), dump_path);
+
+    let dump = FlightDump::load(&dump_path).expect("dump loads");
+    assert_eq!(dump.rule(), Some("slo_burn"));
+    assert_eq!(dump.model(), Some("mlp"));
+    assert_eq!(dump.trigger_trace_id(), first.trace_id);
+    assert!(
+        dump.traces.iter().any(|t| t.trace_id == first.trace_id),
+        "dump must contain the breaching trace"
+    );
+    assert!(
+        dump.witness.is_some(),
+        "dump carries a witnessed replay for duet-lint trace"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }

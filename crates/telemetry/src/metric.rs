@@ -147,9 +147,15 @@ pub const HISTOGRAM_BUCKETS: usize = 64;
 pub struct Histogram {
     name: &'static str,
     help: &'static str,
+    label: Option<(&'static str, &'static str)>,
     buckets: [AtomicU64; HISTOGRAM_BUCKETS],
     count: AtomicU64,
     sum: AtomicU64,
+    /// Largest value ever passed to `observe_exemplar` — a tail
+    /// exemplar.
+    ex_value: AtomicU64,
+    /// Trace id attached to that value; 0 = no exemplar yet.
+    ex_trace: AtomicU64,
 }
 
 /// Bucket index of a value: its bit length, clamped to the last bucket.
@@ -172,9 +178,32 @@ impl Histogram {
         Histogram {
             name,
             help,
+            label: None,
             buckets: [const { AtomicU64::new(0) }; HISTOGRAM_BUCKETS],
             count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
+            ex_value: AtomicU64::new(0),
+            ex_trace: AtomicU64::new(0),
+        }
+    }
+
+    /// Histogram carrying one constant label (`name{key="value"}`);
+    /// several statics sharing a `name` form one Prometheus family.
+    pub const fn with_label(
+        name: &'static str,
+        help: &'static str,
+        key: &'static str,
+        value: &'static str,
+    ) -> Self {
+        Histogram {
+            name,
+            help,
+            label: Some((key, value)),
+            buckets: [const { AtomicU64::new(0) }; HISTOGRAM_BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            ex_value: AtomicU64::new(0),
+            ex_trace: AtomicU64::new(0),
         }
     }
 
@@ -184,6 +213,48 @@ impl Histogram {
         self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Record one observation and offer it as the histogram's tail
+    /// exemplar. The largest value ever offered wins (so the exemplar
+    /// names a trace inhabiting the top bucket — the P99+ tail); a 0
+    /// trace id records the value without exemplar metadata. The
+    /// value/trace pair is updated best-effort under races — an
+    /// exemplar is a debugging pointer, not an exact statistic.
+    #[inline]
+    pub fn observe_exemplar(&self, v: u64, trace_id: u64) {
+        self.observe(v);
+        self.exemplar_hint(v, trace_id);
+    }
+
+    /// Offer a tail exemplar *without* recording an observation — for
+    /// call sites where the value was already observed through another
+    /// path (e.g. a batched recording API) and only the trace linkage
+    /// is being added.
+    #[inline]
+    pub fn exemplar_hint(&self, v: u64, trace_id: u64) {
+        if trace_id == 0 {
+            return;
+        }
+        let mut cur = self.ex_value.load(Ordering::Relaxed);
+        while v >= cur {
+            match self
+                .ex_value
+                .compare_exchange_weak(cur, v, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => {
+                    self.ex_trace.store(trace_id, Ordering::Relaxed);
+                    break;
+                }
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// The tail exemplar as `(value, trace_id)`, if any was recorded.
+    pub fn exemplar(&self) -> Option<(u64, u64)> {
+        let trace = self.ex_trace.load(Ordering::Relaxed);
+        (trace != 0).then(|| (self.ex_value.load(Ordering::Relaxed), trace))
     }
 
     /// Record a (fractional) microsecond value, truncated to integer µs.
@@ -246,6 +317,10 @@ impl Histogram {
 
     pub fn help(&self) -> &'static str {
         self.help
+    }
+
+    pub fn label(&self) -> Option<(&'static str, &'static str)> {
+        self.label
     }
 }
 

@@ -222,6 +222,93 @@ pub static SERVE_EPOCH: Gauge = Gauge::new(
     "Highest metrics epoch across models (bumped on drift injection and hot-swap)",
 );
 
+// ---- insight (per-request tracing, attribution, flight recorder) ----
+
+pub static SERVE_SLO_BREACHES: Counter = Counter::new(
+    "duet_serve_slo_breaches_total",
+    "Requests whose sojourn exceeded the configured SLO budget",
+);
+pub static SERVE_SEGMENT_QUEUE: Histogram = Histogram::with_label(
+    "duet_serve_segment_us",
+    "Per-request latency attribution per segment, microseconds",
+    "segment",
+    "queue",
+);
+pub static SERVE_SEGMENT_LINGER: Histogram = Histogram::with_label(
+    "duet_serve_segment_us",
+    "Per-request latency attribution per segment, microseconds",
+    "segment",
+    "linger",
+);
+pub static SERVE_SEGMENT_COMPUTE_CPU: Histogram = Histogram::with_label(
+    "duet_serve_segment_us",
+    "Per-request latency attribution per segment, microseconds",
+    "segment",
+    "compute_cpu",
+);
+pub static SERVE_SEGMENT_COMPUTE_GPU: Histogram = Histogram::with_label(
+    "duet_serve_segment_us",
+    "Per-request latency attribution per segment, microseconds",
+    "segment",
+    "compute_gpu",
+);
+pub static SERVE_SEGMENT_TRANSFER: Histogram = Histogram::with_label(
+    "duet_serve_segment_us",
+    "Per-request latency attribution per segment, microseconds",
+    "segment",
+    "transfer",
+);
+pub static SERVE_SEGMENT_OVERHEAD: Histogram = Histogram::with_label(
+    "duet_serve_segment_us",
+    "Per-request latency attribution per segment, microseconds",
+    "segment",
+    "overhead",
+);
+pub static INSIGHT_TRACES: Counter = Counter::new(
+    "duet_insight_traces_total",
+    "Completed request traces pushed into the flight-recorder ring",
+);
+pub static INSIGHT_TORN_RETRIED: Counter = Counter::with_label(
+    "duet_insight_torn_reads_total",
+    "Span-ring snapshot reads that caught a slot mid-write",
+    "result",
+    "retried",
+);
+pub static INSIGHT_TORN_SKIPPED: Counter = Counter::with_label(
+    "duet_insight_torn_reads_total",
+    "Span-ring snapshot reads that caught a slot mid-write",
+    "result",
+    "skipped",
+);
+pub static INSIGHT_DUMPS_SLO_BURN: Counter = Counter::with_label(
+    "duet_insight_dumps_total",
+    "Flight-recorder dumps written per anomaly rule",
+    "rule",
+    "slo_burn",
+);
+pub static INSIGHT_DUMPS_SHED: Counter = Counter::with_label(
+    "duet_insight_dumps_total",
+    "Flight-recorder dumps written per anomaly rule",
+    "rule",
+    "shed",
+);
+pub static INSIGHT_DUMPS_DRIFT_SWAP: Counter = Counter::with_label(
+    "duet_insight_dumps_total",
+    "Flight-recorder dumps written per anomaly rule",
+    "rule",
+    "drift_swap",
+);
+pub static INSIGHT_DUMPS_SWAP_REFUSED: Counter = Counter::with_label(
+    "duet_insight_dumps_total",
+    "Flight-recorder dumps written per anomaly rule",
+    "rule",
+    "swap_refused",
+);
+pub static INSIGHT_DUMPS_SUPPRESSED: Counter = Counter::new(
+    "duet_insight_dumps_suppressed_total",
+    "Anomaly triggers suppressed because the once-per-run dump latch had fired",
+);
+
 // ---- tune (simulator-oracle schedule search) ----
 
 pub static TUNE_RUNS: Counter = Counter::new(
@@ -389,6 +476,15 @@ pub fn counters() -> &'static [&'static Counter] {
         &SERVE_BATCHES,
         &SERVE_PLAN_SWAPS,
         &SERVE_PLAN_SWAP_REJECTED,
+        &SERVE_SLO_BREACHES,
+        &INSIGHT_TRACES,
+        &INSIGHT_TORN_RETRIED,
+        &INSIGHT_TORN_SKIPPED,
+        &INSIGHT_DUMPS_SLO_BURN,
+        &INSIGHT_DUMPS_SHED,
+        &INSIGHT_DUMPS_DRIFT_SWAP,
+        &INSIGHT_DUMPS_SWAP_REFUSED,
+        &INSIGHT_DUMPS_SUPPRESSED,
         &TUNE_RUNS,
         &TUNE_CANDIDATES,
         &TUNE_PROMOTIONS_ACCEPTED,
@@ -428,6 +524,12 @@ pub fn histograms() -> &'static [&'static Histogram] {
         &SERVE_BATCH_SIZE,
         &SERVE_SOJOURN_US,
         &SERVE_VIRTUAL_SERVICE_US,
+        &SERVE_SEGMENT_QUEUE,
+        &SERVE_SEGMENT_LINGER,
+        &SERVE_SEGMENT_COMPUTE_CPU,
+        &SERVE_SEGMENT_COMPUTE_GPU,
+        &SERVE_SEGMENT_TRANSFER,
+        &SERVE_SEGMENT_OVERHEAD,
         &TUNE_ORACLE_WALL_US,
         &TUNE_SEARCH_WALL_US,
         &ANALYSIS_MODEL_CHECK_STATES,
@@ -468,9 +570,19 @@ pub fn render_prometheus(
         out.push_str(&format!("# TYPE {} gauge\n", g.name()));
         out.push_str(&format!("{} {}\n", g.name(), g.get()));
     }
+    let mut last_family = "";
     for h in histograms {
-        out.push_str(&format!("# HELP {} {}\n", h.name(), h.help()));
-        out.push_str(&format!("# TYPE {} histogram\n", h.name()));
+        if h.name() != last_family {
+            out.push_str(&format!("# HELP {} {}\n", h.name(), h.help()));
+            out.push_str(&format!("# TYPE {} histogram\n", h.name()));
+            last_family = h.name();
+        }
+        // A constant label (e.g. segment="queue") prefixes every label
+        // set; `_sum`/`_count` carry it alone.
+        let (bucket_prefix, plain) = match h.label() {
+            Some((k, v)) => (format!("{k}=\"{v}\","), format!("{{{k}=\"{v}\"}}")),
+            None => (String::new(), String::new()),
+        };
         let mut cumulative = 0u64;
         for (i, n) in h.nonzero_buckets() {
             cumulative += n;
@@ -479,19 +591,29 @@ pub fn render_prometheus(
                 continue; // folded into +Inf below
             }
             out.push_str(&format!(
-                "{}_bucket{{le=\"{}\"}} {}\n",
+                "{}_bucket{{{}le=\"{}\"}} {}\n",
                 h.name(),
+                bucket_prefix,
                 le,
                 cumulative
             ));
         }
+        // Tail exemplar (OpenMetrics syntax) rides on the +Inf bucket,
+        // only when one was recorded — zero-state renderings are
+        // byte-identical to the pre-exemplar format.
+        let exemplar = match h.exemplar() {
+            Some((v, trace)) => format!(" # {{trace_id=\"{trace:x}\"}} {v}"),
+            None => String::new(),
+        };
         out.push_str(&format!(
-            "{}_bucket{{le=\"+Inf\"}} {}\n",
+            "{}_bucket{{{}le=\"+Inf\"}} {}{}\n",
             h.name(),
-            h.count()
+            bucket_prefix,
+            h.count(),
+            exemplar
         ));
-        out.push_str(&format!("{}_sum {}\n", h.name(), h.sum()));
-        out.push_str(&format!("{}_count {}\n", h.name(), h.count()));
+        out.push_str(&format!("{}_sum{} {}\n", h.name(), plain, h.sum()));
+        out.push_str(&format!("{}_count{} {}\n", h.name(), plain, h.count()));
     }
     out
 }

@@ -60,6 +60,21 @@ pub enum SpanKind {
     /// One executed serving batch. detail = batch size, arg0 = virtual
     /// batch latency µs.
     ServeBatch = 11,
+    /// One request's whole serving lifetime (admission → response).
+    /// detail = batch the request executed in, wall µs.
+    ServeRequest = 12,
+    /// Queue-wait phase of one request (admission → worker pull),
+    /// wall µs.
+    ServeQueue = 13,
+    /// Batch-linger phase of one request (worker pull → batch close),
+    /// wall µs.
+    ServeLinger = 14,
+    /// Execution phase of one request (batch close → response ready),
+    /// wall µs. arg0 = executed batch size.
+    ServeExec = 15,
+    /// Kernel-tape execution inside one subgraph dispatch. detail =
+    /// tape instruction count, *virtual* µs, arg0 = device.
+    ExecKernel = 16,
 }
 
 impl SpanKind {
@@ -75,8 +90,12 @@ impl SpanKind {
             | SpanKind::SchedRound
             | SpanKind::SchedMoveAccepted
             | SpanKind::SchedMoveRejected => "schedule",
-            SpanKind::ExecSubgraph | SpanKind::ExecRun => "execute",
-            SpanKind::ServeBatch => "serve",
+            SpanKind::ExecSubgraph | SpanKind::ExecRun | SpanKind::ExecKernel => "execute",
+            SpanKind::ServeBatch
+            | SpanKind::ServeRequest
+            | SpanKind::ServeQueue
+            | SpanKind::ServeLinger
+            | SpanKind::ServeExec => "serve",
         }
     }
 
@@ -95,10 +114,17 @@ impl SpanKind {
             SpanKind::ExecSubgraph => "subgraph",
             SpanKind::ExecRun => "run",
             SpanKind::ServeBatch => "batch",
+            SpanKind::ServeRequest => "request",
+            SpanKind::ServeQueue => "queue",
+            SpanKind::ServeLinger => "linger",
+            SpanKind::ServeExec => "exec",
+            SpanKind::ExecKernel => "kernel",
         }
     }
 
-    fn from_u64(v: u64) -> Option<SpanKind> {
+    /// Inverse of the discriminant cast; `None` for out-of-range values
+    /// (a persisted span from a newer build).
+    pub fn from_u64(v: u64) -> Option<SpanKind> {
         Some(match v {
             0 => SpanKind::CompileOptimize,
             1 => SpanKind::PassFoldConstants,
@@ -112,6 +138,11 @@ impl SpanKind {
             9 => SpanKind::ExecSubgraph,
             10 => SpanKind::ExecRun,
             11 => SpanKind::ServeBatch,
+            12 => SpanKind::ServeRequest,
+            13 => SpanKind::ServeQueue,
+            14 => SpanKind::ServeLinger,
+            15 => SpanKind::ServeExec,
+            16 => SpanKind::ExecKernel,
             _ => return None,
         })
     }
@@ -132,6 +163,20 @@ pub struct Span {
     pub dur_us: f64,
     pub arg0: f64,
     pub arg1: f64,
+    /// Causal trace this span belongs to; 0 = untraced (the span was
+    /// recorded outside any request context).
+    pub trace_id: u64,
+    /// This span's id within the trace; 0 = untraced.
+    pub span_id: u64,
+    /// Id of the causal parent span; 0 = root (or untraced).
+    pub parent_id: u64,
+}
+
+impl Span {
+    /// Whether this span carries causal trace linkage.
+    pub fn is_traced(&self) -> bool {
+        self.trace_id != 0
+    }
 }
 
 struct Slot {
@@ -144,6 +189,9 @@ struct Slot {
     dur: AtomicU64,
     arg0: AtomicU64,
     arg1: AtomicU64,
+    trace: AtomicU64,
+    span_id: AtomicU64,
+    parent: AtomicU64,
 }
 
 impl Slot {
@@ -156,6 +204,9 @@ impl Slot {
             dur: AtomicU64::new(0),
             arg0: AtomicU64::new(0),
             arg1: AtomicU64::new(0),
+            trace: AtomicU64::new(0),
+            span_id: AtomicU64::new(0),
+            parent: AtomicU64::new(0),
         }
     }
 }
@@ -190,6 +241,25 @@ impl SpanRing {
         a0: f64,
         a1: f64,
     ) {
+        self.record_traced(kind, detail, start_us, dur_us, a0, a1, 0, 0, 0);
+    }
+
+    /// Record one span carrying causal trace linkage (trace id, own span
+    /// id, parent span id; all 0 for untraced). Lock-free and
+    /// allocation-free.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_traced(
+        &self,
+        kind: SpanKind,
+        detail: u64,
+        start_us: f64,
+        dur_us: f64,
+        a0: f64,
+        a1: f64,
+        trace_id: u64,
+        span_id: u64,
+        parent_id: u64,
+    ) {
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         let slot = &self.slots[(seq % self.slots.len() as u64) as usize];
         slot.version.store(2 * seq + 1, Ordering::Relaxed);
@@ -200,30 +270,62 @@ impl SpanRing {
         slot.dur.store(dur_us.to_bits(), Ordering::Relaxed);
         slot.arg0.store(a0.to_bits(), Ordering::Relaxed);
         slot.arg1.store(a1.to_bits(), Ordering::Relaxed);
+        slot.trace.store(trace_id, Ordering::Relaxed);
+        slot.span_id.store(span_id, Ordering::Relaxed);
+        slot.parent.store(parent_id, Ordering::Relaxed);
         slot.version.store(2 * seq + 2, Ordering::Release);
     }
 
+    /// How many times [`collect`](SpanRing::collect) re-reads a slot it
+    /// caught mid-write before giving up on it. A writer finishes a slot
+    /// in a handful of stores, so one retry almost always suffices; the
+    /// bound exists because a writer can be preempted mid-publish.
+    pub const TORN_RETRY_LIMIT: u32 = 64;
+
     /// Copy out every published span at or above the floor, oldest
-    /// first. Slots caught mid-write (or overwritten while reading) are
-    /// skipped, never misread.
+    /// first. A slot caught mid-write (or overwritten while reading) is
+    /// re-read up to [`TORN_RETRY_LIMIT`](SpanRing::TORN_RETRY_LIMIT)
+    /// times — each torn observation counts into
+    /// `duet_insight_torn_reads_total{result="retried"}` — and only
+    /// dropped (never misread) when the writer still hasn't published,
+    /// counted under `result="skipped"`.
     pub fn collect(&self) -> Vec<Span> {
         let floor = self.floor.load(Ordering::Relaxed);
         let mut out: Vec<Span> = Vec::with_capacity(self.slots.len());
-        for slot in self.slots.iter() {
-            let v1 = slot.version.load(Ordering::Acquire);
-            if v1 == 0 || v1 % 2 == 1 {
-                continue;
-            }
-            let kind = slot.kind.load(Ordering::Relaxed);
-            let detail = slot.detail.load(Ordering::Relaxed);
-            let start = slot.start.load(Ordering::Relaxed);
-            let dur = slot.dur.load(Ordering::Relaxed);
-            let arg0 = slot.arg0.load(Ordering::Relaxed);
-            let arg1 = slot.arg1.load(Ordering::Relaxed);
-            fence(Ordering::Acquire);
-            if slot.version.load(Ordering::Relaxed) != v1 {
-                continue; // torn: a writer raced us
-            }
+        'slots: for slot in self.slots.iter() {
+            let mut attempts = 0u32;
+            let (v1, payload) = loop {
+                let v1 = slot.version.load(Ordering::Acquire);
+                if v1 == 0 {
+                    continue 'slots; // never written
+                }
+                if v1 % 2 == 0 {
+                    let payload = [
+                        slot.kind.load(Ordering::Relaxed),
+                        slot.detail.load(Ordering::Relaxed),
+                        slot.start.load(Ordering::Relaxed),
+                        slot.dur.load(Ordering::Relaxed),
+                        slot.arg0.load(Ordering::Relaxed),
+                        slot.arg1.load(Ordering::Relaxed),
+                        slot.trace.load(Ordering::Relaxed),
+                        slot.span_id.load(Ordering::Relaxed),
+                        slot.parent.load(Ordering::Relaxed),
+                    ];
+                    fence(Ordering::Acquire);
+                    if slot.version.load(Ordering::Relaxed) == v1 {
+                        break (v1, payload);
+                    }
+                }
+                // Torn: a writer raced us (or holds the slot mid-write).
+                crate::registry::INSIGHT_TORN_RETRIED.inc();
+                attempts += 1;
+                if attempts > Self::TORN_RETRY_LIMIT {
+                    crate::registry::INSIGHT_TORN_SKIPPED.inc();
+                    continue 'slots;
+                }
+                std::hint::spin_loop();
+            };
+            let [kind, detail, start, dur, arg0, arg1, trace, span_id, parent] = payload;
             let seq = v1 / 2 - 1;
             if seq < floor {
                 continue;
@@ -239,6 +341,9 @@ impl SpanRing {
                 dur_us: f64::from_bits(dur),
                 arg0: f64::from_bits(arg0),
                 arg1: f64::from_bits(arg1),
+                trace_id: trace,
+                span_id,
+                parent_id: parent,
             });
         }
         out.sort_by_key(|s| s.seq);
@@ -277,6 +382,28 @@ pub fn clock_us() -> f64 {
 pub fn record_span(kind: SpanKind, detail: u64, start_us: f64, dur_us: f64, a0: f64, a1: f64) {
     if crate::enabled() {
         global_ring().record(kind, detail, start_us, dur_us, a0, a1);
+    }
+}
+
+/// Record a causally-linked span into the global ring (no-op when
+/// telemetry is off).
+#[inline]
+#[allow(clippy::too_many_arguments)]
+pub fn record_span_traced(
+    kind: SpanKind,
+    detail: u64,
+    start_us: f64,
+    dur_us: f64,
+    a0: f64,
+    a1: f64,
+    trace_id: u64,
+    span_id: u64,
+    parent_id: u64,
+) {
+    if crate::enabled() {
+        global_ring().record_traced(
+            kind, detail, start_us, dur_us, a0, a1, trace_id, span_id, parent_id,
+        );
     }
 }
 

@@ -387,6 +387,9 @@ mod tests {
             dur_us: dur,
             arg0: 1.0, // GPU
             arg1: 0.0,
+            trace_id: 0,
+            span_id: 0,
+            parent_id: 0,
         };
         let spans = vec![
             mk(2.0 * analytic),

@@ -11,6 +11,7 @@
 //! duet-lint resnet50 --fast           # skip the engine build / plan lint
 //! duet-lint trace siamese             # run + record + conformance-check
 //! duet-lint trace mtdnn --out t.json  # dump annotated Chrome trace
+//! duet-lint trace --dump <dir>        # conformance-check a flight dump
 //! duet-lint model-check all           # prove D5xx for every zoo plan
 //! duet-lint model-check mtdnn --out cex.json  # counterexample trace
 //! duet-lint dataflow all              # D6xx abstract interpretation
@@ -31,7 +32,12 @@
 //! runs the `D3xx` conformance checker on both, and cross-checks the
 //! two witnesses against each other (`check_agreement`). `--out <file>`
 //! additionally dumps the executor witness as an annotated Chrome trace
-//! (load in `chrome://tracing` / Perfetto).
+//! (load in `chrome://tracing` / Perfetto). With `--dump <dir>` it
+//! instead replays a `duet-serve` flight-recorder dump post mortem: the
+//! engine is rebuilt from the dumped plan and system model, the dumped
+//! witness goes through `check_witness`, and a fresh noise-free
+//! simulation cross-checks it (`check_agreement`) — proving the
+//! anomalous serving run still obeyed every runtime invariant.
 //!
 //! The `model-check` subcommand proves the `D5xx` interleaving
 //! properties of a plan *before* it runs: deadlock-freedom,
@@ -84,6 +90,7 @@ fn usage() -> ! {
     eprintln!(
         "usage:\n  duet-lint <model>|all [--plan <file>] [--fast] [--json] [--deny-warnings]\n  \
          duet-lint trace <model>|all [--seed <n>] [--out <file>] [--json] [--deny-warnings]\n  \
+         duet-lint trace --dump <dir> [--out <file>] [--json] [--deny-warnings]\n  \
          duet-lint model-check <model>|all [--plan <file>] [--max-states <n>] [--out <file>]\n                                    \
          [--json] [--deny-warnings]\n  \
          duet-lint dataflow <model>|all [--json] [--deny-warnings]\n\n\
@@ -92,6 +99,7 @@ fn usage() -> ! {
          --seed <n>       input-feed seed for trace runs (default 7)\n  \
          --out <file>     trace: dump the executor witness as a Chrome trace\n                   \
          model-check: dump the counterexample as a Chrome trace\n  \
+         --dump <dir>     trace: replay a duet-serve flight dump instead of a live run\n  \
          --max-states <n> model-check: exploration budget (default 262144)\n  \
          --json           machine-readable output\n  \
          --deny-warnings  exit non-zero on warnings too\n\nexit codes:\n  \
@@ -118,6 +126,7 @@ struct Options {
     deny_warnings: bool,
     seed: u64,
     out: Option<String>,
+    dump: Option<String>,
     max_states: usize,
 }
 
@@ -255,6 +264,76 @@ fn trace_model(name: &str, opts: &Options) -> Vec<Report> {
     reports
 }
 
+/// The `trace --dump` body: post-mortem conformance for a serving
+/// anomaly. Loads a `duet-serve` flight dump, rebuilds the engine from
+/// the dumped plan + system model, runs the dumped witness through
+/// `check_witness`, and cross-checks it against a fresh noise-free
+/// simulation of the same placement (`check_agreement`).
+fn trace_flight_dump(opts: &Options) -> Vec<Report> {
+    let dir = opts.dump.as_deref().expect("dump mode implies --dump");
+    let fail = |msg: String| -> ! {
+        eprintln!("{msg}");
+        std::process::exit(2);
+    };
+    let dump = duet_serve::FlightDump::load(std::path::Path::new(dir))
+        .unwrap_or_else(|e| fail(format!("cannot load flight dump: {e}")));
+    let model = dump
+        .model()
+        .unwrap_or_else(|| fail(format!("{dir}: manifest has no model name")))
+        .to_string();
+    let Some(witness) = &dump.witness else {
+        fail(format!(
+            "{dir}: no witness.json in the dump (the anomaly payload's replay run failed); \
+             nothing to conformance-check"
+        ));
+    };
+    let plan = SchedulePlan::from_json(&dump.plan_json)
+        .unwrap_or_else(|e| fail(format!("{dir}/plan.json: {e}")));
+    let system: duet_device::SystemModel = serde_json::from_str(&dump.system_json)
+        .unwrap_or_else(|e| fail(format!("{dir}/system.json: {e}")));
+    let spec = duet_serve::ModelSpec::serving_zoo(&model).unwrap_or_else(|| {
+        fail(format!(
+            "{dir}: dumped model {model:?} is not in the serving zoo"
+        ))
+    });
+    let graph = spec.graph_at(plan.batch);
+    let engine = match Duet::builder()
+        .system(system)
+        .build_with_plan(&graph, &plan)
+    {
+        Ok(e) => e,
+        Err(e) => {
+            let mut r = Report::new(format!("{model}:flight-dump"));
+            r.push(duet_analysis::Diagnostic::error(
+                duet_analysis::codes::PASS_FAILED,
+                format!("engine rebuild from dumped plan failed: {e}"),
+            ));
+            return vec![r];
+        }
+    };
+    let cfg = WitnessCheckConfig::default();
+    let (_, sim_witness) = simulate_witnessed(
+        engine.graph(),
+        engine.placed(),
+        engine.system(),
+        &mut SimNoise::disabled(),
+    );
+    let reports = vec![
+        check_witness(
+            engine.graph(),
+            engine.placed(),
+            engine.system(),
+            witness,
+            &cfg,
+        ),
+        check_agreement(witness, &sim_witness, &cfg),
+    ];
+    if let Some(path) = &opts.out {
+        write_file(path, &witness_to_chrome_trace(&model, witness));
+    }
+    reports
+}
+
 /// The `model-check` subcommand body: prove the `D5xx` interleaving
 /// properties of one plan. Returns the report plus the (states, wall
 /// microseconds) the summary and the CI gate aggregate.
@@ -342,6 +421,7 @@ fn main() {
         deny_warnings: false,
         seed: 7,
         out: None,
+        dump: None,
         max_states: ModelCheckConfig::default().max_states,
     };
     let mut it = args.into_iter().peekable();
@@ -378,6 +458,10 @@ fn main() {
                 Some(p) => opts.out = Some(p),
                 None => usage(),
             },
+            "--dump" => match it.next() {
+                Some(p) => opts.dump = Some(p),
+                None => usage(),
+            },
             "--max-states" => match it.next().and_then(|s| s.parse().ok()) {
                 Some(n) => {
                     opts.max_states = n;
@@ -392,19 +476,31 @@ fn main() {
     }
     // Per-mode flag validity.
     let flag_ok = match mode {
-        Mode::Lint => opts.out.is_none() && opts.seed == 7 && !max_states_set,
+        Mode::Lint => {
+            opts.out.is_none() && opts.seed == 7 && !max_states_set && opts.dump.is_none()
+        }
         Mode::Trace => opts.plan_path.is_none() && !opts.fast && !max_states_set,
-        Mode::ModelCheck => !opts.fast && opts.seed == 7,
+        Mode::ModelCheck => !opts.fast && opts.seed == 7 && opts.dump.is_none(),
         Mode::Dataflow => {
             opts.plan_path.is_none()
                 && !opts.fast
                 && opts.out.is_none()
                 && opts.seed == 7
                 && !max_states_set
+                && opts.dump.is_none()
         }
     };
-    if names.is_empty() || !flag_ok {
+    // `trace --dump <dir>` names no model: the dump's manifest does.
+    let dump_mode = mode == Mode::Trace && opts.dump.is_some();
+    if dump_mode && (!names.is_empty() || opts.seed != 7) {
+        eprintln!("--dump replays the dumped request; it takes no model or --seed");
         usage();
+    }
+    if (names.is_empty() && !dump_mode) || !flag_ok {
+        usage();
+    }
+    if dump_mode {
+        names.push("flight-dump".to_string());
     }
     if names.iter().any(|n| n == "all") {
         if opts.plan_path.is_some() {
@@ -426,6 +522,7 @@ fn main() {
     let mut json_reports = Vec::new();
     for name in &names {
         let reports = match mode {
+            Mode::Trace if dump_mode => trace_flight_dump(&opts),
             Mode::Trace => trace_model(name, &opts),
             Mode::Lint => lint_model(name, &opts),
             Mode::ModelCheck => {

@@ -10,6 +10,9 @@
 //! duet export-plan siamese plan.json       # save the offline decision
 //! duet apply-plan siamese plan.json        # reload it (no re-scheduling)
 //! duet tune all --drift                    # autotune the zoo under drift
+//! duet insight render <dump> out.json      # flight dump -> Perfetto timeline
+//! duet insight attribution <dump>          # per-segment latency table
+//! duet insight diff <dump-a> <dump-b>      # compare two flight dumps
 //! ```
 
 use std::collections::HashMap;
@@ -37,7 +40,10 @@ fn usage() -> ! {
          duet save <model> <file>\n  duet report-file <file>\n  duet explain <model>\n  \
          duet trace <model> <file> [--full]\n  \
          duet tune <model|all> [--budget <n>] [--seed <n>] [--drift] [--cache <dir>] \
-         [--json <file>] [--metrics-out <file>]\n\nmodels: {}\npolicies: \
+         [--json <file>] [--metrics-out <file>]\n  \
+         duet insight render <dump-dir> <out.json>\n  \
+         duet insight attribution <dump-dir>\n  \
+         duet insight diff <dump-dir-a> <dump-dir-b>\n\nmodels: {}\npolicies: \
          greedy-correction | greedy | random | round-robin | random-correction | ideal | \
          flops-proxy | cpu | gpu\n\nonline serving lives in its own binary: \
          cargo run --release -p duet-serve --bin duet-serve -- --help",
@@ -248,7 +254,138 @@ fn main() {
             );
         }
         "tune" => cmd_tune(&rest),
+        "insight" => cmd_insight(&rest),
         _ => usage(),
+    }
+}
+
+/// `duet insight <render|attribution|diff>` — offline analysis of the
+/// anomaly flight dumps `duet-serve --flight-dir` writes: merge a
+/// dump's span trees into one Perfetto timeline, print its per-segment
+/// tail-latency attribution, or compare two dumps side by side.
+fn cmd_insight(rest: &[String]) {
+    use duet_serve::{AttributionSummary, FlightDump};
+
+    let load = |dir: &str| -> FlightDump {
+        FlightDump::load(std::path::Path::new(dir)).unwrap_or_else(|e| {
+            eprintln!("cannot load flight dump: {e}");
+            std::process::exit(2);
+        })
+    };
+    let header = |dir: &str, d: &FlightDump| {
+        println!(
+            "dump {dir}: model {} | rule {} | trigger trace {} | {} traces",
+            d.model().unwrap_or("?"),
+            d.rule().unwrap_or("?"),
+            d.trigger_trace_id(),
+            d.traces.len()
+        );
+    };
+    let verb = rest.first().map(String::as_str).unwrap_or_else(|| usage());
+    match verb {
+        "render" => {
+            let dir = rest.get(1).map(String::as_str).unwrap_or_else(|| usage());
+            let out = rest.get(2).map(String::as_str).unwrap_or_else(|| usage());
+            let dump = load(dir);
+            let Some(witness) = &dump.witness else {
+                eprintln!("dump {dir} carries no witness.json; cannot render the virtual lanes");
+                std::process::exit(2);
+            };
+            // Every member of a batch carries its own copy of the shared
+            // batch/executor spans, so merge the trees deduplicating by
+            // span id (untraced spans have id 0 and are all kept).
+            let mut seen = std::collections::HashSet::new();
+            let mut spans = Vec::new();
+            for t in &dump.traces {
+                for s in &t.spans {
+                    if s.span_id == 0 || seen.insert(s.span_id) {
+                        spans.push(*s);
+                    }
+                }
+            }
+            spans.sort_by(|a, b| a.start_us.total_cmp(&b.start_us));
+            let model = dump.model().unwrap_or("unknown").to_string();
+            std::fs::write(
+                out,
+                duet_runtime::merged_perfetto_trace(&model, witness, &spans),
+            )
+            .expect("trace written");
+            header(dir, &dump);
+            println!(
+                "merged timeline: {} spans across {} request trees written to {out} \
+                 (open in ui.perfetto.dev)",
+                spans.len(),
+                dump.traces.len()
+            );
+        }
+        "attribution" => {
+            let dir = rest.get(1).map(String::as_str).unwrap_or_else(|| usage());
+            let dump = load(dir);
+            header(dir, &dump);
+            let samples: Vec<_> = dump.traces.iter().map(|t| t.attribution).collect();
+            print!(
+                "{}",
+                AttributionSummary::from_samples(&samples).render_table()
+            );
+            if let Some(w) = dump
+                .traces
+                .iter()
+                .max_by(|a, b| a.sojourn_us.total_cmp(&b.sojourn_us))
+            {
+                println!(
+                    "worst sojourn: trace {} at {:.1} us (batch {}, epoch {})",
+                    w.trace_id, w.sojourn_us, w.batch, w.epoch
+                );
+            }
+        }
+        "diff" => {
+            let dir_a = rest.get(1).map(String::as_str).unwrap_or_else(|| usage());
+            let dir_b = rest.get(2).map(String::as_str).unwrap_or_else(|| usage());
+            let (a, b) = (load(dir_a), load(dir_b));
+            header(dir_a, &a);
+            header(dir_b, &b);
+            let fp = |d: &FlightDump| {
+                d.manifest
+                    .get("plan_fingerprint")
+                    .and_then(serde_json::Value::as_u64)
+                    .unwrap_or(0)
+            };
+            if fp(&a) != fp(&b) {
+                println!(
+                    "plan fingerprints differ: {:#018x} vs {:#018x} (a plan swap happened between dumps)",
+                    fp(&a),
+                    fp(&b)
+                );
+            }
+            let sum_a = AttributionSummary::from_samples(
+                &a.traces.iter().map(|t| t.attribution).collect::<Vec<_>>(),
+            );
+            let sum_b = AttributionSummary::from_samples(
+                &b.traces.iter().map(|t| t.attribution).collect::<Vec<_>>(),
+            );
+            println!(
+                "  {:<12} {:>12} {:>12} {:>12}",
+                "segment", "mean_a_us", "mean_b_us", "delta_us"
+            );
+            for sa in &sum_a.segments {
+                let mean_b = sum_b
+                    .segments
+                    .iter()
+                    .find(|sb| sb.segment == sa.segment)
+                    .map_or(0.0, |sb| sb.mean_us);
+                println!(
+                    "  {:<12} {:>12.1} {:>12.1} {:>+12.1}",
+                    sa.segment,
+                    sa.mean_us,
+                    mean_b,
+                    mean_b - sa.mean_us
+                );
+            }
+        }
+        other => {
+            eprintln!("unknown insight verb {other} (render | attribution | diff)");
+            usage()
+        }
     }
 }
 
